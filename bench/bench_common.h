@@ -1,0 +1,61 @@
+// Shared scaffolding for the paper-reproduction bench binaries.
+//
+// Every binary accepts key=value arguments (and NABBITC_* env overrides):
+//   preset=tiny|small|medium|paper   problem scale (default per binary)
+//   cores=1,2,4,10,20,40,60,80       simulated core counts
+//   workloads=heat,cg,...            subset of Table I benchmarks
+//   seed=<n>                         simulation seed
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "support/config.h"
+#include "support/table.h"
+#include "workloads/workload.h"
+
+namespace nabbitc::bench {
+
+struct BenchArgs {
+  wl::SizePreset preset = wl::SizePreset::kPaper;
+  std::vector<std::uint32_t> cores;
+  std::vector<std::string> workloads;
+  std::uint64_t seed = 0x5eed;
+  Config cfg;
+};
+
+inline BenchArgs parse_args(int argc, char** argv,
+                            const char* default_preset = "paper") {
+  BenchArgs a;
+  a.cfg = Config::from_args(argc, argv);
+  a.preset = wl::preset_from_string(a.cfg.get("preset", default_preset));
+  for (auto c : a.cfg.get_int_list("cores", {1, 4, 10, 20, 40, 80})) {
+    a.cores.push_back(static_cast<std::uint32_t>(c));
+  }
+  a.seed = static_cast<std::uint64_t>(a.cfg.get_int("seed", 0x5eed));
+  std::string wls = a.cfg.get("workloads", "");
+  if (wls.empty()) {
+    a.workloads = wl::workload_names();
+  } else {
+    std::string item;
+    for (char c : wls + ",") {
+      if (c == ',') {
+        if (!item.empty()) a.workloads.push_back(item);
+        item.clear();
+      } else {
+        item.push_back(c);
+      }
+    }
+  }
+  return a;
+}
+
+inline void print_header(const char* what) {
+  std::printf("NabbitC reproduction — %s\n", what);
+  std::printf("(simulated %s; see DESIGN.md for the substitution rationale)\n\n",
+              numa::Topology::paper().describe().c_str());
+}
+
+}  // namespace nabbitc::bench

@@ -1,0 +1,44 @@
+// Figure 6: speedup over serial for all ten benchmarks under OMP-static,
+// OMP-guided, Nabbit, and NabbitC, on the simulated 80-core 8-domain
+// machine. x-axis = cores, y-axis = speedup.
+//
+// The paper shows OMP-guided only for PageRank; we print it everywhere.
+// Expected shapes (checked in EXPERIMENTS.md): OMP-static best on the
+// regular benchmarks with NabbitC close behind and Nabbit trailing badly;
+// NabbitC on top for the irregular PageRank datasets; nabbit ~ nabbitc for
+// the wavefronts, both above the barrier-synchronized OMP version.
+#include "bench/bench_common.h"
+
+using namespace nabbitc;
+using harness::Variant;
+
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::parse_args(argc, argv);
+  bench::print_header("Figure 6: speedup vs cores (simulated)");
+
+  const Variant variants[] = {Variant::kOmpStatic, Variant::kOmpGuided,
+                              Variant::kNabbit, Variant::kNabbitC};
+  for (const auto& name : args.workloads) {
+    auto w = wl::make_workload(name, args.preset);
+    if (!w) continue;
+    std::printf("## %s (%s, %llu nodes)\n", name.c_str(),
+                w->problem_string().c_str(),
+                static_cast<unsigned long long>(w->num_tasks()));
+    std::vector<std::string> hdr{"scheduler"};
+    for (auto p : args.cores) hdr.push_back("P=" + std::to_string(p));
+    Table t(hdr);
+    for (Variant v : variants) {
+      std::vector<std::string> row{harness::variant_label(v)};
+      for (auto p : args.cores) {
+        harness::SimSweepOptions so;
+        so.seed = args.seed;
+        auto r = harness::run_sim(*w, v, p, so);
+        row.push_back(Table::fmt(r.speedup(), 2));
+      }
+      t.add_row(std::move(row));
+      std::fflush(stdout);
+    }
+    std::printf("%s\n", t.to_string().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Figure 7: percentage of node-level accesses that touch remote NUMA
+// domains (paper SectionV-B metric), for NabbitC / Nabbit / OMP-static at
+// 20-80 cores. Core counts of 10 or fewer fit in one domain and are
+// omitted, as in the paper.
+//
+// Expected shapes: Nabbit climbs from ~45% toward ~90% with scale on every
+// benchmark; NabbitC stays low on the regular benchmarks (not strictly
+// increasing) and only the twitter-like and Smith-Waterman workloads stay
+// high for all strategies; OMP-static is near zero for regular benchmarks.
+#include "bench/bench_common.h"
+
+using namespace nabbitc;
+using harness::Variant;
+
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::parse_args(argc, argv);
+  if (!args.cfg.has("cores")) args.cores = {20, 40, 60, 80};
+  bench::print_header("Figure 7: % remote accesses vs cores (simulated)");
+
+  const Variant variants[] = {Variant::kNabbitC, Variant::kNabbit,
+                              Variant::kOmpStatic};
+  for (const auto& name : args.workloads) {
+    auto w = wl::make_workload(name, args.preset);
+    if (!w) continue;
+    std::printf("## %s\n", name.c_str());
+    std::vector<std::string> hdr{"scheduler"};
+    for (auto p : args.cores) hdr.push_back("P=" + std::to_string(p));
+    Table t(hdr);
+    for (Variant v : variants) {
+      std::vector<std::string> row{harness::variant_label(v)};
+      for (auto p : args.cores) {
+        harness::SimSweepOptions so;
+        so.seed = args.seed;
+        auto r = harness::run_sim(*w, v, p, so);
+        row.push_back(Table::fmt(r.locality.percent_remote(), 1) + "%");
+      }
+      t.add_row(std::move(row));
+      std::fflush(stdout);
+    }
+    std::printf("%s\n", t.to_string().c_str());
+  }
+  return 0;
+}

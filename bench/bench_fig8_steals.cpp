@@ -1,0 +1,36 @@
+// Figure 8: average number of successful steals per worker, NabbitC vs
+// Nabbit. The paper's counter-intuitive result: colored steals plus the
+// forced first colored steal *reduce* total steals by an order of
+// magnitude, because thieves start with frames high in the task graph.
+#include "bench/bench_common.h"
+
+using namespace nabbitc;
+using harness::Variant;
+
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::parse_args(argc, argv);
+  if (!args.cfg.has("cores")) args.cores = {20, 40, 60, 80};
+  bench::print_header("Figure 8: average successful steals per worker (simulated)");
+
+  for (const auto& name : args.workloads) {
+    auto w = wl::make_workload(name, args.preset);
+    if (!w) continue;
+    std::printf("## %s\n", name.c_str());
+    std::vector<std::string> hdr{"scheduler"};
+    for (auto p : args.cores) hdr.push_back("P=" + std::to_string(p));
+    Table t(hdr);
+    for (Variant v : {Variant::kNabbitC, Variant::kNabbit}) {
+      std::vector<std::string> row{harness::variant_label(v)};
+      for (auto p : args.cores) {
+        harness::SimSweepOptions so;
+        so.seed = args.seed;
+        auto r = harness::run_sim(*w, v, p, so);
+        row.push_back(Table::fmt(r.avg_steals_per_worker(p), 1));
+      }
+      t.add_row(std::move(row));
+      std::fflush(stdout);
+    }
+    std::printf("%s\n", t.to_string().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 9: average per-worker idle time caused by forcing the first steal
+// to be a successful colored steal, as a function of core count, for the
+// heat benchmark (the paper observed the same times for all benchmarks with
+// all colors near the root).
+//
+// Also prints the real-runtime measurement at host-feasible worker counts
+// (first_steal_wait_ns from the scheduler's counters).
+#include "bench/bench_common.h"
+
+using namespace nabbitc;
+using harness::Variant;
+
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::parse_args(argc, argv);
+  bench::print_header("Figure 9: first-colored-steal wait vs cores");
+
+  // --- Simulated (paper-scale heat) ---------------------------------------
+  auto w = wl::make_workload(args.cfg.get("workload", "heat"), args.preset);
+  std::printf("## simulated, %s (%s)\n", w->name(), w->problem_string().c_str());
+  {
+    Table t({"cores", "avg first-steal wait (cost units)",
+             "avg idle time (cost units)", "makespan"});
+    for (auto p : args.cores) {
+      harness::SimSweepOptions so;
+      so.seed = args.seed;
+      auto r = harness::run_sim(*w, Variant::kNabbitC, p, so);
+      t.add_row({Table::fmt_int(p), Table::fmt(r.avg_first_steal_wait, 1),
+                 Table::fmt(r.avg_idle_time, 1), Table::fmt(r.makespan, 1)});
+      std::fflush(stdout);
+    }
+    std::printf("%s\n", t.to_string().c_str());
+  }
+
+  // --- Real runtime at host scale ------------------------------------------
+  auto real_preset =
+      wl::preset_from_string(args.cfg.get("real_preset", "tiny"));
+  auto wr = wl::make_workload("heat", real_preset);
+  std::printf("## real runtime, heat (%s preset)\n",
+              wl::preset_name(real_preset));
+  Table t({"workers", "avg first-steal wait (ms)", "forced attempts/worker"});
+  for (std::uint32_t workers : {2u, 4u, 8u}) {
+    harness::RealRunOptions o;
+    o.workers = workers;
+    o.repeats = static_cast<std::uint32_t>(args.cfg.get_int("repeats", 3));
+    auto r = harness::run_real(*wr, Variant::kNabbitC, o);
+    const double runs = static_cast<double>(o.repeats) * workers;
+    t.add_row({Table::fmt_int(workers),
+               Table::fmt(static_cast<double>(r.counters.first_steal_wait_ns) /
+                              runs / 1e6,
+                          3),
+               Table::fmt(static_cast<double>(r.counters.first_steal_attempts) /
+                              runs,
+                          1)});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,179 @@
+// Runtime micro-benchmarks (google-benchmark): the primitive costs behind
+// the paper's overhead analysis — deque operations, colored-steal checks,
+// spawn/sync, concurrent-map creation, color gathering.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "nabbit/concurrent_map.h"
+#include "nabbit/node.h"
+#include "nabbitc/spawn_colors.h"
+#include "rt/arena.h"
+#include "rt/color_mask.h"
+#include "rt/deque.h"
+#include "rt/parallel_for.h"
+#include "rt/scheduler.h"
+
+using namespace nabbitc;
+
+namespace {
+
+struct NopTask final : rt::Task {
+  void run(rt::Worker&) override {}
+};
+
+void BM_DequePushPop(benchmark::State& state) {
+  rt::WorkDeque d;
+  NopTask t;
+  for (auto _ : state) {
+    d.push(&t);
+    benchmark::DoNotOptimize(d.pop());
+  }
+}
+BENCHMARK(BM_DequePushPop);
+
+void BM_DequeStealUncontended(benchmark::State& state) {
+  rt::WorkDeque d;
+  NopTask t;
+  for (auto _ : state) {
+    d.push(&t);
+    rt::Task* out = nullptr;
+    benchmark::DoNotOptimize(d.steal(&out));
+  }
+}
+BENCHMARK(BM_DequeStealUncontended);
+
+void BM_ColoredStealCheck(benchmark::State& state) {
+  // The O(1) color-deque membership test of SectionIII.
+  rt::WorkDeque d;
+  NopTask t;
+  t.colors = rt::ColorMask::single(7);
+  d.push(&t);
+  rt::ColorMask want = rt::ColorMask::single(3);  // always a miss
+  for (auto _ : state) {
+    rt::Task* out = nullptr;
+    benchmark::DoNotOptimize(d.steal(&out, &want));
+  }
+}
+BENCHMARK(BM_ColoredStealCheck);
+
+void BM_ColorMaskOps(benchmark::State& state) {
+  rt::ColorMask a = rt::ColorMask::single(3), b = rt::ColorMask::single(77);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.intersects(b));
+    benchmark::DoNotOptimize((a | b).count());
+  }
+}
+BENCHMARK(BM_ColorMaskOps);
+
+void BM_ArenaCreate(benchmark::State& state) {
+  rt::JobArena arena;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(arena.create<std::uint64_t>(1u));
+    if (arena.blocks_allocated() > 64) {
+      state.PauseTiming();
+      arena.reset();
+      state.ResumeTiming();
+    }
+  }
+}
+BENCHMARK(BM_ArenaCreate);
+
+struct MapNode final : nabbit::TaskGraphNode {
+  void init(nabbit::ExecContext&) override {}
+  void compute(nabbit::ExecContext&) override {}
+};
+
+void BM_ConcurrentMapInsert(benchmark::State& state) {
+  auto map = std::make_unique<nabbit::ConcurrentNodeMap>(1 << 16);
+  nabbit::Key k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        map->insert_or_get(k++, [](nabbit::Key) { return new MapNode; }));
+  }
+}
+BENCHMARK(BM_ConcurrentMapInsert);
+
+void BM_ConcurrentMapHit(benchmark::State& state) {
+  nabbit::ConcurrentNodeMap map(1 << 10);
+  for (nabbit::Key k = 0; k < 1024; ++k) {
+    map.insert_or_get(k, [](nabbit::Key) { return new MapNode; });
+  }
+  nabbit::Key k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.find(k++ & 1023));
+  }
+}
+BENCHMARK(BM_ConcurrentMapHit);
+
+void BM_SpawnSync(benchmark::State& state) {
+  rt::SchedulerConfig cfg;
+  cfg.num_workers = 1;  // isolate spawn overhead from stealing
+  rt::Scheduler sched(cfg);
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sched.execute([n](rt::Worker& w) {
+      rt::TaskGroup g;
+      for (int i = 0; i < n; ++i) {
+        g.spawn(w, rt::ColorMask{}, [](rt::Worker&) {});
+      }
+      g.wait(w);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SpawnSync)->Arg(64)->Arg(1024);
+
+void BM_ParallelForOverhead(benchmark::State& state) {
+  rt::SchedulerConfig cfg;
+  cfg.num_workers = 2;
+  rt::Scheduler sched(cfg);
+  for (auto _ : state) {
+    std::atomic<long> acc{0};
+    sched.execute([&acc](rt::Worker& w) {
+      rt::parallel_for(w, 0, 4096, 64, [&acc](std::int64_t i) {
+        acc.fetch_add(i, std::memory_order_relaxed);
+      });
+    });
+    benchmark::DoNotOptimize(acc.load());
+  }
+}
+BENCHMARK(BM_ParallelForOverhead);
+
+struct BenchItem {
+  int id;
+  numa::Color color;
+};
+
+void BM_SpawnColoredGather(benchmark::State& state) {
+  // gather_colors + morphing spawn of a mixed-color batch (Figure 3/4 path).
+  rt::SchedulerConfig cfg;
+  cfg.num_workers = 1;
+  rt::Scheduler sched(cfg);
+  const int n = static_cast<int>(state.range(0));
+  std::vector<BenchItem> proto;
+  for (int i = 0; i < n; ++i) proto.push_back({i, static_cast<numa::Color>(i % 8)});
+  struct Leaf {
+    void operator()(rt::Worker&, const BenchItem& item) const {
+      benchmark::DoNotOptimize(item.id);
+    }
+  };
+  for (auto _ : state) {
+    std::vector<BenchItem> items = proto;  // spawn sorts in place
+    sched.execute([&items](rt::Worker& w) {
+      rt::TaskGroup g;
+      nabbit::spawn_colored(
+          w, g, items.data(), items.size(),
+          [](const BenchItem& it) { return it.color; }, Leaf{});
+      g.wait(w);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SpawnColoredGather)->Arg(64)->Arg(512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,35 @@
+// Table I: benchmark configurations and serial execution time.
+//
+// Prints, for every benchmark: problem size, iteration count, task-graph
+// node count, and the measured serial run time at the *host-feasible*
+// preset (the paper's absolute seconds are not comparable; the column
+// demonstrates the harness runs every workload end to end).
+#include "bench/bench_common.h"
+#include "support/timing.h"
+
+using namespace nabbitc;
+
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::parse_args(argc, argv, /*default_preset=*/"small");
+  bench::print_header("Table I: benchmark configurations + serial time");
+
+  Table t({"benchmark", "problem size", "iters", "task graph nodes",
+           "serial time (s)"});
+  for (const auto& name : args.workloads) {
+    auto w = wl::make_workload(name, args.preset);
+    if (!w) continue;
+    w->prepare(1);
+    w->reset();
+    Timer timer;
+    w->run_serial();
+    const double secs = timer.seconds();
+    t.add_row({name, w->problem_string(), Table::fmt_int(w->iterations()),
+               Table::fmt_int(static_cast<long long>(w->num_tasks())),
+               Table::fmt(secs, 3)});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf("Paper node counts (Table I): cg=300 mg=16384 heat/fdtd/life=102400 "
+              "page-uk-2002=1800 page-twitter-2010=4100 page-uk-2007-05=10500 "
+              "sw=25600 swn2=16384\n");
+  return 0;
+}

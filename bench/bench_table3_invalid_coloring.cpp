@@ -1,0 +1,50 @@
+// Table III: speedup of NabbitC over Nabbit when every task carries an
+// *invalid* color (owned by no worker), so every colored steal attempt
+// fails. This isolates the pure overhead of the colored-steal machinery;
+// the paper finds no statistically significant overhead (ratios ~1).
+#include <memory>
+
+#include "bench/bench_common.h"
+
+using namespace nabbitc;
+using harness::Variant;
+
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::parse_args(argc, argv);
+  if (!args.cfg.has("cores")) args.cores = {20, 40, 60, 80};
+  bench::print_header(
+      "Table III: NabbitC(invalid coloring) / Nabbit speedup ratio (simulated)");
+
+  std::vector<std::string> hdr{"P"};
+  for (const auto& name : args.workloads) hdr.push_back(name);
+  Table t(hdr);
+  // Build each workload once; dataset generation dominates at paper scale.
+  std::vector<std::unique_ptr<wl::Workload>> ws;
+  for (const auto& name : args.workloads) ws.push_back(wl::make_workload(name, args.preset));
+  std::vector<std::vector<double>> ratios(args.cores.size());
+  for (std::size_t pi = 0; pi < args.cores.size(); ++pi) {
+    std::vector<std::string> row{Table::fmt_int(args.cores[pi])};
+    for (std::size_t wi = 0; wi < ws.size(); ++wi) {
+      auto& w = ws[wi];
+      harness::SimSweepOptions inv, good;
+      inv.coloring = nabbit::ColoringMode::kInvalid;
+      inv.seed = good.seed = args.seed;
+      auto ri = harness::run_sim(*w, Variant::kNabbitC, args.cores[pi], inv);
+      auto rn = harness::run_sim(*w, Variant::kNabbit, args.cores[pi], good);
+      const double ratio = rn.speedup() > 0 ? ri.speedup() / rn.speedup() : 0;
+      ratios[pi].push_back(ratio);
+      row.push_back(Table::fmt(ratio, 2));
+      std::fflush(stdout);
+    }
+    t.add_row(std::move(row));
+  }
+  std::vector<std::string> mean{"mean"};
+  for (std::size_t wi = 0; wi < args.workloads.size(); ++wi) {
+    double acc = 0;
+    for (std::size_t pi = 0; pi < args.cores.size(); ++pi) acc += ratios[pi][wi];
+    mean.push_back(Table::fmt(acc / static_cast<double>(args.cores.size()), 2));
+  }
+  t.add_row(std::move(mean));
+  std::printf("%s\n", t.to_string().c_str());
+  return 0;
+}

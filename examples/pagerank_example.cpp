@@ -1,0 +1,61 @@
+// PageRank on a synthetic web graph — the paper's flagship irregular
+// workload — comparing all four schedulers on the host and printing the
+// simulated 80-core projection.
+//
+// Run:  ./pagerank_example [dataset=uk-2002|twitter-2010|uk-2007-05]
+//                          [preset=tiny|small] [workers=4]
+#include <cstdio>
+#include <string>
+
+#include "harness/experiment.h"
+#include "support/table.h"
+
+using namespace nabbitc;
+using harness::Variant;
+
+int main(int argc, char** argv) {
+  Config cfg = Config::from_args(argc, argv);
+  const std::string dataset = cfg.get("dataset", "uk-2002");
+  const auto preset = wl::preset_from_string(cfg.get("preset", "tiny"));
+  const auto workers = static_cast<std::uint32_t>(cfg.get_int("workers", 4));
+
+  auto w = wl::make_workload("page-" + dataset, preset);
+  if (!w) {
+    std::fprintf(stderr, "unknown dataset '%s'\n", dataset.c_str());
+    return 1;
+  }
+  std::printf("PageRank on %s (%s): %llu task-graph nodes, %u iterations\n\n",
+              w->name(), w->problem_string().c_str(),
+              static_cast<unsigned long long>(w->num_tasks()), w->iterations());
+
+  // --- real runs on this host ----------------------------------------------
+  harness::RealRunOptions o;
+  o.workers = workers;
+  o.repeats = static_cast<std::uint32_t>(cfg.get_int("repeats", 3));
+  Table t({"scheduler", "time (ms)", "checksum"});
+  std::uint64_t serial_sum = 0;
+  for (Variant v : {Variant::kSerial, Variant::kOmpStatic, Variant::kOmpGuided,
+                    Variant::kNabbit, Variant::kNabbitC}) {
+    auto r = harness::run_real(*w, v, o);
+    if (v == Variant::kSerial) serial_sum = r.checksum;
+    char sum[32];
+    std::snprintf(sum, sizeof(sum), "%016llx%s",
+                  static_cast<unsigned long long>(r.checksum),
+                  r.checksum == serial_sum ? "" : "  <- MISMATCH");
+    t.add_row({harness::variant_label(v), Table::fmt(r.seconds.mean() * 1e3, 2),
+               sum});
+  }
+  std::printf("host (%u workers):\n%s\n", workers, t.to_string().c_str());
+
+  // --- simulated paper machine ---------------------------------------------
+  Table s({"scheduler", "speedup @ P=80", "remote %"});
+  for (Variant v : {Variant::kOmpStatic, Variant::kOmpGuided, Variant::kNabbit,
+                    Variant::kNabbitC}) {
+    harness::SimSweepOptions so;
+    auto r = harness::run_sim(*w, v, 80, so);
+    s.add_row({harness::variant_label(v), Table::fmt(r.speedup(), 2),
+               Table::fmt(r.locality.percent_remote(), 1)});
+  }
+  std::printf("simulated 80-core NUMA machine:\n%s", s.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,143 @@
+// Smith-Waterman wavefront: a task graph exposing more parallelism than the
+// per-antidiagonal-barrier OpenMP formulation (paper SectionV: "NABBIT and
+// NABBITC ... are able to exploit more parallelism than the wavefront
+// OPENMP implementation and edge out ahead").
+//
+// This example builds the blocked wavefront *directly* against the public
+// API (not through the Workload wrapper) to show a realistic hand-written
+// NabbitC application with 2-D keys.
+//
+// Run:  ./wavefront_example [n=512] [block=32] [workers=4]
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "nabbit/types.h"
+#include "nabbitc/colored_executor.h"
+#include "numa/distribution.h"
+#include "support/config.h"
+#include "support/rng.h"
+#include "support/timing.h"
+
+using namespace nabbitc;
+using nabbit::key_major;
+using nabbit::key_minor;
+using nabbit::key_pack;
+
+namespace {
+
+/// Shared alignment state: sequences, score matrix, blocking.
+struct Align {
+  std::int64_t n, block;
+  std::uint32_t nb;
+  std::uint32_t colors;
+  std::vector<std::uint8_t> a, b;
+  std::vector<std::int32_t> h;  // (n+1) x (n+1)
+
+  Align(std::int64_t n_, std::int64_t block_, std::uint32_t colors_)
+      : n(n_), block(block_),
+        nb(static_cast<std::uint32_t>((n_ + block_ - 1) / block_)),
+        colors(colors_) {
+    Pcg32 rng(12345, 3);
+    a.resize(static_cast<std::size_t>(n));
+    b.resize(static_cast<std::size_t>(n));
+    for (auto& c : a) c = static_cast<std::uint8_t>(rng.below(4));
+    for (auto& c : b) c = static_cast<std::uint8_t>(rng.below(4));
+    h.assign(static_cast<std::size_t>((n + 1) * (n + 1)), 0);
+  }
+
+  void compute_block(std::uint32_t bi, std::uint32_t bj) {
+    const std::int64_t w = n + 1;
+    const std::int64_t ilo = bi * block + 1, ihi = std::min(n, (bi + 1) * block) + 1;
+    const std::int64_t jlo = bj * block + 1, jhi = std::min(n, (bj + 1) * block) + 1;
+    for (std::int64_t i = ilo; i < ihi; ++i) {
+      for (std::int64_t j = jlo; j < jhi; ++j) {
+        const std::int32_t match = a[static_cast<std::size_t>(i - 1)] ==
+                                           b[static_cast<std::size_t>(j - 1)]
+                                       ? 3
+                                       : -1;
+        std::int32_t best = std::max(0, h[(i - 1) * w + j - 1] + match);
+        best = std::max(best, h[(i - 1) * w + j] - 2);  // affine-ish gap
+        best = std::max(best, h[i * w + j - 1] - 2);
+        h[i * w + j] = best;
+      }
+    }
+  }
+
+  std::int32_t max_score() const {
+    return *std::max_element(h.begin(), h.end());
+  }
+};
+
+class BlockNode final : public nabbit::TaskGraphNode {
+ public:
+  explicit BlockNode(Align* al) : al_(al) {}
+  void init(nabbit::ExecContext&) override {
+    const std::uint32_t bi = key_major(key()), bj = key_minor(key());
+    if (bj > 0) add_predecessor(key_pack(bi, bj - 1));
+    if (bi > 0) add_predecessor(key_pack(bi - 1, bj));
+    if (bi > 0 && bj > 0) add_predecessor(key_pack(bi - 1, bj - 1));
+  }
+  void compute(nabbit::ExecContext&) override {
+    al_->compute_block(key_major(key()), key_minor(key()));
+  }
+
+ private:
+  Align* al_;
+};
+
+class BlockSpec final : public nabbit::GraphSpec {
+ public:
+  explicit BlockSpec(Align* al) : al_(al) {}
+  nabbit::TaskGraphNode* create(nabbit::Key) override { return new BlockNode(al_); }
+  numa::Color color_of(nabbit::Key k) const override {
+    // Row-band distribution: the H rows of block-row bi are owned by the
+    // worker that initialized them.
+    return numa::BlockDistribution(al_->nb, al_->colors).owner(key_major(k));
+  }
+  std::size_t expected_nodes() const override {
+    return static_cast<std::size_t>(al_->nb) * al_->nb;
+  }
+
+ private:
+  Align* al_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config cfg = Config::from_args(argc, argv);
+  const std::int64_t n = cfg.get_int("n", 512);
+  const std::int64_t block = cfg.get_int("block", 32);
+  const auto workers = static_cast<std::uint32_t>(cfg.get_int("workers", 4));
+
+  // Serial reference.
+  Align serial(n, block, workers);
+  Timer ts;
+  for (std::uint32_t bi = 0; bi < serial.nb; ++bi) {
+    for (std::uint32_t bj = 0; bj < serial.nb; ++bj) serial.compute_block(bi, bj);
+  }
+  const double serial_ms = ts.millis();
+
+  // NabbitC task graph.
+  Align par(n, block, workers);
+  rt::SchedulerConfig sc;
+  sc.num_workers = workers;
+  sc.steal = rt::StealPolicy::nabbitc();
+  rt::Scheduler sched(sc);
+  BlockSpec spec(&par);
+  nabbit::ColoredDynamicExecutor ex(sched, spec);
+  Timer tp;
+  ex.run(key_pack(par.nb - 1, par.nb - 1));
+  const double par_ms = tp.millis();
+
+  const bool ok = par.h == serial.h;
+  std::printf("n=%lld block=%lld blocks=%ux%u workers=%u\n",
+              static_cast<long long>(n), static_cast<long long>(block), par.nb,
+              par.nb, workers);
+  std::printf("serial: %.2f ms  |  nabbitc task graph: %.2f ms\n", serial_ms,
+              par_ms);
+  std::printf("max alignment score: %d  |  matrices %s\n", par.max_score(),
+              ok ? "match bitwise" : "MISMATCH");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,53 @@
+#include "graph/blocks.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace nabbitc::graph {
+
+BlockPartition::BlockPartition(Vertex nv, std::uint32_t num_blocks)
+    : nv_(nv), nb_(num_blocks) {
+  NABBITC_CHECK(nv >= 0 && num_blocks >= 1);
+  chunk_ = (nv_ + nb_ - 1) / nb_;
+  if (chunk_ == 0) chunk_ = 1;
+}
+
+Vertex BlockPartition::begin_of(std::uint32_t b) const noexcept {
+  Vertex lo = static_cast<Vertex>(b) * chunk_;
+  return lo > nv_ ? nv_ : lo;
+}
+
+Vertex BlockPartition::end_of(std::uint32_t b) const noexcept {
+  Vertex hi = (static_cast<Vertex>(b) + 1) * chunk_;
+  return hi > nv_ ? nv_ : hi;
+}
+
+std::uint32_t BlockPartition::block_of(Vertex v) const noexcept {
+  NABBITC_DCHECK(v >= 0 && v < nv_);
+  std::uint32_t b = static_cast<std::uint32_t>(v / chunk_);
+  return b >= nb_ ? nb_ - 1 : b;
+}
+
+std::vector<std::vector<std::uint32_t>> block_dependencies(
+    const Csr& in_edges, const BlockPartition& part) {
+  std::vector<std::vector<std::uint32_t>> deps(part.num_blocks());
+  std::vector<std::uint8_t> seen(part.num_blocks(), 0);
+  for (std::uint32_t b = 0; b < part.num_blocks(); ++b) {
+    std::fill(seen.begin(), seen.end(), 0);
+    auto& d = deps[b];
+    for (Vertex v = part.begin_of(b); v < part.end_of(b); ++v) {
+      for (std::int64_t e = in_edges.edge_begin(v); e < in_edges.edge_end(v); ++e) {
+        std::uint32_t src = part.block_of(in_edges.edge_target(e));
+        if (!seen[src]) {
+          seen[src] = 1;
+          d.push_back(src);
+        }
+      }
+    }
+    std::sort(d.begin(), d.end());
+  }
+  return deps;
+}
+
+}  // namespace nabbitc::graph

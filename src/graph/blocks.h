@@ -1,0 +1,39 @@
+// Vertex-block partitioning and block-level dependence extraction.
+//
+// PageRank tasks operate on contiguous vertex blocks; the task graph's
+// irregular dependence structure comes from which *other* blocks a block's
+// in-edges originate in. block_dependencies() extracts that structure once
+// per (graph, block count) pair.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace nabbitc::graph {
+
+/// Even partition of [0, nv) into `num_blocks` contiguous blocks.
+class BlockPartition {
+ public:
+  BlockPartition(Vertex nv, std::uint32_t num_blocks);
+
+  std::uint32_t num_blocks() const noexcept { return nb_; }
+  Vertex begin_of(std::uint32_t b) const noexcept;
+  Vertex end_of(std::uint32_t b) const noexcept;
+  std::uint32_t block_of(Vertex v) const noexcept;
+  Vertex size_of(std::uint32_t b) const noexcept { return end_of(b) - begin_of(b); }
+
+ private:
+  Vertex nv_;
+  std::uint32_t nb_;
+  Vertex chunk_;
+};
+
+/// For each destination block, the sorted list of source blocks that some
+/// in-edge of the block originates from (computed on the *transpose* of g:
+/// pass the in-edge CSR). Self-dependences are included.
+std::vector<std::vector<std::uint32_t>> block_dependencies(const Csr& in_edges,
+                                                           const BlockPartition& part);
+
+}  // namespace nabbitc::graph

@@ -1,0 +1,40 @@
+#include "graph/csr.h"
+
+#include <algorithm>
+
+namespace nabbitc::graph {
+
+std::int64_t Csr::max_degree() const noexcept {
+  std::int64_t best = 0;
+  for (Vertex v = 0; v < nv_; ++v) best = std::max(best, degree(v));
+  return best;
+}
+
+bool Csr::validate() const noexcept {
+  if (row_ptr_.size() != static_cast<std::size_t>(nv_) + 1) return false;
+  if (row_ptr_.front() != 0) return false;
+  for (Vertex v = 0; v < nv_; ++v) {
+    if (row_ptr_[v + 1] < row_ptr_[v]) return false;
+  }
+  if (row_ptr_.back() != num_edges()) return false;
+  for (Vertex t : col_) {
+    if (t < 0 || t >= nv_) return false;
+  }
+  return true;
+}
+
+Csr Csr::transpose() const {
+  std::vector<std::int64_t> tptr(nv_ + 2, 0);
+  for (Vertex t : col_) ++tptr[t + 2];
+  for (Vertex v = 2; v < nv_ + 2; ++v) tptr[v] += tptr[v - 1];
+  std::vector<Vertex> tcol(col_.size());
+  for (Vertex v = 0; v < nv_; ++v) {
+    for (std::int64_t e = edge_begin(v); e < edge_end(v); ++e) {
+      tcol[tptr[col_[e] + 1]++] = v;
+    }
+  }
+  tptr.pop_back();
+  return Csr(nv_, std::move(tptr), std::move(tcol));
+}
+
+}  // namespace nabbitc::graph

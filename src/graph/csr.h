@@ -1,0 +1,57 @@
+// Compressed sparse row graph storage.
+//
+// Used both as the PageRank input (web-graph stand-ins) and as the sparse
+// matrix container for the CG benchmark.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/check.h"
+
+namespace nabbitc::graph {
+
+using Vertex = std::int64_t;
+
+class Csr {
+ public:
+  Csr() = default;
+  Csr(Vertex num_vertices, std::vector<std::int64_t> row_ptr,
+      std::vector<Vertex> col)
+      : nv_(num_vertices), row_ptr_(std::move(row_ptr)), col_(std::move(col)) {
+    NABBITC_CHECK(row_ptr_.size() == static_cast<std::size_t>(nv_) + 1);
+    NABBITC_CHECK(row_ptr_.front() == 0);
+    NABBITC_CHECK(row_ptr_.back() == static_cast<std::int64_t>(col_.size()));
+  }
+
+  Vertex num_vertices() const noexcept { return nv_; }
+  std::int64_t num_edges() const noexcept {
+    return static_cast<std::int64_t>(col_.size());
+  }
+
+  std::int64_t degree(Vertex v) const noexcept {
+    return row_ptr_[v + 1] - row_ptr_[v];
+  }
+  std::int64_t edge_begin(Vertex v) const noexcept { return row_ptr_[v]; }
+  std::int64_t edge_end(Vertex v) const noexcept { return row_ptr_[v + 1]; }
+  Vertex edge_target(std::int64_t e) const noexcept { return col_[e]; }
+
+  const std::vector<std::int64_t>& row_ptr() const noexcept { return row_ptr_; }
+  const std::vector<Vertex>& col() const noexcept { return col_; }
+
+  /// Maximum out-degree (the paper's skew indicator for twitter-2010).
+  std::int64_t max_degree() const noexcept;
+
+  /// Structural sanity: monotone row_ptr, targets in range.
+  bool validate() const noexcept;
+
+  /// Reverse graph (in-edges become out-edges). O(V + E).
+  Csr transpose() const;
+
+ private:
+  Vertex nv_ = 0;
+  std::vector<std::int64_t> row_ptr_{0};
+  std::vector<Vertex> col_;
+};
+
+}  // namespace nabbitc::graph

@@ -1,0 +1,130 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/rng.h"
+
+namespace nabbitc::graph {
+
+namespace {
+
+/// Builds a CSR from a per-vertex target list generator.
+template <typename GenTargets>
+Csr build_from_rows(Vertex nv, GenTargets&& gen) {
+  std::vector<std::int64_t> ptr(nv + 1, 0);
+  std::vector<Vertex> col;
+  std::vector<Vertex> row;
+  for (Vertex v = 0; v < nv; ++v) {
+    row.clear();
+    gen(v, row);
+    std::sort(row.begin(), row.end());
+    row.erase(std::unique(row.begin(), row.end()), row.end());
+    ptr[v + 1] = ptr[v] + static_cast<std::int64_t>(row.size());
+    col.insert(col.end(), row.begin(), row.end());
+  }
+  return Csr(nv, std::move(ptr), std::move(col));
+}
+
+}  // namespace
+
+Csr make_uniform_random(Vertex nv, std::int64_t avg_degree, std::uint64_t seed) {
+  NABBITC_CHECK(nv > 1);
+  Pcg32 rng(seed, 7);
+  return build_from_rows(nv, [&](Vertex v, std::vector<Vertex>& out) {
+    for (std::int64_t i = 0; i < avg_degree; ++i) {
+      Vertex t = static_cast<Vertex>(rng.next64() % static_cast<std::uint64_t>(nv));
+      if (t != v) out.push_back(t);
+    }
+  });
+}
+
+Csr make_windowed_random(Vertex nv, std::int64_t avg_degree, Vertex window,
+                         double locality, std::uint64_t seed) {
+  NABBITC_CHECK(nv > 1);
+  NABBITC_CHECK(window >= 1);
+  Pcg32 rng(seed, 11);
+  return build_from_rows(nv, [&](Vertex v, std::vector<Vertex>& out) {
+    for (std::int64_t i = 0; i < avg_degree; ++i) {
+      Vertex t;
+      if (rng.uniform() < locality) {
+        Vertex lo = v > window ? v - window : 0;
+        Vertex hi = v + window < nv ? v + window : nv - 1;
+        t = lo + static_cast<Vertex>(rng.next64() %
+                                     static_cast<std::uint64_t>(hi - lo + 1));
+      } else {
+        t = static_cast<Vertex>(rng.next64() % static_cast<std::uint64_t>(nv));
+      }
+      if (t != v) out.push_back(t);
+    }
+  });
+}
+
+Csr make_rmat(const RmatParams& p) {
+  NABBITC_CHECK(p.scale >= 1 && p.scale < 31);
+  NABBITC_CHECK(p.a + p.b + p.c < 1.0);
+  const Vertex nv = Vertex{1} << p.scale;
+  const std::int64_t ne = p.avg_degree * nv;
+  Pcg32 rng(p.seed, 13);
+
+  // Generate edges by recursive quadrant descent, then bucket into rows.
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  edges.reserve(static_cast<std::size_t>(ne));
+  const double ab = p.a + p.b;
+  const double abc = p.a + p.b + p.c;
+  for (std::int64_t e = 0; e < ne; ++e) {
+    Vertex src = 0, dst = 0;
+    for (std::uint32_t bit = 0; bit < p.scale; ++bit) {
+      const double r = rng.uniform();
+      src <<= 1;
+      dst <<= 1;
+      if (r < p.a) {
+        // top-left: neither bit set
+      } else if (r < ab) {
+        dst |= 1;
+      } else if (r < abc) {
+        src |= 1;
+      } else {
+        src |= 1;
+        dst |= 1;
+      }
+    }
+    if (src != dst) edges.emplace_back(src, dst);
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  std::vector<std::int64_t> ptr(nv + 1, 0);
+  std::vector<Vertex> col(edges.size());
+  for (const auto& [s, t] : edges) ++ptr[s + 1];
+  for (Vertex v = 0; v < nv; ++v) ptr[v + 1] += ptr[v];
+  for (std::size_t i = 0; i < edges.size(); ++i) col[i] = edges[i].second;
+  return Csr(nv, std::move(ptr), std::move(col));
+}
+
+Csr make_spd_pattern(Vertex n, std::int64_t nnz_per_row, std::uint64_t seed) {
+  NABBITC_CHECK(n > 1);
+  Pcg32 rng(seed, 17);
+  // Symmetric pattern: generate upper-triangle entries, mirror them.
+  std::vector<std::vector<Vertex>> rows(static_cast<std::size_t>(n));
+  for (Vertex i = 0; i < n; ++i) {
+    for (std::int64_t k = 0; k < nnz_per_row / 2; ++k) {
+      Vertex j = static_cast<Vertex>(rng.next64() % static_cast<std::uint64_t>(n));
+      if (j == i) continue;
+      rows[static_cast<std::size_t>(i)].push_back(j);
+      rows[static_cast<std::size_t>(j)].push_back(i);
+    }
+  }
+  std::vector<std::int64_t> ptr(n + 1, 0);
+  std::vector<Vertex> col;
+  for (Vertex i = 0; i < n; ++i) {
+    auto& r = rows[static_cast<std::size_t>(i)];
+    std::sort(r.begin(), r.end());
+    r.erase(std::unique(r.begin(), r.end()), r.end());
+    ptr[i + 1] = ptr[i] + static_cast<std::int64_t>(r.size());
+    col.insert(col.end(), r.begin(), r.end());
+  }
+  return Csr(n, std::move(ptr), std::move(col));
+}
+
+}  // namespace nabbitc::graph

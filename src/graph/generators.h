@@ -1,0 +1,47 @@
+// Synthetic graph generators.
+//
+// Stand-ins for the paper's web-crawl datasets (uk-2002, twitter-2010,
+// uk-2007-05), which are not redistributable here. What PageRank's behaviour
+// depends on is (a) degree skew — twitter-2010 has a much larger maximum
+// out-degree, driving load imbalance — and (b) locality of edge targets —
+// crawl graphs with URL-ordered ids have most links landing near the source.
+// Both are explicit parameters below; see workloads/pagerank.h for the
+// per-dataset presets.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr.h"
+
+namespace nabbitc::graph {
+
+/// Uniform out-degree, uniformly random targets.
+Csr make_uniform_random(Vertex num_vertices, std::int64_t avg_degree,
+                        std::uint64_t seed);
+
+/// Uniform out-degree with windowed targets: each edge lands within
+/// `window` of its source with probability `locality`, else anywhere.
+/// Models URL-locality of web crawls.
+Csr make_windowed_random(Vertex num_vertices, std::int64_t avg_degree,
+                         Vertex window, double locality, std::uint64_t seed);
+
+/// R-MAT / stochastic Kronecker graph (Chakrabarti et al.): 2^scale
+/// vertices, avg_degree * 2^scale edges, recursive quadrant probabilities
+/// (a, b, c, implied d = 1-a-b-c). a >> d produces heavy-tailed degrees
+/// (twitter-like skew at a ~ 0.57).
+struct RmatParams {
+  std::uint32_t scale = 16;
+  std::int64_t avg_degree = 16;
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  std::uint64_t seed = 1;
+};
+Csr make_rmat(const RmatParams& params);
+
+/// Sparse symmetric diagonally dominant matrix pattern for CG, returned as
+/// CSR adjacency (diagonal excluded); values are synthesized by the
+/// workload. ~nnz_per_row off-diagonal entries per row.
+Csr make_spd_pattern(Vertex n, std::int64_t nnz_per_row, std::uint64_t seed);
+
+}  // namespace nabbitc::graph

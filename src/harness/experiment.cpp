@@ -1,0 +1,121 @@
+#include "harness/experiment.h"
+#include <algorithm>
+
+#include "support/check.h"
+#include "support/timing.h"
+
+namespace nabbitc::harness {
+
+const char* variant_label(Variant v) noexcept {
+  switch (v) {
+    case Variant::kSerial:
+      return "serial";
+    case Variant::kOmpStatic:
+      return "omp-static";
+    case Variant::kOmpGuided:
+      return "omp-guided";
+    case Variant::kNabbit:
+      return "nabbit";
+    case Variant::kNabbitC:
+      return "nabbitc";
+  }
+  return "?";
+}
+
+RealRunResult run_real(wl::Workload& workload, Variant variant,
+                       const RealRunOptions& opts) {
+  RealRunResult out;
+  workload.prepare(opts.workers);
+
+  switch (variant) {
+    case Variant::kSerial: {
+      for (std::uint32_t r = 0; r < opts.repeats; ++r) {
+        workload.reset();
+        Timer t;
+        workload.run_serial();
+        out.seconds.add(t.seconds());
+      }
+      break;
+    }
+    case Variant::kOmpStatic:
+    case Variant::kOmpGuided: {
+      loop::PoolConfig pc;
+      pc.num_threads = opts.workers;
+      pc.topology = opts.topology;
+      pc.pin_threads = opts.pin_threads;
+      loop::ThreadPool pool(pc);
+      const loop::Schedule sched = variant == Variant::kOmpStatic
+                                       ? loop::Schedule::kStatic
+                                       : loop::Schedule::kGuided;
+      for (std::uint32_t r = 0; r < opts.repeats; ++r) {
+        workload.reset();
+        Timer t;
+        workload.run_loop(pool, sched);
+        out.seconds.add(t.seconds());
+      }
+      break;
+    }
+    case Variant::kNabbit:
+    case Variant::kNabbitC: {
+      rt::SchedulerConfig sc;
+      sc.num_workers = opts.workers;
+      sc.topology = opts.topology;
+      sc.pin_threads = opts.pin_threads;
+      sc.steal = variant == Variant::kNabbitC ? rt::StealPolicy::nabbitc()
+                                              : rt::StealPolicy::nabbit();
+      rt::Scheduler sched(sc);
+      const auto tg_variant = variant == Variant::kNabbitC
+                                  ? nabbit::TaskGraphVariant::kNabbitC
+                                  : nabbit::TaskGraphVariant::kNabbit;
+      for (std::uint32_t r = 0; r < opts.repeats; ++r) {
+        workload.reset();
+        Timer t;
+        workload.run_taskgraph(sched, tg_variant, opts.coloring);
+        out.seconds.add(t.seconds());
+      }
+      out.counters = sched.aggregate_counters();
+      break;
+    }
+  }
+  out.checksum = workload.checksum();
+  return out;
+}
+
+sim::SimResult run_sim(const wl::Workload& workload, Variant variant,
+                       std::uint32_t workers, const SimSweepOptions& opts) {
+  NABBITC_CHECK(variant != Variant::kSerial);
+  sim::TaskDag dag = workload.build_dag(workers, opts.coloring);
+  sim::SimConfig cfg;
+  cfg.num_workers = workers;
+  cfg.topology = opts.topology;
+  cfg.penalty = opts.penalty;
+  cfg.seed = opts.seed;
+  if (dag.num_nodes() > 0) {
+    // Scale scheduling overheads to the workload's granularity: a steal is
+    // ~10^3 cheaper than an average task, a dependence check ~10^5.
+    const double avg_work = dag.total_work() / static_cast<double>(dag.num_nodes());
+    cfg.penalty.steal_cost = std::max(1e-9, avg_work / 1000.0);
+    cfg.penalty.edge_cost = std::max(1e-11, avg_work / 100000.0);
+  }
+  switch (variant) {
+    case Variant::kOmpStatic:
+      return sim::simulate_loop(dag, cfg, loop::Schedule::kStatic);
+    case Variant::kOmpGuided:
+      return sim::simulate_loop(dag, cfg, loop::Schedule::kGuided);
+    case Variant::kNabbit:
+      cfg.steal = rt::StealPolicy::nabbit();
+      return sim::simulate(dag, cfg);
+    case Variant::kNabbitC:
+      cfg.steal = rt::StealPolicy::nabbitc();
+      return sim::simulate(dag, cfg);
+    default:
+      NABBITC_CHECK(false);
+  }
+  return {};
+}
+
+std::vector<std::uint32_t> paper_core_counts() {
+  return {1, 2, 4, 10, 20, 40, 60, 80};
+}
+
+}  // namespace nabbitc::harness

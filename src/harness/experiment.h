@@ -1,0 +1,64 @@
+// Experiment driver shared by the bench binaries.
+//
+// Runs (workload x scheduler-variant x worker-count) cells with repeats,
+// returning wall-clock samples plus scheduler counters, and provides the
+// simulator-side equivalents used to regenerate the paper's 80-core curves.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/sim_engine.h"
+#include "support/config.h"
+#include "support/stats.h"
+#include "workloads/workload.h"
+
+namespace nabbitc::harness {
+
+/// Scheduler variants of the paper's evaluation.
+enum class Variant : std::uint8_t {
+  kSerial = 0,
+  kOmpStatic = 1,
+  kOmpGuided = 2,
+  kNabbit = 3,
+  kNabbitC = 4,
+};
+
+const char* variant_label(Variant v) noexcept;
+
+struct RealRunResult {
+  Samples seconds;
+  std::uint64_t checksum = 0;
+  rt::WorkerCounters counters;  // summed over repeats (task-graph variants)
+};
+
+struct RealRunOptions {
+  std::uint32_t workers = 1;
+  std::uint32_t repeats = 3;
+  nabbit::ColoringMode coloring = nabbit::ColoringMode::kGood;
+  bool pin_threads = false;
+  numa::Topology topology = numa::Topology::host();
+};
+
+/// Runs `workload` under `variant` on real threads; workload must outlive
+/// the call. prepare() is called with the right color count internally.
+RealRunResult run_real(wl::Workload& workload, Variant variant,
+                       const RealRunOptions& opts);
+
+struct SimSweepOptions {
+  numa::Topology topology = numa::Topology::paper();
+  numa::PenaltyModel penalty{};
+  nabbit::ColoringMode coloring = nabbit::ColoringMode::kGood;
+  std::uint64_t seed = 0x5eed;
+};
+
+/// Simulates one (workload, variant, P) cell on the virtual machine.
+sim::SimResult run_sim(const wl::Workload& workload, Variant variant,
+                       std::uint32_t workers, const SimSweepOptions& opts);
+
+/// Default processor-count sweep matching the paper's x-axes.
+std::vector<std::uint32_t> paper_core_counts();
+
+}  // namespace nabbitc::harness

@@ -1,0 +1,56 @@
+// Loop scheduling math, mirroring OpenMP semantics.
+//
+// The paper's baselines are OpenMP `schedule(static)` (iteration space
+// divided evenly into one contiguous block per thread) and
+// `schedule(guided)` (dynamically grabbed chunks of exponentially
+// decreasing size). These pure functions implement the chunking formulas so
+// they can be unit-tested in isolation from the thread pool.
+#pragma once
+
+#include <cstdint>
+
+#include "support/check.h"
+
+namespace nabbitc::loop {
+
+enum class Schedule : std::uint8_t {
+  kStatic,   // one contiguous block per thread (OpenMP static, no chunk)
+  kDynamic,  // fixed-size chunks grabbed from a shared counter
+  kGuided,   // chunks of size max(chunk, remaining/P), shrinking over time
+};
+
+const char* schedule_name(Schedule s) noexcept;
+
+/// Contiguous [lo, hi) block of thread `tid` under static scheduling of
+/// `n` iterations over `threads` threads. Matches OpenMP's static schedule:
+/// the first (n % threads) threads get one extra iteration.
+struct IterRange {
+  std::int64_t lo;
+  std::int64_t hi;
+  bool empty() const noexcept { return hi <= lo; }
+  std::int64_t size() const noexcept { return hi > lo ? hi - lo : 0; }
+};
+
+inline IterRange static_block(std::int64_t n, std::uint32_t threads,
+                              std::uint32_t tid) noexcept {
+  NABBITC_DCHECK(threads >= 1 && tid < threads);
+  if (n <= 0) return {0, 0};
+  std::int64_t base = n / threads;
+  std::int64_t extra = n % threads;
+  std::int64_t lo = static_cast<std::int64_t>(tid) * base +
+                    (tid < extra ? tid : extra);
+  std::int64_t len = base + (static_cast<std::int64_t>(tid) < extra ? 1 : 0);
+  return {lo, lo + len};
+}
+
+/// Chunk size for a guided grab given `remaining` iterations, `threads`
+/// threads, and minimum chunk `min_chunk` (OpenMP/libgomp formula:
+/// ceil(remaining / threads), floored at min_chunk).
+inline std::int64_t guided_chunk(std::int64_t remaining, std::uint32_t threads,
+                                 std::int64_t min_chunk) noexcept {
+  if (remaining <= 0) return 0;
+  std::int64_t c = (remaining + threads - 1) / threads;
+  return c < min_chunk ? (remaining < min_chunk ? remaining : min_chunk) : c;
+}
+
+}  // namespace nabbitc::loop

@@ -1,0 +1,121 @@
+#include "loop/thread_pool.h"
+
+#include "numa/pinning.h"
+#include "support/check.h"
+
+namespace nabbitc::loop {
+
+const char* schedule_name(Schedule s) noexcept {
+  switch (s) {
+    case Schedule::kStatic:
+      return "static";
+    case Schedule::kDynamic:
+      return "dynamic";
+    case Schedule::kGuided:
+      return "guided";
+  }
+  return "?";
+}
+
+ThreadPool::ThreadPool(PoolConfig cfg) : cfg_(cfg) {
+  std::uint32_t n = cfg_.num_threads;
+  if (n == 0) n = numa::visible_cpus();
+  cfg_.num_threads = n;
+  threads_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this, i] { thread_main(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::parallel_region(const std::function<void(std::uint32_t)>& fn) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    region_fn_ = &fn;
+    running_ = num_threads();
+    ++epoch_;
+  }
+  cv_start_.notify_all();
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_done_.wait(lk, [&] { return running_ == 0; });
+  region_fn_ = nullptr;
+}
+
+void ThreadPool::thread_main(std::uint32_t tid) {
+  if (cfg_.pin_threads) {
+    numa::pin_current_thread(cfg_.topology.core_of_worker(tid));
+  }
+  std::uint32_t seen = 0;
+  for (;;) {
+    const std::function<void(std::uint32_t)>* fn = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_start_.wait(lk, [&] { return shutdown_ || epoch_ != seen; });
+      if (shutdown_) return;
+      seen = epoch_;
+      fn = region_fn_;
+    }
+    (*fn)(tid);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (--running_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for_chunks(
+    std::int64_t begin, std::int64_t end, Schedule schedule, std::int64_t chunk,
+    const std::function<void(std::uint32_t, std::int64_t, std::int64_t)>& body) {
+  if (end <= begin) return;
+  if (chunk < 1) chunk = 1;
+  const std::int64_t n = end - begin;
+  const std::uint32_t nt = num_threads();
+
+  switch (schedule) {
+    case Schedule::kStatic: {
+      parallel_region([&](std::uint32_t tid) {
+        IterRange r = static_block(n, nt, tid);
+        if (!r.empty()) body(tid, begin + r.lo, begin + r.hi);
+      });
+      break;
+    }
+    case Schedule::kDynamic: {
+      std::atomic<std::int64_t> next{begin};
+      parallel_region([&](std::uint32_t tid) {
+        for (;;) {
+          std::int64_t lo = next.fetch_add(chunk, std::memory_order_relaxed);
+          if (lo >= end) break;
+          std::int64_t hi = lo + chunk < end ? lo + chunk : end;
+          body(tid, lo, hi);
+        }
+      });
+      break;
+    }
+    case Schedule::kGuided: {
+      std::atomic<std::int64_t> next{begin};
+      parallel_region([&](std::uint32_t tid) {
+        for (;;) {
+          std::int64_t lo = next.load(std::memory_order_relaxed);
+          std::int64_t take, hi;
+          do {
+            if (lo >= end) return;
+            take = guided_chunk(end - lo, nt, chunk);
+            hi = lo + take < end ? lo + take : end;
+          } while (!next.compare_exchange_weak(lo, hi, std::memory_order_relaxed));
+          body(tid, lo, hi);
+        }
+      });
+      break;
+    }
+  }
+}
+
+}  // namespace nabbitc::loop

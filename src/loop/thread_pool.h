@@ -1,0 +1,79 @@
+// Pinned thread pool with OpenMP-style parallel regions and loops.
+//
+// Stand-in for the paper's OpenMP baselines (OPENMPSTATIC / OPENMPGUIDED),
+// reimplemented so our instrumentation can observe the exact thread ->
+// iteration mapping (needed for the Figure 7 locality accounting) and so the
+// same scheduling formulas drive the discrete-event simulator.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "loop/loop_schedule.h"
+#include "numa/topology.h"
+#include "support/align.h"
+
+namespace nabbitc::loop {
+
+struct PoolConfig {
+  std::uint32_t num_threads = 0;  // 0 = hardware concurrency
+  numa::Topology topology = numa::Topology::host();
+  bool pin_threads = false;
+};
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(PoolConfig cfg);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::uint32_t num_threads() const noexcept {
+    return static_cast<std::uint32_t>(threads_.size());
+  }
+  const numa::Topology& topology() const noexcept { return cfg_.topology; }
+
+  /// Runs fn(tid) once on every pool thread; returns when all have finished.
+  /// Equivalent of `#pragma omp parallel`.
+  void parallel_region(const std::function<void(std::uint32_t)>& fn);
+
+  /// Runs body(tid, lo, hi) over chunks of [begin, end) under the given
+  /// schedule. Equivalent of `#pragma omp parallel for schedule(...)`.
+  /// `chunk` is the OpenMP chunk parameter (minimum chunk for guided,
+  /// grab size for dynamic; ignored by static which uses one block/thread).
+  void parallel_for_chunks(
+      std::int64_t begin, std::int64_t end, Schedule schedule, std::int64_t chunk,
+      const std::function<void(std::uint32_t, std::int64_t, std::int64_t)>& body);
+
+  /// Per-iteration convenience wrapper over parallel_for_chunks.
+  template <typename F>
+  void parallel_for(std::int64_t begin, std::int64_t end, Schedule schedule,
+                    std::int64_t chunk, const F& body) {
+    parallel_for_chunks(begin, end, schedule, chunk,
+                        [&body](std::uint32_t tid, std::int64_t lo, std::int64_t hi) {
+                          for (std::int64_t i = lo; i < hi; ++i) body(tid, i);
+                        });
+  }
+
+ private:
+  void thread_main(std::uint32_t tid);
+
+  PoolConfig cfg_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  std::uint32_t epoch_ = 0;
+  std::uint32_t running_ = 0;
+  bool shutdown_ = false;
+  const std::function<void(std::uint32_t)>* region_fn_ = nullptr;
+};
+
+}  // namespace nabbitc::loop

@@ -1,0 +1,87 @@
+#include "nabbit/concurrent_map.h"
+
+#include "nabbit/node.h"
+
+namespace nabbitc::nabbit {
+
+namespace {
+constexpr double kMaxLoad = 0.7;
+
+std::size_t probe_start(Key key, std::size_t capacity) noexcept {
+  // Second mix decorrelates the in-shard slot from the shard index, which
+  // consumed the low bits of the first mix.
+  return splitmix64(splitmix64(key) ^ 0x6a09e667f3bcc909ULL) & (capacity - 1);
+}
+}  // namespace
+
+ConcurrentNodeMap::ConcurrentNodeMap(std::size_t expected_nodes) {
+  std::size_t per_shard = next_pow2((expected_nodes / kShards) + 8);
+  shards_.reserve(kShards);
+  for (std::size_t i = 0; i < kShards; ++i) {
+    auto sh = std::make_unique<Shard>();
+    sh->slots.resize(per_shard);
+    shards_.push_back(std::move(sh));
+  }
+}
+
+ConcurrentNodeMap::~ConcurrentNodeMap() {
+  for (auto& shp : shards_) {
+    for (auto& e : shp->slots) delete e.value;
+  }
+}
+
+TaskGraphNode* ConcurrentNodeMap::probe(const Shard& sh, Key key) noexcept {
+  const std::size_t cap = sh.slots.size();
+  std::size_t i = probe_start(key, cap);
+  for (std::size_t n = 0; n < cap; ++n) {
+    const Entry& e = sh.slots[i];
+    if (e.value == nullptr) return nullptr;
+    if (e.key == key) return e.value;
+    i = (i + 1) & (cap - 1);
+  }
+  return nullptr;
+}
+
+void ConcurrentNodeMap::grow_locked(Shard& sh) {
+  std::vector<Entry> old = std::move(sh.slots);
+  sh.slots.assign(old.size() * 2, Entry{});
+  const std::size_t cap = sh.slots.size();
+  for (const Entry& e : old) {
+    if (e.value == nullptr) continue;
+    std::size_t i = probe_start(e.key, cap);
+    while (sh.slots[i].value != nullptr) i = (i + 1) & (cap - 1);
+    sh.slots[i] = e;
+  }
+}
+
+void ConcurrentNodeMap::insert_locked(Shard& sh, Key key, TaskGraphNode* value) {
+  if (static_cast<double>(sh.count + 1) >
+      kMaxLoad * static_cast<double>(sh.slots.size())) {
+    grow_locked(sh);
+  }
+  const std::size_t cap = sh.slots.size();
+  std::size_t i = probe_start(key, cap);
+  while (sh.slots[i].value != nullptr) {
+    NABBITC_DCHECK(sh.slots[i].key != key);
+    i = (i + 1) & (cap - 1);
+  }
+  sh.slots[i] = Entry{key, value};
+  ++sh.count;
+}
+
+TaskGraphNode* ConcurrentNodeMap::find(Key key) const {
+  const Shard& sh = shard_for(key);
+  std::lock_guard<SpinLock> lk(sh.mu);
+  return probe(sh, key);
+}
+
+std::size_t ConcurrentNodeMap::size() const {
+  std::size_t total = 0;
+  for (const auto& shp : shards_) {
+    std::lock_guard<SpinLock> lk(shp->mu);
+    total += shp->count;
+  }
+  return total;
+}
+
+}  // namespace nabbitc::nabbit

@@ -1,0 +1,189 @@
+#include "nabbit/executor.h"
+
+#include <cstdio>
+
+#include "support/check.h"
+
+namespace nabbitc::nabbit {
+
+DynamicExecutor::DynamicExecutor(rt::Scheduler& sched, GraphSpec& spec, Options opts)
+    : sched_(sched), spec_(spec), opts_(opts), map_(spec.expected_nodes()) {}
+
+DynamicExecutor::DynamicExecutor(rt::Scheduler& sched, GraphSpec& spec)
+    : DynamicExecutor(sched, spec, Options{}) {}
+
+TaskGraphNode* DynamicExecutor::create_node(Key key) {
+  TaskGraphNode* n = spec_.create(key);
+  n->key_ = key;
+  n->color_ = spec_.color_of(key);
+  n->status_.store(NodeStatus::kVisited, std::memory_order_relaxed);
+  nodes_created_.fetch_add(1, std::memory_order_relaxed);
+  return n;
+}
+
+void DynamicExecutor::run(Key sink_key) {
+  sched_.execute([this, sink_key](rt::Worker& w) {
+    auto [node, created] =
+        map_.insert_or_get(sink_key, [this](Key k) { return create_node(k); });
+    if (created) init_node_and_compute(w, node);
+  });
+  TaskGraphNode* sink = map_.find(sink_key);
+  NABBITC_CHECK_MSG(sink != nullptr && sink->computed(),
+                    "sink did not complete — task graph has a cycle or a "
+                    "predecessor threw");
+}
+
+void DynamicExecutor::init_node_and_compute(rt::Worker& w, TaskGraphNode* u) {
+  ExecContext ctx(&w, *this);
+  u->init(ctx);
+
+  const auto& preds = u->preds_;
+  if (!preds.empty()) {
+    // Explore all predecessors in parallel. The +1 exploration token u was
+    // born with keeps u from firing until this sync completes.
+    rt::TaskGroup group;
+    auto* items = w.arena().create_array<PredItem>(preds.size());
+    for (std::size_t i = 0; i < preds.size(); ++i) {
+      items[i] = PredItem{preds[i], spec_.color_of(preds[i])};
+    }
+    spawn_preds(w, group, u, items, preds.size());
+    group.wait(w);
+  }
+
+  // Release the exploration token (IPDPS'10 protocol): if every predecessor
+  // has already notified, this thread computes u.
+  if (u->join_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    compute_and_notify(w, u);
+  }
+}
+
+void DynamicExecutor::try_init_compute(rt::Worker& w, TaskGraphNode* parent,
+                                       Key pred_key) {
+  auto [pred, created] =
+      map_.insert_or_get(pred_key, [this](Key k) { return create_node(k); });
+  if (created) {
+    // This thread won the race: recursively initialize and (maybe) compute
+    // the predecessor (SectionII action 1 / Figure 1a). The recursion
+    // usually completes pred's whole subtree — but NOT when one of pred's
+    // own predecessors is still executing on another worker; pred then
+    // stays pending and we must fall through and register the dependence
+    // below, exactly like the found-it case. (Skipping the registration
+    // here lets the parent fire before pred completes — a rare, scheduler-
+    // timing-dependent dependence violation.)
+    init_node_and_compute(w, pred);
+  }
+  if (pred->computed()) return;  // dependence already satisfied
+
+  // Enqueue parent on pred's successor list and move on (SectionII action
+  // 2 / Figure 1b); pred's completion will notify it.
+  parent->join_.fetch_add(1, std::memory_order_relaxed);
+  if (!pred->successors_.try_add(parent)) {
+    // pred completed between the check and the append: roll the increment
+    // back. The exploration token guarantees this cannot reach zero here.
+    [[maybe_unused]] std::int64_t left =
+        parent->join_.fetch_sub(1, std::memory_order_acq_rel);
+    NABBITC_DCHECK(left > 1);
+  }
+}
+
+void DynamicExecutor::compute_and_notify(rt::Worker& w, TaskGraphNode* u) {
+#ifndef NDEBUG
+  // Protocol invariant: a node computes only after all predecessors have.
+  for (Key pk : u->preds_) {
+    TaskGraphNode* p = map_.find(pk);
+    NABBITC_CHECK_MSG(p != nullptr && p->computed(),
+                      "dependence violation: node computed before predecessor");
+  }
+#endif
+  if (opts_.count_locality) {
+    // The metric counts against true data placement (data_color_of), not
+    // the scheduling hint — a bad hint must *show up* as remote accesses.
+    std::uint64_t remote_preds = 0;
+    for (Key pk : u->preds_) {
+      if (!w.color_is_local(spec_.data_color_of(pk))) ++remote_preds;
+    }
+    w.record_node_execution(spec_.data_color_of(u->key_), u->preds_.size(),
+                            remote_preds);
+  }
+
+  ExecContext ctx(&w, *this);
+  u->compute(ctx);
+  u->status_.store(NodeStatus::kComputed, std::memory_order_release);
+  nodes_computed_.fetch_add(1, std::memory_order_relaxed);
+
+  // Notify successors (SectionII action 3 / Figure 1c). Closing the list
+  // makes later try_add calls fail, so no successor is ever lost.
+  std::vector<TaskGraphNode*> succs = u->successors_.close_and_take();
+  if (succs.empty()) return;
+
+  std::size_t nready = 0;
+  auto* ready = w.arena().create_array<TaskGraphNode*>(succs.size());
+  for (TaskGraphNode* s : succs) {
+    if (s->join_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      ready[nready++] = s;
+    }
+  }
+  if (nready == 0) return;
+
+  rt::TaskGroup group;
+  spawn_ready(w, group, ready, nready);
+  group.wait(w);
+}
+
+// ---------------------------------------------------------------------------
+// Vanilla Nabbit spawning: list order, no color advertisement. Each frame
+// pushes the upper half as a stealable task and descends into the lower
+// half, exactly like the paper's recursive parallel-for — minus the
+// cilkrts_set_next_colors calls.
+
+struct PredSpawnFrame {
+  DynamicExecutor* ex;
+  rt::TaskGroup* group;
+  TaskGraphNode* parent;
+  DynamicExecutor::PredItem* items;
+
+  void run(rt::Worker& w, std::size_t lo, std::size_t hi) const {
+    while (hi - lo > 1) {
+      std::size_t mid = lo + (hi - lo) / 2;
+      const auto* self = this;
+      group->spawn(w, rt::ColorMask{},
+                   [self, mid, hi](rt::Worker& ww) { self->run(ww, mid, hi); });
+      hi = mid;
+    }
+    ex->try_init_compute(w, parent, items[lo].key);
+  }
+};
+
+struct ReadySpawnFrame {
+  DynamicExecutor* ex;
+  rt::TaskGroup* group;
+  TaskGraphNode** ready;
+
+  void run(rt::Worker& w, std::size_t lo, std::size_t hi) const {
+    while (hi - lo > 1) {
+      std::size_t mid = lo + (hi - lo) / 2;
+      const auto* self = this;
+      group->spawn(w, rt::ColorMask{},
+                   [self, mid, hi](rt::Worker& ww) { self->run(ww, mid, hi); });
+      hi = mid;
+    }
+    ex->compute_and_notify(w, ready[lo]);
+  }
+};
+
+void DynamicExecutor::spawn_preds(rt::Worker& w, rt::TaskGroup& g,
+                                  TaskGraphNode* parent, PredItem* items,
+                                  std::size_t n) {
+  if (n == 0) return;
+  auto* frame = w.arena().create<PredSpawnFrame>(PredSpawnFrame{this, &g, parent, items});
+  frame->run(w, 0, n);
+}
+
+void DynamicExecutor::spawn_ready(rt::Worker& w, rt::TaskGroup& g,
+                                  TaskGraphNode** ready, std::size_t n) {
+  if (n == 0) return;
+  auto* frame = w.arena().create<ReadySpawnFrame>(ReadySpawnFrame{this, &g, ready});
+  frame->run(w, 0, n);
+}
+
+}  // namespace nabbitc::nabbit

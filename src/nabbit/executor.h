@@ -1,0 +1,96 @@
+// Dynamic (on-demand) task graph execution — the Nabbit algorithm.
+//
+// The executor walks the graph backwards from the sink key, creating nodes
+// on demand through a concurrent map, exploring predecessors in parallel,
+// and notifying successors as nodes complete (SectionII of the paper;
+// protocol from Agrawal, Leiserson, Sukha, IPDPS'10).
+//
+// Locality-aware spawning is a pair of virtual hooks (spawn_preds /
+// spawn_ready) so that NabbitC (nabbitc/colored_executor.h) can override the
+// spawn *order* and advertised color masks without touching the dependence
+// protocol. The base class implements vanilla Nabbit: list-order spawning
+// with no color advertisement.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+
+#include "nabbit/concurrent_map.h"
+#include "nabbit/graph_spec.h"
+#include "nabbit/node.h"
+#include "rt/scheduler.h"
+
+namespace nabbitc::nabbit {
+
+class DynamicExecutor : public NodeLookup {
+ public:
+  struct Options {
+    /// Record the paper's SectionV-B locality metric while executing.
+    bool count_locality = true;
+  };
+
+  /// One predecessor to explore, with its color precomputed from the spec.
+  struct PredItem {
+    Key key;
+    numa::Color color;
+  };
+
+  DynamicExecutor(rt::Scheduler& sched, GraphSpec& spec, Options opts);
+  DynamicExecutor(rt::Scheduler& sched, GraphSpec& spec);
+  virtual ~DynamicExecutor() = default;
+
+  DynamicExecutor(const DynamicExecutor&) = delete;
+  DynamicExecutor& operator=(const DynamicExecutor&) = delete;
+
+  /// Executes the task graph rooted (sunk) at `sink_key`; returns when the
+  /// sink and therefore all its transitive predecessors have been computed.
+  void run(Key sink_key);
+
+  TaskGraphNode* find(Key key) const override { return map_.find(key); }
+  rt::Scheduler& scheduler() noexcept { return sched_; }
+  GraphSpec& spec() noexcept { return spec_; }
+
+  std::uint64_t nodes_created() const noexcept {
+    return nodes_created_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t nodes_computed() const noexcept {
+    return nodes_computed_.load(std::memory_order_relaxed);
+  }
+
+  // --- Protocol building blocks ------------------------------------------
+  // Exposed for the colored subclass's spawn leaves and for white-box
+  // tests; not user entry points.
+  /// Atomically create-or-get the predecessor `pred_key`; the creating
+  /// thread initializes and executes it, others enqueue `parent` on its
+  /// successor list (SectionII, actions 1-2).
+  void try_init_compute(rt::Worker& w, TaskGraphNode* parent, Key pred_key);
+  /// init() + parallel predecessor exploration + readiness check.
+  void init_node_and_compute(rt::Worker& w, TaskGraphNode* u);
+  /// compute() + successor notification (SectionII, action 3).
+  void compute_and_notify(rt::Worker& w, TaskGraphNode* u);
+
+ protected:
+  // --- Locality-aware hooks (overridden by ColoredDynamicExecutor) ------
+  /// Spawns exploration of `parent`'s predecessors (leaf: try_init_compute).
+  virtual void spawn_preds(rt::Worker& w, rt::TaskGroup& g, TaskGraphNode* parent,
+                           PredItem* items, std::size_t n);
+  /// Spawns execution of newly ready successors (leaf: compute_and_notify).
+  virtual void spawn_ready(rt::Worker& w, rt::TaskGroup& g, TaskGraphNode** ready,
+                           std::size_t n);
+
+ private:
+  friend struct PredSpawnFrame;
+  friend struct ReadySpawnFrame;
+
+  TaskGraphNode* create_node(Key key);
+
+  rt::Scheduler& sched_;
+  GraphSpec& spec_;
+  Options opts_;
+  ConcurrentNodeMap map_;
+  std::atomic<std::uint64_t> nodes_created_{0};
+  std::atomic<std::uint64_t> nodes_computed_{0};
+};
+
+}  // namespace nabbitc::nabbit

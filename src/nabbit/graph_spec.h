@@ -1,0 +1,44 @@
+// User-facing description of a dynamic task graph.
+//
+// A GraphSpec knows how to build the node for any key on demand and what
+// color a key has (the paper's user-defined `color(Key)` of Figure 2 — the
+// single extra piece of information NabbitC asks of the user).
+#pragma once
+
+#include <cstddef>
+
+#include "nabbit/types.h"
+#include "numa/topology.h"
+
+namespace nabbitc::nabbit {
+
+class TaskGraphNode;
+
+class GraphSpec {
+ public:
+  virtual ~GraphSpec() = default;
+
+  /// Creates the node for `key` (ownership passes to the executor's map).
+  /// Must be thread-safe and must not touch the executor.
+  virtual TaskGraphNode* create(Key key) = 0;
+
+  /// The user's locality hint: the color of the worker whose data region
+  /// the task for `key` mostly reads (Figure 2's color(Key)). The default
+  /// (color 0) means "no locality information".
+  virtual numa::Color color_of(Key key) const {
+    (void)key;
+    return 0;
+  }
+
+  /// Where the task's data *actually* lives. Defaults to the hint — they
+  /// coincide under a correct coloring. Experiments that deliberately break
+  /// the hint (the paper's Table II "bad" and Table III "invalid"
+  /// colorings) override color_of only; the locality metric (SectionV-B)
+  /// keeps counting against the true data placement reported here.
+  virtual numa::Color data_color_of(Key key) const { return color_of(key); }
+
+  /// Sizing hint for the node map.
+  virtual std::size_t expected_nodes() const { return 1024; }
+};
+
+}  // namespace nabbitc::nabbit

@@ -1,0 +1,96 @@
+// Task-graph node base class (the paper's DynamicNabbitNode, Figure 2).
+//
+// Users subclass TaskGraphNode, declare predecessors by key inside init(),
+// and do the node's work in compute(). The node's color comes from the
+// user's key->color function on the graph spec (Figure 2's `color(Key)`),
+// not from the node instance, so the scheduler can color work *before* the
+// node exists.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "nabbit/successor_list.h"
+#include "nabbit/types.h"
+#include "numa/topology.h"
+#include "support/check.h"
+
+namespace nabbitc::rt {
+class Worker;
+}
+
+namespace nabbitc::nabbit {
+
+class TaskGraphNode;
+
+/// Read-only view into an executor's node map.
+class NodeLookup {
+ public:
+  virtual TaskGraphNode* find(Key key) const = 0;
+
+ protected:
+  ~NodeLookup() = default;
+};
+
+/// Context handed to init()/compute(): the executing worker (null when
+/// running under the serial executor) plus lookups into the node map for
+/// reading predecessor results.
+class ExecContext {
+ public:
+  ExecContext(rt::Worker* worker, const NodeLookup& lookup) noexcept
+      : worker_(worker), lookup_(lookup) {}
+
+  /// The executing worker; only valid under a parallel executor.
+  rt::Worker& worker() const noexcept {
+    NABBITC_DCHECK(worker_ != nullptr);
+    return *worker_;
+  }
+  bool has_worker() const noexcept { return worker_ != nullptr; }
+
+  TaskGraphNode* find(Key key) const { return lookup_.find(key); }
+
+ private:
+  rt::Worker* worker_;
+  const NodeLookup& lookup_;
+};
+
+class TaskGraphNode {
+ public:
+  virtual ~TaskGraphNode() = default;
+
+  /// Declares predecessors (via add_predecessor) and any node-local setup.
+  /// Called exactly once, by the thread that won this node's creation.
+  virtual void init(ExecContext& ctx) = 0;
+
+  /// The node's work. Called exactly once, after all predecessors computed.
+  virtual void compute(ExecContext& ctx) = 0;
+
+  Key key() const noexcept { return key_; }
+  numa::Color color() const noexcept { return color_; }
+  NodeStatus status() const noexcept {
+    return status_.load(std::memory_order_acquire);
+  }
+  bool computed() const noexcept { return status() == NodeStatus::kComputed; }
+
+  const std::vector<Key>& predecessors() const noexcept { return preds_; }
+
+ protected:
+  /// Only valid inside init().
+  void add_predecessor(Key k) { preds_.push_back(k); }
+
+ private:
+  friend class DynamicExecutor;
+  friend class StaticExecutor;
+  friend class SerialExecutor;
+
+  Key key_ = 0;
+  numa::Color color_ = 0;
+  std::vector<Key> preds_;
+  /// Pending dependence count plus one exploration token (see executor.cpp).
+  std::atomic<std::int64_t> join_{1};
+  std::atomic<NodeStatus> status_{NodeStatus::kUnvisited};
+  SuccessorList successors_;
+};
+
+}  // namespace nabbitc::nabbit

@@ -1,0 +1,63 @@
+#include "nabbit/serial_executor.h"
+
+#include <vector>
+
+#include "support/check.h"
+
+namespace nabbitc::nabbit {
+
+SerialExecutor::SerialExecutor(GraphSpec& spec)
+    : spec_(spec), map_(spec.expected_nodes()) {}
+
+void SerialExecutor::run(Key sink_key) {
+  ExecContext ctx(nullptr, *this);
+
+  // Iterative post-order DFS from the sink: compute a node only after all
+  // of its predecessors have been computed.
+  struct Frame {
+    TaskGraphNode* node;
+    std::size_t next_pred;
+  };
+  std::vector<Frame> stack;
+
+  auto get_or_create = [&](Key k) -> std::pair<TaskGraphNode*, bool> {
+    return map_.insert_or_get(k, [&](Key key) {
+      TaskGraphNode* n = spec_.create(key);
+      n->key_ = key;
+      n->color_ = spec_.color_of(key);
+      n->status_.store(NodeStatus::kVisited, std::memory_order_relaxed);
+      return n;
+    });
+  };
+
+  auto [sink, created] = get_or_create(sink_key);
+  if (!created) {
+    NABBITC_CHECK_MSG(sink->computed(), "sink exists but was never computed");
+    return;
+  }
+  sink->init(ctx);
+  stack.push_back({sink, 0});
+
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next_pred < f.node->preds_.size()) {
+      Key pk = f.node->preds_[f.next_pred++];
+      auto [pred, fresh] = get_or_create(pk);
+      if (fresh) {
+        pred->init(ctx);
+        stack.push_back({pred, 0});
+      } else {
+        // Already computed or on the stack. A VISITED node on the stack
+        // while being re-reached means a cycle.
+        NABBITC_CHECK_MSG(pred->computed(), "cycle detected in task graph");
+      }
+      continue;
+    }
+    f.node->compute(ctx);
+    f.node->status_.store(NodeStatus::kComputed, std::memory_order_relaxed);
+    ++nodes_computed_;
+    stack.pop_back();
+  }
+}
+
+}  // namespace nabbitc::nabbit

@@ -1,0 +1,39 @@
+// Serial reference executor.
+//
+// Executes a task graph depth-first from the sink on the calling thread,
+// with an explicit stack (no scheduler, no recursion limits). Used by tests
+// to establish ground truth and by benches for serial baselines where the
+// graph itself is the natural serial formulation.
+#pragma once
+
+#include <cstdint>
+
+#include "nabbit/concurrent_map.h"
+#include "nabbit/graph_spec.h"
+#include "nabbit/node.h"
+
+namespace nabbitc::rt {
+class Scheduler;
+}
+
+namespace nabbitc::nabbit {
+
+class SerialExecutor : public NodeLookup {
+ public:
+  explicit SerialExecutor(GraphSpec& spec);
+  ~SerialExecutor() = default;
+
+  /// Computes the sink and all transitive predecessors, single-threaded,
+  /// depth-first with an explicit stack.
+  void run(Key sink_key);
+
+  TaskGraphNode* find(Key key) const override { return map_.find(key); }
+  std::uint64_t nodes_computed() const noexcept { return nodes_computed_; }
+
+ private:
+  GraphSpec& spec_;
+  ConcurrentNodeMap map_;
+  std::uint64_t nodes_computed_ = 0;
+};
+
+}  // namespace nabbitc::nabbit

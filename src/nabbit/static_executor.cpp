@@ -1,0 +1,124 @@
+#include "nabbit/static_executor.h"
+
+#include "support/check.h"
+
+namespace nabbitc::nabbit {
+
+StaticExecutor::StaticExecutor(rt::Scheduler& sched) : sched_(sched) {}
+
+void StaticExecutor::add_node(Key key, numa::Color color,
+                              std::unique_ptr<TaskGraphNode> node) {
+  NABBITC_CHECK_MSG(!prepared_, "add_node after prepare()");
+  NABBITC_CHECK_MSG(index_of_.find(key) == index_of_.end(), "duplicate key");
+  node->key_ = key;
+  node->color_ = color;
+  node->status_.store(NodeStatus::kVisited, std::memory_order_relaxed);
+  index_of_.emplace(key, static_cast<std::uint32_t>(nodes_.size()));
+  nodes_.push_back(std::move(node));
+}
+
+TaskGraphNode* StaticExecutor::find(Key key) const {
+  auto it = index_of_.find(key);
+  return it == index_of_.end() ? nullptr : nodes_[it->second].get();
+}
+
+void StaticExecutor::prepare() {
+  NABBITC_CHECK(!prepared_);
+  ExecContext ctx(nullptr, *this);
+  successors_of_.assign(nodes_.size(), {});
+  for (auto& np : nodes_) np->init(ctx);
+  for (auto& np : nodes_) {
+    for (Key pk : np->preds_) {
+      auto it = index_of_.find(pk);
+      NABBITC_CHECK_MSG(it != index_of_.end(),
+                        "static graph references a key that was never added");
+      successors_of_[it->second].push_back(np.get());
+    }
+  }
+  prepared_ = true;
+  reset();
+}
+
+void StaticExecutor::reset() {
+  NABBITC_CHECK(prepared_);
+  roots_.clear();
+  for (auto& np : nodes_) {
+    np->status_.store(NodeStatus::kVisited, std::memory_order_relaxed);
+    np->join_.store(static_cast<std::int64_t>(np->preds_.size()),
+                    std::memory_order_relaxed);
+    if (np->preds_.empty()) roots_.push_back(np.get());
+  }
+  NABBITC_CHECK_MSG(nodes_.empty() || !roots_.empty(),
+                    "static graph has no roots — it must be cyclic");
+}
+
+void StaticExecutor::compute_and_notify(rt::Worker& w, TaskGraphNode* u) {
+  {
+    std::uint64_t remote_preds = 0;
+    for (Key pk : u->preds_) {
+      TaskGraphNode* p = find(pk);
+      if (!w.color_is_local(p->color())) ++remote_preds;
+    }
+    w.record_node_execution(u->color_, u->preds_.size(), remote_preds);
+  }
+
+  ExecContext ctx(&w, *this);
+  u->compute(ctx);
+  u->status_.store(NodeStatus::kComputed, std::memory_order_release);
+
+  const auto& succs = successors_of_[index_of_.at(u->key_)];
+  if (succs.empty()) return;
+  std::size_t nready = 0;
+  auto* ready = w.arena().create_array<TaskGraphNode*>(succs.size());
+  for (TaskGraphNode* s : succs) {
+    if (s->join_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      ready[nready++] = s;
+    }
+  }
+  if (nready == 0) return;
+  rt::TaskGroup group;
+  spawn_ready(w, group, ready, nready);
+  group.wait(w);
+}
+
+struct StaticReadyFrame {
+  StaticExecutor* ex;
+  rt::TaskGroup* group;
+  TaskGraphNode** ready;
+
+  void run(rt::Worker& w, std::size_t lo, std::size_t hi) const {
+    while (hi - lo > 1) {
+      std::size_t mid = lo + (hi - lo) / 2;
+      const auto* self = this;
+      group->spawn(w, rt::ColorMask{},
+                   [self, mid, hi](rt::Worker& ww) { self->run(ww, mid, hi); });
+      hi = mid;
+    }
+    ex->compute_and_notify(w, ready[lo]);
+  }
+};
+
+void StaticExecutor::spawn_ready(rt::Worker& w, rt::TaskGroup& g,
+                                 TaskGraphNode** ready, std::size_t n) {
+  if (n == 0) return;
+  auto* frame =
+      w.arena().create<StaticReadyFrame>(StaticReadyFrame{this, &g, ready});
+  frame->run(w, 0, n);
+}
+
+void StaticExecutor::run() {
+  NABBITC_CHECK_MSG(prepared_, "run() before prepare()");
+  if (nodes_.empty()) return;
+  sched_.execute([this](rt::Worker& w) {
+    auto* ready = w.arena().create_array<TaskGraphNode*>(roots_.size());
+    for (std::size_t i = 0; i < roots_.size(); ++i) ready[i] = roots_[i];
+    rt::TaskGroup group;
+    spawn_ready(w, group, ready, roots_.size());
+    group.wait(w);
+  });
+  for (auto& np : nodes_) {
+    NABBITC_CHECK_MSG(np->computed(), "static run finished with uncomputed nodes");
+  }
+}
+
+}  // namespace nabbitc::nabbit

@@ -1,0 +1,56 @@
+// Successor list with a closed flag.
+//
+// Nabbit enqueues a dependent onto a predecessor's successor list when the
+// predecessor is initialized but not yet computed (SectionII, action 2).
+// The race between "append dependent" and "predecessor completes and drains
+// the list" is resolved with a closed flag: once compute_and_notify closes
+// the list, appends fail and the appender treats the dependence as already
+// satisfied. This replaces the paper's drain-until-empty loop with a single
+// atomic handoff.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "support/spin.h"
+
+namespace nabbitc::nabbit {
+
+class TaskGraphNode;
+
+class SuccessorList {
+ public:
+  /// Appends `n`; returns false iff the list is already closed (the owner
+  /// node has been computed), in which case the caller must treat the
+  /// dependence as satisfied.
+  bool try_add(TaskGraphNode* n) {
+    std::lock_guard<SpinLock> lk(mu_);
+    if (closed_) return false;
+    items_.push_back(n);
+    return true;
+  }
+
+  /// Closes the list and returns its contents. After this call every
+  /// try_add fails. Called exactly once, by the computing thread.
+  std::vector<TaskGraphNode*> close_and_take() {
+    std::lock_guard<SpinLock> lk(mu_);
+    closed_ = true;
+    return std::move(items_);
+  }
+
+  bool closed() const {
+    std::lock_guard<SpinLock> lk(mu_);
+    return closed_;
+  }
+  std::size_t size() const {
+    std::lock_guard<SpinLock> lk(mu_);
+    return items_.size();
+  }
+
+ private:
+  mutable SpinLock mu_;
+  bool closed_ = false;
+  std::vector<TaskGraphNode*> items_;
+};
+
+}  // namespace nabbitc::nabbit

@@ -1,0 +1,34 @@
+// Core task-graph types.
+#pragma once
+
+#include <cstdint>
+
+namespace nabbitc::nabbit {
+
+/// Unique task identifier. The user encodes whatever structure they like
+/// (e.g. (iteration, block) pairs) into 64 bits; see key_pack below.
+using Key = std::uint64_t;
+
+/// Node lifecycle (Nabbit, IPDPS'10): a node is UNVISITED until some thread
+/// wins its creation, VISITED while its predecessors are being explored or
+/// awaited, and COMPUTED once compute() has finished and successors were
+/// notified.
+enum class NodeStatus : std::uint8_t {
+  kUnvisited = 0,
+  kVisited = 1,
+  kComputed = 2,
+};
+
+/// Packs a (major, minor) pair into a Key; convenient for iteration/block
+/// structured graphs.
+constexpr Key key_pack(std::uint32_t major, std::uint32_t minor) noexcept {
+  return (static_cast<Key>(major) << 32) | minor;
+}
+constexpr std::uint32_t key_major(Key k) noexcept {
+  return static_cast<std::uint32_t>(k >> 32);
+}
+constexpr std::uint32_t key_minor(Key k) noexcept {
+  return static_cast<std::uint32_t>(k & 0xffffffffu);
+}
+
+}  // namespace nabbitc::nabbit

@@ -1,0 +1,56 @@
+// NabbitC: the locality-aware executors.
+//
+// ColoredDynamicExecutor / ColoredStaticExecutor override the spawn hooks of
+// their Nabbit base classes with the morphing-continuation mechanism of
+// spawn_colors.h, and advertise color masks on every stealable frame so the
+// runtime's colored steals (rt/steal_policy.h) can find same-colored work.
+// The dependence protocol — and therefore correctness — is entirely
+// inherited; NabbitC only changes *order* and *steal visibility*, exactly as
+// the paper prescribes.
+#pragma once
+
+#include "nabbit/executor.h"
+#include "nabbit/static_executor.h"
+#include "nabbitc/coloring.h"
+#include "nabbitc/spawn_colors.h"
+
+namespace nabbitc::nabbit {
+
+class ColoredDynamicExecutor final : public DynamicExecutor {
+ public:
+  using DynamicExecutor::DynamicExecutor;
+
+ protected:
+  void spawn_preds(rt::Worker& w, rt::TaskGroup& g, TaskGraphNode* parent,
+                   PredItem* items, std::size_t n) override;
+  void spawn_ready(rt::Worker& w, rt::TaskGroup& g, TaskGraphNode** ready,
+                   std::size_t n) override;
+};
+
+class ColoredStaticExecutor final : public StaticExecutor {
+ public:
+  using StaticExecutor::StaticExecutor;
+
+ protected:
+  void spawn_ready(rt::Worker& w, rt::TaskGroup& g, TaskGraphNode** ready,
+                   std::size_t n) override;
+};
+
+/// Scheduler variants evaluated in the paper.
+enum class TaskGraphVariant : std::uint8_t {
+  kNabbit = 0,   // vanilla: random steals, order-oblivious spawning
+  kNabbitC = 1,  // colored: morphing continuations + colored steals
+};
+
+inline const char* variant_name(TaskGraphVariant v) noexcept {
+  return v == TaskGraphVariant::kNabbit ? "nabbit" : "nabbitc";
+}
+
+/// Factory: the right executor for a variant. The caller must also
+/// configure the scheduler's StealPolicy to match (StealPolicy::nabbit() or
+/// StealPolicy::nabbitc()).
+std::unique_ptr<DynamicExecutor> make_dynamic_executor(
+    TaskGraphVariant v, rt::Scheduler& sched, GraphSpec& spec,
+    DynamicExecutor::Options opts = {});
+
+}  // namespace nabbitc::nabbit

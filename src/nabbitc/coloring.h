@@ -1,0 +1,56 @@
+// Coloring strategies for experiments (paper SectionV-D).
+//
+// The paper evaluates NabbitC under three colorings:
+//   * good    — the user's intended coloring (identity);
+//   * bad     — every task gets a *valid but wrong* color, so workers
+//               preferentially execute non-local work (Table II);
+//   * invalid — every task gets a color no worker owns, so every colored
+//               steal fails and NabbitC degrades to Nabbit plus colored-
+//               steal overhead (Table III).
+#pragma once
+
+#include <cstdint>
+
+#include "numa/topology.h"
+
+namespace nabbitc::nabbit {
+
+enum class ColoringMode : std::uint8_t {
+  kGood = 0,
+  kBad = 1,
+  kInvalid = 2,
+};
+
+inline const char* coloring_name(ColoringMode m) noexcept {
+  switch (m) {
+    case ColoringMode::kGood:
+      return "good";
+    case ColoringMode::kBad:
+      return "bad";
+    case ColoringMode::kInvalid:
+      return "invalid";
+  }
+  return "?";
+}
+
+/// Transforms a good color according to the mode. For kBad the color is
+/// rotated by half the machine, which always lands in a different NUMA
+/// domain when there are >= 2 domains (maximally wrong but valid). For
+/// kInvalid the result is a color no worker owns.
+inline numa::Color apply_coloring(numa::Color good, ColoringMode mode,
+                                  std::uint32_t num_workers) noexcept {
+  switch (mode) {
+    case ColoringMode::kGood:
+      return good;
+    case ColoringMode::kBad: {
+      if (good < 0 || num_workers <= 1) return good;
+      return static_cast<numa::Color>(
+          (static_cast<std::uint32_t>(good) + num_workers / 2) % num_workers);
+    }
+    case ColoringMode::kInvalid:
+      return numa::kInvalidColor;
+  }
+  return good;
+}
+
+}  // namespace nabbitc::nabbit

@@ -1,0 +1,74 @@
+// Block data distribution across colors.
+//
+// The paper's coloring strategy (SectionV): data is distributed evenly across
+// the machine, each worker initializes (first-touches) a unique region, and a
+// task's color is the color owning the largest fraction of its data. This
+// header provides that arithmetic for 1-D index spaces partitioned into
+// contiguous blocks.
+#pragma once
+
+#include <cstdint>
+
+#include "numa/topology.h"
+#include "support/check.h"
+
+namespace nabbitc::numa {
+
+/// Even block distribution of `n` items over `num_colors` owners, mirroring
+/// OpenMP static scheduling of the initialization loop (so "the color that
+/// initialized index i" is computable in O(1)).
+class BlockDistribution {
+ public:
+  BlockDistribution(std::uint64_t n, std::uint32_t num_colors)
+      : n_(n), colors_(num_colors) {
+    NABBITC_CHECK(num_colors >= 1);
+    chunk_ = (n_ + colors_ - 1) / colors_;  // ceil, OpenMP static semantics
+    if (chunk_ == 0) chunk_ = 1;
+  }
+
+  std::uint64_t size() const noexcept { return n_; }
+  std::uint32_t num_colors() const noexcept { return colors_; }
+
+  /// Owner (color) of item i.
+  Color owner(std::uint64_t i) const noexcept {
+    NABBITC_DCHECK(i < n_);
+    return static_cast<Color>(i / chunk_ >= colors_ ? colors_ - 1 : i / chunk_);
+  }
+
+  /// [begin, end) range owned by color c (may be empty for trailing colors).
+  std::uint64_t begin_of(Color c) const noexcept {
+    auto b = static_cast<std::uint64_t>(c) * chunk_;
+    return b > n_ ? n_ : b;
+  }
+  std::uint64_t end_of(Color c) const noexcept {
+    auto e = (static_cast<std::uint64_t>(c) + 1) * chunk_;
+    return e > n_ ? n_ : e;
+  }
+
+  /// Color owning the majority of [begin, end) — the paper's "largest
+  /// fraction of data" rule for a task spanning multiple regions.
+  Color majority_owner(std::uint64_t begin, std::uint64_t end) const noexcept {
+    if (begin >= end) return owner(begin >= n_ ? n_ - 1 : begin);
+    Color best = owner(begin);
+    std::uint64_t best_len = 0;
+    std::uint64_t i = begin;
+    while (i < end) {
+      Color c = owner(i);
+      std::uint64_t stop = end_of(c);
+      if (stop > end) stop = end;
+      if (stop - i > best_len) {
+        best_len = stop - i;
+        best = c;
+      }
+      i = stop;
+    }
+    return best;
+  }
+
+ private:
+  std::uint64_t n_;
+  std::uint32_t colors_;
+  std::uint64_t chunk_;
+};
+
+}  // namespace nabbitc::numa

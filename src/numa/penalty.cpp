@@ -1,0 +1,22 @@
+#include "numa/penalty.h"
+
+#include <chrono>
+
+namespace nabbitc::numa {
+
+double LocalityCounters::percent_remote() const noexcept {
+  std::uint64_t total = total_accesses();
+  if (total == 0) return 0.0;
+  return 100.0 * static_cast<double>(remote_accesses()) / static_cast<double>(total);
+}
+
+void busy_delay_ns(std::uint64_t ns) noexcept {
+  if (ns == 0) return;
+  auto start = std::chrono::steady_clock::now();
+  auto deadline = start + std::chrono::nanoseconds(ns);
+  // Busy-wait: this models memory stall cycles, which do occupy the core.
+  while (std::chrono::steady_clock::now() < deadline) {
+  }
+}
+
+}  // namespace nabbitc::numa

@@ -1,0 +1,29 @@
+#include "numa/pinning.h"
+
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace nabbitc::numa {
+
+std::uint32_t visible_cpus() noexcept {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1u : n;
+}
+
+bool pin_current_thread(std::uint32_t core) noexcept {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(core % visible_cpus(), &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)core;
+  return false;
+#endif
+}
+
+}  // namespace nabbitc::numa

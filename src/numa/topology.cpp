@@ -1,0 +1,50 @@
+#include "numa/topology.h"
+
+#include <sstream>
+#include <thread>
+
+#include "support/check.h"
+
+namespace nabbitc::numa {
+
+Topology::Topology(std::uint32_t domains, std::uint32_t cores_per_domain)
+    : domains_(domains), cores_per_domain_(cores_per_domain) {
+  NABBITC_CHECK_MSG(domains >= 1, "topology needs at least one domain");
+  NABBITC_CHECK_MSG(cores_per_domain >= 1, "topology needs at least one core per domain");
+}
+
+Topology Topology::host() {
+  unsigned n = std::thread::hardware_concurrency();
+  if (n == 0) n = 1;
+  return Topology(1, n);
+}
+
+std::uint32_t Topology::domain_of_core(std::uint32_t core) const noexcept {
+  return (core % total_cores()) / cores_per_domain_;
+}
+
+std::uint32_t Topology::core_of_worker(std::uint32_t worker) const noexcept {
+  return worker % total_cores();
+}
+
+std::uint32_t Topology::domain_of_worker(std::uint32_t worker) const noexcept {
+  return domain_of_core(core_of_worker(worker));
+}
+
+std::uint32_t Topology::domain_of_color(Color c) const noexcept {
+  if (c < 0) return domains_;  // sentinel: no domain owns an invalid color
+  return domain_of_worker(static_cast<std::uint32_t>(c));
+}
+
+bool Topology::is_local(Color c, std::uint32_t worker) const noexcept {
+  return domain_of_color(c) == domain_of_worker(worker);
+}
+
+std::string Topology::describe() const {
+  std::ostringstream os;
+  os << domains_ << " domain(s) x " << cores_per_domain_ << " core(s) = " << total_cores()
+     << " cores";
+  return os.str();
+}
+
+}  // namespace nabbitc::numa

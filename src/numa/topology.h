@@ -1,0 +1,62 @@
+// NUMA topology model.
+//
+// The paper's machine is 8 NUMA domains x 10 cores. We model a topology as a
+// (domains, cores_per_domain) pair plus the worker->core->domain mapping.
+// The model is used identically by the real runtime (for pinning and
+// remote-access accounting) and by the discrete-event simulator (for the
+// local/remote cost model). Colors are worker ids (paper SectionIII: each
+// pinned worker gets a unique color based on thread id); `domain_of_color`
+// is the NUMA-domain-granularity view used by the paper's locality metric
+// (SectionV-B counts a node as remote iff its color belongs to no thread in
+// the executing thread's NUMA node).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace nabbitc::numa {
+
+/// Worker/task color. Colors are dense worker ids in [0, num_workers).
+/// kInvalidColor is a color no worker owns (Table III's "invalid coloring").
+using Color = std::int32_t;
+inline constexpr Color kInvalidColor = -1;
+
+class Topology {
+ public:
+  /// A topology with `domains` NUMA domains of `cores_per_domain` cores each.
+  Topology(std::uint32_t domains, std::uint32_t cores_per_domain);
+
+  /// The paper's evaluation machine: 8 domains x 10 cores (80 cores).
+  static Topology paper() { return Topology(8, 10); }
+  /// Single-domain topology of the host's hardware concurrency.
+  static Topology host();
+  /// Uniform machine (1 domain) with n cores — degenerate NUMA.
+  static Topology uniform(std::uint32_t n) { return Topology(1, n); }
+
+  std::uint32_t domains() const noexcept { return domains_; }
+  std::uint32_t cores_per_domain() const noexcept { return cores_per_domain_; }
+  std::uint32_t total_cores() const noexcept { return domains_ * cores_per_domain_; }
+
+  /// Cores are numbered domain-major: core c lives in domain c / cores_per_domain.
+  std::uint32_t domain_of_core(std::uint32_t core) const noexcept;
+
+  /// Worker w is pinned to core w % total_cores (w < total_cores in practice).
+  std::uint32_t core_of_worker(std::uint32_t worker) const noexcept;
+  std::uint32_t domain_of_worker(std::uint32_t worker) const noexcept;
+
+  /// Domain owning a color; invalid colors map to no domain (returns
+  /// domains(), an out-of-range sentinel, so they always count as remote).
+  std::uint32_t domain_of_color(Color c) const noexcept;
+
+  /// True iff executing a node of color `c` on worker `w` touches only the
+  /// worker's own NUMA domain (the paper's node-granularity locality test).
+  bool is_local(Color c, std::uint32_t worker) const noexcept;
+
+  std::string describe() const;
+
+ private:
+  std::uint32_t domains_;
+  std::uint32_t cores_per_domain_;
+};
+
+}  // namespace nabbitc::numa

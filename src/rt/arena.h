@@ -1,0 +1,86 @@
+// Per-worker bump allocator for task frames.
+//
+// Task objects must stay mapped for the whole job even after execution:
+// thieves *peek* at a victim's top deque entry (pointer + color mask) before
+// committing a colored steal, and that peek may race with the owner popping
+// and recycling the slot. By allocating all frames from job-lifetime arenas,
+// a stale peek reads stale-but-mapped bytes — it can only mis-predict a
+// steal's color match (benign: the claiming CAS decides ownership), never
+// fault. Arenas are reset between jobs, when no worker holds references.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+#include "support/align.h"
+#include "support/check.h"
+
+namespace nabbitc::rt {
+
+class JobArena {
+ public:
+  explicit JobArena(std::size_t block_bytes = 1 << 16) : block_bytes_(block_bytes) {}
+
+  JobArena(const JobArena&) = delete;
+  JobArena& operator=(const JobArena&) = delete;
+
+  /// Allocates raw storage; never freed individually.
+  void* allocate(std::size_t bytes, std::size_t align = alignof(std::max_align_t)) {
+    NABBITC_CHECK_MSG(bytes <= block_bytes_, "allocation larger than arena block");
+    std::size_t off = round_up(offset_, align);
+    if (current_ == nullptr || off + bytes > block_bytes_) {
+      advance_block();
+      off = 0;
+    }
+    void* p = current_ + off;
+    offset_ = off + bytes;
+    return p;
+  }
+
+  /// Constructs a trivially destructible T in the arena.
+  template <typename T, typename... Args>
+  T* create(Args&&... args) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena objects are never destroyed; only trivially "
+                  "destructible types are allowed");
+    return ::new (allocate(sizeof(T), alignof(T))) T(std::forward<Args>(args)...);
+  }
+
+  /// Constructs an uninitialized array of trivially destructible T.
+  template <typename T>
+  T* create_array(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>);
+    return static_cast<T*>(allocate(sizeof(T) * n, alignof(T)));
+  }
+
+  /// Rewinds the arena, keeping the blocks mapped for reuse. Only call when
+  /// no other thread can reference arena memory (between jobs).
+  void reset() noexcept {
+    block_index_ = 0;
+    current_ = blocks_.empty() ? nullptr : blocks_.front().get();
+    offset_ = 0;
+  }
+
+  std::size_t blocks_allocated() const noexcept { return blocks_.size(); }
+
+ private:
+  void advance_block() {
+    if (current_ != nullptr) ++block_index_;
+    if (block_index_ >= blocks_.size()) {
+      blocks_.push_back(std::make_unique<std::byte[]>(block_bytes_));
+    }
+    current_ = blocks_[block_index_].get();
+    offset_ = 0;
+  }
+
+  std::size_t block_bytes_;
+  std::vector<std::unique_ptr<std::byte[]>> blocks_;
+  std::size_t block_index_ = 0;
+  std::byte* current_ = nullptr;
+  std::size_t offset_ = 0;
+};
+
+}  // namespace nabbitc::rt

@@ -1,0 +1,34 @@
+#include "rt/deque.h"
+
+#include "rt/task.h"
+
+namespace nabbitc::rt {
+
+StealResult WorkDeque::steal(Task** out, const ColorMask* required_color) {
+  std::int64_t t = top_.load(std::memory_order_acquire);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  std::int64_t b = bottom_.load(std::memory_order_acquire);
+  if (t >= b) return StealResult::kEmpty;
+
+  Buffer* buf = buffer_.load(std::memory_order_acquire);
+  Task* task = buf->get(t);
+  if (task == nullptr) return StealResult::kLost;  // slot not yet published
+
+  if (required_color != nullptr) {
+    // The paper's colored-steal check: does the victim's top continuation
+    // advertise any of the thief's colors? This peek may race with the
+    // owner popping the entry; frames live in job-lifetime arenas so the
+    // read is always to mapped memory, and a stale mask can only cause a
+    // mis-predicted attempt — ownership is decided by the CAS below.
+    if (!task->colors.intersects(*required_color)) return StealResult::kColorMiss;
+  }
+
+  if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                    std::memory_order_relaxed)) {
+    return StealResult::kLost;
+  }
+  *out = task;
+  return StealResult::kSuccess;
+}
+
+}  // namespace nabbitc::rt

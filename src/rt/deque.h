@@ -1,0 +1,133 @@
+// Chase-Lev work-stealing deque with a parallel "color deque".
+//
+// The owner pushes/pops at the bottom; thieves steal at the top (the oldest
+// entry — in Cilk terms, the outermost continuation, which is exactly the
+// frame the paper's colored steal inspects). Entries are Task pointers; the
+// color set the paper stores in its color deque lives inside the Task frame
+// (written once before push, so a thief's pre-steal peek needs no extra
+// synchronization beyond job-lifetime frame arenas; see arena.h).
+//
+// Memory ordering follows Le, Pop, Cohen, Zappa Nardelli, "Correct and
+// Efficient Work-Stealing for Weak Memory Models" (PPoPP'13).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "rt/color_mask.h"
+#include "support/align.h"
+#include "support/check.h"
+
+namespace nabbitc::rt {
+
+class Task;  // defined in task.h; deque only traffics in pointers
+
+enum class StealResult : std::uint8_t {
+  kSuccess,      // got a task
+  kEmpty,        // victim deque empty
+  kLost,         // lost a race; retry elsewhere
+  kColorMiss,    // top entry does not contain the thief's color
+};
+
+class WorkDeque {
+ public:
+  explicit WorkDeque(std::size_t initial_capacity = 64)
+      : top_(0), bottom_(0), buffer_(new Buffer(next_pow2(initial_capacity))) {
+    retired_.emplace_back(buffer_.load(std::memory_order_relaxed));
+  }
+
+  WorkDeque(const WorkDeque&) = delete;
+  WorkDeque& operator=(const WorkDeque&) = delete;
+
+  /// Owner-only: push a task at the bottom.
+  void push(Task* task) {
+    std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    if (b - t > static_cast<std::int64_t>(buf->capacity) - 1) {
+      buf = grow(buf, t, b);
+    }
+    buf->put(b, task);
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+
+  /// Owner-only: pop the most recently pushed task (LIFO), or nullptr.
+  Task* pop() {
+    std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    if (t > b) {
+      // Deque was empty.
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    Task* task = buf->get(b);
+    if (t == b) {
+      // Single element: race the thieves for it.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        task = nullptr;  // a thief won
+      }
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return task;
+  }
+
+  /// Thief: try to steal the oldest task. If `required_color` is non-null,
+  /// only commits when the top entry's color mask contains *some* color in
+  /// that mask (the paper's colored steal); otherwise returns kColorMiss
+  /// without disturbing the victim.
+  StealResult steal(Task** out, const ColorMask* required_color = nullptr);
+
+  /// Anyone: true iff the deque currently looks empty (racy snapshot).
+  bool empty() const noexcept {
+    return top_.load(std::memory_order_acquire) >=
+           bottom_.load(std::memory_order_acquire);
+  }
+
+  /// Racy size snapshot (diagnostics only).
+  std::int64_t size_hint() const noexcept {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::int64_t b = bottom_.load(std::memory_order_acquire);
+    return b > t ? b - t : 0;
+  }
+
+ private:
+  struct Buffer {
+    explicit Buffer(std::size_t cap) : capacity(cap), mask(cap - 1), slots(cap) {
+      NABBITC_CHECK(is_pow2(cap));
+      for (auto& s : slots) s.store(nullptr, std::memory_order_relaxed);
+    }
+    Task* get(std::int64_t i) const noexcept {
+      return slots[static_cast<std::size_t>(i) & mask].load(std::memory_order_relaxed);
+    }
+    void put(std::int64_t i, Task* task) noexcept {
+      slots[static_cast<std::size_t>(i) & mask].store(task, std::memory_order_relaxed);
+    }
+    const std::size_t capacity;
+    const std::size_t mask;
+    std::vector<std::atomic<Task*>> slots;
+  };
+
+  Buffer* grow(Buffer* old, std::int64_t t, std::int64_t b) {
+    auto* bigger = new Buffer(old->capacity * 2);
+    for (std::int64_t i = t; i < b; ++i) bigger->put(i, old->get(i));
+    buffer_.store(bigger, std::memory_order_release);
+    // Old buffers stay mapped until destruction: a concurrent thief may
+    // still be reading from them.
+    retired_.emplace_back(bigger);
+    return bigger;
+  }
+
+  alignas(kCacheLine) std::atomic<std::int64_t> top_;
+  alignas(kCacheLine) std::atomic<std::int64_t> bottom_;
+  alignas(kCacheLine) std::atomic<Buffer*> buffer_;
+  std::vector<std::unique_ptr<Buffer>> retired_;  // owner-managed
+};
+
+}  // namespace nabbitc::rt

@@ -1,0 +1,55 @@
+// Recursive-splitting parallel_for on the work-stealing runtime.
+//
+// Equivalent of Cilk Plus's parallel_for ("syntactic sugar implemented using
+// spawns and syncs", SectionII). Used by examples and tests; the NabbitC
+// node-spawning path has its own color-aware recursion (nabbitc/).
+#pragma once
+
+#include <cstdint>
+
+#include "rt/scheduler.h"
+
+namespace nabbitc::rt {
+
+namespace detail {
+
+template <typename F>
+struct ParallelForFrame {
+  TaskGroup* group;
+  const F* body;
+  std::int64_t grain;
+
+  void run(Worker& w, std::int64_t lo, std::int64_t hi) const {
+    while (hi - lo > grain) {
+      std::int64_t mid = lo + (hi - lo) / 2;
+      const auto* self = this;
+      group->spawn(w, ColorMask{},
+                   [self, mid, hi](Worker& ww) { self->run(ww, mid, hi); });
+      hi = mid;
+    }
+    for (std::int64_t i = lo; i < hi; ++i) (*body)(i);
+  }
+};
+
+}  // namespace detail
+
+/// Runs body(i) for i in [begin, end) in parallel; leaves of at most `grain`
+/// iterations run sequentially. Must be called on a worker thread.
+template <typename F>
+void parallel_for(Worker& w, std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  const F& body) {
+  if (end <= begin) return;
+  if (grain < 1) grain = 1;
+  TaskGroup group;
+  detail::ParallelForFrame<F> frame{&group, &body, grain};
+  frame.run(w, begin, end);
+  group.wait(w);
+}
+
+/// Convenience: run `fn` as a one-off job on a scheduler and wait.
+template <typename F>
+void run_on(Scheduler& sched, F&& fn) {
+  sched.execute([&fn](Worker& w) { fn(w); });
+}
+
+}  // namespace nabbitc::rt

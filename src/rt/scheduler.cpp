@@ -1,0 +1,194 @@
+#include "rt/scheduler.h"
+
+#include "numa/pinning.h"
+#include "support/check.h"
+#include "support/spin.h"
+#include "support/timing.h"
+
+namespace nabbitc::rt {
+
+namespace {
+thread_local Worker* tl_worker = nullptr;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Worker
+
+const numa::Topology& Worker::topology() const noexcept { return sched_->topology(); }
+
+Task* Worker::find_task() {
+  if (Task* t = deque_.pop()) return t;
+  std::uint64_t t0 = now_ns();
+  Task* t = try_steal_once();
+  counters_.idle_ns += now_ns() - t0;
+  return t;
+}
+
+Task* Worker::try_steal_once() {
+  Scheduler& s = *sched_;
+  const std::uint32_t nw = s.num_workers();
+  if (nw <= 1) return nullptr;
+  const StealPolicy& pol = s.config().steal;
+
+  // Decide whether this attempt is colored or random.
+  bool forcing = pol.colored_enabled && pol.force_first_colored && !first_steal_done_;
+  bool colored;
+  if (forcing && forced_attempts_ >= pol.first_steal_max_attempts) {
+    // Bounded enforcement (see steal_policy.h): give up on forcing; fall
+    // through to the steady-state policy from now on.
+    ++counters_.first_steal_forced_abandoned;
+    counters_.first_steal_wait_ns += now_ns() - job_start_ns_;
+    first_steal_done_ = true;
+    forcing = false;
+  }
+  if (forcing) {
+    colored = true;
+  } else {
+    const std::uint32_t k = pol.colored_attempts;
+    colored = pol.colored_enabled && k > 0 && (steal_round_ % (k + 1)) < k;
+  }
+  ++steal_round_;
+
+  // Pick a victim uniformly among the other workers.
+  std::uint32_t victim = rng_.below(nw - 1);
+  if (victim >= id_) ++victim;
+
+  Task* task = nullptr;
+  StealResult r =
+      s.worker(victim).deque().steal(&task, colored ? &my_mask_ : nullptr);
+
+  if (colored) {
+    ++counters_.steal_attempts_colored;
+    if (forcing) {
+      ++forced_attempts_;
+      ++counters_.first_steal_attempts;
+    }
+  } else {
+    ++counters_.steal_attempts_random;
+  }
+
+  if (r != StealResult::kSuccess) return nullptr;
+
+  if (colored) {
+    ++counters_.steals_colored;
+  } else {
+    ++counters_.steals_random;
+  }
+  if (!first_steal_done_) {
+    first_steal_done_ = true;
+    counters_.first_steal_wait_ns += now_ns() - job_start_ns_;
+  }
+  steal_round_ = 0;
+  return task;
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler
+
+Scheduler::Scheduler(SchedulerConfig cfg) : cfg_(cfg) {
+  std::uint32_t n = cfg_.num_workers;
+  if (n == 0) n = numa::visible_cpus();
+  NABBITC_CHECK_MSG(n >= 1 && n <= ColorMask::kMaxColors,
+                    "worker count must be in [1, ColorMask::kMaxColors]");
+  cfg_.num_workers = n;
+
+  workers_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    auto w = std::make_unique<Worker>();
+    w->id_ = i;
+    w->color_ = static_cast<numa::Color>(i);
+    w->domain_ = cfg_.topology.domain_of_worker(i);
+    w->my_mask_ = ColorMask::single(w->color_);
+    w->sched_ = this;
+    w->rng_ = Pcg32(splitmix64(cfg_.seed + i), /*stream=*/i + 1);
+    workers_.push_back(std::move(w));
+  }
+  threads_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+Scheduler::~Scheduler() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+Worker* Scheduler::current() noexcept { return tl_worker; }
+
+void Scheduler::execute(std::function<void(Worker&)> root) {
+  NABBITC_CHECK_MSG(current() == nullptr,
+                    "Scheduler::execute must not be called from a worker thread");
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job_root_ = std::move(root);
+    job_done_.store(false, std::memory_order_release);
+    workers_running_ = num_workers();
+    ++job_epoch_;
+  }
+  cv_start_.notify_all();
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_done_.wait(lk, [&] { return workers_running_ == 0; });
+}
+
+void Scheduler::worker_main(std::uint32_t index) {
+  Worker& w = *workers_[index];
+  tl_worker = &w;
+  if (cfg_.pin_threads) {
+    numa::pin_current_thread(cfg_.topology.core_of_worker(index));
+  }
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_start_.wait(lk, [&] { return shutdown_ || job_epoch_ != w.seen_epoch_; });
+      if (shutdown_) return;
+      w.seen_epoch_ = job_epoch_;
+    }
+    run_job(w);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (--workers_running_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void Scheduler::run_job(Worker& w) {
+  // Per-job policy state. Each worker resets only its own state, before it
+  // can observe any of the new job's tasks.
+  w.first_steal_done_ = false;
+  w.forced_attempts_ = 0;
+  w.steal_round_ = 0;
+  w.arena_.reset();
+  w.job_start_ns_ = now_ns();
+
+  if (w.id_ == 0) {
+    job_root_(w);
+    job_done_.store(true, std::memory_order_release);
+  } else {
+    Backoff backoff;
+    while (job_active()) {
+      if (Task* t = w.find_task()) {
+        w.run_task(t);
+        backoff.reset();
+      } else {
+        backoff.pause();
+      }
+    }
+  }
+}
+
+WorkerCounters Scheduler::aggregate_counters() const {
+  WorkerCounters total;
+  for (const auto& w : workers_) total.merge(w->counters());
+  return total;
+}
+
+void Scheduler::reset_counters() {
+  for (auto& w : workers_) w->counters().reset();
+}
+
+}  // namespace nabbitc::rt

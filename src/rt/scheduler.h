@@ -1,0 +1,187 @@
+// The work-stealing scheduler: workers, job lifecycle, steal loop.
+//
+// This is the from-scratch replacement for the modified GCC Cilk Plus
+// runtime of the paper (see DESIGN.md for the mapping). One OS thread per
+// worker; each worker owns a Chase-Lev deque whose entries advertise color
+// masks; thieves run the colored-steal policy of SectionIII.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "numa/penalty.h"
+#include "numa/topology.h"
+#include "rt/arena.h"
+#include "rt/counters.h"
+#include "rt/deque.h"
+#include "rt/steal_policy.h"
+#include "rt/task.h"
+#include "support/align.h"
+#include "support/rng.h"
+
+namespace nabbitc::rt {
+
+class Scheduler;
+
+struct SchedulerConfig {
+  /// Number of workers (== number of colors). Defaults to host concurrency.
+  std::uint32_t num_workers = 0;  // 0 = hardware_concurrency
+  /// Topology used for pinning and domain-granularity locality accounting.
+  numa::Topology topology = numa::Topology::host();
+  StealPolicy steal{};
+  /// Pin worker w to core topology.core_of_worker(w) (best effort).
+  bool pin_threads = false;
+  std::uint64_t seed = 0x9e3779b9u;
+};
+
+/// Per-thread scheduler agent. Everything here except the deque is touched
+/// only by the owning thread (or by aggregation after a job completes).
+class Worker {
+ public:
+  std::uint32_t id() const noexcept { return id_; }
+  numa::Color color() const noexcept { return color_; }
+  std::uint32_t domain() const noexcept { return domain_; }
+  const ColorMask& color_mask() const noexcept { return my_mask_; }
+
+  WorkDeque& deque() noexcept { return deque_; }
+  JobArena& arena() noexcept { return arena_; }
+  WorkerCounters& counters() noexcept { return counters_; }
+  const WorkerCounters& counters() const noexcept { return counters_; }
+  Pcg32& rng() noexcept { return rng_; }
+  Scheduler& scheduler() noexcept { return *sched_; }
+  const numa::Topology& topology() const noexcept;
+
+  /// Records the paper's node-level locality metric for one executed
+  /// task-graph node: the node's own color plus its predecessors' colors,
+  /// each counted remote iff outside this worker's NUMA domain.
+  void record_node_execution(numa::Color node_color, std::uint64_t preds_total,
+                             std::uint64_t preds_remote) noexcept {
+    auto& loc = counters_.locality;
+    loc.nodes += 1;
+    loc.remote_nodes += topology().is_local(node_color, id_) ? 0 : 1;
+    loc.pred_accesses += preds_total;
+    loc.remote_pred_accesses += preds_remote;
+  }
+
+  /// True iff `c` is local to this worker's NUMA domain.
+  bool color_is_local(numa::Color c) const noexcept {
+    return topology().is_local(c, id_);
+  }
+
+  /// One attempt to obtain a task: own deque first, then one steal round.
+  /// Returns nullptr when no work was found this round.
+  Task* find_task();
+
+  /// Executes a task, updating counters.
+  void run_task(Task* task) {
+    ++counters_.tasks_executed;
+    task->run(*this);
+  }
+
+ private:
+  friend class Scheduler;
+  Task* try_steal_once();
+
+  std::uint32_t id_ = 0;
+  numa::Color color_ = 0;
+  std::uint32_t domain_ = 0;
+  ColorMask my_mask_;
+  Scheduler* sched_ = nullptr;
+
+  WorkDeque deque_;
+  JobArena arena_;
+  WorkerCounters counters_;
+  Pcg32 rng_;
+
+  // Per-job steal-policy state.
+  bool first_steal_done_ = false;
+  std::uint64_t forced_attempts_ = 0;
+  std::uint32_t steal_round_ = 0;
+  std::uint64_t job_start_ns_ = 0;
+  std::uint32_t seen_epoch_ = 0;
+};
+
+/// Owns the worker threads. One Scheduler instance == one virtual machine;
+/// `execute` runs one job (task-graph execution) to completion.
+class Scheduler {
+ public:
+  explicit Scheduler(SchedulerConfig cfg);
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Runs `root` on worker 0 while all other workers steal; returns when
+  /// root has returned (root must wait on any TaskGroups it creates).
+  /// Must not be called from inside a worker.
+  void execute(std::function<void(Worker&)> root);
+
+  std::uint32_t num_workers() const noexcept { return static_cast<std::uint32_t>(workers_.size()); }
+  const SchedulerConfig& config() const noexcept { return cfg_; }
+  const numa::Topology& topology() const noexcept { return cfg_.topology; }
+
+  Worker& worker(std::uint32_t i) noexcept { return *workers_[i]; }
+  const Worker& worker(std::uint32_t i) const noexcept { return *workers_[i]; }
+
+  /// Sum of all per-worker counters (cumulative since last reset).
+  WorkerCounters aggregate_counters() const;
+  void reset_counters();
+
+  /// The worker owned by the calling thread, or nullptr off the pool.
+  static Worker* current() noexcept;
+
+  /// True while a job is running (used by worker steal loops).
+  bool job_active() const noexcept {
+    return !job_done_.load(std::memory_order_acquire);
+  }
+
+ private:
+  friend class Worker;
+  void worker_main(std::uint32_t index);
+  void run_job(Worker& w);
+
+  SchedulerConfig cfg_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  std::uint32_t job_epoch_ = 0;
+  std::uint32_t workers_running_ = 0;
+  bool shutdown_ = false;
+  std::function<void(Worker&)> job_root_;
+  std::atomic<bool> job_done_{true};
+};
+
+// ---------------------------------------------------------------------------
+// TaskGroup inline implementation (needs Worker).
+
+template <typename F>
+void TaskGroup::spawn(Worker& worker, const ColorMask& colors, F&& fn) {
+  using Fn = std::decay_t<F>;
+  add(1);
+  auto* task = worker.arena().create<GroupTask<Fn>>(this, std::forward<F>(fn));
+  task->colors = colors;  // the paper's cilkrts_set_next_colors()
+  ++worker.counters().spawns;
+  worker.deque().push(task);
+}
+
+inline void TaskGroup::wait(Worker& worker) {
+  // Work-first helping: drain own deque, then steal, until the group is done.
+  while (!done()) {
+    if (Task* t = worker.find_task()) {
+      worker.run_task(t);
+    } else {
+      std::this_thread::yield();
+    }
+  }
+}
+
+}  // namespace nabbitc::rt

@@ -1,0 +1,43 @@
+// Steal policy knobs (paper SectionIII, "Colored Steals").
+#pragma once
+
+#include <cstdint>
+
+namespace nabbitc::rt {
+
+struct StealPolicy {
+  /// Master switch. false = vanilla Cilk/Nabbit random stealing (color masks
+  /// are ignored entirely); true = NabbitC behaviour.
+  bool colored_enabled = true;
+
+  /// Number of colored steal attempts before each random fallback attempt
+  /// ("a constant number of colored steal attempts before attempting a
+  /// random steal"). The paper does not state its constant; 8 balances
+  /// locality against the load-balance guarantee in our sweeps (the
+  /// bench_ablation binary sweeps this knob).
+  std::uint32_t colored_attempts = 8;
+
+  /// Enforce that a worker's first steal of a job is a successful colored
+  /// steal ("we enforce that the first steal a worker performs is a
+  /// successful colored steal").
+  bool force_first_colored = true;
+
+  /// Upper bound on forced first-steal attempts. The paper's enforcement is
+  /// unbounded, which deadlocks under Table III's invalid coloring (every
+  /// colored steal fails forever); the paper's own Table III results show
+  /// their runtime degrades to random stealing, so the enforcement must be
+  /// bounded in practice. After this many failed colored attempts the worker
+  /// falls back to the steady-state policy and the abandonment is counted.
+  std::uint32_t first_steal_max_attempts = 4096;
+
+  static StealPolicy nabbit() {
+    StealPolicy p;
+    p.colored_enabled = false;
+    p.force_first_colored = false;
+    return p;
+  }
+
+  static StealPolicy nabbitc() { return StealPolicy{}; }
+};
+
+}  // namespace nabbitc::rt

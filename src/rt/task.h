@@ -1,0 +1,88 @@
+// Task frames and task groups.
+//
+// The runtime is *child-stealing*: `cilk_spawn f()` from the paper maps to
+// pushing a stealable frame for the continuation work and running the
+// preferred half inline (see nabbitc/spawn_colors.h for the mapping). A Task
+// carries the color mask the paper would have pushed onto the Cilk color
+// deque via cilkrts_set_next_colors().
+//
+// Frames are allocated from job-lifetime arenas (rt/arena.h) and therefore
+// must be trivially destructible.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+
+#include "rt/color_mask.h"
+
+namespace nabbitc::rt {
+
+class Worker;
+
+/// Abstract task frame. Subclasses are arena-allocated; the base class is
+/// never deleted polymorphically.
+class Task {
+ public:
+  virtual void run(Worker& worker) = 0;
+
+  /// Colors available in this stealable frame (the paper's color-deque
+  /// entry). Written once before the frame is pushed.
+  ColorMask colors;
+
+ protected:
+  ~Task() = default;
+};
+
+/// Join counter shared by a tree of spawned tasks. `wait` keeps the caller
+/// productive: it executes local then stolen tasks until the group drains
+/// (work-first helping, as a Cilk worker would at a sync).
+class TaskGroup {
+ public:
+  TaskGroup() = default;
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Spawns `fn(Worker&)` as a stealable frame advertising `colors`.
+  /// Defined in scheduler.h (needs Worker).
+  template <typename F>
+  void spawn(Worker& worker, const ColorMask& colors, F&& fn);
+
+  /// Runs tasks until every spawn in this group has finished.
+  /// Defined in scheduler.h (needs Worker).
+  void wait(Worker& worker);
+
+  bool done() const noexcept { return pending_.load(std::memory_order_acquire) == 0; }
+
+  /// Manual accounting for frames that complete asynchronously.
+  void add(std::int64_t n = 1) noexcept {
+    pending_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void finish() noexcept { pending_.fetch_sub(1, std::memory_order_acq_rel); }
+
+ private:
+  std::atomic<std::int64_t> pending_{0};
+};
+
+/// A closure bound to a TaskGroup; decrements the group on completion.
+template <typename F>
+class GroupTask final : public Task {
+ public:
+  GroupTask(TaskGroup* group, F fn) : group_(group), fn_(std::move(fn)) {
+    static_assert(std::is_trivially_destructible_v<F>,
+                  "task closures live in arenas; capture only trivially "
+                  "destructible state (pointers, spans, scalars)");
+  }
+
+  void run(Worker& worker) override {
+    fn_(worker);
+    group_->finish();
+  }
+
+ private:
+  TaskGroup* group_;
+  F fn_;
+};
+
+}  // namespace nabbitc::rt

@@ -1,0 +1,421 @@
+#include "sim/sim_engine.h"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+#include "rt/color_mask.h"
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace nabbitc::sim {
+
+namespace {
+
+using rt::ColorMask;
+
+/// One stealable deque entry: a set of ready nodes (sorted by color)
+/// together with the mask the paper's color deque would advertise.
+struct Entry {
+  std::vector<NodeId> nodes;
+  ColorMask mask;
+};
+
+struct VWorker {
+  std::deque<Entry> deque;  // back = bottom (owner side), front = top (thief side)
+  double now = 0.0;         // worker-local clock
+  bool first_steal_done = false;
+  std::uint64_t forced_attempts = 0;
+  std::uint32_t steal_round = 0;
+  double idle_since = 0.0;
+  double idle_total = 0.0;
+  double first_wait = 0.0;
+  bool has_worked = false;
+};
+
+class Simulation {
+ public:
+  Simulation(const TaskDag& dag, const SimConfig& cfg)
+      : dag_(dag), cfg_(cfg), rng_(cfg.seed, 23) {
+    NABBITC_CHECK(cfg_.num_workers >= 1);
+    NABBITC_CHECK(cfg_.num_workers <= ColorMask::kMaxColors);
+  }
+
+  SimResult run() {
+    const std::size_t n = dag_.num_nodes();
+    join_.assign(n, 0);
+    for (NodeId v = 0; v < n; ++v) {
+      join_[v] = static_cast<std::uint32_t>(dag_.preds(v).size());
+    }
+    workers_.assign(cfg_.num_workers, VWorker{});
+    pending_.assign(cfg_.num_workers, kInvalidNode);
+
+    // Roots start on worker 0 — "one worker starts out with executing the
+    // root node and all other workers are stealing".
+    std::vector<NodeId> roots;
+    for (NodeId v = 0; v < n; ++v) {
+      if (join_[v] == 0) roots.push_back(v);
+    }
+    NABBITC_CHECK_MSG(!roots.empty() || n == 0, "DAG has no roots");
+    if (n == 0) return collect();
+
+    // Event queue: worker w acts at time t; seq breaks ties
+    // deterministically.
+    using Ev = std::tuple<double, std::uint64_t, std::uint32_t>;
+    std::priority_queue<Ev, std::vector<Ev>, std::greater<>> events;
+    std::uint64_t seq = 0;
+
+    NodeId first = push_batch_and_take(0, std::move(roots));
+    NABBITC_CHECK(first != kInvalidNode);
+    start_node(0, first);
+    events.emplace(workers_[0].now, seq++, 0u);
+    for (std::uint32_t w = 1; w < cfg_.num_workers; ++w) {
+      workers_[w].idle_since = 0.0;
+      events.emplace(0.0, seq++, w);
+    }
+
+    while (!events.empty() && done_ < n) {
+      auto [t, s, w] = events.top();
+      events.pop();
+      VWorker& vw = workers_[w];
+      vw.now = std::max(vw.now, t);
+
+      // Complete the node this worker was executing, if any.
+      if (pending_[w] != kInvalidNode) {
+        NodeId finished = pending_[w];
+        pending_[w] = kInvalidNode;
+        ++done_;
+        makespan_ = std::max(makespan_, vw.now);
+        NodeId next = notify_and_take(w, finished);
+        if (next == kInvalidNode) next = pop_local(w);
+        if (next != kInvalidNode) {
+          start_node(w, next);
+          events.emplace(vw.now, seq++, w);
+          continue;
+        }
+        vw.idle_since = vw.now;
+      }
+      if (done_ >= n) break;
+
+      // Idle: one steal attempt, then reschedule.
+      NodeId got = try_steal_once(w);
+      vw.now += cfg_.penalty.steal_cost;
+      if (got != kInvalidNode) {
+        vw.idle_total += vw.now - vw.idle_since;
+        start_node(w, got);
+        events.emplace(vw.now, seq++, w);
+        continue;
+      }
+      // Skip-ahead: if every deque is empty, no attempt can succeed until
+      // some busy worker completes a node and publishes new entries — jump
+      // straight there instead of simulating provably futile attempts.
+      // (Successful-steal counts and wait times are unaffected.)
+      bool any_entries = false;
+      for (const auto& ow : workers_) {
+        if (!ow.deque.empty()) {
+          any_entries = true;
+          break;
+        }
+      }
+      if (!any_entries) {
+        double next_completion = -1.0;
+        for (std::uint32_t o = 0; o < cfg_.num_workers; ++o) {
+          if (pending_[o] != kInvalidNode) {
+            if (next_completion < 0.0 || workers_[o].now < next_completion) {
+              next_completion = workers_[o].now;
+            }
+          }
+        }
+        if (next_completion > vw.now) vw.now = next_completion;
+      }
+      events.emplace(vw.now, seq++, w);
+    }
+
+    return collect();
+  }
+
+ private:
+  static constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+  void start_node(std::uint32_t w, NodeId v) {
+    VWorker& vw = workers_[w];
+    if (!vw.has_worked) {
+      vw.has_worked = true;
+      vw.first_wait = vw.now;  // 0 for worker 0; steal-acquire time otherwise
+    }
+    const DagNode& nd = dag_.node(v);
+    const bool remote = !cfg_.topology.is_local(nd.color, w);
+    // Locality accounting, paper SectionV-B: the node itself plus each
+    // predecessor access, remote iff outside the worker's domain.
+    ++result_.locality.nodes;
+    if (remote) ++result_.locality.remote_nodes;
+    for (NodeId p : dag_.preds(v)) {
+      ++result_.locality.pred_accesses;
+      if (!cfg_.topology.is_local(dag_.node(p).color, w)) {
+        ++result_.locality.remote_pred_accesses;
+      }
+    }
+    const double cost =
+        cfg_.penalty.node_cost(nd.work, remote) +
+        cfg_.penalty.edge_cost * static_cast<double>(dag_.preds(v).size());
+    vw.now += cost;
+    pending_[w] = v;
+  }
+
+  /// Decrements successors of `v`; pushes the newly ready batch through the
+  /// morphing-continuation order and returns the node to run next.
+  NodeId notify_and_take(std::uint32_t w, NodeId v) {
+    std::vector<NodeId> ready;
+    for (NodeId s : dag_.succs(v)) {
+      if (--join_[s] == 0) ready.push_back(s);
+    }
+    if (ready.empty()) return kInvalidNode;
+    return push_batch_and_take(w, std::move(ready));
+  }
+
+  /// Figure 3 (spawn_colors + spawn_nodes) at ready-batch granularity:
+  /// sorts the batch by color, recursively halves the color-group list
+  /// keeping the worker's own half inline, pushes the other half as one
+  /// stealable entry with its union mask, then halves within the final
+  /// color group. Returns the single node the worker executes now.
+  NodeId push_batch_and_take(std::uint32_t w, std::vector<NodeId> batch) {
+    if (batch.empty()) return kInvalidNode;
+    auto& dq = workers_[w].deque;
+    const numa::Color mine =
+        cfg_.steal.colored_enabled ? static_cast<numa::Color>(w) : numa::kInvalidColor;
+
+    std::sort(batch.begin(), batch.end(), [&](NodeId a, NodeId b) {
+      const numa::Color ca = dag_.node(a).hint, cb = dag_.node(b).hint;
+      return ca != cb ? ca < cb : a < b;
+    });
+    // Group boundaries by color.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> groups;
+    std::uint32_t start = 0;
+    for (std::uint32_t i = 1; i <= batch.size(); ++i) {
+      if (i == batch.size() ||
+          dag_.node(batch[i]).hint != dag_.node(batch[start]).hint) {
+        groups.emplace_back(start, i);
+        start = i;
+      }
+    }
+
+    auto group_color = [&](std::uint32_t g) {
+      return dag_.node(batch[groups[g].first]).hint;
+    };
+    std::uint32_t glo = 0, ghi = static_cast<std::uint32_t>(groups.size());
+    while (ghi - glo > 1) {
+      const std::uint32_t mid = glo + (ghi - glo) / 2;
+      bool mine_in_second = false;
+      if (mine >= 0) {
+        for (std::uint32_t g = mid; g < ghi && !mine_in_second; ++g) {
+          mine_in_second = group_color(g) == mine;
+        }
+      }
+      std::uint32_t klo = glo, khi = mid, slo = mid, shi = ghi;
+      if (mine_in_second) {
+        klo = mid;
+        khi = ghi;
+        slo = glo;
+        shi = mid;
+      }
+      Entry e;
+      for (std::uint32_t g = slo; g < shi; ++g) {
+        e.mask.set(group_color(g));
+        for (std::uint32_t i = groups[g].first; i < groups[g].second; ++i) {
+          e.nodes.push_back(batch[i]);
+        }
+      }
+      dq.push_back(std::move(e));
+      glo = klo;
+      ghi = khi;
+    }
+    // Single color group: spawn_nodes halving.
+    std::uint32_t lo = groups[glo].first, hi = groups[glo].second;
+    const ColorMask cmask = ColorMask::single(group_color(glo));
+    while (hi - lo > 1) {
+      const std::uint32_t mid = lo + (hi - lo) / 2;
+      Entry e;
+      e.mask = cmask;
+      e.nodes.assign(batch.begin() + mid, batch.begin() + hi);
+      dq.push_back(std::move(e));
+      hi = mid;
+    }
+    return batch[lo];
+  }
+
+  /// Owner-side pop: bottom entry, re-expanded through the morphing order.
+  NodeId pop_local(std::uint32_t w) {
+    auto& dq = workers_[w].deque;
+    if (dq.empty()) return kInvalidNode;
+    Entry e = std::move(dq.back());
+    dq.pop_back();
+    return push_batch_and_take(w, std::move(e.nodes));
+  }
+
+  NodeId try_steal_once(std::uint32_t w) {
+    const std::uint32_t nw = cfg_.num_workers;
+    if (nw <= 1) return kInvalidNode;
+    VWorker& vw = workers_[w];
+    const rt::StealPolicy& pol = cfg_.steal;
+
+    bool forcing =
+        pol.colored_enabled && pol.force_first_colored && !vw.first_steal_done;
+    if (forcing && vw.forced_attempts >= pol.first_steal_max_attempts) {
+      vw.first_steal_done = true;
+      forcing = false;
+    }
+    bool colored;
+    if (forcing) {
+      colored = true;
+    } else {
+      const std::uint32_t k = pol.colored_attempts;
+      colored = pol.colored_enabled && k > 0 && (vw.steal_round % (k + 1)) < k;
+    }
+    ++vw.steal_round;
+
+    std::uint32_t victim = rng_.below(nw - 1);
+    if (victim >= w) ++victim;
+
+    if (colored) {
+      ++result_.attempts_colored;
+      if (forcing) ++vw.forced_attempts;
+    } else {
+      ++result_.attempts_random;
+    }
+
+    auto& vdq = workers_[victim].deque;
+    if (vdq.empty()) return kInvalidNode;
+    if (colored && !vdq.front().mask.test(static_cast<numa::Color>(w))) {
+      return kInvalidNode;  // color miss
+    }
+    Entry e = std::move(vdq.front());
+    vdq.pop_front();
+    if (colored) {
+      ++result_.steals_colored;
+    } else {
+      ++result_.steals_random;
+    }
+    vw.first_steal_done = true;
+    vw.steal_round = 0;
+    return push_batch_and_take(w, std::move(e.nodes));
+  }
+
+  SimResult collect() {
+    result_.makespan = makespan_;
+    double serial = 0.0;
+    for (NodeId v = 0; v < dag_.num_nodes(); ++v) {
+      serial += dag_.node(v).work;
+    }
+    result_.serial_time = serial;
+    double wait = 0.0, idle = 0.0;
+    for (const auto& vw : workers_) {
+      wait += vw.first_wait;
+      idle += vw.idle_total;
+    }
+    result_.avg_first_steal_wait = wait / static_cast<double>(workers_.size());
+    result_.avg_idle_time = idle / static_cast<double>(workers_.size());
+    return result_;
+  }
+
+  const TaskDag& dag_;
+  SimConfig cfg_;
+  Pcg32 rng_;
+  std::vector<std::uint32_t> join_;
+  std::vector<VWorker> workers_;
+  std::vector<NodeId> pending_;
+  std::size_t done_ = 0;
+  double makespan_ = 0.0;
+  SimResult result_;
+};
+
+}  // namespace
+
+SimResult simulate(const TaskDag& dag, const SimConfig& cfg) {
+  Simulation s(dag, cfg);
+  return s.run();
+}
+
+SimResult simulate_loop(const TaskDag& dag, const SimConfig& cfg,
+                        loop::Schedule schedule, std::int64_t chunk) {
+  const std::size_t n = dag.num_nodes();
+  SimResult res;
+  res.serial_time = dag.total_work();
+  if (n == 0) return res;
+  if (chunk < 1) chunk = 1;
+
+  // Topological level decomposition: each level is one parallel loop with
+  // an implicit barrier, which is how the paper's OpenMP benchmarks are
+  // structured (one loop per iteration/phase/antidiagonal).
+  std::vector<NodeId> order = dag.topo_order();
+  std::vector<std::uint32_t> level(n, 0);
+  std::uint32_t max_level = 0;
+  for (NodeId v : order) {
+    for (NodeId p : dag.preds(v)) level[v] = std::max(level[v], level[p] + 1);
+    max_level = std::max(max_level, level[v]);
+  }
+  std::vector<std::vector<NodeId>> levels(max_level + 1);
+  for (NodeId v = 0; v < n; ++v) levels[level[v]].push_back(v);
+
+  const std::uint32_t nt = cfg.num_workers;
+  auto node_cost = [&](NodeId v, std::uint32_t tid) {
+    const DagNode& nd = dag.node(v);
+    const bool remote = !cfg.topology.is_local(nd.color, tid);
+    return cfg.penalty.node_cost(nd.work, remote);
+  };
+  auto count_access = [&](NodeId v, std::uint32_t tid) {
+    const bool remote = !cfg.topology.is_local(dag.node(v).color, tid);
+    ++res.locality.nodes;
+    if (remote) ++res.locality.remote_nodes;
+    for (NodeId p : dag.preds(v)) {
+      ++res.locality.pred_accesses;
+      if (!cfg.topology.is_local(dag.node(p).color, tid)) {
+        ++res.locality.remote_pred_accesses;
+      }
+    }
+  };
+
+  double clock = 0.0;
+  for (auto& lv : levels) {
+    std::sort(lv.begin(), lv.end());  // deterministic loop order
+    const auto ln = static_cast<std::int64_t>(lv.size());
+    std::vector<double> t(nt, clock);
+    if (schedule == loop::Schedule::kStatic) {
+      for (std::uint32_t tid = 0; tid < nt; ++tid) {
+        loop::IterRange r = loop::static_block(ln, nt, tid);
+        for (std::int64_t i = r.lo; i < r.hi; ++i) {
+          t[tid] += node_cost(lv[static_cast<std::size_t>(i)], tid);
+          count_access(lv[static_cast<std::size_t>(i)], tid);
+        }
+      }
+    } else {
+      // Earliest-available-thread greedy chunk grabbing.
+      using Tq = std::pair<double, std::uint32_t>;
+      std::priority_queue<Tq, std::vector<Tq>, std::greater<>> tq;
+      for (std::uint32_t tid = 0; tid < nt; ++tid) tq.emplace(clock, tid);
+      std::int64_t next = 0;
+      while (next < ln) {
+        auto [now, tid] = tq.top();
+        tq.pop();
+        const std::int64_t take = schedule == loop::Schedule::kGuided
+                                      ? loop::guided_chunk(ln - next, nt, chunk)
+                                      : std::min(chunk, ln - next);
+        double tt = now;
+        for (std::int64_t i = next; i < next + take; ++i) {
+          tt += node_cost(lv[static_cast<std::size_t>(i)], tid);
+          count_access(lv[static_cast<std::size_t>(i)], tid);
+        }
+        next += take;
+        t[tid] = tt;
+        tq.emplace(tt, tid);
+      }
+    }
+    clock = *std::max_element(t.begin(), t.end());  // barrier
+  }
+  res.makespan = clock;
+  return res;
+}
+
+}  // namespace nabbitc::sim

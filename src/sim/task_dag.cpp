@@ -1,0 +1,75 @@
+#include "sim/task_dag.h"
+
+#include <algorithm>
+
+namespace nabbitc::sim {
+
+std::vector<NodeId> TaskDag::topo_order() const {
+  const std::size_t n = nodes_.size();
+  std::vector<std::uint32_t> indeg(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    indeg[v] = static_cast<std::uint32_t>(preds_[v].size());
+  }
+  std::vector<NodeId> order;
+  order.reserve(n);
+  for (NodeId v = 0; v < n; ++v) {
+    if (indeg[v] == 0) order.push_back(v);
+  }
+  for (std::size_t head = 0; head < order.size(); ++head) {
+    for (NodeId s : succs_[order[head]]) {
+      if (--indeg[s] == 0) order.push_back(s);
+    }
+  }
+  NABBITC_CHECK_MSG(order.size() == n, "task DAG contains a cycle");
+  return order;
+}
+
+bool TaskDag::is_acyclic() const {
+  const std::size_t n = nodes_.size();
+  std::vector<std::uint32_t> indeg(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    indeg[v] = static_cast<std::uint32_t>(preds_[v].size());
+  }
+  std::vector<NodeId> frontier;
+  for (NodeId v = 0; v < n; ++v) {
+    if (indeg[v] == 0) frontier.push_back(v);
+  }
+  std::size_t seen = 0;
+  while (!frontier.empty()) {
+    NodeId v = frontier.back();
+    frontier.pop_back();
+    ++seen;
+    for (NodeId s : succs_[v]) {
+      if (--indeg[s] == 0) frontier.push_back(s);
+    }
+  }
+  return seen == n;
+}
+
+double TaskDag::critical_path() const {
+  std::vector<NodeId> order = topo_order();
+  std::vector<double> finish(nodes_.size(), 0.0);
+  double best = 0.0;
+  for (NodeId v : order) {
+    double start = 0.0;
+    for (NodeId p : preds_[v]) start = std::max(start, finish[p]);
+    finish[v] = start + nodes_[v].work;
+    best = std::max(best, finish[v]);
+  }
+  return best;
+}
+
+std::size_t TaskDag::longest_chain() const {
+  std::vector<NodeId> order = topo_order();
+  std::vector<std::size_t> depth(nodes_.size(), 0);
+  std::size_t best = 0;
+  for (NodeId v : order) {
+    std::size_t d = 0;
+    for (NodeId p : preds_[v]) d = std::max(d, depth[p]);
+    depth[v] = d + 1;
+    best = std::max(best, depth[v]);
+  }
+  return best;
+}
+
+}  // namespace nabbitc::sim

@@ -1,0 +1,55 @@
+// Cache-line alignment helpers.
+//
+// Shared-memory scheduler state (deque indices, per-worker counters) is
+// padded to a cache line so that independent workers never false-share.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace nabbitc {
+
+// 64 on every mainstream x86-64/ARM64 part; a fixed value keeps layout ABI-
+// stable across TUs (std::hardware_destructive_interference_size can vary
+// with -mtune and triggers -Winterference-size on GCC).
+inline constexpr std::size_t kCacheLine = 64;
+
+/// Wraps a value so it occupies (at least) one full cache line.
+template <typename T>
+struct alignas(kCacheLine) Padded {
+  T value{};
+
+  Padded() = default;
+  explicit Padded(T v) : value(std::move(v)) {}
+
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+
+ private:
+  // Pad up to the next cache line if T is smaller than one.
+  static constexpr std::size_t pad_bytes() {
+    return sizeof(T) % kCacheLine == 0 ? 0 : kCacheLine - sizeof(T) % kCacheLine;
+  }
+  [[maybe_unused]] char pad_[pad_bytes() == 0 ? 1 : pad_bytes()]{};
+};
+
+/// Rounds `n` up to the next multiple of `align` (power of two).
+constexpr std::size_t round_up(std::size_t n, std::size_t align) noexcept {
+  return (n + align - 1) & ~(align - 1);
+}
+
+/// True iff `n` is a power of two (and nonzero).
+constexpr bool is_pow2(std::size_t n) noexcept { return n != 0 && (n & (n - 1)) == 0; }
+
+/// Smallest power of two >= n (n >= 1).
+constexpr std::size_t next_pow2(std::size_t n) noexcept {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace nabbitc

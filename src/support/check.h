@@ -1,0 +1,34 @@
+// Lightweight invariant checking.
+//
+// NABBITC_CHECK is always on (used for user-facing argument validation and
+// cheap invariants); NABBITC_DCHECK compiles out in release builds and guards
+// hot-path assertions inside the scheduler.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace nabbitc::detail {
+[[noreturn]] inline void check_failed(const char* file, int line, const char* expr,
+                                      const char* msg) {
+  std::fprintf(stderr, "NABBITC CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+}  // namespace nabbitc::detail
+
+#define NABBITC_CHECK(expr)                                                  \
+  do {                                                                       \
+    if (!(expr)) ::nabbitc::detail::check_failed(__FILE__, __LINE__, #expr, ""); \
+  } while (0)
+
+#define NABBITC_CHECK_MSG(expr, msg)                                          \
+  do {                                                                        \
+    if (!(expr)) ::nabbitc::detail::check_failed(__FILE__, __LINE__, #expr, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define NABBITC_DCHECK(expr) ((void)0)
+#else
+#define NABBITC_DCHECK(expr) NABBITC_CHECK(expr)
+#endif

@@ -1,0 +1,82 @@
+#include "support/config.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+namespace nabbitc {
+namespace {
+
+std::string env_key(const std::string& key) {
+  std::string out = "NABBITC_";
+  for (char c : key) {
+    if (c == '-' || c == '.') {
+      out.push_back('_');
+    } else {
+      out.push_back(static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Config Config::from_args(int argc, char** argv, std::vector<std::string>* positional) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto eq = arg.find('=');
+    if (eq != std::string::npos && eq > 0) {
+      cfg.kv_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (positional != nullptr) {
+      positional->push_back(arg);
+    }
+  }
+  return cfg;
+}
+
+std::optional<std::string> Config::raw(const std::string& key) const {
+  auto it = kv_.find(key);
+  if (it != kv_.end()) return it->second;
+  if (const char* env = std::getenv(env_key(key).c_str())) return std::string(env);
+  return std::nullopt;
+}
+
+bool Config::has(const std::string& key) const { return raw(key).has_value(); }
+
+std::string Config::get(const std::string& key, const std::string& fallback) const {
+  return raw(key).value_or(fallback);
+}
+
+std::int64_t Config::get_int(const std::string& key, std::int64_t fallback) const {
+  auto v = raw(key);
+  if (!v) return fallback;
+  return std::strtoll(v->c_str(), nullptr, 10);
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  auto v = raw(key);
+  if (!v) return fallback;
+  return std::strtod(v->c_str(), nullptr);
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  auto v = raw(key);
+  if (!v) return fallback;
+  return *v == "1" || *v == "true" || *v == "yes" || *v == "on";
+}
+
+std::vector<std::int64_t> Config::get_int_list(
+    const std::string& key, const std::vector<std::int64_t>& fallback) const {
+  auto v = raw(key);
+  if (!v) return fallback;
+  std::vector<std::int64_t> out;
+  std::stringstream ss(*v);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(std::strtoll(item.c_str(), nullptr, 10));
+  }
+  return out;
+}
+
+}  // namespace nabbitc

@@ -1,0 +1,44 @@
+// Key=value configuration with environment-variable overrides.
+//
+// Benches and examples take "key=value" command-line pairs; any key can also
+// be set via the environment as NABBITC_<UPPERCASED_KEY>. This keeps every
+// experiment binary scriptable without a flags library.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace nabbitc {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses argv entries of the form key=value; other entries are returned
+  /// as positional arguments.
+  static Config from_args(int argc, char** argv, std::vector<std::string>* positional = nullptr);
+
+  void set(const std::string& key, const std::string& value) { kv_[key] = value; }
+  bool has(const std::string& key) const;
+
+  /// Lookup order: explicit setting, then NABBITC_<KEY> env var, then fallback.
+  std::string get(const std::string& key, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Comma-separated list of integers, e.g. "1,2,4,8".
+  std::vector<std::int64_t> get_int_list(const std::string& key,
+                                         const std::vector<std::int64_t>& fallback) const;
+
+  const std::map<std::string, std::string>& entries() const noexcept { return kv_; }
+
+ private:
+  std::optional<std::string> raw(const std::string& key) const;
+  std::map<std::string, std::string> kv_;
+};
+
+}  // namespace nabbitc

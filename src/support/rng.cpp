@@ -1,0 +1,7 @@
+#include "support/rng.h"
+
+// Header-only in practice; this TU pins the library's existence and provides
+// a home for any future out-of-line RNG utilities.
+namespace nabbitc {
+static_assert(Pcg32::min() == 0 && Pcg32::max() == 0xffffffffu);
+}  // namespace nabbitc

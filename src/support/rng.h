@@ -1,0 +1,92 @@
+// Deterministic pseudo-random number generation.
+//
+// The scheduler, graph generators, and simulator all need fast, seedable,
+// *reproducible* randomness. We use PCG32 (O'Neill) for streams and
+// SplitMix64 for seeding/hashing. std::mt19937 is avoided in hot paths
+// (large state, slow to seed per-worker).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+namespace nabbitc {
+
+/// SplitMix64: used to derive independent seeds and as an integer mixer.
+constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// PCG32: 64-bit state, 32-bit output, period 2^64 per stream.
+class Pcg32 {
+ public:
+  using result_type = std::uint32_t;
+
+  Pcg32() noexcept : Pcg32(0x853c49e6748fea9bULL, 0xda3e39cb94b95bdbULL) {}
+  explicit Pcg32(std::uint64_t seed, std::uint64_t stream = 1) noexcept {
+    state_ = 0;
+    inc_ = (stream << 1) | 1u;
+    next();
+    state_ += splitmix64(seed);
+    next();
+  }
+
+  result_type next() noexcept {
+    std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    auto xorshifted = static_cast<std::uint32_t>(((old >> 18) ^ old) >> 27);
+    auto rot = static_cast<std::uint32_t>(old >> 59);
+    return (xorshifted >> rot) | (xorshifted << ((32 - rot) & 31));
+  }
+
+  result_type operator()() noexcept { return next(); }
+
+  /// Unbiased integer in [0, bound) via Lemire's method.
+  std::uint32_t below(std::uint32_t bound) noexcept {
+    if (bound <= 1) return 0;
+    std::uint64_t m = static_cast<std::uint64_t>(next()) * bound;
+    auto lo = static_cast<std::uint32_t>(m);
+    if (lo < bound) {
+      std::uint32_t threshold = (0u - bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<std::uint64_t>(next()) * bound;
+        lo = static_cast<std::uint32_t>(m);
+      }
+    }
+    return static_cast<std::uint32_t>(m >> 32);
+  }
+
+  /// Integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(next64() % static_cast<std::uint64_t>(hi - lo + 1));
+  }
+
+  std::uint64_t next64() noexcept {
+    return (static_cast<std::uint64_t>(next()) << 32) | next();
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept { return (next64() >> 11) * 0x1.0p-53; }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return 0xffffffffu; }
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+};
+
+/// Fisher-Yates shuffle of [first, last) using a Pcg32.
+template <typename It>
+void shuffle(It first, It last, Pcg32& rng) {
+  auto n = static_cast<std::uint32_t>(last - first);
+  for (std::uint32_t i = n; i > 1; --i) {
+    std::uint32_t j = rng.below(i);
+    using std::swap;
+    swap(first[i - 1], first[j]);
+  }
+}
+
+}  // namespace nabbitc

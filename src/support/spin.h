@@ -1,0 +1,86 @@
+// Spin synchronization primitives.
+//
+// All spin loops yield to the OS after a short bounded burst: this library
+// must behave correctly when workers outnumber hardware threads (including
+// the 1-core CI container), where pure spinning livelocks.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace nabbitc {
+
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+/// Exponential backoff: pause a few times, then yield to the scheduler.
+class Backoff {
+ public:
+  void pause() noexcept {
+    if (spins_ < kSpinLimit) {
+      for (int i = 0; i < (1 << spins_); ++i) cpu_relax();
+      ++spins_;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  void reset() noexcept { spins_ = 0; }
+
+ private:
+  static constexpr int kSpinLimit = 6;  // up to 64 pauses before yielding
+  int spins_ = 0;
+};
+
+/// Test-and-test-and-set spinlock with backoff. Satisfies Lockable.
+class SpinLock {
+ public:
+  void lock() noexcept {
+    Backoff backoff;
+    for (;;) {
+      if (!locked_.exchange(true, std::memory_order_acquire)) return;
+      while (locked_.load(std::memory_order_relaxed)) backoff.pause();
+    }
+  }
+  bool try_lock() noexcept {
+    return !locked_.load(std::memory_order_relaxed) &&
+           !locked_.exchange(true, std::memory_order_acquire);
+  }
+  void unlock() noexcept { locked_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> locked_{false};
+};
+
+/// Sense-reversing barrier for a fixed set of threads.
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(std::uint32_t n) noexcept : n_(n), waiting_(0), sense_(false) {}
+
+  void arrive_and_wait() noexcept {
+    bool my_sense = !sense_.load(std::memory_order_relaxed);
+    if (waiting_.fetch_add(1, std::memory_order_acq_rel) + 1 == n_) {
+      waiting_.store(0, std::memory_order_relaxed);
+      sense_.store(my_sense, std::memory_order_release);
+    } else {
+      Backoff backoff;
+      while (sense_.load(std::memory_order_acquire) != my_sense) backoff.pause();
+    }
+  }
+
+ private:
+  const std::uint32_t n_;
+  std::atomic<std::uint32_t> waiting_;
+  std::atomic<bool> sense_;
+};
+
+}  // namespace nabbitc

@@ -1,0 +1,68 @@
+#include "support/stats.h"
+
+#include <numeric>
+
+#include "support/check.h"
+
+namespace nabbitc {
+
+void RunningStats::merge(const RunningStats& o) noexcept {
+  if (o.n_ == 0) return;
+  if (n_ == 0) {
+    *this = o;
+    return;
+  }
+  auto n = static_cast<double>(n_), m = static_cast<double>(o.n_);
+  double delta = o.mean_ - mean_;
+  double tot = n + m;
+  m2_ += o.m2_ + delta * delta * n * m / tot;
+  mean_ += delta * m / tot;
+  n_ += o.n_;
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+}
+
+double Samples::mean() const noexcept {
+  if (xs_.empty()) return 0.0;
+  return std::accumulate(xs_.begin(), xs_.end(), 0.0) / static_cast<double>(xs_.size());
+}
+
+double Samples::stddev() const noexcept {
+  if (xs_.size() < 2) return 0.0;
+  double mu = mean(), acc = 0.0;
+  for (double x : xs_) acc += (x - mu) * (x - mu);
+  return std::sqrt(acc / static_cast<double>(xs_.size() - 1));
+}
+
+double Samples::min() const noexcept {
+  return xs_.empty() ? 0.0 : *std::min_element(xs_.begin(), xs_.end());
+}
+
+double Samples::max() const noexcept {
+  return xs_.empty() ? 0.0 : *std::max_element(xs_.begin(), xs_.end());
+}
+
+double Samples::percentile(double p) const {
+  NABBITC_CHECK(!xs_.empty());
+  NABBITC_CHECK(p >= 0.0 && p <= 100.0);
+  std::vector<double> s = xs_;
+  std::sort(s.begin(), s.end());
+  if (s.size() == 1) return s[0];
+  double rank = p / 100.0 * static_cast<double>(s.size() - 1);
+  auto lo = static_cast<std::size_t>(rank);
+  std::size_t hi = std::min(lo + 1, s.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return s[lo] * (1.0 - frac) + s[hi] * frac;
+}
+
+double geomean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : xs) {
+    NABBITC_CHECK_MSG(x > 0.0, "geomean requires positive values");
+    acc += std::log(x);
+  }
+  return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+}  // namespace nabbitc

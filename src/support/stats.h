@@ -1,0 +1,63 @@
+// Streaming statistics used by the experiment harness and the simulator.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace nabbitc {
+
+/// Welford running mean/variance. O(1) space, numerically stable.
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = n_ == 1 ? x : std::min(min_, x);
+    max_ = n_ == 1 ? x : std::max(max_, x);
+  }
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  /// Sample variance (n-1 denominator); 0 for n < 2.
+  double variance() const noexcept {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+  }
+  double stddev() const noexcept { return std::sqrt(variance()); }
+  double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+  void merge(const RunningStats& o) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0, m2_ = 0, min_ = 0, max_ = 0;
+};
+
+/// Stores all samples; supports percentiles and trimmed summaries.
+class Samples {
+ public:
+  void add(double x) { xs_.push_back(x); }
+  std::size_t count() const noexcept { return xs_.size(); }
+  bool empty() const noexcept { return xs_.empty(); }
+  double mean() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept;
+  double max() const noexcept;
+  /// Linear-interpolated percentile, p in [0, 100].
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+  const std::vector<double>& values() const noexcept { return xs_; }
+
+ private:
+  std::vector<double> xs_;
+};
+
+/// Geometric mean of positive values (0 if empty).
+double geomean(const std::vector<double>& xs);
+
+}  // namespace nabbitc

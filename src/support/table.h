@@ -1,0 +1,39 @@
+// Plain-text table and CSV rendering for experiment output.
+//
+// Every bench binary prints paper-style tables through this class so that
+// output is uniform and greppable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace nabbitc {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt_int(long long v);
+
+  /// Renders with column alignment and a header rule.
+  std::string to_string() const;
+  /// Renders as CSV (no padding).
+  std::string to_csv() const;
+
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+  std::size_t cols() const noexcept { return headers_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace nabbitc

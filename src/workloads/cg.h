@@ -1,0 +1,23 @@
+// NAS-CG-style conjugate gradient (paper Table I: cg).
+//
+// A fixed number of CG iterations on a synthetic sparse SPD matrix. Each
+// iteration contributes seven task phases — block matvec, block p.q
+// partials, the alpha reduce, block axpys, block r.r partials, the beta
+// reduce, and block p updates — so the task graph is *small* (the paper's
+// cg has only ~300 nodes), which is exactly why NabbitC's benefit is
+// negligible here (SectionV-A): there are too few nodes per core for
+// locality preferences to matter.
+//
+// All dot products are block partials combined in fixed block order, so
+// every variant is bitwise deterministic.
+#pragma once
+
+#include <memory>
+
+#include "workloads/workload.h"
+
+namespace nabbitc::wl {
+
+std::unique_ptr<Workload> make_cg(SizePreset preset);
+
+}  // namespace nabbitc::wl

@@ -1,0 +1,47 @@
+// Bitwise output digests (FNV-1a) used by workload checksums.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace nabbitc::wl {
+
+class Digest {
+ public:
+  void add_bytes(const void* data, std::size_t n) noexcept {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      h_ ^= p[i];
+      h_ *= 0x100000001b3ULL;
+    }
+  }
+
+  void add_u64(std::uint64_t v) noexcept { add_bytes(&v, sizeof(v)); }
+  void add_i64(std::int64_t v) noexcept { add_bytes(&v, sizeof(v)); }
+  void add_i32(std::int32_t v) noexcept { add_bytes(&v, sizeof(v)); }
+
+  /// Hashes the bit pattern; identical doubles hash identically, which is
+  /// exactly what the bitwise determinism contract needs.
+  void add_double(double v) noexcept {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    add_u64(bits);
+  }
+
+  template <typename T>
+  void add_span(const T* data, std::size_t n) noexcept {
+    add_bytes(data, n * sizeof(T));
+  }
+  template <typename T>
+  void add_vector(const std::vector<T>& v) noexcept {
+    add_span(v.data(), v.size());
+  }
+
+  std::uint64_t value() const noexcept { return h_; }
+
+ private:
+  std::uint64_t h_ = 0xcbf29ce484222325ULL;
+};
+
+}  // namespace nabbitc::wl

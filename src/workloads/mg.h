@@ -1,0 +1,20 @@
+// NAS-MG-style 3-D multigrid V-cycle (paper Table I: mg).
+//
+// One V-cycle on an n^3 grid: Jacobi smoothing sweeps on each level going
+// down, residual restriction to the next-coarser grid, coarse solve by
+// extra smoothing, then prolongation + correction and more smoothing going
+// up. Tasks are z-slabs per phase; each phase's slab depends on the
+// overlapping (+-1 halo) slabs of the previous phase, which pipelines
+// adjacent phases at block granularity — a many-node, multi-resolution
+// regular graph (the paper's mg has 16384 nodes).
+#pragma once
+
+#include <memory>
+
+#include "workloads/workload.h"
+
+namespace nabbitc::wl {
+
+std::unique_ptr<Workload> make_mg(SizePreset preset);
+
+}  // namespace nabbitc::wl

@@ -1,0 +1,39 @@
+// PageRank (power method) over synthetic web-graph stand-ins.
+//
+// The paper's exemplar *irregular* benchmark: per-task work varies with the
+// degree distribution, so static scheduling loses load balance and
+// locality-oblivious dynamic scheduling loses locality — the regime where
+// NabbitC beats both (SectionV-A).
+//
+// Formulation: pull-style power iteration. Task (t, b) computes the new
+// ranks of destination block b by gathering over its in-edges — regular
+// reads/writes of its own block (the task's color), irregular reads of
+// remote source blocks (the "unavoidable" traffic). Dependences are
+// block-accurate: (t, b) depends on (t-1, s) for every source block s that
+// some in-edge of b originates in; blocks touching more than `dep_cap`
+// source blocks fall back to a per-iteration barrier node, keeping the
+// graph size linear. Gathering per destination in fixed edge order makes
+// every variant bitwise deterministic.
+//
+// Datasets are generated, not downloaded (see graph/generators.h): the
+// uk-like crawls use windowed targets (high URL locality, mild skew), the
+// twitter-like dataset uses R-MAT (heavy skew, max out-degree orders of
+// magnitude above the mean).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "workloads/workload.h"
+
+namespace nabbitc::wl {
+
+enum class PageRankDataset : std::uint8_t {
+  kUk2002 = 0,
+  kTwitter2010 = 1,
+  kUk200705 = 2,
+};
+
+std::unique_ptr<Workload> make_pagerank(PageRankDataset dataset, SizePreset preset);
+
+}  // namespace nabbitc::wl

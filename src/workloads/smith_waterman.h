@@ -1,0 +1,30 @@
+// Blocked Smith-Waterman local alignment (paper Table I: sw, swn2).
+//
+// Both variants are 2-D block wavefronts: block (bi, bj) depends on its left
+// and top (and, for swn2, diagonal) neighbors — exposing more parallelism as
+// a task graph than the OpenMP per-antidiagonal barrier the paper compares
+// against (SectionV, "Benchmarks and Baselines").
+//
+//  * sw   — O(n^3): general (non-affine, concave) gap penalty, which forces
+//           the textbook row/column max scans per cell. Keeps the full H
+//           matrix.
+//  * swn2 — O(n^2): affine gaps via Gotoh's recurrence (H/E/F), blocked with
+//           boundary-only storage (each block retains its bottom row and
+//           right column), so memory is O(n^2 / B).
+//
+// Data distribution / coloring: block rows are distributed across colors; a
+// task's color is its block-row owner. Top-neighbor boundary reads are then
+// inherently remote — the "unavoidable remote accesses" the paper observes
+// for these two benchmarks in Figure 7.
+#pragma once
+
+#include <memory>
+
+#include "workloads/workload.h"
+
+namespace nabbitc::wl {
+
+std::unique_ptr<Workload> make_sw(SizePreset preset);
+std::unique_ptr<Workload> make_swn2(SizePreset preset);
+
+}  // namespace nabbitc::wl

@@ -1,0 +1,211 @@
+#include "workloads/stencils.h"
+
+#include <vector>
+
+#include "workloads/digest.h"
+
+namespace nabbitc::wl {
+
+StencilWorkload::Dims stencil_dims(SizePreset preset) {
+  // The paper runs 16384-wide grids with 655360 rows in 32-row blocks
+  // (20480 blocks x 5 iterations). We keep the 5 iterations and the 32-row
+  // blocking and scale the grid to the host.
+  switch (preset) {
+    case SizePreset::kTiny:
+      return {/*rows=*/192, /*cols=*/64, /*block_rows=*/32, /*iters=*/3};
+    case SizePreset::kSmall:
+      return {/*rows=*/2048, /*cols=*/512, /*block_rows=*/32, /*iters=*/5};
+    case SizePreset::kMedium:
+      return {/*rows=*/8192, /*cols=*/1024, /*block_rows=*/32, /*iters=*/5};
+    case SizePreset::kPaper:
+      // Table I: n = 16384, m = 655360, 102400 task-graph nodes.
+      // Simulator-only (prepare() at this size needs ~160 GB).
+      return {/*rows=*/655360, /*cols=*/16384, /*block_rows=*/32, /*iters=*/5};
+  }
+  return {2048, 512, 32, 5};
+}
+
+namespace {
+
+/// Deterministic pseudo-random cell seed in [0, 1).
+double cell_seed(std::int64_t i, std::int64_t j) noexcept {
+  auto h = static_cast<std::uint64_t>(i) * 1315423911ULL +
+           static_cast<std::uint64_t>(j) * 2654435761ULL;
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return static_cast<double>(h % 100000) / 100000.0;
+}
+
+// ---------------------------------------------------------------------- heat
+
+class HeatWorkload final : public StencilWorkload {
+ public:
+  explicit HeatWorkload(Dims dims) : StencilWorkload(dims) {}
+
+  const char* name() const override { return "heat"; }
+
+  void init_grids() override {
+    const std::size_t n = static_cast<std::size_t>(dims_.rows * dims_.cols);
+    for (auto& g : grid_) g.assign(n, 0.0);
+    for (std::int64_t i = 0; i < dims_.rows; ++i) {
+      for (std::int64_t j = 0; j < dims_.cols; ++j) {
+        grid_[0][idx(i, j)] = cell_seed(i, j);
+      }
+    }
+  }
+
+  void compute_block(std::uint32_t iter, std::int64_t lo, std::int64_t hi) override {
+    const auto& src = grid_[(iter - 1) & 1];
+    auto& dst = grid_[iter & 1];
+    constexpr double k = 0.125;
+    for (std::int64_t i = lo; i < hi; ++i) {
+      for (std::int64_t j = 0; j < dims_.cols; ++j) {
+        if (i == 0 || j == 0 || i == dims_.rows - 1 || j == dims_.cols - 1) {
+          dst[idx(i, j)] = src[idx(i, j)];  // fixed boundary
+          continue;
+        }
+        const double c = src[idx(i, j)];
+        dst[idx(i, j)] = c + k * (src[idx(i - 1, j)] + src[idx(i + 1, j)] +
+                                  src[idx(i, j - 1)] + src[idx(i, j + 1)] - 4.0 * c);
+      }
+    }
+  }
+
+  std::uint64_t checksum() const override {
+    Digest d;
+    d.add_vector(grid_[dims_.iters & 1]);
+    return d.value();
+  }
+
+ private:
+  std::size_t idx(std::int64_t i, std::int64_t j) const noexcept {
+    return static_cast<std::size_t>(i * dims_.cols + j);
+  }
+  std::vector<double> grid_[2];
+};
+
+// ---------------------------------------------------------------------- fdtd
+
+class FdtdWorkload final : public StencilWorkload {
+ public:
+  explicit FdtdWorkload(Dims dims) : StencilWorkload(dims) {}
+
+  const char* name() const override { return "fdtd"; }
+
+  void init_grids() override {
+    const std::size_t n = static_cast<std::size_t>(dims_.rows * dims_.cols);
+    for (int p = 0; p < 2; ++p) {
+      ez_[p].assign(n, 0.0);
+      hx_[p].assign(n, 0.0);
+      hy_[p].assign(n, 0.0);
+    }
+    for (std::int64_t i = 0; i < dims_.rows; ++i) {
+      for (std::int64_t j = 0; j < dims_.cols; ++j) {
+        ez_[0][idx(i, j)] = cell_seed(i, j) - 0.5;
+      }
+    }
+  }
+
+  void compute_block(std::uint32_t iter, std::int64_t lo, std::int64_t hi) override {
+    const int s = (iter - 1) & 1, d = iter & 1;
+    constexpr double ch = 0.45, ce = 0.45;
+    for (std::int64_t i = lo; i < hi; ++i) {
+      for (std::int64_t j = 0; j < dims_.cols; ++j) {
+        if (i == 0 || j == 0 || i == dims_.rows - 1 || j == dims_.cols - 1) {
+          ez_[d][idx(i, j)] = ez_[s][idx(i, j)];
+          hx_[d][idx(i, j)] = hx_[s][idx(i, j)];
+          hy_[d][idx(i, j)] = hy_[s][idx(i, j)];
+          continue;
+        }
+        // Jacobi-style Yee update: all reads from the (iter-1) fields so a
+        // one-row halo suffices, preserving the paper's dependence shape.
+        hx_[d][idx(i, j)] =
+            hx_[s][idx(i, j)] - ch * (ez_[s][idx(i, j + 1)] - ez_[s][idx(i, j)]);
+        hy_[d][idx(i, j)] =
+            hy_[s][idx(i, j)] + ch * (ez_[s][idx(i + 1, j)] - ez_[s][idx(i, j)]);
+        ez_[d][idx(i, j)] =
+            ez_[s][idx(i, j)] + ce * (hy_[s][idx(i, j)] - hy_[s][idx(i - 1, j)] -
+                                      hx_[s][idx(i, j)] + hx_[s][idx(i, j - 1)]);
+      }
+    }
+  }
+
+  std::uint64_t checksum() const override {
+    const int p = dims_.iters & 1;
+    Digest d;
+    d.add_vector(ez_[p]);
+    d.add_vector(hx_[p]);
+    d.add_vector(hy_[p]);
+    return d.value();
+  }
+
+ private:
+  std::size_t idx(std::int64_t i, std::int64_t j) const noexcept {
+    return static_cast<std::size_t>(i * dims_.cols + j);
+  }
+  std::vector<double> ez_[2], hx_[2], hy_[2];
+};
+
+// ---------------------------------------------------------------------- life
+
+class LifeWorkload final : public StencilWorkload {
+ public:
+  explicit LifeWorkload(Dims dims) : StencilWorkload(dims) {}
+
+  const char* name() const override { return "life"; }
+
+  void init_grids() override {
+    const std::size_t n = static_cast<std::size_t>(dims_.rows * dims_.cols);
+    for (auto& g : grid_) g.assign(n, 0);
+    for (std::int64_t i = 0; i < dims_.rows; ++i) {
+      for (std::int64_t j = 0; j < dims_.cols; ++j) {
+        grid_[0][idx(i, j)] = cell_seed(i, j) < 0.35 ? 1 : 0;
+      }
+    }
+  }
+
+  void compute_block(std::uint32_t iter, std::int64_t lo, std::int64_t hi) override {
+    const auto& src = grid_[(iter - 1) & 1];
+    auto& dst = grid_[iter & 1];
+    for (std::int64_t i = lo; i < hi; ++i) {
+      for (std::int64_t j = 0; j < dims_.cols; ++j) {
+        if (i == 0 || j == 0 || i == dims_.rows - 1 || j == dims_.cols - 1) {
+          dst[idx(i, j)] = 0;  // dead border
+          continue;
+        }
+        int n = src[idx(i - 1, j - 1)] + src[idx(i - 1, j)] + src[idx(i - 1, j + 1)] +
+                src[idx(i, j - 1)] + src[idx(i, j + 1)] + src[idx(i + 1, j - 1)] +
+                src[idx(i + 1, j)] + src[idx(i + 1, j + 1)];
+        const std::uint8_t alive = src[idx(i, j)];
+        dst[idx(i, j)] = (n == 3 || (alive && n == 2)) ? 1 : 0;
+      }
+    }
+  }
+
+  std::uint64_t checksum() const override {
+    Digest d;
+    d.add_vector(grid_[dims_.iters & 1]);
+    return d.value();
+  }
+
+ private:
+  std::size_t idx(std::int64_t i, std::int64_t j) const noexcept {
+    return static_cast<std::size_t>(i * dims_.cols + j);
+  }
+  std::vector<std::uint8_t> grid_[2];
+};
+
+}  // namespace
+
+std::unique_ptr<StencilWorkload> make_heat(SizePreset preset) {
+  return std::make_unique<HeatWorkload>(stencil_dims(preset));
+}
+std::unique_ptr<StencilWorkload> make_fdtd(SizePreset preset) {
+  return std::make_unique<FdtdWorkload>(stencil_dims(preset));
+}
+std::unique_ptr<StencilWorkload> make_life(SizePreset preset) {
+  return std::make_unique<LifeWorkload>(stencil_dims(preset));
+}
+
+}  // namespace nabbitc::wl

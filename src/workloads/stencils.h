@@ -1,0 +1,23 @@
+// The three row-blocked stencil benchmarks (paper Table I: heat, fdtd, life).
+#pragma once
+
+#include <memory>
+
+#include "workloads/stencil_base.h"
+
+namespace nabbitc::wl {
+
+/// 5-point Jacobi heat diffusion on doubles.
+std::unique_ptr<StencilWorkload> make_heat(SizePreset preset);
+
+/// 2-D transverse-magnetic FDTD (Ez/Hx/Hy fields, Jacobi-style update).
+std::unique_ptr<StencilWorkload> make_fdtd(SizePreset preset);
+
+/// Conway's Game of Life on a byte grid.
+std::unique_ptr<StencilWorkload> make_life(SizePreset preset);
+
+/// Preset dimensions shared by the three stencils (heat/life use them as
+/// is; fdtd scales work by updating three fields per cell).
+StencilWorkload::Dims stencil_dims(SizePreset preset);
+
+}  // namespace nabbitc::wl

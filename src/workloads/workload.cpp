@@ -1,0 +1,60 @@
+#include "workloads/workload.h"
+
+#include "support/check.h"
+#include "workloads/cg.h"
+#include "workloads/mg.h"
+#include "workloads/pagerank.h"
+#include "workloads/smith_waterman.h"
+#include "workloads/stencils.h"
+
+namespace nabbitc::wl {
+
+SizePreset preset_from_string(const std::string& s) {
+  if (s == "tiny") return SizePreset::kTiny;
+  if (s == "small") return SizePreset::kSmall;
+  if (s == "medium") return SizePreset::kMedium;
+  if (s == "paper") return SizePreset::kPaper;
+  NABBITC_CHECK_MSG(false, "unknown preset (want tiny|small|medium|paper)");
+  return SizePreset::kSmall;
+}
+
+const char* preset_name(SizePreset p) noexcept {
+  switch (p) {
+    case SizePreset::kTiny:
+      return "tiny";
+    case SizePreset::kSmall:
+      return "small";
+    case SizePreset::kMedium:
+      return "medium";
+    case SizePreset::kPaper:
+      return "paper";
+  }
+  return "?";
+}
+
+std::vector<std::string> workload_names() {
+  return {"cg",           "mg",   "heat",
+          "fdtd",         "life", "page-uk-2002",
+          "page-twitter-2010", "page-uk-2007-05", "sw",
+          "swn2"};
+}
+
+std::unique_ptr<Workload> make_workload(const std::string& name, SizePreset preset) {
+  if (name == "cg") return make_cg(preset);
+  if (name == "mg") return make_mg(preset);
+  if (name == "heat") return make_heat(preset);
+  if (name == "fdtd") return make_fdtd(preset);
+  if (name == "life") return make_life(preset);
+  if (name == "page-uk-2002") return make_pagerank(PageRankDataset::kUk2002, preset);
+  if (name == "page-twitter-2010") {
+    return make_pagerank(PageRankDataset::kTwitter2010, preset);
+  }
+  if (name == "page-uk-2007-05") {
+    return make_pagerank(PageRankDataset::kUk200705, preset);
+  }
+  if (name == "sw") return make_sw(preset);
+  if (name == "swn2") return make_swn2(preset);
+  return nullptr;
+}
+
+}  // namespace nabbitc::wl

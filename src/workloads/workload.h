@@ -1,0 +1,74 @@
+// Benchmark workload interface.
+//
+// Each of the paper's ten benchmarks (Table I) implements this interface:
+// a serial reference, an OpenMP-style loop-scheduled variant, a Nabbit /
+// NabbitC task-graph variant, a bitwise-deterministic checksum for
+// verification, and a TaskDag export for the discrete-event simulator.
+//
+// Determinism contract: every variant performs the same floating-point
+// operations in the same per-result order (reductions are block-partial +
+// fixed-order combine), so checksums must match *bitwise* across serial,
+// loop, and task-graph runs — this is what the test suite asserts.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "loop/thread_pool.h"
+#include "nabbitc/colored_executor.h"
+#include "rt/scheduler.h"
+#include "sim/task_dag.h"
+
+namespace nabbitc::wl {
+
+/// Problem-size presets: kTiny for unit tests (sub-second everywhere),
+/// kSmall for default bench runs, kMedium for longer experiments, and
+/// kPaper matching the paper's task-graph *shape* (Table I node counts).
+/// kPaper is simulator-only for the large workloads: build_dag() allocates
+/// no grid data, but prepare() at paper scale would exceed host memory and
+/// refuses to run.
+enum class SizePreset : std::uint8_t { kTiny = 0, kSmall = 1, kMedium = 2, kPaper = 3 };
+
+SizePreset preset_from_string(const std::string& s);
+const char* preset_name(SizePreset p) noexcept;
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual const char* name() const = 0;
+  /// Human-readable problem size (Table I's "Problem size" column).
+  virtual std::string problem_string() const = 0;
+  /// Number of task-graph nodes (Table I's "Task graph nodes" column).
+  virtual std::uint64_t num_tasks() const = 0;
+  virtual std::uint32_t iterations() const = 0;
+
+  /// Builds input data and the color distribution for `num_colors` workers.
+  /// Must be called once before any run.
+  virtual void prepare(std::uint32_t num_colors) = 0;
+  /// Restores pre-run output state (inputs are kept). Call between runs.
+  virtual void reset() = 0;
+
+  virtual void run_serial() = 0;
+  virtual void run_loop(loop::ThreadPool& pool, loop::Schedule schedule) = 0;
+  virtual void run_taskgraph(rt::Scheduler& sched, nabbit::TaskGraphVariant variant,
+                             nabbit::ColoringMode coloring) = 0;
+
+  /// Bitwise-deterministic digest of the run's output.
+  virtual std::uint64_t checksum() const = 0;
+
+  /// Exports the task graph with abstract costs for the simulator.
+  /// Node colors already reflect `coloring`.
+  virtual sim::TaskDag build_dag(std::uint32_t num_colors,
+                                 nabbit::ColoringMode coloring) const = 0;
+};
+
+/// The paper's benchmark names, in Table I order.
+std::vector<std::string> workload_names();
+
+/// Factory. Returns nullptr for unknown names.
+std::unique_ptr<Workload> make_workload(const std::string& name, SizePreset preset);
+
+}  // namespace nabbitc::wl

@@ -1,0 +1,206 @@
+// Tests for the graph substrate: CSR, generators, block partitioning.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/blocks.h"
+#include "graph/csr.h"
+#include "graph/generators.h"
+
+namespace nabbitc::graph {
+namespace {
+
+// --------------------------------------------------------------------- csr
+
+Csr tiny_graph() {
+  // 0 -> 1,2 ; 1 -> 2 ; 2 -> (none) ; 3 -> 0
+  return Csr(4, {0, 2, 3, 3, 4}, {1, 2, 2, 0});
+}
+
+TEST(Csr, BasicAccessors) {
+  Csr g = tiny_graph();
+  EXPECT_EQ(g.num_vertices(), 4);
+  EXPECT_EQ(g.num_edges(), 4);
+  EXPECT_EQ(g.degree(0), 2);
+  EXPECT_EQ(g.degree(2), 0);
+  EXPECT_EQ(g.edge_target(g.edge_begin(3)), 0);
+  EXPECT_EQ(g.max_degree(), 2);
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(Csr, TransposeReversesEdges) {
+  Csr g = tiny_graph();
+  Csr t = g.transpose();
+  EXPECT_TRUE(t.validate());
+  EXPECT_EQ(t.num_edges(), g.num_edges());
+  // In-edges of 2 are {0, 1}.
+  std::vector<Vertex> in2(t.col().begin() + t.edge_begin(2),
+                          t.col().begin() + t.edge_end(2));
+  std::sort(in2.begin(), in2.end());
+  EXPECT_EQ(in2, (std::vector<Vertex>{0, 1}));
+  // Double transpose = original edge multiset.
+  Csr tt = t.transpose();
+  EXPECT_EQ(tt.row_ptr(), g.row_ptr());
+}
+
+TEST(Csr, EmptyGraph) {
+  Csr g(1, {0, 0}, {});
+  EXPECT_TRUE(g.validate());
+  EXPECT_EQ(g.transpose().num_edges(), 0);
+}
+
+// -------------------------------------------------------------- generators
+
+TEST(Generators, UniformRandomShape) {
+  Csr g = make_uniform_random(1000, 8, 1);
+  EXPECT_TRUE(g.validate());
+  EXPECT_EQ(g.num_vertices(), 1000);
+  // Dedup and self-loop removal lose a few edges; stay within 20%.
+  EXPECT_GT(g.num_edges(), 1000 * 8 * 8 / 10);
+  EXPECT_LE(g.num_edges(), 1000 * 8);
+}
+
+TEST(Generators, UniformRandomIsDeterministic) {
+  Csr a = make_uniform_random(500, 4, 7);
+  Csr b = make_uniform_random(500, 4, 7);
+  EXPECT_EQ(a.col(), b.col());
+  Csr c = make_uniform_random(500, 4, 8);
+  EXPECT_NE(a.col(), c.col());
+}
+
+TEST(Generators, NoSelfLoops) {
+  for (const Csr& g : {make_uniform_random(300, 6, 3),
+                       make_windowed_random(300, 6, 30, 0.9, 3)}) {
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      for (auto e = g.edge_begin(v); e < g.edge_end(v); ++e) {
+        EXPECT_NE(g.edge_target(e), v);
+      }
+    }
+  }
+}
+
+TEST(Generators, WindowedTargetsAreLocal) {
+  const Vertex window = 50;
+  Csr g = make_windowed_random(2000, 8, window, 1.0, 5);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    for (auto e = g.edge_begin(v); e < g.edge_end(v); ++e) {
+      EXPECT_LE(std::abs(g.edge_target(e) - v), window);
+    }
+  }
+}
+
+TEST(Generators, RmatIsSkewed) {
+  RmatParams p;
+  p.scale = 12;
+  p.avg_degree = 16;
+  p.seed = 3;
+  Csr g = make_rmat(p);
+  EXPECT_TRUE(g.validate());
+  const double avg =
+      static_cast<double>(g.num_edges()) / static_cast<double>(g.num_vertices());
+  // Heavy tail: max degree far above the mean (twitter-like).
+  EXPECT_GT(static_cast<double>(g.max_degree()), 10.0 * avg);
+}
+
+TEST(Generators, RmatMoreSkewedThanWindowed) {
+  RmatParams p;
+  p.scale = 12;
+  p.avg_degree = 12;
+  Csr rmat = make_rmat(p);
+  Csr wind = make_windowed_random(rmat.num_vertices(), 12, 64, 0.9, 4);
+  const auto rel_max = [](const Csr& g) {
+    return static_cast<double>(g.max_degree()) * g.num_vertices() /
+           static_cast<double>(g.num_edges());
+  };
+  EXPECT_GT(rel_max(rmat), 3.0 * rel_max(wind));
+}
+
+TEST(Generators, SpdPatternIsSymmetric) {
+  Csr g = make_spd_pattern(400, 8, 9);
+  EXPECT_TRUE(g.validate());
+  // Symmetry: edge (i,j) implies edge (j,i).
+  for (Vertex i = 0; i < g.num_vertices(); ++i) {
+    for (auto e = g.edge_begin(i); e < g.edge_end(i); ++e) {
+      Vertex j = g.edge_target(e);
+      bool found = false;
+      for (auto f = g.edge_begin(j); f < g.edge_end(j) && !found; ++f) {
+        found = g.edge_target(f) == i;
+      }
+      EXPECT_TRUE(found) << "asymmetric edge " << i << "->" << j;
+    }
+  }
+}
+
+// ------------------------------------------------------------------ blocks
+
+TEST(BlockPartition, CoversVertices) {
+  BlockPartition part(103, 8);
+  Vertex covered = 0;
+  for (std::uint32_t b = 0; b < part.num_blocks(); ++b) {
+    EXPECT_LE(part.begin_of(b), part.end_of(b));
+    covered += part.size_of(b);
+    for (Vertex v = part.begin_of(b); v < part.end_of(b); ++v) {
+      EXPECT_EQ(part.block_of(v), b);
+    }
+  }
+  EXPECT_EQ(covered, 103);
+}
+
+TEST(BlockPartition, MoreBlocksThanVertices) {
+  BlockPartition part(3, 8);
+  EXPECT_EQ(part.block_of(0), 0u);
+  EXPECT_EQ(part.block_of(2), 2u);
+}
+
+TEST(BlockDeps, ChainGraphDependsOnNeighbors) {
+  // Path graph 0->1->2->...->99; in-edges of block b come from block b and
+  // possibly b-1.
+  std::vector<std::int64_t> ptr(101);
+  std::vector<Vertex> col(100);
+  for (int v = 0; v < 100; ++v) {
+    ptr[static_cast<std::size_t>(v)] = v;
+    col[static_cast<std::size_t>(v)] = v + 1;
+  }
+  ptr[100] = 100;
+  // Last vertex has no out-edge: rebuild properly (99 edges).
+  std::vector<std::int64_t> p2(101, 0);
+  std::vector<Vertex> c2;
+  for (Vertex v = 0; v < 100; ++v) {
+    if (v < 99) c2.push_back(v + 1);
+    p2[static_cast<std::size_t>(v) + 1] = static_cast<std::int64_t>(c2.size());
+  }
+  Csr g(100, std::move(p2), std::move(c2));
+  Csr in = g.transpose();
+  BlockPartition part(100, 10);
+  auto deps = block_dependencies(in, part);
+  ASSERT_EQ(deps.size(), 10u);
+  EXPECT_EQ(deps[0], (std::vector<std::uint32_t>{0}));
+  for (std::uint32_t b = 1; b < 10; ++b) {
+    EXPECT_EQ(deps[b], (std::vector<std::uint32_t>{b - 1, b}));
+  }
+}
+
+TEST(BlockDeps, DepsAreSortedUnique) {
+  Csr g = make_uniform_random(1000, 8, 11);
+  Csr in = g.transpose();
+  BlockPartition part(1000, 16);
+  auto deps = block_dependencies(in, part);
+  for (const auto& d : deps) {
+    EXPECT_TRUE(std::is_sorted(d.begin(), d.end()));
+    EXPECT_EQ(std::adjacent_find(d.begin(), d.end()), d.end());
+    for (auto b : d) EXPECT_LT(b, 16u);
+  }
+}
+
+TEST(BlockDeps, WindowedGraphHasFewDeps) {
+  Csr g = make_windowed_random(4000, 8, 100, 1.0, 13);
+  Csr in = g.transpose();
+  BlockPartition part(4000, 20);  // blocks of 200 > window 100
+  auto deps = block_dependencies(in, part);
+  for (std::uint32_t b = 0; b < 20; ++b) {
+    EXPECT_LE(deps[b].size(), 3u);  // self + at most both neighbors
+  }
+}
+
+}  // namespace
+}  // namespace nabbitc::graph

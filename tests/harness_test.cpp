@@ -1,0 +1,106 @@
+// Integration tests: the experiment harness end-to-end, including the
+// paper's qualitative claims at small scale.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+
+namespace nabbitc::harness {
+namespace {
+
+TEST(Harness, VariantLabels) {
+  EXPECT_STREQ(variant_label(Variant::kSerial), "serial");
+  EXPECT_STREQ(variant_label(Variant::kOmpStatic), "omp-static");
+  EXPECT_STREQ(variant_label(Variant::kOmpGuided), "omp-guided");
+  EXPECT_STREQ(variant_label(Variant::kNabbit), "nabbit");
+  EXPECT_STREQ(variant_label(Variant::kNabbitC), "nabbitc");
+}
+
+TEST(Harness, PaperCoreCountsMatchFigureAxes) {
+  auto ps = paper_core_counts();
+  ASSERT_FALSE(ps.empty());
+  EXPECT_EQ(ps.front(), 1u);
+  EXPECT_EQ(ps.back(), 80u);
+  EXPECT_TRUE(std::is_sorted(ps.begin(), ps.end()));
+}
+
+TEST(Harness, RealRunProducesSamplesAndCounters) {
+  auto w = wl::make_workload("heat", wl::SizePreset::kTiny);
+  RealRunOptions o;
+  o.workers = 2;
+  o.repeats = 3;
+  auto r = run_real(*w, Variant::kNabbitC, o);
+  EXPECT_EQ(r.seconds.count(), 3u);
+  EXPECT_GT(r.seconds.mean(), 0.0);
+  EXPECT_GT(r.counters.tasks_executed, 0u);
+  EXPECT_NE(r.checksum, 0u);
+}
+
+TEST(Harness, SimGridPolicyOrderingOnPaperMachine) {
+  // The paper's headline at 80 cores, reproduced in simulation:
+  //   regular benchmark (heat, paper-scale DAG): NabbitC ~ OMP-static,
+  //   both far above Nabbit; NabbitC's remote% far below Nabbit's.
+  auto heat = wl::make_workload("heat", wl::SizePreset::kPaper);
+  SimSweepOptions so;
+  auto nbc = run_sim(*heat, Variant::kNabbitC, 80, so);
+  auto nb = run_sim(*heat, Variant::kNabbit, 80, so);
+  auto st = run_sim(*heat, Variant::kOmpStatic, 80, so);
+  EXPECT_GT(nbc.speedup(), 1.5 * nb.speedup());
+  EXPECT_GT(st.speedup(), nbc.speedup() * 0.8);
+  EXPECT_LT(nbc.locality.percent_remote(), 15.0);
+  EXPECT_GT(nb.locality.percent_remote(), 40.0);
+  EXPECT_LT(st.locality.percent_remote(), 15.0);
+  // Figure 8: NabbitC performs far fewer successful steals than Nabbit.
+  EXPECT_LT(nbc.steals_total(), nb.steals_total());
+}
+
+TEST(Harness, SimIrregularPageRankFavorsNabbitC) {
+  // The paper's irregular headline: on the skewed twitter-like dataset at
+  // scale (410 blocks, as in Table I), NabbitC beats both OpenMP static and
+  // vanilla Nabbit at high core counts.
+  auto tw = wl::make_workload("page-twitter-2010", wl::SizePreset::kSmall);
+  SimSweepOptions so;
+  auto nbc = run_sim(*tw, Variant::kNabbitC, 80, so);
+  auto nb = run_sim(*tw, Variant::kNabbit, 80, so);
+  auto st = run_sim(*tw, Variant::kOmpStatic, 80, so);
+  EXPECT_GT(nbc.speedup(), st.speedup());
+  EXPECT_GE(nbc.speedup(), 0.95 * nb.speedup());
+}
+
+TEST(Harness, SimBadColoringLosesBenefit) {
+  // Table II: NabbitC under a bad coloring performs like (or worse than)
+  // Nabbit — the rem% advantage disappears.
+  auto heat = wl::make_workload("heat", wl::SizePreset::kPaper);
+  SimSweepOptions good, bad;
+  bad.coloring = nabbit::ColoringMode::kBad;
+  auto g = run_sim(*heat, Variant::kNabbitC, 40, good);
+  auto b = run_sim(*heat, Variant::kNabbitC, 40, bad);
+  EXPECT_GT(b.locality.percent_remote(), g.locality.percent_remote() + 20.0);
+  EXPECT_LT(b.speedup(), g.speedup());
+}
+
+TEST(Harness, SimInvalidColoringFailsAllColoredSteals) {
+  // Table III: invalid colors => zero successful colored steals, behaviour
+  // degrades to Nabbit-plus-overhead but completes fine.
+  auto heat = wl::make_workload("heat", wl::SizePreset::kTiny);
+  SimSweepOptions so;
+  so.coloring = nabbit::ColoringMode::kInvalid;
+  auto r = run_sim(*heat, Variant::kNabbitC, 8, so);
+  EXPECT_EQ(r.steals_colored, 0u);
+  EXPECT_GT(r.makespan, 0.0);
+}
+
+TEST(Harness, RealNabbitCNotSlowerThanNabbitTiny) {
+  // On the CI host we can't measure locality wins, but NabbitC's overhead
+  // versus Nabbit must be bounded (paper Table III: statistically no
+  // overhead). Allow generous slack for a noisy 1-core container.
+  auto w = wl::make_workload("heat", wl::SizePreset::kTiny);
+  RealRunOptions o;
+  o.workers = 2;
+  o.repeats = 3;
+  auto nb = run_real(*w, Variant::kNabbit, o);
+  auto nbc = run_real(*w, Variant::kNabbitC, o);
+  EXPECT_LT(nbc.seconds.min(), nb.seconds.min() * 5.0 + 0.05);
+}
+
+}  // namespace
+}  // namespace nabbitc::harness

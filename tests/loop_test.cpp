@@ -1,0 +1,191 @@
+// Tests for the OpenMP-like loop schedulers: chunking math and thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "loop/loop_schedule.h"
+#include "loop/thread_pool.h"
+
+namespace nabbitc::loop {
+namespace {
+
+// -------------------------------------------------------------- pure math
+
+TEST(LoopSchedule, StaticBlockCoversRangeDisjointly) {
+  for (std::int64_t n : {0LL, 1LL, 7LL, 100LL, 101LL, 1000LL}) {
+    for (std::uint32_t threads : {1u, 2u, 3u, 8u, 13u}) {
+      std::vector<int> hits(static_cast<std::size_t>(n), 0);
+      for (std::uint32_t t = 0; t < threads; ++t) {
+        IterRange r = static_block(n, threads, t);
+        for (std::int64_t i = r.lo; i < r.hi; ++i) ++hits[static_cast<std::size_t>(i)];
+      }
+      for (int h : hits) ASSERT_EQ(h, 1) << "n=" << n << " threads=" << threads;
+    }
+  }
+}
+
+TEST(LoopSchedule, StaticBlockBalanced) {
+  // OpenMP static: block sizes differ by at most one.
+  for (std::int64_t n : {10LL, 97LL, 1024LL}) {
+    for (std::uint32_t threads : {3u, 7u, 16u}) {
+      std::int64_t lo = n, hi = 0;
+      for (std::uint32_t t = 0; t < threads; ++t) {
+        auto sz = static_block(n, threads, t).size();
+        lo = std::min(lo, sz);
+        hi = std::max(hi, sz);
+      }
+      EXPECT_LE(hi - lo, 1);
+    }
+  }
+}
+
+TEST(LoopSchedule, StaticBlockContiguousAscending) {
+  std::int64_t expect = 0;
+  for (std::uint32_t t = 0; t < 5; ++t) {
+    IterRange r = static_block(103, 5, t);
+    EXPECT_EQ(r.lo, expect);
+    expect = r.hi;
+  }
+  EXPECT_EQ(expect, 103);
+}
+
+TEST(LoopSchedule, GuidedChunkShrinks) {
+  const std::uint32_t threads = 4;
+  std::int64_t remaining = 1000;
+  std::int64_t prev = remaining;
+  while (remaining > 0) {
+    std::int64_t c = guided_chunk(remaining, threads, 1);
+    ASSERT_GE(c, 1);
+    ASSERT_LE(c, prev);
+    prev = c;
+    remaining -= c;
+  }
+}
+
+TEST(LoopSchedule, GuidedChunkRespectsMinimum) {
+  EXPECT_EQ(guided_chunk(1000, 4, 50), 250);  // remaining/threads dominates
+  EXPECT_EQ(guided_chunk(100, 4, 50), 50);    // floor at min_chunk
+  EXPECT_EQ(guided_chunk(30, 4, 50), 30);     // tail smaller than min
+  EXPECT_EQ(guided_chunk(0, 4, 1), 0);
+}
+
+TEST(LoopSchedule, ScheduleNames) {
+  EXPECT_STREQ(schedule_name(Schedule::kStatic), "static");
+  EXPECT_STREQ(schedule_name(Schedule::kDynamic), "dynamic");
+  EXPECT_STREQ(schedule_name(Schedule::kGuided), "guided");
+}
+
+// ------------------------------------------------------------- thread pool
+
+PoolConfig pool_config(std::uint32_t n) {
+  PoolConfig cfg;
+  cfg.num_threads = n;
+  cfg.topology = numa::Topology(2, (n + 1) / 2);
+  return cfg;
+}
+
+TEST(ThreadPool, ParallelRegionRunsEveryThreadOnce) {
+  ThreadPool pool(pool_config(4));
+  std::vector<std::atomic<int>> hits(4);
+  pool.parallel_region([&](std::uint32_t tid) { hits[tid].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, RegionsAreRepeatable) {
+  ThreadPool pool(pool_config(3));
+  std::atomic<int> n{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.parallel_region([&](std::uint32_t) { n.fetch_add(1); });
+  }
+  EXPECT_EQ(n.load(), 60);
+}
+
+class PoolSchedTest : public ::testing::TestWithParam<Schedule> {};
+
+TEST_P(PoolSchedTest, ForCoversRangeExactlyOnce) {
+  ThreadPool pool(pool_config(4));
+  std::vector<std::atomic<int>> hits(5000);
+  pool.parallel_for(0, 5000, GetParam(), 8,
+                    [&](std::uint32_t, std::int64_t i) {
+                      hits[static_cast<std::size_t>(i)].fetch_add(1);
+                    });
+  for (auto& h : hits) ASSERT_EQ(h.load(), 1);
+}
+
+TEST_P(PoolSchedTest, EmptyRangeIsNoop) {
+  ThreadPool pool(pool_config(2));
+  std::atomic<int> n{0};
+  pool.parallel_for(10, 10, GetParam(), 1, [&](std::uint32_t, std::int64_t) { n.fetch_add(1); });
+  pool.parallel_for(10, 5, GetParam(), 1, [&](std::uint32_t, std::int64_t) { n.fetch_add(1); });
+  EXPECT_EQ(n.load(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchedules, PoolSchedTest,
+                         ::testing::Values(Schedule::kStatic, Schedule::kDynamic,
+                                           Schedule::kGuided));
+
+TEST(ThreadPool, StaticMappingMatchesStaticBlock) {
+  // The thread->iteration mapping must be exactly static_block's, because
+  // the locality accounting depends on it.
+  ThreadPool pool(pool_config(4));
+  std::mutex mu;
+  std::vector<std::pair<std::uint32_t, std::int64_t>> seen;
+  pool.parallel_for(0, 103, Schedule::kStatic, 1,
+                    [&](std::uint32_t tid, std::int64_t i) {
+                      std::lock_guard<std::mutex> lk(mu);
+                      seen.emplace_back(tid, i);
+                    });
+  for (auto [tid, i] : seen) {
+    IterRange r = static_block(103, 4, tid);
+    EXPECT_GE(i, r.lo);
+    EXPECT_LT(i, r.hi);
+  }
+}
+
+TEST(ThreadPool, DynamicChunksAreChunkSized) {
+  ThreadPool pool(pool_config(3));
+  std::mutex mu;
+  std::vector<std::int64_t> chunk_sizes;
+  pool.parallel_for_chunks(0, 100, Schedule::kDynamic, 7,
+                           [&](std::uint32_t, std::int64_t lo, std::int64_t hi) {
+                             std::lock_guard<std::mutex> lk(mu);
+                             chunk_sizes.push_back(hi - lo);
+                           });
+  std::int64_t total = 0;
+  for (auto s : chunk_sizes) {
+    EXPECT_LE(s, 7);
+    EXPECT_GE(s, 1);
+    total += s;
+  }
+  EXPECT_EQ(total, 100);
+}
+
+TEST(ThreadPool, SingleThreadPoolWorks) {
+  ThreadPool pool(pool_config(1));
+  std::int64_t sum = 0;
+  pool.parallel_for(0, 100, Schedule::kGuided, 1,
+                    [&](std::uint32_t tid, std::int64_t i) {
+                      EXPECT_EQ(tid, 0u);
+                      sum += i;
+                    });
+  EXPECT_EQ(sum, 4950);
+}
+
+TEST(ThreadPool, NestedDataParallelPhasesBarrier) {
+  // Writes from one parallel_for must be visible to the next (implicit
+  // barrier between loops).
+  ThreadPool pool(pool_config(4));
+  std::vector<int> a(1000, 0), b(1000, 0);
+  pool.parallel_for(0, 1000, Schedule::kStatic, 1,
+                    [&](std::uint32_t, std::int64_t i) { a[static_cast<std::size_t>(i)] = static_cast<int>(i); });
+  pool.parallel_for(0, 1000, Schedule::kStatic, 1, [&](std::uint32_t, std::int64_t i) {
+    b[static_cast<std::size_t>(i)] = a[static_cast<std::size_t>(999 - i)] + 1;
+  });
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(b[static_cast<std::size_t>(i)], 999 - i + 1);
+}
+
+}  // namespace
+}  // namespace nabbitc::loop

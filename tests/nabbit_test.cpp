@@ -1,0 +1,544 @@
+// Tests for the Nabbit task-graph engine: concurrent map, successor lists,
+// serial / dynamic / static executors, and execution-protocol invariants.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "nabbit/concurrent_map.h"
+#include "nabbit/executor.h"
+#include "nabbit/serial_executor.h"
+#include "nabbit/static_executor.h"
+#include "nabbit/successor_list.h"
+#include "nabbitc/colored_executor.h"
+#include "support/rng.h"
+
+namespace nabbitc::nabbit {
+namespace {
+
+// ---------------------------------------------------------- successor list
+
+class NopNode final : public TaskGraphNode {
+ public:
+  void init(ExecContext&) override {}
+  void compute(ExecContext&) override {}
+};
+
+TEST(SuccessorList, AddThenCloseReturnsAll) {
+  SuccessorList sl;
+  NopNode a, b;
+  EXPECT_TRUE(sl.try_add(&a));
+  EXPECT_TRUE(sl.try_add(&b));
+  EXPECT_EQ(sl.size(), 2u);
+  auto out = sl.close_and_take();
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_TRUE(sl.closed());
+}
+
+TEST(SuccessorList, AddAfterCloseFails) {
+  SuccessorList sl;
+  NopNode a;
+  sl.close_and_take();
+  EXPECT_FALSE(sl.try_add(&a));
+  EXPECT_EQ(sl.size(), 0u);
+}
+
+TEST(SuccessorList, ConcurrentAddVsCloseLosesNothing) {
+  // Every successfully added node must be visible in the taken list; a
+  // failed add means the adder saw the closed flag. Repeat to shake races.
+  for (int round = 0; round < 50; ++round) {
+    SuccessorList sl;
+    std::vector<NopNode> nodes(32);
+    std::atomic<int> added{0};
+    std::thread adder([&] {
+      for (auto& n : nodes) {
+        if (sl.try_add(&n)) added.fetch_add(1);
+      }
+    });
+    std::vector<TaskGraphNode*> taken = sl.close_and_take();
+    adder.join();
+    // Stragglers that added after our close... cannot exist: close happened
+    // before join, and failed adds aren't counted.
+    EXPECT_EQ(static_cast<int>(taken.size()), added.load());
+  }
+}
+
+// ----------------------------------------------------------- concurrent map
+
+class KeyNode final : public TaskGraphNode {
+ public:
+  void init(ExecContext&) override {}
+  void compute(ExecContext&) override {}
+};
+
+TEST(ConcurrentMap, InsertOrGetCreatesOnce) {
+  ConcurrentNodeMap map(16);
+  auto [n1, c1] = map.insert_or_get(7, [](Key) { return new KeyNode; });
+  auto [n2, c2] = map.insert_or_get(7, [](Key) { return new KeyNode; });
+  EXPECT_TRUE(c1);
+  EXPECT_FALSE(c2);
+  EXPECT_EQ(n1, n2);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(ConcurrentMap, FindMissingIsNull) {
+  ConcurrentNodeMap map(16);
+  EXPECT_EQ(map.find(123), nullptr);
+  map.insert_or_get(123, [](Key) { return new KeyNode; });
+  EXPECT_NE(map.find(123), nullptr);
+  EXPECT_EQ(map.find(124), nullptr);
+}
+
+TEST(ConcurrentMap, HandlesKeyZeroAndMax) {
+  ConcurrentNodeMap map(4);
+  map.insert_or_get(0, [](Key) { return new KeyNode; });
+  map.insert_or_get(~Key{0}, [](Key) { return new KeyNode; });
+  EXPECT_NE(map.find(0), nullptr);
+  EXPECT_NE(map.find(~Key{0}), nullptr);
+  EXPECT_EQ(map.size(), 2u);
+}
+
+TEST(ConcurrentMap, GrowsBeyondInitialCapacity) {
+  ConcurrentNodeMap map(4);  // tiny per-shard capacity
+  for (Key k = 0; k < 5000; ++k) {
+    map.insert_or_get(k, [](Key) { return new KeyNode; });
+  }
+  EXPECT_EQ(map.size(), 5000u);
+  for (Key k = 0; k < 5000; ++k) ASSERT_NE(map.find(k), nullptr) << k;
+}
+
+TEST(ConcurrentMap, ForEachVisitsEverything) {
+  ConcurrentNodeMap map(16);
+  for (Key k = 100; k < 200; ++k) {
+    map.insert_or_get(k, [](Key) { return new KeyNode; });
+  }
+  std::set<Key> seen;
+  map.for_each([&](Key k, TaskGraphNode*) { seen.insert(k); });
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.begin(), 100u);
+}
+
+TEST(ConcurrentMap, ConcurrentInsertOrGetExactlyOneWinner) {
+  constexpr int kThreads = 4;
+  constexpr Key kKeys = 2000;
+  ConcurrentNodeMap map(64);
+  std::atomic<int> creations{0};
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      Pcg32 rng(t, 5);
+      for (int i = 0; i < 20000; ++i) {
+        Key k = rng.next() % kKeys;
+        auto [node, created] = map.insert_or_get(k, [](Key) { return new KeyNode; });
+        ASSERT_NE(node, nullptr);
+        if (created) creations.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(map.size(), static_cast<std::size_t>(creations.load()));
+  EXPECT_LE(map.size(), static_cast<std::size_t>(kKeys));
+}
+
+// ------------------------------------------------------------ test graphs
+
+/// Chain with a fan: key k depends on k-1 and (for even k) k/2.
+/// Records compute order for protocol checks.
+struct OrderRecorder {
+  std::mutex mu;
+  std::vector<Key> order;
+  std::atomic<int> computes{0};
+
+  void record(Key k) {
+    computes.fetch_add(1);
+    std::lock_guard<std::mutex> lk(mu);
+    order.push_back(k);
+  }
+};
+
+class RecordingNode final : public TaskGraphNode {
+ public:
+  explicit RecordingNode(OrderRecorder* rec) : rec_(rec) {}
+  void init(ExecContext&) override {
+    Key k = key();
+    if (k > 0) {
+      add_predecessor(k - 1);
+      if (k % 2 == 0 && k / 2 != k - 1) add_predecessor(k / 2);
+    }
+  }
+  void compute(ExecContext&) override { rec_->record(key()); }
+
+ private:
+  OrderRecorder* rec_;
+};
+
+class RecordingSpec final : public GraphSpec {
+ public:
+  explicit RecordingSpec(OrderRecorder* rec) : rec_(rec) {}
+  TaskGraphNode* create(Key) override { return new RecordingNode(rec_); }
+  numa::Color color_of(Key k) const override {
+    return static_cast<numa::Color>(k % 4);
+  }
+
+ private:
+  OrderRecorder* rec_;
+};
+
+void expect_topological(const std::vector<Key>& order, Key n) {
+  std::vector<int> pos(n + 1, -1);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    pos[order[i]] = static_cast<int>(i);
+  }
+  for (Key k = 0; k <= n; ++k) ASSERT_GE(pos[k], 0) << "node " << k << " missing";
+  for (Key k = 1; k <= n; ++k) {
+    EXPECT_LT(pos[k - 1], pos[k]);
+    if (k % 2 == 0 && k / 2 != k - 1) EXPECT_LT(pos[k / 2], pos[k]);
+  }
+}
+
+// ---------------------------------------------------------- serial executor
+
+TEST(SerialExecutor, ComputesAllInTopologicalOrder) {
+  OrderRecorder rec;
+  RecordingSpec spec(&rec);
+  SerialExecutor ex(spec);
+  ex.run(300);
+  EXPECT_EQ(rec.computes.load(), 301);
+  EXPECT_EQ(ex.nodes_computed(), 301u);
+  expect_topological(rec.order, 300);
+}
+
+TEST(SerialExecutor, FindReturnsComputedNodes) {
+  OrderRecorder rec;
+  RecordingSpec spec(&rec);
+  SerialExecutor ex(spec);
+  ex.run(10);
+  for (Key k = 0; k <= 10; ++k) {
+    auto* n = ex.find(k);
+    ASSERT_NE(n, nullptr);
+    EXPECT_TRUE(n->computed());
+    EXPECT_EQ(n->key(), k);
+    EXPECT_EQ(n->color(), static_cast<numa::Color>(k % 4));
+  }
+  EXPECT_EQ(ex.find(11), nullptr);
+}
+
+TEST(SerialExecutor, RerunIsNoop) {
+  OrderRecorder rec;
+  RecordingSpec spec(&rec);
+  SerialExecutor ex(spec);
+  ex.run(5);
+  int first = rec.computes.load();
+  ex.run(5);
+  EXPECT_EQ(rec.computes.load(), first);
+}
+
+class CyclicSpec final : public GraphSpec {
+ public:
+  TaskGraphNode* create(Key) override {
+    class N final : public TaskGraphNode {
+      void init(ExecContext&) override { add_predecessor((key() + 1) % 3); }
+      void compute(ExecContext&) override {}
+    };
+    return new N;
+  }
+};
+
+TEST(SerialExecutorDeath, DetectsCycle) {
+  CyclicSpec spec;
+  SerialExecutor ex(spec);
+  EXPECT_DEATH(ex.run(0), "cycle");
+}
+
+// --------------------------------------------------------- dynamic executor
+
+class DynExecTest : public ::testing::TestWithParam<std::tuple<int, bool>> {};
+
+TEST_P(DynExecTest, ComputesEveryNodeExactlyOnceInOrder) {
+  auto [workers, colored] = GetParam();
+  rt::SchedulerConfig cfg;
+  cfg.num_workers = static_cast<std::uint32_t>(workers);
+  cfg.topology = numa::Topology(2, 2);
+  cfg.steal = colored ? rt::StealPolicy::nabbitc() : rt::StealPolicy::nabbit();
+  rt::Scheduler sched(cfg);
+
+  OrderRecorder rec;
+  RecordingSpec spec(&rec);
+  DynamicExecutor ex(sched, spec);
+  ex.run(200);
+  EXPECT_EQ(rec.computes.load(), 201);
+  EXPECT_EQ(ex.nodes_computed(), 201u);
+  EXPECT_EQ(ex.nodes_created(), 201u);
+  expect_topological(rec.order, 200);
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkersAndPolicies, DynExecTest,
+                         ::testing::Combine(::testing::Values(1, 2, 4),
+                                            ::testing::Bool()));
+
+TEST(DynamicExecutor, OnDemandOnlyCreatesReachableNodes) {
+  rt::SchedulerConfig cfg;
+  cfg.num_workers = 2;
+  rt::Scheduler sched(cfg);
+  OrderRecorder rec;
+  RecordingSpec spec(&rec);
+  DynamicExecutor ex(sched, spec);
+  // Sink 9: reachable set is {9,8,...,0} via k-1 edges plus halves — but
+  // nothing beyond 9 may be created.
+  ex.run(9);
+  EXPECT_EQ(ex.find(10), nullptr);
+  EXPECT_NE(ex.find(9), nullptr);
+  EXPECT_EQ(ex.nodes_created(), 10u);
+}
+
+TEST(DynamicExecutor, RandomDagsStress) {
+  // Random DAGs: node k depends on a few random nodes < k. Run on a few
+  // worker counts with both policies; every node computed exactly once.
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    Pcg32 rng(seed, 31);
+    const Key n = 400;
+    std::vector<std::vector<Key>> preds(n + 1);
+    for (Key k = 1; k <= n; ++k) {
+      preds[k].push_back(rng.next64() % k);  // stay connected-ish
+      if (rng.uniform() < 0.5) preds[k].push_back(rng.next64() % k);
+      if (k > 0) preds[k].push_back(k - 1);  // guarantee a single sink
+    }
+
+    struct RandomNode final : TaskGraphNode {
+      const std::vector<Key>* my_preds;
+      std::atomic<int>* computes;
+      void init(ExecContext&) override {
+        for (Key p : *my_preds) add_predecessor(p);
+      }
+      void compute(ExecContext& ctx) override {
+        for (Key p : *my_preds) {
+          auto* pn = ctx.find(p);
+          ASSERT_NE(pn, nullptr);
+          EXPECT_TRUE(pn->computed());
+        }
+        computes->fetch_add(1);
+      }
+    };
+    struct RandomSpec final : GraphSpec {
+      std::vector<std::vector<Key>>* preds;
+      std::atomic<int>* computes;
+      TaskGraphNode* create(Key k) override {
+        auto* node = new RandomNode;
+        node->my_preds = &(*preds)[k];
+        node->computes = computes;
+        return node;
+      }
+      numa::Color color_of(Key k) const override {
+        return static_cast<numa::Color>(k % 3);
+      }
+    };
+
+    std::atomic<int> computes{0};
+    RandomSpec spec;
+    spec.preds = &preds;
+    spec.computes = &computes;
+
+    rt::SchedulerConfig cfg;
+    cfg.num_workers = 4;
+    cfg.topology = numa::Topology(2, 2);
+    cfg.seed = seed;
+    rt::Scheduler sched(cfg);
+    DynamicExecutor ex(sched, spec);
+    ex.run(n);
+    EXPECT_EQ(computes.load(), static_cast<int>(n) + 1);
+  }
+}
+
+TEST(DynamicExecutor, LocalityCountersPopulated) {
+  rt::SchedulerConfig cfg;
+  cfg.num_workers = 4;
+  cfg.topology = numa::Topology(2, 2);
+  rt::Scheduler sched(cfg);
+  OrderRecorder rec;
+  RecordingSpec spec(&rec);
+  DynamicExecutor ex(sched, spec);
+  ex.run(100);
+  auto agg = sched.aggregate_counters();
+  EXPECT_EQ(agg.locality.nodes, 101u);
+  EXPECT_GT(agg.locality.pred_accesses, 0u);
+}
+
+TEST(DynamicExecutor, LocalityCountingCanBeDisabled) {
+  rt::SchedulerConfig cfg;
+  cfg.num_workers = 2;
+  rt::Scheduler sched(cfg);
+  OrderRecorder rec;
+  RecordingSpec spec(&rec);
+  DynamicExecutor::Options opts;
+  opts.count_locality = false;
+  DynamicExecutor ex(sched, spec, opts);
+  ex.run(50);
+  EXPECT_EQ(sched.aggregate_counters().locality.nodes, 0u);
+}
+
+TEST(DynamicExecutor, SingleNodeGraph) {
+  rt::SchedulerConfig cfg;
+  cfg.num_workers = 2;
+  rt::Scheduler sched(cfg);
+  OrderRecorder rec;
+  RecordingSpec spec(&rec);
+  DynamicExecutor ex(sched, spec);
+  ex.run(0);  // node 0 has no predecessors
+  EXPECT_EQ(rec.computes.load(), 1);
+}
+
+// ---------------------------------------------------------- static executor
+
+TEST(StaticExecutor, DiamondGraph) {
+  rt::SchedulerConfig cfg;
+  cfg.num_workers = 4;
+  rt::Scheduler sched(cfg);
+  StaticExecutor ex(sched);
+
+  OrderRecorder rec;
+  struct N final : TaskGraphNode {
+    OrderRecorder* rec;
+    std::vector<Key> ps;
+    void init(ExecContext&) override {
+      for (Key p : ps) add_predecessor(p);
+    }
+    void compute(ExecContext&) override { rec->record(key()); }
+  };
+  auto mk = [&](std::vector<Key> ps) {
+    auto n = std::make_unique<N>();
+    n->rec = &rec;
+    n->ps = std::move(ps);
+    return n;
+  };
+  ex.add_node(0, 0, mk({}));
+  ex.add_node(1, 1, mk({0}));
+  ex.add_node(2, 2, mk({0}));
+  ex.add_node(3, 3, mk({1, 2}));
+  ex.prepare();
+  EXPECT_EQ(ex.num_roots(), 1u);
+  ex.run();
+  ASSERT_EQ(rec.order.size(), 4u);
+  EXPECT_EQ(rec.order.front(), 0u);
+  EXPECT_EQ(rec.order.back(), 3u);
+  for (Key k = 0; k < 4; ++k) EXPECT_TRUE(ex.find(k)->computed());
+}
+
+TEST(StaticExecutor, ResetAllowsRerun) {
+  rt::SchedulerConfig cfg;
+  cfg.num_workers = 2;
+  rt::Scheduler sched(cfg);
+  StaticExecutor ex(sched);
+  std::atomic<int> computes{0};
+  struct N final : TaskGraphNode {
+    std::atomic<int>* c;
+    Key pred;
+    bool has_pred;
+    void init(ExecContext&) override {
+      if (has_pred) add_predecessor(pred);
+    }
+    void compute(ExecContext&) override { c->fetch_add(1); }
+  };
+  for (Key k = 0; k < 20; ++k) {
+    auto n = std::make_unique<N>();
+    n->c = &computes;
+    n->has_pred = k > 0;
+    n->pred = k > 0 ? k - 1 : 0;
+    ex.add_node(k, static_cast<numa::Color>(k % 2), std::move(n));
+  }
+  ex.prepare();
+  ex.run();
+  EXPECT_EQ(computes.load(), 20);
+  ex.reset();
+  ex.run();
+  EXPECT_EQ(computes.load(), 40);
+}
+
+TEST(StaticExecutorDeath, MissingPredecessorAborts) {
+  rt::SchedulerConfig cfg;
+  cfg.num_workers = 1;
+  rt::Scheduler sched(cfg);
+  StaticExecutor ex(sched);
+  struct N final : TaskGraphNode {
+    void init(ExecContext&) override { add_predecessor(999); }
+    void compute(ExecContext&) override {}
+  };
+  ex.add_node(0, 0, std::make_unique<N>());
+  EXPECT_DEATH(ex.prepare(), "never added");
+}
+
+TEST(StaticExecutorDeath, DuplicateKeyAborts) {
+  rt::SchedulerConfig cfg;
+  cfg.num_workers = 1;
+  rt::Scheduler sched(cfg);
+  StaticExecutor ex(sched);
+  ex.add_node(1, 0, std::make_unique<NopNode>());
+  EXPECT_DEATH(ex.add_node(1, 0, std::make_unique<NopNode>()), "duplicate");
+}
+
+// -------------------------------------------------------------------- keys
+
+TEST(Keys, PackUnpackRoundTrip) {
+  Key k = key_pack(0xdeadbeef, 0x12345678);
+  EXPECT_EQ(key_major(k), 0xdeadbeefu);
+  EXPECT_EQ(key_minor(k), 0x12345678u);
+  EXPECT_EQ(key_pack(0, 0), 0u);
+}
+
+}  // namespace
+}  // namespace nabbitc::nabbit
+
+namespace nabbitc::nabbit {
+namespace {
+
+// Regression: the created-predecessor path of try_init_compute must
+// register the parent's dependence when the recursive initialization leaves
+// the predecessor pending (one of *its* preds still executing elsewhere).
+// A 2-D wavefront with a steep cost gradient reproduces the original bug
+// within a few rounds; see executor.cpp's try_init_compute comment.
+class GradientWavefrontNode final : public TaskGraphNode {
+ public:
+  void init(ExecContext&) override {
+    const std::uint32_t bi = key_major(key()), bj = key_minor(key());
+    if (bj > 0) add_predecessor(key_pack(bi, bj - 1));
+    if (bi > 0) add_predecessor(key_pack(bi - 1, bj));
+  }
+  void compute(ExecContext& ctx) override {
+    volatile long sink = 0;
+    const long work = 2000L * (1 + key_major(key()) + key_minor(key()));
+    for (long i = 0; i < work; ++i) sink = sink + i;
+    for (Key p : predecessors()) {
+      TaskGraphNode* pn = ctx.find(p);
+      ASSERT_NE(pn, nullptr);
+      ASSERT_TRUE(pn->computed());
+    }
+  }
+};
+
+class GradientWavefrontSpec final : public GraphSpec {
+ public:
+  TaskGraphNode* create(Key) override { return new GradientWavefrontNode; }
+  numa::Color color_of(Key k) const override {
+    return static_cast<numa::Color>(key_major(k) / 2);
+  }
+};
+
+TEST(DynamicExecutorRegression, CreatedPendingPredecessorIsRegistered) {
+  for (std::uint64_t round = 0; round < 40; ++round) {
+    rt::SchedulerConfig cfg;
+    cfg.num_workers = 4;
+    cfg.topology = numa::Topology(2, 2);
+    cfg.steal = rt::StealPolicy::nabbitc();
+    cfg.seed = round;
+    rt::Scheduler sched(cfg);
+    GradientWavefrontSpec spec;
+    ColoredDynamicExecutor ex(sched, spec);
+    ex.run(key_pack(7, 7));
+    ASSERT_EQ(ex.nodes_computed(), 64u) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace nabbitc::nabbit

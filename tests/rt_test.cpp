@@ -1,0 +1,425 @@
+// Tests for the work-stealing runtime: color masks, deque, arena,
+// scheduler lifecycle, task groups, parallel_for, steal policies.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "rt/arena.h"
+#include "rt/color_mask.h"
+#include "rt/deque.h"
+#include "rt/parallel_for.h"
+#include "rt/scheduler.h"
+
+namespace nabbitc::rt {
+namespace {
+
+// -------------------------------------------------------------- color mask
+
+TEST(ColorMask, SetAndTest) {
+  ColorMask m;
+  EXPECT_TRUE(m.none());
+  m.set(0);
+  m.set(63);
+  m.set(64);
+  m.set(127);
+  EXPECT_TRUE(m.test(0));
+  EXPECT_TRUE(m.test(63));
+  EXPECT_TRUE(m.test(64));
+  EXPECT_TRUE(m.test(127));
+  EXPECT_FALSE(m.test(1));
+  EXPECT_EQ(m.count(), 4u);
+}
+
+TEST(ColorMask, InvalidColorNeverSets) {
+  ColorMask m;
+  m.set(numa::kInvalidColor);
+  EXPECT_TRUE(m.none());
+  EXPECT_FALSE(m.test(numa::kInvalidColor));
+}
+
+TEST(ColorMask, OutOfRangeTestIsFalse) {
+  ColorMask m = ColorMask::single(3);
+  EXPECT_FALSE(m.test(500));
+  EXPECT_FALSE(m.test(-5));
+}
+
+TEST(ColorMask, UnionAndIntersect) {
+  ColorMask a = ColorMask::single(1);
+  ColorMask b = ColorMask::single(2);
+  EXPECT_FALSE(a.intersects(b));
+  ColorMask u = a | b;
+  EXPECT_TRUE(u.test(1));
+  EXPECT_TRUE(u.test(2));
+  EXPECT_TRUE(u.intersects(a));
+  a |= b;
+  EXPECT_EQ(a, u);
+}
+
+TEST(ColorMask, EmptyIntersectsNothing) {
+  ColorMask e;
+  EXPECT_FALSE(e.intersects(ColorMask::single(0)));
+  EXPECT_FALSE(ColorMask::single(0).intersects(e));
+}
+
+// ------------------------------------------------------------------- arena
+
+TEST(Arena, AllocatesAndAligns) {
+  JobArena a(4096);
+  auto* p1 = a.create<std::uint64_t>(42u);
+  EXPECT_EQ(*p1, 42u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p1) % alignof(std::uint64_t), 0u);
+  auto* arr = a.create_array<int>(100);
+  for (int i = 0; i < 100; ++i) arr[i] = i;
+  EXPECT_EQ(arr[99], 99);
+}
+
+TEST(Arena, GrowsAcrossBlocks) {
+  JobArena a(256);
+  std::vector<std::uint64_t*> ptrs;
+  for (int i = 0; i < 100; ++i) ptrs.push_back(a.create<std::uint64_t>(i));
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(*ptrs[i], static_cast<std::uint64_t>(i));
+  EXPECT_GT(a.blocks_allocated(), 1u);
+}
+
+TEST(Arena, ResetReusesBlocks) {
+  JobArena a(256);
+  for (int i = 0; i < 100; ++i) a.create<std::uint64_t>(i);
+  const std::size_t blocks = a.blocks_allocated();
+  a.reset();
+  for (int i = 0; i < 100; ++i) a.create<std::uint64_t>(i);
+  EXPECT_EQ(a.blocks_allocated(), blocks);  // no new blocks needed
+}
+
+TEST(ArenaDeath, OversizedAllocationAborts) {
+  JobArena a(128);
+  EXPECT_DEATH(a.allocate(4096), "larger than arena block");
+}
+
+// ------------------------------------------------------------------- deque
+
+struct CountingTask final : Task {
+  std::atomic<int>* counter;
+  explicit CountingTask(std::atomic<int>* c) : counter(c) {}
+  void run(Worker&) override { counter->fetch_add(1); }
+};
+
+TEST(Deque, LifoPopForOwner) {
+  WorkDeque d;
+  std::atomic<int> c{0};
+  CountingTask t1(&c), t2(&c), t3(&c);
+  d.push(&t1);
+  d.push(&t2);
+  d.push(&t3);
+  EXPECT_EQ(d.pop(), &t3);
+  EXPECT_EQ(d.pop(), &t2);
+  EXPECT_EQ(d.pop(), &t1);
+  EXPECT_EQ(d.pop(), nullptr);
+}
+
+TEST(Deque, FifoStealForThief) {
+  WorkDeque d;
+  std::atomic<int> c{0};
+  CountingTask t1(&c), t2(&c);
+  d.push(&t1);
+  d.push(&t2);
+  Task* out = nullptr;
+  EXPECT_EQ(d.steal(&out), StealResult::kSuccess);
+  EXPECT_EQ(out, &t1);  // oldest
+  EXPECT_EQ(d.steal(&out), StealResult::kSuccess);
+  EXPECT_EQ(out, &t2);
+  EXPECT_EQ(d.steal(&out), StealResult::kEmpty);
+}
+
+TEST(Deque, ColoredStealChecksTopMask) {
+  WorkDeque d;
+  std::atomic<int> c{0};
+  CountingTask t1(&c), t2(&c);
+  t1.colors = ColorMask::single(3);
+  t2.colors = ColorMask::single(5);
+  d.push(&t1);
+  d.push(&t2);
+  Task* out = nullptr;
+  ColorMask want5 = ColorMask::single(5);
+  // Top entry is t1 (color 3): a thief wanting color 5 must miss.
+  EXPECT_EQ(d.steal(&out, &want5), StealResult::kColorMiss);
+  ColorMask want3 = ColorMask::single(3);
+  EXPECT_EQ(d.steal(&out, &want3), StealResult::kSuccess);
+  EXPECT_EQ(out, &t1);
+  // Now the top is t2 (color 5).
+  EXPECT_EQ(d.steal(&out, &want5), StealResult::kSuccess);
+  EXPECT_EQ(out, &t2);
+}
+
+TEST(Deque, EmptyMaskNeverMatchesColoredSteal) {
+  WorkDeque d;
+  std::atomic<int> c{0};
+  CountingTask t(&c);  // empty mask — an "invalid coloring" frame
+  d.push(&t);
+  Task* out = nullptr;
+  ColorMask want = ColorMask::single(0);
+  EXPECT_EQ(d.steal(&out, &want), StealResult::kColorMiss);
+  EXPECT_EQ(d.steal(&out, nullptr), StealResult::kSuccess);  // random steal works
+}
+
+TEST(Deque, GrowsPastInitialCapacity) {
+  WorkDeque d(4);
+  std::atomic<int> c{0};
+  std::vector<std::unique_ptr<CountingTask>> tasks;
+  for (int i = 0; i < 100; ++i) {
+    tasks.push_back(std::make_unique<CountingTask>(&c));
+    d.push(tasks.back().get());
+  }
+  EXPECT_EQ(d.size_hint(), 100);
+  for (int i = 99; i >= 0; --i) EXPECT_EQ(d.pop(), tasks[static_cast<std::size_t>(i)].get());
+}
+
+TEST(Deque, ConcurrentStealersEachTaskOnce) {
+  // One owner pushes and pops; several thieves steal. Every task must be
+  // obtained exactly once across all parties.
+  constexpr int kTasks = 20000;
+  constexpr int kThieves = 3;
+  WorkDeque d;
+  std::atomic<int> c{0};
+  std::vector<std::unique_ptr<CountingTask>> tasks;
+  tasks.reserve(kTasks);
+  for (int i = 0; i < kTasks; ++i) tasks.push_back(std::make_unique<CountingTask>(&c));
+
+  std::atomic<int> obtained{0};
+  std::atomic<bool> done{false};
+  std::vector<std::thread> thieves;
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        Task* out = nullptr;
+        if (d.steal(&out) == StealResult::kSuccess) {
+          obtained.fetch_add(1);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  // Owner: push all, interleaving pops.
+  int popped = 0;
+  for (int i = 0; i < kTasks; ++i) {
+    d.push(tasks[static_cast<std::size_t>(i)].get());
+    if (i % 3 == 0) {
+      if (d.pop() != nullptr) ++popped;
+    }
+  }
+  for (;;) {
+    Task* t = d.pop();
+    if (t == nullptr) break;
+    ++popped;
+  }
+  // Drain stragglers the thieves may still be stealing.
+  while (!d.empty()) std::this_thread::yield();
+  done.store(true, std::memory_order_release);
+  for (auto& t : thieves) t.join();
+  EXPECT_EQ(popped + obtained.load(), kTasks);
+}
+
+// --------------------------------------------------------------- scheduler
+
+SchedulerConfig test_config(std::uint32_t workers) {
+  SchedulerConfig cfg;
+  cfg.num_workers = workers;
+  cfg.topology = numa::Topology(2, (workers + 1) / 2);
+  return cfg;
+}
+
+TEST(Scheduler, RunsRootOnWorkerZero) {
+  Scheduler s(test_config(2));
+  std::uint32_t seen = 99;
+  s.execute([&](Worker& w) { seen = w.id(); });
+  EXPECT_EQ(seen, 0u);
+}
+
+TEST(Scheduler, CurrentIsNullOffPool) { EXPECT_EQ(Scheduler::current(), nullptr); }
+
+TEST(Scheduler, CurrentIsSetOnPool) {
+  Scheduler s(test_config(2));
+  Worker* cur = nullptr;
+  s.execute([&](Worker& w) { cur = Scheduler::current(); EXPECT_EQ(cur, &w); });
+  EXPECT_NE(cur, nullptr);
+}
+
+TEST(Scheduler, WorkerColorsAreIds) {
+  Scheduler s(test_config(4));
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(s.worker(i).color(), static_cast<numa::Color>(i));
+    EXPECT_TRUE(s.worker(i).color_mask().test(static_cast<numa::Color>(i)));
+  }
+}
+
+TEST(Scheduler, MultipleJobsSequentially) {
+  Scheduler s(test_config(3));
+  for (int job = 0; job < 10; ++job) {
+    std::atomic<long> total{0};
+    s.execute([&](Worker& w) {
+      parallel_for(w, 0, 1000, 16,
+                   [&](std::int64_t i) { total.fetch_add(i, std::memory_order_relaxed); });
+    });
+    EXPECT_EQ(total.load(), 999L * 1000 / 2);
+  }
+}
+
+TEST(Scheduler, SingleWorkerStillCompletes) {
+  Scheduler s(test_config(1));
+  std::atomic<long> total{0};
+  s.execute([&](Worker& w) {
+    parallel_for(w, 0, 5000, 8,
+                 [&](std::int64_t i) { total.fetch_add(i, std::memory_order_relaxed); });
+  });
+  EXPECT_EQ(total.load(), 4999L * 5000 / 2);
+}
+
+TEST(Scheduler, TaskGroupNesting) {
+  Scheduler s(test_config(4));
+  std::atomic<int> count{0};
+  s.execute([&](Worker& w) {
+    TaskGroup outer;
+    for (int i = 0; i < 8; ++i) {
+      outer.spawn(w, ColorMask{}, [&count](Worker& ww) {
+        TaskGroup inner;
+        for (int j = 0; j < 8; ++j) {
+          inner.spawn(ww, ColorMask{}, [&count](Worker&) { count.fetch_add(1); });
+        }
+        inner.wait(ww);
+        count.fetch_add(1);
+      });
+    }
+    outer.wait(w);
+  });
+  EXPECT_EQ(count.load(), 8 * 8 + 8);
+}
+
+TEST(Scheduler, ParallelForCoversRangeExactlyOnce) {
+  Scheduler s(test_config(4));
+  std::vector<std::atomic<int>> hits(10000);
+  s.execute([&](Worker& w) {
+    parallel_for(w, 0, 10000, 7, [&](std::int64_t i) {
+      hits[static_cast<std::size_t>(i)].fetch_add(1);
+    });
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Scheduler, ParallelForEmptyAndTinyRanges) {
+  Scheduler s(test_config(2));
+  std::atomic<int> n{0};
+  s.execute([&](Worker& w) {
+    parallel_for(w, 5, 5, 4, [&](std::int64_t) { n.fetch_add(1); });
+    parallel_for(w, 0, 1, 4, [&](std::int64_t) { n.fetch_add(1); });
+    parallel_for(w, 10, 3, 4, [&](std::int64_t) { n.fetch_add(1); });  // inverted
+  });
+  EXPECT_EQ(n.load(), 1);
+}
+
+TEST(Scheduler, FibRecursion) {
+  Scheduler s(test_config(4));
+  // Naive parallel fib exercises deep nesting + stealing.
+  struct Fib {
+    static long run(Worker& w, int n) {
+      if (n < 2) return n;
+      long a = 0;
+      TaskGroup g;
+      g.spawn(w, ColorMask{}, [&a, n](Worker& ww) { a = run(ww, n - 1); });
+      long b = run(w, n - 2);
+      g.wait(w);
+      return a + b;
+    }
+  };
+  long result = 0;
+  s.execute([&](Worker& w) { result = Fib::run(w, 18); });
+  EXPECT_EQ(result, 2584);
+}
+
+TEST(Scheduler, CountersAccumulateAndReset) {
+  Scheduler s(test_config(4));
+  std::atomic<long> sink{0};
+  s.execute([&](Worker& w) {
+    parallel_for(w, 0, 4096, 4,
+                 [&](std::int64_t i) { sink.fetch_add(i, std::memory_order_relaxed); });
+  });
+  WorkerCounters total = s.aggregate_counters();
+  EXPECT_GT(total.tasks_executed, 0u);
+  EXPECT_GT(total.spawns, 0u);
+  s.reset_counters();
+  EXPECT_EQ(s.aggregate_counters().tasks_executed, 0u);
+}
+
+TEST(Scheduler, LocalityRecording) {
+  SchedulerConfig cfg;
+  cfg.num_workers = 4;
+  cfg.topology = numa::Topology(2, 2);  // workers 0,1 domain 0; 2,3 domain 1
+  Scheduler s(cfg);
+  s.execute([&](Worker& w) {
+    // Worker 0: color 1 is same-domain (local); color 2 is remote.
+    w.record_node_execution(1, 4, 2);
+    w.record_node_execution(2, 0, 0);
+  });
+  auto agg = s.aggregate_counters();
+  EXPECT_EQ(agg.locality.nodes, 2u);
+  EXPECT_EQ(agg.locality.remote_nodes, 1u);
+  EXPECT_EQ(agg.locality.pred_accesses, 4u);
+  EXPECT_EQ(agg.locality.remote_pred_accesses, 2u);
+}
+
+TEST(Scheduler, StealPolicyDefaults) {
+  StealPolicy nb = StealPolicy::nabbit();
+  EXPECT_FALSE(nb.colored_enabled);
+  EXPECT_FALSE(nb.force_first_colored);
+  StealPolicy nc = StealPolicy::nabbitc();
+  EXPECT_TRUE(nc.colored_enabled);
+  EXPECT_TRUE(nc.force_first_colored);
+  EXPECT_GE(nc.colored_attempts, 1u);
+}
+
+TEST(Scheduler, InvalidColoringJobStillCompletes) {
+  // All frames carry empty masks (kInvalidColor) => every colored steal
+  // fails; bounded first-steal forcing must let workers fall back (the
+  // paper's Table III configuration).
+  SchedulerConfig cfg = test_config(4);
+  cfg.steal = StealPolicy::nabbitc();
+  cfg.steal.first_steal_max_attempts = 64;
+  Scheduler s(cfg);
+  std::atomic<int> n{0};
+  s.execute([&](Worker& w) {
+    TaskGroup g;
+    for (int i = 0; i < 64; ++i) {
+      g.spawn(w, ColorMask{}, [&n](Worker&) { n.fetch_add(1); });
+    }
+    g.wait(w);
+  });
+  EXPECT_EQ(n.load(), 64);
+}
+
+TEST(Scheduler, WorkerCountersMergeArithmetic) {
+  WorkerCounters a, b;
+  a.tasks_executed = 3;
+  a.steals_colored = 1;
+  b.tasks_executed = 4;
+  b.steals_random = 2;
+  b.idle_ns = 100;
+  a.merge(b);
+  EXPECT_EQ(a.tasks_executed, 7u);
+  EXPECT_EQ(a.steals_total(), 3u);
+  EXPECT_EQ(a.idle_ns, 100u);
+  a.reset();
+  EXPECT_EQ(a.tasks_executed, 0u);
+}
+
+TEST(SchedulerDeath, ExecuteFromWorkerAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Scheduler s(test_config(2));
+  EXPECT_DEATH(
+      s.execute([&](Worker&) { s.execute([](Worker&) {}); }),
+      "must not be called from a worker");
+}
+
+}  // namespace
+}  // namespace nabbitc::rt

@@ -1,0 +1,273 @@
+// Tests for the discrete-event simulator: TaskDag invariants and the
+// scheduling-policy simulation (greedy bounds, locality, determinism).
+#include <gtest/gtest.h>
+
+#include "sim/sim_engine.h"
+#include "sim/task_dag.h"
+
+namespace nabbitc::sim {
+namespace {
+
+TaskDag chain(int n, double work = 1.0) {
+  TaskDag d;
+  for (int i = 0; i < n; ++i) d.add_node(work, 0);
+  for (int i = 1; i < n; ++i) d.add_edge(static_cast<NodeId>(i - 1), static_cast<NodeId>(i));
+  return d;
+}
+
+/// `width` independent nodes per color, colors 0..colors-1, plus a sink.
+TaskDag wide(std::uint32_t width, std::uint32_t colors, double work = 10.0) {
+  TaskDag d;
+  NodeId sink = 0;
+  std::vector<NodeId> ids;
+  for (std::uint32_t c = 0; c < colors; ++c) {
+    for (std::uint32_t i = 0; i < width; ++i) {
+      ids.push_back(d.add_node(work, static_cast<numa::Color>(c)));
+    }
+  }
+  sink = d.add_node(0.001, 0);
+  for (NodeId v : ids) d.add_edge(v, sink);
+  return d;
+}
+
+// ----------------------------------------------------------------- TaskDag
+
+TEST(TaskDag, WorkAndCriticalPath) {
+  TaskDag d = chain(10, 2.0);
+  EXPECT_DOUBLE_EQ(d.total_work(), 20.0);
+  EXPECT_DOUBLE_EQ(d.critical_path(), 20.0);
+  EXPECT_EQ(d.longest_chain(), 10u);
+  EXPECT_TRUE(d.is_acyclic());
+}
+
+TEST(TaskDag, DiamondCriticalPath) {
+  TaskDag d;
+  NodeId a = d.add_node(1, 0), b = d.add_node(5, 0), c = d.add_node(2, 0),
+         e = d.add_node(1, 0);
+  d.add_edge(a, b);
+  d.add_edge(a, c);
+  d.add_edge(b, e);
+  d.add_edge(c, e);
+  EXPECT_DOUBLE_EQ(d.critical_path(), 7.0);  // a -> b -> e
+  EXPECT_EQ(d.longest_chain(), 3u);
+}
+
+TEST(TaskDag, TopoOrderRespectsEdges) {
+  TaskDag d = wide(4, 3);
+  auto order = d.topo_order();
+  std::vector<int> pos(d.num_nodes());
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = static_cast<int>(i);
+  for (NodeId v = 0; v < d.num_nodes(); ++v) {
+    for (NodeId p : d.preds(v)) EXPECT_LT(pos[p], pos[v]);
+  }
+}
+
+TEST(TaskDag, CycleDetection) {
+  TaskDag d;
+  NodeId a = d.add_node(1, 0), b = d.add_node(1, 0);
+  d.add_edge(a, b);
+  d.add_edge(b, a);
+  EXPECT_FALSE(d.is_acyclic());
+}
+
+TEST(TaskDagDeath, TopoOrderAbortsOnCycle) {
+  TaskDag d;
+  NodeId a = d.add_node(1, 0), b = d.add_node(1, 0);
+  d.add_edge(a, b);
+  d.add_edge(b, a);
+  EXPECT_DEATH(d.topo_order(), "cycle");
+}
+
+TEST(TaskDag, RecolorHintsLeavesDataColorsAlone) {
+  TaskDag d = wide(2, 2);
+  d.recolor_hints([](numa::Color) { return numa::kInvalidColor; });
+  for (NodeId v = 0; v < d.num_nodes(); ++v) {
+    EXPECT_EQ(d.node(v).hint, numa::kInvalidColor);
+    EXPECT_GE(d.node(v).color, 0);  // data placement untouched
+  }
+}
+
+// -------------------------------------------------------------- simulation
+
+SimConfig cfg_for(std::uint32_t p, bool colored = true) {
+  SimConfig cfg;
+  cfg.num_workers = p;
+  cfg.topology = numa::Topology(4, (p + 3) / 4);
+  cfg.steal = colored ? rt::StealPolicy::nabbitc() : rt::StealPolicy::nabbit();
+  cfg.penalty.steal_cost = 0.01;
+  cfg.penalty.edge_cost = 0.0;
+  return cfg;
+}
+
+TEST(Sim, ChainOnOneWorkerIsSerialTime) {
+  TaskDag d = chain(50, 3.0);
+  SimResult r = simulate(d, cfg_for(1));
+  EXPECT_DOUBLE_EQ(r.serial_time, 150.0);
+  EXPECT_DOUBLE_EQ(r.makespan, 150.0);
+  EXPECT_DOUBLE_EQ(r.speedup(), 1.0);
+  EXPECT_EQ(r.steals_total(), 0.0);
+}
+
+TEST(Sim, ChainCannotSpeedUp) {
+  TaskDag d = chain(50, 3.0);
+  SimResult r = simulate(d, cfg_for(8));
+  // A chain has no parallelism; makespan >= critical path.
+  EXPECT_GE(r.makespan, d.critical_path());
+  EXPECT_LE(r.speedup(), 1.01);
+}
+
+TEST(Sim, WideGraphScales) {
+  TaskDag d = wide(64, 8, 10.0);  // 512 independent heavy nodes
+  SimResult r8 = simulate(d, cfg_for(8));
+  EXPECT_GT(r8.speedup(), 4.0);
+  EXPECT_LE(r8.speedup(), 8.01);
+  // At P=1 on a single-domain machine everything is local: speedup == 1.
+  SimConfig cfg1 = cfg_for(1);
+  cfg1.topology = numa::Topology::uniform(1);
+  SimResult r1 = simulate(d, cfg1);
+  EXPECT_NEAR(r1.speedup(), 1.0, 0.01);
+  // At P=1 on a NUMA machine the lone worker pays remote penalties for the
+  // 7/8 of the data living in other domains: speedup < 1 vs local-serial.
+  SimResult r1n = simulate(d, cfg_for(1));
+  EXPECT_LT(r1n.speedup(), 1.0);
+}
+
+TEST(Sim, MakespanRespectsGreedyBounds) {
+  // Brent: T1/P <= makespan (ignoring overheads) and for greedy-ish
+  // schedulers makespan stays within a small factor of T1/P + Tinf.
+  TaskDag d = wide(32, 4, 5.0);
+  for (std::uint32_t p : {2u, 4u, 8u}) {
+    SimResult r = simulate(d, cfg_for(p));
+    EXPECT_GE(r.makespan, r.serial_time / p - 1e-9);
+    EXPECT_LE(r.makespan, 2.0 * (r.serial_time / p + d.critical_path()) + 10.0);
+  }
+}
+
+TEST(Sim, DeterministicForSameSeed) {
+  TaskDag d = wide(32, 4);
+  SimConfig cfg = cfg_for(6);
+  SimResult a = simulate(d, cfg);
+  SimResult b = simulate(d, cfg);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.steals_colored, b.steals_colored);
+  EXPECT_EQ(a.steals_random, b.steals_random);
+  EXPECT_EQ(a.locality.remote_accesses(), b.locality.remote_accesses());
+}
+
+TEST(Sim, EmptyDag) {
+  TaskDag d;
+  SimResult r = simulate(d, cfg_for(4));
+  EXPECT_DOUBLE_EQ(r.makespan, 0.0);
+}
+
+TEST(Sim, SingleNode) {
+  TaskDag d;
+  d.add_node(7.0, 0);
+  SimResult r = simulate(d, cfg_for(4));
+  EXPECT_DOUBLE_EQ(r.makespan, 7.0);
+}
+
+TEST(Sim, ColoredStealsReduceRemoteAccesses) {
+  // Large per-color work pools: NabbitC should place most executions in the
+  // owning domain; Nabbit (random steals) should not.
+  TaskDag d = wide(128, 8, 10.0);
+  SimConfig nbc = cfg_for(8, true);
+  SimConfig nb = cfg_for(8, false);
+  SimResult rc = simulate(d, nbc);
+  SimResult rr = simulate(d, nb);
+  EXPECT_LT(rc.locality.percent_remote(), rr.locality.percent_remote());
+}
+
+TEST(Sim, InvalidColoringBehavesLikeNabbit) {
+  TaskDag d = wide(64, 8, 10.0);
+  d.recolor_hints([](numa::Color) { return numa::kInvalidColor; });
+  SimConfig cfg = cfg_for(8, true);
+  cfg.steal.first_steal_max_attempts = 32;
+  SimResult r = simulate(d, cfg);
+  // Everything completes, all colored steals fail (Table III behaviour);
+  // load balance is preserved by the random fallback.
+  EXPECT_EQ(r.steals_colored, 0u);
+  EXPECT_GT(r.steals_random, 0u);
+  EXPECT_GT(r.speedup(), 3.0);
+}
+
+TEST(Sim, RemoteFactorInflatesMakespanUnderBadColoring) {
+  // Bad hints make workers prefer nodes whose *data* is elsewhere: remote
+  // cost inflates the makespan relative to a good coloring.
+  TaskDag good = wide(64, 4, 10.0);
+  TaskDag bad = wide(64, 4, 10.0);
+  bad.recolor_hints(
+      [](numa::Color c) { return static_cast<numa::Color>((c + 2) % 4); });
+  SimConfig cfg = cfg_for(4);
+  cfg.topology = numa::Topology(4, 1);
+  cfg.penalty.remote_factor = 2.0;
+  SimResult rg = simulate(good, cfg);
+  SimResult rb = simulate(bad, cfg);
+  EXPECT_LT(rg.makespan, rb.makespan);
+  EXPECT_LT(rg.locality.percent_remote(), rb.locality.percent_remote());
+}
+
+TEST(Sim, FirstStealWaitPositiveForThieves) {
+  TaskDag d = wide(64, 4, 10.0);
+  SimResult r = simulate(d, cfg_for(4));
+  EXPECT_GT(r.avg_first_steal_wait, 0.0);
+}
+
+// --------------------------------------------------------------- loop sims
+
+TEST(SimLoop, StaticPerfectForUniformLevel) {
+  // One level of 8 equal nodes on 8 threads: perfect speedup.
+  TaskDag d = wide(1, 8, 10.0);  // 8 nodes + sink
+  SimConfig cfg = cfg_for(8);
+  SimResult r = simulate_loop(d, cfg, loop::Schedule::kStatic);
+  EXPECT_NEAR(r.makespan, 10.0 + 0.001, 1e-6);
+}
+
+TEST(SimLoop, StaticSuffersUnderSkew) {
+  // The last thread's static slice contains several heavy nodes: static is
+  // imbalanced; guided's shrinking late chunks spread them across threads.
+  TaskDag d;
+  std::vector<NodeId> ids;
+  for (int i = 0; i < 32; ++i) {
+    ids.push_back(
+        d.add_node(i >= 28 ? 25.0 : 1.0, static_cast<numa::Color>(i % 4)));
+  }
+  NodeId sink = d.add_node(0.001, 0);
+  for (NodeId v : ids) d.add_edge(v, sink);
+  SimConfig cfg = cfg_for(4);
+  cfg.penalty.remote_factor = 1.0;  // isolate load balance
+  SimResult st = simulate_loop(d, cfg, loop::Schedule::kStatic);
+  SimResult gd = simulate_loop(d, cfg, loop::Schedule::kGuided);
+  EXPECT_GT(st.makespan, gd.makespan);
+}
+
+TEST(SimLoop, StaticHasPerfectLocalityWhenDistributionMatches) {
+  // Nodes within each level ordered by color, colors spread evenly: the
+  // static slice of thread t is exactly color t's nodes.
+  TaskDag d;
+  std::vector<NodeId> ids;
+  const std::uint32_t nt = 4;
+  for (std::uint32_t c = 0; c < nt; ++c) {
+    for (int i = 0; i < 16; ++i) ids.push_back(d.add_node(5.0, static_cast<numa::Color>(c)));
+  }
+  SimConfig cfg = cfg_for(nt);
+  cfg.topology = numa::Topology(4, 1);
+  SimResult r = simulate_loop(d, cfg, loop::Schedule::kStatic);
+  EXPECT_DOUBLE_EQ(r.locality.percent_remote(), 0.0);
+}
+
+TEST(SimLoop, BarriersLinearizeLevels) {
+  // Two levels of one node each: makespan is the sum even with many threads.
+  TaskDag d = chain(2, 10.0);
+  SimResult r = simulate_loop(d, cfg_for(8), loop::Schedule::kStatic);
+  EXPECT_DOUBLE_EQ(r.makespan, 20.0);
+}
+
+TEST(SimLoop, GuidedCoversAllNodes) {
+  TaskDag d = wide(16, 4, 2.0);
+  SimResult r = simulate_loop(d, cfg_for(4), loop::Schedule::kGuided);
+  EXPECT_EQ(r.locality.nodes, d.num_nodes());
+}
+
+}  // namespace
+}  // namespace nabbitc::sim

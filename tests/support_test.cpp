@@ -1,0 +1,320 @@
+// Unit tests for src/support: rng, stats, config, table, align, spin.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "support/align.h"
+#include "support/config.h"
+#include "support/rng.h"
+#include "support/spin.h"
+#include "support/stats.h"
+#include "support/table.h"
+
+namespace nabbitc {
+namespace {
+
+// ------------------------------------------------------------------- align
+
+TEST(Align, RoundUp) {
+  EXPECT_EQ(round_up(0, 8), 0u);
+  EXPECT_EQ(round_up(1, 8), 8u);
+  EXPECT_EQ(round_up(8, 8), 8u);
+  EXPECT_EQ(round_up(9, 8), 16u);
+  EXPECT_EQ(round_up(63, 64), 64u);
+}
+
+TEST(Align, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1024));
+  EXPECT_FALSE(is_pow2(1023));
+}
+
+TEST(Align, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1000), 1024u);
+}
+
+TEST(Align, PaddedOccupiesCacheLine) {
+  EXPECT_GE(sizeof(Padded<int>), kCacheLine);
+  EXPECT_EQ(alignof(Padded<int>), kCacheLine);
+  Padded<int> p(7);
+  EXPECT_EQ(*p, 7);
+  *p = 9;
+  EXPECT_EQ(p.value, 9);
+}
+
+// --------------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicForSameSeed) {
+  Pcg32 a(42, 1), b(42, 1);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Pcg32 a(1, 1), b(2, 1);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, DifferentStreamsDiffer) {
+  Pcg32 a(42, 1), b(42, 2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, BelowIsInRange) {
+  Pcg32 rng(7);
+  for (std::uint32_t bound : {1u, 2u, 3u, 10u, 1000u}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+  EXPECT_EQ(rng.below(1), 0u);
+  EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Pcg32 rng(11);
+  std::vector<int> counts(8, 0);
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) ++counts[rng.below(8)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, n / 8, n / 8 * 0.15);
+  }
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Pcg32 rng(3);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, RangeInclusive) {
+  Pcg32 rng(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    auto v = rng.range(-2, 2);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Pcg32 rng(9);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  shuffle(v.begin(), v.end(), rng);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, SplitmixMixesBits) {
+  EXPECT_NE(splitmix64(0), splitmix64(1));
+  EXPECT_NE(splitmix64(1), splitmix64(2));
+}
+
+// ------------------------------------------------------------------- stats
+
+TEST(Stats, RunningBasics) {
+  RunningStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(5.0 / 3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+}
+
+TEST(Stats, RunningMergeMatchesCombined) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    double x = i * 0.7 - 3;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(Stats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(5.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 5.0);
+}
+
+TEST(Stats, SamplesPercentiles) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_NEAR(s.median(), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(25), 25.75, 1e-9);
+}
+
+TEST(Stats, SamplesSingleValue) {
+  Samples s;
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.median(), 7.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Stats, Geomean) {
+  EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+  EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
+  EXPECT_NEAR(geomean({1.0, 1.0, 1.0}), 1.0, 1e-12);
+}
+
+// ------------------------------------------------------------------ config
+
+TEST(Config, ParsesKeyValueArgs) {
+  const char* argv[] = {"prog", "workers=8", "preset=small", "positional"};
+  std::vector<std::string> pos;
+  Config cfg = Config::from_args(4, const_cast<char**>(argv), &pos);
+  EXPECT_EQ(cfg.get_int("workers", 0), 8);
+  EXPECT_EQ(cfg.get("preset", ""), "small");
+  ASSERT_EQ(pos.size(), 1u);
+  EXPECT_EQ(pos[0], "positional");
+}
+
+TEST(Config, Fallbacks) {
+  Config cfg;
+  EXPECT_EQ(cfg.get_int("missing", 42), 42);
+  EXPECT_EQ(cfg.get("missing", "x"), "x");
+  EXPECT_TRUE(cfg.get_bool("missing", true));
+  EXPECT_DOUBLE_EQ(cfg.get_double("missing", 2.5), 2.5);
+}
+
+TEST(Config, BoolParsing) {
+  Config cfg;
+  cfg.set("a", "1");
+  cfg.set("b", "true");
+  cfg.set("c", "no");
+  cfg.set("d", "on");
+  EXPECT_TRUE(cfg.get_bool("a", false));
+  EXPECT_TRUE(cfg.get_bool("b", false));
+  EXPECT_FALSE(cfg.get_bool("c", true));
+  EXPECT_TRUE(cfg.get_bool("d", false));
+}
+
+TEST(Config, IntList) {
+  Config cfg;
+  cfg.set("ps", "1,2,4,8");
+  auto v = cfg.get_int_list("ps", {});
+  EXPECT_EQ(v, (std::vector<std::int64_t>{1, 2, 4, 8}));
+  EXPECT_EQ(cfg.get_int_list("nope", {3}), (std::vector<std::int64_t>{3}));
+}
+
+TEST(Config, EnvOverride) {
+  setenv("NABBITC_TEST_KEY_X", "99", 1);
+  Config cfg;
+  EXPECT_EQ(cfg.get_int("test_key_x", 0), 99);
+  // Explicit setting wins over env.
+  cfg.set("test_key_x", "7");
+  EXPECT_EQ(cfg.get_int("test_key_x", 0), 7);
+  unsetenv("NABBITC_TEST_KEY_X");
+}
+
+// ------------------------------------------------------------------- table
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 2u);
+}
+
+TEST(Table, Csv) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(Table, Formatting) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(1.0, 0), "1");
+  EXPECT_EQ(Table::fmt_int(-42), "-42");
+}
+
+TEST(TableDeath, RowArityMismatchAborts) {
+  Table t({"a", "b"});
+  EXPECT_DEATH(t.add_row({"only-one"}), "arity");
+}
+
+// -------------------------------------------------------------------- spin
+
+TEST(Spin, SpinLockMutualExclusion) {
+  SpinLock mu;
+  int counter = 0;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 4; ++t) {
+    ts.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) {
+        std::lock_guard<SpinLock> lk(mu);
+        ++counter;
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(counter, 40000);
+}
+
+TEST(Spin, TryLock) {
+  SpinLock mu;
+  EXPECT_TRUE(mu.try_lock());
+  EXPECT_FALSE(mu.try_lock());
+  mu.unlock();
+  EXPECT_TRUE(mu.try_lock());
+  mu.unlock();
+}
+
+TEST(Spin, BarrierSynchronizesPhases) {
+  constexpr int kThreads = 4, kPhases = 20;
+  SpinBarrier bar(kThreads);
+  std::atomic<int> phase_counts[kPhases] = {};
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&] {
+      for (int p = 0; p < kPhases; ++p) {
+        phase_counts[p].fetch_add(1);
+        bar.arrive_and_wait();
+        // After the barrier, everyone must have arrived at phase p.
+        EXPECT_EQ(phase_counts[p].load(), kThreads);
+        bar.arrive_and_wait();
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+}
+
+}  // namespace
+}  // namespace nabbitc
