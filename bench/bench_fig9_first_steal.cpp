@@ -37,20 +37,36 @@ int main(int argc, char** argv) {
   auto wr = wl::make_workload("heat", real_preset);
   std::printf("## real runtime, heat (%s preset)\n",
               wl::preset_name(real_preset));
-  Table t({"workers", "avg first-steal wait (ms)", "forced attempts/worker"});
+  Table t({"workers", "avg first-steal wait (ms)", "forced attempts/worker",
+           "trace wait (ms)"});
   for (std::uint32_t workers : {2u, 4u, 8u}) {
     harness::RealRunOptions o;
     o.workers = workers;
     o.repeats = static_cast<std::uint32_t>(args.cfg.get_int("repeats", 3));
+    o.trace = args.trace;
     auto r = harness::run_real(*wr, Variant::kNabbitC, o);
     const double runs = static_cast<double>(o.repeats) * workers;
+    // The same figure regenerated from the event trace: mean over recorded
+    // kFirstSteal events (workers that never stole contribute nothing).
+    trace::StealSummary s = trace::summarize_steals(r.trace);
+    if (r.trace.dropped > 0) {
+      std::printf("[trace] WARNING: p%u ring overflow dropped %llu events; "
+                  "trace wait column uses the surviving tail "
+                  "(raise --trace-capacity)\n",
+                  workers, static_cast<unsigned long long>(r.trace.dropped));
+    }
     t.add_row({Table::fmt_int(workers),
                Table::fmt(static_cast<double>(r.counters.first_steal_wait_ns) /
                               runs / 1e6,
                           3),
                Table::fmt(static_cast<double>(r.counters.first_steal_attempts) /
                               runs,
-                          1)});
+                          1),
+               args.trace.enabled ? Table::fmt(s.avg_first_steal_wait_ms(), 3)
+                                  : "-"});
+    std::string tag = "p";  // "p" + to_string(w) trips GCC 12's -Wrestrict
+    tag += std::to_string(workers);
+    bench::export_trace(args, r.trace, tag);
   }
   std::printf("%s\n", t.to_string().c_str());
   return 0;

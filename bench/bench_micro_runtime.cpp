@@ -142,6 +142,27 @@ void BM_ParallelForOverhead(benchmark::State& state) {
 }
 BENCHMARK(BM_ParallelForOverhead);
 
+void BM_StealLoopTracing(benchmark::State& state) {
+  // The steal loop + task execution with tracing off (arg 0) vs on (arg 1).
+  // The untraced cost must stay within noise of the seed runtime: tracing
+  // off is one never-taken null-pointer branch per instrumentation site.
+  rt::SchedulerConfig cfg;
+  cfg.num_workers = 4;
+  cfg.trace.enabled = state.range(0) != 0;
+  cfg.trace.ring_capacity = 1u << 14;  // drop-oldest keeps long runs bounded
+  rt::Scheduler sched(cfg);
+  for (auto _ : state) {
+    std::atomic<long> acc{0};
+    sched.execute([&acc](rt::Worker& w) {
+      rt::parallel_for(w, 0, 8192, 16, [&acc](std::int64_t i) {
+        acc.fetch_add(i, std::memory_order_relaxed);
+      });
+    });
+    benchmark::DoNotOptimize(acc.load());
+  }
+}
+BENCHMARK(BM_StealLoopTracing)->Arg(0)->Arg(1);
+
 struct BenchItem {
   int id;
   numa::Color color;

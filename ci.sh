@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Configure + build + test, Release and Debug, warnings-as-errors.
+# Usage: ./ci.sh [Release|Debug|all]   (default: all)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS=${JOBS:-$(nproc 2>/dev/null || echo 4)}
+MODE=${1:-all}
+
+run_one() {
+  local build_type=$1
+  local dir="build-ci-${build_type,,}"
+  echo "=== ${build_type}: configure ==="
+  cmake -B "${dir}" -S . \
+    -DCMAKE_BUILD_TYPE="${build_type}" \
+    -DNABBITC_WERROR=ON
+  echo "=== ${build_type}: build ==="
+  cmake --build "${dir}" -j "${JOBS}"
+  echo "=== ${build_type}: ctest ==="
+  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}"
+}
+
+case "${MODE}" in
+  Release|Debug) run_one "${MODE}" ;;
+  all)
+    run_one Release
+    run_one Debug
+    ;;
+  *)
+    echo "usage: $0 [Release|Debug|all]" >&2
+    exit 2
+    ;;
+esac
+
+echo "=== traced smoke run ==="
+SMOKE_DIR="build-ci-release"
+[ -d "${SMOKE_DIR}" ] || SMOKE_DIR="build-ci-debug"
+"${SMOKE_DIR}/bench_fig9_first_steal" cores=4 preset=tiny repeats=1 \
+  --trace-out="${SMOKE_DIR}/fig9-trace.json"
+python3 - "${SMOKE_DIR}/fig9-trace-p4.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    d = json.load(f)
+assert d["traceEvents"], "trace has no events"
+print(f"trace OK: {len(d['traceEvents'])} events")
+EOF
+
+echo "CI OK"

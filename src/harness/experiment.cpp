@@ -63,6 +63,7 @@ RealRunResult run_real(wl::Workload& workload, Variant variant,
       sc.pin_threads = opts.pin_threads;
       sc.steal = variant == Variant::kNabbitC ? rt::StealPolicy::nabbitc()
                                               : rt::StealPolicy::nabbit();
+      sc.trace = opts.trace;
       rt::Scheduler sched(sc);
       const auto tg_variant = variant == Variant::kNabbitC
                                   ? nabbit::TaskGraphVariant::kNabbitC
@@ -74,6 +75,7 @@ RealRunResult run_real(wl::Workload& workload, Variant variant,
         out.seconds.add(t.seconds());
       }
       out.counters = sched.aggregate_counters();
+      if (sched.tracing()) out.trace = trace::collect(sched);
       break;
     }
   }

@@ -13,6 +13,7 @@
 #include "sim/sim_engine.h"
 #include "support/config.h"
 #include "support/stats.h"
+#include "trace/collector.h"
 #include "workloads/workload.h"
 
 namespace nabbitc::harness {
@@ -32,6 +33,9 @@ struct RealRunResult {
   Samples seconds;
   std::uint64_t checksum = 0;
   rt::WorkerCounters counters;  // summed over repeats (task-graph variants)
+  /// Merged event trace over all repeats; empty unless options.trace.enabled
+  /// and the variant runs on the task-graph scheduler.
+  trace::Trace trace;
 };
 
 struct RealRunOptions {
@@ -40,6 +44,8 @@ struct RealRunOptions {
   nabbit::ColoringMode coloring = nabbit::ColoringMode::kGood;
   bool pin_threads = false;
   numa::Topology topology = numa::Topology::host();
+  /// Event tracing for the kNabbit / kNabbitC variants (see src/trace/).
+  trace::TraceConfig trace{};
 };
 
 /// Runs `workload` under `variant` on real threads; workload must outlive

@@ -20,7 +20,11 @@ Task* Worker::find_task() {
   if (Task* t = deque_.pop()) return t;
   std::uint64_t t0 = now_ns();
   Task* t = try_steal_once();
-  counters_.idle_ns += now_ns() - t0;
+  const std::uint64_t idle = now_ns() - t0;
+  counters_.idle_ns += idle;
+  if (trace_ring_ != nullptr) {
+    trace_emit(trace::EventKind::kIdle, t0, idle, 0, 0, color_);
+  }
   return t;
 }
 
@@ -37,9 +41,14 @@ Task* Worker::try_steal_once() {
     // Bounded enforcement (see steal_policy.h): give up on forcing; fall
     // through to the steady-state policy from now on.
     ++counters_.first_steal_forced_abandoned;
-    counters_.first_steal_wait_ns += now_ns() - job_start_ns_;
+    const std::uint64_t wait = now_ns() - job_start_ns_;
+    counters_.first_steal_wait_ns += wait;
     first_steal_done_ = true;
     forcing = false;
+    if (trace_ring_ != nullptr) {
+      trace_emit(trace::EventKind::kFirstSteal, job_start_ns_ + wait, wait, 0,
+                 trace::kFlagAbandoned, color_);
+    }
   }
   if (forcing) {
     colored = true;
@@ -67,6 +76,15 @@ Task* Worker::try_steal_once() {
     ++counters_.steal_attempts_random;
   }
 
+  if (trace_ring_ != nullptr) {
+    std::uint8_t flags = 0;
+    if (colored) flags |= trace::kFlagColored;
+    if (forcing) flags |= trace::kFlagForced;
+    if (r == StealResult::kSuccess) flags |= trace::kFlagSuccess;
+    trace_emit(trace::EventKind::kStealAttempt, now_ns(), victim,
+               static_cast<std::uint64_t>(r), flags, color_);
+  }
+
   if (r != StealResult::kSuccess) return nullptr;
 
   if (colored) {
@@ -76,7 +94,12 @@ Task* Worker::try_steal_once() {
   }
   if (!first_steal_done_) {
     first_steal_done_ = true;
-    counters_.first_steal_wait_ns += now_ns() - job_start_ns_;
+    const std::uint64_t wait = now_ns() - job_start_ns_;
+    counters_.first_steal_wait_ns += wait;
+    if (trace_ring_ != nullptr) {
+      trace_emit(trace::EventKind::kFirstSteal, job_start_ns_ + wait, wait, 0,
+                 colored ? trace::kFlagColored : 0, color_);
+    }
   }
   steal_round_ = 0;
   return task;
@@ -102,6 +125,14 @@ Scheduler::Scheduler(SchedulerConfig cfg) : cfg_(cfg) {
     w->sched_ = this;
     w->rng_ = Pcg32(splitmix64(cfg_.seed + i), /*stream=*/i + 1);
     workers_.push_back(std::move(w));
+  }
+  if (cfg_.trace.enabled) {
+    trace_rings_.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      trace_rings_.push_back(
+          std::make_unique<trace::EventRing>(cfg_.trace.ring_capacity));
+      workers_[i]->trace_ring_ = trace_rings_.back().get();
+    }
   }
   threads_.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
@@ -189,6 +220,10 @@ WorkerCounters Scheduler::aggregate_counters() const {
 
 void Scheduler::reset_counters() {
   for (auto& w : workers_) w->counters().reset();
+}
+
+void Scheduler::reset_trace() {
+  for (auto& r : trace_rings_) r->clear();
 }
 
 }  // namespace nabbitc::rt

@@ -24,6 +24,8 @@
 #include "rt/task.h"
 #include "support/align.h"
 #include "support/rng.h"
+#include "support/timing.h"
+#include "trace/ring.h"
 
 namespace nabbitc::rt {
 
@@ -38,6 +40,9 @@ struct SchedulerConfig {
   /// Pin worker w to core topology.core_of_worker(w) (best effort).
   bool pin_threads = false;
   std::uint64_t seed = 0x9e3779b9u;
+  /// Event tracing (trace/). Off by default; when off, no rings are
+  /// allocated and every instrumentation site is one null-pointer branch.
+  trace::TraceConfig trace{};
 };
 
 /// Per-thread scheduler agent. Everything here except the deque is touched
@@ -62,11 +67,45 @@ class Worker {
   /// each counted remote iff outside this worker's NUMA domain.
   void record_node_execution(numa::Color node_color, std::uint64_t preds_total,
                              std::uint64_t preds_remote) noexcept {
+    const bool remote = !topology().is_local(node_color, id_);
     auto& loc = counters_.locality;
     loc.nodes += 1;
-    loc.remote_nodes += topology().is_local(node_color, id_) ? 0 : 1;
+    loc.remote_nodes += remote ? 1 : 0;
     loc.pred_accesses += preds_total;
     loc.remote_pred_accesses += preds_remote;
+    if (trace_ring_ != nullptr) {
+      trace_emit(trace::EventKind::kNodeExec, now_ns(), preds_total, preds_remote,
+                 remote ? trace::kFlagRemote : 0, node_color);
+    }
+  }
+
+  /// True iff this worker records trace events (scheduler-wide setting).
+  bool tracing() const noexcept { return trace_ring_ != nullptr; }
+  trace::EventRing* trace_ring() noexcept { return trace_ring_; }
+  const trace::EventRing* trace_ring() const noexcept { return trace_ring_; }
+
+  /// Appends one event stamped with this worker's identity. Callers must
+  /// have checked tracing() (or hold a non-null ring) first; the helpers
+  /// below fold that check into one predictable branch.
+  void trace_emit(trace::EventKind kind, std::uint64_t ts_ns, std::uint64_t arg_a,
+                  std::uint64_t arg_b, std::uint8_t flags,
+                  numa::Color color) noexcept {
+    trace::Event e;
+    e.ts_ns = ts_ns;
+    e.arg_a = arg_a;
+    e.arg_b = arg_b;
+    e.color = color;
+    e.worker = static_cast<std::uint16_t>(id_);
+    e.domain = static_cast<std::uint16_t>(domain_);
+    e.kind = kind;
+    e.flags = flags;
+    trace_ring_->emit(e);
+  }
+
+  /// Spawn instrumentation (called from TaskGroup::spawn).
+  void trace_spawn(const ColorMask& colors) noexcept {
+    if (trace_ring_ == nullptr) return;
+    trace_emit(trace::EventKind::kSpawn, now_ns(), colors.count(), 0, 0, color_);
   }
 
   /// True iff `c` is local to this worker's NUMA domain.
@@ -78,10 +117,16 @@ class Worker {
   /// Returns nullptr when no work was found this round.
   Task* find_task();
 
-  /// Executes a task, updating counters.
+  /// Executes a task, updating counters (and the trace when enabled).
   void run_task(Task* task) {
     ++counters_.tasks_executed;
+    if (trace_ring_ == nullptr) {
+      task->run(*this);
+      return;
+    }
+    const std::uint64_t t0 = now_ns();
     task->run(*this);
+    trace_emit(trace::EventKind::kTask, t0, now_ns() - t0, 0, 0, color_);
   }
 
  private:
@@ -98,6 +143,7 @@ class Worker {
   JobArena arena_;
   WorkerCounters counters_;
   Pcg32 rng_;
+  trace::EventRing* trace_ring_ = nullptr;  // null <=> tracing disabled
 
   // Per-job steal-policy state.
   bool first_steal_done_ = false;
@@ -133,6 +179,16 @@ class Scheduler {
   WorkerCounters aggregate_counters() const;
   void reset_counters();
 
+  /// True iff this scheduler records trace events.
+  bool tracing() const noexcept { return !trace_rings_.empty(); }
+  /// Worker i's event ring, or nullptr when tracing is disabled. Reading
+  /// ring contents is only valid while no job is running (see trace/ring.h).
+  const trace::EventRing* trace_ring(std::uint32_t i) const noexcept {
+    return tracing() ? trace_rings_[i].get() : nullptr;
+  }
+  /// Clears every worker's ring (counters are untouched).
+  void reset_trace();
+
   /// The worker owned by the calling thread, or nullptr off the pool.
   static Worker* current() noexcept;
 
@@ -148,6 +204,7 @@ class Scheduler {
 
   SchedulerConfig cfg_;
   std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::unique_ptr<trace::EventRing>> trace_rings_;
   std::vector<std::thread> threads_;
 
   std::mutex mu_;
@@ -170,6 +227,7 @@ void TaskGroup::spawn(Worker& worker, const ColorMask& colors, F&& fn) {
   auto* task = worker.arena().create<GroupTask<Fn>>(this, std::forward<F>(fn));
   task->colors = colors;  // the paper's cilkrts_set_next_colors()
   ++worker.counters().spawns;
+  worker.trace_spawn(colors);
   worker.deque().push(task);
 }
 

@@ -19,6 +19,18 @@ std::string env_key(const std::string& key) {
   return out;
 }
 
+// Accept GNU-style spellings too: "--trace-out=x" stores under "trace_out",
+// so code always looks keys up in canonical snake_case.
+std::string normalize_key(const std::string& key) {
+  std::size_t start = 0;
+  while (start < key.size() && key[start] == '-') ++start;
+  std::string out = key.substr(start);
+  for (char& c : out) {
+    if (c == '-') c = '_';
+  }
+  return out;
+}
+
 }  // namespace
 
 Config Config::from_args(int argc, char** argv, std::vector<std::string>* positional) {
@@ -27,10 +39,13 @@ Config Config::from_args(int argc, char** argv, std::vector<std::string>* positi
     std::string arg = argv[i];
     auto eq = arg.find('=');
     if (eq != std::string::npos && eq > 0) {
-      cfg.kv_[arg.substr(0, eq)] = arg.substr(eq + 1);
-    } else if (positional != nullptr) {
-      positional->push_back(arg);
+      std::string key = normalize_key(arg.substr(0, eq));
+      if (!key.empty()) {
+        cfg.kv_[key] = arg.substr(eq + 1);
+        continue;
+      }
     }
+    if (positional != nullptr) positional->push_back(arg);
   }
   return cfg;
 }

@@ -1,0 +1,104 @@
+#include "trace/analysis.h"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+namespace nabbitc::trace {
+
+StealSummary summarize_steals(const Trace& trace) {
+  StealSummary s;
+  s.num_workers = trace.num_workers;
+  for (const Event& e : trace.events) {
+    if (e.kind == EventKind::kStealAttempt) {
+      if (e.has(kFlagColored)) {
+        ++s.attempts_colored;
+        if (e.has(kFlagSuccess)) ++s.steals_colored;
+      } else {
+        ++s.attempts_random;
+        if (e.has(kFlagSuccess)) ++s.steals_random;
+      }
+    } else if (e.kind == EventKind::kFirstSteal) {
+      ++s.first_steal_events;
+      s.first_steal_wait_total_ns += e.arg_a;
+      if (e.has(kFlagAbandoned)) ++s.first_steal_abandoned;
+    }
+  }
+  return s;
+}
+
+void Histogram::add(std::uint64_t ns) noexcept {
+  const std::size_t bucket = ns == 0 ? 0 : static_cast<std::size_t>(std::bit_width(ns) - 1);
+  ++counts[std::min(bucket, kBuckets - 1)];
+  if (total == 0) {
+    min_ns = max_ns = ns;
+  } else {
+    min_ns = std::min(min_ns, ns);
+    max_ns = std::max(max_ns, ns);
+  }
+  ++total;
+}
+
+std::uint64_t Histogram::quantile_upper_bound_ns(double q) const noexcept {
+  if (total == 0) return 0;
+  const double target = q * static_cast<double>(total);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += counts[i];
+    if (static_cast<double>(seen) >= target) {
+      return i + 1 >= 64 ? ~0ULL : (1ULL << (i + 1));
+    }
+  }
+  return max_ns;
+}
+
+std::string Histogram::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (counts[i] == 0) continue;
+    os << "[" << (i == 0 ? 0 : (1ULL << i)) << "ns,"
+       << (i + 1 >= 64 ? ~0ULL : (1ULL << (i + 1))) << "ns): " << counts[i]
+       << "\n";
+  }
+  return os.str();
+}
+
+Histogram steal_interval_histogram(const Trace& trace) {
+  Histogram h;
+  // Last successful-steal timestamp per worker (events are time-ordered).
+  std::vector<std::uint64_t> last(trace.num_workers, 0);
+  std::vector<bool> seen(trace.num_workers, false);
+  for (const Event& e : trace.events) {
+    if (e.kind != EventKind::kStealAttempt || !e.has(kFlagSuccess)) continue;
+    if (e.worker >= last.size()) continue;  // defensively skip malformed ids
+    if (seen[e.worker]) h.add(e.ts_ns - last[e.worker]);
+    last[e.worker] = e.ts_ns;
+    seen[e.worker] = true;
+  }
+  return h;
+}
+
+std::vector<LocalityWindow> locality_windows(const Trace& trace,
+                                             std::size_t windows) {
+  std::vector<LocalityWindow> out;
+  if (trace.empty() || windows == 0) return out;
+  const std::uint64_t span = std::max<std::uint64_t>(trace.span_ns(), 1);
+  out.resize(windows);
+  for (std::size_t i = 0; i < windows; ++i) {
+    out[i].t0_ns = span * i / windows;
+    out[i].t1_ns = span * (i + 1) / windows;
+  }
+  for (const Event& e : trace.events) {
+    if (e.kind != EventKind::kNodeExec) continue;
+    const std::uint64_t rel = e.ts_ns - trace.origin_ns;
+    std::size_t i = std::min(static_cast<std::size_t>(rel * windows / span),
+                             windows - 1);
+    out[i].nodes += 1;
+    out[i].remote_nodes += e.has(kFlagRemote) ? 1 : 0;
+    out[i].pred_accesses += e.arg_a;
+    out[i].remote_pred_accesses += e.arg_b;
+  }
+  return out;
+}
+
+}  // namespace nabbitc::trace

@@ -1,0 +1,100 @@
+// Trace analysis: regenerates the paper's steal/locality statistics from an
+// event trace instead of end-of-run counters.
+//
+//   * summarize_steals — Figure 8's successful-steal counts (colored vs
+//     random, per worker) and Figure 9's first-steal waits, straight from
+//     kStealAttempt / kFirstSteal events;
+//   * steal_interval_histogram — distribution of time between consecutive
+//     successful steals on the same worker (log2 buckets), the per-phase
+//     view the aggregate counters cannot give;
+//   * locality_windows — the SectionV-B remote-access rates computed per
+//     time window, showing how locality evolves over a run (Figure 7 as a
+//     timeline).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/collector.h"
+
+namespace nabbitc::trace {
+
+struct StealSummary {
+  std::uint64_t attempts_colored = 0;
+  std::uint64_t attempts_random = 0;
+  std::uint64_t steals_colored = 0;
+  std::uint64_t steals_random = 0;
+  std::uint64_t first_steal_abandoned = 0;
+  /// kFirstSteal events in the trace: one per (worker, job) where the worker
+  /// performed a first steal. Exceeds num_workers when a trace spans several
+  /// jobs/repeats; worker 0 usually contributes none (it starts with the
+  /// root and never waits).
+  std::uint64_t first_steal_events = 0;
+  std::uint64_t first_steal_wait_total_ns = 0;
+  std::uint32_t num_workers = 0;
+
+  std::uint64_t steals_total() const noexcept { return steals_colored + steals_random; }
+  double avg_steals_per_worker() const noexcept {
+    return num_workers ? static_cast<double>(steals_total()) / num_workers : 0.0;
+  }
+  double colored_success_rate() const noexcept {
+    return attempts_colored ? static_cast<double>(steals_colored) / attempts_colored : 0.0;
+  }
+  double random_success_rate() const noexcept {
+    return attempts_random ? static_cast<double>(steals_random) / attempts_random : 0.0;
+  }
+  /// Mean wait per recorded first steal, in ms.
+  double avg_first_steal_wait_ms() const noexcept {
+    return first_steal_events
+               ? static_cast<double>(first_steal_wait_total_ns) /
+                     static_cast<double>(first_steal_events) / 1e6
+               : 0.0;
+  }
+};
+
+StealSummary summarize_steals(const Trace& trace);
+
+/// Log2-bucketed histogram: counts[i] holds samples in [2^i, 2^(i+1)) ns,
+/// except counts[0] which holds [0, 2) ns (0-ns samples happen at clock
+/// granularity).
+struct Histogram {
+  static constexpr std::size_t kBuckets = 64;
+  std::vector<std::uint64_t> counts = std::vector<std::uint64_t>(kBuckets, 0);
+  std::uint64_t total = 0;
+  std::uint64_t min_ns = 0;
+  std::uint64_t max_ns = 0;
+
+  void add(std::uint64_t ns) noexcept;
+  /// Smallest bucket upper edge e such that >= q of the mass is <= e.
+  std::uint64_t quantile_upper_bound_ns(double q) const noexcept;
+  /// Compact "2^i: count" rendering of the nonzero buckets.
+  std::string to_string() const;
+};
+
+/// Intervals between consecutive *successful* steals on the same worker.
+Histogram steal_interval_histogram(const Trace& trace);
+
+struct LocalityWindow {
+  std::uint64_t t0_ns = 0;  // window bounds, relative to trace origin
+  std::uint64_t t1_ns = 0;
+  std::uint64_t nodes = 0;
+  std::uint64_t remote_nodes = 0;
+  std::uint64_t pred_accesses = 0;
+  std::uint64_t remote_pred_accesses = 0;
+
+  double remote_node_rate() const noexcept {
+    return nodes ? static_cast<double>(remote_nodes) / nodes : 0.0;
+  }
+  double remote_pred_rate() const noexcept {
+    return pred_accesses ? static_cast<double>(remote_pred_accesses) / pred_accesses
+                         : 0.0;
+  }
+};
+
+/// Splits the trace span into `windows` equal windows and aggregates the
+/// kNodeExec locality samples per window. Empty trace => empty vector.
+std::vector<LocalityWindow> locality_windows(const Trace& trace,
+                                             std::size_t windows = 10);
+
+}  // namespace nabbitc::trace

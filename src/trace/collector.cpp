@@ -1,0 +1,116 @@
+#include "trace/collector.h"
+
+#include <algorithm>
+
+#include "rt/scheduler.h"
+
+namespace nabbitc::trace {
+
+namespace {
+
+/// End of an event on the timeline (interval events carry a duration).
+std::uint64_t event_end_ns(const Event& e) noexcept {
+  switch (e.kind) {
+    case EventKind::kTask:
+    case EventKind::kIdle:
+      return e.ts_ns + e.arg_a;
+    default:
+      return e.ts_ns;
+  }
+}
+
+void accumulate(rt::WorkerCounters& c, const Event& e) noexcept {
+  switch (e.kind) {
+    case EventKind::kTask:
+      ++c.tasks_executed;
+      break;
+    case EventKind::kSpawn:
+      ++c.spawns;
+      break;
+    case EventKind::kStealAttempt:
+      if (e.has(kFlagColored)) {
+        ++c.steal_attempts_colored;
+        if (e.has(kFlagForced)) ++c.first_steal_attempts;
+        if (e.has(kFlagSuccess)) ++c.steals_colored;
+      } else {
+        ++c.steal_attempts_random;
+        if (e.has(kFlagSuccess)) ++c.steals_random;
+      }
+      break;
+    case EventKind::kFirstSteal:
+      c.first_steal_wait_ns += e.arg_a;
+      if (e.has(kFlagAbandoned)) ++c.first_steal_forced_abandoned;
+      break;
+    case EventKind::kIdle:
+      c.idle_ns += e.arg_a;
+      break;
+    case EventKind::kNodeExec:
+      ++c.locality.nodes;
+      if (e.has(kFlagRemote)) ++c.locality.remote_nodes;
+      c.locality.pred_accesses += e.arg_a;
+      c.locality.remote_pred_accesses += e.arg_b;
+      break;
+  }
+}
+
+}  // namespace
+
+Trace merge(std::vector<std::vector<Event>> per_worker_events,
+            std::uint32_t num_workers, std::uint64_t dropped) {
+  Trace out;
+  out.num_workers = num_workers;
+  out.dropped = dropped;
+
+  std::size_t total = 0;
+  for (const auto& v : per_worker_events) total += v.size();
+  out.events.reserve(total);
+
+  // Concatenate then stable-sort: a worker's stream is *mostly* ordered
+  // (monotonic clock) but interval events are stamped with their start
+  // time and emitted at their end, so emission order alone is not sorted.
+  // Stable sort keeps each worker's emission order among ts ties.
+  for (auto& v : per_worker_events) {
+    for (const Event& e : v) {
+      out.end_ns = std::max(out.end_ns, event_end_ns(e));
+      out.events.push_back(e);
+    }
+  }
+  std::stable_sort(out.events.begin(), out.events.end(),
+                   [](const Event& a, const Event& b) { return a.ts_ns < b.ts_ns; });
+
+  if (!out.events.empty()) out.origin_ns = out.events.front().ts_ns;
+  return out;
+}
+
+Trace collect(const rt::Scheduler& sched) {
+  const std::uint32_t n = sched.num_workers();
+  std::vector<std::vector<Event>> streams;
+  std::uint64_t dropped = 0;
+  streams.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const EventRing* ring = sched.trace_ring(i);
+    if (ring == nullptr) {
+      streams.emplace_back();
+      continue;
+    }
+    streams.push_back(ring->snapshot());
+    dropped += ring->dropped();
+  }
+  return merge(std::move(streams), n, dropped);
+}
+
+rt::WorkerCounters derive_counters(const Trace& trace) {
+  rt::WorkerCounters c;
+  for (const Event& e : trace.events) accumulate(c, e);
+  return c;
+}
+
+rt::WorkerCounters derive_counters(const Trace& trace, std::uint32_t worker) {
+  rt::WorkerCounters c;
+  for (const Event& e : trace.events) {
+    if (e.worker == worker) accumulate(c, e);
+  }
+  return c;
+}
+
+}  // namespace nabbitc::trace

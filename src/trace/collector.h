@@ -1,0 +1,59 @@
+// End-of-run trace collection.
+//
+// `collect` snapshots every worker's event ring and merges them into one
+// time-ordered trace; `derive_counters` recomputes rt::WorkerCounters from
+// the events alone. Because the scheduler's instrumentation emits exactly
+// one event per counter increment (with identical deltas), the derived
+// counters equal the scheduler's own aggregate whenever no events were
+// dropped — counters and traces cannot disagree, which tests/trace_test.cpp
+// asserts on a live scheduler.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rt/counters.h"
+#include "trace/event.h"
+
+namespace nabbitc::rt {
+class Scheduler;
+}  // namespace nabbitc::rt
+
+namespace nabbitc::trace {
+
+struct Trace {
+  /// All retained events, merged across workers, sorted by ts_ns.
+  std::vector<Event> events;
+  std::uint32_t num_workers = 0;
+  /// Events lost to ring drop-oldest overwrite, summed over workers.
+  std::uint64_t dropped = 0;
+  /// Earliest timestamp in `events` (0 when empty); exporters subtract it.
+  std::uint64_t origin_ns = 0;
+  /// Latest event end (ts + duration for interval events).
+  std::uint64_t end_ns = 0;
+
+  bool empty() const noexcept { return events.empty(); }
+  /// Wall-clock span covered by the trace, in nanoseconds.
+  std::uint64_t span_ns() const noexcept {
+    return end_ns > origin_ns ? end_ns - origin_ns : 0;
+  }
+};
+
+/// Snapshots and merges every worker ring of `sched`. The scheduler must be
+/// quiescent (no job running); rings are left intact, so repeated collection
+/// is cumulative until Scheduler::reset_trace().
+Trace collect(const rt::Scheduler& sched);
+
+/// Merges pre-snapshotted per-worker event streams (each individually
+/// time-ordered) — the allocation-free building block behind `collect`,
+/// exposed for tests and offline tooling.
+Trace merge(std::vector<std::vector<Event>> per_worker_events,
+            std::uint32_t num_workers, std::uint64_t dropped);
+
+/// Recomputes rt::WorkerCounters from the trace (all workers summed).
+rt::WorkerCounters derive_counters(const Trace& trace);
+
+/// Recomputes one worker's counters from the trace.
+rt::WorkerCounters derive_counters(const Trace& trace, std::uint32_t worker);
+
+}  // namespace nabbitc::trace

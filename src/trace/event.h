@@ -1,0 +1,83 @@
+// Compact POD trace-event records.
+//
+// One Event is emitted per scheduler occurrence the paper's evaluation
+// cares about: task execution (Figures 6/7 timelines), spawns, colored and
+// random steal attempts with their outcomes (Figure 8), the forced first
+// colored steal and its wait time (Figure 9), idle intervals, and the
+// SectionV-B node-locality samples (Figure 7). Every event is stamped with
+// the emitting worker's id, color, and NUMA domain plus a monotonic
+// nanosecond timestamp, so a merged trace reconstructs *when and where*
+// every steal happened — not just the end-of-run aggregates of
+// rt::WorkerCounters.
+//
+// Events are fixed-size trivially-copyable records so the per-worker ring
+// (trace/ring.h) can store them without allocation on the hot path.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+#include "numa/topology.h"
+
+namespace nabbitc::trace {
+
+enum class EventKind : std::uint8_t {
+  /// One executed task: ts_ns = start, arg_a = duration (ns).
+  kTask = 0,
+  /// One spawn: arg_a = number of colors advertised on the pushed frame.
+  kSpawn = 1,
+  /// One steal attempt (any outcome): arg_a = victim worker id.
+  /// Flags say colored/random, success, and whether it was a forced
+  /// first-steal attempt.
+  kStealAttempt = 2,
+  /// A worker's first-steal wait ended: arg_a = wait duration since job
+  /// start (ns). kFlagAbandoned set when bounded forcing gave up rather
+  /// than succeeding (the Table III degradation path).
+  kFirstSteal = 3,
+  /// One idle interval spent looking for work: arg_a = duration (ns).
+  kIdle = 4,
+  /// One task-graph node execution (the paper's locality sample):
+  /// color = the node's color, arg_a = predecessor accesses,
+  /// arg_b = remote predecessor accesses, kFlagRemote set when the node's
+  /// color lives outside the worker's NUMA domain.
+  kNodeExec = 5,
+};
+
+/// Event::flags bits.
+inline constexpr std::uint8_t kFlagColored = 1u << 0;    // colored (vs random) steal
+inline constexpr std::uint8_t kFlagSuccess = 1u << 1;    // steal attempt succeeded
+inline constexpr std::uint8_t kFlagForced = 1u << 2;     // forced first-steal attempt
+inline constexpr std::uint8_t kFlagAbandoned = 1u << 3;  // bounded forcing gave up
+inline constexpr std::uint8_t kFlagRemote = 1u << 4;     // node color is domain-remote
+
+struct Event {
+  std::uint64_t ts_ns = 0;   // monotonic timestamp (support/timing.h epoch)
+  std::uint64_t arg_a = 0;   // kind-specific payload (see EventKind)
+  std::uint64_t arg_b = 0;   // kind-specific payload (see EventKind)
+  numa::Color color = numa::kInvalidColor;  // emitting worker's color unless noted
+  std::uint16_t worker = 0;  // emitting worker id
+  std::uint16_t domain = 0;  // emitting worker's NUMA domain
+  EventKind kind = EventKind::kTask;
+  std::uint8_t flags = 0;
+
+  bool has(std::uint8_t flag) const noexcept { return (flags & flag) != 0; }
+};
+
+static_assert(std::is_trivially_copyable_v<Event>);
+static_assert(sizeof(Event) <= 40, "keep trace events compact");
+
+const char* event_kind_name(EventKind k) noexcept;
+
+inline const char* event_kind_name(EventKind k) noexcept {
+  switch (k) {
+    case EventKind::kTask: return "task";
+    case EventKind::kSpawn: return "spawn";
+    case EventKind::kStealAttempt: return "steal_attempt";
+    case EventKind::kFirstSteal: return "first_steal";
+    case EventKind::kIdle: return "idle";
+    case EventKind::kNodeExec: return "node_exec";
+  }
+  return "?";
+}
+
+}  // namespace nabbitc::trace

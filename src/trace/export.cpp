@@ -1,0 +1,112 @@
+#include "trace/export.h"
+
+#include <fstream>
+#include <ostream>
+
+namespace nabbitc::trace {
+
+namespace {
+
+/// Microsecond timestamp relative to the trace origin, as Chrome expects.
+double rel_us(const Trace& t, std::uint64_t ts_ns) {
+  return static_cast<double>(ts_ns - t.origin_ns) / 1e3;
+}
+
+void write_common_fields(std::ostream& os, const Trace& t, const Event& e,
+                         const char* ph, const char* name) {
+  os << "{\"name\":\"" << name << "\",\"ph\":\"" << ph
+     << "\",\"pid\":0,\"tid\":" << e.worker << ",\"ts\":" << rel_us(t, e.ts_ns);
+}
+
+void write_event(std::ostream& os, const Trace& t, const Event& e) {
+  switch (e.kind) {
+    case EventKind::kTask:
+      write_common_fields(os, t, e, "X", "task");
+      os << ",\"dur\":" << static_cast<double>(e.arg_a) / 1e3
+         << ",\"args\":{\"color\":" << e.color << "}}";
+      break;
+    case EventKind::kIdle:
+      write_common_fields(os, t, e, "X", "idle");
+      os << ",\"dur\":" << static_cast<double>(e.arg_a) / 1e3 << ",\"args\":{}}";
+      break;
+    case EventKind::kFirstSteal: {
+      // The wait spans [job start, first steal]; ts_ns marks the end. Job
+      // start can precede the earliest *recorded* event, so clamp to the
+      // trace origin or the unsigned rel_us subtraction wraps.
+      Event start = e;
+      start.ts_ns = e.ts_ns >= e.arg_a ? e.ts_ns - e.arg_a : 0;
+      if (start.ts_ns < t.origin_ns) start.ts_ns = t.origin_ns;
+      write_common_fields(os, t, start, "X", "first_steal_wait");
+      os << ",\"dur\":" << static_cast<double>(e.arg_a) / 1e3
+         << ",\"args\":{\"abandoned\":" << (e.has(kFlagAbandoned) ? "true" : "false")
+         << "}}";
+      break;
+    }
+    case EventKind::kStealAttempt:
+      write_common_fields(os, t, e, "i",
+                          e.has(kFlagSuccess) ? "steal" : "steal_miss");
+      os << ",\"s\":\"t\",\"args\":{\"victim\":" << e.arg_a
+         << ",\"colored\":" << (e.has(kFlagColored) ? "true" : "false")
+         << ",\"forced\":" << (e.has(kFlagForced) ? "true" : "false") << "}}";
+      break;
+    case EventKind::kSpawn:
+      write_common_fields(os, t, e, "i", "spawn");
+      os << ",\"s\":\"t\",\"args\":{\"colors\":" << e.arg_a << "}}";
+      break;
+    case EventKind::kNodeExec:
+      write_common_fields(os, t, e, "i", "node_exec");
+      os << ",\"s\":\"t\",\"args\":{\"node_color\":" << e.color
+         << ",\"remote\":" << (e.has(kFlagRemote) ? "true" : "false")
+         << ",\"preds\":" << e.arg_a << ",\"remote_preds\":" << e.arg_b << "}}";
+      break;
+  }
+}
+
+}  // namespace
+
+void write_chrome_trace(const Trace& trace, std::ostream& os) {
+  os << "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"tool\":\"nabbitc\","
+     << "\"num_workers\":" << trace.num_workers
+     << ",\"dropped_events\":" << trace.dropped
+     << ",\"span_ns\":" << trace.span_ns() << "},\"traceEvents\":[";
+  bool first = true;
+  // One metadata row name per worker so chrome://tracing labels lanes.
+  for (std::uint32_t w = 0; w < trace.num_workers; ++w) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << w
+       << ",\"args\":{\"name\":\"worker " << w << "\"}}";
+  }
+  for (const Event& e : trace.events) {
+    if (!first) os << ",";
+    first = false;
+    write_event(os, trace, e);
+  }
+  os << "]}\n";
+}
+
+void write_csv(const Trace& trace, std::ostream& os) {
+  os << "ts_ns,worker,color,domain,kind,flags,arg_a,arg_b\n";
+  for (const Event& e : trace.events) {
+    os << e.ts_ns - trace.origin_ns << "," << e.worker << "," << e.color << ","
+       << e.domain << "," << event_kind_name(e.kind) << ","
+       << static_cast<unsigned>(e.flags) << "," << e.arg_a << "," << e.arg_b
+       << "\n";
+  }
+}
+
+bool write_chrome_trace_file(const Trace& trace, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_chrome_trace(trace, os);
+  return static_cast<bool>(os);
+}
+
+bool write_csv_file(const Trace& trace, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_csv(trace, os);
+  return static_cast<bool>(os);
+}
+
+}  // namespace nabbitc::trace

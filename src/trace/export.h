@@ -1,0 +1,28 @@
+// Trace exporters.
+//
+// Chrome trace format (the JSON consumed by chrome://tracing and Perfetto's
+// legacy loader): tasks, idle intervals, and first-steal waits become "X"
+// complete events on one timeline row per worker; steals, spawns, and node
+// executions become "i" instant events with their payload in args. CSV is
+// the flat analysis-friendly dump (one row per event).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/collector.h"
+
+namespace nabbitc::trace {
+
+/// Writes the Chrome trace JSON object ({"traceEvents": [...]}).
+void write_chrome_trace(const Trace& trace, std::ostream& os);
+
+/// Writes CSV: ts_ns,worker,color,domain,kind,flags,arg_a,arg_b.
+void write_csv(const Trace& trace, std::ostream& os);
+
+/// File convenience wrappers; return false (and write nothing further) on
+/// I/O failure.
+bool write_chrome_trace_file(const Trace& trace, const std::string& path);
+bool write_csv_file(const Trace& trace, const std::string& path);
+
+}  // namespace nabbitc::trace

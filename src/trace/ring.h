@@ -1,0 +1,85 @@
+// Fixed-capacity per-worker event ring.
+//
+// Single-producer (the owning worker, on the scheduler hot path), with
+// drop-oldest overflow: once the ring wraps, new events overwrite the oldest
+// slots and `dropped()` counts what was lost. The hot-path `emit` is a
+// store + increment into preallocated memory — no allocation, no atomic
+// RMW, no branch beyond the caller's "is tracing on?" pointer check, so an
+// untraced scheduler build pays nothing and a traced one pays ~one cache
+// line per event.
+//
+// Reading (`snapshot`) is meant for *quiescent* collection — after
+// Scheduler::execute has returned — which is the only consumer the runtime
+// has; the ring therefore needs no reader synchronization at all.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/align.h"
+#include "support/check.h"
+#include "trace/event.h"
+
+namespace nabbitc::trace {
+
+/// Tracing knobs carried on rt::SchedulerConfig.
+struct TraceConfig {
+  /// Master switch. When false the scheduler allocates no rings and the
+  /// instrumentation compiles down to one never-taken null-pointer branch.
+  bool enabled = false;
+  /// Per-worker ring capacity in events (rounded up to a power of two).
+  std::size_t ring_capacity = 1u << 16;
+};
+
+class alignas(kCacheLine) EventRing {
+ public:
+  explicit EventRing(std::size_t capacity)
+      : mask_(next_pow2(clamped(capacity)) - 1), slots_(mask_ + 1) {}
+
+  EventRing(const EventRing&) = delete;
+  EventRing& operator=(const EventRing&) = delete;
+
+  /// Owner-only: record one event (drop-oldest on overflow).
+  void emit(const Event& e) noexcept {
+    slots_[head_ & mask_] = e;
+    ++head_;
+  }
+
+  std::size_t capacity() const noexcept { return mask_ + 1; }
+  /// Total events ever emitted (monotonic).
+  std::uint64_t emitted() const noexcept { return head_; }
+  /// Events currently retained.
+  std::size_t size() const noexcept {
+    return head_ < capacity() ? static_cast<std::size_t>(head_) : capacity();
+  }
+  /// Events lost to drop-oldest overwrite.
+  std::uint64_t dropped() const noexcept {
+    return head_ < capacity() ? 0 : head_ - capacity();
+  }
+
+  /// Retained events, oldest first. Quiescent-only (see file comment).
+  std::vector<Event> snapshot() const {
+    std::vector<Event> out;
+    out.reserve(size());
+    const std::uint64_t first = dropped();
+    for (std::uint64_t i = first; i < head_; ++i) {
+      out.push_back(slots_[i & mask_]);
+    }
+    return out;
+  }
+
+  void clear() noexcept { head_ = 0; }
+
+ private:
+  static std::size_t clamped(std::size_t capacity) {
+    NABBITC_CHECK_MSG(capacity <= (1ULL << 32),
+                      "trace ring capacity is absurd (wrapped negative?)");
+    return capacity < 2 ? 2 : capacity;
+  }
+
+  const std::uint64_t mask_;
+  std::uint64_t head_ = 0;  // next write index (monotonic)
+  std::vector<Event> slots_;
+};
+
+}  // namespace nabbitc::trace

@@ -195,7 +195,9 @@ void expect_topological(const std::vector<Key>& order, Key n) {
   for (Key k = 0; k <= n; ++k) ASSERT_GE(pos[k], 0) << "node " << k << " missing";
   for (Key k = 1; k <= n; ++k) {
     EXPECT_LT(pos[k - 1], pos[k]);
-    if (k % 2 == 0 && k / 2 != k - 1) EXPECT_LT(pos[k / 2], pos[k]);
+    if (k % 2 == 0 && k / 2 != k - 1) {
+      EXPECT_LT(pos[k / 2], pos[k]);
+    }
   }
 }
 

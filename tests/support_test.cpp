@@ -201,6 +201,19 @@ TEST(Config, ParsesKeyValueArgs) {
   EXPECT_EQ(pos[0], "positional");
 }
 
+TEST(Config, NormalizesGnuStyleFlags) {
+  // "--trace-out=x" and "trace_out=x" must land on the same key.
+  const char* argv[] = {"prog", "--trace-out=/tmp/t.json", "--trace-capacity=256",
+                        "--", "-single=dash"};
+  std::vector<std::string> pos;
+  Config cfg = Config::from_args(5, const_cast<char**>(argv), &pos);
+  EXPECT_EQ(cfg.get("trace_out", ""), "/tmp/t.json");
+  EXPECT_EQ(cfg.get_int("trace_capacity", 0), 256);
+  EXPECT_EQ(cfg.get("single", ""), "dash");
+  ASSERT_EQ(pos.size(), 1u);  // bare "--" stays positional
+  EXPECT_EQ(pos[0], "--");
+}
+
 TEST(Config, Fallbacks) {
   Config cfg;
   EXPECT_EQ(cfg.get_int("missing", 42), 42);
