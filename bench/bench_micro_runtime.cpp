@@ -1,200 +1,367 @@
-// Runtime micro-benchmarks (google-benchmark): the primitive costs behind
-// the paper's overhead analysis — deque operations, colored-steal checks,
-// spawn/sync, concurrent-map creation, color gathering.
-#include <benchmark/benchmark.h>
-
+// Runtime micro-benchmarks: the primitive costs behind the paper's overhead
+// analysis — deque operations, colored-steal checks, spawn/sync, node
+// creation, successor registration — plus end-to-end dynamic-executor node
+// throughput, the metric every hot-path perf PR is judged on.
+//
+// Self-contained (no google-benchmark): each micro-bench is calibrated to a
+// target wall time, repeated, and the best repeat is reported. Results are
+// written to a machine-readable JSON file so CI and future PRs can diff
+// them (see README "Performance").
+//
+// Usage (key=value args, NABBITC_* env overrides):
+//   bench_micro_runtime [preset=tiny|default] [out=BENCH_micro.json]
+//                       [repeats=N] [filter=substring]
 #include <atomic>
-#include <memory>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "nabbit/concurrent_map.h"
+#include "nabbit/executor.h"
 #include "nabbit/node.h"
-#include "nabbitc/spawn_colors.h"
+#include "nabbit/successor_list.h"
 #include "rt/arena.h"
 #include "rt/color_mask.h"
 #include "rt/deque.h"
-#include "rt/parallel_for.h"
 #include "rt/scheduler.h"
+#include "support/config.h"
+#include "support/small_vec.h"
+#include "support/timing.h"
 
 using namespace nabbitc;
+using nabbit::Key;
 
 namespace {
+
+struct BenchParams {
+  double target_seconds = 0.2;  // per calibrated repeat
+  int repeats = 3;
+  std::uint64_t map_keys = 1 << 17;
+};
+
+struct Metric {
+  std::string name;
+  double value;
+  const char* unit;
+};
+
+std::vector<Metric> g_metrics;
+
+void report(const std::string& name, double value, const char* unit) {
+  g_metrics.push_back({name, value, unit});
+  std::printf("%-28s %12.2f %s\n", name.c_str(), value, unit);
+}
+
+/// Calibrates `fn(iters)` to roughly target_seconds, runs `repeats` timed
+/// repeats, and returns the best ns/op.
+template <typename Fn>
+double best_ns_per_op(const BenchParams& p, Fn&& fn, std::uint64_t start_iters = 1024) {
+  std::uint64_t iters = start_iters;
+  for (;;) {
+    Timer t;
+    fn(iters);
+    const double s = t.seconds();
+    if (s >= p.target_seconds / 4 || iters > (1ull << 30)) break;
+    const double scale = s > 1e-9 ? (p.target_seconds / s) : 16.0;
+    iters = static_cast<std::uint64_t>(
+        static_cast<double>(iters) * (scale > 16.0 ? 16.0 : scale)) + 1;
+  }
+  double best = 1e18;
+  for (int r = 0; r < p.repeats; ++r) {
+    Timer t;
+    fn(iters);
+    const double ns = t.seconds() * 1e9 / static_cast<double>(iters);
+    if (ns < best) best = ns;
+  }
+  return best;
+}
+
+template <typename T>
+void do_not_optimize(T const& v) {
+  asm volatile("" : : "g"(&v) : "memory");
+}
 
 struct NopTask final : rt::Task {
   void run(rt::Worker&) override {}
 };
 
-void BM_DequePushPop(benchmark::State& state) {
+// ---------------------------------------------------------------------------
+// Micro-benchmarks. Each returns (metric name, ns/op or derived unit).
+
+void bench_deque_push_pop(const BenchParams& p) {
   rt::WorkDeque d;
   NopTask t;
-  for (auto _ : state) {
-    d.push(&t);
-    benchmark::DoNotOptimize(d.pop());
-  }
+  report("deque_push_pop_ns", best_ns_per_op(p, [&](std::uint64_t n) {
+           for (std::uint64_t i = 0; i < n; ++i) {
+             d.push(&t);
+             do_not_optimize(d.pop());
+           }
+         }),
+         "ns/op");
 }
-BENCHMARK(BM_DequePushPop);
 
-void BM_DequeStealUncontended(benchmark::State& state) {
+void bench_steal_miss(const BenchParams& p) {
+  // Stealing from an empty deque: the fast-fail path of every miss.
   rt::WorkDeque d;
-  NopTask t;
-  for (auto _ : state) {
-    d.push(&t);
-    rt::Task* out = nullptr;
-    benchmark::DoNotOptimize(d.steal(&out));
-  }
+  report("deque_steal_miss_ns", best_ns_per_op(p, [&](std::uint64_t n) {
+           for (std::uint64_t i = 0; i < n; ++i) {
+             rt::Task* out = nullptr;
+             do_not_optimize(d.steal(&out));
+           }
+         }),
+         "ns/op");
 }
-BENCHMARK(BM_DequeStealUncontended);
 
-void BM_ColoredStealCheck(benchmark::State& state) {
-  // The O(1) color-deque membership test of SectionIII.
+void bench_colored_steal_check(const BenchParams& p) {
+  // The O(1) color-deque membership test of SectionIII (always a miss).
   rt::WorkDeque d;
   NopTask t;
   t.colors = rt::ColorMask::single(7);
   d.push(&t);
-  rt::ColorMask want = rt::ColorMask::single(3);  // always a miss
-  for (auto _ : state) {
-    rt::Task* out = nullptr;
-    benchmark::DoNotOptimize(d.steal(&out, &want));
-  }
+  rt::ColorMask want = rt::ColorMask::single(3);
+  report("colored_steal_check_ns", best_ns_per_op(p, [&](std::uint64_t n) {
+           for (std::uint64_t i = 0; i < n; ++i) {
+             rt::Task* out = nullptr;
+             do_not_optimize(d.steal(&out, &want));
+           }
+         }),
+         "ns/op");
 }
-BENCHMARK(BM_ColoredStealCheck);
 
-void BM_ColorMaskOps(benchmark::State& state) {
-  rt::ColorMask a = rt::ColorMask::single(3), b = rt::ColorMask::single(77);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(a.intersects(b));
-    benchmark::DoNotOptimize((a | b).count());
-  }
+void bench_steal_attempt(const BenchParams& p) {
+  // One full Worker::find_task miss — empty own deque, one steal round
+  // against parked victims. This is the steady-state cost a thief pays per
+  // attempt; the PR's target for "leaner steal loop".
+  rt::SchedulerConfig cfg;
+  cfg.num_workers = 4;
+  rt::Scheduler sched(cfg);
+  rt::Worker& w = sched.worker(0);
+  report("steal_attempt_ns", best_ns_per_op(p, [&](std::uint64_t n) {
+           for (std::uint64_t i = 0; i < n; ++i) {
+             if (w.find_task() != nullptr) std::abort();
+           }
+         }),
+         "ns/op");
 }
-BENCHMARK(BM_ColorMaskOps);
 
-void BM_ArenaCreate(benchmark::State& state) {
+void bench_arena_create(const BenchParams& p) {
   rt::JobArena arena;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(arena.create<std::uint64_t>(1u));
-    if (arena.blocks_allocated() > 64) {
-      state.PauseTiming();
-      arena.reset();
-      state.ResumeTiming();
-    }
-  }
+  report("arena_create_ns", best_ns_per_op(p, [&](std::uint64_t n) {
+           arena.reset();
+           for (std::uint64_t i = 0; i < n; ++i) {
+             do_not_optimize(arena.create<std::uint64_t>(i));
+             if ((i & 0xfff) == 0xfff) arena.reset();
+           }
+         }),
+         "ns/op");
 }
-BENCHMARK(BM_ArenaCreate);
+
+void bench_small_vec_push(const BenchParams& p) {
+  report("small_vec_push4_ns", best_ns_per_op(p, [&](std::uint64_t n) {
+           for (std::uint64_t i = 0; i < n; ++i) {
+             SmallVec<Key, 4> v;
+             v.push_back(i);
+             v.push_back(i + 1);
+             v.push_back(i + 2);
+             v.push_back(i + 3);
+             do_not_optimize(v.data());
+           }
+         }),
+         "ns/op");
+}
 
 struct MapNode final : nabbit::TaskGraphNode {
   void init(nabbit::ExecContext&) override {}
   void compute(nabbit::ExecContext&) override {}
 };
 
-void BM_ConcurrentMapInsert(benchmark::State& state) {
-  auto map = std::make_unique<nabbit::ConcurrentNodeMap>(1 << 16);
-  nabbit::Key k = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        map->insert_or_get(k++, [](nabbit::Key) { return new MapNode; }));
+void bench_map_insert(const BenchParams& p) {
+  // Map construction (slot arrays) is excluded: only the insert path — one
+  // shard lock, one probe, one slab placement-construct — is timed.
+  const std::uint64_t n = p.map_keys;
+  double best = 1e18;
+  for (int r = 0; r < p.repeats; ++r) {
+    nabbit::ConcurrentNodeMap map(n);
+    Timer t;
+    for (Key k = 0; k < n; ++k) {
+      do_not_optimize(map.insert_or_get(
+          k, [](nabbit::NodeArena& a, Key) { return a.create<MapNode>(); }));
+    }
+    const double ns = t.seconds() * 1e9 / static_cast<double>(n);
+    if (ns < best) best = ns;
   }
+  report("map_insert_ns", best, "ns/op");
 }
-BENCHMARK(BM_ConcurrentMapInsert);
 
-void BM_ConcurrentMapHit(benchmark::State& state) {
+void bench_map_hit(const BenchParams& p) {
   nabbit::ConcurrentNodeMap map(1 << 10);
-  for (nabbit::Key k = 0; k < 1024; ++k) {
-    map.insert_or_get(k, [](nabbit::Key) { return new MapNode; });
+  for (Key k = 0; k < 1024; ++k) {
+    map.insert_or_get(k, [](nabbit::NodeArena& a, Key) { return a.create<MapNode>(); });
   }
-  nabbit::Key k = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(map.find(k++ & 1023));
-  }
+  report("map_hit_ns", best_ns_per_op(p, [&](std::uint64_t n) {
+           for (std::uint64_t i = 0; i < n; ++i) {
+             do_not_optimize(map.find(i & 1023));
+           }
+         }),
+         "ns/op");
 }
-BENCHMARK(BM_ConcurrentMapHit);
 
-void BM_SpawnSync(benchmark::State& state) {
+void bench_successor_add_close(const BenchParams& p) {
+  MapNode node;
+  report("successor_add_close_ns", best_ns_per_op(p, [&](std::uint64_t n) {
+           const std::uint64_t lists = n / 8 + 1;
+           for (std::uint64_t i = 0; i < lists; ++i) {
+             nabbit::SuccessorList sl;
+             nabbit::SuccessorCell cells[8];
+             for (int a = 0; a < 8; ++a) sl.try_add(&node, &cells[a]);
+             do_not_optimize(sl.close_and_take());
+           }
+         }),
+         "ns/edge");
+}
+
+constexpr int kBatch = 1024;
+
+void bench_spawn_sync(const BenchParams& p) {
   rt::SchedulerConfig cfg;
   cfg.num_workers = 1;  // isolate spawn overhead from stealing
   rt::Scheduler sched(cfg);
-  const int n = static_cast<int>(state.range(0));
-  for (auto _ : state) {
-    sched.execute([n](rt::Worker& w) {
-      rt::TaskGroup g;
-      for (int i = 0; i < n; ++i) {
-        g.spawn(w, rt::ColorMask{}, [](rt::Worker&) {});
-      }
-      g.wait(w);
-    });
-  }
-  state.SetItemsProcessed(state.iterations() * n);
+  report("spawn_sync_ns_per_task", best_ns_per_op(p, [&](std::uint64_t n) {
+           const std::uint64_t rounds = n / kBatch + 1;
+           for (std::uint64_t r = 0; r < rounds; ++r) {
+             sched.execute([](rt::Worker& w) {
+               rt::TaskGroup g;
+               for (int i = 0; i < kBatch; ++i) {
+                 g.spawn(w, rt::ColorMask{}, [](rt::Worker&) {});
+               }
+               g.wait(w);
+             });
+           }
+         }, 1 << 14),
+         "ns/task");
 }
-BENCHMARK(BM_SpawnSync)->Arg(64)->Arg(1024);
 
-void BM_ParallelForOverhead(benchmark::State& state) {
-  rt::SchedulerConfig cfg;
-  cfg.num_workers = 2;
-  rt::Scheduler sched(cfg);
-  for (auto _ : state) {
-    std::atomic<long> acc{0};
-    sched.execute([&acc](rt::Worker& w) {
-      rt::parallel_for(w, 0, 4096, 64, [&acc](std::int64_t i) {
-        acc.fetch_add(i, std::memory_order_relaxed);
-      });
-    });
-    benchmark::DoNotOptimize(acc.load());
+// ---------------------------------------------------------------------------
+// End-to-end: dynamic-executor node throughput on a 2-D grid graph (the
+// stencil dependence shape: preds = left and up neighbors).
+
+struct GridNode final : nabbit::TaskGraphNode {
+  std::atomic<std::uint64_t>* acc;
+  explicit GridNode(std::atomic<std::uint64_t>* a) : acc(a) {}
+  void init(nabbit::ExecContext&) override {
+    const std::uint32_t i = nabbit::key_major(key()), j = nabbit::key_minor(key());
+    if (i > 0) add_predecessor(nabbit::key_pack(i - 1, j));
+    if (j > 0) add_predecessor(nabbit::key_pack(i, j - 1));
   }
-}
-BENCHMARK(BM_ParallelForOverhead);
-
-void BM_StealLoopTracing(benchmark::State& state) {
-  // The steal loop + task execution with tracing off (arg 0) vs on (arg 1).
-  // The untraced cost must stay within noise of the seed runtime: tracing
-  // off is one never-taken null-pointer branch per instrumentation site.
-  rt::SchedulerConfig cfg;
-  cfg.num_workers = 4;
-  cfg.trace.enabled = state.range(0) != 0;
-  cfg.trace.ring_capacity = 1u << 14;  // drop-oldest keeps long runs bounded
-  rt::Scheduler sched(cfg);
-  for (auto _ : state) {
-    std::atomic<long> acc{0};
-    sched.execute([&acc](rt::Worker& w) {
-      rt::parallel_for(w, 0, 8192, 16, [&acc](std::int64_t i) {
-        acc.fetch_add(i, std::memory_order_relaxed);
-      });
-    });
-    benchmark::DoNotOptimize(acc.load());
+  void compute(nabbit::ExecContext&) override {
+    acc->fetch_add(key(), std::memory_order_relaxed);
   }
-}
-BENCHMARK(BM_StealLoopTracing)->Arg(0)->Arg(1);
-
-struct BenchItem {
-  int id;
-  numa::Color color;
 };
 
-void BM_SpawnColoredGather(benchmark::State& state) {
-  // gather_colors + morphing spawn of a mixed-color batch (Figure 3/4 path).
-  rt::SchedulerConfig cfg;
-  cfg.num_workers = 1;
-  rt::Scheduler sched(cfg);
-  const int n = static_cast<int>(state.range(0));
-  std::vector<BenchItem> proto;
-  for (int i = 0; i < n; ++i) proto.push_back({i, static_cast<numa::Color>(i % 8)});
-  struct Leaf {
-    void operator()(rt::Worker&, const BenchItem& item) const {
-      benchmark::DoNotOptimize(item.id);
-    }
-  };
-  for (auto _ : state) {
-    std::vector<BenchItem> items = proto;  // spawn sorts in place
-    sched.execute([&items](rt::Worker& w) {
-      rt::TaskGroup g;
-      nabbit::spawn_colored(
-          w, g, items.data(), items.size(),
-          [](const BenchItem& it) { return it.color; }, Leaf{});
-      g.wait(w);
-    });
+struct GridSpec final : nabbit::GraphSpec {
+  std::atomic<std::uint64_t>* acc;
+  std::uint32_t n;
+  GridSpec(std::atomic<std::uint64_t>* a, std::uint32_t side) : acc(a), n(side) {}
+  nabbit::TaskGraphNode* create(nabbit::NodeArena& arena, Key) override {
+    return arena.create<GridNode>(acc);
   }
-  state.SetItemsProcessed(state.iterations() * n);
+  std::size_t expected_nodes() const override { return std::size_t{n} * n; }
+};
+
+void bench_dynamic_node_throughput(const BenchParams& p, std::uint32_t side,
+                                   std::uint32_t workers) {
+  rt::SchedulerConfig cfg;
+  cfg.num_workers = workers;
+  rt::Scheduler sched(cfg);
+  const double nodes = static_cast<double>(side) * side;
+  double best = 1e18;
+  for (int r = 0; r < p.repeats + 1; ++r) {  // first repeat doubles as warm-up
+    std::atomic<std::uint64_t> acc{0};
+    GridSpec spec(&acc, side);
+    nabbit::DynamicExecutor ex(sched, spec);
+    Timer t;
+    ex.run(nabbit::key_pack(side - 1, side - 1));
+    const double s = t.seconds();
+    if (r > 0 && s < best) best = s;
+    if (ex.nodes_computed() != std::uint64_t{side} * side) std::abort();
+  }
+  report("dynamic_node_ns", best * 1e9 / nodes, "ns/node");
+  report("dynamic_nodes_per_sec", nodes / best, "nodes/s");
 }
-BENCHMARK(BM_SpawnColoredGather)->Arg(64)->Arg(512);
+
+void write_json(const std::string& path, const std::string& preset,
+                const BenchParams& p, std::uint32_t grid_side,
+                std::uint32_t workers) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "FAILED to open %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"micro_runtime\",\n");
+  std::fprintf(f, "  \"preset\": \"%s\",\n", preset.c_str());
+  std::fprintf(f, "  \"repeats\": %d,\n", p.repeats);
+  std::fprintf(f, "  \"grid_side\": %u,\n", grid_side);
+  std::fprintf(f, "  \"dynamic_workers\": %u,\n", workers);
+  std::fprintf(f, "  \"metrics\": {\n");
+  for (std::size_t i = 0; i < g_metrics.size(); ++i) {
+    std::fprintf(f, "    \"%s\": {\"value\": %.4f, \"unit\": \"%s\"}%s\n",
+                 g_metrics[i].name.c_str(), g_metrics[i].value,
+                 g_metrics[i].unit, i + 1 < g_metrics.size() ? "," : "");
+  }
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+  std::printf("\n[bench] wrote %zu metrics -> %s\n", g_metrics.size(), path.c_str());
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  Config cfg = Config::from_args(argc, argv);
+  const std::string preset = cfg.get("preset", "default");
+  const std::string out = cfg.get("out", "BENCH_micro.json");
+  const std::string filter = cfg.get("filter", "");
+
+  BenchParams p;
+  std::uint32_t grid_side = 96;
+  std::uint32_t dyn_workers = 2;
+  if (preset == "tiny") {
+    p.target_seconds = 0.02;
+    p.repeats = 2;
+    p.map_keys = 1 << 14;
+    grid_side = 32;
+  }
+  p.repeats = static_cast<int>(cfg.get_int("repeats", p.repeats));
+
+  struct Entry {
+    const char* name;
+    void (*fn)(const BenchParams&);
+  };
+  const Entry entries[] = {
+      {"deque_push_pop", bench_deque_push_pop},
+      {"steal_miss", bench_steal_miss},
+      {"colored_steal_check", bench_colored_steal_check},
+      {"steal_attempt", bench_steal_attempt},
+      {"arena_create", bench_arena_create},
+      {"small_vec_push", bench_small_vec_push},
+      {"map_insert", bench_map_insert},
+      {"map_hit", bench_map_hit},
+      {"successor_add_close", bench_successor_add_close},
+      {"spawn_sync", bench_spawn_sync},
+  };
+  std::printf("NabbitC micro-runtime bench (preset=%s, repeats=%d)\n\n",
+              preset.c_str(), p.repeats);
+  for (const Entry& e : entries) {
+    if (!filter.empty() && std::string(e.name).find(filter) == std::string::npos) {
+      continue;
+    }
+    e.fn(p);
+  }
+  if (filter.empty() ||
+      std::string("dynamic_node_throughput").find(filter) != std::string::npos) {
+    bench_dynamic_node_throughput(p, grid_side, dyn_workers);
+  }
+  write_json(out, preset, p, grid_side, dyn_workers);
+  return 0;
+}

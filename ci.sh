@@ -32,6 +32,31 @@ case "${MODE}" in
     ;;
 esac
 
+echo "=== bench-smoke: micro-runtime JSON ==="
+BENCH_DIR="build-ci-release"
+if [ -d "${BENCH_DIR}" ]; then
+  "${BENCH_DIR}/bench_micro_runtime" preset=tiny out="${BENCH_DIR}/BENCH_micro.json"
+  python3 - "${BENCH_DIR}/BENCH_micro.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    d = json.load(f)
+expected = [
+    "deque_push_pop_ns", "deque_steal_miss_ns", "colored_steal_check_ns",
+    "steal_attempt_ns", "arena_create_ns", "small_vec_push4_ns",
+    "map_insert_ns", "map_hit_ns", "successor_add_close_ns",
+    "spawn_sync_ns_per_task", "dynamic_node_ns", "dynamic_nodes_per_sec",
+]
+missing = [k for k in expected if k not in d["metrics"]]
+assert not missing, f"missing metrics: {missing}"
+for k in expected:
+    v = d["metrics"][k]["value"]
+    assert isinstance(v, (int, float)) and v > 0, f"bad value for {k}: {v}"
+print(f"bench-smoke OK: {len(d['metrics'])} metrics")
+EOF
+else
+  echo "bench-smoke skipped (no Release build dir)"
+fi
+
 echo "=== traced smoke run ==="
 SMOKE_DIR="build-ci-release"
 [ -d "${SMOKE_DIR}" ] || SMOKE_DIR="build-ci-debug"

@@ -49,7 +49,9 @@ class SumSpec final : public nabbit::GraphSpec {
  public:
   explicit SumSpec(std::uint32_t num_colors) : colors_(num_colors) {}
 
-  nabbit::TaskGraphNode* create(nabbit::Key) override { return new SumNode; }
+  nabbit::TaskGraphNode* create(nabbit::NodeArena& arena, nabbit::Key) override {
+    return arena.create<SumNode>();
+  }
 
   /// The locality hint: pretend key-contiguous blocks of data are owned by
   /// successive workers (a block distribution).

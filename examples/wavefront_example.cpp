@@ -89,7 +89,9 @@ class BlockNode final : public nabbit::TaskGraphNode {
 class BlockSpec final : public nabbit::GraphSpec {
  public:
   explicit BlockSpec(Align* al) : al_(al) {}
-  nabbit::TaskGraphNode* create(nabbit::Key) override { return new BlockNode(al_); }
+  nabbit::TaskGraphNode* create(nabbit::NodeArena& arena, nabbit::Key) override {
+    return arena.create<BlockNode>(al_);
+  }
   numa::Color color_of(nabbit::Key k) const override {
     // Row-band distribution: the H rows of block-row bi are owned by the
     // worker that initialized them.

@@ -25,8 +25,12 @@ ConcurrentNodeMap::ConcurrentNodeMap(std::size_t expected_nodes) {
 }
 
 ConcurrentNodeMap::~ConcurrentNodeMap() {
+  // Nodes live in the shard slabs: destroy them in place, then the slabs
+  // release the blocks wholesale.
   for (auto& shp : shards_) {
-    for (auto& e : shp->slots) delete e.value;
+    for (auto& e : shp->slots) {
+      if (e.value != nullptr) e.value->~TaskGraphNode();
+    }
   }
 }
 

@@ -3,13 +3,17 @@
 // Backs Nabbit's on-demand node creation: try_init_compute atomically
 // "create or get" a node for a predecessor key; exactly one thread wins
 // creation. Sharding bounds contention; open addressing with linear probing
-// keeps lookups allocation-free. The map owns the nodes it stores.
+// keeps lookups allocation-free. The map owns the nodes it stores: they are
+// placement-constructed into per-shard slabs (node_pool.h) and destroyed in
+// place when the map dies.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
+#include "nabbit/node_pool.h"
 #include "nabbit/types.h"
 #include "support/align.h"
 #include "support/check.h"
@@ -28,20 +32,21 @@ class ConcurrentNodeMap {
   ConcurrentNodeMap(const ConcurrentNodeMap&) = delete;
   ConcurrentNodeMap& operator=(const ConcurrentNodeMap&) = delete;
 
-  /// Returns (node, created). `make` is invoked outside the shard lock; if
-  /// another thread wins the race the extra node is destroyed.
+  /// Returns (node, created). The slot is reserved under the shard lock, so
+  /// exactly one thread runs `make(arena, key)` — the loser of a creation
+  /// race probes once and returns the winner's node; it never constructs a
+  /// speculative node (the original two-probe scheme built a full node
+  /// outside the lock and destroyed it on losing). `make` must construct
+  /// the node through the provided NodeArena, stay cheap (it runs under the
+  /// shard spinlock), and must not reenter the map.
   template <typename Make>
   std::pair<TaskGraphNode*, bool> insert_or_get(Key key, Make&& make) {
     Shard& sh = shard_for(key);
-    {
-      std::lock_guard<SpinLock> lk(sh.mu);
-      if (TaskGraphNode* n = probe(sh, key)) return {n, false};
-    }
-    std::unique_ptr<TaskGraphNode> fresh(make(key));
-    NABBITC_CHECK_MSG(fresh != nullptr, "node factory returned null");
     std::lock_guard<SpinLock> lk(sh.mu);
-    if (TaskGraphNode* n = probe(sh, key)) return {n, false};  // lost the race
-    TaskGraphNode* raw = fresh.release();
+    if (TaskGraphNode* n = probe(sh, key)) return {n, false};
+    NodeArena arena(sh.slab);
+    TaskGraphNode* raw = make(arena, key);
+    NABBITC_CHECK_MSG(raw != nullptr, "node factory returned null");
     insert_locked(sh, key, raw);
     return {raw, true};
   }
@@ -73,6 +78,8 @@ class ConcurrentNodeMap {
     mutable SpinLock mu;
     std::vector<Entry> slots;
     std::size_t count = 0;
+    /// Node storage for this shard; touched only under `mu`.
+    NodeSlab slab;
   };
 
   static std::size_t shard_index(Key key) noexcept {

@@ -1,7 +1,5 @@
 #include "nabbit/executor.h"
 
-#include <cstdio>
-
 #include "support/check.h"
 
 namespace nabbitc::nabbit {
@@ -12,8 +10,8 @@ DynamicExecutor::DynamicExecutor(rt::Scheduler& sched, GraphSpec& spec, Options 
 DynamicExecutor::DynamicExecutor(rt::Scheduler& sched, GraphSpec& spec)
     : DynamicExecutor(sched, spec, Options{}) {}
 
-TaskGraphNode* DynamicExecutor::create_node(Key key) {
-  TaskGraphNode* n = spec_.create(key);
+TaskGraphNode* DynamicExecutor::create_node(NodeArena& arena, Key key) {
+  TaskGraphNode* n = spec_.create(arena, key);
   n->key_ = key;
   n->color_ = spec_.color_of(key);
   n->status_.store(NodeStatus::kVisited, std::memory_order_relaxed);
@@ -23,8 +21,8 @@ TaskGraphNode* DynamicExecutor::create_node(Key key) {
 
 void DynamicExecutor::run(Key sink_key) {
   sched_.execute([this, sink_key](rt::Worker& w) {
-    auto [node, created] =
-        map_.insert_or_get(sink_key, [this](Key k) { return create_node(k); });
+    auto [node, created] = map_.insert_or_get(
+        sink_key, [this](NodeArena& a, Key k) { return create_node(a, k); });
     if (created) init_node_and_compute(w, node);
   });
   TaskGraphNode* sink = map_.find(sink_key);
@@ -59,8 +57,8 @@ void DynamicExecutor::init_node_and_compute(rt::Worker& w, TaskGraphNode* u) {
 
 void DynamicExecutor::try_init_compute(rt::Worker& w, TaskGraphNode* parent,
                                        Key pred_key) {
-  auto [pred, created] =
-      map_.insert_or_get(pred_key, [this](Key k) { return create_node(k); });
+  auto [pred, created] = map_.insert_or_get(
+      pred_key, [this](NodeArena& a, Key k) { return create_node(a, k); });
   if (created) {
     // This thread won the race: recursively initialize and (maybe) compute
     // the predecessor (SectionII action 1 / Figure 1a). The recursion
@@ -75,9 +73,12 @@ void DynamicExecutor::try_init_compute(rt::Worker& w, TaskGraphNode* parent,
   if (pred->computed()) return;  // dependence already satisfied
 
   // Enqueue parent on pred's successor list and move on (SectionII action
-  // 2 / Figure 1b); pred's completion will notify it.
+  // 2 / Figure 1b); pred's completion will notify it. The edge cell comes
+  // from parent's inline pool (arena overflow), so this path never locks
+  // and never heap-allocates.
   parent->join_.fetch_add(1, std::memory_order_relaxed);
-  if (!pred->successors_.try_add(parent)) {
+  if (!pred->successors_.try_add(parent,
+                                 parent->acquire_successor_cell(w.arena()))) {
     // pred completed between the check and the append: roll the increment
     // back. The exploration token guarantees this cannot reach zero here.
     [[maybe_unused]] std::int64_t left =
@@ -112,15 +113,19 @@ void DynamicExecutor::compute_and_notify(rt::Worker& w, TaskGraphNode* u) {
   nodes_computed_.fetch_add(1, std::memory_order_relaxed);
 
   // Notify successors (SectionII action 3 / Figure 1c). Closing the list
-  // makes later try_add calls fail, so no successor is ever lost.
-  std::vector<TaskGraphNode*> succs = u->successors_.close_and_take();
-  if (succs.empty()) return;
+  // makes later try_add calls fail, so no successor is ever lost. The chain
+  // of cells is walked in place; only the ready-array (arena storage) is
+  // materialized for the spawn hook.
+  SuccessorCell* chain = u->successors_.close_and_take();
+  if (chain == nullptr) return;
 
+  std::size_t len = 0;
+  for (SuccessorCell* c = chain; c != nullptr; c = c->next) ++len;
   std::size_t nready = 0;
-  auto* ready = w.arena().create_array<TaskGraphNode*>(succs.size());
-  for (TaskGraphNode* s : succs) {
-    if (s->join_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      ready[nready++] = s;
+  auto* ready = w.arena().create_array<TaskGraphNode*>(len);
+  for (SuccessorCell* c = chain; c != nullptr; c = c->next) {
+    if (c->node->join_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      ready[nready++] = c->node;
     }
   }
   if (nready == 0) return;

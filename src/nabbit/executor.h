@@ -83,7 +83,7 @@ class DynamicExecutor : public NodeLookup {
   friend struct PredSpawnFrame;
   friend struct ReadySpawnFrame;
 
-  TaskGraphNode* create_node(Key key);
+  TaskGraphNode* create_node(NodeArena& arena, Key key);
 
   rt::Scheduler& sched_;
   GraphSpec& spec_;

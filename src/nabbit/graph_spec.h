@@ -7,6 +7,7 @@
 
 #include <cstddef>
 
+#include "nabbit/node_pool.h"
 #include "nabbit/types.h"
 #include "numa/topology.h"
 
@@ -18,9 +19,12 @@ class GraphSpec {
  public:
   virtual ~GraphSpec() = default;
 
-  /// Creates the node for `key` (ownership passes to the executor's map).
-  /// Must be thread-safe and must not touch the executor.
-  virtual TaskGraphNode* create(Key key) = 0;
+  /// Creates the node for `key` by constructing it through `arena`
+  /// (`return arena.create<MyNode>(...)`); storage is owned by the
+  /// executor's map and lives until the executor dies. Must be thread-safe,
+  /// cheap (it runs under a map shard lock), and must not touch the
+  /// executor or its map.
+  virtual TaskGraphNode* create(NodeArena& arena, Key key) = 0;
 
   /// The user's locality hint: the color of the worker whose data region
   /// the task for `key` mostly reads (Figure 2's color(Key)). The default

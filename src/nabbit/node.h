@@ -5,16 +5,24 @@
 // user's key->color function on the graph spec (Figure 2's `color(Key)`),
 // not from the node instance, so the scheduler can color work *before* the
 // node exists.
+//
+// Hot-path invariant: executing a typical node (<= kInlinePreds
+// predecessors) performs zero heap allocations. Predecessor keys live in an
+// inline SmallVec, successor-list edges use the cells embedded below (arena
+// overflow beyond that), and the node object itself is placement-
+// constructed into the owning ConcurrentNodeMap's slab.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
-#include <vector>
+#include <span>
 
 #include "nabbit/successor_list.h"
 #include "nabbit/types.h"
 #include "numa/topology.h"
+#include "rt/arena.h"
 #include "support/check.h"
+#include "support/small_vec.h"
 
 namespace nabbitc::rt {
 class Worker;
@@ -57,6 +65,11 @@ class ExecContext {
 
 class TaskGraphNode {
  public:
+  /// Predecessor count (and successor-edge cell count) kept inline in the
+  /// node. 4 covers the paper's stencil workloads (<= 4 preds per node).
+  static constexpr std::size_t kInlinePreds = 4;
+  static constexpr std::size_t kInlineSuccessorCells = kInlinePreds;
+
   virtual ~TaskGraphNode() = default;
 
   /// Declares predecessors (via add_predecessor) and any node-local setup.
@@ -73,7 +86,9 @@ class TaskGraphNode {
   }
   bool computed() const noexcept { return status() == NodeStatus::kComputed; }
 
-  const std::vector<Key>& predecessors() const noexcept { return preds_; }
+  std::span<const Key> predecessors() const noexcept {
+    return {preds_.data(), preds_.size()};
+  }
 
  protected:
   /// Only valid inside init().
@@ -84,13 +99,27 @@ class TaskGraphNode {
   friend class StaticExecutor;
   friend class SerialExecutor;
 
+  /// Hands out one successor-edge cell. A node consumes at most one cell
+  /// per predecessor (try_add happens once per pending edge), so the inline
+  /// pool covers every node with <= kInlineSuccessorCells preds; beyond
+  /// that, cells come from the worker's job arena. Callers race from the
+  /// parallel predecessor-exploration tasks, hence the atomic cursor.
+  SuccessorCell* acquire_successor_cell(rt::JobArena& arena) {
+    const std::uint32_t i =
+        succ_cells_used_.fetch_add(1, std::memory_order_relaxed);
+    if (i < kInlineSuccessorCells) return &succ_cells_[i];
+    return arena.create<SuccessorCell>();
+  }
+
   Key key_ = 0;
   numa::Color color_ = 0;
-  std::vector<Key> preds_;
+  SmallVec<Key, kInlinePreds> preds_;
   /// Pending dependence count plus one exploration token (see executor.cpp).
   std::atomic<std::int64_t> join_{1};
   std::atomic<NodeStatus> status_{NodeStatus::kUnvisited};
   SuccessorList successors_;
+  std::atomic<std::uint32_t> succ_cells_used_{0};
+  SuccessorCell succ_cells_[kInlineSuccessorCells];
 };
 
 }  // namespace nabbitc::nabbit

@@ -1,0 +1,107 @@
+// Pooled node storage for the concurrent node map.
+//
+// Task-graph nodes are job-lifetime objects: they are created on demand
+// while the graph executes and all die together with the executor's map.
+// Allocating each node with `new` puts a malloc/free pair on the hot path
+// (and scatters nodes across the heap); instead every shard of
+// ConcurrentNodeMap owns a NodeSlab — a bump allocator in the spirit of
+// rt/arena.h, but for objects with destructors: the map destroys nodes
+// in place by walking its slots, then the slab releases the blocks
+// wholesale.
+//
+// NodeArena is the narrow handle a GraphSpec factory sees: it can only
+// placement-construct a node into the shard's slab. Factories run under
+// the shard lock (that is what makes creation single-winner without
+// speculative construct-and-destroy), so they must stay cheap and must not
+// reenter the map.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "support/align.h"
+#include "support/check.h"
+
+namespace nabbitc::nabbit {
+
+class TaskGraphNode;
+
+/// Bump allocator for node objects. Not thread-safe by itself — each shard's
+/// slab is only touched under that shard's lock. Memory is released only on
+/// destruction; nodes are destroyed externally (by the owning map) before
+/// that.
+class NodeSlab {
+ public:
+  /// Every block is allocated at this alignment, so in-block offsets rounded
+  /// to alignof(T) <= kBlockAlign yield correctly aligned storage — this
+  /// covers cache-line-padded node types (alignas(64)), which plain
+  /// byte-array blocks would silently misalign.
+  static constexpr std::size_t kBlockAlign = 64;
+
+  explicit NodeSlab(std::size_t block_bytes = 1 << 16) : block_bytes_(block_bytes) {}
+
+  NodeSlab(const NodeSlab&) = delete;
+  NodeSlab& operator=(const NodeSlab&) = delete;
+
+  /// Raw storage; never freed individually. Requests larger than the block
+  /// size get a dedicated block.
+  void* allocate(std::size_t bytes, std::size_t align) {
+    NABBITC_CHECK_MSG(align <= kBlockAlign,
+                      "node alignment above NodeSlab::kBlockAlign unsupported");
+    std::size_t off = round_up(offset_, align);
+    if (current_ == nullptr || off + bytes > cap_) {
+      const std::size_t sz = bytes > block_bytes_ ? bytes : block_bytes_;
+      blocks_.emplace_back(
+          static_cast<std::byte*>(::operator new(sz, std::align_val_t{kBlockAlign})));
+      current_ = blocks_.back().get();
+      cap_ = sz;
+      off = 0;
+    }
+    void* p = current_ + off;
+    offset_ = off + bytes;
+    return p;
+  }
+
+  std::size_t blocks_allocated() const noexcept { return blocks_.size(); }
+
+ private:
+  struct BlockDeleter {
+    void operator()(std::byte* p) const noexcept {
+      ::operator delete(static_cast<void*>(p), std::align_val_t{kBlockAlign});
+    }
+  };
+
+  std::size_t block_bytes_;
+  std::vector<std::unique_ptr<std::byte, BlockDeleter>> blocks_;
+  std::byte* current_ = nullptr;
+  std::size_t cap_ = 0;
+  std::size_t offset_ = 0;
+};
+
+/// The allocator handle passed to GraphSpec::create. Nodes constructed
+/// through it live until the owning ConcurrentNodeMap is destroyed; the
+/// factory must construct its node through this handle (returning storage
+/// from anywhere else leaks or corrupts the map's teardown).
+class NodeArena {
+ public:
+  template <typename T, typename... Args>
+  T* create(Args&&... args) {
+    static_assert(std::is_base_of_v<TaskGraphNode, T>,
+                  "NodeArena only constructs TaskGraphNode subclasses");
+    static_assert(alignof(T) <= NodeSlab::kBlockAlign,
+                  "node types may not require alignment above NodeSlab::kBlockAlign");
+    void* p = slab_->allocate(sizeof(T), alignof(T));
+    return ::new (p) T(std::forward<Args>(args)...);
+  }
+
+ private:
+  friend class ConcurrentNodeMap;
+  explicit NodeArena(NodeSlab& slab) noexcept : slab_(&slab) {}
+  NodeSlab* slab_;
+};
+
+}  // namespace nabbitc::nabbit

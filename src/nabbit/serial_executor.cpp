@@ -21,8 +21,8 @@ void SerialExecutor::run(Key sink_key) {
   std::vector<Frame> stack;
 
   auto get_or_create = [&](Key k) -> std::pair<TaskGraphNode*, bool> {
-    return map_.insert_or_get(k, [&](Key key) {
-      TaskGraphNode* n = spec_.create(key);
+    return map_.insert_or_get(k, [&](NodeArena& arena, Key key) {
+      TaskGraphNode* n = spec_.create(arena, key);
       n->key_ = key;
       n->color_ = spec_.color_of(key);
       n->status_.store(NodeStatus::kVisited, std::memory_order_relaxed);

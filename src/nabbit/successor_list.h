@@ -1,56 +1,97 @@
-// Successor list with a closed flag.
+// Lock-free successor list with a closed sentinel.
 //
 // Nabbit enqueues a dependent onto a predecessor's successor list when the
 // predecessor is initialized but not yet computed (SectionII, action 2).
 // The race between "append dependent" and "predecessor completes and drains
-// the list" is resolved with a closed flag: once compute_and_notify closes
-// the list, appends fail and the appender treats the dependence as already
-// satisfied. This replaces the paper's drain-until-empty loop with a single
-// atomic handoff.
+// the list" is resolved with a closed sentinel: once compute_and_notify
+// closes the list, appends fail and the appender treats the dependence as
+// already satisfied.
+//
+// The list is a Treiber stack of SuccessorCells. A cell per *edge* (not a
+// link embedded directly in the node) is required because a node with
+// several pending predecessors sits on all of their successor lists at
+// once; a single in-node link field cannot serve multiple lists. Cells are
+// still allocation-free: each node embeds enough cells for the common case
+// inline (TaskGraphNode::kInlineSuccessorCells) and overflow comes from the
+// worker's job-lifetime arena, so the steady-state path never locks and
+// never touches the heap — the spinlock + std::vector of the original
+// implementation cost one heap allocation per node plus another on every
+// notify.
 #pragma once
 
-#include <utility>
-#include <vector>
+#include <atomic>
+#include <cstddef>
 
-#include "support/spin.h"
+#include "support/check.h"
 
 namespace nabbitc::nabbit {
 
 class TaskGraphNode;
 
+/// One successor-list edge: `node` waits on the list's owner. Trivially
+/// destructible (cells may live in job arenas).
+struct SuccessorCell {
+  TaskGraphNode* node = nullptr;
+  SuccessorCell* next = nullptr;
+};
+
+/// Sentinel address stored in `head_` once the list is closed. Its contents
+/// are never read or written; only the address matters.
+inline constexpr SuccessorCell kSuccessorListClosed{};
+
 class SuccessorList {
  public:
-  /// Appends `n`; returns false iff the list is already closed (the owner
-  /// node has been computed), in which case the caller must treat the
-  /// dependence as satisfied.
-  bool try_add(TaskGraphNode* n) {
-    std::lock_guard<SpinLock> lk(mu_);
-    if (closed_) return false;
-    items_.push_back(n);
+  /// Pushes `n` via `cell` (caller-provided storage that must outlive the
+  /// owner node's notification). Returns false iff the list is already
+  /// closed (the owner node has been computed), in which case the caller
+  /// must treat the dependence as satisfied; the cell is unused but still
+  /// consumed.
+  bool try_add(TaskGraphNode* n, SuccessorCell* cell) noexcept {
+    cell->node = n;
+    // The closed check must acquire: a failed add means "dependence already
+    // satisfied", and the caller may fire the dependent immediately — it
+    // needs to observe everything the computing thread wrote before it
+    // closed the list (the spinlock this replaces provided that edge).
+    SuccessorCell* h = head_.load(std::memory_order_acquire);
+    do {
+      if (h == closed_tag()) return false;
+      cell->next = h;
+    } while (!head_.compare_exchange_weak(h, cell, std::memory_order_release,
+                                          std::memory_order_acquire));
     return true;
   }
 
-  /// Closes the list and returns its contents. After this call every
-  /// try_add fails. Called exactly once, by the computing thread.
-  std::vector<TaskGraphNode*> close_and_take() {
-    std::lock_guard<SpinLock> lk(mu_);
-    closed_ = true;
-    return std::move(items_);
+  /// Closes the list and returns the chain of cells (nullptr when empty).
+  /// After this call every try_add fails. Called exactly once, by the
+  /// computing thread; the acquire half of the exchange makes every
+  /// published cell's contents visible to it.
+  SuccessorCell* close_and_take() noexcept {
+    SuccessorCell* h = head_.exchange(closed_tag(), std::memory_order_acq_rel);
+    NABBITC_DCHECK(h != closed_tag());
+    return h;
   }
 
-  bool closed() const {
-    std::lock_guard<SpinLock> lk(mu_);
-    return closed_;
+  bool closed() const noexcept {
+    return head_.load(std::memory_order_acquire) == closed_tag();
   }
-  std::size_t size() const {
-    std::lock_guard<SpinLock> lk(mu_);
-    return items_.size();
+
+  /// Chain length. Only meaningful when no try_add is concurrently racing
+  /// (tests / post-mortem inspection).
+  std::size_t size() const noexcept {
+    std::size_t n = 0;
+    for (const SuccessorCell* c = head_.load(std::memory_order_acquire);
+         c != nullptr && c != closed_tag(); c = c->next) {
+      ++n;
+    }
+    return n;
   }
 
  private:
-  mutable SpinLock mu_;
-  bool closed_ = false;
-  std::vector<TaskGraphNode*> items_;
+  static SuccessorCell* closed_tag() noexcept {
+    return const_cast<SuccessorCell*>(&kSuccessorListClosed);
+  }
+
+  std::atomic<SuccessorCell*> head_{nullptr};
 };
 
 }  // namespace nabbitc::nabbit

@@ -26,7 +26,10 @@ struct WorkerCounters {
   std::uint64_t first_steal_wait_ns = 0;
   std::uint64_t first_steal_forced_abandoned = 0;  // bounded forcing gave up
 
-  // Idleness (time spent looking for work).
+  // Idleness (time spent looking for work). Only populated when tracing is
+  // enabled: timing every steal attempt costs two clock reads per miss,
+  // which the untraced steady-state loop must not pay (see
+  // Worker::find_task).
   std::uint64_t idle_ns = 0;
 
   // Paper SectionV-B locality metric, filled in by the nabbit layer.

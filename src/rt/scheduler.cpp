@@ -18,13 +18,19 @@ const numa::Topology& Worker::topology() const noexcept { return sched_->topolog
 
 Task* Worker::find_task() {
   if (Task* t = deque_.pop()) return t;
+  if (trace_ring_ == nullptr) {
+    // Untraced steady state: the steal attempt itself is the whole cost —
+    // no clock reads. idle_ns is a tracing-only metric (see counters.h);
+    // timing every attempt cost two now_ns() calls per miss, which
+    // dominated the attempt and skewed the very overhead the paper's
+    // Fig 6-9 experiments measure.
+    return try_steal_once();
+  }
   std::uint64_t t0 = now_ns();
   Task* t = try_steal_once();
   const std::uint64_t idle = now_ns() - t0;
   counters_.idle_ns += idle;
-  if (trace_ring_ != nullptr) {
-    trace_emit(trace::EventKind::kIdle, t0, idle, 0, 0, color_);
-  }
+  trace_emit(trace::EventKind::kIdle, t0, idle, 0, 0, color_);
   return t;
 }
 

@@ -24,6 +24,7 @@
 #include "rt/task.h"
 #include "support/align.h"
 #include "support/rng.h"
+#include "support/spin.h"
 #include "support/timing.h"
 #include "trace/ring.h"
 
@@ -232,12 +233,17 @@ void TaskGroup::spawn(Worker& worker, const ColorMask& colors, F&& fn) {
 }
 
 inline void TaskGroup::wait(Worker& worker) {
-  // Work-first helping: drain own deque, then steal, until the group is done.
+  // Work-first helping: drain own deque, then steal, until the group is
+  // done. Misses back off exactly like the idle loop in run_job — a bare
+  // yield() here made helping workers spin hotter than idle ones and
+  // syscall on every miss.
+  Backoff backoff;
   while (!done()) {
     if (Task* t = worker.find_task()) {
       worker.run_task(t);
+      backoff.reset();
     } else {
-      std::this_thread::yield();
+      backoff.pause();
     }
   }
 }

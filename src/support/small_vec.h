@@ -1,0 +1,153 @@
+// Small vector with inline storage.
+//
+// The executor hot path stores per-node data (predecessor keys) whose
+// typical cardinality is tiny and bounded (a stencil node has at most 4
+// predecessors). SmallVec keeps the first N elements in the object itself
+// so the steady-state node path never touches the heap; only nodes with
+// more than N entries spill to a heap buffer. Move-only by design: the
+// runtime never copies node state, and deleting the copy operations makes
+// accidental copies a compile error instead of a hidden allocation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "support/check.h"
+
+namespace nabbitc {
+
+template <typename T, std::size_t N>
+class SmallVec {
+  static_assert(N > 0, "inline capacity must be at least 1");
+
+ public:
+  SmallVec() noexcept : data_(inline_data()), size_(0), cap_(N) {}
+
+  SmallVec(const SmallVec&) = delete;
+  SmallVec& operator=(const SmallVec&) = delete;
+
+  SmallVec(SmallVec&& other) noexcept : SmallVec() { take(other); }
+
+  SmallVec& operator=(SmallVec&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      data_ = inline_data();
+      size_ = 0;
+      cap_ = N;
+      take(other);
+    }
+    return *this;
+  }
+
+  ~SmallVec() { destroy(); }
+
+  void push_back(const T& v) { emplace_back(v); }
+  void push_back(T&& v) { emplace_back(std::move(v)); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == cap_) grow();
+    T* slot = ::new (static_cast<void*>(data_ + size_)) T(std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  /// Destroys the elements; keeps whatever buffer (inline or heap) is live.
+  void clear() noexcept {
+    for (std::size_t i = size_; i > 0; --i) data_[i - 1].~T();
+    size_ = 0;
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t capacity() const noexcept { return cap_; }
+  static constexpr std::size_t inline_capacity() noexcept { return N; }
+  bool is_inline() const noexcept { return data_ == inline_data(); }
+
+  T* data() noexcept { return data_; }
+  const T* data() const noexcept { return data_; }
+  T* begin() noexcept { return data_; }
+  T* end() noexcept { return data_ + size_; }
+  const T* begin() const noexcept { return data_; }
+  const T* end() const noexcept { return data_ + size_; }
+
+  T& operator[](std::size_t i) noexcept {
+    NABBITC_DCHECK(i < size_);
+    return data_[i];
+  }
+  const T& operator[](std::size_t i) const noexcept {
+    NABBITC_DCHECK(i < size_);
+    return data_[i];
+  }
+  T& back() noexcept {
+    NABBITC_DCHECK(size_ > 0);
+    return data_[size_ - 1];
+  }
+
+ private:
+  T* inline_data() noexcept { return reinterpret_cast<T*>(inline_); }
+  const T* inline_data() const noexcept { return reinterpret_cast<const T*>(inline_); }
+
+  // The spill buffer must honor T's alignment even above the default new
+  // alignment (the inline buffer already does via alignas(T)).
+  static T* alloc_raw(std::size_t n) {
+    if constexpr (alignof(T) > __STDCPP_DEFAULT_NEW_ALIGNMENT__) {
+      return static_cast<T*>(::operator new(n * sizeof(T), std::align_val_t{alignof(T)}));
+    } else {
+      return static_cast<T*>(::operator new(n * sizeof(T)));
+    }
+  }
+  static void free_raw(T* p) noexcept {
+    if constexpr (alignof(T) > __STDCPP_DEFAULT_NEW_ALIGNMENT__) {
+      ::operator delete(static_cast<void*>(p), std::align_val_t{alignof(T)});
+    } else {
+      ::operator delete(static_cast<void*>(p));
+    }
+  }
+
+  void destroy() noexcept {
+    clear();
+    if (!is_inline()) free_raw(data_);
+  }
+
+  /// Moves other's contents into this (empty, inline) vector.
+  void take(SmallVec& other) noexcept {
+    if (other.is_inline()) {
+      for (std::size_t i = 0; i < other.size_; ++i) {
+        ::new (static_cast<void*>(data_ + i)) T(std::move(other.data_[i]));
+      }
+      size_ = other.size_;
+      other.clear();
+    } else {
+      data_ = other.data_;
+      size_ = other.size_;
+      cap_ = other.cap_;
+      other.data_ = other.inline_data();
+      other.size_ = 0;
+      other.cap_ = N;
+    }
+  }
+
+  void grow() {
+    const std::size_t new_cap = cap_ * 2;
+    T* fresh = alloc_raw(new_cap);
+    for (std::size_t i = 0; i < size_; ++i) {
+      ::new (static_cast<void*>(fresh + i)) T(std::move(data_[i]));
+      data_[i].~T();
+    }
+    if (!is_inline()) free_raw(data_);
+    data_ = fresh;
+    cap_ = new_cap;
+  }
+
+  T* data_;
+  std::size_t size_;
+  std::size_t cap_;
+  alignas(T) std::byte inline_[N * sizeof(T)];
+};
+
+}  // namespace nabbitc

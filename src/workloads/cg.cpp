@@ -393,7 +393,9 @@ class CgSpec final : public nabbit::GraphSpec {
  public:
   CgSpec(CgWorkload* w, nabbit::ColoringMode mode) : w_(w), mode_(mode) {}
 
-  nabbit::TaskGraphNode* create(Key) override { return new CgNode(w_); }
+  nabbit::TaskGraphNode* create(nabbit::NodeArena& arena, Key) override {
+    return arena.create<CgNode>(w_);
+  }
   numa::Color color_of(Key k) const override {
     return nabbit::apply_coloring(data_color_of(k), mode_, w_->num_colors());
   }

@@ -374,7 +374,9 @@ class MgSpec final : public nabbit::GraphSpec {
  public:
   MgSpec(MgWorkload* w, nabbit::ColoringMode mode) : w_(w), mode_(mode) {}
 
-  nabbit::TaskGraphNode* create(Key) override { return new MgNode(w_); }
+  nabbit::TaskGraphNode* create(nabbit::NodeArena& arena, Key) override {
+    return arena.create<MgNode>(w_);
+  }
   numa::Color color_of(Key k) const override {
     return nabbit::apply_coloring(data_color_of(k), mode_, w_->num_colors());
   }

@@ -264,7 +264,9 @@ class PageRankSpec final : public nabbit::GraphSpec {
   PageRankSpec(PageRankWorkload* w, nabbit::ColoringMode mode)
       : w_(w), mode_(mode) {}
 
-  nabbit::TaskGraphNode* create(Key) override { return new PageRankNode(w_); }
+  nabbit::TaskGraphNode* create(nabbit::NodeArena& arena, Key) override {
+    return arena.create<PageRankNode>(w_);
+  }
   numa::Color color_of(Key k) const override {
     return nabbit::apply_coloring(data_color_of(k), mode_, w_->num_colors());
   }

@@ -173,7 +173,9 @@ class WavefrontSpec final : public nabbit::GraphSpec {
                 nabbit::ColoringMode mode)
       : w_(w), num_colors_(num_colors), mode_(mode) {}
 
-  nabbit::TaskGraphNode* create(Key) override { return new WavefrontNode(w_); }
+  nabbit::TaskGraphNode* create(nabbit::NodeArena& arena, Key) override {
+    return arena.create<WavefrontNode>(w_);
+  }
   numa::Color color_of(Key k) const override {
     return nabbit::apply_coloring(data_color_of(k), mode_, num_colors_);
   }

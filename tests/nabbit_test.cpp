@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <mutex>
 #include <set>
 #include <thread>
@@ -27,13 +28,20 @@ class NopNode final : public TaskGraphNode {
   void compute(ExecContext&) override {}
 };
 
+std::vector<TaskGraphNode*> chain_to_vector(SuccessorCell* chain) {
+  std::vector<TaskGraphNode*> out;
+  for (SuccessorCell* c = chain; c != nullptr; c = c->next) out.push_back(c->node);
+  return out;
+}
+
 TEST(SuccessorList, AddThenCloseReturnsAll) {
   SuccessorList sl;
   NopNode a, b;
-  EXPECT_TRUE(sl.try_add(&a));
-  EXPECT_TRUE(sl.try_add(&b));
+  SuccessorCell cells[2];
+  EXPECT_TRUE(sl.try_add(&a, &cells[0]));
+  EXPECT_TRUE(sl.try_add(&b, &cells[1]));
   EXPECT_EQ(sl.size(), 2u);
-  auto out = sl.close_and_take();
+  auto out = chain_to_vector(sl.close_and_take());
   EXPECT_EQ(out.size(), 2u);
   EXPECT_TRUE(sl.closed());
 }
@@ -41,28 +49,74 @@ TEST(SuccessorList, AddThenCloseReturnsAll) {
 TEST(SuccessorList, AddAfterCloseFails) {
   SuccessorList sl;
   NopNode a;
-  sl.close_and_take();
-  EXPECT_FALSE(sl.try_add(&a));
+  SuccessorCell cell;
+  EXPECT_EQ(sl.close_and_take(), nullptr);
+  EXPECT_FALSE(sl.try_add(&a, &cell));
   EXPECT_EQ(sl.size(), 0u);
 }
 
 TEST(SuccessorList, ConcurrentAddVsCloseLosesNothing) {
-  // Every successfully added node must be visible in the taken list; a
-  // failed add means the adder saw the closed flag. Repeat to shake races.
+  // Every successfully added node must be visible in the taken chain; a
+  // failed add means the adder saw the closed sentinel. Repeat to shake
+  // races.
   for (int round = 0; round < 50; ++round) {
     SuccessorList sl;
     std::vector<NopNode> nodes(32);
+    std::vector<SuccessorCell> cells(32);
     std::atomic<int> added{0};
     std::thread adder([&] {
-      for (auto& n : nodes) {
-        if (sl.try_add(&n)) added.fetch_add(1);
+      for (std::size_t i = 0; i < nodes.size(); ++i) {
+        if (sl.try_add(&nodes[i], &cells[i])) added.fetch_add(1);
       }
     });
-    std::vector<TaskGraphNode*> taken = sl.close_and_take();
+    auto taken = chain_to_vector(sl.close_and_take());
     adder.join();
     // Stragglers that added after our close... cannot exist: close happened
     // before join, and failed adds aren't counted.
     EXPECT_EQ(static_cast<int>(taken.size()), added.load());
+  }
+}
+
+TEST(SuccessorList, ManyAddersRacingOneCloseNoLossNoDuplicate) {
+  // Several threads push disjoint node sets while one closer races them:
+  // the taken chain must contain exactly the successfully-added nodes,
+  // each exactly once, and all post-close adds must fail.
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 64;
+  for (int round = 0; round < 25; ++round) {
+    SuccessorList sl;
+    std::vector<NopNode> nodes(kThreads * kPerThread);
+    std::vector<SuccessorCell> cells(nodes.size());
+    std::vector<std::vector<TaskGraphNode*>> added(kThreads);
+    std::atomic<bool> go{false};
+    std::vector<std::thread> adders;
+    for (int t = 0; t < kThreads; ++t) {
+      adders.emplace_back([&, t] {
+        while (!go.load(std::memory_order_acquire)) {}
+        for (int i = 0; i < kPerThread; ++i) {
+          const int idx = t * kPerThread + i;
+          if (sl.try_add(&nodes[idx], &cells[idx])) {
+            added[t].push_back(&nodes[idx]);
+          } else {
+            // Once closed, every later add must also fail.
+            SuccessorCell dead;
+            EXPECT_FALSE(sl.try_add(&nodes[idx], &dead));
+          }
+        }
+      });
+    }
+    go.store(true, std::memory_order_release);
+    auto taken = chain_to_vector(sl.close_and_take());
+    for (auto& th : adders) th.join();
+
+    std::set<TaskGraphNode*> taken_set(taken.begin(), taken.end());
+    EXPECT_EQ(taken_set.size(), taken.size()) << "duplicate successor";
+    std::size_t total_added = 0;
+    for (const auto& v : added) {
+      total_added += v.size();
+      for (TaskGraphNode* n : v) EXPECT_TRUE(taken_set.count(n)) << "lost successor";
+    }
+    EXPECT_EQ(taken.size(), total_added);
   }
 }
 
@@ -76,8 +130,9 @@ class KeyNode final : public TaskGraphNode {
 
 TEST(ConcurrentMap, InsertOrGetCreatesOnce) {
   ConcurrentNodeMap map(16);
-  auto [n1, c1] = map.insert_or_get(7, [](Key) { return new KeyNode; });
-  auto [n2, c2] = map.insert_or_get(7, [](Key) { return new KeyNode; });
+  auto [n1, c1] = map.insert_or_get(7, [](NodeArena& a, Key) { return a.create<KeyNode>(); });
+  auto [n2, c2] =
+      map.insert_or_get(7, [](NodeArena& a, Key) { return a.create<KeyNode>(); });
   EXPECT_TRUE(c1);
   EXPECT_FALSE(c2);
   EXPECT_EQ(n1, n2);
@@ -87,15 +142,15 @@ TEST(ConcurrentMap, InsertOrGetCreatesOnce) {
 TEST(ConcurrentMap, FindMissingIsNull) {
   ConcurrentNodeMap map(16);
   EXPECT_EQ(map.find(123), nullptr);
-  map.insert_or_get(123, [](Key) { return new KeyNode; });
+  map.insert_or_get(123, [](NodeArena& a, Key) { return a.create<KeyNode>(); });
   EXPECT_NE(map.find(123), nullptr);
   EXPECT_EQ(map.find(124), nullptr);
 }
 
 TEST(ConcurrentMap, HandlesKeyZeroAndMax) {
   ConcurrentNodeMap map(4);
-  map.insert_or_get(0, [](Key) { return new KeyNode; });
-  map.insert_or_get(~Key{0}, [](Key) { return new KeyNode; });
+  map.insert_or_get(0, [](NodeArena& a, Key) { return a.create<KeyNode>(); });
+  map.insert_or_get(~Key{0}, [](NodeArena& a, Key) { return a.create<KeyNode>(); });
   EXPECT_NE(map.find(0), nullptr);
   EXPECT_NE(map.find(~Key{0}), nullptr);
   EXPECT_EQ(map.size(), 2u);
@@ -104,7 +159,7 @@ TEST(ConcurrentMap, HandlesKeyZeroAndMax) {
 TEST(ConcurrentMap, GrowsBeyondInitialCapacity) {
   ConcurrentNodeMap map(4);  // tiny per-shard capacity
   for (Key k = 0; k < 5000; ++k) {
-    map.insert_or_get(k, [](Key) { return new KeyNode; });
+    map.insert_or_get(k, [](NodeArena& a, Key) { return a.create<KeyNode>(); });
   }
   EXPECT_EQ(map.size(), 5000u);
   for (Key k = 0; k < 5000; ++k) ASSERT_NE(map.find(k), nullptr) << k;
@@ -113,7 +168,7 @@ TEST(ConcurrentMap, GrowsBeyondInitialCapacity) {
 TEST(ConcurrentMap, ForEachVisitsEverything) {
   ConcurrentNodeMap map(16);
   for (Key k = 100; k < 200; ++k) {
-    map.insert_or_get(k, [](Key) { return new KeyNode; });
+    map.insert_or_get(k, [](NodeArena& a, Key) { return a.create<KeyNode>(); });
   }
   std::set<Key> seen;
   map.for_each([&](Key k, TaskGraphNode*) { seen.insert(k); });
@@ -132,7 +187,7 @@ TEST(ConcurrentMap, ConcurrentInsertOrGetExactlyOneWinner) {
       Pcg32 rng(t, 5);
       for (int i = 0; i < 20000; ++i) {
         Key k = rng.next() % kKeys;
-        auto [node, created] = map.insert_or_get(k, [](Key) { return new KeyNode; });
+        auto [node, created] = map.insert_or_get(k, [](NodeArena& a, Key) { return a.create<KeyNode>(); });
         ASSERT_NE(node, nullptr);
         if (created) creations.fetch_add(1);
       }
@@ -141,6 +196,50 @@ TEST(ConcurrentMap, ConcurrentInsertOrGetExactlyOneWinner) {
   for (auto& t : ts) t.join();
   EXPECT_EQ(map.size(), static_cast<std::size_t>(creations.load()));
   EXPECT_LE(map.size(), static_cast<std::size_t>(kKeys));
+}
+
+TEST(ConcurrentMap, CacheLinePaddedNodesAreAlignedInSlabs) {
+  struct alignas(64) PaddedNode final : TaskGraphNode {
+    std::uint64_t payload[8];
+    void init(ExecContext&) override {}
+    void compute(ExecContext&) override {}
+  };
+  ConcurrentNodeMap map(256);
+  for (Key k = 0; k < 256; ++k) {
+    auto [n, created] = map.insert_or_get(
+        k, [](NodeArena& a, Key) { return a.create<PaddedNode>(); });
+    ASSERT_TRUE(created);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(n) % 64, 0u) << "key " << k;
+  }
+}
+
+TEST(ConcurrentMap, RaceLoserNeverConstructsANode) {
+  // The slot is reserved under the shard lock, so the factory runs exactly
+  // once per key no matter how many threads race insert_or_get: node
+  // constructions must equal map entries. (The previous implementation let
+  // every racer construct a speculative node and destroy it on losing.)
+  struct CountingNode final : TaskGraphNode {
+    explicit CountingNode(std::atomic<int>* c) { c->fetch_add(1); }
+    void init(ExecContext&) override {}
+    void compute(ExecContext&) override {}
+  };
+  constexpr int kThreads = 4;
+  constexpr Key kKeys = 512;
+  ConcurrentNodeMap map(kKeys);
+  std::atomic<int> constructions{0};
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&] {
+      for (Key k = 0; k < kKeys; ++k) {
+        map.insert_or_get(k, [&](NodeArena& a, Key) {
+          return a.create<CountingNode>(&constructions);
+        });
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(constructions.load(), static_cast<int>(kKeys));
+  EXPECT_EQ(map.size(), static_cast<std::size_t>(kKeys));
 }
 
 // ------------------------------------------------------------ test graphs
@@ -178,7 +277,9 @@ class RecordingNode final : public TaskGraphNode {
 class RecordingSpec final : public GraphSpec {
  public:
   explicit RecordingSpec(OrderRecorder* rec) : rec_(rec) {}
-  TaskGraphNode* create(Key) override { return new RecordingNode(rec_); }
+  TaskGraphNode* create(NodeArena& arena, Key) override {
+    return arena.create<RecordingNode>(rec_);
+  }
   numa::Color color_of(Key k) const override {
     return static_cast<numa::Color>(k % 4);
   }
@@ -240,12 +341,12 @@ TEST(SerialExecutor, RerunIsNoop) {
 
 class CyclicSpec final : public GraphSpec {
  public:
-  TaskGraphNode* create(Key) override {
+  TaskGraphNode* create(NodeArena& arena, Key) override {
     class N final : public TaskGraphNode {
       void init(ExecContext&) override { add_predecessor((key() + 1) % 3); }
       void compute(ExecContext&) override {}
     };
-    return new N;
+    return arena.create<N>();
   }
 };
 
@@ -327,8 +428,8 @@ TEST(DynamicExecutor, RandomDagsStress) {
     struct RandomSpec final : GraphSpec {
       std::vector<std::vector<Key>>* preds;
       std::atomic<int>* computes;
-      TaskGraphNode* create(Key k) override {
-        auto* node = new RandomNode;
+      TaskGraphNode* create(NodeArena& arena, Key k) override {
+        auto* node = arena.create<RandomNode>();
         node->my_preds = &(*preds)[k];
         node->computes = computes;
         return node;
@@ -521,7 +622,9 @@ class GradientWavefrontNode final : public TaskGraphNode {
 
 class GradientWavefrontSpec final : public GraphSpec {
  public:
-  TaskGraphNode* create(Key) override { return new GradientWavefrontNode; }
+  TaskGraphNode* create(NodeArena& arena, Key) override {
+    return arena.create<GradientWavefrontNode>();
+  }
   numa::Color color_of(Key k) const override {
     return static_cast<numa::Color>(key_major(k) / 2);
   }

@@ -206,7 +206,9 @@ class WideSpec final : public GraphSpec {
  public:
   explicit WideSpec(WideGraphState* st, ColoringMode mode)
       : st_(st), mode_(mode) {}
-  TaskGraphNode* create(Key) override { return new WideNode(st_); }
+  TaskGraphNode* create(NodeArena& arena, Key) override {
+    return arena.create<WideNode>(st_);
+  }
   numa::Color color_of(Key k) const override {
     return apply_coloring(data_color_of(k), mode_, st_->colors);
   }

@@ -102,7 +102,9 @@ class FuzzNode final : public nabbit::TaskGraphNode {
 class FuzzSpec final : public nabbit::GraphSpec {
  public:
   FuzzSpec(FuzzGraph* g, std::uint32_t colors) : g_(g), colors_(colors) {}
-  nabbit::TaskGraphNode* create(nabbit::Key) override { return new FuzzNode(g_); }
+  nabbit::TaskGraphNode* create(nabbit::NodeArena& arena, nabbit::Key) override {
+    return arena.create<FuzzNode>(g_);
+  }
   numa::Color color_of(nabbit::Key k) const override {
     return static_cast<numa::Color>(k % colors_);
   }

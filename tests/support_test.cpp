@@ -1,7 +1,9 @@
-// Unit tests for src/support: rng, stats, config, table, align, spin.
+// Unit tests for src/support: rng, stats, config, table, align, spin,
+// small_vec.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <set>
 #include <sstream>
 #include <thread>
@@ -10,6 +12,7 @@
 #include "support/align.h"
 #include "support/config.h"
 #include "support/rng.h"
+#include "support/small_vec.h"
 #include "support/spin.h"
 #include "support/stats.h"
 #include "support/table.h"
@@ -327,6 +330,93 @@ TEST(Spin, BarrierSynchronizesPhases) {
     });
   }
   for (auto& t : ts) t.join();
+}
+
+// ---------------------------------------------------------------- small_vec
+
+TEST(SmallVec, StaysInlineUpToCapacity) {
+  SmallVec<int, 4> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_TRUE(v.is_inline());
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_EQ(v.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SmallVec, SpillsToHeapPreservingContents) {
+  SmallVec<int, 4> v;
+  for (int i = 0; i < 100; ++i) v.push_back(i);
+  EXPECT_FALSE(v.is_inline());
+  EXPECT_EQ(v.size(), 100u);
+  EXPECT_GE(v.capacity(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+  int expect = 0;
+  for (int x : v) EXPECT_EQ(x, expect++);  // iteration covers the heap buffer
+}
+
+TEST(SmallVec, MoveOfInlineVectorCopiesElements) {
+  SmallVec<int, 4> a;
+  a.push_back(7);
+  a.push_back(8);
+  SmallVec<int, 4> b(std::move(a));
+  EXPECT_TRUE(b.is_inline());
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_EQ(b[0], 7);
+  EXPECT_EQ(b[1], 8);
+  EXPECT_TRUE(a.empty());  // moved-from: empty but reusable
+  a.push_back(1);
+  EXPECT_EQ(a.size(), 1u);
+}
+
+TEST(SmallVec, MoveOfSpilledVectorStealsBuffer) {
+  SmallVec<int, 4> a;
+  for (int i = 0; i < 32; ++i) a.push_back(i);
+  const int* buf = a.data();
+  SmallVec<int, 4> b(std::move(a));
+  EXPECT_EQ(b.data(), buf);  // heap buffer stolen, not copied
+  EXPECT_EQ(b.size(), 32u);
+  EXPECT_TRUE(a.is_inline());
+  EXPECT_TRUE(a.empty());
+  SmallVec<int, 4> c;
+  c.push_back(-1);
+  c = std::move(b);
+  EXPECT_EQ(c.data(), buf);
+  ASSERT_EQ(c.size(), 32u);
+  EXPECT_EQ(c[31], 31);
+}
+
+TEST(SmallVec, OverAlignedElementsStayAlignedAfterSpill) {
+  struct alignas(64) Fat {
+    std::uint64_t v;
+  };
+  SmallVec<Fat, 2> v;
+  for (std::uint64_t i = 0; i < 16; ++i) v.push_back(Fat{i});
+  EXPECT_FALSE(v.is_inline());
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % alignof(Fat), 0u);
+  for (std::uint64_t i = 0; i < 16; ++i) EXPECT_EQ(v[i].v, i);
+}
+
+TEST(SmallVec, DestroysElementsExactlyOnce) {
+  struct Probe {
+    int* live;
+    explicit Probe(int* l) : live(l) { ++*live; }
+    Probe(Probe&& o) noexcept : live(o.live) { ++*live; }
+    ~Probe() { --*live; }
+  };
+  int live = 0;
+  {
+    SmallVec<Probe, 2> v;
+    for (int i = 0; i < 10; ++i) v.emplace_back(&live);  // spills twice
+    EXPECT_EQ(live, 10);
+    v.clear();
+    EXPECT_EQ(live, 0);
+    for (int i = 0; i < 3; ++i) v.emplace_back(&live);
+    SmallVec<Probe, 2> w(std::move(v));
+    EXPECT_EQ(live, 3);
+  }
+  EXPECT_EQ(live, 0);
 }
 
 }  // namespace
