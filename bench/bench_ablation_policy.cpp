@@ -11,7 +11,7 @@
 #include "bench/bench_common.h"
 
 using namespace nabbitc;
-using harness::Variant;
+using api::Variant;
 
 namespace {
 

@@ -5,6 +5,10 @@
 //   preset=tiny|small|medium|paper   problem scale (default per binary)
 //   cores=1,2,4,10,20,40,60,80       simulated core counts
 //   workloads=heat,cg,...            subset of Table I benchmarks
+//   variants=nabbit,nabbitc,...      scheduler subset for the figure sweeps
+//                                    (consumed by fig6/fig7/fig8; parsed by
+//                                    api::parse_variant — unknown names abort
+//                                    listing the valid ones)
 //   seed=<n>                         simulation seed
 //   --trace-out=<path>               emit a Chrome trace JSON per real run
 //   --trace-capacity=<events>        per-worker trace ring size
@@ -15,7 +19,9 @@
 #include <string>
 #include <vector>
 
+#include "api/nabbitc.h"
 #include "harness/experiment.h"
+#include "support/check.h"
 #include "support/config.h"
 #include "support/table.h"
 #include "trace/analysis.h"
@@ -28,6 +34,9 @@ struct BenchArgs {
   wl::SizePreset preset = wl::SizePreset::kPaper;
   std::vector<std::uint32_t> cores;
   std::vector<std::string> workloads;
+  /// The user's variants= selection; empty when the flag was not given
+  /// (use variants_or to fall back to the binary's default set).
+  std::vector<api::Variant> variants;
   std::uint64_t seed = 0x5eed;
   /// Chrome-trace output path (empty = tracing off). Tags are inserted
   /// before the extension when one binary emits several traces.
@@ -46,6 +55,7 @@ inline BenchArgs parse_args(int argc, char** argv,
     a.cores.push_back(static_cast<std::uint32_t>(c));
   }
   a.seed = static_cast<std::uint64_t>(a.cfg.get_int("seed", 0x5eed));
+  a.variants = api::parse_variant_list(a.cfg.get("variants", ""));
   a.trace_out = a.cfg.get("trace_out", "");
   a.trace_csv = a.cfg.get_bool("trace_csv", false);
   a.trace.enabled = !a.trace_out.empty();
@@ -69,6 +79,23 @@ inline BenchArgs parse_args(int argc, char** argv,
     }
   }
   return a;
+}
+
+/// The variant set a bench iterates: the user's variants= flag when given,
+/// otherwise the binary's default list. "serial" parses (it is a canonical
+/// variant) but is the baseline every table normalizes against, not a
+/// scheduler these sweeps can run — reject it here with a usable message
+/// instead of tripping an internal CHECK deep in run_sim.
+inline std::vector<api::Variant> variants_or(
+    const BenchArgs& args, std::initializer_list<api::Variant> fallback) {
+  if (args.variants.empty()) return std::vector<api::Variant>(fallback);
+  for (api::Variant v : args.variants) {
+    NABBITC_CHECK_MSG(v != api::Variant::kSerial,
+                      "variants=serial: serial is the baseline, not a "
+                      "scheduler sweep (want omp-static|omp-guided|nabbit|"
+                      "nabbitc)");
+  }
+  return args.variants;
 }
 
 /// "steals.json" + tag "heat-p4" -> "steals-heat-p4.json". Only the final

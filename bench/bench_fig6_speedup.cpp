@@ -10,14 +10,15 @@
 #include "bench/bench_common.h"
 
 using namespace nabbitc;
-using harness::Variant;
+using api::Variant;
 
 int main(int argc, char** argv) {
   bench::BenchArgs args = bench::parse_args(argc, argv);
   bench::print_header("Figure 6: speedup vs cores (simulated)");
 
-  const Variant variants[] = {Variant::kOmpStatic, Variant::kOmpGuided,
-                              Variant::kNabbit, Variant::kNabbitC};
+  const auto variants = bench::variants_or(
+      args, {Variant::kOmpStatic, Variant::kOmpGuided, Variant::kNabbit,
+             Variant::kNabbitC});
   for (const auto& name : args.workloads) {
     auto w = wl::make_workload(name, args.preset);
     if (!w) continue;
@@ -28,7 +29,7 @@ int main(int argc, char** argv) {
     for (auto p : args.cores) hdr.push_back("P=" + std::to_string(p));
     Table t(hdr);
     for (Variant v : variants) {
-      std::vector<std::string> row{harness::variant_label(v)};
+      std::vector<std::string> row{api::variant_name(v)};
       for (auto p : args.cores) {
         harness::SimSweepOptions so;
         so.seed = args.seed;

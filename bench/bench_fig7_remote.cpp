@@ -10,15 +10,15 @@
 #include "bench/bench_common.h"
 
 using namespace nabbitc;
-using harness::Variant;
+using api::Variant;
 
 int main(int argc, char** argv) {
   bench::BenchArgs args = bench::parse_args(argc, argv);
   if (!args.cfg.has("cores")) args.cores = {20, 40, 60, 80};
   bench::print_header("Figure 7: % remote accesses vs cores (simulated)");
 
-  const Variant variants[] = {Variant::kNabbitC, Variant::kNabbit,
-                              Variant::kOmpStatic};
+  const auto variants = bench::variants_or(
+      args, {Variant::kNabbitC, Variant::kNabbit, Variant::kOmpStatic});
   for (const auto& name : args.workloads) {
     auto w = wl::make_workload(name, args.preset);
     if (!w) continue;
@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
     for (auto p : args.cores) hdr.push_back("P=" + std::to_string(p));
     Table t(hdr);
     for (Variant v : variants) {
-      std::vector<std::string> row{harness::variant_label(v)};
+      std::vector<std::string> row{api::variant_name(v)};
       for (auto p : args.cores) {
         harness::SimSweepOptions so;
         so.seed = args.seed;

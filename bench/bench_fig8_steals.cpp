@@ -9,7 +9,7 @@
 #include "bench/bench_common.h"
 
 using namespace nabbitc;
-using harness::Variant;
+using api::Variant;
 
 namespace {
 
@@ -27,7 +27,13 @@ void run_traced(const bench::BenchArgs& args) {
   for (const auto& name : args.workloads) {
     auto w = wl::make_workload(name, preset);
     if (!w) continue;
-    for (Variant v : {Variant::kNabbitC, Variant::kNabbit}) {
+    for (Variant v : bench::variants_or(args,
+                                        {Variant::kNabbitC, Variant::kNabbit})) {
+      // Loop variants never emit trace events; an all-zero steals row would
+      // masquerade as a measurement.
+      NABBITC_CHECK_MSG(api::is_task_graph(v),
+                        "variants=: the traced table runs the task-graph "
+                        "runtime only (want nabbit|nabbitc)");
       harness::RealRunOptions o;
       o.workers = workers;
       o.repeats = static_cast<std::uint32_t>(args.cfg.get_int("repeats", 3));
@@ -38,20 +44,20 @@ void run_traced(const bench::BenchArgs& args) {
         std::printf("[trace] WARNING: %s/%s ring overflow dropped %llu events; "
                     "per-run stats below are computed from the surviving tail "
                     "(raise --trace-capacity)\n",
-                    name.c_str(), harness::variant_label(v),
+                    name.c_str(), api::variant_name(v),
                     static_cast<unsigned long long>(r.trace.dropped));
       }
       // The trace spans all repeats; normalize to per-run like the
       // simulated table above (and the paper's figure).
       const double reps = static_cast<double>(o.repeats);
-      t.add_row({name, harness::variant_label(v),
+      t.add_row({name, api::variant_name(v),
                  Table::fmt(s.avg_steals_per_worker() / reps, 1),
                  Table::fmt(static_cast<double>(s.steals_colored) / reps, 1),
                  Table::fmt(static_cast<double>(s.steals_random) / reps, 1),
                  Table::fmt(s.colored_success_rate(), 3),
                  Table::fmt(s.avg_first_steal_wait_ms(), 3)});
       bench::export_trace(args, r.trace,
-                          name + "-" + harness::variant_label(v));
+                          name + "-" + api::variant_name(v));
     }
   }
   std::printf("%s\n", t.to_string().c_str());
@@ -71,8 +77,9 @@ int main(int argc, char** argv) {
     std::vector<std::string> hdr{"scheduler"};
     for (auto p : args.cores) hdr.push_back("P=" + std::to_string(p));
     Table t(hdr);
-    for (Variant v : {Variant::kNabbitC, Variant::kNabbit}) {
-      std::vector<std::string> row{harness::variant_label(v)};
+    for (Variant v : bench::variants_or(args,
+                                        {Variant::kNabbitC, Variant::kNabbit})) {
+      std::vector<std::string> row{api::variant_name(v)};
       for (auto p : args.cores) {
         harness::SimSweepOptions so;
         so.seed = args.seed;

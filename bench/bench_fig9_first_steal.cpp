@@ -8,7 +8,7 @@
 #include "bench/bench_common.h"
 
 using namespace nabbitc;
-using harness::Variant;
+using api::Variant;
 
 int main(int argc, char** argv) {
   bench::BenchArgs args = bench::parse_args(argc, argv);

@@ -17,14 +17,13 @@
 #include <string>
 #include <vector>
 
+#include "api/nabbitc.h"
 #include "nabbit/concurrent_map.h"
-#include "nabbit/executor.h"
 #include "nabbit/node.h"
 #include "nabbit/successor_list.h"
 #include "rt/arena.h"
 #include "rt/color_mask.h"
 #include "rt/deque.h"
-#include "rt/scheduler.h"
 #include "support/config.h"
 #include "support/small_vec.h"
 #include "support/timing.h"
@@ -133,10 +132,10 @@ void bench_steal_attempt(const BenchParams& p) {
   // One full Worker::find_task miss — empty own deque, one steal round
   // against parked victims. This is the steady-state cost a thief pays per
   // attempt; the PR's target for "leaner steal loop".
-  rt::SchedulerConfig cfg;
-  cfg.num_workers = 4;
-  rt::Scheduler sched(cfg);
-  rt::Worker& w = sched.worker(0);
+  api::RuntimeOptions ro;
+  ro.workers = 4;
+  api::Runtime rt(ro);
+  rt::Worker& w = rt.scheduler().worker(0);
   report("steal_attempt_ns", best_ns_per_op(p, [&](std::uint64_t n) {
            for (std::uint64_t i = 0; i < n; ++i) {
              if (w.find_task() != nullptr) std::abort();
@@ -224,13 +223,13 @@ void bench_successor_add_close(const BenchParams& p) {
 constexpr int kBatch = 1024;
 
 void bench_spawn_sync(const BenchParams& p) {
-  rt::SchedulerConfig cfg;
-  cfg.num_workers = 1;  // isolate spawn overhead from stealing
-  rt::Scheduler sched(cfg);
+  api::RuntimeOptions ro;
+  ro.workers = 1;  // isolate spawn overhead from stealing
+  api::Runtime rt(ro);
   report("spawn_sync_ns_per_task", best_ns_per_op(p, [&](std::uint64_t n) {
            const std::uint64_t rounds = n / kBatch + 1;
            for (std::uint64_t r = 0; r < rounds; ++r) {
-             sched.execute([](rt::Worker& w) {
+             rt.run_parallel([](rt::Worker& w) {
                rt::TaskGroup g;
                for (int i = 0; i < kBatch; ++i) {
                  g.spawn(w, rt::ColorMask{}, [](rt::Worker&) {});
@@ -271,23 +270,52 @@ struct GridSpec final : nabbit::GraphSpec {
 
 void bench_dynamic_node_throughput(const BenchParams& p, std::uint32_t side,
                                    std::uint32_t workers) {
-  rt::SchedulerConfig cfg;
-  cfg.num_workers = workers;
-  rt::Scheduler sched(cfg);
+  // End to end through the façade, exactly as an embedder would run it: one
+  // persistent Runtime, one submission per repeat. kNabbit = the vanilla
+  // dynamic executor this metric has always measured.
+  api::RuntimeOptions ro;
+  ro.workers = workers;
+  ro.variant = api::Variant::kNabbit;
+  api::Runtime rt(ro);
   const double nodes = static_cast<double>(side) * side;
   double best = 1e18;
   for (int r = 0; r < p.repeats + 1; ++r) {  // first repeat doubles as warm-up
     std::atomic<std::uint64_t> acc{0};
     GridSpec spec(&acc, side);
-    nabbit::DynamicExecutor ex(sched, spec);
     Timer t;
-    ex.run(nabbit::key_pack(side - 1, side - 1));
+    api::Execution e = rt.run(spec, nabbit::key_pack(side - 1, side - 1));
     const double s = t.seconds();
     if (r > 0 && s < best) best = s;
-    if (ex.nodes_computed() != std::uint64_t{side} * side) std::abort();
+    if (e.nodes_computed() != std::uint64_t{side} * side) std::abort();
   }
   report("dynamic_node_ns", best * 1e9 / nodes, "ns/node");
   report("dynamic_nodes_per_sec", nodes / best, "nodes/s");
+}
+
+// Pure façade overhead: submit+wait of a single-node graph on an idle
+// runtime — per-execution state (executor, node map) plus the injection
+// handshake. Graph work is one empty compute().
+void bench_runtime_submit(const BenchParams& p) {
+  struct OneNode final : nabbit::TaskGraphNode {
+    void init(nabbit::ExecContext&) override {}
+    void compute(nabbit::ExecContext&) override {}
+  };
+  struct OneSpec final : nabbit::GraphSpec {
+    nabbit::TaskGraphNode* create(nabbit::NodeArena& arena, Key) override {
+      return arena.create<OneNode>();
+    }
+    std::size_t expected_nodes() const override { return 1; }
+  };
+  api::RuntimeOptions ro;
+  ro.workers = 1;
+  api::Runtime rt(ro);
+  report("runtime_submit_ns", best_ns_per_op(p, [&](std::uint64_t n) {
+           for (std::uint64_t i = 0; i < n; ++i) {
+             OneSpec spec;
+             rt.run(spec, 0);
+           }
+         }, 256),
+         "ns/op");
 }
 
 void write_json(const std::string& path, const std::string& preset,
@@ -349,6 +377,7 @@ int main(int argc, char** argv) {
       {"map_hit", bench_map_hit},
       {"successor_add_close", bench_successor_add_close},
       {"spawn_sync", bench_spawn_sync},
+      {"runtime_submit", bench_runtime_submit},
   };
   std::printf("NabbitC micro-runtime bench (preset=%s, repeats=%d)\n\n",
               preset.c_str(), p.repeats);

@@ -32,6 +32,19 @@ case "${MODE}" in
     ;;
 esac
 
+echo "=== header self-containment: src/api ==="
+# Every public façade header must compile standalone, warning-clean: an
+# embedder's first include may be any one of them.
+HDR_TMP="$(mktemp -d)"
+trap 'rm -rf "${HDR_TMP}"' EXIT
+for h in src/api/*.h; do
+  rel="${h#src/}"
+  echo "  ${rel}"
+  printf '#include "%s"\n' "${rel}" > "${HDR_TMP}/tu.cpp"
+  "${CXX:-c++}" -std=c++20 -Isrc -Wall -Wextra -Werror -fsyntax-only "${HDR_TMP}/tu.cpp"
+done
+echo "header self-containment OK"
+
 echo "=== bench-smoke: micro-runtime JSON ==="
 BENCH_DIR="build-ci-release"
 if [ -d "${BENCH_DIR}" ]; then
@@ -44,7 +57,8 @@ expected = [
     "deque_push_pop_ns", "deque_steal_miss_ns", "colored_steal_check_ns",
     "steal_attempt_ns", "arena_create_ns", "small_vec_push4_ns",
     "map_insert_ns", "map_hit_ns", "successor_add_close_ns",
-    "spawn_sync_ns_per_task", "dynamic_node_ns", "dynamic_nodes_per_sec",
+    "spawn_sync_ns_per_task", "runtime_submit_ns",
+    "dynamic_node_ns", "dynamic_nodes_per_sec",
 ]
 missing = [k for k in expected if k not in d["metrics"]]
 assert not missing, f"missing metrics: {missing}"

@@ -11,7 +11,7 @@
 #include "support/table.h"
 
 using namespace nabbitc;
-using harness::Variant;
+using api::Variant;
 
 int main(int argc, char** argv) {
   Config cfg = Config::from_args(argc, argv);
@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
     std::snprintf(sum, sizeof(sum), "%016llx%s",
                   static_cast<unsigned long long>(r.checksum),
                   r.checksum == serial_sum ? "" : "  <- MISMATCH");
-    t.add_row({harness::variant_label(v), Table::fmt(r.seconds.mean() * 1e3, 2),
+    t.add_row({api::variant_name(v), Table::fmt(r.seconds.mean() * 1e3, 2),
                sum});
   }
   std::printf("host (%u workers):\n%s\n", workers, t.to_string().c_str());
@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
                     Variant::kNabbitC}) {
     harness::SimSweepOptions so;
     auto r = harness::run_sim(*w, v, 80, so);
-    s.add_row({harness::variant_label(v), Table::fmt(r.speedup(), 2),
+    s.add_row({api::variant_name(v), Table::fmt(r.speedup(), 2),
                Table::fmt(r.locality.percent_remote(), 1)});
   }
   std::printf("simulated 80-core NUMA machine:\n%s", s.to_string().c_str());

@@ -14,7 +14,7 @@
 #include "support/table.h"
 
 using namespace nabbitc;
-using harness::Variant;
+using api::Variant;
 
 int main(int argc, char** argv) {
   Config cfg = Config::from_args(argc, argv);
@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
   t.add_row({"serial", Table::fmt(serial.seconds.mean() * 1e3, 2), "-"});
   for (Variant v : {Variant::kOmpStatic, Variant::kNabbit, Variant::kNabbitC}) {
     auto r = harness::run_real(*w, v, o);
-    t.add_row({harness::variant_label(v), Table::fmt(r.seconds.mean() * 1e3, 2),
+    t.add_row({api::variant_name(v), Table::fmt(r.seconds.mean() * 1e3, 2),
                r.checksum == serial.checksum ? "yes (bitwise)" : "NO"});
   }
   std::printf("%s\n", t.to_string().c_str());

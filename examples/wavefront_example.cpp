@@ -12,8 +12,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "nabbit/types.h"
-#include "nabbitc/colored_executor.h"
+#include "api/nabbitc.h"
 #include "numa/distribution.h"
 #include "support/config.h"
 #include "support/rng.h"
@@ -121,16 +120,16 @@ int main(int argc, char** argv) {
   }
   const double serial_ms = ts.millis();
 
-  // NabbitC task graph.
+  // NabbitC task graph, through the façade: the runtime's variant selects
+  // the colored executor and the matching steal policy together.
   Align par(n, block, workers);
-  rt::SchedulerConfig sc;
-  sc.num_workers = workers;
-  sc.steal = rt::StealPolicy::nabbitc();
-  rt::Scheduler sched(sc);
+  RuntimeOptions opts;
+  opts.workers = workers;
+  opts.variant = Variant::kNabbitC;
+  Runtime rt(opts);
   BlockSpec spec(&par);
-  nabbit::ColoredDynamicExecutor ex(sched, spec);
   Timer tp;
-  ex.run(key_pack(par.nb - 1, par.nb - 1));
+  rt.run(spec, key_pack(par.nb - 1, par.nb - 1));
   const double par_ms = tp.millis();
 
   const bool ok = par.h == serial.h;

@@ -1,0 +1,50 @@
+// Graph-authoring surface of the public API.
+//
+// Everything a client needs to *describe* a dynamic task graph, re-exported
+// under nabbitc::api so embedders include "api/nabbitc.h" (or this header)
+// and never reach into the engine layers:
+//
+//   * Key / key_pack / key_major / key_minor — 64-bit task identifiers;
+//   * TaskGraphNode — subclass, declare predecessors in init(), do the work
+//     in compute();
+//   * GraphSpec — subclass, build nodes on demand and answer the one extra
+//     question NabbitC asks: color_of(key), the worker whose data region
+//     the task mostly touches (paper Figure 2);
+//   * ColoringMode / apply_coloring — the paper's good/bad/invalid coloring
+//     experiments (SectionV-D);
+//   * SerialExecutor — the single-threaded reference executor, for ground
+//     truth in tests and serial baselines.
+//
+// Execution of a GraphSpec goes through api::Runtime (api/runtime.h).
+#pragma once
+
+#include "nabbit/graph_spec.h"
+#include "nabbit/node.h"
+#include "nabbit/serial_executor.h"
+#include "nabbit/types.h"
+#include "nabbitc/coloring.h"
+#include "numa/topology.h"
+
+namespace nabbitc::api {
+
+using nabbit::Key;
+using nabbit::key_major;
+using nabbit::key_minor;
+using nabbit::key_pack;
+
+using nabbit::ExecContext;
+using nabbit::GraphSpec;
+using nabbit::NodeArena;
+using nabbit::NodeLookup;
+using nabbit::NodeStatus;
+using nabbit::TaskGraphNode;
+
+using nabbit::apply_coloring;
+using nabbit::ColoringMode;
+using nabbit::coloring_name;
+
+using nabbit::SerialExecutor;
+
+using numa::Color;
+
+}  // namespace nabbitc::api

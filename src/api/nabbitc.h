@@ -1,0 +1,26 @@
+// Umbrella header of the public NabbitC API.
+//
+//   #include "api/nabbitc.h"
+//
+// pulls in the whole embeddable surface — graph authoring (api/graph.h),
+// variant vocabulary (api/variant.h), and the runtime façade
+// (api/runtime.h) — and promotes the main entry points to the top-level
+// nabbitc:: namespace, so embedders write nabbitc::Runtime,
+// nabbitc::Execution, nabbitc::Variant without spelling the api:: layer.
+#pragma once
+
+#include "api/graph.h"
+#include "api/runtime.h"
+#include "api/variant.h"
+
+namespace nabbitc {
+
+using api::Execution;
+using api::Runtime;
+using api::RuntimeOptions;
+using api::Variant;
+
+using api::parse_variant;
+using api::variant_name;
+
+}  // namespace nabbitc

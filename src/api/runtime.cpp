@@ -1,0 +1,333 @@
+#include "api/runtime.h"
+
+#include <algorithm>
+
+#include "nabbitc/colored_executor.h"
+#include "support/check.h"
+#include "support/timing.h"
+
+namespace nabbitc::api {
+
+// ---------------------------------------------------------------------------
+// Variant
+
+const char* variant_name(Variant v) noexcept {
+  switch (v) {
+    case Variant::kSerial:
+      return "serial";
+    case Variant::kOmpStatic:
+      return "omp-static";
+    case Variant::kOmpGuided:
+      return "omp-guided";
+    case Variant::kNabbit:
+      return "nabbit";
+    case Variant::kNabbitC:
+      return "nabbitc";
+  }
+  return "?";
+}
+
+rt::StealPolicy steal_policy_for(Variant v) {
+  NABBITC_CHECK_MSG(is_task_graph(v),
+                    "steal_policy_for: not a task-graph variant");
+  return v == Variant::kNabbitC ? rt::StealPolicy::nabbitc()
+                                : rt::StealPolicy::nabbit();
+}
+
+std::optional<Variant> try_parse_variant(std::string_view name) noexcept {
+  for (Variant v : kAllVariants) {
+    if (name == variant_name(v)) return v;
+  }
+  return std::nullopt;
+}
+
+Variant parse_variant(const std::string& name) {
+  if (auto v = try_parse_variant(name)) return *v;
+  std::string valid;
+  for (Variant v : kAllVariants) {
+    if (!valid.empty()) valid += "|";
+    valid += variant_name(v);
+  }
+  NABBITC_CHECK_MSG(false, ("unknown variant '" + name + "' (want " + valid +
+                            ")").c_str());
+  return Variant::kSerial;  // unreachable
+}
+
+std::vector<Variant> parse_variant_list(const std::string& names) {
+  std::vector<Variant> out;
+  std::string item;
+  for (char c : names + ",") {
+    if (c == ',') {
+      if (!item.empty()) out.push_back(parse_variant(item));
+      item.clear();
+    } else {
+      item.push_back(c);
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+
+namespace detail {
+
+struct ExecutionState {
+  rt::Scheduler* sched = nullptr;
+  std::unique_ptr<nabbit::DynamicExecutor> exec;
+  rt::Scheduler::RootJob job;
+  Key sink = 0;
+
+  std::uint64_t t_submit_ns = 0;
+  std::uint64_t t_done_ns = 0;  // stamped by the adopting worker
+
+  // Counter attribution (see Execution::counters).
+  rt::WorkerCounters before;
+  rt::WorkerCounters delta;
+  /// Scheduler submission count expected while this execution is the only
+  /// one in its window; any other submit() bumps it past this and voids
+  /// attribution.
+  std::uint32_t expected_submissions = 0;
+  /// The owning Runtime's reset_counters() generation at submit; a reset
+  /// inside the window destroys the delta's base snapshot.
+  const std::atomic<std::uint64_t>* reset_gen = nullptr;
+  std::uint64_t expected_reset_gen = 0;
+  bool attributable = false;
+  bool finalized = false;
+
+  bool window_polluted() const {
+    return sched->submissions() != expected_submissions ||
+           reset_gen->load(std::memory_order_acquire) != expected_reset_gen;
+  }
+};
+
+}  // namespace detail
+
+Execution::Execution(std::unique_ptr<detail::ExecutionState> st) noexcept
+    : st_(std::move(st)) {}
+
+Execution::Execution(Execution&&) noexcept = default;
+
+Execution& Execution::operator=(Execution&& o) noexcept {
+  if (this != &o) {
+    // Assigning over a live handle must not free its state under the pool:
+    // join the old execution first (same contract as the destructor).
+    if (st_ != nullptr && !st_->job.done.load(std::memory_order_acquire)) {
+      st_->sched->wait(st_->job);
+    }
+    st_ = std::move(o.st_);
+  }
+  return *this;
+}
+
+Execution::~Execution() {
+  // A dropped handle still owns the RootJob the scheduler may be about to
+  // run; joining here keeps that storage (and the client's GraphSpec) alive
+  // for as long as the pool needs it.
+  if (st_ != nullptr && !st_->job.done.load(std::memory_order_acquire)) {
+    st_->sched->wait(st_->job);
+  }
+}
+
+void Execution::wait() {
+  NABBITC_CHECK_MSG(st_ != nullptr, "wait() on an empty Execution");
+  if (!st_->job.done.load(std::memory_order_acquire)) {
+    st_->sched->wait(st_->job);
+  }
+}
+
+bool Execution::done() const noexcept {
+  return st_ != nullptr && st_->job.done.load(std::memory_order_acquire);
+}
+
+std::uint64_t Execution::nodes_created() const {
+  NABBITC_CHECK_MSG(st_ != nullptr, "empty Execution");
+  return st_->exec->nodes_created();
+}
+
+std::uint64_t Execution::nodes_computed() const {
+  NABBITC_CHECK_MSG(st_ != nullptr, "empty Execution");
+  return st_->exec->nodes_computed();
+}
+
+TaskGraphNode* Execution::find(Key key) const {
+  NABBITC_CHECK_MSG(st_ != nullptr, "empty Execution");
+  return st_->exec->find(key);
+}
+
+const rt::WorkerCounters& Execution::counters() {
+  NABBITC_CHECK_MSG(st_ != nullptr, "empty Execution");
+  wait();
+  if (!st_->finalized) {
+    st_->sched->wait_idle();
+    // Any submission other than our own inside [snapshot, now] — overlap
+    // during the run or executions that ran after us — pollutes the delta,
+    // and a reset_counters() inside the window destroys its base snapshot.
+    if (st_->window_polluted()) {
+      st_->attributable = false;
+      // A reset makes aggregate-minus-before meaningless (unsigned
+      // underflow); report zeros rather than garbage.
+      if (st_->reset_gen->load(std::memory_order_acquire) !=
+          st_->expected_reset_gen) {
+        st_->delta = rt::WorkerCounters{};
+        st_->finalized = true;
+        return st_->delta;
+      }
+    }
+    st_->delta = st_->sched->aggregate_counters();
+    st_->delta.subtract(st_->before);
+    st_->finalized = true;
+  }
+  return st_->delta;
+}
+
+bool Execution::counters_attributable() const {
+  NABBITC_CHECK_MSG(st_ != nullptr, "empty Execution");
+  // Report pollution as soon as it exists, not only after counters() has
+  // materialized the delta — callers guard counters() with this.
+  if (!st_->finalized && st_->attributable && st_->window_polluted()) {
+    return false;
+  }
+  return st_->attributable;
+}
+
+std::uint64_t Execution::submit_time_ns() const {
+  NABBITC_CHECK_MSG(st_ != nullptr, "empty Execution");
+  return st_->t_submit_ns;
+}
+
+std::uint64_t Execution::complete_time_ns() const {
+  NABBITC_CHECK_MSG(st_ != nullptr, "empty Execution");
+  return st_->t_done_ns;
+}
+
+trace::Trace Execution::trace_slice(const trace::Trace& full) const {
+  NABBITC_CHECK_MSG(st_ != nullptr, "empty Execution");
+  trace::Trace out;
+  out.num_workers = full.num_workers;
+  out.dropped = full.dropped;
+  const std::uint64_t t0 = st_->t_submit_ns;
+  const std::uint64_t t1 = st_->t_done_ns;
+  for (const trace::Event& e : full.events) {
+    if (e.ts_ns >= t0 && e.ts_ns <= t1) out.events.push_back(e);
+  }
+  if (!out.events.empty()) {
+    out.origin_ns = out.events.front().ts_ns;
+    for (const trace::Event& e : out.events) {
+      out.end_ns = std::max(out.end_ns, trace::event_end_ns(e));
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Runtime
+
+Runtime::Runtime(RuntimeOptions opts) : opts_(opts) {
+  NABBITC_CHECK_MSG(is_task_graph(opts_.variant),
+                    "RuntimeOptions.variant must be a task-graph variant "
+                    "(nabbit|nabbitc); serial/omp variants have no runtime");
+  rt::SchedulerConfig sc;
+  sc.num_workers = opts_.workers;
+  sc.topology = opts_.topology;
+  sc.pin_threads = opts_.pin_threads;
+  sc.seed = opts_.seed;
+  sc.trace = opts_.trace;
+  sc.steal = opts_.steal_tuning ? *opts_.steal_tuning
+                                : steal_policy_for(opts_.variant);
+  sched_ = std::make_unique<rt::Scheduler>(sc);
+  opts_.workers = sched_->num_workers();  // resolve workers=0
+}
+
+Runtime::~Runtime() = default;  // ~Scheduler drains in-flight jobs
+
+Execution Runtime::submit(GraphSpec& spec, Key sink) {
+  auto st = std::make_unique<detail::ExecutionState>();
+  st->sched = sched_.get();
+  st->sink = sink;
+  nabbit::DynamicExecutor::Options eo;
+  eo.count_locality = opts_.count_locality;
+  // The variant picks the executor class here and picked the steal policy
+  // at construction — one switch, so they cannot disagree.
+  if (opts_.variant == Variant::kNabbitC) {
+    st->exec = std::make_unique<nabbit::ColoredDynamicExecutor>(*sched_, spec, eo);
+  } else {
+    st->exec = std::make_unique<nabbit::DynamicExecutor>(*sched_, spec, eo);
+  }
+  // Counter attribution is only meaningful when nothing else runs in this
+  // execution's window; note the conditions now so counters() can refuse
+  // to lie later. The snapshot needs a fully parked pool (lingering
+  // thieves still bump steal counters right after a job ends), and
+  // wait_idle cannot be called from a worker. Exactly one submission — our
+  // own — may happen after the count below; counters() re-checks, along
+  // with the reset_counters() generation.
+  st->expected_submissions = sched_->submissions() + 1;
+  st->reset_gen = &counter_reset_gen_;
+  st->expected_reset_gen = counter_reset_gen_.load(std::memory_order_acquire);
+  st->attributable =
+      rt::Scheduler::current() == nullptr && !sched_->job_active();
+  if (st->attributable) {
+    sched_->wait_idle();
+    st->before = sched_->aggregate_counters();
+  }
+  st->t_submit_ns = now_ns();
+  detail::ExecutionState* raw = st.get();
+  st->job.fn = [raw](rt::Worker& w) {
+    raw->exec->run_root(w, raw->sink);
+    raw->t_done_ns = now_ns();
+  };
+  sched_->submit(st->job);
+  return Execution(std::move(st));
+}
+
+Execution Runtime::run(GraphSpec& spec, Key sink) {
+  Execution e = submit(spec, sink);
+  e.wait();
+  return e;
+}
+
+void Runtime::run_parallel(std::function<void(rt::Worker&)> fn) {
+  sched_->execute(std::move(fn));
+}
+
+std::unique_ptr<nabbit::StaticExecutor> Runtime::static_graph() {
+  if (opts_.variant == Variant::kNabbitC) {
+    return std::make_unique<nabbit::ColoredStaticExecutor>(*sched_);
+  }
+  return std::make_unique<nabbit::StaticExecutor>(*sched_);
+}
+
+std::uint32_t Runtime::workers() const noexcept { return sched_->num_workers(); }
+
+const numa::Topology& Runtime::topology() const noexcept {
+  return sched_->topology();
+}
+
+rt::WorkerCounters Runtime::counters() const {
+  sched_->wait_idle();
+  return sched_->aggregate_counters();
+}
+
+void Runtime::reset_counters() {
+  sched_->wait_idle();
+  sched_->reset_counters();
+  // Outstanding Executions' delta base snapshots are now stale; the bump
+  // lets them detect it instead of reporting underflowed deltas.
+  counter_reset_gen_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+bool Runtime::tracing() const noexcept { return sched_->tracing(); }
+
+trace::Trace Runtime::collect_trace() const {
+  sched_->wait_idle();
+  return trace::collect(*sched_);
+}
+
+void Runtime::reset_trace() {
+  sched_->wait_idle();
+  sched_->reset_trace();
+}
+
+void Runtime::wait_idle() const { sched_->wait_idle(); }
+
+}  // namespace nabbitc::api

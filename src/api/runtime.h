@@ -1,0 +1,193 @@
+// nabbitc::Runtime — the embeddable façade over the whole runtime stack.
+//
+// One Runtime is one long-lived virtual machine: it owns the work-stealing
+// scheduler (worker threads, steal policy, optional tracing) for its whole
+// lifetime and serves any number of graph executions. Construction takes a
+// single declarative RuntimeOptions; the scheduler's steal policy AND the
+// executor class are both derived from options.variant, so the historical
+// "colored executor on a random-steal scheduler" mismatch bug cannot be
+// written through this API.
+//
+//   api::RuntimeOptions opts;
+//   opts.workers = 8;
+//   opts.variant = api::Variant::kNabbitC;
+//   api::Runtime rt(opts);
+//   MySpec spec(...);                      // your GraphSpec subclass
+//   api::Execution e = rt.run(spec, sink); // or submit() for async
+//
+// Concurrency: submit() may be called from any thread, including while
+// other executions are in flight — all executions share the worker pool,
+// each with its own executor, node map and task scope, so independent
+// graphs interleave on the same threads. wait()/run() return once that
+// execution's sink has been computed; an external thread blocks, while a
+// worker thread (e.g. a node submitting a sub-graph) helps run pool work
+// until the execution completes instead of blocking.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "api/graph.h"
+#include "api/variant.h"
+#include "nabbit/executor.h"
+#include "nabbit/static_executor.h"
+#include "rt/scheduler.h"
+#include "trace/collector.h"
+
+namespace nabbitc::api {
+
+struct RuntimeOptions {
+  /// Worker-thread count (== number of colors). 0 = host concurrency.
+  std::uint32_t workers = 0;
+  /// Which task-graph scheduler this runtime embodies (kNabbit or
+  /// kNabbitC); selects both the steal policy and the executor class.
+  Variant variant = Variant::kNabbitC;
+  /// Topology for pinning and the NUMA-domain locality metric.
+  numa::Topology topology = numa::Topology::host();
+  /// Pin worker w to core topology.core_of_worker(w) (best effort).
+  bool pin_threads = false;
+  std::uint64_t seed = 0x9e3779b9u;
+  /// Event tracing (src/trace/). Off by default — when off the hot paths
+  /// pay a single null-pointer branch.
+  trace::TraceConfig trace{};
+  /// Record the paper's SectionV-B locality metric while executing.
+  bool count_locality = true;
+  /// Ablation-only override of the variant-derived steal policy (knob
+  /// sweeps like bench_ablation_policy). The executor class still follows
+  /// `variant`, so tuning knobs cannot reintroduce the mismatch bug.
+  std::optional<rt::StealPolicy> steal_tuning{};
+};
+
+namespace detail {
+struct ExecutionState;
+}  // namespace detail
+
+/// Waitable handle for one submitted graph execution. Move-only; the
+/// destructor waits for completion (so a dropped handle cannot leave its
+/// GraphSpec in use). Handles must not outlive their Runtime if any
+/// accessor other than done()/wait() is still needed.
+class Execution {
+ public:
+  Execution() noexcept = default;
+  ~Execution();
+  Execution(Execution&&) noexcept;
+  Execution& operator=(Execution&&) noexcept;
+  Execution(const Execution&) = delete;
+  Execution& operator=(const Execution&) = delete;
+
+  /// True for a handle returned by submit()/run() (vs default-constructed).
+  bool valid() const noexcept { return st_ != nullptr; }
+
+  /// Returns once the sink has computed. External threads block; a worker
+  /// thread helps run pool work instead (see the class comment).
+  /// Idempotent; run() returns already-waited handles.
+  void wait();
+  bool done() const noexcept;
+
+  /// Node statistics of this execution's own executor (exact, per
+  /// execution). Call after wait().
+  std::uint64_t nodes_created() const;
+  std::uint64_t nodes_computed() const;
+
+  /// Looks up a node in this execution's map — how embedders read results
+  /// off computed nodes. nullptr for keys the execution never reached.
+  /// Stable (and most useful) after wait().
+  TaskGraphNode* find(Key key) const;
+
+  /// Scheduler-counter delta attributed to this execution: aggregate
+  /// counters at the first counters() call minus at submission. Only
+  /// attributable when NO other submission happened anywhere in that
+  /// window — neither overlapping this execution nor between its
+  /// completion and the counters() call; counters_attributable() reports
+  /// whether that held (query counters per execution, as it completes).
+  /// The first call quiesces the pool (wait_idle).
+  const rt::WorkerCounters& counters();
+  bool counters_attributable() const;
+
+  /// Submission / completion timestamps (now_ns clock, the trace clock).
+  std::uint64_t submit_time_ns() const;
+  std::uint64_t complete_time_ns() const;
+
+  /// The slice of a collected trace that overlaps this execution's
+  /// [submit, complete] window — per-execution attribution of a
+  /// Runtime::collect_trace() result. Exact attribution again requires
+  /// serialized submissions (concurrent executions share the window).
+  trace::Trace trace_slice(const trace::Trace& full) const;
+
+ private:
+  friend class Runtime;
+  explicit Execution(std::unique_ptr<detail::ExecutionState> st) noexcept;
+
+  std::unique_ptr<detail::ExecutionState> st_;
+};
+
+class Runtime {
+ public:
+  explicit Runtime(RuntimeOptions opts = {});
+  ~Runtime();  // waits for every in-flight execution, then stops the pool
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Asynchronously executes the graph described by `spec`, sunk at `sink`.
+  /// `spec` must stay alive until the returned Execution completes (wait()
+  /// or handle destruction). Thread-safe; concurrent submissions share the
+  /// worker pool. Task-frame memory recycles whenever the pool drains;
+  /// submission patterns that keep executions in flight at all times hold
+  /// frame memory at the busy period's high-watermark (see the memory
+  /// contract in rt/scheduler.h) — let the pool go idle periodically on
+  /// long-lived servers.
+  Execution submit(GraphSpec& spec, Key sink);
+
+  /// submit() + wait(): runs the graph to completion.
+  Execution run(GraphSpec& spec, Key sink);
+
+  /// Escape hatch for plain fork-join work on the pool (parallel_for,
+  /// TaskGroup trees): runs `fn` as a root job and waits. Must not be
+  /// called from a worker thread.
+  void run_parallel(std::function<void(rt::Worker&)> fn);
+
+  /// Builder for fully-known (static) graphs; the executor subclass is
+  /// chosen from the runtime's variant, like submit() does for dynamic
+  /// graphs. Usage: add_node()* -> prepare() -> run() (re-run via reset()).
+  std::unique_ptr<nabbit::StaticExecutor> static_graph();
+
+  std::uint32_t workers() const noexcept;
+  Variant variant() const noexcept { return opts_.variant; }
+  const numa::Topology& topology() const noexcept;
+  const RuntimeOptions& options() const noexcept { return opts_; }
+
+  /// Quiesces the pool, then sums per-worker counters (cumulative since the
+  /// last reset_counters).
+  rt::WorkerCounters counters() const;
+  void reset_counters();
+
+  bool tracing() const noexcept;
+  /// Quiesces the pool, then snapshots and merges every worker's event
+  /// ring. Cumulative until reset_trace().
+  trace::Trace collect_trace() const;
+  void reset_trace();
+
+  /// Blocks until every submitted execution has finished and all workers
+  /// have parked.
+  void wait_idle() const;
+
+  /// The underlying scheduler — for white-box tests and micro-benchmarks
+  /// that need Worker-level access. Embedders should not need this.
+  rt::Scheduler& scheduler() noexcept { return *sched_; }
+  const rt::Scheduler& scheduler() const noexcept { return *sched_; }
+
+ private:
+  friend class Execution;
+
+  RuntimeOptions opts_;
+  std::unique_ptr<rt::Scheduler> sched_;
+  /// Bumped by reset_counters(); outstanding Executions use it to detect
+  /// that their delta base snapshot was destroyed.
+  std::atomic<std::uint64_t> counter_reset_gen_{0};
+};
+
+}  // namespace nabbitc::api

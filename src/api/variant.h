@@ -1,0 +1,60 @@
+// The single scheduler-variant enum of the public API.
+//
+// Historically the harness had its own five-value Variant and the nabbit
+// layer a two-value TaskGraphVariant, with name/label helpers duplicated in
+// both; every bench had to keep them consistent by hand. api::Variant is
+// now the only variant vocabulary: the paper's five evaluated schedulers,
+// one canonical name per variant, and one string parser used by every
+// bench/example `variant(s)=` flag.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rt/steal_policy.h"
+
+namespace nabbitc::api {
+
+/// Scheduler variants of the paper's evaluation (Table I / Figures 6-9).
+enum class Variant : std::uint8_t {
+  kSerial = 0,     // single-threaded reference
+  kOmpStatic = 1,  // OpenMP-style loop, static schedule
+  kOmpGuided = 2,  // OpenMP-style loop, guided schedule
+  kNabbit = 3,     // task graph, random steals (Agrawal et al., IPDPS'10)
+  kNabbitC = 4,    // task graph, colored steals (this paper)
+};
+
+inline constexpr Variant kAllVariants[] = {
+    Variant::kSerial, Variant::kOmpStatic, Variant::kOmpGuided,
+    Variant::kNabbit, Variant::kNabbitC};
+
+/// Canonical name, as printed by every table and accepted by parse_variant:
+/// "serial", "omp-static", "omp-guided", "nabbit", "nabbitc".
+const char* variant_name(Variant v) noexcept;
+
+/// True for the variants that run on the task-graph runtime (and can be
+/// served by a Runtime).
+constexpr bool is_task_graph(Variant v) noexcept {
+  return v == Variant::kNabbit || v == Variant::kNabbitC;
+}
+
+/// The steal policy a task-graph variant prescribes. This pairing is the
+/// one the executor selection in Runtime::submit also derives from the
+/// variant, so a policy/executor mismatch cannot be expressed through the
+/// façade. Aborts for non-task-graph variants.
+rt::StealPolicy steal_policy_for(Variant v);
+
+/// Parses a canonical variant name; nullopt for unknown names.
+std::optional<Variant> try_parse_variant(std::string_view name) noexcept;
+
+/// Parses a canonical variant name; aborts with a message listing every
+/// valid name on failure (the shared behaviour of all `variant(s)=` flags).
+Variant parse_variant(const std::string& name);
+
+/// Comma-separated list of variant names, e.g. "nabbit,nabbitc"; aborts on
+/// any unknown name. Empty input yields an empty vector.
+std::vector<Variant> parse_variant_list(const std::string& names);
+
+}  // namespace nabbitc::api

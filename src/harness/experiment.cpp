@@ -6,22 +6,6 @@
 
 namespace nabbitc::harness {
 
-const char* variant_label(Variant v) noexcept {
-  switch (v) {
-    case Variant::kSerial:
-      return "serial";
-    case Variant::kOmpStatic:
-      return "omp-static";
-    case Variant::kOmpGuided:
-      return "omp-guided";
-    case Variant::kNabbit:
-      return "nabbit";
-    case Variant::kNabbitC:
-      return "nabbitc";
-  }
-  return "?";
-}
-
 RealRunResult run_real(wl::Workload& workload, Variant variant,
                        const RealRunOptions& opts) {
   RealRunResult out;
@@ -57,25 +41,33 @@ RealRunResult run_real(wl::Workload& workload, Variant variant,
     }
     case Variant::kNabbit:
     case Variant::kNabbitC: {
-      rt::SchedulerConfig sc;
-      sc.num_workers = opts.workers;
-      sc.topology = opts.topology;
-      sc.pin_threads = opts.pin_threads;
-      sc.steal = variant == Variant::kNabbitC ? rt::StealPolicy::nabbitc()
-                                              : rt::StealPolicy::nabbit();
-      sc.trace = opts.trace;
-      rt::Scheduler sched(sc);
-      const auto tg_variant = variant == Variant::kNabbitC
-                                  ? nabbit::TaskGraphVariant::kNabbitC
-                                  : nabbit::TaskGraphVariant::kNabbit;
+      // One persistent runtime serves every repeat; each repeat is one
+      // graph submission. (Building and tearing a scheduler down per
+      // repeat — threads, rings, arenas — used to dwarf tiny runs.)
+      api::RuntimeOptions ro;
+      ro.workers = opts.workers;
+      ro.variant = variant;
+      ro.topology = opts.topology;
+      ro.pin_threads = opts.pin_threads;
+      ro.trace = opts.trace;
+      api::Runtime rt(ro);
       for (std::uint32_t r = 0; r < opts.repeats; ++r) {
         workload.reset();
         Timer t;
-        workload.run_taskgraph(sched, tg_variant, opts.coloring);
+        workload.run_taskgraph(rt, opts.coloring);
         out.seconds.add(t.seconds());
+        // Per-repeat delta accounting on the shared pool: fold this
+        // repeat's counters into the result, then verify the reset left
+        // the workers clean for the next repeat.
+        out.counters.merge(rt.counters());
+        rt.reset_counters();
+        const rt::WorkerCounters clean = rt.counters();
+        NABBITC_CHECK_MSG(clean.tasks_executed == 0 && clean.spawns == 0 &&
+                              clean.steal_attempts_total() == 0 &&
+                              clean.locality.nodes == 0,
+                          "worker counters did not reset between repeats");
       }
-      out.counters = sched.aggregate_counters();
-      if (sched.tracing()) out.trace = trace::collect(sched);
+      if (rt.tracing()) out.trace = rt.collect_trace();
       break;
     }
   }
@@ -105,10 +97,8 @@ sim::SimResult run_sim(const wl::Workload& workload, Variant variant,
     case Variant::kOmpGuided:
       return sim::simulate_loop(dag, cfg, loop::Schedule::kGuided);
     case Variant::kNabbit:
-      cfg.steal = rt::StealPolicy::nabbit();
-      return sim::simulate(dag, cfg);
     case Variant::kNabbitC:
-      cfg.steal = rt::StealPolicy::nabbitc();
+      cfg.steal = api::steal_policy_for(variant);
       return sim::simulate(dag, cfg);
     default:
       NABBITC_CHECK(false);

@@ -3,6 +3,10 @@
 // Runs (workload x scheduler-variant x worker-count) cells with repeats,
 // returning wall-clock samples plus scheduler counters, and provides the
 // simulator-side equivalents used to regenerate the paper's 80-core curves.
+//
+// Scheduler variants are the single api::Variant (api/variant.h); the
+// task-graph variants execute on one persistent nabbitc::Runtime per
+// run_real call — constructed once, reused across every repeat.
 #pragma once
 
 #include <cstdint>
@@ -10,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "api/nabbitc.h"
 #include "sim/sim_engine.h"
 #include "support/config.h"
 #include "support/stats.h"
@@ -18,16 +23,7 @@
 
 namespace nabbitc::harness {
 
-/// Scheduler variants of the paper's evaluation.
-enum class Variant : std::uint8_t {
-  kSerial = 0,
-  kOmpStatic = 1,
-  kOmpGuided = 2,
-  kNabbit = 3,
-  kNabbitC = 4,
-};
-
-const char* variant_label(Variant v) noexcept;
+using api::Variant;
 
 struct RealRunResult {
   Samples seconds;
@@ -50,6 +46,9 @@ struct RealRunOptions {
 
 /// Runs `workload` under `variant` on real threads; workload must outlive
 /// the call. prepare() is called with the right color count internally.
+/// Task-graph variants share one Runtime across all repeats; per-repeat
+/// counters are accumulated into the result and the harness asserts the
+/// counter reset between repeats leaves the pool clean.
 RealRunResult run_real(wl::Workload& workload, Variant variant,
                        const RealRunOptions& opts);
 

@@ -20,13 +20,14 @@ TaskGraphNode* DynamicExecutor::create_node(NodeArena& arena, Key key) {
 }
 
 void DynamicExecutor::run(Key sink_key) {
-  sched_.execute([this, sink_key](rt::Worker& w) {
-    auto [node, created] = map_.insert_or_get(
-        sink_key, [this](NodeArena& a, Key k) { return create_node(a, k); });
-    if (created) init_node_and_compute(w, node);
-  });
-  TaskGraphNode* sink = map_.find(sink_key);
-  NABBITC_CHECK_MSG(sink != nullptr && sink->computed(),
+  sched_.execute([this, sink_key](rt::Worker& w) { run_root(w, sink_key); });
+}
+
+void DynamicExecutor::run_root(rt::Worker& w, Key sink_key) {
+  auto [node, created] = map_.insert_or_get(
+      sink_key, [this](NodeArena& a, Key k) { return create_node(a, k); });
+  if (created) init_node_and_compute(w, node);
+  NABBITC_CHECK_MSG(node->computed(),
                     "sink did not complete — task graph has a cycle or a "
                     "predecessor threw");
 }

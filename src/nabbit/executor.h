@@ -45,7 +45,17 @@ class DynamicExecutor : public NodeLookup {
 
   /// Executes the task graph rooted (sunk) at `sink_key`; returns when the
   /// sink and therefore all its transitive predecessors have been computed.
+  /// Synchronous convenience over run_root: must not be called from a
+  /// worker thread.
   void run(Key sink_key);
+
+  /// The body of run() for a root already adopted by a worker: inserts the
+  /// sink and drives the dependence protocol to completion. This is what
+  /// api::Runtime submits, so that many executions — each with its own
+  /// executor, node map and arenas — can share one scheduler concurrently.
+  /// Every spawn is synced before returning, so on return the sink (and
+  /// all transitive predecessors) are computed; aborts if not (cycle).
+  void run_root(rt::Worker& w, Key sink_key);
 
   TaskGraphNode* find(Key key) const override { return map_.find(key); }
   rt::Scheduler& scheduler() noexcept { return sched_; }

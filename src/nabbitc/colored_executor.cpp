@@ -51,13 +51,4 @@ void ColoredStaticExecutor::spawn_ready(rt::Worker& w, rt::TaskGroup& g,
       ReadyLeafStatic{this});
 }
 
-std::unique_ptr<DynamicExecutor> make_dynamic_executor(
-    TaskGraphVariant v, rt::Scheduler& sched, GraphSpec& spec,
-    DynamicExecutor::Options opts) {
-  if (v == TaskGraphVariant::kNabbitC) {
-    return std::make_unique<ColoredDynamicExecutor>(sched, spec, opts);
-  }
-  return std::make_unique<DynamicExecutor>(sched, spec, opts);
-}
-
 }  // namespace nabbitc::nabbit

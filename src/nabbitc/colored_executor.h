@@ -36,21 +36,8 @@ class ColoredStaticExecutor final : public StaticExecutor {
                    std::size_t n) override;
 };
 
-/// Scheduler variants evaluated in the paper.
-enum class TaskGraphVariant : std::uint8_t {
-  kNabbit = 0,   // vanilla: random steals, order-oblivious spawning
-  kNabbitC = 1,  // colored: morphing continuations + colored steals
-};
-
-inline const char* variant_name(TaskGraphVariant v) noexcept {
-  return v == TaskGraphVariant::kNabbit ? "nabbit" : "nabbitc";
-}
-
-/// Factory: the right executor for a variant. The caller must also
-/// configure the scheduler's StealPolicy to match (StealPolicy::nabbit() or
-/// StealPolicy::nabbitc()).
-std::unique_ptr<DynamicExecutor> make_dynamic_executor(
-    TaskGraphVariant v, rt::Scheduler& sched, GraphSpec& spec,
-    DynamicExecutor::Options opts = {});
+// Variant selection lives one layer up: api::Runtime derives both the
+// steal policy and the executor class (these or their Nabbit bases) from
+// the single api::Variant, so a policy/executor mismatch cannot be wired.
 
 }  // namespace nabbitc::nabbit

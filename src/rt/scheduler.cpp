@@ -148,7 +148,12 @@ Scheduler::Scheduler(SchedulerConfig cfg) : cfg_(cfg) {
 
 Scheduler::~Scheduler() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    // Drain in-flight jobs first: tearing the pool down under live work
+    // would strand submitted roots.
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_done_.wait(lk, [&] {
+      return active_jobs_.load(std::memory_order_acquire) == 0;
+    });
     shutdown_ = true;
   }
   cv_start_.notify_all();
@@ -157,19 +162,88 @@ Scheduler::~Scheduler() {
 
 Worker* Scheduler::current() noexcept { return tl_worker; }
 
+void Scheduler::submit(RootJob& job) {
+  NABBITC_CHECK_MSG(job.fn != nullptr, "RootJob has no function");
+  job.done.store(false, std::memory_order_relaxed);
+  job.next = nullptr;
+  // Order matters: a worker that adopts the job must already see the pool
+  // as active, so its service loop cannot exit under it.
+  active_jobs_.fetch_add(1, std::memory_order_acq_rel);
+  submit_epoch_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (inject_tail_ != nullptr) {
+      inject_tail_->next = &job;
+    } else {
+      inject_head_ = &job;
+    }
+    inject_tail_ = &job;
+    inject_count_.fetch_add(1, std::memory_order_release);
+  }
+  cv_start_.notify_all();
+}
+
+Scheduler::RootJob* Scheduler::pop_root() {
+  std::lock_guard<std::mutex> lk(mu_);
+  RootJob* j = inject_head_;
+  if (j != nullptr) {
+    inject_head_ = j->next;
+    if (inject_head_ == nullptr) inject_tail_ = nullptr;
+    inject_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  return j;
+}
+
+bool Scheduler::finish_root(RootJob& job) {
+  // Decrement before signalling: wait_idle and the destructor wait on
+  // active_jobs_ under mu_ and would otherwise miss the last notification.
+  const bool last = active_jobs_.fetch_sub(1, std::memory_order_acq_rel) == 1;
+  if (last) quiescent_gen_.fetch_add(1, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job.done.store(true, std::memory_order_release);
+  }
+  cv_done_.notify_all();
+  return last;  // `job` may be freed by its waiter from here on
+}
+
+void Scheduler::wait(const RootJob& job) {
+  if (Worker* w = current()) {
+    // A worker must not block on a condition variable mid-job: it helps
+    // instead, stealing and adopting queued roots (possibly `job` itself)
+    // until the waited job completes. This is what makes submit()+wait()
+    // usable from inside a running task, even on a single-worker pool.
+    Backoff backoff;
+    while (!job.done.load(std::memory_order_acquire)) {
+      if (try_progress(*w)) {
+        backoff.reset();
+      } else {
+        backoff.pause();
+      }
+    }
+    return;
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_done_.wait(lk, [&] { return job.done.load(std::memory_order_acquire); });
+}
+
+void Scheduler::wait_idle() {
+  NABBITC_CHECK_MSG(current() == nullptr,
+                    "Scheduler::wait_idle must not be called from a worker thread");
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_done_.wait(lk, [&] {
+    return active_jobs_.load(std::memory_order_acquire) == 0 &&
+           parked_workers_ == num_workers();
+  });
+}
+
 void Scheduler::execute(std::function<void(Worker&)> root) {
   NABBITC_CHECK_MSG(current() == nullptr,
                     "Scheduler::execute must not be called from a worker thread");
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    job_root_ = std::move(root);
-    job_done_.store(false, std::memory_order_release);
-    workers_running_ = num_workers();
-    ++job_epoch_;
-  }
-  cv_start_.notify_all();
-  std::unique_lock<std::mutex> lk(mu_);
-  cv_done_.wait(lk, [&] { return workers_running_ == 0; });
+  RootJob job;
+  job.fn = std::move(root);
+  submit(job);
+  wait(job);
 }
 
 void Scheduler::worker_main(std::uint32_t index) {
@@ -181,40 +255,92 @@ void Scheduler::worker_main(std::uint32_t index) {
   for (;;) {
     {
       std::unique_lock<std::mutex> lk(mu_);
-      cv_start_.wait(lk, [&] { return shutdown_ || job_epoch_ != w.seen_epoch_; });
+      ++parked_workers_;
+      if (parked_workers_ == num_workers() &&
+          active_jobs_.load(std::memory_order_acquire) == 0) {
+        cv_done_.notify_all();  // wait_idle watches for full quiescence
+      }
+      cv_start_.wait(lk, [&] {
+        return shutdown_ || active_jobs_.load(std::memory_order_acquire) > 0;
+      });
+      --parked_workers_;
       if (shutdown_) return;
-      w.seen_epoch_ = job_epoch_;
     }
-    run_job(w);
-    {
-      std::lock_guard<std::mutex> lk(mu_);
-      if (--workers_running_ == 0) cv_done_.notify_all();
-    }
+    service_loop(w);
   }
 }
 
-void Scheduler::run_job(Worker& w) {
-  // Per-job policy state. Each worker resets only its own state, before it
-  // can observe any of the new job's tasks.
-  w.first_steal_done_ = false;
-  w.forced_attempts_ = 0;
-  w.steal_round_ = 0;
-  w.arena_.reset();
-  w.job_start_ns_ = now_ns();
+void Scheduler::rearm_epoch(Worker& w) {
+  // New submission since this worker last looked: rearm the per-job
+  // steal-policy state (the paper's forced first colored steal restarts
+  // per job). Each worker resets only its own state.
+  const std::uint32_t e = submit_epoch_.load(std::memory_order_relaxed);
+  if (e != w.seen_epoch_) {
+    w.seen_epoch_ = e;
+    w.first_steal_done_ = false;
+    w.forced_attempts_ = 0;
+    w.steal_round_ = 0;
+    w.job_start_ns_ = now_ns();
+  }
+}
 
-  if (w.id_ == 0) {
-    job_root_(w);
-    job_done_.store(true, std::memory_order_release);
-  } else {
-    Backoff backoff;
-    while (job_active()) {
-      if (Task* t = w.find_task()) {
-        w.run_task(t);
-        backoff.reset();
-      } else {
-        backoff.pause();
-      }
+bool Scheduler::try_progress(Worker& w) {
+  if (Task* t = w.find_task()) {
+    // Rearm before running: the task may belong to a submission that
+    // landed after this worker's last epoch check.
+    rearm_epoch(w);
+    w.run_task(t);
+    // Frames this task spawned into our arena are now accounted: any
+    // quiescence observed after this load also postdates them.
+    w.clean_gen_ = quiescent_gen_.load(std::memory_order_acquire);
+    return true;
+  }
+  if (inject_count_.load(std::memory_order_acquire) > 0) {
+    if (RootJob* job = pop_root()) {
+      rearm_epoch(w);
+      job->fn(w);
+      const bool last = finish_root(*job);
+      // If that was the last active job, every frame everywhere is
+      // garbage — rewind our arena right away (the common serialized-
+      // submission case then reuses its blocks every run, keeping the
+      // steady state allocation-free).
+      if (last) w.arena_.reset();
+      w.clean_gen_ = quiescent_gen_.load(std::memory_order_acquire);
+      return true;
     }
+  }
+  return false;
+}
+
+void Scheduler::service_loop(Worker& w) {
+  Backoff backoff;
+  while (active_jobs_.load(std::memory_order_acquire) > 0) {
+    // Idle workers rearm eagerly too: a thief's forced-first-colored-steal
+    // *attempts* (not just successes) must be attributed to the new job.
+    rearm_epoch(w);
+
+    if (try_progress(w)) {
+      backoff.reset();
+      continue;
+    }
+
+    // Idle miss. If the pool has been fully quiescent since our last task,
+    // all frames in our arena predate that quiescent moment and no live
+    // reference to them can exist; rewind (blocks stay mapped, so stale
+    // thief peeks remain benign — see rt/arena.h).
+    const std::uint64_t g = quiescent_gen_.load(std::memory_order_acquire);
+    if (g != w.clean_gen_) {
+      w.arena_.reset();
+      w.clean_gen_ = g;
+    }
+    backoff.pause();
+  }
+  // Leaving the service loop: active_jobs_ hit zero, so the same recycling
+  // argument applies before parking.
+  const std::uint64_t g = quiescent_gen_.load(std::memory_order_acquire);
+  if (g != w.clean_gen_) {
+    w.arena_.reset();
+    w.clean_gen_ = g;
   }
 }
 

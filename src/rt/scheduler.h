@@ -4,6 +4,22 @@
 // runtime of the paper (see DESIGN.md for the mapping). One OS thread per
 // worker; each worker owns a Chase-Lev deque whose entries advertise color
 // masks; thieves run the colored-steal policy of SectionIII.
+//
+// Job model: the scheduler is a persistent service. Clients enqueue root
+// jobs with submit() — from any thread, concurrently — and each root is
+// adopted by whichever worker finds it first. While any job is active every
+// worker runs the service loop (own deque, then steal, then the injection
+// queue), so tasks from concurrently submitted jobs interleave freely on
+// the shared pool. execute() is the synchronous submit+wait convenience the
+// single-job callers (and the api::Runtime façade's run()) build on.
+//
+// Memory contract: per-worker frame arenas rewind only at pool quiescence
+// (no job in flight), when no live frame can exist anywhere. Serialized
+// submissions therefore reuse arena blocks run after run; overlapping
+// submissions hold frame memory at the busy period's high-watermark, and a
+// client that NEVER lets the pool drain grows arena memory for as long as
+// the overlap persists (tracked in ROADMAP.md — fixing it needs per-frame
+// lifetime accounting, e.g. epoch-segmented arenas).
 #pragma once
 
 #include <atomic>
@@ -146,27 +162,60 @@ class Worker {
   Pcg32 rng_;
   trace::EventRing* trace_ring_ = nullptr;  // null <=> tracing disabled
 
-  // Per-job steal-policy state.
+  // Per-submission steal-policy state (reset whenever the worker observes a
+  // new submission epoch; see Scheduler::service_loop).
   bool first_steal_done_ = false;
   std::uint64_t forced_attempts_ = 0;
   std::uint32_t steal_round_ = 0;
   std::uint64_t job_start_ns_ = 0;
   std::uint32_t seen_epoch_ = 0;
+  /// Quiescence generation observed right after this worker last ran a task
+  /// (or last rewound its arena). When the scheduler-wide generation moves
+  /// past this value, every frame in arena_ predates a moment with zero
+  /// active jobs and is garbage — the arena can be rewound.
+  std::uint64_t clean_gen_ = 0;
 };
 
-/// Owns the worker threads. One Scheduler instance == one virtual machine;
-/// `execute` runs one job (task-graph execution) to completion.
+/// Owns the worker threads. One Scheduler instance == one virtual machine
+/// serving any number of concurrently submitted jobs.
 class Scheduler {
  public:
+  /// One unit of submittable root work. The submitter owns the storage; it
+  /// must stay alive until `done` (i.e. until wait() returns). `fn` runs on
+  /// whichever worker adopts the job and must not return before all work it
+  /// spawned has completed (wait on your TaskGroups), which every executor
+  /// in this codebase guarantees.
+  struct RootJob {
+    std::function<void(Worker&)> fn;
+    std::atomic<bool> done{false};
+    RootJob* next = nullptr;  // intrusive injection-queue link
+  };
+
   explicit Scheduler(SchedulerConfig cfg);
   ~Scheduler();
 
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
 
-  /// Runs `root` on worker 0 while all other workers steal; returns when
-  /// root has returned (root must wait on any TaskGroups it creates).
-  /// Must not be called from inside a worker.
+  /// Enqueues `job` for execution on the pool. Thread-safe; may be called
+  /// from external threads and from workers. Non-blocking.
+  void submit(RootJob& job);
+
+  /// Returns when `job.fn` has returned. External threads block on a
+  /// condition variable; a worker thread HELPS instead of blocking — it
+  /// keeps stealing and adopting queued roots (possibly `job` itself)
+  /// until the job completes, so submit+wait works from inside tasks even
+  /// on a single-worker pool.
+  void wait(const RootJob& job);
+
+  /// Blocks until no job is active AND every worker has parked. After this
+  /// returns (and until the next submit), counters, trace rings, and worker
+  /// state can be read or reset without racing the pool.
+  void wait_idle();
+
+  /// Submit + wait: runs `root` to completion on the pool. Kept as the
+  /// synchronous single-job entry point; concurrent callers simply become
+  /// concurrent submissions.
   void execute(std::function<void(Worker&)> root);
 
   std::uint32_t num_workers() const noexcept { return static_cast<std::uint32_t>(workers_.size()); }
@@ -176,14 +225,15 @@ class Scheduler {
   Worker& worker(std::uint32_t i) noexcept { return *workers_[i]; }
   const Worker& worker(std::uint32_t i) const noexcept { return *workers_[i]; }
 
-  /// Sum of all per-worker counters (cumulative since last reset).
+  /// Sum of all per-worker counters (cumulative since last reset). Only
+  /// exact when the pool is idle (wait_idle).
   WorkerCounters aggregate_counters() const;
   void reset_counters();
 
   /// True iff this scheduler records trace events.
   bool tracing() const noexcept { return !trace_rings_.empty(); }
   /// Worker i's event ring, or nullptr when tracing is disabled. Reading
-  /// ring contents is only valid while no job is running (see trace/ring.h).
+  /// ring contents is only valid while the pool is idle (see trace/ring.h).
   const trace::EventRing* trace_ring(std::uint32_t i) const noexcept {
     return tracing() ? trace_rings_[i].get() : nullptr;
   }
@@ -193,15 +243,34 @@ class Scheduler {
   /// The worker owned by the calling thread, or nullptr off the pool.
   static Worker* current() noexcept;
 
-  /// True while a job is running (used by worker steal loops).
+  /// True while any submitted job has not completed.
   bool job_active() const noexcept {
-    return !job_done_.load(std::memory_order_acquire);
+    return active_jobs_.load(std::memory_order_acquire) > 0;
+  }
+
+  /// Monotone count of submissions so far. Lets clients detect whether any
+  /// other job was submitted inside an interval (api::Execution counter
+  /// attribution).
+  std::uint32_t submissions() const noexcept {
+    return submit_epoch_.load(std::memory_order_acquire);
   }
 
  private:
   friend class Worker;
   void worker_main(std::uint32_t index);
-  void run_job(Worker& w);
+  void service_loop(Worker& w);
+  /// One attempt to advance the pool on `w`: run a task, or adopt and run
+  /// a queued root. Returns false when there was nothing to do. Shared by
+  /// the service loop and by workers helping inside wait().
+  bool try_progress(Worker& w);
+  /// Rearms w's per-submission steal-policy state when a new submission
+  /// epoch is visible. Called before w runs any newly acquired work.
+  void rearm_epoch(Worker& w);
+  RootJob* pop_root();
+  /// Marks `job` done and wakes its waiter; returns true when this was the
+  /// last active job (the caller may then rewind its arena). `job` must not
+  /// be touched after this returns — the submitter may already have freed it.
+  bool finish_root(RootJob& job);
 
   SchedulerConfig cfg_;
   std::vector<std::unique_ptr<Worker>> workers_;
@@ -209,13 +278,21 @@ class Scheduler {
   std::vector<std::thread> threads_;
 
   std::mutex mu_;
-  std::condition_variable cv_start_;
-  std::condition_variable cv_done_;
-  std::uint32_t job_epoch_ = 0;
-  std::uint32_t workers_running_ = 0;
-  bool shutdown_ = false;
-  std::function<void(Worker&)> job_root_;
-  std::atomic<bool> job_done_{true};
+  std::condition_variable cv_start_;  // workers park here while idle
+  std::condition_variable cv_done_;   // submitters wait here (and wait_idle)
+  RootJob* inject_head_ = nullptr;    // FIFO injection queue, under mu_
+  RootJob* inject_tail_ = nullptr;
+  std::uint32_t parked_workers_ = 0;  // under mu_
+  bool shutdown_ = false;             // under mu_
+
+  /// Jobs submitted but not finished. Workers serve while this is nonzero.
+  std::atomic<std::uint32_t> active_jobs_{0};
+  /// Queued-but-unadopted roots; lets the service loop skip the queue lock.
+  std::atomic<std::uint32_t> inject_count_{0};
+  /// Bumped per submission; workers reset per-job steal state on change.
+  std::atomic<std::uint32_t> submit_epoch_{0};
+  /// Bumped each time active_jobs_ drops to zero; drives arena recycling.
+  std::atomic<std::uint64_t> quiescent_gen_{0};
 };
 
 // ---------------------------------------------------------------------------
@@ -234,8 +311,8 @@ void TaskGroup::spawn(Worker& worker, const ColorMask& colors, F&& fn) {
 
 inline void TaskGroup::wait(Worker& worker) {
   // Work-first helping: drain own deque, then steal, until the group is
-  // done. Misses back off exactly like the idle loop in run_job — a bare
-  // yield() here made helping workers spin hotter than idle ones and
+  // done. Misses back off exactly like the idle loop in service_loop — a
+  // bare yield() here made helping workers spin hotter than idle ones and
   // syscall on every miss.
   Backoff backoff;
   while (!done()) {

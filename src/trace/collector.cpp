@@ -6,9 +6,6 @@
 
 namespace nabbitc::trace {
 
-namespace {
-
-/// End of an event on the timeline (interval events carry a duration).
 std::uint64_t event_end_ns(const Event& e) noexcept {
   switch (e.kind) {
     case EventKind::kTask:
@@ -18,6 +15,8 @@ std::uint64_t event_end_ns(const Event& e) noexcept {
       return e.ts_ns;
   }
 }
+
+namespace {
 
 void accumulate(rt::WorkerCounters& c, const Event& e) noexcept {
   switch (e.kind) {

@@ -50,6 +50,10 @@ Trace collect(const rt::Scheduler& sched);
 Trace merge(std::vector<std::vector<Event>> per_worker_events,
             std::uint32_t num_workers, std::uint64_t dropped);
 
+/// End of an event on the timeline (interval events carry a duration in
+/// arg_a; point events end where they start).
+std::uint64_t event_end_ns(const Event& e) noexcept;
+
 /// Recomputes rt::WorkerCounters from the trace (all workers summed).
 rt::WorkerCounters derive_counters(const Trace& trace);
 

@@ -256,8 +256,7 @@ class CgWorkload final : public Workload {
     }
   }
 
-  void run_taskgraph(rt::Scheduler& sched, nabbit::TaskGraphVariant variant,
-                     nabbit::ColoringMode coloring) override;
+  void run_taskgraph(api::Runtime& rt, nabbit::ColoringMode coloring) override;
 
   std::uint64_t checksum() const override {
     Digest d;
@@ -410,13 +409,10 @@ class CgSpec final : public nabbit::GraphSpec {
   nabbit::ColoringMode mode_;
 };
 
-void CgWorkload::run_taskgraph(rt::Scheduler& sched,
-                               nabbit::TaskGraphVariant variant,
-                               nabbit::ColoringMode coloring) {
-  NABBITC_CHECK(sched.num_workers() == num_colors_);
+void CgWorkload::run_taskgraph(api::Runtime& rt, nabbit::ColoringMode coloring) {
+  NABBITC_CHECK(rt.workers() == num_colors_);
   CgSpec spec(this, coloring);
-  auto ex = nabbit::make_dynamic_executor(variant, sched, spec);
-  ex->run(make_key(cfg_.iterations, kRrReduce, 0));
+  rt.run(spec, make_key(cfg_.iterations, kRrReduce, 0));
 }
 
 sim::TaskDag CgWorkload::build_dag(std::uint32_t num_colors,

@@ -121,8 +121,7 @@ class MgWorkload final : public Workload {
     }
   }
 
-  void run_taskgraph(rt::Scheduler& sched, nabbit::TaskGraphVariant variant,
-                     nabbit::ColoringMode coloring) override;
+  void run_taskgraph(api::Runtime& rt, nabbit::ColoringMode coloring) override;
 
   std::uint64_t checksum() const override {
     Digest d;
@@ -396,13 +395,10 @@ class MgSpec final : public nabbit::GraphSpec {
   nabbit::ColoringMode mode_;
 };
 
-void MgWorkload::run_taskgraph(rt::Scheduler& sched,
-                               nabbit::TaskGraphVariant variant,
-                               nabbit::ColoringMode coloring) {
-  NABBITC_CHECK(sched.num_workers() == num_colors_);
+void MgWorkload::run_taskgraph(api::Runtime& rt, nabbit::ColoringMode coloring) {
+  NABBITC_CHECK(rt.workers() == num_colors_);
   MgSpec spec(this, coloring);
-  auto ex = nabbit::make_dynamic_executor(variant, sched, spec);
-  ex->run(key_pack(num_phases(), 0));
+  rt.run(spec, key_pack(num_phases(), 0));
 }
 
 sim::TaskDag MgWorkload::build_dag(std::uint32_t num_colors,

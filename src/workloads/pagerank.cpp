@@ -83,8 +83,7 @@ class PageRankWorkload final : public Workload {
     }
   }
 
-  void run_taskgraph(rt::Scheduler& sched, nabbit::TaskGraphVariant variant,
-                     nabbit::ColoringMode coloring) override;
+  void run_taskgraph(api::Runtime& rt, nabbit::ColoringMode coloring) override;
 
   std::uint64_t checksum() const override {
     Digest d;
@@ -283,13 +282,11 @@ class PageRankSpec final : public nabbit::GraphSpec {
   nabbit::ColoringMode mode_;
 };
 
-void PageRankWorkload::run_taskgraph(rt::Scheduler& sched,
-                                     nabbit::TaskGraphVariant variant,
+void PageRankWorkload::run_taskgraph(api::Runtime& rt,
                                      nabbit::ColoringMode coloring) {
-  NABBITC_CHECK(sched.num_workers() == num_colors_);
+  NABBITC_CHECK(rt.workers() == num_colors_);
   PageRankSpec spec(this, coloring);
-  auto ex = nabbit::make_dynamic_executor(variant, sched, spec);
-  ex->run(key_pack(cfg_.iterations, cfg_.num_blocks));  // final barrier = sink
+  rt.run(spec, key_pack(cfg_.iterations, cfg_.num_blocks));  // final barrier = sink
 }
 
 sim::TaskDag PageRankWorkload::build_dag(std::uint32_t num_colors,

@@ -88,8 +88,7 @@ class WavefrontWorkload : public Workload {
     }
   }
 
-  void run_taskgraph(rt::Scheduler& sched, nabbit::TaskGraphVariant variant,
-                     nabbit::ColoringMode coloring) override;
+  void run_taskgraph(api::Runtime& rt, nabbit::ColoringMode coloring) override;
 
   sim::TaskDag build_dag(std::uint32_t num_colors,
                          nabbit::ColoringMode coloring) const override {
@@ -191,14 +190,12 @@ class WavefrontSpec final : public nabbit::GraphSpec {
   nabbit::ColoringMode mode_;
 };
 
-void WavefrontWorkload::run_taskgraph(rt::Scheduler& sched,
-                                      nabbit::TaskGraphVariant variant,
+void WavefrontWorkload::run_taskgraph(api::Runtime& rt,
                                       nabbit::ColoringMode coloring) {
-  NABBITC_CHECK(sched.num_workers() == num_colors_);
+  NABBITC_CHECK(rt.workers() == num_colors_);
   WavefrontSpec spec(this, num_colors_, coloring);
-  auto ex = nabbit::make_dynamic_executor(variant, sched, spec);
   // The bottom-right block is the unique sink of the wavefront.
-  ex->run(key_pack(nbi_ - 1, nbj_ - 1));
+  rt.run(spec, key_pack(nbi_ - 1, nbj_ - 1));
 }
 
 // -------------------------------------------------------------------- sw n^3

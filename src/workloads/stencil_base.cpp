@@ -133,14 +133,12 @@ class StencilSpec final : public nabbit::GraphSpec {
 
 }  // namespace
 
-void StencilWorkload::run_taskgraph(rt::Scheduler& sched,
-                                    nabbit::TaskGraphVariant variant,
+void StencilWorkload::run_taskgraph(api::Runtime& rt,
                                     nabbit::ColoringMode coloring) {
-  NABBITC_CHECK_MSG(sched.num_workers() == num_colors_,
+  NABBITC_CHECK_MSG(rt.workers() == num_colors_,
                     "prepare() was called for a different worker count");
   StencilSpec spec(this, num_colors_, coloring);
-  auto ex = nabbit::make_dynamic_executor(variant, sched, spec);
-  ex->run(key_pack(dims_.iters + 1, 0));
+  rt.run(spec, key_pack(dims_.iters + 1, 0));
 }
 
 sim::TaskDag StencilWorkload::build_dag(std::uint32_t num_colors,

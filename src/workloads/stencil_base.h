@@ -37,8 +37,7 @@ class StencilWorkload : public Workload {
   void reset() override;
   void run_serial() override;
   void run_loop(loop::ThreadPool& pool, loop::Schedule schedule) override;
-  void run_taskgraph(rt::Scheduler& sched, nabbit::TaskGraphVariant variant,
-                     nabbit::ColoringMode coloring) override;
+  void run_taskgraph(api::Runtime& rt, nabbit::ColoringMode coloring) override;
   sim::TaskDag build_dag(std::uint32_t num_colors,
                          nabbit::ColoringMode coloring) const override;
 

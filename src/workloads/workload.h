@@ -16,9 +16,8 @@
 #include <string>
 #include <vector>
 
+#include "api/nabbitc.h"
 #include "loop/thread_pool.h"
-#include "nabbitc/colored_executor.h"
-#include "rt/scheduler.h"
 #include "sim/task_dag.h"
 
 namespace nabbitc::wl {
@@ -53,8 +52,9 @@ class Workload {
 
   virtual void run_serial() = 0;
   virtual void run_loop(loop::ThreadPool& pool, loop::Schedule schedule) = 0;
-  virtual void run_taskgraph(rt::Scheduler& sched, nabbit::TaskGraphVariant variant,
-                             nabbit::ColoringMode coloring) = 0;
+  /// Runs one graph execution on `rt` (the runtime's variant decides
+  /// Nabbit vs NabbitC); rt.workers() must match the prepare() color count.
+  virtual void run_taskgraph(api::Runtime& rt, nabbit::ColoringMode coloring) = 0;
 
   /// Bitwise-deterministic digest of the run's output.
   virtual std::uint64_t checksum() const = 0;

@@ -10,12 +10,12 @@
 // sublinearly in the node count.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <new>
 
-#include "nabbit/executor.h"
-#include "rt/scheduler.h"
+#include "api/nabbitc.h"
 
 namespace {
 
@@ -88,49 +88,53 @@ struct GridSpec final : GraphSpec {
   std::size_t expected_nodes() const override { return std::size_t{n} * n; }
 };
 
-std::uint64_t count_allocs_for_run(rt::Scheduler& sched, std::uint32_t side) {
+api::Runtime make_runtime() {
+  api::RuntimeOptions opts;
+  opts.workers = 2;
+  opts.variant = api::Variant::kNabbit;
+  opts.count_locality = false;
+  return api::Runtime(opts);
+}
+
+/// Allocations for ONE whole submission through the façade — including the
+/// per-execution state the Runtime builds (executor, node map shards): that
+/// is the real steady-state cost an embedder pays per submit().
+std::uint64_t count_allocs_for_submission(api::Runtime& rt, std::uint32_t side) {
   std::atomic<std::uint64_t> acc{0};
   GridSpec spec(&acc, side);
-  DynamicExecutor::Options opts;
-  opts.count_locality = false;
-  DynamicExecutor ex(sched, spec, opts);  // map construction not counted
   g_allocs.store(0, std::memory_order_relaxed);
   g_counting.store(true, std::memory_order_release);
-  ex.run(key_pack(side - 1, side - 1));
+  api::Execution e = rt.run(spec, key_pack(side - 1, side - 1));
   g_counting.store(false, std::memory_order_release);
-  EXPECT_EQ(ex.nodes_computed(), std::uint64_t{side} * side);
+  EXPECT_EQ(e.nodes_computed(), std::uint64_t{side} * side);
   return g_allocs.load(std::memory_order_relaxed);
 }
 
 TEST(AllocationFreeHotPath, DynamicExecutorSteadyStateDoesNotAllocPerNode) {
-  rt::SchedulerConfig cfg;
-  cfg.num_workers = 2;
-  rt::Scheduler sched(cfg);
+  auto rt = make_runtime();
 
-  // Warm-up job: grows the workers' job arenas so the measured run reuses
-  // their blocks.
-  count_allocs_for_run(sched, 48);
+  // Warm-up submission: grows the workers' job arenas so the measured run
+  // reuses their blocks.
+  count_allocs_for_submission(rt, 48);
 
   const std::uint32_t side = 48;  // 2304 nodes
   const std::uint64_t nodes = std::uint64_t{side} * side;
-  const std::uint64_t allocs = count_allocs_for_run(sched, side);
+  const std::uint64_t allocs = count_allocs_for_submission(rt, side);
 
-  // Remaining heap traffic: ~64 shard-slab first blocks, the job closure,
-  // and stray libc internals — all far below one allocation per four
-  // nodes. The pre-pooling executor performed ~3 heap allocations per node
-  // (node object, predecessor vector, successor vector + its notify copy),
-  // i.e. ~7000 here.
+  // Remaining heap traffic: per-submission O(1) state (64 map shards +
+  // execution bookkeeping), slab first blocks, and stray libc internals —
+  // all far below one allocation per four nodes. The pre-pooling executor
+  // performed ~3 heap allocations per node (node object, predecessor
+  // vector, successor vector + its notify copy), i.e. ~7000 here.
   EXPECT_LT(allocs, nodes / 4) << "hot path is heap-allocating per node again";
 }
 
 TEST(AllocationFreeHotPath, AllocationsDoNotScaleWithNodeCount) {
-  rt::SchedulerConfig cfg;
-  cfg.num_workers = 2;
-  rt::Scheduler sched(cfg);
-  count_allocs_for_run(sched, 64);  // warm-up
+  auto rt = make_runtime();
+  count_allocs_for_submission(rt, 64);  // warm-up
 
-  const std::uint64_t small = count_allocs_for_run(sched, 32);   // 1024 nodes
-  const std::uint64_t large = count_allocs_for_run(sched, 64);   // 4096 nodes
+  const std::uint64_t small = count_allocs_for_submission(rt, 32);   // 1024 nodes
+  const std::uint64_t large = count_allocs_for_submission(rt, 64);   // 4096 nodes
   // 4x the nodes must cost well under 4x the allocations: only block-grain
   // bookkeeping may grow. Generous slack (2x + 64) keeps this robust to
   // slab/arena refill boundaries while still failing for any per-node
@@ -138,6 +142,31 @@ TEST(AllocationFreeHotPath, AllocationsDoNotScaleWithNodeCount) {
   EXPECT_LT(large, 2 * small + 64)
       << "allocations scale with node count (small=" << small
       << ", large=" << large << ")";
+}
+
+TEST(AllocationFreeHotPath, SteadyStateSubmissionsStayAllocationFreePerNode) {
+  // One persistent Runtime serving submission after submission (the
+  // embedding steady state): per-submission heap traffic must stay at the
+  // O(1) execution-state constant — it may not grow over time (arenas are
+  // recycled at quiescence) and may not scale with the node count.
+  auto rt = make_runtime();
+  const std::uint32_t side = 48;  // 2304 nodes per submission
+  count_allocs_for_submission(rt, side);  // warm-up
+
+  std::uint64_t first = 0, last = 0, worst = 0;
+  for (int i = 0; i < 4; ++i) {
+    const std::uint64_t a = count_allocs_for_submission(rt, side);
+    if (i == 0) first = a;
+    last = a;
+    worst = std::max(worst, a);
+  }
+  const std::uint64_t nodes = std::uint64_t{side} * side;
+  EXPECT_LT(worst, nodes / 4) << "a steady-state submission allocated per node";
+  // No drift: later submissions reuse recycled arenas/slabs; only small
+  // scheduling-dependent refill noise is tolerated.
+  EXPECT_LE(last, first + 64)
+      << "per-submission allocations grow over time (first=" << first
+      << ", last=" << last << ")";
 }
 
 }  // namespace

@@ -1,0 +1,420 @@
+// Tests for the public façade (src/api/): the single api::Variant and its
+// parser, Runtime construction/options, Execution handle semantics, and —
+// the headline — concurrent graph submissions from many threads sharing one
+// worker pool with bitwise-correct results.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "api/nabbitc.h"
+#include "support/rng.h"
+
+namespace nabbitc::api {
+namespace {
+
+// ------------------------------------------------------------------ variant
+
+TEST(Variant, NamesRoundTripThroughParser) {
+  for (Variant v : kAllVariants) {
+    auto parsed = try_parse_variant(variant_name(v));
+    ASSERT_TRUE(parsed.has_value()) << variant_name(v);
+    EXPECT_EQ(*parsed, v);
+    EXPECT_EQ(parse_variant(variant_name(v)), v);
+  }
+}
+
+TEST(Variant, UnknownNameIsRejected) {
+  EXPECT_FALSE(try_parse_variant("bogus").has_value());
+  EXPECT_FALSE(try_parse_variant("").has_value());
+  EXPECT_FALSE(try_parse_variant("NABBITC").has_value());  // names are exact
+}
+
+TEST(Variant, ListParsing) {
+  auto vs = parse_variant_list("nabbit,nabbitc");
+  ASSERT_EQ(vs.size(), 2u);
+  EXPECT_EQ(vs[0], Variant::kNabbit);
+  EXPECT_EQ(vs[1], Variant::kNabbitC);
+  EXPECT_TRUE(parse_variant_list("").empty());
+}
+
+TEST(Variant, TaskGraphPredicateAndPolicyPairing) {
+  EXPECT_FALSE(is_task_graph(Variant::kSerial));
+  EXPECT_FALSE(is_task_graph(Variant::kOmpStatic));
+  EXPECT_FALSE(is_task_graph(Variant::kOmpGuided));
+  EXPECT_TRUE(is_task_graph(Variant::kNabbit));
+  EXPECT_TRUE(is_task_graph(Variant::kNabbitC));
+  EXPECT_FALSE(steal_policy_for(Variant::kNabbit).colored_enabled);
+  EXPECT_TRUE(steal_policy_for(Variant::kNabbitC).colored_enabled);
+}
+
+TEST(VariantDeath, ParseErrorListsValidNames) {
+  EXPECT_DEATH(parse_variant("bogus"),
+               "unknown variant 'bogus' .*serial.*omp-static.*omp-guided.*"
+               "nabbit.*nabbitc");
+}
+
+// ---------------------------------------------------------------- wavefront
+// Deterministic integer wavefront used by every execution test: cell (i,j)
+// mixes its two neighbours with a per-graph seed, so the full matrix — and
+// therefore the checksum — is bitwise-reproducible from (side, seed) alone
+// regardless of execution order.
+
+std::uint64_t cell_mix(std::uint64_t up, std::uint64_t left, std::uint64_t seed,
+                       std::uint64_t key) {
+  return splitmix64(up ^ (left * 0x9e3779b97f4a7c15ULL) ^ seed ^ key);
+}
+
+struct WaveGrid {
+  std::uint32_t side;
+  std::uint64_t seed;
+  std::vector<std::uint64_t> cells;  // row-major, written by node computes
+
+  WaveGrid(std::uint32_t s, std::uint64_t sd)
+      : side(s), seed(sd), cells(std::size_t{s} * s, 0) {}
+
+  std::uint64_t& at(std::uint32_t i, std::uint32_t j) {
+    return cells[std::size_t{i} * side + j];
+  }
+
+  std::uint64_t checksum() const {
+    std::uint64_t h = seed;
+    for (std::uint64_t v : cells) h = splitmix64(h ^ v);
+    return h;
+  }
+
+  /// Serial reference: the bitwise-expected checksum for (side, seed).
+  static std::uint64_t expected_checksum(std::uint32_t side, std::uint64_t seed) {
+    WaveGrid g(side, seed);
+    for (std::uint32_t i = 0; i < side; ++i) {
+      for (std::uint32_t j = 0; j < side; ++j) {
+        const std::uint64_t up = i > 0 ? g.at(i - 1, j) : 0;
+        const std::uint64_t left = j > 0 ? g.at(i, j - 1) : 0;
+        g.at(i, j) = cell_mix(up, left, seed, key_pack(i, j));
+      }
+    }
+    return g.checksum();
+  }
+};
+
+class WaveNode final : public TaskGraphNode {
+ public:
+  explicit WaveNode(WaveGrid* g) : g_(g) {}
+  void init(ExecContext&) override {
+    const std::uint32_t i = key_major(key()), j = key_minor(key());
+    if (i > 0) add_predecessor(key_pack(i - 1, j));
+    if (j > 0) add_predecessor(key_pack(i, j - 1));
+  }
+  void compute(ExecContext&) override {
+    const std::uint32_t i = key_major(key()), j = key_minor(key());
+    const std::uint64_t up = i > 0 ? g_->at(i - 1, j) : 0;
+    const std::uint64_t left = j > 0 ? g_->at(i, j - 1) : 0;
+    g_->at(i, j) = cell_mix(up, left, g_->seed, key());
+  }
+
+ private:
+  WaveGrid* g_;
+};
+
+class WaveSpec final : public GraphSpec {
+ public:
+  explicit WaveSpec(WaveGrid* g) : g_(g) {}
+  TaskGraphNode* create(NodeArena& arena, Key) override {
+    return arena.create<WaveNode>(g_);
+  }
+  Color color_of(Key k) const override {
+    return static_cast<Color>(key_major(k) % 4);
+  }
+  std::size_t expected_nodes() const override {
+    return std::size_t{g_->side} * g_->side;
+  }
+
+ private:
+  WaveGrid* g_;
+};
+
+// ---------------------------------------------------------------- runtime
+
+TEST(Runtime, RunComputesAWavefrontBitwise) {
+  for (Variant v : {Variant::kNabbit, Variant::kNabbitC}) {
+    RuntimeOptions opts;
+    opts.workers = 2;
+    opts.variant = v;
+    Runtime rt(opts);
+    EXPECT_EQ(rt.variant(), v);
+    EXPECT_EQ(rt.workers(), 2u);
+
+    WaveGrid g(16, 0x1234);
+    WaveSpec spec(&g);
+    Execution e = rt.run(spec, key_pack(15, 15));
+    EXPECT_TRUE(e.done());
+    EXPECT_EQ(e.nodes_computed(), 256u);
+    EXPECT_EQ(g.checksum(), WaveGrid::expected_checksum(16, 0x1234))
+        << variant_name(v);
+    // Result readback through the handle.
+    TaskGraphNode* sink = e.find(key_pack(15, 15));
+    ASSERT_NE(sink, nullptr);
+    EXPECT_TRUE(sink->computed());
+    EXPECT_EQ(e.find(key_pack(99, 99)), nullptr);
+  }
+}
+
+TEST(Runtime, VariantSelectsMatchingStealPolicy) {
+  // The mismatch class of bug (colored executor on random-steal scheduler
+  // or vice versa) is unrepresentable: the policy is derived from the same
+  // variant that picks the executor.
+  RuntimeOptions nb;
+  nb.workers = 1;
+  nb.variant = Variant::kNabbit;
+  RuntimeOptions nc;
+  nc.workers = 1;
+  nc.variant = Variant::kNabbitC;
+  EXPECT_FALSE(Runtime(nb).scheduler().config().steal.colored_enabled);
+  EXPECT_TRUE(Runtime(nc).scheduler().config().steal.colored_enabled);
+}
+
+TEST(Runtime, ZeroWorkersResolvesToHostConcurrency) {
+  RuntimeOptions opts;  // workers = 0
+  Runtime rt(opts);
+  EXPECT_GE(rt.workers(), 1u);
+  EXPECT_EQ(rt.options().workers, rt.workers());
+}
+
+TEST(RuntimeDeath, NonTaskGraphVariantAborts) {
+  RuntimeOptions opts;
+  opts.variant = Variant::kOmpStatic;
+  EXPECT_DEATH(Runtime{opts}, "task-graph variant");
+}
+
+TEST(Runtime, DroppedHandleStillCompletesBeforeSpecDies) {
+  RuntimeOptions opts;
+  opts.workers = 2;
+  Runtime rt(opts);
+  WaveGrid g(12, 7);
+  {
+    WaveSpec spec(&g);
+    // Handle dropped immediately: the destructor must join so `spec` (and
+    // `g`) cannot be torn down under the running graph.
+    rt.submit(spec, key_pack(11, 11));
+  }
+  EXPECT_EQ(g.checksum(), WaveGrid::expected_checksum(12, 7));
+}
+
+TEST(Runtime, SerializedSubmissionCountersAreAttributable) {
+  RuntimeOptions opts;
+  opts.workers = 2;
+  Runtime rt(opts);
+  WaveGrid g(16, 42);
+  WaveSpec spec(&g);
+  Execution e = rt.run(spec, key_pack(15, 15));
+  EXPECT_TRUE(e.counters_attributable());
+  const rt::WorkerCounters& c = e.counters();
+  // 256 nodes => at least that many locality samples in this execution's
+  // delta window.
+  EXPECT_EQ(c.locality.nodes, 256u);
+  EXPECT_GT(c.spawns, 0u);
+}
+
+TEST(Runtime, NestedSubmissionFromWorkerHelpsInsteadOfDeadlocking) {
+  // A task may submit a sub-graph to its own runtime and wait on it: the
+  // worker helps (adopting the nested root itself) rather than blocking.
+  // workers=1 makes helping mandatory — blocking would deadlock.
+  RuntimeOptions opts;
+  opts.workers = 1;
+  Runtime rt(opts);
+  WaveGrid g(10, 5);
+  WaveSpec spec(&g);
+  std::uint64_t nodes = 0;
+  rt.run_parallel([&](rt::Worker&) {
+    Execution e = rt.submit(spec, key_pack(9, 9));
+    e.wait();
+    nodes = e.nodes_computed();
+  });
+  EXPECT_EQ(nodes, 100u);
+  EXPECT_EQ(g.checksum(), WaveGrid::expected_checksum(10, 5));
+}
+
+TEST(Runtime, ResetCountersVoidsAttributionInsteadOfUnderflowing) {
+  // reset_counters() between an execution and its counters() call destroys
+  // the delta's base snapshot: the handle must flag that and report zeros,
+  // not wrapped uint64s.
+  RuntimeOptions opts;
+  opts.workers = 2;
+  Runtime rt(opts);
+  WaveGrid g(12, 9);
+  WaveSpec spec(&g);
+  Execution e = rt.run(spec, key_pack(11, 11));
+  rt.reset_counters();
+  EXPECT_FALSE(e.counters_attributable());
+  const rt::WorkerCounters& c = e.counters();
+  EXPECT_EQ(c.tasks_executed, 0u);
+  EXPECT_EQ(c.locality.nodes, 0u);
+  EXPECT_FALSE(e.counters_attributable());
+}
+
+TEST(Runtime, CountersNotAttributableOncePollutedByLaterExecution) {
+  // Regression: e1's delta is only materialized at the first counters()
+  // call; if another execution ran in between, its work would be folded
+  // into e1's delta — the handle must flag that instead of lying.
+  RuntimeOptions opts;
+  opts.workers = 2;
+  Runtime rt(opts);
+  WaveGrid g1(12, 1), g2(12, 2);
+  WaveSpec s1(&g1), s2(&g2);
+  Execution e1 = rt.run(s1, key_pack(11, 11));
+  Execution e2 = rt.run(s2, key_pack(11, 11));
+  e1.counters();
+  EXPECT_FALSE(e1.counters_attributable());
+  // e2's window is clean: nothing was submitted after it.
+  const rt::WorkerCounters& c2 = e2.counters();
+  EXPECT_TRUE(e2.counters_attributable());
+  EXPECT_EQ(c2.locality.nodes, 144u);
+}
+
+TEST(Runtime, PersistentRuntimeServesManySequentialSubmissions) {
+  RuntimeOptions opts;
+  opts.workers = 2;
+  Runtime rt(opts);
+  for (std::uint64_t round = 0; round < 8; ++round) {
+    WaveGrid g(12, round);
+    WaveSpec spec(&g);
+    Execution e = rt.run(spec, key_pack(11, 11));
+    EXPECT_EQ(e.nodes_computed(), 144u);
+    EXPECT_EQ(g.checksum(), WaveGrid::expected_checksum(12, round)) << round;
+    rt.reset_counters();
+    EXPECT_EQ(rt.counters().tasks_executed, 0u);  // clean between rounds
+  }
+}
+
+// ---------------------------------------------- concurrent submission
+
+TEST(Runtime, OverlappingSubmissionsFromOneThread) {
+  // Several executions in flight at once, submitted by the same thread;
+  // each has its own node map and output, all bitwise-correct.
+  RuntimeOptions opts;
+  opts.workers = 4;
+  opts.topology = numa::Topology(2, 2);
+  Runtime rt(opts);
+
+  constexpr int kInFlight = 6;
+  std::vector<std::unique_ptr<WaveGrid>> grids;
+  std::vector<std::unique_ptr<WaveSpec>> specs;
+  std::vector<Execution> execs;
+  for (int i = 0; i < kInFlight; ++i) {
+    grids.push_back(std::make_unique<WaveGrid>(14, 1000 + i));
+    specs.push_back(std::make_unique<WaveSpec>(grids.back().get()));
+    execs.push_back(rt.submit(*specs.back(), key_pack(13, 13)));
+  }
+  for (int i = 0; i < kInFlight; ++i) {
+    execs[static_cast<std::size_t>(i)].wait();
+    EXPECT_EQ(grids[static_cast<std::size_t>(i)]->checksum(),
+              WaveGrid::expected_checksum(14, 1000 + static_cast<std::uint64_t>(i)))
+        << i;
+  }
+}
+
+class ConcurrentStress : public ::testing::TestWithParam<Variant> {};
+
+TEST_P(ConcurrentStress, FourSubmitterThreadsBitwiseCorrect) {
+  // The acceptance scenario: >= 4 threads submitting independent graphs to
+  // ONE runtime simultaneously, every checksum bitwise-equal to its serial
+  // reference, for both task-graph variants.
+  RuntimeOptions opts;
+  opts.workers = 4;
+  opts.topology = numa::Topology(2, 2);
+  opts.variant = GetParam();
+  Runtime rt(opts);
+
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 3;
+  constexpr std::uint32_t kSide = 16;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int r = 0; r < kRounds; ++r) {
+        const auto seed =
+            static_cast<std::uint64_t>(t) * 977 + static_cast<std::uint64_t>(r);
+        WaveGrid g(kSide, seed);
+        WaveSpec spec(&g);
+        Execution e = rt.run(spec, key_pack(kSide - 1, kSide - 1));
+        if (e.nodes_computed() != std::uint64_t{kSide} * kSide ||
+            g.checksum() != WaveGrid::expected_checksum(kSide, seed)) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : submitters) th.join();
+  EXPECT_EQ(mismatches.load(), 0) << variant_name(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(BothVariants, ConcurrentStress,
+                         ::testing::Values(Variant::kNabbit, Variant::kNabbitC),
+                         [](const auto& info) {
+                           return std::string(variant_name(info.param));
+                         });
+
+// --------------------------------------------------------------- tracing
+
+TEST(Runtime, TraceSliceCoversExecutionWindow) {
+  RuntimeOptions opts;
+  opts.workers = 2;
+  opts.trace.enabled = true;
+  opts.trace.ring_capacity = 1u << 16;
+  Runtime rt(opts);
+
+  WaveGrid g1(12, 1), g2(12, 2);
+  WaveSpec s1(&g1), s2(&g2);
+  Execution e1 = rt.run(s1, key_pack(11, 11));
+  Execution e2 = rt.run(s2, key_pack(11, 11));
+
+  const trace::Trace full = rt.collect_trace();
+  ASSERT_FALSE(full.empty());
+  const trace::Trace t1 = e1.trace_slice(full);
+  const trace::Trace t2 = e2.trace_slice(full);
+  EXPECT_FALSE(t1.empty());
+  EXPECT_FALSE(t2.empty());
+  // Serialized executions: the windows are disjoint and ordered.
+  EXPECT_LE(e1.complete_time_ns(), e2.submit_time_ns());
+  for (const trace::Event& e : t1.events) {
+    EXPECT_GE(e.ts_ns, e1.submit_time_ns());
+    EXPECT_LE(e.ts_ns, e1.complete_time_ns());
+  }
+  EXPECT_LE(t1.events.size() + t2.events.size(), full.events.size());
+}
+
+// ----------------------------------------------------------- static graphs
+
+TEST(Runtime, StaticGraphFollowsVariant) {
+  for (Variant v : {Variant::kNabbit, Variant::kNabbitC}) {
+    RuntimeOptions opts;
+    opts.workers = 2;
+    opts.variant = v;
+    Runtime rt(opts);
+    auto ex = rt.static_graph();
+    std::atomic<int> computes{0};
+    struct N final : TaskGraphNode {
+      std::atomic<int>* c = nullptr;
+      std::vector<Key> ps;
+      void init(ExecContext&) override {
+        for (Key p : ps) add_predecessor(p);
+      }
+      void compute(ExecContext&) override { c->fetch_add(1); }
+    };
+    for (Key k = 0; k < 10; ++k) {
+      auto n = std::make_unique<N>();
+      n->c = &computes;
+      if (k > 0) n->ps.push_back(k - 1);
+      ex->add_node(k, static_cast<Color>(k % 2), std::move(n));
+    }
+    ex->prepare();
+    ex->run();
+    EXPECT_EQ(computes.load(), 10) << variant_name(v);
+  }
+}
+
+}  // namespace
+}  // namespace nabbitc::api

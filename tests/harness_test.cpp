@@ -7,12 +7,13 @@
 namespace nabbitc::harness {
 namespace {
 
-TEST(Harness, VariantLabels) {
-  EXPECT_STREQ(variant_label(Variant::kSerial), "serial");
-  EXPECT_STREQ(variant_label(Variant::kOmpStatic), "omp-static");
-  EXPECT_STREQ(variant_label(Variant::kOmpGuided), "omp-guided");
-  EXPECT_STREQ(variant_label(Variant::kNabbit), "nabbit");
-  EXPECT_STREQ(variant_label(Variant::kNabbitC), "nabbitc");
+TEST(Harness, VariantNamesAreTheApiNames) {
+  // harness::Variant IS api::Variant — one enum, one name table.
+  EXPECT_STREQ(api::variant_name(Variant::kSerial), "serial");
+  EXPECT_STREQ(api::variant_name(Variant::kOmpStatic), "omp-static");
+  EXPECT_STREQ(api::variant_name(Variant::kOmpGuided), "omp-guided");
+  EXPECT_STREQ(api::variant_name(Variant::kNabbit), "nabbit");
+  EXPECT_STREQ(api::variant_name(Variant::kNabbitC), "nabbitc");
 }
 
 TEST(Harness, PaperCoreCountsMatchFigureAxes) {

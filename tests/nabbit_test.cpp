@@ -9,12 +9,9 @@
 #include <thread>
 #include <vector>
 
+#include "api/nabbitc.h"
 #include "nabbit/concurrent_map.h"
-#include "nabbit/executor.h"
-#include "nabbit/serial_executor.h"
-#include "nabbit/static_executor.h"
 #include "nabbit/successor_list.h"
-#include "nabbitc/colored_executor.h"
 #include "support/rng.h"
 
 namespace nabbitc::nabbit {
@@ -362,19 +359,18 @@ class DynExecTest : public ::testing::TestWithParam<std::tuple<int, bool>> {};
 
 TEST_P(DynExecTest, ComputesEveryNodeExactlyOnceInOrder) {
   auto [workers, colored] = GetParam();
-  rt::SchedulerConfig cfg;
-  cfg.num_workers = static_cast<std::uint32_t>(workers);
-  cfg.topology = numa::Topology(2, 2);
-  cfg.steal = colored ? rt::StealPolicy::nabbitc() : rt::StealPolicy::nabbit();
-  rt::Scheduler sched(cfg);
+  api::RuntimeOptions opts;
+  opts.workers = static_cast<std::uint32_t>(workers);
+  opts.topology = numa::Topology(2, 2);
+  opts.variant = colored ? api::Variant::kNabbitC : api::Variant::kNabbit;
+  api::Runtime rt(opts);
 
   OrderRecorder rec;
   RecordingSpec spec(&rec);
-  DynamicExecutor ex(sched, spec);
-  ex.run(200);
+  api::Execution e = rt.run(spec, 200);
   EXPECT_EQ(rec.computes.load(), 201);
-  EXPECT_EQ(ex.nodes_computed(), 201u);
-  EXPECT_EQ(ex.nodes_created(), 201u);
+  EXPECT_EQ(e.nodes_computed(), 201u);
+  EXPECT_EQ(e.nodes_created(), 201u);
   expect_topological(rec.order, 200);
 }
 
@@ -383,18 +379,17 @@ INSTANTIATE_TEST_SUITE_P(WorkersAndPolicies, DynExecTest,
                                             ::testing::Bool()));
 
 TEST(DynamicExecutor, OnDemandOnlyCreatesReachableNodes) {
-  rt::SchedulerConfig cfg;
-  cfg.num_workers = 2;
-  rt::Scheduler sched(cfg);
+  api::RuntimeOptions opts;
+  opts.workers = 2;
+  api::Runtime rt(opts);
   OrderRecorder rec;
   RecordingSpec spec(&rec);
-  DynamicExecutor ex(sched, spec);
   // Sink 9: reachable set is {9,8,...,0} via k-1 edges plus halves — but
   // nothing beyond 9 may be created.
-  ex.run(9);
-  EXPECT_EQ(ex.find(10), nullptr);
-  EXPECT_NE(ex.find(9), nullptr);
-  EXPECT_EQ(ex.nodes_created(), 10u);
+  api::Execution e = rt.run(spec, 9);
+  EXPECT_EQ(e.find(10), nullptr);
+  EXPECT_NE(e.find(9), nullptr);
+  EXPECT_EQ(e.nodes_created(), 10u);
 }
 
 TEST(DynamicExecutor, RandomDagsStress) {
@@ -444,62 +439,60 @@ TEST(DynamicExecutor, RandomDagsStress) {
     spec.preds = &preds;
     spec.computes = &computes;
 
-    rt::SchedulerConfig cfg;
-    cfg.num_workers = 4;
-    cfg.topology = numa::Topology(2, 2);
-    cfg.seed = seed;
-    rt::Scheduler sched(cfg);
-    DynamicExecutor ex(sched, spec);
-    ex.run(n);
+    api::RuntimeOptions opts;
+    opts.workers = 4;
+    opts.topology = numa::Topology(2, 2);
+    opts.seed = seed;
+    opts.variant = api::Variant::kNabbit;
+    api::Runtime rt(opts);
+    rt.run(spec, n);
     EXPECT_EQ(computes.load(), static_cast<int>(n) + 1);
   }
 }
 
 TEST(DynamicExecutor, LocalityCountersPopulated) {
-  rt::SchedulerConfig cfg;
-  cfg.num_workers = 4;
-  cfg.topology = numa::Topology(2, 2);
-  rt::Scheduler sched(cfg);
+  api::RuntimeOptions opts;
+  opts.workers = 4;
+  opts.topology = numa::Topology(2, 2);
+  api::Runtime rt(opts);
   OrderRecorder rec;
   RecordingSpec spec(&rec);
-  DynamicExecutor ex(sched, spec);
-  ex.run(100);
-  auto agg = sched.aggregate_counters();
+  rt.run(spec, 100);
+  auto agg = rt.counters();
   EXPECT_EQ(agg.locality.nodes, 101u);
   EXPECT_GT(agg.locality.pred_accesses, 0u);
 }
 
 TEST(DynamicExecutor, LocalityCountingCanBeDisabled) {
-  rt::SchedulerConfig cfg;
-  cfg.num_workers = 2;
-  rt::Scheduler sched(cfg);
+  api::RuntimeOptions opts;
+  opts.workers = 2;
+  opts.count_locality = false;
+  api::Runtime rt(opts);
   OrderRecorder rec;
   RecordingSpec spec(&rec);
-  DynamicExecutor::Options opts;
-  opts.count_locality = false;
-  DynamicExecutor ex(sched, spec, opts);
-  ex.run(50);
-  EXPECT_EQ(sched.aggregate_counters().locality.nodes, 0u);
+  rt.run(spec, 50);
+  EXPECT_EQ(rt.counters().locality.nodes, 0u);
 }
 
 TEST(DynamicExecutor, SingleNodeGraph) {
-  rt::SchedulerConfig cfg;
-  cfg.num_workers = 2;
-  rt::Scheduler sched(cfg);
+  api::RuntimeOptions opts;
+  opts.workers = 2;
+  api::Runtime rt(opts);
   OrderRecorder rec;
   RecordingSpec spec(&rec);
-  DynamicExecutor ex(sched, spec);
-  ex.run(0);  // node 0 has no predecessors
+  rt.run(spec, 0);  // node 0 has no predecessors
   EXPECT_EQ(rec.computes.load(), 1);
 }
 
 // ---------------------------------------------------------- static executor
 
 TEST(StaticExecutor, DiamondGraph) {
-  rt::SchedulerConfig cfg;
-  cfg.num_workers = 4;
-  rt::Scheduler sched(cfg);
-  StaticExecutor ex(sched);
+  api::RuntimeOptions opts;
+  opts.workers = 4;
+  opts.variant = api::Variant::kNabbit;  // plain static executor
+  api::Runtime rt(opts);
+  auto exp = rt.static_graph();
+  StaticExecutor& ex = *exp;
 
   OrderRecorder rec;
   struct N final : TaskGraphNode {
@@ -530,10 +523,12 @@ TEST(StaticExecutor, DiamondGraph) {
 }
 
 TEST(StaticExecutor, ResetAllowsRerun) {
-  rt::SchedulerConfig cfg;
-  cfg.num_workers = 2;
-  rt::Scheduler sched(cfg);
-  StaticExecutor ex(sched);
+  api::RuntimeOptions opts;
+  opts.workers = 2;
+  opts.variant = api::Variant::kNabbit;
+  api::Runtime rt(opts);
+  auto exp = rt.static_graph();
+  StaticExecutor& ex = *exp;
   std::atomic<int> computes{0};
   struct N final : TaskGraphNode {
     std::atomic<int>* c;
@@ -560,10 +555,12 @@ TEST(StaticExecutor, ResetAllowsRerun) {
 }
 
 TEST(StaticExecutorDeath, MissingPredecessorAborts) {
-  rt::SchedulerConfig cfg;
-  cfg.num_workers = 1;
-  rt::Scheduler sched(cfg);
-  StaticExecutor ex(sched);
+  api::RuntimeOptions opts;
+  opts.workers = 1;
+  opts.variant = api::Variant::kNabbit;
+  api::Runtime rt(opts);
+  auto exp = rt.static_graph();
+  StaticExecutor& ex = *exp;
   struct N final : TaskGraphNode {
     void init(ExecContext&) override { add_predecessor(999); }
     void compute(ExecContext&) override {}
@@ -573,12 +570,13 @@ TEST(StaticExecutorDeath, MissingPredecessorAborts) {
 }
 
 TEST(StaticExecutorDeath, DuplicateKeyAborts) {
-  rt::SchedulerConfig cfg;
-  cfg.num_workers = 1;
-  rt::Scheduler sched(cfg);
-  StaticExecutor ex(sched);
-  ex.add_node(1, 0, std::make_unique<NopNode>());
-  EXPECT_DEATH(ex.add_node(1, 0, std::make_unique<NopNode>()), "duplicate");
+  api::RuntimeOptions opts;
+  opts.workers = 1;
+  opts.variant = api::Variant::kNabbit;
+  api::Runtime rt(opts);
+  auto exp = rt.static_graph();
+  exp->add_node(1, 0, std::make_unique<NopNode>());
+  EXPECT_DEATH(exp->add_node(1, 0, std::make_unique<NopNode>()), "duplicate");
 }
 
 // -------------------------------------------------------------------- keys
@@ -632,16 +630,15 @@ class GradientWavefrontSpec final : public GraphSpec {
 
 TEST(DynamicExecutorRegression, CreatedPendingPredecessorIsRegistered) {
   for (std::uint64_t round = 0; round < 40; ++round) {
-    rt::SchedulerConfig cfg;
-    cfg.num_workers = 4;
-    cfg.topology = numa::Topology(2, 2);
-    cfg.steal = rt::StealPolicy::nabbitc();
-    cfg.seed = round;
-    rt::Scheduler sched(cfg);
+    api::RuntimeOptions opts;
+    opts.workers = 4;
+    opts.topology = numa::Topology(2, 2);
+    opts.variant = api::Variant::kNabbitC;
+    opts.seed = round;
+    api::Runtime rt(opts);
     GradientWavefrontSpec spec;
-    ColoredDynamicExecutor ex(sched, spec);
-    ex.run(key_pack(7, 7));
-    ASSERT_EQ(ex.nodes_computed(), 64u) << "round " << round;
+    api::Execution e = rt.run(spec, key_pack(7, 7));
+    ASSERT_EQ(e.nodes_computed(), 64u) << "round " << round;
   }
 }
 

@@ -7,7 +7,7 @@
 #include <mutex>
 #include <vector>
 
-#include "nabbitc/colored_executor.h"
+#include "api/nabbitc.h"
 #include "nabbitc/coloring.h"
 #include "nabbitc/spawn_colors.h"
 
@@ -72,10 +72,10 @@ struct ColoredItem {
 };
 
 TEST(SpawnColored, ExecutesEveryItemOnce) {
-  rt::SchedulerConfig cfg;
-  cfg.num_workers = 4;
-  cfg.topology = numa::Topology(2, 2);
-  rt::Scheduler sched(cfg);
+  api::RuntimeOptions opts;
+  opts.workers = 4;
+  opts.topology = numa::Topology(2, 2);
+  api::Runtime rt(opts);
 
   std::vector<std::atomic<int>> hits(64);
   std::vector<ColoredItem> items;
@@ -87,7 +87,7 @@ TEST(SpawnColored, ExecutesEveryItemOnce) {
       (*hits)[static_cast<std::size_t>(it.id)].fetch_add(1);
     }
   };
-  sched.execute([&](rt::Worker& w) {
+  rt.run_parallel([&](rt::Worker& w) {
     rt::TaskGroup g;
     spawn_colored(
         w, g, items.data(), items.size(),
@@ -100,9 +100,9 @@ TEST(SpawnColored, ExecutesEveryItemOnce) {
 TEST(SpawnColored, SingleWorkerExecutesOwnColorFirst) {
   // The morphing order on worker 0 (color 0) must run all color-0 items
   // before any other color (single worker => no steals disturb the order).
-  rt::SchedulerConfig cfg;
-  cfg.num_workers = 1;
-  rt::Scheduler sched(cfg);
+  api::RuntimeOptions opts;
+  opts.workers = 1;
+  api::Runtime rt(opts);
 
   std::mutex mu;
   std::vector<numa::Color> order;
@@ -118,7 +118,7 @@ TEST(SpawnColored, SingleWorkerExecutesOwnColorFirst) {
       order->push_back(it.color);
     }
   };
-  sched.execute([&](rt::Worker& w) {
+  rt.run_parallel([&](rt::Worker& w) {
     rt::TaskGroup g;
     spawn_colored(
         w, g, items.data(), items.size(),
@@ -131,16 +131,16 @@ TEST(SpawnColored, SingleWorkerExecutesOwnColorFirst) {
 }
 
 TEST(SpawnColored, EmptyAndSingleton) {
-  rt::SchedulerConfig cfg;
-  cfg.num_workers = 2;
-  rt::Scheduler sched(cfg);
+  api::RuntimeOptions opts;
+  opts.workers = 2;
+  api::Runtime rt(opts);
   std::atomic<int> n{0};
   struct Leaf {
     std::atomic<int>* n;
     void operator()(rt::Worker&, const ColoredItem&) const { n->fetch_add(1); }
   };
   std::vector<ColoredItem> one{{7, 1}};
-  sched.execute([&](rt::Worker& w) {
+  rt.run_parallel([&](rt::Worker& w) {
     rt::TaskGroup g;
     spawn_colored(
         w, g, one.data(), 0, [](const ColoredItem& it) { return it.color; },
@@ -154,9 +154,9 @@ TEST(SpawnColored, EmptyAndSingleton) {
 }
 
 TEST(SpawnColored, AllInvalidColorsStillExecute) {
-  rt::SchedulerConfig cfg;
-  cfg.num_workers = 3;
-  rt::Scheduler sched(cfg);
+  api::RuntimeOptions opts;
+  opts.workers = 3;
+  api::Runtime rt(opts);
   std::atomic<int> n{0};
   std::vector<ColoredItem> items;
   for (int i = 0; i < 32; ++i) items.push_back({i, numa::kInvalidColor});
@@ -164,7 +164,7 @@ TEST(SpawnColored, AllInvalidColorsStillExecute) {
     std::atomic<int>* n;
     void operator()(rt::Worker&, const ColoredItem&) const { n->fetch_add(1); }
   };
-  sched.execute([&](rt::Worker& w) {
+  rt.run_parallel([&](rt::Worker& w) {
     rt::TaskGroup g;
     spawn_colored(
         w, g, items.data(), items.size(),
@@ -224,19 +224,19 @@ class WideSpec final : public GraphSpec {
 class ColoredExecTest : public ::testing::TestWithParam<ColoringMode> {};
 
 TEST_P(ColoredExecTest, AllColoringsComplete) {
-  rt::SchedulerConfig cfg;
-  cfg.num_workers = 4;
-  cfg.topology = numa::Topology(2, 2);
-  cfg.steal = rt::StealPolicy::nabbitc();
-  cfg.steal.first_steal_max_attempts = 256;  // keep invalid-coloring runs fast
-  rt::Scheduler sched(cfg);
+  api::RuntimeOptions opts;
+  opts.workers = 4;
+  opts.topology = numa::Topology(2, 2);
+  auto tuning = rt::StealPolicy::nabbitc();
+  tuning.first_steal_max_attempts = 256;  // keep invalid-coloring runs fast
+  opts.steal_tuning = tuning;
+  api::Runtime rt(opts);
 
   WideGraphState st;
   st.width = 200;
   st.colors = 4;
   WideSpec spec(&st, GetParam());
-  ColoredDynamicExecutor ex(sched, spec);
-  ex.run(0);
+  rt.run(spec, 0);
   EXPECT_EQ(st.executed_by.size(), 201u);
 }
 
@@ -247,17 +247,16 @@ INSTANTIATE_TEST_SUITE_P(Colorings, ColoredExecTest,
 TEST(ColoredExecutor, GoodColoringKeepsLocalityOnSingleWorkerPerColor) {
   // With 1 worker there is no stealing: every node executes on worker 0 and
   // the locality counters must classify nodes by color correctly.
-  rt::SchedulerConfig cfg;
-  cfg.num_workers = 1;
-  cfg.topology = numa::Topology(1, 1);
-  rt::Scheduler sched(cfg);
+  api::RuntimeOptions opts;
+  opts.workers = 1;
+  opts.topology = numa::Topology(1, 1);
+  api::Runtime rt(opts);
   WideGraphState st;
   st.width = 50;
   st.colors = 1;
   WideSpec spec(&st, ColoringMode::kGood);
-  ColoredDynamicExecutor ex(sched, spec);
-  ex.run(0);
-  auto agg = sched.aggregate_counters();
+  rt.run(spec, 0);
+  auto agg = rt.counters();
   EXPECT_EQ(agg.locality.nodes, 51u);
   EXPECT_EQ(agg.locality.remote_nodes, 0u);  // single domain: nothing remote
 }
@@ -265,45 +264,30 @@ TEST(ColoredExecutor, GoodColoringKeepsLocalityOnSingleWorkerPerColor) {
 TEST(ColoredExecutor, InvalidColoringDisablesColoredSteals) {
   // Invalid hints => empty frame masks => zero successful colored steals;
   // data-color-based locality accounting keeps counting real placement.
-  rt::SchedulerConfig cfg;
-  cfg.num_workers = 2;
-  cfg.topology = numa::Topology(2, 1);
-  cfg.steal.first_steal_max_attempts = 64;
-  rt::Scheduler sched(cfg);
+  api::RuntimeOptions opts;
+  opts.workers = 2;
+  opts.topology = numa::Topology(2, 1);
+  auto tuning = rt::StealPolicy::nabbitc();
+  tuning.first_steal_max_attempts = 64;
+  opts.steal_tuning = tuning;
+  api::Runtime rt(opts);
   WideGraphState st;
   st.width = 40;
   st.colors = 2;
   WideSpec spec(&st, ColoringMode::kInvalid);
-  ColoredDynamicExecutor ex(sched, spec);
-  ex.run(0);
-  auto agg = sched.aggregate_counters();
+  rt.run(spec, 0);
+  auto agg = rt.counters();
   EXPECT_EQ(agg.locality.nodes, 41u);
   EXPECT_EQ(agg.steals_colored, 0u);
 }
 
-TEST(ColoredExecutor, FactorySelectsVariant) {
-  rt::SchedulerConfig cfg;
-  cfg.num_workers = 2;
-  rt::Scheduler sched(cfg);
-  WideGraphState st;
-  st.width = 10;
-  st.colors = 2;
-  WideSpec spec(&st, ColoringMode::kGood);
-  auto nb = make_dynamic_executor(TaskGraphVariant::kNabbit, sched, spec);
-  auto nc = make_dynamic_executor(TaskGraphVariant::kNabbitC, sched, spec);
-  EXPECT_NE(dynamic_cast<DynamicExecutor*>(nb.get()), nullptr);
-  EXPECT_NE(dynamic_cast<ColoredDynamicExecutor*>(nc.get()), nullptr);
-  EXPECT_EQ(dynamic_cast<ColoredDynamicExecutor*>(nb.get()), nullptr);
-  EXPECT_STREQ(variant_name(TaskGraphVariant::kNabbit), "nabbit");
-  EXPECT_STREQ(variant_name(TaskGraphVariant::kNabbitC), "nabbitc");
-}
-
 TEST(ColoredStaticExecutor, RunsColoredGraph) {
-  rt::SchedulerConfig cfg;
-  cfg.num_workers = 4;
-  cfg.topology = numa::Topology(2, 2);
-  rt::Scheduler sched(cfg);
-  ColoredStaticExecutor ex(sched);
+  api::RuntimeOptions opts;
+  opts.workers = 4;
+  opts.topology = numa::Topology(2, 2);
+  api::Runtime rt(opts);  // kNabbitC default -> colored static executor
+  auto exp = rt.static_graph();
+  StaticExecutor& ex = *exp;
   std::atomic<int> computes{0};
   struct N final : TaskGraphNode {
     std::atomic<int>* c;
@@ -331,18 +315,16 @@ TEST(ColoredStaticExecutor, RunsColoredGraph) {
 TEST(ColoredExecutor, StealsAreColoredUnderGoodColoring) {
   // With abundant same-color work and the NabbitC policy, the successful
   // steals that do happen should be predominantly colored.
-  rt::SchedulerConfig cfg;
-  cfg.num_workers = 4;
-  cfg.topology = numa::Topology(2, 2);
-  cfg.steal = rt::StealPolicy::nabbitc();
-  rt::Scheduler sched(cfg);
+  api::RuntimeOptions opts;
+  opts.workers = 4;
+  opts.topology = numa::Topology(2, 2);
+  api::Runtime rt(opts);
   WideGraphState st;
   st.width = 400;
   st.colors = 4;
   WideSpec spec(&st, ColoringMode::kGood);
-  ColoredDynamicExecutor ex(sched, spec);
-  ex.run(0);
-  auto agg = sched.aggregate_counters();
+  rt.run(spec, 0);
+  auto agg = rt.counters();
   // On a 1-core CI host steals may be rare; when they happen under good
   // coloring, colored steals must dominate random ones.
   if (agg.steals_total() > 10) {

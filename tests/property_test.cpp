@@ -7,10 +7,9 @@
 #include <numeric>
 #include <vector>
 
+#include "api/nabbitc.h"
 #include "harness/experiment.h"
 #include "loop/thread_pool.h"
-#include "nabbit/serial_executor.h"
-#include "nabbitc/colored_executor.h"
 #include "rt/parallel_for.h"
 #include "sim/sim_engine.h"
 #include "support/rng.h"
@@ -25,11 +24,11 @@ class PforParams
 
 TEST_P(PforParams, SumsArithmeticSeries) {
   auto [workers, n, grain] = GetParam();
-  rt::SchedulerConfig cfg;
-  cfg.num_workers = static_cast<std::uint32_t>(workers);
-  rt::Scheduler sched(cfg);
+  api::RuntimeOptions opts;
+  opts.workers = static_cast<std::uint32_t>(workers);
+  api::Runtime rt(opts);
   std::atomic<long long> sum{0};
-  sched.execute([&, n = n, grain = grain](rt::Worker& w) {
+  rt.run_parallel([&, n = n, grain = grain](rt::Worker& w) {
     rt::parallel_for(w, 0, n, grain, [&](std::int64_t i) {
       sum.fetch_add(i, std::memory_order_relaxed);
     });
@@ -140,20 +139,18 @@ TEST_P(GraphFuzz, ExecutorMatchesSerialReference) {
   serial.run(n);
   const long long expect = g.checksum.exchange(0);
 
-  // Parallel run, both engines.
-  rt::SchedulerConfig cfg;
-  cfg.num_workers = 4;
-  cfg.topology = numa::Topology(2, 2);
-  cfg.seed = seed;
-  cfg.steal = colored ? rt::StealPolicy::nabbitc() : rt::StealPolicy::nabbit();
-  rt::Scheduler sched(cfg);
+  // Parallel run, both engines (the runtime variant chooses executor and
+  // steal policy together).
+  api::RuntimeOptions opts;
+  opts.workers = 4;
+  opts.topology = numa::Topology(2, 2);
+  opts.seed = seed;
+  opts.variant = colored ? api::Variant::kNabbitC : api::Variant::kNabbit;
+  api::Runtime rt(opts);
   FuzzSpec pspec(&g, 4);
-  auto ex = nabbit::make_dynamic_executor(colored ? nabbit::TaskGraphVariant::kNabbitC
-                                                  : nabbit::TaskGraphVariant::kNabbit,
-                                          sched, pspec);
-  ex->run(n);
+  api::Execution e = rt.run(pspec, n);
   EXPECT_EQ(g.checksum.load(), expect);
-  EXPECT_EQ(ex->nodes_computed(), n + 1);
+  EXPECT_EQ(e.nodes_computed(), n + 1);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, GraphFuzz,
@@ -226,20 +223,20 @@ TEST(PolicyCounters, AttemptsDominateSuccesses) {
 
 TEST(PolicyCounters, RealRuntimeStealAccounting) {
   // Force heavy stealing: many tiny tasks, several workers.
-  rt::SchedulerConfig cfg;
-  cfg.num_workers = 4;
-  cfg.topology = numa::Topology(2, 2);
-  rt::Scheduler sched(cfg);
+  api::RuntimeOptions opts;
+  opts.workers = 4;
+  opts.topology = numa::Topology(2, 2);
+  api::Runtime rt(opts);
   for (int job = 0; job < 5; ++job) {
     std::atomic<int> n{0};
-    sched.execute([&](rt::Worker& w) {
+    rt.run_parallel([&](rt::Worker& w) {
       rt::parallel_for(w, 0, 2000, 1, [&](std::int64_t) {
         n.fetch_add(1, std::memory_order_relaxed);
       });
     });
     EXPECT_EQ(n.load(), 2000);
   }
-  auto agg = sched.aggregate_counters();
+  auto agg = rt.counters();
   EXPECT_GE(agg.steal_attempts_total(), agg.steals_total());
   EXPECT_GT(agg.tasks_executed, 0u);
 }
@@ -261,11 +258,10 @@ TEST(DagShape, DynamicExecutorCreatesExactlyDagNodes) {
   // nodes the DAG predicts.
   auto w = wl::make_workload("heat", wl::SizePreset::kTiny);
   w->prepare(4);
-  rt::SchedulerConfig cfg;
-  cfg.num_workers = 4;
-  rt::Scheduler sched(cfg);
-  w->run_taskgraph(sched, nabbit::TaskGraphVariant::kNabbitC,
-                   nabbit::ColoringMode::kGood);
+  api::RuntimeOptions opts;
+  opts.workers = 4;
+  api::Runtime rt(opts);
+  w->run_taskgraph(rt, nabbit::ColoringMode::kGood);
   // (indirect: the checksum tests prove every block ran; here we prove the
   // graph shape via num_tasks == dag nodes, checked above.)
   SUCCEED();

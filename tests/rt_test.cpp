@@ -1,5 +1,7 @@
 // Tests for the work-stealing runtime: color masks, deque, arena,
-// scheduler lifecycle, task groups, parallel_for, steal policies.
+// pool lifecycle, task groups, parallel_for, steal policies. Pool-level
+// tests drive the scheduler through the public nabbitc::Runtime façade
+// (run_parallel), reaching into rt::Worker state via Runtime::scheduler().
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -7,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "api/nabbitc.h"
 #include "rt/arena.h"
 #include "rt/color_mask.h"
 #include "rt/deque.h"
@@ -224,42 +227,45 @@ TEST(Deque, ConcurrentStealersEachTaskOnce) {
 
 // --------------------------------------------------------------- scheduler
 
-SchedulerConfig test_config(std::uint32_t workers) {
-  SchedulerConfig cfg;
-  cfg.num_workers = workers;
-  cfg.topology = numa::Topology(2, (workers + 1) / 2);
-  return cfg;
+api::RuntimeOptions test_options(std::uint32_t workers) {
+  api::RuntimeOptions opts;
+  opts.workers = workers;
+  opts.topology = numa::Topology(2, (workers + 1) / 2);
+  return opts;
 }
 
-TEST(Scheduler, RunsRootOnWorkerZero) {
-  Scheduler s(test_config(2));
+TEST(Scheduler, RootRunsOnAPoolWorker) {
+  // Any worker may adopt an injected root (there is no dedicated worker 0
+  // anymore); it must be one of the pool's workers.
+  api::Runtime rt(test_options(2));
   std::uint32_t seen = 99;
-  s.execute([&](Worker& w) { seen = w.id(); });
-  EXPECT_EQ(seen, 0u);
+  rt.run_parallel([&](Worker& w) { seen = w.id(); });
+  EXPECT_LT(seen, 2u);
 }
 
 TEST(Scheduler, CurrentIsNullOffPool) { EXPECT_EQ(Scheduler::current(), nullptr); }
 
 TEST(Scheduler, CurrentIsSetOnPool) {
-  Scheduler s(test_config(2));
+  api::Runtime rt(test_options(2));
   Worker* cur = nullptr;
-  s.execute([&](Worker& w) { cur = Scheduler::current(); EXPECT_EQ(cur, &w); });
+  rt.run_parallel([&](Worker& w) { cur = Scheduler::current(); EXPECT_EQ(cur, &w); });
   EXPECT_NE(cur, nullptr);
 }
 
 TEST(Scheduler, WorkerColorsAreIds) {
-  Scheduler s(test_config(4));
+  api::Runtime rt(test_options(4));
   for (std::uint32_t i = 0; i < 4; ++i) {
-    EXPECT_EQ(s.worker(i).color(), static_cast<numa::Color>(i));
-    EXPECT_TRUE(s.worker(i).color_mask().test(static_cast<numa::Color>(i)));
+    EXPECT_EQ(rt.scheduler().worker(i).color(), static_cast<numa::Color>(i));
+    EXPECT_TRUE(
+        rt.scheduler().worker(i).color_mask().test(static_cast<numa::Color>(i)));
   }
 }
 
 TEST(Scheduler, MultipleJobsSequentially) {
-  Scheduler s(test_config(3));
+  api::Runtime rt(test_options(3));
   for (int job = 0; job < 10; ++job) {
     std::atomic<long> total{0};
-    s.execute([&](Worker& w) {
+    rt.run_parallel([&](Worker& w) {
       parallel_for(w, 0, 1000, 16,
                    [&](std::int64_t i) { total.fetch_add(i, std::memory_order_relaxed); });
     });
@@ -268,9 +274,9 @@ TEST(Scheduler, MultipleJobsSequentially) {
 }
 
 TEST(Scheduler, SingleWorkerStillCompletes) {
-  Scheduler s(test_config(1));
+  api::Runtime rt(test_options(1));
   std::atomic<long> total{0};
-  s.execute([&](Worker& w) {
+  rt.run_parallel([&](Worker& w) {
     parallel_for(w, 0, 5000, 8,
                  [&](std::int64_t i) { total.fetch_add(i, std::memory_order_relaxed); });
   });
@@ -278,9 +284,9 @@ TEST(Scheduler, SingleWorkerStillCompletes) {
 }
 
 TEST(Scheduler, TaskGroupNesting) {
-  Scheduler s(test_config(4));
+  api::Runtime rt(test_options(4));
   std::atomic<int> count{0};
-  s.execute([&](Worker& w) {
+  rt.run_parallel([&](Worker& w) {
     TaskGroup outer;
     for (int i = 0; i < 8; ++i) {
       outer.spawn(w, ColorMask{}, [&count](Worker& ww) {
@@ -298,9 +304,9 @@ TEST(Scheduler, TaskGroupNesting) {
 }
 
 TEST(Scheduler, ParallelForCoversRangeExactlyOnce) {
-  Scheduler s(test_config(4));
+  api::Runtime rt(test_options(4));
   std::vector<std::atomic<int>> hits(10000);
-  s.execute([&](Worker& w) {
+  rt.run_parallel([&](Worker& w) {
     parallel_for(w, 0, 10000, 7, [&](std::int64_t i) {
       hits[static_cast<std::size_t>(i)].fetch_add(1);
     });
@@ -309,9 +315,9 @@ TEST(Scheduler, ParallelForCoversRangeExactlyOnce) {
 }
 
 TEST(Scheduler, ParallelForEmptyAndTinyRanges) {
-  Scheduler s(test_config(2));
+  api::Runtime rt(test_options(2));
   std::atomic<int> n{0};
-  s.execute([&](Worker& w) {
+  rt.run_parallel([&](Worker& w) {
     parallel_for(w, 5, 5, 4, [&](std::int64_t) { n.fetch_add(1); });
     parallel_for(w, 0, 1, 4, [&](std::int64_t) { n.fetch_add(1); });
     parallel_for(w, 10, 3, 4, [&](std::int64_t) { n.fetch_add(1); });  // inverted
@@ -320,7 +326,7 @@ TEST(Scheduler, ParallelForEmptyAndTinyRanges) {
 }
 
 TEST(Scheduler, FibRecursion) {
-  Scheduler s(test_config(4));
+  api::Runtime rt(test_options(4));
   // Naive parallel fib exercises deep nesting + stealing.
   struct Fib {
     static long run(Worker& w, int n) {
@@ -334,35 +340,38 @@ TEST(Scheduler, FibRecursion) {
     }
   };
   long result = 0;
-  s.execute([&](Worker& w) { result = Fib::run(w, 18); });
+  rt.run_parallel([&](Worker& w) { result = Fib::run(w, 18); });
   EXPECT_EQ(result, 2584);
 }
 
 TEST(Scheduler, CountersAccumulateAndReset) {
-  Scheduler s(test_config(4));
+  api::Runtime rt(test_options(4));
   std::atomic<long> sink{0};
-  s.execute([&](Worker& w) {
+  rt.run_parallel([&](Worker& w) {
     parallel_for(w, 0, 4096, 4,
                  [&](std::int64_t i) { sink.fetch_add(i, std::memory_order_relaxed); });
   });
-  WorkerCounters total = s.aggregate_counters();
+  WorkerCounters total = rt.counters();
   EXPECT_GT(total.tasks_executed, 0u);
   EXPECT_GT(total.spawns, 0u);
-  s.reset_counters();
-  EXPECT_EQ(s.aggregate_counters().tasks_executed, 0u);
+  rt.reset_counters();
+  EXPECT_EQ(rt.counters().tasks_executed, 0u);
 }
 
 TEST(Scheduler, LocalityRecording) {
-  SchedulerConfig cfg;
-  cfg.num_workers = 4;
-  cfg.topology = numa::Topology(2, 2);  // workers 0,1 domain 0; 2,3 domain 1
-  Scheduler s(cfg);
-  s.execute([&](Worker& w) {
-    // Worker 0: color 1 is same-domain (local); color 2 is remote.
-    w.record_node_execution(1, 4, 2);
-    w.record_node_execution(2, 0, 0);
+  api::RuntimeOptions opts;
+  opts.workers = 4;
+  opts.topology = numa::Topology(2, 2);  // workers 0,1 domain 0; 2,3 domain 1
+  api::Runtime rt(opts);
+  rt.run_parallel([&](Worker& w) {
+    // Relative to the adopting worker: its own color is always local and
+    // the color two over is always in the other domain on a (2,2) topology.
+    const auto local = static_cast<numa::Color>(w.id());
+    const auto remote = static_cast<numa::Color>((w.id() + 2) % 4);
+    w.record_node_execution(local, 4, 2);
+    w.record_node_execution(remote, 0, 0);
   });
-  auto agg = s.aggregate_counters();
+  auto agg = rt.counters();
   EXPECT_EQ(agg.locality.nodes, 2u);
   EXPECT_EQ(agg.locality.remote_nodes, 1u);
   EXPECT_EQ(agg.locality.pred_accesses, 4u);
@@ -382,13 +391,15 @@ TEST(Scheduler, StealPolicyDefaults) {
 TEST(Scheduler, InvalidColoringJobStillCompletes) {
   // All frames carry empty masks (kInvalidColor) => every colored steal
   // fails; bounded first-steal forcing must let workers fall back (the
-  // paper's Table III configuration).
-  SchedulerConfig cfg = test_config(4);
-  cfg.steal = StealPolicy::nabbitc();
-  cfg.steal.first_steal_max_attempts = 64;
-  Scheduler s(cfg);
+  // paper's Table III configuration). The knob travels through
+  // RuntimeOptions::steal_tuning — no raw scheduler is wired.
+  api::RuntimeOptions opts = test_options(4);
+  auto tuning = StealPolicy::nabbitc();
+  tuning.first_steal_max_attempts = 64;
+  opts.steal_tuning = tuning;
+  api::Runtime rt(opts);
   std::atomic<int> n{0};
-  s.execute([&](Worker& w) {
+  rt.run_parallel([&](Worker& w) {
     TaskGroup g;
     for (int i = 0; i < 64; ++i) {
       g.spawn(w, ColorMask{}, [&n](Worker&) { n.fetch_add(1); });
@@ -415,10 +426,45 @@ TEST(Scheduler, WorkerCountersMergeArithmetic) {
 
 TEST(SchedulerDeath, ExecuteFromWorkerAborts) {
   ::testing::FLAGS_gtest_death_test_style = "threadsafe";
-  Scheduler s(test_config(2));
+  api::Runtime rt(test_options(2));
   EXPECT_DEATH(
-      s.execute([&](Worker&) { s.execute([](Worker&) {}); }),
+      rt.run_parallel([&](Worker&) { rt.run_parallel([](Worker&) {}); }),
       "must not be called from a worker");
+}
+
+TEST(Scheduler, ConcurrentRootJobsShareThePool) {
+  // Several fork-join roots submitted from distinct external threads all
+  // complete with correct sums while sharing one pool.
+  api::Runtime rt(test_options(4));
+  constexpr int kThreads = 4;
+  std::atomic<long> totals[kThreads] = {};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      rt.run_parallel([&, t](Worker& w) {
+        parallel_for(w, 0, 2000, 8, [&, t](std::int64_t i) {
+          totals[t].fetch_add(i, std::memory_order_relaxed);
+        });
+      });
+    });
+  }
+  for (auto& th : submitters) th.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(totals[t].load(), 1999L * 2000 / 2);
+}
+
+TEST(Scheduler, WaitIdleQuiescesThePool) {
+  api::Runtime rt(test_options(3));
+  std::atomic<int> n{0};
+  rt.run_parallel([&](Worker& w) {
+    parallel_for(w, 0, 1000, 4, [&](std::int64_t) { n.fetch_add(1); });
+  });
+  rt.wait_idle();
+  EXPECT_EQ(n.load(), 1000);
+  // After wait_idle nothing races the counters: two reads must agree.
+  const auto a = rt.scheduler().aggregate_counters();
+  const auto b = rt.scheduler().aggregate_counters();
+  EXPECT_EQ(a.tasks_executed, b.tasks_executed);
+  EXPECT_EQ(a.steal_attempts_total(), b.steal_attempts_total());
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 #include <sstream>
 #include <string>
 
+#include "api/nabbitc.h"
 #include "harness/experiment.h"
 #include "rt/parallel_for.h"
 #include "rt/scheduler.h"
@@ -102,19 +103,19 @@ TEST(Collector, IntervalEventsExtendEnd) {
 }
 
 TEST(Collector, DisabledSchedulerYieldsEmptyTrace) {
-  rt::SchedulerConfig cfg;
-  cfg.num_workers = 2;
-  rt::Scheduler s(cfg);
-  EXPECT_FALSE(s.tracing());
-  EXPECT_EQ(s.trace_ring(0), nullptr);
+  api::RuntimeOptions opts;
+  opts.workers = 2;
+  api::Runtime rt(opts);
+  EXPECT_FALSE(rt.tracing());
+  EXPECT_EQ(rt.scheduler().trace_ring(0), nullptr);
   std::atomic<int> n{0};
-  s.execute([&](rt::Worker& w) {
+  rt.run_parallel([&](rt::Worker& w) {
     rt::parallel_for(w, 0, 1000, 8, [&](std::int64_t) { n.fetch_add(1); });
   });
-  Trace t = collect(s);
+  Trace t = rt.collect_trace();
   EXPECT_TRUE(t.empty());
   EXPECT_EQ(t.num_workers, 2u);
-  EXPECT_GT(s.aggregate_counters().tasks_executed, 0u);
+  EXPECT_GT(rt.counters().tasks_executed, 0u);
 }
 
 void expect_counters_equal(const rt::WorkerCounters& a, const rt::WorkerCounters& b) {
@@ -135,17 +136,16 @@ void expect_counters_equal(const rt::WorkerCounters& a, const rt::WorkerCounters
 }
 
 TEST(Collector, DerivedCountersMatchSchedulerExactly) {
-  rt::SchedulerConfig cfg;
-  cfg.num_workers = 4;
-  cfg.topology = numa::Topology(2, 2);
-  cfg.steal = rt::StealPolicy::nabbitc();
-  cfg.trace.enabled = true;
-  cfg.trace.ring_capacity = 1u << 20;  // ample: consistency requires no drops
-  rt::Scheduler s(cfg);
+  api::RuntimeOptions opts;
+  opts.workers = 4;
+  opts.topology = numa::Topology(2, 2);
+  opts.trace.enabled = true;
+  opts.trace.ring_capacity = 1u << 20;  // ample: consistency requires no drops
+  api::Runtime rt(opts);
 
   std::atomic<long> total{0};
   for (int job = 0; job < 3; ++job) {
-    s.execute([&](rt::Worker& w) {
+    rt.run_parallel([&](rt::Worker& w) {
       rt::parallel_for(w, 0, 20000, 16, [&](std::int64_t i) {
         total.fetch_add(i, std::memory_order_relaxed);
       });
@@ -155,14 +155,14 @@ TEST(Collector, DerivedCountersMatchSchedulerExactly) {
     });
   }
 
-  Trace t = collect(s);
+  Trace t = rt.collect_trace();  // quiesces the pool before snapshotting
   ASSERT_EQ(t.dropped, 0u);
   EXPECT_FALSE(t.empty());
-  expect_counters_equal(derive_counters(t), s.aggregate_counters());
+  expect_counters_equal(derive_counters(t), rt.counters());
 
   // Per-worker derivation matches each worker's own counters as well.
-  for (std::uint32_t w = 0; w < s.num_workers(); ++w) {
-    expect_counters_equal(derive_counters(t, w), s.worker(w).counters());
+  for (std::uint32_t w = 0; w < rt.workers(); ++w) {
+    expect_counters_equal(derive_counters(t, w), rt.scheduler().worker(w).counters());
   }
 }
 
@@ -184,17 +184,17 @@ TEST(Collector, DerivedCountersMatchOnRealWorkload) {
 }
 
 TEST(Collector, ResetTraceClearsRings) {
-  rt::SchedulerConfig cfg;
-  cfg.num_workers = 2;
-  cfg.trace.enabled = true;
-  rt::Scheduler s(cfg);
+  api::RuntimeOptions opts;
+  opts.workers = 2;
+  opts.trace.enabled = true;
+  api::Runtime rt(opts);
   std::atomic<int> n{0};
-  s.execute([&](rt::Worker& w) {
+  rt.run_parallel([&](rt::Worker& w) {
     rt::parallel_for(w, 0, 1000, 8, [&](std::int64_t) { n.fetch_add(1); });
   });
-  EXPECT_FALSE(collect(s).empty());
-  s.reset_trace();
-  EXPECT_TRUE(collect(s).empty());
+  EXPECT_FALSE(rt.collect_trace().empty());
+  rt.reset_trace();
+  EXPECT_TRUE(rt.collect_trace().empty());
 }
 
 // ------------------------------------------------------- JSON well-formedness
@@ -299,21 +299,20 @@ TEST(JsonChecker, SelfTest) {
 }
 
 Trace traced_small_run() {
-  rt::SchedulerConfig cfg;
-  cfg.num_workers = 4;
-  cfg.topology = numa::Topology(2, 2);
-  cfg.steal = rt::StealPolicy::nabbitc();
-  cfg.trace.enabled = true;
-  cfg.trace.ring_capacity = 1u << 18;
-  rt::Scheduler s(cfg);
+  api::RuntimeOptions opts;
+  opts.workers = 4;
+  opts.topology = numa::Topology(2, 2);
+  opts.trace.enabled = true;
+  opts.trace.ring_capacity = 1u << 18;
+  api::Runtime rt(opts);
   std::atomic<long> total{0};
-  s.execute([&](rt::Worker& w) {
+  rt.run_parallel([&](rt::Worker& w) {
     rt::parallel_for(w, 0, 10000, 8, [&](std::int64_t i) {
       total.fetch_add(i, std::memory_order_relaxed);
     });
     w.record_node_execution(3, 2, 1);
   });
-  return collect(s);
+  return rt.collect_trace();
 }
 
 TEST(Export, ChromeTraceIsValidJson) {

@@ -88,7 +88,7 @@ TEST_P(WorkloadVariantTest, AllVariantsMatchSerialChecksum) {
   for (Variant v : {Variant::kOmpStatic, Variant::kOmpGuided, Variant::kNabbit,
                     Variant::kNabbitC}) {
     auto r = run_real(*w, v, o);
-    EXPECT_EQ(r.checksum, serial.checksum) << harness::variant_label(v);
+    EXPECT_EQ(r.checksum, serial.checksum) << api::variant_name(v);
   }
 }
 
