@@ -292,20 +292,21 @@ void bench_dynamic_node_throughput(const BenchParams& p, std::uint32_t side,
   report("dynamic_nodes_per_sec", nodes / best, "nodes/s");
 }
 
+struct OneNode final : nabbit::TaskGraphNode {
+  void init(nabbit::ExecContext&) override {}
+  void compute(nabbit::ExecContext&) override {}
+};
+struct OneSpec final : nabbit::GraphSpec {
+  nabbit::TaskGraphNode* create(nabbit::NodeArena& arena, Key) override {
+    return arena.create<OneNode>();
+  }
+  std::size_t expected_nodes() const override { return 1; }
+};
+
 // Pure façade overhead: submit+wait of a single-node graph on an idle
 // runtime — per-execution state (executor, node map) plus the injection
 // handshake. Graph work is one empty compute().
 void bench_runtime_submit(const BenchParams& p) {
-  struct OneNode final : nabbit::TaskGraphNode {
-    void init(nabbit::ExecContext&) override {}
-    void compute(nabbit::ExecContext&) override {}
-  };
-  struct OneSpec final : nabbit::GraphSpec {
-    nabbit::TaskGraphNode* create(nabbit::NodeArena& arena, Key) override {
-      return arena.create<OneNode>();
-    }
-    std::size_t expected_nodes() const override { return 1; }
-  };
   api::RuntimeOptions ro;
   ro.workers = 1;
   api::Runtime rt(ro);
@@ -313,6 +314,23 @@ void bench_runtime_submit(const BenchParams& p) {
            for (std::uint64_t i = 0; i < n; ++i) {
              OneSpec spec;
              rt.run(spec, 0);
+           }
+         }, 256),
+         "ns/op");
+}
+
+// The same single-node round trip through a compiled plan: instance reset +
+// injection handshake only — the amortized-to-zero graph-construction path
+// (compare against runtime_submit_ns; the acceptance bar is < 25% of it).
+void bench_plan_replay_submit(const BenchParams& p) {
+  api::RuntimeOptions ro;
+  ro.workers = 1;
+  api::Runtime rt(ro);
+  OneSpec spec;
+  auto plan = rt.compile(spec, 0);
+  report("plan_replay_submit_ns", best_ns_per_op(p, [&](std::uint64_t n) {
+           for (std::uint64_t i = 0; i < n; ++i) {
+             rt.run(*plan);
            }
          }, 256),
          "ns/op");
@@ -378,6 +396,7 @@ int main(int argc, char** argv) {
       {"successor_add_close", bench_successor_add_close},
       {"spawn_sync", bench_spawn_sync},
       {"runtime_submit", bench_runtime_submit},
+      {"plan_replay_submit", bench_plan_replay_submit},
   };
   std::printf("NabbitC micro-runtime bench (preset=%s, repeats=%d)\n\n",
               preset.c_str(), p.repeats);

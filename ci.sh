@@ -32,12 +32,13 @@ case "${MODE}" in
     ;;
 esac
 
-echo "=== header self-containment: src/api ==="
+echo "=== header self-containment: src/api + src/plan ==="
 # Every public façade header must compile standalone, warning-clean: an
-# embedder's first include may be any one of them.
+# embedder's first include may be any one of them. src/plan is part of the
+# public surface (GraphPlan is returned by Runtime::compile).
 HDR_TMP="$(mktemp -d)"
 trap 'rm -rf "${HDR_TMP}"' EXIT
-for h in src/api/*.h; do
+for h in src/api/*.h src/plan/*.h; do
   rel="${h#src/}"
   echo "  ${rel}"
   printf '#include "%s"\n' "${rel}" > "${HDR_TMP}/tu.cpp"
@@ -57,7 +58,7 @@ expected = [
     "deque_push_pop_ns", "deque_steal_miss_ns", "colored_steal_check_ns",
     "steal_attempt_ns", "arena_create_ns", "small_vec_push4_ns",
     "map_insert_ns", "map_hit_ns", "successor_add_close_ns",
-    "spawn_sync_ns_per_task", "runtime_submit_ns",
+    "spawn_sync_ns_per_task", "runtime_submit_ns", "plan_replay_submit_ns",
     "dynamic_node_ns", "dynamic_nodes_per_sec",
 ]
 missing = [k for k in expected if k not in d["metrics"]]
@@ -69,6 +70,34 @@ print(f"bench-smoke OK: {len(d['metrics'])} metrics")
 EOF
 else
   echo "bench-smoke skipped (no Release build dir)"
+fi
+
+echo "=== bench-smoke: throughput JSON ==="
+if [ -d "${BENCH_DIR}" ]; then
+  "${BENCH_DIR}/bench_throughput" preset=tiny out="${BENCH_DIR}/BENCH_throughput.json"
+  python3 - "${BENCH_DIR}/BENCH_throughput.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    d = json.load(f)
+expected = [
+    "fresh_submit_ns", "fresh_node_ns", "plan_replay_submit_ns",
+    "replay_node_ns", "replay_speedup_x", "sustained_submissions_per_sec",
+    "sustained_node_ns", "plan_instances", "arena_bytes_after",
+]
+missing = [k for k in expected if k not in d["metrics"]]
+assert not missing, f"missing metrics: {missing}"
+for k in expected:
+    v = d["metrics"][k]["value"]
+    assert isinstance(v, (int, float)) and v > 0, f"bad value for {k}: {v}"
+m = d["metrics"]
+# Smoke-level acceptance: the replay path must amortize graph construction.
+# The real box shows ~15%; 60% leaves room for noisy shared CI machines.
+ratio = m["plan_replay_submit_ns"]["value"] / m["fresh_submit_ns"]["value"]
+assert ratio < 0.60, f"plan replay too close to fresh submit: {ratio:.2f}"
+print(f"bench-throughput OK: {len(d['metrics'])} metrics, replay/fresh = {ratio:.2f}")
+EOF
+else
+  echo "bench-throughput smoke skipped (no Release build dir)"
 fi
 
 echo "=== traced smoke run ==="

@@ -3,15 +3,17 @@
 //   #include "api/nabbitc.h"
 //
 // pulls in the whole embeddable surface — graph authoring (api/graph.h),
-// variant vocabulary (api/variant.h), and the runtime façade
-// (api/runtime.h) — and promotes the main entry points to the top-level
-// nabbitc:: namespace, so embedders write nabbitc::Runtime,
-// nabbitc::Execution, nabbitc::Variant without spelling the api:: layer.
+// variant vocabulary (api/variant.h), the runtime façade (api/runtime.h),
+// and compiled graph plans (plan/plan.h) — and promotes the main entry
+// points to the top-level nabbitc:: namespace, so embedders write
+// nabbitc::Runtime, nabbitc::Execution, nabbitc::GraphPlan without
+// spelling the api:: layer.
 #pragma once
 
 #include "api/graph.h"
 #include "api/runtime.h"
 #include "api/variant.h"
+#include "plan/plan.h"
 
 namespace nabbitc {
 
@@ -22,5 +24,7 @@ using api::Variant;
 
 using api::parse_variant;
 using api::variant_name;
+
+using plan::GraphPlan;
 
 }  // namespace nabbitc

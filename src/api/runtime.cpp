@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "api/execution_state.h"
 #include "nabbitc/colored_executor.h"
+#include "plan/plan.h"
 #include "support/check.h"
 #include "support/timing.h"
 
@@ -69,65 +71,41 @@ std::vector<Variant> parse_variant_list(const std::string& names) {
 
 // ---------------------------------------------------------------------------
 // Execution
+//
+// detail::ExecutionState lives in api/execution_state.h: spec submissions
+// heap-allocate one per submission (the handle owns it), plan replays embed
+// one in a pooled plan::PlanInstance (the handle returns the instance).
 
-namespace detail {
-
-struct ExecutionState {
-  rt::Scheduler* sched = nullptr;
-  std::unique_ptr<nabbit::DynamicExecutor> exec;
-  rt::Scheduler::RootJob job;
-  Key sink = 0;
-
-  std::uint64_t t_submit_ns = 0;
-  std::uint64_t t_done_ns = 0;  // stamped by the adopting worker
-
-  // Counter attribution (see Execution::counters).
-  rt::WorkerCounters before;
-  rt::WorkerCounters delta;
-  /// Scheduler submission count expected while this execution is the only
-  /// one in its window; any other submit() bumps it past this and voids
-  /// attribution.
-  std::uint32_t expected_submissions = 0;
-  /// The owning Runtime's reset_counters() generation at submit; a reset
-  /// inside the window destroys the delta's base snapshot.
-  const std::atomic<std::uint64_t>* reset_gen = nullptr;
-  std::uint64_t expected_reset_gen = 0;
-  bool attributable = false;
-  bool finalized = false;
-
-  bool window_polluted() const {
-    return sched->submissions() != expected_submissions ||
-           reset_gen->load(std::memory_order_acquire) != expected_reset_gen;
+void Execution::release_state() noexcept {
+  if (st_ == nullptr) return;
+  // A dropped handle still owns the RootJob the scheduler may be about to
+  // run; joining here keeps that storage (and the client's GraphSpec or
+  // plan instance) alive for as long as the pool needs it.
+  if (!st_->job.done.load(std::memory_order_acquire)) {
+    st_->sched->wait(st_->job);
   }
-};
+  if (st_->pooled != nullptr) {
+    st_->pooled->recycle();  // embedded state goes back to the plan's pool
+  } else {
+    delete st_;
+  }
+  st_ = nullptr;
+}
 
-}  // namespace detail
-
-Execution::Execution(std::unique_ptr<detail::ExecutionState> st) noexcept
-    : st_(std::move(st)) {}
-
-Execution::Execution(Execution&&) noexcept = default;
+Execution::Execution(Execution&& o) noexcept : st_(o.st_) { o.st_ = nullptr; }
 
 Execution& Execution::operator=(Execution&& o) noexcept {
   if (this != &o) {
     // Assigning over a live handle must not free its state under the pool:
     // join the old execution first (same contract as the destructor).
-    if (st_ != nullptr && !st_->job.done.load(std::memory_order_acquire)) {
-      st_->sched->wait(st_->job);
-    }
-    st_ = std::move(o.st_);
+    release_state();
+    st_ = o.st_;
+    o.st_ = nullptr;
   }
   return *this;
 }
 
-Execution::~Execution() {
-  // A dropped handle still owns the RootJob the scheduler may be about to
-  // run; joining here keeps that storage (and the client's GraphSpec) alive
-  // for as long as the pool needs it.
-  if (st_ != nullptr && !st_->job.done.load(std::memory_order_acquire)) {
-    st_->sched->wait(st_->job);
-  }
-}
+Execution::~Execution() { release_state(); }
 
 void Execution::wait() {
   NABBITC_CHECK_MSG(st_ != nullptr, "wait() on an empty Execution");
@@ -142,16 +120,23 @@ bool Execution::done() const noexcept {
 
 std::uint64_t Execution::nodes_created() const {
   NABBITC_CHECK_MSG(st_ != nullptr, "empty Execution");
+  if (st_->pooled != nullptr) {
+    // Replays create no nodes — that is the point. An execution that had to
+    // grow the plan's instance pool reports the nodes it built.
+    return st_->pooled->fresh() ? st_->pooled->plan().num_nodes() : 0;
+  }
   return st_->exec->nodes_created();
 }
 
 std::uint64_t Execution::nodes_computed() const {
   NABBITC_CHECK_MSG(st_ != nullptr, "empty Execution");
+  if (st_->pooled != nullptr) return st_->pooled->nodes_computed();
   return st_->exec->nodes_computed();
 }
 
 TaskGraphNode* Execution::find(Key key) const {
   NABBITC_CHECK_MSG(st_ != nullptr, "empty Execution");
+  if (st_->pooled != nullptr) return st_->pooled->find(key);
   return st_->exec->find(key);
 }
 
@@ -241,6 +226,31 @@ Runtime::Runtime(RuntimeOptions opts) : opts_(opts) {
 
 Runtime::~Runtime() = default;  // ~Scheduler drains in-flight jobs
 
+namespace {
+
+/// Notes the conditions under which this execution's counter delta will be
+/// attributable, and snapshots the base. Counter attribution is only
+/// meaningful when nothing else runs in the execution's window; recording
+/// the expectations now lets counters() refuse to lie later. The snapshot
+/// needs a fully parked pool (lingering thieves still bump steal counters
+/// right after a job ends), and wait_idle cannot be called from a worker.
+/// Exactly one submission — our own — may happen after the count below;
+/// counters() re-checks, along with the reset_counters() generation.
+void arm_attribution_window(detail::ExecutionState& st, rt::Scheduler& sched,
+                            const std::atomic<std::uint64_t>& reset_gen) {
+  st.expected_submissions = sched.submissions() + 1;
+  st.reset_gen = &reset_gen;
+  st.expected_reset_gen = reset_gen.load(std::memory_order_acquire);
+  st.attributable = rt::Scheduler::current() == nullptr && !sched.job_active();
+  if (st.attributable) {
+    sched.wait_idle();
+    st.before = sched.aggregate_counters();
+  }
+  st.t_submit_ns = now_ns();
+}
+
+}  // namespace
+
 Execution Runtime::submit(GraphSpec& spec, Key sink) {
   auto st = std::make_unique<detail::ExecutionState>();
   st->sched = sched_.get();
@@ -254,34 +264,57 @@ Execution Runtime::submit(GraphSpec& spec, Key sink) {
   } else {
     st->exec = std::make_unique<nabbit::DynamicExecutor>(*sched_, spec, eo);
   }
-  // Counter attribution is only meaningful when nothing else runs in this
-  // execution's window; note the conditions now so counters() can refuse
-  // to lie later. The snapshot needs a fully parked pool (lingering
-  // thieves still bump steal counters right after a job ends), and
-  // wait_idle cannot be called from a worker. Exactly one submission — our
-  // own — may happen after the count below; counters() re-checks, along
-  // with the reset_counters() generation.
-  st->expected_submissions = sched_->submissions() + 1;
-  st->reset_gen = &counter_reset_gen_;
-  st->expected_reset_gen = counter_reset_gen_.load(std::memory_order_acquire);
-  st->attributable =
-      rt::Scheduler::current() == nullptr && !sched_->job_active();
-  if (st->attributable) {
-    sched_->wait_idle();
-    st->before = sched_->aggregate_counters();
-  }
-  st->t_submit_ns = now_ns();
+  arm_attribution_window(*st, *sched_, counter_reset_gen_);
   detail::ExecutionState* raw = st.get();
   st->job.fn = [raw](rt::Worker& w) {
     raw->exec->run_root(w, raw->sink);
     raw->t_done_ns = now_ns();
   };
   sched_->submit(st->job);
-  return Execution(std::move(st));
+  return Execution(st.release());
 }
 
 Execution Runtime::run(GraphSpec& spec, Key sink) {
   Execution e = submit(spec, sink);
+  e.wait();
+  return e;
+}
+
+std::unique_ptr<plan::GraphPlan> Runtime::compile(GraphSpec& spec, Key sink,
+                                                  std::size_t reserve_instances) {
+  plan::CompileOptions po;
+  // Like submit(): the runtime's variant decides the replay spawn
+  // semantics, so a plan cannot disagree with the steal policy.
+  po.colored = opts_.variant == Variant::kNabbitC;
+  po.count_locality = opts_.count_locality;
+  po.reserve_instances = reserve_instances;
+  return plan::compile(spec, sink, po);
+}
+
+Execution Runtime::submit(const plan::GraphPlan& plan) {
+  // A plan compiled for the other variant would replay colored spawns on a
+  // random-steal pool (or vice versa) — the exact mismatch this façade
+  // exists to make unrepresentable. Runtime::compile derives the flag, so
+  // this only fires for plans smuggled across differently-configured
+  // runtimes.
+  NABBITC_CHECK_MSG(plan.colored() == (opts_.variant == Variant::kNabbitC),
+                    "GraphPlan was compiled for a different variant than "
+                    "this Runtime");
+  // The whole replay submit path is allocation-free once the plan's
+  // instance pool is warm: acquire + reset reuse a pooled instance, the
+  // RootJob and its bound closure are embedded in it, and this handle is
+  // just a pointer at the embedded state.
+  plan::PlanInstance* inst = plan.acquire();
+  detail::ExecutionState& st = inst->exec_state();
+  st.sched = sched_.get();
+  st.sink = plan.sink();
+  arm_attribution_window(st, *sched_, counter_reset_gen_);
+  sched_->submit(st.job);
+  return Execution(&st);
+}
+
+Execution Runtime::run(const plan::GraphPlan& plan) {
+  Execution e = submit(plan);
   e.wait();
   return e;
 }
@@ -329,5 +362,9 @@ void Runtime::reset_trace() {
 }
 
 void Runtime::wait_idle() const { sched_->wait_idle(); }
+
+std::size_t Runtime::arena_bytes() const noexcept {
+  return sched_->frame_arena_bytes();
+}
 
 }  // namespace nabbitc::api

@@ -37,6 +37,11 @@
 #include "rt/scheduler.h"
 #include "trace/collector.h"
 
+namespace nabbitc::plan {
+class GraphPlan;
+class PlanInstance;
+}  // namespace nabbitc::plan
+
 namespace nabbitc::api {
 
 struct RuntimeOptions {
@@ -119,9 +124,15 @@ class Execution {
 
  private:
   friend class Runtime;
-  explicit Execution(std::unique_ptr<detail::ExecutionState> st) noexcept;
+  explicit Execution(detail::ExecutionState* st) noexcept : st_(st) {}
 
-  std::unique_ptr<detail::ExecutionState> st_;
+  /// Joins the execution, then either frees the state (spec submissions
+  /// own it) or returns the pooled plan instance it is embedded in.
+  void release_state() noexcept;
+
+  /// Owned for spec submissions; embedded in a pooled plan::PlanInstance
+  /// for plan replays (st_->pooled distinguishes the two).
+  detail::ExecutionState* st_ = nullptr;
 };
 
 class Runtime {
@@ -135,15 +146,34 @@ class Runtime {
   /// Asynchronously executes the graph described by `spec`, sunk at `sink`.
   /// `spec` must stay alive until the returned Execution completes (wait()
   /// or handle destruction). Thread-safe; concurrent submissions share the
-  /// worker pool. Task-frame memory recycles whenever the pool drains;
-  /// submission patterns that keep executions in flight at all times hold
-  /// frame memory at the busy period's high-watermark (see the memory
-  /// contract in rt/scheduler.h) — let the pool go idle periodically on
-  /// long-lived servers.
+  /// worker pool. Task-frame memory is epoch-segmented (see the memory
+  /// contract in rt/scheduler.h): it recycles as submissions complete, so
+  /// even continuous overlapping traffic runs at the busy period's
+  /// high-watermark (observable via arena_bytes()).
   Execution submit(GraphSpec& spec, Key sink);
 
   /// submit() + wait(): runs the graph to completion.
   Execution run(GraphSpec& spec, Key sink);
+
+  /// Freezes (spec, sink) into a compiled GraphPlan bound to this runtime's
+  /// variant and locality configuration (plan/plan.h): topology lowered to
+  /// CSR arrays, colors precomputed, `reserve_instances` reusable instances
+  /// pre-built. `spec` must outlive the plan; the plan must outlive this
+  /// Runtime's executions of it. Prefer plans over raw specs whenever the
+  /// same graph is submitted repeatedly — replay submission does no graph
+  /// construction and, once the instance pool is warm, no heap allocation.
+  std::unique_ptr<plan::GraphPlan> compile(GraphSpec& spec, Key sink,
+                                           std::size_t reserve_instances = 1);
+
+  /// Asynchronously replays a compiled plan: resets a pooled instance
+  /// instead of re-creating nodes. Results are bitwise-identical to
+  /// submit(plan.spec(), plan.sink()). Thread-safe; concurrent replays of
+  /// one plan run on distinct instances. The plan must have been compiled
+  /// for this runtime's variant (Runtime::compile guarantees that).
+  Execution submit(const plan::GraphPlan& plan);
+
+  /// submit(plan) + wait().
+  Execution run(const plan::GraphPlan& plan);
 
   /// Escape hatch for plain fork-join work on the pool (parallel_for,
   /// TaskGroup trees): runs `fn` as a root job and waits. Must not be
@@ -174,6 +204,12 @@ class Runtime {
   /// Blocks until every submitted execution has finished and all workers
   /// have parked.
   void wait_idle() const;
+
+  /// Bytes of task-frame arena storage currently held by the worker pool
+  /// (mapped high-watermark). The epoch-segmented arenas (rt/arena.h) keep
+  /// this bounded even under continuous overlapping submissions — the
+  /// regression guard for long-lived servers. Safe from any thread.
+  std::size_t arena_bytes() const noexcept;
 
   /// The underlying scheduler — for white-box tests and micro-benchmarks
   /// that need Worker-level access. Embedders should not need this.

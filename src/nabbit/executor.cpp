@@ -1,5 +1,6 @@
 #include "nabbit/executor.h"
 
+#include "nabbit/spawn_halved.h"
 #include "support/check.h"
 
 namespace nabbitc::nabbit {
@@ -137,59 +138,37 @@ void DynamicExecutor::compute_and_notify(rt::Worker& w, TaskGraphNode* u) {
 }
 
 // ---------------------------------------------------------------------------
-// Vanilla Nabbit spawning: list order, no color advertisement. Each frame
-// pushes the upper half as a stealable task and descends into the lower
-// half, exactly like the paper's recursive parallel-for — minus the
-// cilkrts_set_next_colors calls.
+// Vanilla Nabbit spawning: list order, no color advertisement — the shared
+// recursive-halving shape of nabbit/spawn_halved.h with per-path leaves.
 
-struct PredSpawnFrame {
+namespace {
+
+struct PredLeaf {
   DynamicExecutor* ex;
-  rt::TaskGroup* group;
   TaskGraphNode* parent;
-  DynamicExecutor::PredItem* items;
-
-  void run(rt::Worker& w, std::size_t lo, std::size_t hi) const {
-    while (hi - lo > 1) {
-      std::size_t mid = lo + (hi - lo) / 2;
-      const auto* self = this;
-      group->spawn(w, rt::ColorMask{},
-                   [self, mid, hi](rt::Worker& ww) { self->run(ww, mid, hi); });
-      hi = mid;
-    }
-    ex->try_init_compute(w, parent, items[lo].key);
+  void operator()(rt::Worker& w, const DynamicExecutor::PredItem& item) const {
+    ex->try_init_compute(w, parent, item.key);
   }
 };
 
-struct ReadySpawnFrame {
+struct ReadyLeaf {
   DynamicExecutor* ex;
-  rt::TaskGroup* group;
-  TaskGraphNode** ready;
-
-  void run(rt::Worker& w, std::size_t lo, std::size_t hi) const {
-    while (hi - lo > 1) {
-      std::size_t mid = lo + (hi - lo) / 2;
-      const auto* self = this;
-      group->spawn(w, rt::ColorMask{},
-                   [self, mid, hi](rt::Worker& ww) { self->run(ww, mid, hi); });
-      hi = mid;
-    }
-    ex->compute_and_notify(w, ready[lo]);
+  void operator()(rt::Worker& w, TaskGraphNode* node) const {
+    ex->compute_and_notify(w, node);
   }
 };
+
+}  // namespace
 
 void DynamicExecutor::spawn_preds(rt::Worker& w, rt::TaskGroup& g,
                                   TaskGraphNode* parent, PredItem* items,
                                   std::size_t n) {
-  if (n == 0) return;
-  auto* frame = w.arena().create<PredSpawnFrame>(PredSpawnFrame{this, &g, parent, items});
-  frame->run(w, 0, n);
+  spawn_halved(w, g, items, n, PredLeaf{this, parent});
 }
 
 void DynamicExecutor::spawn_ready(rt::Worker& w, rt::TaskGroup& g,
                                   TaskGraphNode** ready, std::size_t n) {
-  if (n == 0) return;
-  auto* frame = w.arena().create<ReadySpawnFrame>(ReadySpawnFrame{this, &g, ready});
-  frame->run(w, 0, n);
+  spawn_halved(w, g, ready, n, ReadyLeaf{this});
 }
 
 }  // namespace nabbitc::nabbit

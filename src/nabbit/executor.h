@@ -90,9 +90,6 @@ class DynamicExecutor : public NodeLookup {
                            std::size_t n);
 
  private:
-  friend struct PredSpawnFrame;
-  friend struct ReadySpawnFrame;
-
   TaskGraphNode* create_node(NodeArena& arena, Key key);
 
   rt::Scheduler& sched_;

@@ -27,6 +27,9 @@
 namespace nabbitc::rt {
 class Worker;
 }
+namespace nabbitc::plan {
+class PlanInstance;
+}
 
 namespace nabbitc::nabbit {
 
@@ -98,6 +101,10 @@ class TaskGraphNode {
   friend class DynamicExecutor;
   friend class StaticExecutor;
   friend class SerialExecutor;
+  // The compiled-plan replay path (src/plan/) drives nodes through frozen
+  // CSR arrays instead of the concurrent map, but sets the same key/color/
+  // status fields a fresh execution would.
+  friend class ::nabbitc::plan::PlanInstance;
 
   /// Hands out one successor-edge cell. A node consumes at most one cell
   /// per predecessor (try_add happens once per pending edge), so the inline

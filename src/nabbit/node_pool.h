@@ -26,6 +26,10 @@
 #include "support/align.h"
 #include "support/check.h"
 
+namespace nabbitc::plan {
+class PlanInstance;
+}
+
 namespace nabbitc::nabbit {
 
 class TaskGraphNode;
@@ -62,11 +66,20 @@ class NodeSlab {
       off = 0;
     }
     void* p = current_ + off;
+    // Worst-case footprint (payload + maximal alignment padding): an upper
+    // bound that holds for the same allocation sequence in any fresh slab.
+    total_bytes_ += round_up(bytes, kBlockAlign);
     offset_ = off + bytes;
     return p;
   }
 
   std::size_t blocks_allocated() const noexcept { return blocks_.size(); }
+
+  /// Total payload bytes handed out (alignment padding included). A
+  /// GraphPlan measures its prototype instance with this so every later
+  /// instance gets one exactly-sized block (node payload layout is fixed
+  /// once the plan is compiled).
+  std::size_t bytes_allocated() const noexcept { return total_bytes_; }
 
  private:
   struct BlockDeleter {
@@ -80,6 +93,7 @@ class NodeSlab {
   std::byte* current_ = nullptr;
   std::size_t cap_ = 0;
   std::size_t offset_ = 0;
+  std::size_t total_bytes_ = 0;
 };
 
 /// The allocator handle passed to GraphSpec::create. Nodes constructed
@@ -100,6 +114,9 @@ class NodeArena {
 
  private:
   friend class ConcurrentNodeMap;
+  // Plan instances construct their (pre-discovered) node sets through the
+  // same narrow handle, into per-instance slabs.
+  friend class ::nabbitc::plan::PlanInstance;
   explicit NodeArena(NodeSlab& slab) noexcept : slab_(&slab) {}
   NodeSlab* slab_;
 };

@@ -1,0 +1,59 @@
+// List-order recursive-halving spawn — the vanilla-Nabbit spawn shape.
+//
+// Pushes the upper half of an item range as a stealable frame (no color
+// advertisement) and descends into the lower half, exactly like the paper's
+// recursive parallel-for minus the cilkrts_set_next_colors calls. The
+// uncolored sibling of nabbitc/spawn_colors.h's spawn_colored, generic over
+// the item type and leaf action for the same reason: the shape is shared by
+// predecessor exploration, successor notification, and the compiled-plan
+// replay path (src/plan/), and must stay identical across them so steal
+// behaviour matches the fresh-execution path.
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+
+#include "rt/scheduler.h"
+
+namespace nabbitc::nabbit {
+
+namespace detail {
+
+template <typename Item, typename Leaf>
+struct HalvedFrame {
+  rt::TaskGroup* group;
+  const Item* items;
+  Leaf leaf;
+
+  void run(rt::Worker& w, std::size_t lo, std::size_t hi) const {
+    while (hi - lo > 1) {
+      std::size_t mid = lo + (hi - lo) / 2;
+      const auto* self = this;
+      group->spawn(w, rt::ColorMask{},
+                   [self, mid, hi](rt::Worker& ww) { self->run(ww, mid, hi); });
+      hi = mid;
+    }
+    leaf(w, items[lo]);
+  }
+};
+
+}  // namespace detail
+
+/// Spawns `leaf(worker, item)` over items[0, n) in list order with halving
+/// frames. All spawned frames join `g`; the caller must g.wait(). The frame
+/// lives in the worker's arena, so the spawn performs no heap allocation.
+template <typename Item, typename Leaf>
+void spawn_halved(rt::Worker& w, rt::TaskGroup& g, const Item* items,
+                  std::size_t n, Leaf leaf) {
+  static_assert(std::is_trivially_destructible_v<Leaf>);
+  if (n == 0) return;
+  if (n == 1) {
+    leaf(w, items[0]);
+    return;
+  }
+  using Frame = detail::HalvedFrame<Item, Leaf>;
+  auto* frame = w.arena().create<Frame>(Frame{&g, items, leaf});
+  frame->run(w, 0, n);
+}
+
+}  // namespace nabbitc::nabbit

@@ -1,0 +1,298 @@
+// GraphPlan compilation and PlanInstance lifecycle (the cold paths).
+// The replay hot path lives in replay.cpp.
+#include "plan/plan.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "support/check.h"
+#include "support/rng.h"
+#include "support/timing.h"
+
+namespace nabbitc::plan {
+
+// ---------------------------------------------------------------------------
+// PlanInstance
+
+PlanInstance::PlanInstance(const GraphPlan& plan)
+    : plan_(&plan),
+      // The prototype (built during compile, before the layout is measured)
+      // uses the default block size; every later instance gets one block
+      // sized to the measured payload layout.
+      slab_(plan.instance_slab_bytes_ != 0
+                ? plan.instance_slab_bytes_ + nabbit::NodeSlab::kBlockAlign
+                : std::size_t{1} << 16) {
+  state_.pooled = this;
+  // The submission frame is bound once; replays reuse it verbatim (this is
+  // what keeps the steady-state submit path free of heap allocation).
+  state_.job.fn = [this](rt::Worker& w) {
+    run_root(w);
+    state_.t_done_ns = now_ns();
+  };
+}
+
+PlanInstance::~PlanInstance() {
+  // Payload slots are placement-constructed into the slab; destroy in
+  // place, then the slab releases the block wholesale.
+  for (TaskGraphNode* n : nodes_) n->~TaskGraphNode();
+}
+
+TaskGraphNode* PlanInstance::make_node(Key key) {
+  nabbit::NodeArena arena(slab_);
+  GraphSpec& spec = plan_->spec();
+  TaskGraphNode* n = spec.create(arena, key);
+  NABBITC_CHECK_MSG(n != nullptr, "node factory returned null");
+  n->key_ = key;
+  n->color_ = spec.color_of(key);
+  n->status_.store(nabbit::NodeStatus::kVisited, std::memory_order_relaxed);
+  return n;
+}
+
+void PlanInstance::build() {
+  const GraphPlan& p = *plan_;
+  const std::uint32_t n = p.n_;
+  nodes_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) nodes_.push_back(make_node(p.keys_[i]));
+
+  // All slots exist, so init() may look predecessors up (unlike on-demand
+  // execution, where creation order is arbitrary).
+  nabbit::ExecContext ctx(nullptr, *this);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    TaskGraphNode* u = nodes_[i];
+    u->init(ctx);
+    // The plan replays a frozen topology; a spec that answers differently
+    // across calls would silently desynchronize the join counters.
+    const auto got = u->predecessors();
+    const auto want = p.predecessors(i);
+    NABBITC_CHECK_MSG(got.size() == want.size(),
+                      "GraphSpec is not deterministic: predecessor count "
+                      "changed between compile and instance build");
+    for (std::size_t j = 0; j < want.size(); ++j) {
+      NABBITC_CHECK_MSG(got[j] == p.keys_[want[j]],
+                        "GraphSpec is not deterministic: predecessor keys "
+                        "changed between compile and instance build");
+    }
+  }
+  join_ = std::make_unique<std::atomic<std::int32_t>[]>(n);
+}
+
+void PlanInstance::reset_for_replay() noexcept {
+  const GraphPlan& p = *plan_;
+  const std::uint32_t n = p.n_;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    join_[i].store(p.initial_join_[i], std::memory_order_relaxed);
+  }
+  for (std::uint32_t i = 0; i < n; ++i) {
+    nodes_[i]->status_.store(nabbit::NodeStatus::kVisited,
+                             std::memory_order_relaxed);
+  }
+  computed_.store(0, std::memory_order_relaxed);
+  state_.finalized = false;
+  state_.attributable = false;
+  state_.t_submit_ns = 0;
+  state_.t_done_ns = 0;
+}
+
+TaskGraphNode* PlanInstance::find(Key key) const {
+  const std::uint32_t i = plan_->index_of(key);
+  return i == GraphPlan::kInvalidIndex ? nullptr : nodes_[i];
+}
+
+void PlanInstance::recycle() noexcept { plan_->release(this); }
+
+// ---------------------------------------------------------------------------
+// GraphPlan
+
+GraphPlan::~GraphPlan() = default;
+
+std::uint32_t GraphPlan::index_of(Key key) const noexcept {
+  std::uint64_t h = splitmix64(key) & slot_mask_;
+  for (;;) {
+    const std::uint32_t idx = slot_idx_[h];
+    if (idx == kInvalidIndex) return kInvalidIndex;
+    if (slot_key_[h] == key) return idx;
+    h = (h + 1) & slot_mask_;
+  }
+}
+
+PlanInstance* GraphPlan::build_instance() const {
+  auto inst = std::unique_ptr<PlanInstance>(new PlanInstance(*this));
+  inst->build();
+  PlanInstance* raw = inst.get();
+  {
+    std::lock_guard<SpinLock> lk(pool_mu_);
+    owned_.push_back(std::move(inst));
+  }
+  instances_built_.fetch_add(1, std::memory_order_acq_rel);
+  return raw;
+}
+
+PlanInstance* GraphPlan::acquire() const {
+  PlanInstance* inst = nullptr;
+  {
+    std::lock_guard<SpinLock> lk(pool_mu_);
+    inst = free_head_;
+    if (inst != nullptr) free_head_ = inst->pool_next_;
+  }
+  if (inst != nullptr) {
+    inst->fresh_ = false;  // pure replay: no nodes created this submission
+  } else {
+    inst = build_instance();  // cold path; fresh_ = true from construction
+  }
+  inst->reset_for_replay();
+  return inst;
+}
+
+void GraphPlan::release(PlanInstance* inst) const noexcept {
+  std::lock_guard<SpinLock> lk(pool_mu_);
+  inst->pool_next_ = free_head_;
+  free_head_ = inst;
+}
+
+// ---------------------------------------------------------------------------
+// compile
+
+namespace {
+
+/// Lookup over the partially discovered graph, for init() during discovery.
+/// Semantics match on-demand execution: find() of a not-yet-created node
+/// returns null.
+struct DiscoveryLookup final : nabbit::NodeLookup {
+  DiscoveryLookup(const std::unordered_map<Key, std::uint32_t>* i,
+                  const std::vector<TaskGraphNode*>* n)
+      : index(i), nodes(n) {}
+  const std::unordered_map<Key, std::uint32_t>* index;
+  const std::vector<TaskGraphNode*>* nodes;
+  TaskGraphNode* find(Key key) const override {
+    auto it = index->find(key);
+    return it == index->end() ? nullptr : (*nodes)[it->second];
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<GraphPlan> compile(GraphSpec& spec, Key sink,
+                                   const CompileOptions& opts) {
+  auto plan = std::unique_ptr<GraphPlan>(new GraphPlan(spec, sink, opts));
+  auto proto = std::unique_ptr<PlanInstance>(new PlanInstance(*plan));
+
+  // --- discovery: iterative DFS from the sink, creating + init()ing nodes
+  // (never computing). Creation order defines the plan index space, so the
+  // sink is index 0.
+  std::unordered_map<Key, std::uint32_t> index;
+  index.reserve(spec.expected_nodes());
+  std::vector<TaskGraphNode*>& nodes = proto->nodes_;
+  std::vector<std::uint8_t> finished;  // discovered-but-unfinished = on stack
+  DiscoveryLookup lookup{&index, &nodes};
+  nabbit::ExecContext ctx(nullptr, lookup);
+
+  auto create = [&](Key k) -> std::uint32_t {
+    const auto idx = static_cast<std::uint32_t>(nodes.size());
+    NABBITC_CHECK_MSG(idx != GraphPlan::kInvalidIndex, "graph too large to compile");
+    index.emplace(k, idx);
+    TaskGraphNode* node = proto->make_node(k);
+    nodes.push_back(node);
+    finished.push_back(0);
+    node->init(ctx);
+    return idx;
+  };
+
+  struct Frame {
+    std::uint32_t idx;
+    std::size_t next_pred;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({create(sink), 0});
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    const auto preds = nodes[f.idx]->predecessors();
+    if (f.next_pred < preds.size()) {
+      const Key pk = preds[f.next_pred++];
+      auto it = index.find(pk);
+      if (it == index.end()) {
+        stack.push_back({create(pk), 0});
+      } else {
+        // A discovered-but-unfinished predecessor is a DFS ancestor.
+        NABBITC_CHECK_MSG(finished[it->second],
+                          "cycle detected while compiling task graph");
+      }
+    } else {
+      finished[f.idx] = 1;
+      stack.pop_back();
+    }
+  }
+
+  // --- freeze topology into CSR arrays + per-node colors.
+  const auto n = static_cast<std::uint32_t>(nodes.size());
+  plan->n_ = n;
+  plan->keys_.resize(n);
+  plan->colors_.resize(n);
+  plan->data_colors_.resize(n);
+  plan->pred_off_.assign(n + 1, 0);
+  plan->initial_join_.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    plan->keys_[i] = nodes[i]->key();
+    plan->colors_[i] = nodes[i]->color();
+    plan->data_colors_[i] = spec.data_color_of(nodes[i]->key());
+    const auto npreds = nodes[i]->predecessors().size();
+    plan->pred_off_[i + 1] = plan->pred_off_[i] + static_cast<std::uint32_t>(npreds);
+    plan->initial_join_[i] = static_cast<std::int32_t>(npreds);
+    if (npreds == 0) plan->roots_.push_back(i);
+  }
+  plan->pred_idx_.resize(plan->pred_off_[n]);
+  plan->succ_off_.assign(n + 1, 0);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::uint32_t o = plan->pred_off_[i];
+    for (const Key pk : nodes[i]->predecessors()) {
+      const std::uint32_t pi = index.at(pk);
+      plan->pred_idx_[o++] = pi;
+      ++plan->succ_off_[pi + 1];
+    }
+  }
+  for (std::uint32_t i = 0; i < n; ++i) {
+    plan->succ_off_[i + 1] += plan->succ_off_[i];
+  }
+  plan->succ_idx_.resize(plan->succ_off_[n]);
+  {
+    std::vector<std::uint32_t> cursor(plan->succ_off_.begin(),
+                                      plan->succ_off_.end() - 1);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      for (const std::uint32_t pi : plan->predecessors(i)) {
+        plan->succ_idx_[cursor[pi]++] = i;
+      }
+    }
+  }
+
+  // --- freeze the key lookup (open addressing, linear probing, load < 0.5).
+  std::uint64_t cap = 4;
+  while (cap < std::uint64_t{n} * 2) cap <<= 1;
+  plan->slot_key_.assign(cap, 0);
+  plan->slot_idx_.assign(cap, GraphPlan::kInvalidIndex);
+  plan->slot_mask_ = cap - 1;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::uint64_t h = splitmix64(plan->keys_[i]) & plan->slot_mask_;
+    while (plan->slot_idx_[h] != GraphPlan::kInvalidIndex) {
+      h = (h + 1) & plan->slot_mask_;
+    }
+    plan->slot_key_[h] = plan->keys_[i];
+    plan->slot_idx_[h] = i;
+  }
+
+  // --- finalize the prototype as instance #0 and pre-build the rest.
+  plan->instance_slab_bytes_ = proto->slab_.bytes_allocated();
+  proto->join_ = std::make_unique<std::atomic<std::int32_t>[]>(n);
+  {
+    std::lock_guard<SpinLock> lk(plan->pool_mu_);
+    proto->pool_next_ = nullptr;
+    plan->free_head_ = proto.get();
+    plan->owned_.push_back(std::move(proto));
+  }
+  plan->instances_built_.store(1, std::memory_order_release);
+  for (std::size_t i = 1; i < opts.reserve_instances; ++i) {
+    plan->release(plan->build_instance());
+  }
+  return plan;
+}
+
+}  // namespace nabbitc::plan

@@ -1,0 +1,233 @@
+// Compiled graph plans: freeze-once / replay-many submission.
+//
+// A GraphSpec describes a dynamic task graph; executing one through the
+// dynamic executors pays node-map insertion, successor wiring, and coloring
+// on every submission. When the SAME graph is served over and over (the
+// steady state of a runtime embedded in a server), that construction work is
+// pure overhead — the topology never changes.
+//
+// plan::compile() walks the spec once from the sink (without computing
+// anything) and lowers it into an immutable GraphPlan:
+//
+//   * topology frozen into CSR predecessor/successor index arrays;
+//   * per-node scheduling colors and true data colors (the NabbitC locality
+//     hints) precomputed;
+//   * the key -> node-index lookup frozen into an open-addressed table;
+//   * node payload layout measured, so every instance's nodes are laid out
+//     contiguously in one exactly-sized slab block.
+//
+// Replaying the plan acquires a pooled PlanInstance — join counters, node
+// payload slots, the reusable root-job submission frame — resets it, and
+// drives the dependence protocol over the CSR arrays: no node map, no
+// successor-list CAS traffic, and (once the pool is warm) no heap
+// allocation at all on the submit path. Results are bitwise-identical to a
+// fresh GraphSpec submission; the test suite checksums both.
+//
+// Contracts:
+//   * the GraphSpec must describe the same graph on every call (same
+//     predecessors, same colors) — instance construction re-derives the
+//     structure and aborts on mismatch;
+//   * node init() runs once per instance (at build), compute() once per
+//     replay — per-replay state belongs in the data compute() touches;
+//   * the spec must outlive the plan, and the plan must outlive every
+//     Execution submitted from it;
+//   * concurrent replays of one plan get distinct instances (distinct node
+//     objects); nodes writing to shared external buffers must be prepared
+//     for that, exactly as with concurrent spec submissions.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "api/execution_state.h"
+#include "nabbit/graph_spec.h"
+#include "nabbit/node.h"
+#include "nabbit/node_pool.h"
+#include "numa/topology.h"
+#include "rt/scheduler.h"
+#include "support/spin.h"
+
+namespace nabbitc::plan {
+
+using nabbit::GraphSpec;
+using nabbit::Key;
+using nabbit::TaskGraphNode;
+
+struct CompileOptions {
+  /// NabbitC semantics: color-grouped morphing-continuation spawns with
+  /// advertised color masks. False = vanilla Nabbit list-order spawning.
+  /// api::Runtime::compile derives this from the runtime's variant.
+  bool colored = true;
+  /// Record the paper's SectionV-B locality metric while replaying.
+  bool count_locality = true;
+  /// Instances to pre-build at compile time. Replays beyond the warm pool
+  /// build more on demand (a heap-allocating cold path); pre-size this to
+  /// the expected concurrent-replay depth for allocation-free serving.
+  std::size_t reserve_instances = 1;
+};
+
+class GraphPlan;
+
+/// Mutable per-execution state of one plan replay: the node payload slots,
+/// the join-counter array, and the embedded submission frame. Instances are
+/// pooled by their GraphPlan; embedders never create one directly — they
+/// come out of Runtime::submit(const GraphPlan&).
+class PlanInstance final : public nabbit::NodeLookup {
+ public:
+  ~PlanInstance();
+  PlanInstance(const PlanInstance&) = delete;
+  PlanInstance& operator=(const PlanInstance&) = delete;
+
+  /// Node lookup over this instance's payload slots (ExecContext::find).
+  TaskGraphNode* find(Key key) const override;
+
+  std::uint64_t nodes_computed() const noexcept {
+    return computed_.load(std::memory_order_acquire);
+  }
+  /// True when this instance's nodes were constructed for the current
+  /// submission (pool miss); false for a pure replay.
+  bool fresh() const noexcept { return fresh_; }
+
+  const GraphPlan& plan() const noexcept { return *plan_; }
+
+  /// The embedded execution state the api::Execution handle points at.
+  api::detail::ExecutionState& exec_state() noexcept { return state_; }
+
+  /// Returns this instance to its plan's pool. Called by the Execution
+  /// handle once the replay has completed and the handle is released.
+  void recycle() noexcept;
+
+ private:
+  friend class GraphPlan;
+  friend std::unique_ptr<GraphPlan> compile(GraphSpec& spec, Key sink,
+                                            const CompileOptions& opts);
+
+  explicit PlanInstance(const GraphPlan& plan);
+
+  /// Creates the payload slot for `key` through this instance's slab, with
+  /// the same key/color/status setup a fresh execution performs.
+  TaskGraphNode* make_node(Key key);
+  /// Constructs + init()s every node in plan index order (cold path), and
+  /// verifies the spec reproduced the compiled structure.
+  void build();
+  /// Rearms join counters, statuses, and counters for the next replay.
+  void reset_for_replay() noexcept;
+
+  // --- replay protocol (replay.cpp) ---------------------------------------
+  void run_root(rt::Worker& w);
+  void compute_and_notify(rt::Worker& w, std::uint32_t index);
+  void spawn_indices(rt::Worker& w, rt::TaskGroup& g, std::uint32_t* indices,
+                     std::size_t n);
+
+  const GraphPlan* plan_;
+  nabbit::NodeSlab slab_;                    // node payload storage
+  std::vector<TaskGraphNode*> nodes_;        // plan index -> payload slot
+  std::unique_ptr<std::atomic<std::int32_t>[]> join_;
+  std::atomic<std::uint64_t> computed_{0};
+  bool fresh_ = true;
+  api::detail::ExecutionState state_;
+  PlanInstance* pool_next_ = nullptr;  // freelist link, under the plan's lock
+
+  // replay.cpp spawn leaf.
+  friend struct PlanComputeLeaf;
+};
+
+/// The immutable compiled form of (GraphSpec, sink): frozen topology,
+/// colors, key lookup — plus the (mutable, thread-safe) pool of reusable
+/// PlanInstances. Compile once with plan::compile or Runtime::compile, then
+/// submit any number of times, from any thread.
+class GraphPlan {
+ public:
+  static constexpr std::uint32_t kInvalidIndex = 0xffffffffu;
+
+  ~GraphPlan();
+  GraphPlan(const GraphPlan&) = delete;
+  GraphPlan& operator=(const GraphPlan&) = delete;
+
+  std::uint32_t num_nodes() const noexcept { return n_; }
+  Key sink() const noexcept { return sink_; }
+  bool colored() const noexcept { return opts_.colored; }
+  bool count_locality() const noexcept { return opts_.count_locality; }
+  GraphSpec& spec() const noexcept { return *spec_; }
+
+  Key key_of(std::uint32_t i) const noexcept { return keys_[i]; }
+  numa::Color color_of(std::uint32_t i) const noexcept { return colors_[i]; }
+  numa::Color data_color_of(std::uint32_t i) const noexcept {
+    return data_colors_[i];
+  }
+  std::span<const std::uint32_t> predecessors(std::uint32_t i) const noexcept {
+    return {pred_idx_.data() + pred_off_[i], pred_off_[i + 1] - pred_off_[i]};
+  }
+  std::span<const std::uint32_t> successors(std::uint32_t i) const noexcept {
+    return {succ_idx_.data() + succ_off_[i], succ_off_[i + 1] - succ_off_[i]};
+  }
+  std::span<const std::uint32_t> roots() const noexcept { return roots_; }
+
+  /// Frozen key -> plan-index lookup; kInvalidIndex for unknown keys.
+  std::uint32_t index_of(Key key) const noexcept;
+
+  /// Instances constructed so far (pool size; grows on concurrent-replay
+  /// depth, never shrinks until the plan dies).
+  std::size_t instances_built() const noexcept {
+    return instances_built_.load(std::memory_order_acquire);
+  }
+
+  /// Pops a pooled instance (or builds one — the heap-allocating cold
+  /// path), reset and ready to submit. Thread-safe.
+  PlanInstance* acquire() const;
+  /// Returns an instance whose execution has fully completed.
+  void release(PlanInstance* inst) const noexcept;
+
+ private:
+  friend class PlanInstance;
+  friend std::unique_ptr<GraphPlan> compile(GraphSpec& spec, Key sink,
+                                            const CompileOptions& opts);
+
+  GraphPlan(GraphSpec& spec, Key sink, const CompileOptions& opts)
+      : spec_(&spec), sink_(sink), opts_(opts) {}
+
+  /// Builds and registers a new instance (pool miss / pre-reserve path).
+  PlanInstance* build_instance() const;
+
+  GraphSpec* spec_;
+  Key sink_;
+  CompileOptions opts_;
+
+  // Frozen topology (plan index space; index 0 is the sink).
+  std::uint32_t n_ = 0;
+  std::vector<Key> keys_;
+  std::vector<numa::Color> colors_;
+  std::vector<numa::Color> data_colors_;
+  std::vector<std::uint32_t> pred_off_, pred_idx_;
+  std::vector<std::uint32_t> succ_off_, succ_idx_;
+  std::vector<std::int32_t> initial_join_;  // == predecessor counts
+  std::vector<std::uint32_t> roots_;        // indices with zero predecessors
+
+  // Frozen open-addressed key table (power-of-two, linear probing).
+  std::vector<Key> slot_key_;
+  std::vector<std::uint32_t> slot_idx_;
+  std::uint64_t slot_mask_ = 0;
+
+  /// Payload bytes one instance's nodes need (measured on the prototype).
+  std::size_t instance_slab_bytes_ = 0;
+
+  // Instance pool (mutable: submission through a const plan is the point).
+  mutable SpinLock pool_mu_;
+  mutable PlanInstance* free_head_ = nullptr;
+  mutable std::vector<std::unique_ptr<PlanInstance>> owned_;
+  mutable std::atomic<std::uint64_t> instances_built_{0};
+};
+
+/// Lowers (spec, sink) into an immutable GraphPlan: discovers the graph by
+/// creating + init()ing nodes from the sink (without computing anything),
+/// freezes the CSR topology and colors, and pre-builds
+/// opts.reserve_instances instances. Aborts on a cyclic graph. Prefer the
+/// api::Runtime::compile wrapper, which derives `opts.colored` and
+/// `opts.count_locality` from the runtime's configuration.
+std::unique_ptr<GraphPlan> compile(GraphSpec& spec, Key sink,
+                                   const CompileOptions& opts = {});
+
+}  // namespace nabbitc::plan

@@ -1,0 +1,111 @@
+// Plan replay: the dependence protocol over frozen CSR arrays.
+//
+// This is the executor the replay path runs instead of DynamicExecutor: no
+// concurrent node map (slots are plan indices), no successor-list CAS
+// traffic (successor sets are frozen CSR rows), no graph construction at
+// all. The spawn *shape* matches the dynamic executors — list-order
+// recursive halving for Nabbit, the morphing-continuation colored spawn of
+// spawn_colors.h for NabbitC — so steal behaviour and locality stay
+// faithful to the paper; only the discovery machinery is gone. Every
+// allocation on this path comes from the executing worker's frame arena.
+#include "nabbit/spawn_halved.h"
+#include "nabbitc/spawn_colors.h"
+#include "plan/plan.h"
+#include "support/check.h"
+
+namespace nabbitc::plan {
+
+/// Leaf action for both spawn shapes (colored and halved).
+struct PlanComputeLeaf {
+  PlanInstance* inst;
+  void operator()(rt::Worker& w, std::uint32_t index) const {
+    inst->compute_and_notify(w, index);
+  }
+};
+
+namespace {
+
+/// Item -> color projection for spawn_colored, over the plan's frozen
+/// color array.
+struct PlanColorOf {
+  const numa::Color* colors;
+  numa::Color operator()(std::uint32_t index) const { return colors[index]; }
+};
+
+}  // namespace
+
+void PlanInstance::spawn_indices(rt::Worker& w, rt::TaskGroup& g,
+                                 std::uint32_t* indices, std::size_t n) {
+  if (n == 0) return;
+  const GraphPlan& p = *plan_;
+  if (p.colored()) {
+    nabbit::spawn_colored(w, g, indices, n, PlanColorOf{p.colors_.data()},
+                          PlanComputeLeaf{this});
+    return;
+  }
+  nabbit::spawn_halved(w, g, indices, n, PlanComputeLeaf{this});
+}
+
+void PlanInstance::run_root(rt::Worker& w) {
+  const GraphPlan& p = *plan_;
+  const auto roots = p.roots();
+  // Roots are spawned from an arena copy: the colored path sorts its item
+  // array in place, and the plan's own arrays are frozen.
+  auto* indices = w.arena().create_array<std::uint32_t>(roots.size());
+  for (std::size_t i = 0; i < roots.size(); ++i) indices[i] = roots[i];
+  rt::TaskGroup group;
+  spawn_indices(w, group, indices, roots.size());
+  group.wait(w);
+  NABBITC_CHECK_MSG(
+      computed_.load(std::memory_order_acquire) == p.num_nodes(),
+      "plan replay did not compute every node — instance resubmitted while "
+      "in flight, or graph mutated since compile");
+}
+
+void PlanInstance::compute_and_notify(rt::Worker& w, std::uint32_t index) {
+  const GraphPlan& p = *plan_;
+  TaskGraphNode* u = nodes_[index];
+#ifndef NDEBUG
+  // Protocol invariant: a node computes only after all predecessors have.
+  for (const std::uint32_t pi : p.predecessors(index)) {
+    NABBITC_CHECK_MSG(nodes_[pi]->computed(),
+                      "dependence violation: plan node computed before "
+                      "predecessor");
+  }
+#endif
+  if (p.count_locality()) {
+    // Counted against true data placement, exactly like the dynamic path
+    // (see DynamicExecutor::compute_and_notify) — but the colors come from
+    // the plan's frozen arrays, not spec virtual calls.
+    const auto preds = p.predecessors(index);
+    std::uint64_t remote_preds = 0;
+    for (const std::uint32_t pi : preds) {
+      if (!w.color_is_local(p.data_colors_[pi])) ++remote_preds;
+    }
+    w.record_node_execution(p.data_colors_[index], preds.size(), remote_preds);
+  }
+
+  nabbit::ExecContext ctx(&w, *this);
+  u->compute(ctx);
+  u->status_.store(nabbit::NodeStatus::kComputed, std::memory_order_release);
+  computed_.fetch_add(1, std::memory_order_relaxed);
+
+  // Notify successors: the CSR row replaces the successor list — every
+  // dependent is known up front, so the last-arriving predecessor (the
+  // fetch_sub observing 1) spawns the successor.
+  const auto succs = p.successors(index);
+  if (succs.empty()) return;
+  auto* ready = w.arena().create_array<std::uint32_t>(succs.size());
+  std::size_t nready = 0;
+  for (const std::uint32_t s : succs) {
+    if (join_[s].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      ready[nready++] = s;
+    }
+  }
+  if (nready == 0) return;
+  rt::TaskGroup group;
+  spawn_indices(w, group, ready, nready);
+  group.wait(w);
+}
+
+}  // namespace nabbitc::plan

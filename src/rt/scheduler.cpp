@@ -130,6 +130,7 @@ Scheduler::Scheduler(SchedulerConfig cfg) : cfg_(cfg) {
     w->my_mask_ = ColorMask::single(w->color_);
     w->sched_ = this;
     w->rng_ = Pcg32(splitmix64(cfg_.seed + i), /*stream=*/i + 1);
+    w->arena_.bind_reclaim(&frames_completed_upto_);
     workers_.push_back(std::move(w));
   }
   if (cfg_.trace.enabled) {
@@ -179,6 +180,17 @@ void Scheduler::submit(RootJob& job) {
     }
     inject_tail_ = &job;
     inject_count_.fetch_add(1, std::memory_order_release);
+    // Assign the job's frame epoch and append it to the epoch-ordered
+    // active list (epochs are handed out under mu_, so append keeps order).
+    job.frame_epoch = ++next_frame_epoch_;
+    job.active_prev = active_tail_;
+    job.active_next = nullptr;
+    if (active_tail_ != nullptr) {
+      active_tail_->active_next = &job;
+    } else {
+      active_head_ = &job;
+    }
+    active_tail_ = &job;
   }
   cv_start_.notify_all();
 }
@@ -201,6 +213,21 @@ bool Scheduler::finish_root(RootJob& job) {
   if (last) quiescent_gen_.fetch_add(1, std::memory_order_release);
   {
     std::lock_guard<std::mutex> lk(mu_);
+    // Unlink from the active list and advance the reclamation watermark:
+    // all frames of epochs <= min(active) - 1 are now dead.
+    if (job.active_prev != nullptr) {
+      job.active_prev->active_next = job.active_next;
+    } else {
+      active_head_ = job.active_next;
+    }
+    if (job.active_next != nullptr) {
+      job.active_next->active_prev = job.active_prev;
+    } else {
+      active_tail_ = job.active_prev;
+    }
+    const std::uint64_t upto =
+        active_head_ != nullptr ? active_head_->frame_epoch - 1 : next_frame_epoch_;
+    frames_completed_upto_.store(upto, std::memory_order_release);
     job.done.store(true, std::memory_order_release);
   }
   cv_done_.notify_all();
@@ -222,6 +249,16 @@ void Scheduler::wait(const RootJob& job) {
       }
     }
     return;
+  }
+  // External thread: spin briefly before sleeping. Small-graph round trips
+  // (the plan-replay serving path) complete in a few microseconds — less
+  // than a futex sleep/wake pair — so a bounded backoff spin saves a
+  // context switch on the hot path while long jobs still park on the
+  // condition variable after ~a hundred polls.
+  Backoff backoff;
+  for (int spin = 0; spin < 128; ++spin) {
+    if (job.done.load(std::memory_order_acquire)) return;
+    backoff.pause();
   }
   std::unique_lock<std::mutex> lk(mu_);
   cv_done_.wait(lk, [&] { return job.done.load(std::memory_order_acquire); });
@@ -298,7 +335,13 @@ bool Scheduler::try_progress(Worker& w) {
   if (inject_count_.load(std::memory_order_acquire) > 0) {
     if (RootJob* job = pop_root()) {
       rearm_epoch(w);
+      // Frames the root allocates (and every task it spawns) carry its
+      // epoch; restore afterwards — a worker can adopt a root while helping
+      // mid-task inside wait().
+      const std::uint64_t saved_epoch = w.arena_.epoch();
+      w.arena_.set_epoch(job->frame_epoch);
       job->fn(w);
+      w.arena_.set_epoch(saved_epoch);
       const bool last = finish_root(*job);
       // If that was the last active job, every frame everywhere is
       // garbage — rewind our arena right away (the common serialized-

@@ -13,13 +13,14 @@
 // the shared pool. execute() is the synchronous submit+wait convenience the
 // single-job callers (and the api::Runtime façade's run()) build on.
 //
-// Memory contract: per-worker frame arenas rewind only at pool quiescence
-// (no job in flight), when no live frame can exist anywhere. Serialized
-// submissions therefore reuse arena blocks run after run; overlapping
-// submissions hold frame memory at the busy period's high-watermark, and a
-// client that NEVER lets the pool drain grows arena memory for as long as
-// the overlap persists (tracked in ROADMAP.md — fixing it needs per-frame
-// lifetime accounting, e.g. epoch-segmented arenas).
+// Memory contract: per-worker frame arenas are epoch-segmented (rt/arena.h).
+// Every RootJob gets a frame epoch at submission; arena blocks are stamped
+// with the newest epoch that allocated into them and recycled as soon as
+// every job at or below that stamp has finished — so even a client that
+// NEVER lets the pool drain (continuous overlapping submissions) runs at the
+// busy period's high-watermark instead of growing without bound. Full pool
+// quiescence additionally rewinds everything at once (the cheap path for
+// serialized submissions).
 #pragma once
 
 #include <atomic>
@@ -134,16 +135,23 @@ class Worker {
   /// Returns nullptr when no work was found this round.
   Task* find_task();
 
-  /// Executes a task, updating counters (and the trace when enabled).
+  /// Executes a task, updating counters (and the trace when enabled). The
+  /// arena's frame epoch follows the task's owning job for the duration and
+  /// is restored afterwards — a worker helping inside TaskGroup::wait may
+  /// run foreign-job tasks mid-frame, and the frames it allocates once it
+  /// resumes its own task must keep their own job's stamp.
   void run_task(Task* task) {
     ++counters_.tasks_executed;
+    const std::uint64_t saved_epoch = arena_.epoch();
+    arena_.set_epoch(task->epoch);
     if (trace_ring_ == nullptr) {
       task->run(*this);
-      return;
+    } else {
+      const std::uint64_t t0 = now_ns();
+      task->run(*this);
+      trace_emit(trace::EventKind::kTask, t0, now_ns() - t0, 0, 0, color_);
     }
-    const std::uint64_t t0 = now_ns();
-    task->run(*this);
-    trace_emit(trace::EventKind::kTask, t0, now_ns() - t0, 0, 0, color_);
+    arena_.set_epoch(saved_epoch);
   }
 
  private:
@@ -189,6 +197,13 @@ class Scheduler {
     std::function<void(Worker&)> fn;
     std::atomic<bool> done{false};
     RootJob* next = nullptr;  // intrusive injection-queue link
+    /// Frame epoch assigned at submit() (monotone); tags every arena block
+    /// this job's frames land in (see rt/arena.h).
+    std::uint64_t frame_epoch = 0;
+    /// Intrusive links for the epoch-ordered active-job list (under mu_),
+    /// from which the reclamation watermark is derived.
+    RootJob* active_prev = nullptr;
+    RootJob* active_next = nullptr;
   };
 
   explicit Scheduler(SchedulerConfig cfg);
@@ -224,6 +239,20 @@ class Scheduler {
 
   Worker& worker(std::uint32_t i) noexcept { return *workers_[i]; }
   const Worker& worker(std::uint32_t i) const noexcept { return *workers_[i]; }
+
+  /// Bytes of frame-arena block storage held across all workers (mapped
+  /// high-watermark; see the memory contract above). Safe from any thread.
+  std::size_t frame_arena_bytes() const noexcept {
+    std::size_t total = 0;
+    for (const auto& w : workers_) total += w->arena_.bytes_held();
+    return total;
+  }
+
+  /// The epoch-reclamation watermark: every job with frame epoch at or
+  /// below this value has finished (exposed for white-box tests).
+  std::uint64_t frames_completed_upto() const noexcept {
+    return frames_completed_upto_.load(std::memory_order_acquire);
+  }
 
   /// Sum of all per-worker counters (cumulative since last reset). Only
   /// exact when the pool is idle (wait_idle).
@@ -293,6 +322,15 @@ class Scheduler {
   std::atomic<std::uint32_t> submit_epoch_{0};
   /// Bumped each time active_jobs_ drops to zero; drives arena recycling.
   std::atomic<std::uint64_t> quiescent_gen_{0};
+
+  // Epoch-segmented frame reclamation (under mu_ except the watermark):
+  // active jobs form an intrusive list in frame-epoch order; the watermark
+  // is min(active epochs) - 1, or the last assigned epoch when none are
+  // active. Worker arenas recycle any block stamped <= watermark.
+  std::uint64_t next_frame_epoch_ = 0;  // last assigned; under mu_
+  RootJob* active_head_ = nullptr;      // oldest active job, under mu_
+  RootJob* active_tail_ = nullptr;      // newest active job, under mu_
+  std::atomic<std::uint64_t> frames_completed_upto_{0};
 };
 
 // ---------------------------------------------------------------------------
@@ -304,6 +342,7 @@ void TaskGroup::spawn(Worker& worker, const ColorMask& colors, F&& fn) {
   add(1);
   auto* task = worker.arena().create<GroupTask<Fn>>(this, std::forward<F>(fn));
   task->colors = colors;  // the paper's cilkrts_set_next_colors()
+  task->epoch = worker.arena().epoch();  // spawns inherit the job's epoch
   ++worker.counters().spawns;
   worker.trace_spawn(colors);
   worker.deque().push(task);

@@ -31,6 +31,13 @@ class Task {
   /// entry). Written once before the frame is pushed.
   ColorMask colors;
 
+  /// Frame epoch of the job this task belongs to (the scheduler's per-
+  /// submission number). Stamped at spawn from the spawning worker's arena
+  /// epoch; whoever runs the task — owner or thief — adopts it so frames
+  /// allocated while the task runs are attributed to the right job segment
+  /// (see rt/arena.h).
+  std::uint64_t epoch = 0;
+
  protected:
   ~Task() = default;
 };

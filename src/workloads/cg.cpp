@@ -256,7 +256,9 @@ class CgWorkload final : public Workload {
     }
   }
 
-  void run_taskgraph(api::Runtime& rt, nabbit::ColoringMode coloring) override;
+  std::unique_ptr<nabbit::GraphSpec> make_taskgraph_spec(
+      std::uint32_t num_colors, nabbit::ColoringMode coloring) override;
+  nabbit::Key taskgraph_sink() const override;
 
   std::uint64_t checksum() const override {
     Digest d;
@@ -409,10 +411,14 @@ class CgSpec final : public nabbit::GraphSpec {
   nabbit::ColoringMode mode_;
 };
 
-void CgWorkload::run_taskgraph(api::Runtime& rt, nabbit::ColoringMode coloring) {
-  NABBITC_CHECK(rt.workers() == num_colors_);
-  CgSpec spec(this, coloring);
-  rt.run(spec, make_key(cfg_.iterations, kRrReduce, 0));
+std::unique_ptr<nabbit::GraphSpec> CgWorkload::make_taskgraph_spec(
+    std::uint32_t num_colors, nabbit::ColoringMode coloring) {
+  NABBITC_CHECK(num_colors == num_colors_);
+  return std::make_unique<CgSpec>(this, coloring);
+}
+
+nabbit::Key CgWorkload::taskgraph_sink() const {
+  return make_key(cfg_.iterations, kRrReduce, 0);
 }
 
 sim::TaskDag CgWorkload::build_dag(std::uint32_t num_colors,

@@ -121,7 +121,9 @@ class MgWorkload final : public Workload {
     }
   }
 
-  void run_taskgraph(api::Runtime& rt, nabbit::ColoringMode coloring) override;
+  std::unique_ptr<nabbit::GraphSpec> make_taskgraph_spec(
+      std::uint32_t num_colors, nabbit::ColoringMode coloring) override;
+  nabbit::Key taskgraph_sink() const override;
 
   std::uint64_t checksum() const override {
     Digest d;
@@ -395,10 +397,14 @@ class MgSpec final : public nabbit::GraphSpec {
   nabbit::ColoringMode mode_;
 };
 
-void MgWorkload::run_taskgraph(api::Runtime& rt, nabbit::ColoringMode coloring) {
-  NABBITC_CHECK(rt.workers() == num_colors_);
-  MgSpec spec(this, coloring);
-  rt.run(spec, key_pack(num_phases(), 0));
+std::unique_ptr<nabbit::GraphSpec> MgWorkload::make_taskgraph_spec(
+    std::uint32_t num_colors, nabbit::ColoringMode coloring) {
+  NABBITC_CHECK(num_colors == num_colors_);
+  return std::make_unique<MgSpec>(this, coloring);
+}
+
+nabbit::Key MgWorkload::taskgraph_sink() const {
+  return key_pack(num_phases(), 0);
 }
 
 sim::TaskDag MgWorkload::build_dag(std::uint32_t num_colors,

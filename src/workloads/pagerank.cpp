@@ -1,5 +1,7 @@
 #include "workloads/pagerank.h"
 
+#include <algorithm>
+#include <iterator>
 #include <sstream>
 #include <vector>
 
@@ -83,7 +85,9 @@ class PageRankWorkload final : public Workload {
     }
   }
 
-  void run_taskgraph(api::Runtime& rt, nabbit::ColoringMode coloring) override;
+  std::unique_ptr<nabbit::GraphSpec> make_taskgraph_spec(
+      std::uint32_t num_colors, nabbit::ColoringMode coloring) override;
+  nabbit::Key taskgraph_sink() const override;
 
   std::uint64_t checksum() const override {
     Digest d;
@@ -206,7 +210,27 @@ PageRankWorkload::PageRankWorkload(PageRankDataset dataset, SizePreset preset)
       in_(out_.transpose()),
       part_(out_.num_vertices(), cfg_.num_blocks) {
   max_out_degree_ = out_.max_degree();
+  // A task (t, b) must wait for two block sets at t-1: the gather sources
+  // it READS (blocks holding in-neighbours of b's vertices), and the blocks
+  // that read b's t-2 ranks — (t, b) overwrites the ranks_[(t) & 1] slots
+  // those readers gather from (double buffering), so omitting the reader
+  // set is a write-after-read hazard. The two relations are transposes of
+  // each other and only coincide for symmetric graphs; degree-skewed
+  // datasets (R-MAT / twitter) genuinely diverge. The hazard was latent
+  // under the sink-backward dynamic executors' usual orders and surfaced by
+  // plan-replay equivalence checksums, which execute root-forward.
   block_deps_ = graph::block_dependencies(in_, part_);
+  {
+    const auto readers = graph::block_dependencies(out_, part_);
+    for (std::uint32_t b = 0; b < cfg_.num_blocks; ++b) {
+      auto& d = block_deps_[b];
+      std::vector<std::uint32_t> merged;
+      merged.reserve(d.size() + readers[b].size());
+      std::set_union(d.begin(), d.end(), readers[b].begin(), readers[b].end(),
+                     std::back_inserter(merged));
+      d = std::move(merged);
+    }
+  }
   inv_outdeg_.resize(static_cast<std::size_t>(out_.num_vertices()));
   for (graph::Vertex v = 0; v < out_.num_vertices(); ++v) {
     const auto d = out_.degree(v);
@@ -282,11 +306,14 @@ class PageRankSpec final : public nabbit::GraphSpec {
   nabbit::ColoringMode mode_;
 };
 
-void PageRankWorkload::run_taskgraph(api::Runtime& rt,
-                                     nabbit::ColoringMode coloring) {
-  NABBITC_CHECK(rt.workers() == num_colors_);
-  PageRankSpec spec(this, coloring);
-  rt.run(spec, key_pack(cfg_.iterations, cfg_.num_blocks));  // final barrier = sink
+std::unique_ptr<nabbit::GraphSpec> PageRankWorkload::make_taskgraph_spec(
+    std::uint32_t num_colors, nabbit::ColoringMode coloring) {
+  NABBITC_CHECK(num_colors == num_colors_);
+  return std::make_unique<PageRankSpec>(this, coloring);
+}
+
+nabbit::Key PageRankWorkload::taskgraph_sink() const {
+  return key_pack(cfg_.iterations, cfg_.num_blocks);  // final barrier = sink
 }
 
 sim::TaskDag PageRankWorkload::build_dag(std::uint32_t num_colors,

@@ -88,7 +88,9 @@ class WavefrontWorkload : public Workload {
     }
   }
 
-  void run_taskgraph(api::Runtime& rt, nabbit::ColoringMode coloring) override;
+  std::unique_ptr<nabbit::GraphSpec> make_taskgraph_spec(
+      std::uint32_t num_colors, nabbit::ColoringMode coloring) override;
+  nabbit::Key taskgraph_sink() const override;
 
   sim::TaskDag build_dag(std::uint32_t num_colors,
                          nabbit::ColoringMode coloring) const override {
@@ -190,12 +192,15 @@ class WavefrontSpec final : public nabbit::GraphSpec {
   nabbit::ColoringMode mode_;
 };
 
-void WavefrontWorkload::run_taskgraph(api::Runtime& rt,
-                                      nabbit::ColoringMode coloring) {
-  NABBITC_CHECK(rt.workers() == num_colors_);
-  WavefrontSpec spec(this, num_colors_, coloring);
+std::unique_ptr<nabbit::GraphSpec> WavefrontWorkload::make_taskgraph_spec(
+    std::uint32_t num_colors, nabbit::ColoringMode coloring) {
+  NABBITC_CHECK(num_colors == num_colors_);
+  return std::make_unique<WavefrontSpec>(this, num_colors_, coloring);
+}
+
+nabbit::Key WavefrontWorkload::taskgraph_sink() const {
   // The bottom-right block is the unique sink of the wavefront.
-  rt.run(spec, key_pack(nbi_ - 1, nbj_ - 1));
+  return key_pack(nbi_ - 1, nbj_ - 1);
 }
 
 // -------------------------------------------------------------------- sw n^3

@@ -133,12 +133,15 @@ class StencilSpec final : public nabbit::GraphSpec {
 
 }  // namespace
 
-void StencilWorkload::run_taskgraph(api::Runtime& rt,
-                                    nabbit::ColoringMode coloring) {
-  NABBITC_CHECK_MSG(rt.workers() == num_colors_,
+std::unique_ptr<nabbit::GraphSpec> StencilWorkload::make_taskgraph_spec(
+    std::uint32_t num_colors, nabbit::ColoringMode coloring) {
+  NABBITC_CHECK_MSG(num_colors == num_colors_,
                     "prepare() was called for a different worker count");
-  StencilSpec spec(this, num_colors_, coloring);
-  rt.run(spec, key_pack(dims_.iters + 1, 0));
+  return std::make_unique<StencilSpec>(this, num_colors_, coloring);
+}
+
+nabbit::Key StencilWorkload::taskgraph_sink() const {
+  return key_pack(dims_.iters + 1, 0);
 }
 
 sim::TaskDag StencilWorkload::build_dag(std::uint32_t num_colors,

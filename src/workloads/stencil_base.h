@@ -37,7 +37,9 @@ class StencilWorkload : public Workload {
   void reset() override;
   void run_serial() override;
   void run_loop(loop::ThreadPool& pool, loop::Schedule schedule) override;
-  void run_taskgraph(api::Runtime& rt, nabbit::ColoringMode coloring) override;
+  std::unique_ptr<nabbit::GraphSpec> make_taskgraph_spec(
+      std::uint32_t num_colors, nabbit::ColoringMode coloring) override;
+  nabbit::Key taskgraph_sink() const override;
   sim::TaskDag build_dag(std::uint32_t num_colors,
                          nabbit::ColoringMode coloring) const override;
 

@@ -9,6 +9,11 @@
 
 namespace nabbitc::wl {
 
+void Workload::run_taskgraph(api::Runtime& rt, nabbit::ColoringMode coloring) {
+  auto spec = make_taskgraph_spec(rt.workers(), coloring);
+  rt.run(*spec, taskgraph_sink());
+}
+
 SizePreset preset_from_string(const std::string& s) {
   if (s == "tiny") return SizePreset::kTiny;
   if (s == "small") return SizePreset::kSmall;

@@ -52,9 +52,23 @@ class Workload {
 
   virtual void run_serial() = 0;
   virtual void run_loop(loop::ThreadPool& pool, loop::Schedule schedule) = 0;
+
+  /// Builds the GraphSpec describing this workload's task graph, colored
+  /// per `coloring` for `num_colors` workers (must match the prepare()
+  /// color count; aborts otherwise). One spec serves any number of
+  /// executions — including plan compilation (Runtime::compile), which is
+  /// why this is exposed rather than buried in run_taskgraph: callers that
+  /// serve the same graph repeatedly compile the spec once and replay.
+  /// The spec references this workload; it must not outlive it.
+  virtual std::unique_ptr<nabbit::GraphSpec> make_taskgraph_spec(
+      std::uint32_t num_colors, nabbit::ColoringMode coloring) = 0;
+  /// Sink key of the graph described by make_taskgraph_spec.
+  virtual nabbit::Key taskgraph_sink() const = 0;
+
   /// Runs one graph execution on `rt` (the runtime's variant decides
   /// Nabbit vs NabbitC); rt.workers() must match the prepare() color count.
-  virtual void run_taskgraph(api::Runtime& rt, nabbit::ColoringMode coloring) = 0;
+  /// Convenience over make_taskgraph_spec + Runtime::run.
+  void run_taskgraph(api::Runtime& rt, nabbit::ColoringMode coloring);
 
   /// Bitwise-deterministic digest of the run's output.
   virtual std::uint64_t checksum() const = 0;
