@@ -321,7 +321,11 @@ void bench_runtime_submit(const BenchParams& p) {
 
 // The same single-node round trip through a compiled plan: instance reset +
 // injection handshake only — the amortized-to-zero graph-construction path
-// (compare against runtime_submit_ns; the acceptance bar is < 25% of it).
+// (compare against runtime_submit_ns). Note both run on a ONE-worker pool,
+// where the external waiter parks immediately instead of spin-yielding
+// (Scheduler::wait_spin_limit — spinning there steals the lone worker's
+// CPU under load), so these round trips include a futex sleep/wake pair;
+// multi-worker serving latency is bench_throughput / bench_serving's job.
 void bench_plan_replay_submit(const BenchParams& p) {
   api::RuntimeOptions ro;
   ro.workers = 1;

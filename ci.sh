@@ -100,6 +100,33 @@ else
   echo "bench-throughput smoke skipped (no Release build dir)"
 fi
 
+echo "=== bench-smoke: serving JSON ==="
+if [ -d "${BENCH_DIR}" ]; then
+  "${BENCH_DIR}/bench_serving" preset=tiny out="${BENCH_DIR}/BENCH_serving.json"
+  python3 - "${BENCH_DIR}/BENCH_serving.json" <<'EOF'
+import json, math, sys
+with open(sys.argv[1]) as f:
+    d = json.load(f)
+expected = [
+    "unloaded_p50_ns", "unloaded_p95_ns", "high_prio_p50_ns",
+    "high_prio_p95_ns", "high_prio_max_ns", "background_completed",
+    "cancel_drain_p50_ns", "cancel_skipped_mean", "arena_bytes_after",
+]
+missing = [k for k in expected if k not in d["metrics"]]
+assert not missing, f"missing metrics: {missing}"
+# The acceptance property: the high-priority latency under saturating
+# low-priority load exists and is finite (and sane: positive, sub-second).
+p50 = d["metrics"]["high_prio_p50_ns"]["value"]
+assert isinstance(p50, (int, float)) and math.isfinite(p50), f"bad p50: {p50}"
+assert 0 < p50 < 1e9, f"high-priority p50 out of range: {p50}"
+# Background (low-priority) work must have progressed under the load.
+assert d["metrics"]["background_completed"]["value"] > 0, "low lane starved"
+print(f"bench-serving OK: high_prio_p50 = {p50:.0f} ns")
+EOF
+else
+  echo "bench-serving smoke skipped (no Release build dir)"
+fi
+
 echo "=== traced smoke run ==="
 SMOKE_DIR="build-ci-release"
 [ -d "${SMOKE_DIR}" ] || SMOKE_DIR="build-ci-debug"
@@ -112,5 +139,32 @@ with open(sys.argv[1]) as f:
 assert d["traceEvents"], "trace has no events"
 print(f"trace OK: {len(d['traceEvents'])} events")
 EOF
+
+if [ "${MODE}" = "Debug" ]; then
+  echo "=== ThreadSanitizer leg skipped (Debug-only invocation) ==="
+  echo "CI OK"
+  exit 0
+fi
+
+echo "=== ThreadSanitizer leg (race-prone subset) ==="
+# The CI box has 1 CPU and tsan is ~10x, so this leg builds only the test
+# binaries and runs the race-prone subset: scheduler concurrency and
+# submission control (rt), concurrent submissions (api), concurrent/
+# cancelled plan replays (plan), and two randomized-DAG fuzz seeds.
+# Benign-by-design races (the colored-steal peek) are suppressed in
+# tsan.supp, which documents each entry.
+TSAN_DIR="build-ci-tsan"
+cmake -B "${TSAN_DIR}" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DNABBITC_SANITIZE=thread \
+  -DNABBITC_WERROR=ON \
+  -DNABBITC_BUILD_BENCH=OFF \
+  -DNABBITC_BUILD_EXAMPLES=OFF
+cmake --build "${TSAN_DIR}" -j "${JOBS}" \
+  --target rt_test api_test plan_test fuzz_graph_test
+TSAN_OPTIONS="suppressions=$(pwd)/tsan.supp halt_on_error=1" \
+  ctest --test-dir "${TSAN_DIR}" --output-on-failure --timeout 600 \
+  -R 'SubmissionControl|ConcurrentStealersEachTaskOnce|ConcurrentRootJobsShareThePool|ConcurrentStress|PlanConcurrent|OverlappingSubmissions|SubmitOptionsKeepSteadyState|FuzzDag8.*/[01]$'
+echo "tsan leg OK"
 
 echo "CI OK"

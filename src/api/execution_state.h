@@ -39,6 +39,8 @@ struct ExecutionState {
   nabbit::Key sink = 0;
   /// Owning pooled instance for plan replays; null for spec submissions.
   plan::PlanInstance* pooled = nullptr;
+  /// SubmitOptions::name passthrough (not owned; may be null).
+  const char* name = nullptr;
 
   std::uint64_t t_submit_ns = 0;
   std::uint64_t t_done_ns = 0;  // stamped by the adopting worker

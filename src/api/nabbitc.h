@@ -12,6 +12,7 @@
 
 #include "api/graph.h"
 #include "api/runtime.h"
+#include "api/submit_options.h"
 #include "api/variant.h"
 #include "plan/plan.h"
 
@@ -24,6 +25,14 @@ using api::Variant;
 
 using api::parse_variant;
 using api::variant_name;
+
+using api::deadline_in;
+using api::exec_status_name;
+using api::ExecStatus;
+using api::Priority;
+using api::priority_name;
+using api::Status;
+using api::SubmitOptions;
 
 using plan::GraphPlan;
 

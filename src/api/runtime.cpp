@@ -118,6 +118,55 @@ bool Execution::done() const noexcept {
   return st_ != nullptr && st_->job.done.load(std::memory_order_acquire);
 }
 
+bool Execution::wait_until(std::uint64_t deadline_ns) {
+  NABBITC_CHECK_MSG(st_ != nullptr, "wait_until() on an empty Execution");
+  if (st_->job.done.load(std::memory_order_acquire)) return true;
+  return st_->sched->wait_until(st_->job, deadline_ns);
+}
+
+bool Execution::wait_for(std::chrono::nanoseconds timeout) {
+  if (timeout.count() <= 0) return done();
+  return wait_until(now_ns() + static_cast<std::uint64_t>(timeout.count()));
+}
+
+void Execution::cancel() noexcept {
+  if (st_ == nullptr) return;
+  st_->job.try_cancel(rt::CancelReason::kRequested);
+}
+
+Status Execution::status() const noexcept {
+  Status s;
+  if (st_ == nullptr || !st_->job.done.load(std::memory_order_acquire)) {
+    return s;  // kRunning
+  }
+  s.skipped_nodes = st_->pooled != nullptr ? st_->pooled->nodes_skipped()
+                                           : st_->exec->nodes_skipped();
+  // "Completed" means the execution produced its whole result. For a plan
+  // replay that is skipped == 0 (every node is retired exactly once); for a
+  // spec submission, the sink computing implies every ancestor did — a
+  // cancel that landed after the last compute changes nothing the client
+  // can observe, so it reports kCompleted.
+  bool produced;
+  if (st_->pooled != nullptr) {
+    produced = s.skipped_nodes == 0;
+  } else {
+    TaskGraphNode* sink = st_->exec->find(st_->sink);
+    produced = sink != nullptr && sink->computed();
+  }
+  if (produced) {
+    s.state = ExecStatus::kCompleted;
+  } else {
+    s.state = st_->job.cancel_reason() == rt::CancelReason::kDeadline
+                  ? ExecStatus::kDeadlineExceeded
+                  : ExecStatus::kCancelled;
+  }
+  return s;
+}
+
+const char* Execution::name() const noexcept {
+  return st_ != nullptr ? st_->name : nullptr;
+}
+
 std::uint64_t Execution::nodes_created() const {
   NABBITC_CHECK_MSG(st_ != nullptr, "empty Execution");
   if (st_->pooled != nullptr) {
@@ -252,11 +301,19 @@ void arm_attribution_window(detail::ExecutionState& st, rt::Scheduler& sched,
 }  // namespace
 
 Execution Runtime::submit(GraphSpec& spec, Key sink) {
+  return submit(spec, sink, opts_.default_submit);
+}
+
+Execution Runtime::submit(GraphSpec& spec, Key sink, const SubmitOptions& so) {
   auto st = std::make_unique<detail::ExecutionState>();
   st->sched = sched_.get();
   st->sink = sink;
+  st->name = so.name;
   nabbit::DynamicExecutor::Options eo;
   eo.count_locality = opts_.count_locality;
+  // The executor polls this execution's own cancel word on node dispatch;
+  // the job lives in the same ExecutionState, so the address is stable.
+  eo.cancel = &st->job.cancel;
   // The variant picks the executor class here and picked the steal policy
   // at construction — one switch, so they cannot disagree.
   if (opts_.variant == Variant::kNabbitC) {
@@ -270,12 +327,18 @@ Execution Runtime::submit(GraphSpec& spec, Key sink) {
     raw->exec->run_root(w, raw->sink);
     raw->t_done_ns = now_ns();
   };
+  st->job.lane = static_cast<std::uint8_t>(so.priority);
+  st->job.deadline_ns = so.deadline_ns;
   sched_->submit(st->job);
   return Execution(st.release());
 }
 
 Execution Runtime::run(GraphSpec& spec, Key sink) {
-  Execution e = submit(spec, sink);
+  return run(spec, sink, opts_.default_submit);
+}
+
+Execution Runtime::run(GraphSpec& spec, Key sink, const SubmitOptions& so) {
+  Execution e = submit(spec, sink, so);
   e.wait();
   return e;
 }
@@ -292,6 +355,10 @@ std::unique_ptr<plan::GraphPlan> Runtime::compile(GraphSpec& spec, Key sink,
 }
 
 Execution Runtime::submit(const plan::GraphPlan& plan) {
+  return submit(plan, opts_.default_submit);
+}
+
+Execution Runtime::submit(const plan::GraphPlan& plan, const SubmitOptions& so) {
   // A plan compiled for the other variant would replay colored spawns on a
   // random-steal pool (or vice versa) — the exact mismatch this façade
   // exists to make unrepresentable. Runtime::compile derives the flag, so
@@ -301,20 +368,28 @@ Execution Runtime::submit(const plan::GraphPlan& plan) {
                     "GraphPlan was compiled for a different variant than "
                     "this Runtime");
   // The whole replay submit path is allocation-free once the plan's
-  // instance pool is warm: acquire + reset reuse a pooled instance, the
-  // RootJob and its bound closure are embedded in it, and this handle is
-  // just a pointer at the embedded state.
+  // instance pool is warm — for ANY SubmitOptions value: acquire + reset
+  // reuse a pooled instance, the RootJob and its bound closure are embedded
+  // in it, lane/deadline/name are plain stores, and this handle is just a
+  // pointer at the embedded state.
   plan::PlanInstance* inst = plan.acquire();
   detail::ExecutionState& st = inst->exec_state();
   st.sched = sched_.get();
   st.sink = plan.sink();
+  st.name = so.name;
+  st.job.lane = static_cast<std::uint8_t>(so.priority);
+  st.job.deadline_ns = so.deadline_ns;
   arm_attribution_window(st, *sched_, counter_reset_gen_);
   sched_->submit(st.job);
   return Execution(&st);
 }
 
 Execution Runtime::run(const plan::GraphPlan& plan) {
-  Execution e = submit(plan);
+  return run(plan, opts_.default_submit);
+}
+
+Execution Runtime::run(const plan::GraphPlan& plan, const SubmitOptions& so) {
+  Execution e = submit(plan, so);
   e.wait();
   return e;
 }

@@ -25,12 +25,14 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
 
 #include "api/graph.h"
+#include "api/submit_options.h"
 #include "api/variant.h"
 #include "nabbit/executor.h"
 #include "nabbit/static_executor.h"
@@ -64,6 +66,9 @@ struct RuntimeOptions {
   /// sweeps like bench_ablation_policy). The executor class still follows
   /// `variant`, so tuning knobs cannot reintroduce the mismatch bug.
   std::optional<rt::StealPolicy> steal_tuning{};
+  /// Per-submission defaults used by the submit()/run() overloads that
+  /// take no SubmitOptions (priority kNormal, no deadline, unnamed).
+  SubmitOptions default_submit{};
 };
 
 namespace detail {
@@ -86,11 +91,34 @@ class Execution {
   /// True for a handle returned by submit()/run() (vs default-constructed).
   bool valid() const noexcept { return st_ != nullptr; }
 
-  /// Returns once the sink has computed. External threads block; a worker
-  /// thread helps run pool work instead (see the class comment).
-  /// Idempotent; run() returns already-waited handles.
+  /// Returns once the execution reached a terminal state (sink computed,
+  /// cancelled, or deadline-exceeded — see status()). External threads
+  /// block; a worker thread helps run pool work instead (see the class
+  /// comment). Idempotent; run() returns already-waited handles.
   void wait();
   bool done() const noexcept;
+
+  /// wait() bounded by a timeout / an absolute now_ns() instant. Returns
+  /// done() — false means time ran out first; the execution keeps running
+  /// (combine with cancel() to abandon it).
+  bool wait_for(std::chrono::nanoseconds timeout);
+  bool wait_until(std::uint64_t deadline_ns);
+
+  /// Requests cooperative cancellation: in-flight node computes finish,
+  /// nodes not yet started are skipped (their successors short-circuit),
+  /// and the execution reaches a terminal state promptly. Asynchronous —
+  /// follow with wait() to observe the terminal status. Idempotent; a
+  /// no-op once the execution completed (or a deadline fired first).
+  void cancel() noexcept;
+
+  /// Terminal report: kCompleted / kCancelled / kDeadlineExceeded plus the
+  /// number of skipped nodes; {kRunning, 0} before completion. A cancel
+  /// that raced completion and lost reports kCompleted — cancellation is
+  /// cooperative, and every node computed means the result is whole.
+  Status status() const noexcept;
+
+  /// SubmitOptions::name passthrough (nullptr when unnamed).
+  const char* name() const noexcept;
 
   /// Node statistics of this execution's own executor (exact, per
   /// execution). Call after wait().
@@ -152,8 +180,14 @@ class Runtime {
   /// high-watermark (observable via arena_bytes()).
   Execution submit(GraphSpec& spec, Key sink);
 
+  /// submit() with per-submission control: priority lane, absolute
+  /// deadline, diagnostic name (api/submit_options.h). The no-options
+  /// overloads use options().default_submit.
+  Execution submit(GraphSpec& spec, Key sink, const SubmitOptions& so);
+
   /// submit() + wait(): runs the graph to completion.
   Execution run(GraphSpec& spec, Key sink);
+  Execution run(GraphSpec& spec, Key sink, const SubmitOptions& so);
 
   /// Freezes (spec, sink) into a compiled GraphPlan bound to this runtime's
   /// variant and locality configuration (plan/plan.h): topology lowered to
@@ -172,8 +206,14 @@ class Runtime {
   /// for this runtime's variant (Runtime::compile guarantees that).
   Execution submit(const plan::GraphPlan& plan);
 
+  /// Plan replay with per-submission control. Steady-state replay stays
+  /// allocation-free for any SubmitOptions value (lanes are fixed arrays;
+  /// the name is not copied).
+  Execution submit(const plan::GraphPlan& plan, const SubmitOptions& so);
+
   /// submit(plan) + wait().
   Execution run(const plan::GraphPlan& plan);
+  Execution run(const plan::GraphPlan& plan, const SubmitOptions& so);
 
   /// Escape hatch for plain fork-join work on the pool (parallel_for,
   /// TaskGroup trees): runs `fn` as a root job and waits. Must not be

@@ -1,0 +1,94 @@
+// Per-submission control knobs and terminal execution status.
+//
+// A server embedding the runtime cannot treat every submission as equal and
+// immortal: SubmitOptions attaches a priority lane, an optional absolute
+// deadline, and a debug name to one submit() call, and Status is what the
+// Execution handle reports once the submission reaches a terminal state.
+//
+// Semantics (see rt/scheduler.h for the mechanism):
+//
+//   * priority selects one of the scheduler's injection lanes. Workers
+//     adopting queued roots prefer higher lanes, with starvation-bounded
+//     draining — low-priority work still progresses under saturating
+//     high-priority traffic, just slower.
+//   * deadline_ns is an absolute now_ns() instant. Once it passes, the
+//     execution is cancelled cooperatively with reason kDeadlineExceeded:
+//     in-flight node computes finish, everything not yet started is
+//     skipped. Deadlines are policed at cold scheduler boundaries (root
+//     adoption/completion and waiters' timed sleeps), never on the steal
+//     hot path.
+//   * name is an optional label for diagnostics; the string is NOT copied
+//     (keeping the default submit path allocation-free) and must outlive
+//     the execution. nullptr = unnamed.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "support/timing.h"
+
+namespace nabbitc::api {
+
+/// Submission priority, highest first. Maps one-to-one onto the
+/// scheduler's injection lanes (rt::Scheduler::kNumLanes).
+enum class Priority : std::uint8_t {
+  kHigh = 0,
+  kNormal = 1,
+  kLow = 2,
+};
+
+inline const char* priority_name(Priority p) noexcept {
+  switch (p) {
+    case Priority::kHigh: return "high";
+    case Priority::kNormal: return "normal";
+    case Priority::kLow: return "low";
+  }
+  return "?";
+}
+
+struct SubmitOptions {
+  Priority priority = Priority::kNormal;
+  /// Absolute deadline on the now_ns() clock; 0 = none. Build one with
+  /// deadline_in() below.
+  std::uint64_t deadline_ns = 0;
+  /// Optional diagnostic label (not owned, not copied; must outlive the
+  /// execution). nullptr = unnamed.
+  const char* name = nullptr;
+};
+
+/// Absolute now_ns() deadline `d` from now — the convenient way to fill
+/// SubmitOptions::deadline_ns: `so.deadline_ns = deadline_in(5ms);`.
+inline std::uint64_t deadline_in(std::chrono::nanoseconds d) noexcept {
+  return now_ns() + static_cast<std::uint64_t>(d.count() > 0 ? d.count() : 0);
+}
+
+/// Lifecycle state of one execution. The three non-running values are
+/// terminal; exactly one of them is reported once wait() returns.
+enum class ExecStatus : std::uint8_t {
+  kRunning = 0,           // not yet done (status() before completion)
+  kCompleted = 1,         // every node computed; the sink holds its result
+  kCancelled = 2,         // cancel() landed before the sink computed
+  kDeadlineExceeded = 3,  // the deadline landed before the sink computed
+};
+
+inline const char* exec_status_name(ExecStatus s) noexcept {
+  switch (s) {
+    case ExecStatus::kRunning: return "running";
+    case ExecStatus::kCompleted: return "completed";
+    case ExecStatus::kCancelled: return "cancelled";
+    case ExecStatus::kDeadlineExceeded: return "deadline_exceeded";
+  }
+  return "?";
+}
+
+/// Terminal report of one execution (Execution::status()).
+struct Status {
+  ExecStatus state = ExecStatus::kRunning;
+  /// Nodes whose compute() was skipped by cancellation/deadline (0 for a
+  /// completed execution). Dynamic-spec submissions additionally stop
+  /// discovering nodes on cancellation; nodes never created are not
+  /// counted here.
+  std::uint64_t skipped_nodes = 0;
+};
+
+}  // namespace nabbitc::api

@@ -28,7 +28,7 @@ void DynamicExecutor::run_root(rt::Worker& w, Key sink_key) {
   auto [node, created] = map_.insert_or_get(
       sink_key, [this](NodeArena& a, Key k) { return create_node(a, k); });
   if (created) init_node_and_compute(w, node);
-  NABBITC_CHECK_MSG(node->computed(),
+  NABBITC_CHECK_MSG(node->computed() || cancel_requested(),
                     "sink did not complete — task graph has a cycle or a "
                     "predecessor threw");
 }
@@ -37,8 +37,11 @@ void DynamicExecutor::init_node_and_compute(rt::Worker& w, TaskGraphNode* u) {
   ExecContext ctx(&w, *this);
   u->init(ctx);
 
+  // Cancellation cuts discovery short: u's predecessors are never created
+  // (they are "skipped before existing"), so u's join stays at the lone
+  // exploration token and the release below retires u as a skip.
   const auto& preds = u->preds_;
-  if (!preds.empty()) {
+  if (!preds.empty() && !cancel_requested()) {
     // Explore all predecessors in parallel. The +1 exploration token u was
     // born with keeps u from firing until this sync completes.
     rt::TaskGroup group;
@@ -90,29 +93,43 @@ void DynamicExecutor::try_init_compute(rt::Worker& w, TaskGraphNode* parent,
 }
 
 void DynamicExecutor::compute_and_notify(rt::Worker& w, TaskGraphNode* u) {
+  // One cancellation check per node dispatch. Skipped nodes keep status
+  // kVisited (they were never computed) but still notify successors below,
+  // so join counters drain, every spawned group syncs, and the root
+  // returns — the skip cascades through the rest of the graph.
+  const bool skip = cancel_requested();
 #ifndef NDEBUG
   // Protocol invariant: a node computes only after all predecessors have.
-  for (Key pk : u->preds_) {
-    TaskGraphNode* p = map_.find(pk);
-    NABBITC_CHECK_MSG(p != nullptr && p->computed(),
-                      "dependence violation: node computed before predecessor");
+  // (A skipped predecessor implies the cancel word was set before its
+  // dispatch check, which happened-before ours — so a non-skipped node
+  // cannot see one.)
+  if (!skip) {
+    for (Key pk : u->preds_) {
+      TaskGraphNode* p = map_.find(pk);
+      NABBITC_CHECK_MSG(p != nullptr && p->computed(),
+                        "dependence violation: node computed before predecessor");
+    }
   }
 #endif
-  if (opts_.count_locality) {
-    // The metric counts against true data placement (data_color_of), not
-    // the scheduling hint — a bad hint must *show up* as remote accesses.
-    std::uint64_t remote_preds = 0;
-    for (Key pk : u->preds_) {
-      if (!w.color_is_local(spec_.data_color_of(pk))) ++remote_preds;
+  if (skip) {
+    nodes_skipped_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    if (opts_.count_locality) {
+      // The metric counts against true data placement (data_color_of), not
+      // the scheduling hint — a bad hint must *show up* as remote accesses.
+      std::uint64_t remote_preds = 0;
+      for (Key pk : u->preds_) {
+        if (!w.color_is_local(spec_.data_color_of(pk))) ++remote_preds;
+      }
+      w.record_node_execution(spec_.data_color_of(u->key_), u->preds_.size(),
+                              remote_preds);
     }
-    w.record_node_execution(spec_.data_color_of(u->key_), u->preds_.size(),
-                            remote_preds);
-  }
 
-  ExecContext ctx(&w, *this);
-  u->compute(ctx);
-  u->status_.store(NodeStatus::kComputed, std::memory_order_release);
-  nodes_computed_.fetch_add(1, std::memory_order_relaxed);
+    ExecContext ctx(&w, *this);
+    u->compute(ctx);
+    u->status_.store(NodeStatus::kComputed, std::memory_order_release);
+    nodes_computed_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   // Notify successors (SectionII action 3 / Figure 1c). Closing the list
   // makes later try_add calls fail, so no successor is ever lost. The chain

@@ -28,6 +28,13 @@ class DynamicExecutor : public NodeLookup {
   struct Options {
     /// Record the paper's SectionV-B locality metric while executing.
     bool count_locality = true;
+    /// Cooperative-cancellation token — the owning RootJob's cancel word
+    /// (rt::Scheduler::RootJob::cancel); null = never cancelled. Polled
+    /// once per node dispatch (one atomic load, no clock). Once set,
+    /// not-yet-started nodes are skipped: their compute() never runs, but
+    /// successor notification still drains so every spawn syncs and the
+    /// root returns promptly.
+    const std::atomic<std::uint8_t>* cancel = nullptr;
   };
 
   /// One predecessor to explore, with its color precomputed from the spec.
@@ -67,6 +74,21 @@ class DynamicExecutor : public NodeLookup {
   std::uint64_t nodes_computed() const noexcept {
     return nodes_computed_.load(std::memory_order_relaxed);
   }
+  /// Nodes whose compute() was skipped by cooperative cancellation. Nodes
+  /// never even created (discovery cut short) are not counted — they were
+  /// skipped before they existed.
+  std::uint64_t nodes_skipped() const noexcept {
+    return nodes_skipped_.load(std::memory_order_relaxed);
+  }
+
+  /// True once this execution's cancellation token fired. Monotone for the
+  /// duration of one run, which is what makes the skip protocol safe: a
+  /// non-skipped node can never observe a skipped predecessor (the
+  /// predecessor's skip happened-before our dispatch check).
+  bool cancel_requested() const noexcept {
+    return opts_.cancel != nullptr &&
+           opts_.cancel->load(std::memory_order_acquire) != 0;
+  }
 
   // --- Protocol building blocks ------------------------------------------
   // Exposed for the colored subclass's spawn leaves and for white-box
@@ -98,6 +120,7 @@ class DynamicExecutor : public NodeLookup {
   ConcurrentNodeMap map_;
   std::atomic<std::uint64_t> nodes_created_{0};
   std::atomic<std::uint64_t> nodes_computed_{0};
+  std::atomic<std::uint64_t> nodes_skipped_{0};
 };
 
 }  // namespace nabbitc::nabbit

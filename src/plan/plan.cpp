@@ -78,6 +78,10 @@ void PlanInstance::build() {
 }
 
 void PlanInstance::reset_for_replay() noexcept {
+  // Also the recovery path after a cancelled replay: a partially-executed
+  // run leaves a mix of kComputed and kVisited statuses and fully drained
+  // join counters (the skip cascade retires every node), so rearming
+  // joins + statuses + counts below restores the instance completely.
   const GraphPlan& p = *plan_;
   const std::uint32_t n = p.n_;
   for (std::uint32_t i = 0; i < n; ++i) {
@@ -88,6 +92,7 @@ void PlanInstance::reset_for_replay() noexcept {
                              std::memory_order_relaxed);
   }
   computed_.store(0, std::memory_order_relaxed);
+  skipped_.store(0, std::memory_order_relaxed);
   state_.finalized = false;
   state_.attributable = false;
   state_.t_submit_ns = 0;

@@ -87,6 +87,12 @@ class PlanInstance final : public nabbit::NodeLookup {
   std::uint64_t nodes_computed() const noexcept {
     return computed_.load(std::memory_order_acquire);
   }
+  /// Nodes whose compute() was skipped by cooperative cancellation this
+  /// submission. Every plan node is retired exactly once per replay —
+  /// computed or skipped — so computed + skipped == num_nodes on return.
+  std::uint64_t nodes_skipped() const noexcept {
+    return skipped_.load(std::memory_order_acquire);
+  }
   /// True when this instance's nodes were constructed for the current
   /// submission (pool miss); false for a pure replay.
   bool fresh() const noexcept { return fresh_; }
@@ -127,6 +133,7 @@ class PlanInstance final : public nabbit::NodeLookup {
   std::vector<TaskGraphNode*> nodes_;        // plan index -> payload slot
   std::unique_ptr<std::atomic<std::int32_t>[]> join_;
   std::atomic<std::uint64_t> computed_{0};
+  std::atomic<std::uint64_t> skipped_{0};
   bool fresh_ = true;
   api::detail::ExecutionState state_;
   PlanInstance* pool_next_ = nullptr;  // freelist link, under the plan's lock

@@ -56,39 +56,56 @@ void PlanInstance::run_root(rt::Worker& w) {
   rt::TaskGroup group;
   spawn_indices(w, group, indices, roots.size());
   group.wait(w);
+  // Every node is retired exactly once per replay: computed, or skipped by
+  // cooperative cancellation (the skip cascade still walks the CSR rows so
+  // join counters drain and this sync returns).
   NABBITC_CHECK_MSG(
-      computed_.load(std::memory_order_acquire) == p.num_nodes(),
-      "plan replay did not compute every node — instance resubmitted while "
+      computed_.load(std::memory_order_acquire) +
+              skipped_.load(std::memory_order_acquire) ==
+          p.num_nodes(),
+      "plan replay did not retire every node — instance resubmitted while "
       "in flight, or graph mutated since compile");
 }
 
 void PlanInstance::compute_and_notify(rt::Worker& w, std::uint32_t index) {
   const GraphPlan& p = *plan_;
   TaskGraphNode* u = nodes_[index];
+  // One cancellation check per node dispatch (the embedded RootJob's cancel
+  // word; no clock). Skipped nodes never run compute() and keep status
+  // kVisited, but still notify successors so the replay drains.
+  const bool skip = state_.job.cancel_requested();
 #ifndef NDEBUG
   // Protocol invariant: a node computes only after all predecessors have.
-  for (const std::uint32_t pi : p.predecessors(index)) {
-    NABBITC_CHECK_MSG(nodes_[pi]->computed(),
-                      "dependence violation: plan node computed before "
-                      "predecessor");
+  // A skipped predecessor implies cancellation was visible before our own
+  // check above, so a non-skipped node cannot observe one.
+  if (!skip) {
+    for (const std::uint32_t pi : p.predecessors(index)) {
+      NABBITC_CHECK_MSG(nodes_[pi]->computed(),
+                        "dependence violation: plan node computed before "
+                        "predecessor");
+    }
   }
 #endif
-  if (p.count_locality()) {
-    // Counted against true data placement, exactly like the dynamic path
-    // (see DynamicExecutor::compute_and_notify) — but the colors come from
-    // the plan's frozen arrays, not spec virtual calls.
-    const auto preds = p.predecessors(index);
-    std::uint64_t remote_preds = 0;
-    for (const std::uint32_t pi : preds) {
-      if (!w.color_is_local(p.data_colors_[pi])) ++remote_preds;
+  if (skip) {
+    skipped_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    if (p.count_locality()) {
+      // Counted against true data placement, exactly like the dynamic path
+      // (see DynamicExecutor::compute_and_notify) — but the colors come from
+      // the plan's frozen arrays, not spec virtual calls.
+      const auto preds = p.predecessors(index);
+      std::uint64_t remote_preds = 0;
+      for (const std::uint32_t pi : preds) {
+        if (!w.color_is_local(p.data_colors_[pi])) ++remote_preds;
+      }
+      w.record_node_execution(p.data_colors_[index], preds.size(), remote_preds);
     }
-    w.record_node_execution(p.data_colors_[index], preds.size(), remote_preds);
-  }
 
-  nabbit::ExecContext ctx(&w, *this);
-  u->compute(ctx);
-  u->status_.store(nabbit::NodeStatus::kComputed, std::memory_order_release);
-  computed_.fetch_add(1, std::memory_order_relaxed);
+    nabbit::ExecContext ctx(&w, *this);
+    u->compute(ctx);
+    u->status_.store(nabbit::NodeStatus::kComputed, std::memory_order_release);
+    computed_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   // Notify successors: the CSR row replaces the successor list — every
   // dependent is known up front, so the last-arriving predecessor (the

@@ -32,6 +32,15 @@ struct WorkerCounters {
   // Worker::find_task).
   std::uint64_t idle_ns = 0;
 
+  // Submission control: root jobs this worker retired with a cancellation
+  // request recorded (client cancel / deadline expiry). Counts the REQUEST
+  // having landed before retirement — a cancel that raced completion and
+  // lost still counts here even though the execution produced its full
+  // result (api::Execution::status() reports produced-ness exactly; these
+  // counters are cheap scheduler-level telemetry).
+  std::uint64_t roots_cancelled = 0;
+  std::uint64_t roots_deadline_expired = 0;
+
   // Paper SectionV-B locality metric, filled in by the nabbit layer.
   numa::LocalityCounters locality;
 
@@ -51,6 +60,8 @@ struct WorkerCounters {
     first_steal_wait_ns += o.first_steal_wait_ns;
     first_steal_forced_abandoned += o.first_steal_forced_abandoned;
     idle_ns += o.idle_ns;
+    roots_cancelled += o.roots_cancelled;
+    roots_deadline_expired += o.roots_deadline_expired;
     locality.merge(o.locality);
   }
 
@@ -66,6 +77,8 @@ struct WorkerCounters {
     first_steal_wait_ns -= o.first_steal_wait_ns;
     first_steal_forced_abandoned -= o.first_steal_forced_abandoned;
     idle_ns -= o.idle_ns;
+    roots_cancelled -= o.roots_cancelled;
+    roots_deadline_expired -= o.roots_deadline_expired;
     locality.subtract(o.locality);
   }
 

@@ -103,11 +103,18 @@ class WorkDeque {
       NABBITC_CHECK(is_pow2(cap));
       for (auto& s : slots) s.store(nullptr, std::memory_order_relaxed);
     }
+    // The slot handoff is release/acquire (not relaxed + the surrounding
+    // fences alone): it pairs the owner's frame construction with the
+    // thief's subsequent reads through the stolen pointer. On x86 both
+    // compile to the same plain mov as relaxed, and it makes the
+    // owner->thief edge visible to ThreadSanitizer, which cannot see
+    // fence-based synchronization (the remaining *stale* peek at a popped
+    // entry's color mask is benign by design and suppressed in tsan.supp).
     Task* get(std::int64_t i) const noexcept {
-      return slots[static_cast<std::size_t>(i) & mask].load(std::memory_order_relaxed);
+      return slots[static_cast<std::size_t>(i) & mask].load(std::memory_order_acquire);
     }
     void put(std::int64_t i, Task* task) noexcept {
-      slots[static_cast<std::size_t>(i) & mask].store(task, std::memory_order_relaxed);
+      slots[static_cast<std::size_t>(i) & mask].store(task, std::memory_order_release);
     }
     const std::size_t capacity;
     const std::size_t mask;

@@ -165,7 +165,16 @@ Worker* Scheduler::current() noexcept { return tl_worker; }
 
 void Scheduler::submit(RootJob& job) {
   NABBITC_CHECK_MSG(job.fn != nullptr, "RootJob has no function");
+  NABBITC_CHECK_MSG(job.lane < kNumLanes, "RootJob lane out of range");
+  // Computed under mu_, used after unlock: `job` may be adopted, finished,
+  // and freed by its waiter the moment it becomes visible — nothing may
+  // touch it after the lock drops.
+  bool lowered_deadline_horizon = false;
   job.done.store(false, std::memory_order_relaxed);
+  // A fresh submission is never born cancelled; pooled jobs (plan
+  // instances) reuse this storage across submissions, and no cancel can
+  // arrive before submit() returns (the waitable handle does not exist yet).
+  job.cancel.store(0, std::memory_order_relaxed);
   job.next = nullptr;
   // Order matters: a worker that adopts the job must already see the pool
   // as active, so its service loop cannot exit under it.
@@ -173,13 +182,21 @@ void Scheduler::submit(RootJob& job) {
   submit_epoch_.fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lk(mu_);
-    if (inject_tail_ != nullptr) {
-      inject_tail_->next = &job;
+    Lane& lane = lanes_[job.lane];
+    if (lane.tail != nullptr) {
+      lane.tail->next = &job;
     } else {
-      inject_head_ = &job;
+      lane.head = &job;
     }
-    inject_tail_ = &job;
+    lane.tail = &job;
     inject_count_.fetch_add(1, std::memory_order_release);
+    if (job.deadline_ns != 0) {
+      ++deadline_jobs_;
+      if (next_deadline_ns_ == 0 || job.deadline_ns < next_deadline_ns_) {
+        next_deadline_ns_ = job.deadline_ns;
+        lowered_deadline_horizon = true;
+      }
+    }
     // Assign the job's frame epoch and append it to the epoch-ordered
     // active list (epochs are handed out under mu_, so append keeps order).
     job.frame_epoch = ++next_frame_epoch_;
@@ -193,16 +210,80 @@ void Scheduler::submit(RootJob& job) {
     active_tail_ = &job;
   }
   cv_start_.notify_all();
+  // A deadline EARLIER than every armed one changes parked waiters' wake
+  // horizon (they may be in an untimed or too-late sleep); nudge them so
+  // they re-derive it. Later deadlines need no nudge — waiters already
+  // wake no later than the current horizon, and every root completion
+  // notifies cv_done_ anyway.
+  if (lowered_deadline_horizon) cv_done_.notify_all();
+}
+
+void Scheduler::maybe_expire_deadlines_locked() {
+  // Sweep only when a deadline can actually have passed: next_deadline_ns_
+  // is the earliest unexpired deadline as of the last sweep (0 = none, or
+  // every armed one already fired), and submit() min-updates it — so a
+  // future value proves the whole active list has nothing to expire, and
+  // the O(active) walk is skipped on the common adoption/completion path.
+  if (deadline_jobs_ == 0 || next_deadline_ns_ == 0) return;
+  const std::uint64_t now = now_ns();
+  if (now < next_deadline_ns_) return;
+  expire_deadlines_locked(now);
+}
+
+void Scheduler::expire_deadlines_locked(std::uint64_t now) {
+  if (deadline_jobs_ == 0) {
+    next_deadline_ns_ = 0;
+    return;
+  }
+  std::uint64_t next = 0;
+  for (RootJob* j = active_head_; j != nullptr; j = j->active_next) {
+    if (j->deadline_ns == 0) continue;
+    if (now >= j->deadline_ns) {
+      // First writer wins: a client cancel() that already landed keeps its
+      // reason. The executors' dispatch checks do the actual skipping.
+      j->try_cancel(CancelReason::kDeadline);
+    } else if (next == 0 || j->deadline_ns < next) {
+      next = j->deadline_ns;
+    }
+  }
+  next_deadline_ns_ = next;
 }
 
 Scheduler::RootJob* Scheduler::pop_root() {
   std::lock_guard<std::mutex> lk(mu_);
-  RootJob* j = inject_head_;
-  if (j != nullptr) {
-    inject_head_ = j->next;
-    if (inject_head_ == nullptr) inject_tail_ = nullptr;
-    inject_count_.fetch_sub(1, std::memory_order_relaxed);
+  // Adoption is a cold boundary: police deadlines here so a root whose
+  // deadline passed while queued is adopted already-cancelled and drains as
+  // a cheap skip cascade instead of running.
+  maybe_expire_deadlines_locked();
+  // Prefer the highest non-empty lane...
+  std::uint32_t pick = kNumLanes;
+  for (std::uint32_t i = 0; i < kNumLanes; ++i) {
+    if (lanes_[i].head != nullptr) {
+      pick = i;
+      break;
+    }
   }
+  if (pick == kNumLanes) return nullptr;
+  // ...but starvation-bounded: EVERY lower lane with a waiter accrues one
+  // bypass per pop that passes it over (counting must not stop at the
+  // winner, or the lanes below it would stall their counters on exactly
+  // the pops the winner takes), and the highest-priority lane at the bound
+  // takes this pop — so under saturating higher-lane traffic each lane
+  // still drains at >= 1/kLaneStarvationBound of the pop rate.
+  std::uint32_t promoted = kNumLanes;
+  for (std::uint32_t i = pick + 1; i < kNumLanes; ++i) {
+    if (lanes_[i].head == nullptr) continue;
+    if (++lanes_[i].bypassed >= kLaneStarvationBound && promoted == kNumLanes) {
+      promoted = i;
+    }
+  }
+  if (promoted != kNumLanes) pick = promoted;
+  Lane& lane = lanes_[pick];
+  lane.bypassed = 0;
+  RootJob* j = lane.head;
+  lane.head = j->next;
+  if (lane.head == nullptr) lane.tail = nullptr;
+  inject_count_.fetch_sub(1, std::memory_order_relaxed);
   return j;
 }
 
@@ -213,6 +294,10 @@ bool Scheduler::finish_root(RootJob& job) {
   if (last) quiescent_gen_.fetch_add(1, std::memory_order_release);
   {
     std::lock_guard<std::mutex> lk(mu_);
+    if (job.deadline_ns != 0) --deadline_jobs_;
+    // Completion is the other cold boundary that polices deadlines (a pool
+    // saturated with long jobs still checks once per completion).
+    maybe_expire_deadlines_locked();
     // Unlink from the active list and advance the reclamation watermark:
     // all frames of epochs <= min(active) - 1 are now dead.
     if (job.active_prev != nullptr) {
@@ -234,34 +319,83 @@ bool Scheduler::finish_root(RootJob& job) {
   return last;  // `job` may be freed by its waiter from here on
 }
 
-void Scheduler::wait(const RootJob& job) {
+void Scheduler::wait(const RootJob& job) { wait_impl(job, 0); }
+
+bool Scheduler::wait_until(const RootJob& job, std::uint64_t deadline_ns) {
+  return wait_impl(job, deadline_ns);
+}
+
+bool Scheduler::wait_impl(const RootJob& job, std::uint64_t wait_deadline_ns) {
+  const bool deadline_sensitive =
+      wait_deadline_ns != 0 || job.deadline_ns != 0;
   if (Worker* w = current()) {
     // A worker must not block on a condition variable mid-job: it helps
     // instead, stealing and adopting queued roots (possibly `job` itself)
     // until the waited job completes. This is what makes submit()+wait()
     // usable from inside a running task, even on a single-worker pool.
+    // A deadline-sensitive wait checks the clock once per loop iteration —
+    // after every helped task or adopted root too, or a saturated pool
+    // (try_progress succeeding indefinitely) would keep a timed wait from
+    // ever observing its timeout. The plain wait() path stays clock-free.
     Backoff backoff;
     while (!job.done.load(std::memory_order_acquire)) {
-      if (try_progress(*w)) {
+      const bool progressed = try_progress(*w);
+      if (deadline_sensitive) {
+        const std::uint64_t now = now_ns();
+        if (job.deadline_ns != 0 && now >= job.deadline_ns) {
+          const_cast<RootJob&>(job).try_cancel(CancelReason::kDeadline);
+        }
+        if (wait_deadline_ns != 0 && now >= wait_deadline_ns) {
+          return job.done.load(std::memory_order_acquire);
+        }
+      }
+      if (progressed) {
         backoff.reset();
       } else {
         backoff.pause();
       }
     }
-    return;
+    return true;
   }
   // External thread: spin briefly before sleeping. Small-graph round trips
   // (the plan-replay serving path) complete in a few microseconds — less
   // than a futex sleep/wake pair — so a bounded backoff spin saves a
   // context switch on the hot path while long jobs still park on the
-  // condition variable after ~a hundred polls.
+  // condition variable. The budget is zero on a single-worker pool, where
+  // the spinning waiter would only delay the one thread that can make
+  // progress (see wait_spin_limit).
   Backoff backoff;
-  for (int spin = 0; spin < 128; ++spin) {
-    if (job.done.load(std::memory_order_acquire)) return;
+  const int spin_limit = wait_spin_limit();
+  for (int spin = 0; spin < spin_limit; ++spin) {
+    if (job.done.load(std::memory_order_acquire)) return true;
     backoff.pause();
   }
   std::unique_lock<std::mutex> lk(mu_);
-  cv_done_.wait(lk, [&] { return job.done.load(std::memory_order_acquire); });
+  for (;;) {
+    if (job.done.load(std::memory_order_acquire)) return true;
+    // Earliest instant this waiter must wake at: its own timeout, or the
+    // earliest armed deadline anywhere (a parked external waiter is the
+    // boundary that expires deadlines when every worker is busy running).
+    std::uint64_t wake = wait_deadline_ns;
+    if (deadline_jobs_ > 0) {
+      expire_deadlines_locked(now_ns());
+      if (next_deadline_ns_ != 0 &&
+          (wake == 0 || next_deadline_ns_ < wake)) {
+        wake = next_deadline_ns_;
+      }
+    }
+    if (wake == 0) {
+      cv_done_.wait(lk);
+      continue;
+    }
+    const auto wake_tp = std::chrono::steady_clock::time_point(
+        std::chrono::nanoseconds(wake));
+    if (cv_done_.wait_until(lk, wake_tp) == std::cv_status::timeout &&
+        wait_deadline_ns != 0 && now_ns() >= wait_deadline_ns) {
+      if (deadline_jobs_ > 0) expire_deadlines_locked(now_ns());
+      return job.done.load(std::memory_order_acquire);
+    }
+  }
 }
 
 void Scheduler::wait_idle() {
@@ -342,6 +476,20 @@ bool Scheduler::try_progress(Worker& w) {
       w.arena_.set_epoch(job->frame_epoch);
       job->fn(w);
       w.arena_.set_epoch(saved_epoch);
+      // Terminal accounting must read the job BEFORE finish_root — the
+      // submitter may free it the instant it is marked done.
+      const auto reason = job->cancel_reason();
+      if (reason != CancelReason::kNone) {
+        if (reason == CancelReason::kDeadline) {
+          ++w.counters_.roots_deadline_expired;
+        } else {
+          ++w.counters_.roots_cancelled;
+        }
+        if (w.trace_ring_ != nullptr) {
+          w.trace_emit(trace::EventKind::kCancel, now_ns(),
+                       static_cast<std::uint64_t>(reason), 0, 0, w.color_);
+        }
+      }
       const bool last = finish_root(*job);
       // If that was the last active job, every frame everywhere is
       // garbage — rewind our arena right away (the common serialized-

@@ -13,6 +13,17 @@
 // the shared pool. execute() is the synchronous submit+wait convenience the
 // single-job callers (and the api::Runtime façade's run()) build on.
 //
+// Submission control: the injection queue is a small fixed set of priority
+// lanes. Workers adopting a root prefer the highest non-empty lane, but
+// draining is starvation-bounded — a lower lane bypassed kLaneStarvationBound
+// times in a row gets the next pop regardless, so background work always
+// progresses under sustained high-priority traffic. Roots also carry a
+// cooperative cancellation word and an optional absolute deadline:
+// executors poll the word on node dispatch (one atomic load — no clocks on
+// the hot path) and skip work once it is set; deadline expiry piggybacks on
+// the cold park/unpark boundaries (root adoption, root completion, and
+// external waiters' timed sleeps), never on the steal loop.
+//
 // Memory contract: per-worker frame arenas are epoch-segmented (rt/arena.h).
 // Every RootJob gets a frame epoch at submission; arena blocks are stamped
 // with the newest epoch that allocated into them and recycled as soon as
@@ -48,6 +59,14 @@
 namespace nabbitc::rt {
 
 class Scheduler;
+
+/// Why a root job ended early. Stored in RootJob::cancel; 0 (kNone) means
+/// the job ran (or is running) to normal completion.
+enum class CancelReason : std::uint8_t {
+  kNone = 0,
+  kRequested = 1,  // client called cancel()
+  kDeadline = 2,   // the job's absolute deadline passed
+};
 
 struct SchedulerConfig {
   /// Number of workers (== number of colors). Defaults to host concurrency.
@@ -188,11 +207,19 @@ class Worker {
 /// serving any number of concurrently submitted jobs.
 class Scheduler {
  public:
+  /// Injection lanes, highest priority first (lane 0 pops before lane 1
+  /// before lane 2). Mirrors api::Priority one-to-one.
+  static constexpr std::uint32_t kNumLanes = 3;
+  /// A lower lane bypassed this many consecutive pops gets the next root
+  /// regardless of higher-lane backlog — the starvation bound.
+  static constexpr std::uint32_t kLaneStarvationBound = 8;
+
   /// One unit of submittable root work. The submitter owns the storage; it
   /// must stay alive until `done` (i.e. until wait() returns). `fn` runs on
   /// whichever worker adopts the job and must not return before all work it
   /// spawned has completed (wait on your TaskGroups), which every executor
-  /// in this codebase guarantees.
+  /// in this codebase guarantees. `lane` and `deadline_ns` are read at
+  /// submit(); set them before submitting, never after.
   struct RootJob {
     std::function<void(Worker&)> fn;
     std::atomic<bool> done{false};
@@ -204,6 +231,34 @@ class Scheduler {
     /// from which the reclamation watermark is derived.
     RootJob* active_prev = nullptr;
     RootJob* active_next = nullptr;
+
+    /// Injection lane (0 = highest priority). Must be < kNumLanes.
+    std::uint8_t lane = 1;
+    /// Absolute deadline on the now_ns() clock; 0 = none. Once it passes,
+    /// the scheduler cancels the job with CancelReason::kDeadline at the
+    /// next cold boundary (adoption, completion, or a waiter's timed wake).
+    std::uint64_t deadline_ns = 0;
+    /// Cooperative cancellation word (a CancelReason). Set at most once per
+    /// submission (first writer wins); cleared by submit(). Executors poll
+    /// it on node dispatch and skip not-yet-started work once it is set —
+    /// in-flight node computes always finish.
+    std::atomic<std::uint8_t> cancel{0};
+
+    /// Requests cancellation; returns false when some reason already won
+    /// (including this one). Safe from any thread, any time between
+    /// submit() and wait() returning.
+    bool try_cancel(CancelReason reason) noexcept {
+      std::uint8_t expected = 0;
+      return cancel.compare_exchange_strong(
+          expected, static_cast<std::uint8_t>(reason),
+          std::memory_order_acq_rel, std::memory_order_acquire);
+    }
+    bool cancel_requested() const noexcept {
+      return cancel.load(std::memory_order_acquire) != 0;
+    }
+    CancelReason cancel_reason() const noexcept {
+      return static_cast<CancelReason>(cancel.load(std::memory_order_acquire));
+    }
   };
 
   explicit Scheduler(SchedulerConfig cfg);
@@ -220,8 +275,21 @@ class Scheduler {
   /// condition variable; a worker thread HELPS instead of blocking — it
   /// keeps stealing and adopting queued roots (possibly `job` itself)
   /// until the job completes, so submit+wait works from inside tasks even
-  /// on a single-worker pool.
+  /// on a single-worker pool. Waiters also police `job`'s deadline: a
+  /// timed sleep wakes at the earliest armed deadline and expires it.
   void wait(const RootJob& job);
+
+  /// wait() bounded by an absolute now_ns() deadline (0 = unbounded).
+  /// Returns job.done — false means the timeout fired first; the job keeps
+  /// running (pair with RootJob::try_cancel to abandon it).
+  bool wait_until(const RootJob& job, std::uint64_t deadline_ns);
+
+  /// External-waiter spin budget before parking on the condition variable.
+  /// Bounded spinning wins for small-graph round trips (a few µs — less
+  /// than a futex sleep/wake), but on a single-worker pool the spinning
+  /// waiter competes with the only thread that can make progress, so wait()
+  /// parks immediately there (exposed for the regression test).
+  int wait_spin_limit() const noexcept { return num_workers() > 1 ? 128 : 0; }
 
   /// Blocks until no job is active AND every worker has parked. After this
   /// returns (and until the next submit), counters, trace rings, and worker
@@ -296,6 +364,16 @@ class Scheduler {
   /// epoch is visible. Called before w runs any newly acquired work.
   void rearm_epoch(Worker& w);
   RootJob* pop_root();
+  /// Cancels every active job whose deadline has passed (first writer
+  /// wins) and recomputes next_deadline_ns_. Requires mu_; O(active jobs).
+  void expire_deadlines_locked(std::uint64_t now);
+  /// expire_deadlines_locked, gated on next_deadline_ns_ actually having
+  /// passed — the adoption/completion boundaries use this so far-future
+  /// deadlines never cost the O(active) walk there.
+  void maybe_expire_deadlines_locked();
+  /// Shared body of wait()/wait_until(); wait_deadline_ns == 0 means wait
+  /// forever.
+  bool wait_impl(const RootJob& job, std::uint64_t wait_deadline_ns);
   /// Marks `job` done and wakes its waiter; returns true when this was the
   /// last active job (the caller may then rewind its arena). `job` must not
   /// be touched after this returns — the submitter may already have freed it.
@@ -309,10 +387,23 @@ class Scheduler {
   std::mutex mu_;
   std::condition_variable cv_start_;  // workers park here while idle
   std::condition_variable cv_done_;   // submitters wait here (and wait_idle)
-  RootJob* inject_head_ = nullptr;    // FIFO injection queue, under mu_
-  RootJob* inject_tail_ = nullptr;
+  /// One FIFO injection lane per priority, under mu_. `bypassed` counts
+  /// consecutive pops that preferred a higher lane while this one had a
+  /// waiter; at kLaneStarvationBound the lane gets the pop (see pop_root).
+  struct Lane {
+    RootJob* head = nullptr;
+    RootJob* tail = nullptr;
+    std::uint32_t bypassed = 0;
+  };
+  Lane lanes_[kNumLanes];
   std::uint32_t parked_workers_ = 0;  // under mu_
   bool shutdown_ = false;             // under mu_
+  /// Active jobs with an armed deadline; gates the expiry sweep so
+  /// deadline-free workloads never read the clock for it. Under mu_.
+  std::uint32_t deadline_jobs_ = 0;
+  /// Earliest unexpired deadline seen by the last sweep (0 = none); lets
+  /// external waiters pick their timed-sleep horizon. Under mu_.
+  std::uint64_t next_deadline_ns_ = 0;
 
   /// Jobs submitted but not finished. Workers serve while this is nonzero.
   std::atomic<std::uint32_t> active_jobs_{0};

@@ -49,6 +49,13 @@ void accumulate(rt::WorkerCounters& c, const Event& e) noexcept {
       c.locality.pred_accesses += e.arg_a;
       c.locality.remote_pred_accesses += e.arg_b;
       break;
+    case EventKind::kCancel:
+      if (e.arg_a == static_cast<std::uint64_t>(rt::CancelReason::kDeadline)) {
+        ++c.roots_deadline_expired;
+      } else {
+        ++c.roots_cancelled;
+      }
+      break;
   }
 }
 

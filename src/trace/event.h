@@ -41,6 +41,12 @@ enum class EventKind : std::uint8_t {
   /// arg_b = remote predecessor accesses, kFlagRemote set when the node's
   /// color lives outside the worker's NUMA domain.
   kNodeExec = 5,
+  /// A root job retired with a cancellation request recorded (submission
+  /// control): arg_a = rt::CancelReason (1 = cancelled by the client,
+  /// 2 = deadline exceeded). Emitted by the worker that retired the root.
+  /// Like rt::WorkerCounters::roots_cancelled, this marks the request —
+  /// a cancel that raced completion and lost still emits one.
+  kCancel = 6,
 };
 
 /// Event::flags bits.
@@ -76,6 +82,7 @@ inline const char* event_kind_name(EventKind k) noexcept {
     case EventKind::kFirstSteal: return "first_steal";
     case EventKind::kIdle: return "idle";
     case EventKind::kNodeExec: return "node_exec";
+    case EventKind::kCancel: return "cancel";
   }
   return "?";
 }

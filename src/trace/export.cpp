@@ -3,6 +3,8 @@
 #include <fstream>
 #include <ostream>
 
+#include "rt/scheduler.h"
+
 namespace nabbitc::trace {
 
 namespace {
@@ -58,6 +60,14 @@ void write_event(std::ostream& os, const Trace& t, const Event& e) {
       os << ",\"s\":\"t\",\"args\":{\"node_color\":" << e.color
          << ",\"remote\":" << (e.has(kFlagRemote) ? "true" : "false")
          << ",\"preds\":" << e.arg_a << ",\"remote_preds\":" << e.arg_b << "}}";
+      break;
+    case EventKind::kCancel:
+      write_common_fields(
+          os, t, e, "i",
+          e.arg_a == static_cast<std::uint64_t>(rt::CancelReason::kDeadline)
+              ? "deadline_exceeded"
+              : "cancelled");
+      os << ",\"s\":\"t\",\"args\":{\"reason\":" << e.arg_a << "}}";
       break;
   }
 }

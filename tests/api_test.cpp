@@ -5,12 +5,17 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <cstring>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "api/nabbitc.h"
 #include "support/rng.h"
+#include "support/spin.h"
+#include "support/timing.h"
 
 namespace nabbitc::api {
 namespace {
@@ -414,6 +419,248 @@ TEST(Runtime, StaticGraphFollowsVariant) {
     ex->run();
     EXPECT_EQ(computes.load(), 10) << variant_name(v);
   }
+}
+
+// ----------------------------------------------------- submission control
+//
+// Deterministic cancellation / deadline / priority semantics through the
+// façade. Single-worker runtimes plus one node that blocks until released
+// make every interleaving exact: whatever is submitted while the blocker
+// runs stays queued, and cancel/deadline land at a known protocol point.
+
+namespace {
+
+/// Chain graph 0 -> 1 -> ... -> n-1 whose ROOT node (key 0) parks until
+/// `release` — execution is pinned mid-flight right after discovery.
+struct BlockChainSpec final : GraphSpec {
+  std::atomic<bool>* started;
+  std::atomic<bool>* release;
+  std::uint32_t n;
+  BlockChainSpec(std::atomic<bool>* s, std::atomic<bool>* r, std::uint32_t len)
+      : started(s), release(r), n(len) {}
+
+  struct Node final : TaskGraphNode {
+    BlockChainSpec* spec;
+    explicit Node(BlockChainSpec* s) : spec(s) {}
+    void init(ExecContext&) override {
+      if (key() > 0) add_predecessor(key() - 1);
+    }
+    void compute(ExecContext&) override {
+      if (key() != 0) return;
+      spec->started->store(true, std::memory_order_release);
+      Backoff backoff;
+      while (!spec->release->load(std::memory_order_acquire)) backoff.pause();
+    }
+  };
+
+  TaskGraphNode* create(NodeArena& arena, Key) override {
+    return arena.create<Node>(this);
+  }
+  std::size_t expected_nodes() const override { return n; }
+};
+
+/// Single node that appends `tag` to a shared order log when it computes.
+struct TagSpec final : GraphSpec {
+  std::vector<int>* order;
+  std::atomic<std::size_t>* cursor;
+  int tag;
+  TagSpec(std::vector<int>* o, std::atomic<std::size_t>* c, int t)
+      : order(o), cursor(c), tag(t) {}
+
+  struct Node final : TaskGraphNode {
+    TagSpec* spec;
+    explicit Node(TagSpec* s) : spec(s) {}
+    void init(ExecContext&) override {}
+    void compute(ExecContext&) override {
+      (*spec->order)[spec->cursor->fetch_add(1, std::memory_order_relaxed)] =
+          spec->tag;
+    }
+  };
+
+  TaskGraphNode* create(NodeArena& arena, Key) override {
+    return arena.create<Node>(this);
+  }
+  std::size_t expected_nodes() const override { return 1; }
+};
+
+Runtime one_worker_runtime(Variant v = Variant::kNabbitC) {
+  RuntimeOptions opts;
+  opts.workers = 1;
+  opts.variant = v;
+  return Runtime(opts);
+}
+
+}  // namespace
+
+TEST(SubmissionControl, CancelMidFlightSkipsTheRestAndReportsCancelled) {
+  auto rt = one_worker_runtime();
+  constexpr std::uint32_t kLen = 24;
+  std::atomic<bool> started{false}, release{false};
+  BlockChainSpec spec(&started, &release, kLen);
+
+  Execution e = rt.submit(spec, kLen - 1);
+  Backoff backoff;
+  while (!started.load(std::memory_order_acquire)) backoff.pause();
+  EXPECT_EQ(e.status().state, ExecStatus::kRunning);
+  e.cancel();
+  release.store(true, std::memory_order_release);
+  e.wait();
+
+  // The blocked root finished its in-flight compute; every other chain
+  // node was dispatched after the cancel word was set and skipped.
+  const Status st = e.status();
+  EXPECT_EQ(st.state, ExecStatus::kCancelled);
+  EXPECT_EQ(e.nodes_computed(), 1u);
+  EXPECT_EQ(st.skipped_nodes, kLen - 1);
+  TaskGraphNode* sink = e.find(kLen - 1);
+  ASSERT_NE(sink, nullptr);  // discovered before the cancel
+  EXPECT_FALSE(sink->computed());
+  rt.wait_idle();
+  EXPECT_EQ(rt.counters().roots_cancelled, 1u);
+}
+
+TEST(SubmissionControl, PastDeadlineReplaySkipsEveryNodeAndReportsDeadline) {
+  auto rt = one_worker_runtime();
+  std::atomic<std::uint64_t> acc{0};
+  // Reuse the accumulate wavefront shape from the concurrency tests: a
+  // 6x6 grid whose nodes bump a counter — so a skipped node is observable.
+  struct AccSpec final : GraphSpec {
+    std::atomic<std::uint64_t>* acc;
+    explicit AccSpec(std::atomic<std::uint64_t>* a) : acc(a) {}
+    struct Node final : TaskGraphNode {
+      std::atomic<std::uint64_t>* acc;
+      explicit Node(std::atomic<std::uint64_t>* a) : acc(a) {}
+      void init(ExecContext&) override {
+        const std::uint32_t i = key_major(key()), j = key_minor(key());
+        if (i > 0) add_predecessor(key_pack(i - 1, j));
+        if (j > 0) add_predecessor(key_pack(i, j - 1));
+      }
+      void compute(ExecContext&) override {
+        acc->fetch_add(1, std::memory_order_relaxed);
+      }
+    };
+    TaskGraphNode* create(NodeArena& arena, Key) override {
+      return arena.create<Node>(acc);
+    }
+  } spec(&acc);
+
+  auto plan = rt.compile(spec, key_pack(5, 5));
+  SubmitOptions so;
+  so.deadline_ns = 1;  // long past: expires at adoption, deterministically
+  Execution e = rt.run(*plan, so);
+  const Status st = e.status();
+  EXPECT_EQ(st.state, ExecStatus::kDeadlineExceeded);
+  EXPECT_EQ(st.skipped_nodes, plan->num_nodes());
+  EXPECT_EQ(e.nodes_computed(), 0u);
+  EXPECT_EQ(acc.load(), 0u);
+  rt.wait_idle();
+  EXPECT_EQ(rt.counters().roots_deadline_expired, 1u);
+
+  // The instance recovered: a normal replay right after is complete.
+  Execution ok = rt.run(*plan);
+  EXPECT_EQ(ok.status().state, ExecStatus::kCompleted);
+  EXPECT_EQ(acc.load(), 36u);
+}
+
+TEST(SubmissionControl, WaitForTimesOutThenCancelDrainsQueuedReplay) {
+  auto rt = one_worker_runtime();
+  std::atomic<bool> started{false}, release{false};
+  BlockChainSpec blocker(&started, &release, 2);
+  std::atomic<std::uint64_t> acc{0};
+  struct OneSpec final : GraphSpec {
+    std::atomic<std::uint64_t>* acc;
+    explicit OneSpec(std::atomic<std::uint64_t>* a) : acc(a) {}
+    struct Node final : TaskGraphNode {
+      std::atomic<std::uint64_t>* acc;
+      explicit Node(std::atomic<std::uint64_t>* a) : acc(a) {}
+      void init(ExecContext&) override {}
+      void compute(ExecContext&) override { acc->fetch_add(1); }
+    };
+    TaskGraphNode* create(NodeArena& arena, Key) override {
+      return arena.create<Node>(acc);
+    }
+  } one(&acc);
+  auto plan = rt.compile(one, 0);
+
+  Execution b = rt.submit(blocker, 1);
+  Backoff backoff;
+  while (!started.load(std::memory_order_acquire)) backoff.pause();
+  Execution e = rt.submit(*plan);  // queued behind the blocker
+
+  using namespace std::chrono_literals;
+  EXPECT_FALSE(e.wait_for(2ms));
+  EXPECT_FALSE(e.done());
+  e.cancel();
+  release.store(true, std::memory_order_release);
+  EXPECT_TRUE(e.wait_for(1s));
+  const Status st = e.status();
+  EXPECT_EQ(st.state, ExecStatus::kCancelled);
+  EXPECT_EQ(st.skipped_nodes, 1u) << "queued replay must skip everything";
+  EXPECT_EQ(acc.load(), 0u);
+  b.wait();
+}
+
+TEST(SubmissionControl, HighPriorityOvertakesQueuedLowPriority) {
+  auto rt = one_worker_runtime();
+  std::atomic<bool> started{false}, release{false};
+  BlockChainSpec blocker(&started, &release, 2);
+  std::vector<int> order(2, -1);
+  std::atomic<std::size_t> cursor{0};
+  TagSpec low_spec(&order, &cursor, 1);
+  TagSpec high_spec(&order, &cursor, 2);
+
+  Execution b = rt.submit(blocker, 1);
+  Backoff backoff;
+  while (!started.load(std::memory_order_acquire)) backoff.pause();
+
+  SubmitOptions lo;
+  lo.priority = Priority::kLow;
+  SubmitOptions hi;
+  hi.priority = Priority::kHigh;
+  hi.name = "latency-probe";
+  Execution l = rt.submit(low_spec, 0, lo);
+  Execution h = rt.submit(high_spec, 0, hi);
+  EXPECT_STREQ(h.name(), "latency-probe");
+  EXPECT_EQ(l.name(), nullptr);
+
+  release.store(true, std::memory_order_release);
+  l.wait();
+  h.wait();
+  b.wait();
+  EXPECT_EQ(order[0], 2) << "high-priority submission did not run first";
+  EXPECT_EQ(order[1], 1);
+  EXPECT_EQ(h.status().state, ExecStatus::kCompleted);
+  EXPECT_EQ(l.status().state, ExecStatus::kCompleted);
+}
+
+TEST(SubmissionControl, CancelAfterCompletionReportsCompleted) {
+  // Cooperative semantics: a cancel that loses the race changes nothing —
+  // every node computed, the result is whole, the status says so.
+  auto rt = one_worker_runtime();
+  WaveGrid g(8, 5);
+  WaveSpec spec(&g);
+  Execution e = rt.run(spec, key_pack(7, 7));
+  e.cancel();
+  const Status st = e.status();
+  EXPECT_EQ(st.state, ExecStatus::kCompleted);
+  EXPECT_EQ(st.skipped_nodes, 0u);
+  EXPECT_EQ(g.checksum(), WaveGrid::expected_checksum(8, 5));
+}
+
+TEST(SubmissionControl, DeadlineInBuildsFutureDeadlines) {
+  const std::uint64_t before = now_ns();
+  const std::uint64_t d = deadline_in(std::chrono::milliseconds(50));
+  EXPECT_GE(d, before + 50'000'000ull);
+  EXPECT_LT(d, before + 10'000'000'000ull);
+  // A comfortably future deadline never fires on a tiny graph.
+  auto rt = one_worker_runtime();
+  WaveGrid g(6, 9);
+  WaveSpec spec(&g);
+  SubmitOptions so;
+  so.deadline_ns = deadline_in(std::chrono::seconds(30));
+  Execution e = rt.run(spec, key_pack(5, 5), so);
+  EXPECT_EQ(e.status().state, ExecStatus::kCompleted);
+  EXPECT_EQ(g.checksum(), WaveGrid::expected_checksum(6, 9));
 }
 
 }  // namespace

@@ -1,0 +1,301 @@
+// Seeded randomized-DAG harness: every executor variant against the serial
+// reference, on graphs no human would write by hand.
+//
+// Each fixed seed derives one random GraphSpec — random topology with
+// diamond patterns (undirected cycles; the DAG itself stays acyclic),
+// fan-in/fan-out skew (occasional many-predecessor nodes that overflow the
+// inline SmallVec/successor-cell pools), random colors, and a payload that
+// mixes every predecessor's value — then runs it through
+//
+//   serial  |  dynamic nabbit  |  dynamic nabbitc  |  static  |
+//   compiled-plan fresh build  |  compiled-plan replay (both variants)
+//
+// and asserts bitwise-equal checksums across all of them. The node values
+// are a pure function of the predecessors' values, so ANY legal schedule
+// must reproduce the serial result exactly; a single lost wakeup, double
+// compute, or dependence violation shows up as a checksum mismatch.
+//
+// Each seed additionally cancels submissions mid-flight (spec and plan
+// paths) and asserts the submission-control invariants: the execution
+// reaches a terminal status, a cancelled run never wrote the sink after the
+// cancel was acknowledged, every plan node is retired exactly once
+// (computed + skipped == n), frame-arena bytes return to the warm
+// watermark, the instance goes back to the plan's freelist, and the next
+// replay of the same instance is bitwise-correct again.
+//
+// Registered as fixed-seed ctest cases (FuzzDag/0..7) so any failure
+// reproduces from the test name alone.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "api/nabbitc.h"
+#include "support/rng.h"
+#include "support/spin.h"
+
+namespace nabbitc::api {
+namespace {
+
+// ------------------------------------------------------------- random DAG
+
+/// One random DAG: nodes 0..n-1 in topological order, key == index, node
+/// n-1 is the sink and every node is an ancestor of it (so all executors
+/// cover the same node set). `vals` is the per-run result buffer.
+struct FuzzDag {
+  std::uint32_t n = 0;
+  std::uint64_t seed = 0;
+  std::vector<std::vector<Key>> preds;  // preds[i] < i: topological order
+  std::vector<Color> colors;
+  std::vector<std::uint64_t> vals;
+
+  static constexpr std::uint64_t kUnwritten = 0xfeedfacecafebeefULL;
+
+  explicit FuzzDag(std::uint64_t s, std::uint32_t num_colors) : seed(s) {
+    Pcg32 rng(splitmix64(s), /*stream=*/7);
+    n = 48 + rng.below(48);  // 48..95 nodes
+    preds.resize(n);
+    colors.resize(n);
+    const std::uint32_t window = 4 + rng.below(12);  // pred locality window
+    for (std::uint32_t i = 0; i < n; ++i) {
+      colors[i] = static_cast<Color>(rng.below(num_colors));
+      if (i == 0) continue;
+      // Fan-in skew: mostly 1-3 predecessors, occasionally a heavy fan-in
+      // node (up to 8 — past the inline pred/successor-cell capacity).
+      std::uint32_t k = 1 + rng.below(3);
+      if (rng.below(8) == 0) k = 5 + rng.below(4);
+      const std::uint32_t lo = i > window ? i - window : 0;
+      for (std::uint32_t e = 0; e < k; ++e) {
+        const Key p = lo + rng.below(i - lo);
+        bool dup = false;
+        for (const Key q : preds[i]) dup |= (q == p);
+        if (!dup) preds[i].push_back(p);
+      }
+    }
+    // Connectivity fix-up: every non-sink node must reach the sink, so the
+    // whole graph is one sink cone (diamonds appear wherever two paths
+    // reconverge). Walking i downward lets a patched-in successor itself be
+    // patched later, so reachability is transitive by induction.
+    std::vector<std::uint8_t> has_succ(n, 0);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      for (const Key p : preds[i]) has_succ[p] = 1;
+    }
+    for (std::uint32_t i = n - 1; i-- > 0;) {
+      if (has_succ[i]) continue;
+      const std::uint32_t j = i + 1 + rng.below(n - i - 1);
+      preds[j].push_back(i);
+      has_succ[i] = 1;
+    }
+    vals.assign(n, kUnwritten);
+  }
+
+  Key sink() const noexcept { return n - 1; }
+
+  void clear() { vals.assign(n, kUnwritten); }
+
+  /// The node function: a pure mix of the predecessors' values, the graph
+  /// seed, and the key — order-independent and collision-hostile.
+  std::uint64_t node_value(Key k) const {
+    std::uint64_t h = seed ^ (k * 0x9e3779b97f4a7c15ULL);
+    for (const Key p : preds[static_cast<std::uint32_t>(k)]) {
+      h = splitmix64(h ^ (vals[static_cast<std::uint32_t>(p)] +
+                          0x2545f4914f6cdd1dULL * (p + 1)));
+    }
+    return splitmix64(h);
+  }
+
+  std::uint64_t checksum() const {
+    std::uint64_t h = seed;
+    for (const std::uint64_t v : vals) h = splitmix64(h ^ v);
+    return h;
+  }
+};
+
+struct FuzzNode final : TaskGraphNode {
+  FuzzDag* dag;
+  explicit FuzzNode(FuzzDag* d) : dag(d) {}
+  void init(ExecContext&) override {
+    for (const Key p : dag->preds[static_cast<std::uint32_t>(key())]) {
+      add_predecessor(p);
+    }
+  }
+  void compute(ExecContext&) override {
+    dag->vals[static_cast<std::uint32_t>(key())] = dag->node_value(key());
+  }
+};
+
+struct FuzzSpec final : GraphSpec {
+  FuzzDag* dag;
+  explicit FuzzSpec(FuzzDag* d) : dag(d) {}
+  TaskGraphNode* create(NodeArena& arena, Key) override {
+    return arena.create<FuzzNode>(dag);
+  }
+  Color color_of(Key k) const override {
+    return dag->colors[static_cast<std::uint32_t>(k)];
+  }
+  std::size_t expected_nodes() const override { return dag->n; }
+};
+
+api::Runtime make_runtime(Variant v) {
+  RuntimeOptions opts;
+  opts.workers = 2;
+  opts.variant = v;
+  return api::Runtime(opts);
+}
+
+// -------------------------------------------------------------- the harness
+
+class FuzzDag8 : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzDag8, AllVariantsBitwiseEqualAndCancelInvariantsHold) {
+  const auto seed = static_cast<std::uint64_t>(GetParam()) * 0x51ed2701u + 17;
+  FuzzDag dag(seed, /*num_colors=*/2);
+  FuzzSpec spec(&dag);
+  SCOPED_TRACE("seed=" + std::to_string(seed) +
+               " n=" + std::to_string(dag.n));
+
+  // --- serial reference.
+  SerialExecutor serial(spec);
+  serial.run(dag.sink());
+  ASSERT_EQ(serial.nodes_computed(), dag.n) << "sink cone must cover the DAG";
+  const std::uint64_t expected = dag.checksum();
+
+  auto nb = make_runtime(Variant::kNabbit);
+  auto nc = make_runtime(Variant::kNabbitC);
+
+  // --- dynamic executors, both variants.
+  for (api::Runtime* rt : {&nb, &nc}) {
+    dag.clear();
+    Execution e = rt->run(spec, dag.sink());
+    EXPECT_EQ(e.nodes_computed(), dag.n);
+    EXPECT_EQ(e.status().state, ExecStatus::kCompleted);
+    EXPECT_EQ(e.status().skipped_nodes, 0u);
+    EXPECT_EQ(dag.checksum(), expected) << "dynamic diverged from serial";
+  }
+
+  // --- static executors, both variants (fully-known graph, same nodes).
+  for (api::Runtime* rt : {&nb, &nc}) {
+    dag.clear();
+    auto sg = rt->static_graph();
+    for (std::uint32_t i = 0; i < dag.n; ++i) {
+      sg->add_node(i, dag.colors[i], std::make_unique<FuzzNode>(&dag));
+    }
+    sg->prepare();
+    sg->run();
+    EXPECT_EQ(dag.checksum(), expected) << "static diverged from serial";
+  }
+
+  // --- compiled plans: fresh instance build, then warm replays.
+  for (api::Runtime* rt : {&nb, &nc}) {
+    auto plan = rt->compile(spec, dag.sink());
+    EXPECT_EQ(plan->num_nodes(), dag.n);
+    for (int round = 0; round < 3; ++round) {
+      dag.clear();
+      Execution e = rt->run(*plan);
+      EXPECT_EQ(e.nodes_computed(), dag.n) << round;
+      EXPECT_EQ(dag.checksum(), expected) << "replay diverged, round " << round;
+    }
+  }
+
+  // --- cancellation, plan path: cancel mid-flight at a seed-derived point.
+  {
+    Pcg32 rng(splitmix64(seed ^ 0xc0ffee), /*stream=*/11);
+    auto plan = nc.compile(spec, dag.sink());
+    // Warm up so the arena watermark and instance pool are settled — with
+    // one cancelled round included, so the watermark covers the skip
+    // cascade's own (smaller, but possibly differently distributed)
+    // per-worker frame allocation pattern.
+    dag.clear();
+    nc.run(*plan);
+    dag.clear();
+    nc.run(*plan);
+    {
+      dag.clear();
+      Execution warm_cancel = nc.submit(*plan);
+      warm_cancel.cancel();
+      warm_cancel.wait();
+    }
+    nc.wait_idle();
+    const std::size_t warm_bytes = nc.arena_bytes();
+    const std::size_t warm_instances = plan->instances_built();
+
+    for (int round = 0; round < 3; ++round) {
+      dag.clear();
+      const std::uint64_t threshold = rng.below(dag.n);
+      SubmitOptions so;
+      so.priority = round == 0 ? Priority::kLow : Priority::kNormal;
+      so.name = "fuzz-cancel";
+      Execution e = nc.submit(*plan, so);
+      Backoff backoff;
+      while (!e.done() && e.nodes_computed() < threshold) backoff.pause();
+      e.cancel();
+      e.wait();
+
+      const Status st = e.status();
+      ASSERT_TRUE(st.state == ExecStatus::kCompleted ||
+                  st.state == ExecStatus::kCancelled);
+      // Every plan node is retired exactly once: computed or skipped.
+      EXPECT_EQ(e.nodes_computed() + st.skipped_nodes, dag.n) << round;
+      if (st.state == ExecStatus::kCancelled) {
+        // No sink write after the cancel was acknowledged: a cancelled
+        // execution by definition never computed the sink, and wait()
+        // returning means every task has synced — the slot must still hold
+        // the sentinel now and forever after.
+        EXPECT_GT(st.skipped_nodes, 0u);
+        EXPECT_EQ(dag.vals[dag.n - 1], FuzzDag::kUnwritten) << round;
+        nc.wait_idle();
+        EXPECT_EQ(dag.vals[dag.n - 1], FuzzDag::kUnwritten)
+            << "sink written after cancel ack, round " << round;
+      } else {
+        EXPECT_EQ(st.skipped_nodes, 0u);
+        EXPECT_EQ(dag.checksum(), expected) << round;
+      }
+    }
+    // Handles released: instances are back on the freelist (the pool never
+    // grew past the warm size), arena bytes are back at the watermark, and
+    // the recycled instance replays bitwise-correctly.
+    nc.wait_idle();
+    EXPECT_EQ(plan->instances_built(), warm_instances);
+    EXPECT_LE(nc.arena_bytes(), warm_bytes)
+        << "cancelled runs leaked frame-arena blocks";
+    dag.clear();
+    Execution e = nc.run(*plan);
+    EXPECT_EQ(e.nodes_created(), 0u) << "cancelled instance left the pool";
+    EXPECT_EQ(e.status().state, ExecStatus::kCompleted);
+    EXPECT_EQ(dag.checksum(), expected) << "replay after cancel diverged";
+  }
+
+  // --- cancellation, dynamic-spec path: discovery itself is cut short.
+  {
+    Pcg32 rng(splitmix64(seed ^ 0xabad1dea), /*stream=*/13);
+    dag.clear();
+    const std::uint64_t threshold = rng.below(dag.n / 2 + 1);
+    Execution e = nb.submit(spec, dag.sink());
+    Backoff backoff;
+    while (!e.done() && e.nodes_computed() < threshold) backoff.pause();
+    e.cancel();
+    e.wait();
+    const Status st = e.status();
+    ASSERT_TRUE(st.state == ExecStatus::kCompleted ||
+                st.state == ExecStatus::kCancelled);
+    if (st.state == ExecStatus::kCancelled) {
+      EXPECT_EQ(dag.vals[dag.n - 1], FuzzDag::kUnwritten)
+          << "sink written by a cancelled spec submission";
+    } else {
+      EXPECT_EQ(dag.checksum(), expected);
+    }
+    // The spec is reusable right away: a full re-run is bitwise-correct.
+    dag.clear();
+    Execution again = nb.run(spec, dag.sink());
+    EXPECT_EQ(again.status().state, ExecStatus::kCompleted);
+    EXPECT_EQ(dag.checksum(), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDag8, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace nabbitc::api

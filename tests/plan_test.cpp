@@ -440,6 +440,39 @@ TEST(PlanAlloc, SteadyStateReplayIsAllocationFree) {
   }
 }
 
+TEST(PlanAlloc, SubmitOptionsKeepSteadyStateAllocationFree) {
+  // Submission control must not tax the serving hot path: priority lanes
+  // are fixed arrays, the deadline is a plain store, the name is not
+  // copied — so a replay submitted with ANY SubmitOptions value (and a
+  // cancelled one) still performs zero heap allocations at steady state.
+  auto rt = make_runtime(Variant::kNabbitC);
+  constexpr std::uint32_t kSide = 16;
+  std::atomic<std::uint64_t> acc{0};
+  AccumSpec spec(&acc, kSide);
+  auto plan = rt.compile(spec, key_pack(kSide - 1, kSide - 1));
+
+  SubmitOptions hot;
+  hot.priority = Priority::kHigh;
+  hot.deadline_ns = deadline_in(std::chrono::hours(1));
+  hot.name = "hot-path";
+  for (int i = 0; i < 12; ++i) rt.run(*plan, hot);  // warm up
+  rt.wait_idle();
+
+  g_allocs.store(0, std::memory_order_relaxed);
+  g_counting.store(true, std::memory_order_release);
+  for (int i = 0; i < 8; ++i) rt.run(*plan, hot);
+  {
+    // A cancelled round trip is also allocation-free end to end.
+    Execution e = rt.submit(*plan, hot);
+    e.cancel();
+    e.wait();
+  }
+  g_counting.store(false, std::memory_order_release);
+
+  EXPECT_EQ(g_allocs.load(std::memory_order_relaxed), 0u)
+      << "SubmitOptions submission heap-allocated at steady state";
+}
+
 // ------------------------------------------------------- bounded arenas
 
 TEST(PlanArena, NeverQuiescentSubmissionChainHoldsArenaBytesBounded) {
@@ -454,12 +487,26 @@ TEST(PlanArena, NeverQuiescentSubmissionChainHoldsArenaBytesBounded) {
   // which pins the live-overlap window to ~2 jobs — the reclamation
   // watermark then advances deterministically, keeping the bound tight
   // even when the OS stalls one worker (this box has a single core).
+  //
+  // Cancellation stress rides along: every few chain jobs the test also
+  // submits a plan replay and cancels it immediately (some at high
+  // priority, some with an already-expired deadline). Cancelled runs must
+  // release their epoch-stamped arena blocks and pooled instances exactly
+  // like completed ones, or the bound below breaks — this is the
+  // arena_bytes()-under-cancellation-heavy-overlap regression guard.
   auto rt = make_runtime(Variant::kNabbit);
   rt::Scheduler& sched = rt.scheduler();
+
+  constexpr std::uint32_t kSide = 12;
+  std::atomic<std::uint64_t> acc{0};
+  AccumSpec accum_spec(&acc, kSide);
+  auto plan = rt.compile(accum_spec, key_pack(kSide - 1, kSide - 1),
+                         /*reserve=*/2);
 
   constexpr int kJobs = 300;
   constexpr int kWarmJob = 60;
   constexpr int kSpawnsPerJob = 64;
+  constexpr int kCancelEvery = 20;
   std::atomic<int> submitted{0};
   std::vector<std::unique_ptr<rt::Scheduler::RootJob>> jobs;
   jobs.reserve(kJobs);
@@ -493,10 +540,22 @@ TEST(PlanArena, NeverQuiescentSubmissionChainHoldsArenaBytesBounded) {
 
   // Submit without ever blocking: a wait here would deadlock against the
   // refuse-to-finish chain (job i cannot return until i+1 is submitted).
+  // The interleaved replays are cancelled right after submission and their
+  // handles parked in `cancelled` (handle release waits, so they are only
+  // dropped after the chain resolves).
+  std::vector<Execution> cancelled;
   std::size_t warm_bytes = 0;
   for (int i = 0; i < kJobs; ++i) {
     sched.submit(*jobs[i]);
     submitted.store(i + 1, std::memory_order_release);
+    if (i % kCancelEvery == 0) {
+      SubmitOptions so;
+      so.priority = (i / kCancelEvery) % 2 == 0 ? Priority::kHigh : Priority::kLow;
+      if ((i / kCancelEvery) % 3 == 0) so.deadline_ns = 1;  // born expired
+      Execution e = rt.submit(*plan, so);
+      e.cancel();
+      cancelled.push_back(std::move(e));
+    }
     if (i == kWarmJob) {
       // Record the warm high-watermark once real work has demonstrably run.
       // Polling done (not sched.wait) keeps this thread non-blocking; job
@@ -509,14 +568,36 @@ TEST(PlanArena, NeverQuiescentSubmissionChainHoldsArenaBytesBounded) {
     }
   }
   for (int i = 0; i < kJobs; ++i) sched.wait(*jobs[i]);
+  for (auto& e : cancelled) {
+    e.wait();
+    const Status st = e.status();
+    EXPECT_TRUE(st.state == ExecStatus::kCancelled ||
+                st.state == ExecStatus::kDeadlineExceeded ||
+                st.state == ExecStatus::kCompleted);
+    EXPECT_EQ(e.nodes_computed() + st.skipped_nodes,
+              std::uint64_t{kSide} * kSide);
+  }
+  cancelled.clear();  // release every instance back to the pool
   const std::size_t end_bytes = rt.arena_bytes();
 
   EXPECT_GT(warm_bytes, 0u);
   // arena_bytes() counts mapped blocks, which are never unmapped — so any
-  // missed reclamation shows up here permanently.
+  // missed reclamation (chain jobs OR cancelled replays) shows up here
+  // permanently.
   EXPECT_LE(end_bytes, warm_bytes * 2 + (std::size_t{256} << 10))
       << "frame arenas grew while the pool was never quiescent (warm="
       << warm_bytes << ", end=" << end_bytes << ")";
+  // Cancelled replays returned their instances (pool bounded by the
+  // in-flight replay depth, which handle parking caps at the submit count),
+  // and a recycled instance replays correctly after any partial run.
+  rt.wait_idle();
+  EXPECT_LE(plan->instances_built(),
+            static_cast<std::size_t>(kJobs / kCancelEvery) + 1);
+  acc.store(0);
+  Execution ok = rt.run(*plan);
+  EXPECT_EQ(ok.status().state, ExecStatus::kCompleted);
+  EXPECT_EQ(acc.load(), accum_spec.expected_total());
+  EXPECT_EQ(ok.nodes_created(), 0u) << "post-cancel replay missed the pool";
 }
 
 TEST(PlanArena, ContinuousOverlappingReplayHoldsArenaBytesBounded) {

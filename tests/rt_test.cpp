@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <numeric>
 #include <thread>
 #include <vector>
@@ -539,6 +540,267 @@ TEST(Scheduler, WaitIdleQuiescesThePool) {
   const auto b = rt.scheduler().aggregate_counters();
   EXPECT_EQ(a.tasks_executed, b.tasks_executed);
   EXPECT_EQ(a.steal_attempts_total(), b.steal_attempts_total());
+}
+
+// ------------------------------------------------------ submission control
+//
+// These tests drive the injection lanes / cancellation / deadline machinery
+// at the RootJob level. A single-worker pool plus one "blocker" root makes
+// pop order fully deterministic: everything submitted while the blocker
+// runs is queued, and the release order is exactly the lane policy's.
+
+namespace {
+
+/// A root whose fn parks on `release` — holds the (single) worker so later
+/// submissions stay queued — and appends its `tag` to `order` when it runs.
+struct TaggedJob {
+  Scheduler::RootJob job;
+  std::atomic<bool>* release = nullptr;
+  std::vector<int>* order = nullptr;  // appended on the worker; sized ahead
+  std::atomic<std::size_t>* cursor = nullptr;
+  int tag = 0;
+  bool saw_cancel = false;
+
+  void bind() {
+    job.fn = [this](Worker&) {
+      if (release != nullptr) {
+        Backoff backoff;
+        while (!release->load(std::memory_order_acquire)) backoff.pause();
+      }
+      saw_cancel = job.cancel_requested();
+      if (order != nullptr) {
+        (*order)[cursor->fetch_add(1, std::memory_order_relaxed)] = tag;
+      }
+    };
+  }
+};
+
+}  // namespace
+
+TEST(SubmissionControl, HigherLanePopsFirst) {
+  api::Runtime rt(test_options(1));
+  Scheduler& sched = rt.scheduler();
+  std::atomic<bool> release{false};
+  std::vector<int> order(3, -1);
+  std::atomic<std::size_t> cursor{0};
+
+  TaggedJob blocker;
+  blocker.release = &release;
+  blocker.bind();
+  sched.submit(blocker.job);
+
+  // Queued while the only worker is blocked: low first, high second — the
+  // pop must invert that.
+  TaggedJob low, high;
+  low.tag = 1;
+  low.order = &order;
+  low.cursor = &cursor;
+  low.job.lane = 2;
+  low.bind();
+  high.tag = 2;
+  high.order = &order;
+  high.cursor = &cursor;
+  high.job.lane = 0;
+  high.bind();
+  sched.submit(low.job);
+  sched.submit(high.job);
+
+  release.store(true, std::memory_order_release);
+  sched.wait(low.job);
+  sched.wait(high.job);
+  sched.wait(blocker.job);
+  EXPECT_EQ(order[0], 2) << "high-priority root did not pop first";
+  EXPECT_EQ(order[1], 1);
+}
+
+TEST(SubmissionControl, StarvedLowLaneStillProgresses) {
+  // A saturating high lane must not starve the low lane: after
+  // kLaneStarvationBound bypasses the low root takes a pop.
+  api::Runtime rt(test_options(1));
+  Scheduler& sched = rt.scheduler();
+  constexpr int kHighs =
+      static_cast<int>(2 * Scheduler::kLaneStarvationBound);
+  std::atomic<bool> release{false};
+  std::vector<int> order(kHighs + 1, -1);
+  std::atomic<std::size_t> cursor{0};
+
+  TaggedJob blocker;
+  blocker.release = &release;
+  blocker.bind();
+  sched.submit(blocker.job);
+
+  TaggedJob low;
+  low.tag = -1;
+  low.order = &order;
+  low.cursor = &cursor;
+  low.job.lane = 2;
+  low.bind();
+  sched.submit(low.job);
+
+  std::vector<std::unique_ptr<TaggedJob>> highs;
+  for (int i = 0; i < kHighs; ++i) {
+    auto h = std::make_unique<TaggedJob>();
+    h->tag = i;
+    h->order = &order;
+    h->cursor = &cursor;
+    h->job.lane = 0;
+    h->bind();
+    sched.submit(h->job);
+    highs.push_back(std::move(h));
+  }
+
+  release.store(true, std::memory_order_release);
+  for (auto& h : highs) sched.wait(h->job);
+  sched.wait(low.job);
+  sched.wait(blocker.job);
+
+  std::size_t low_at = order.size();
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (order[i] == -1) low_at = i;
+  }
+  ASSERT_LT(low_at, order.size());
+  EXPECT_GE(low_at, 1u) << "low lane popped before any high root";
+  EXPECT_LE(low_at, Scheduler::kLaneStarvationBound)
+      << "low lane starved past the bound";
+}
+
+TEST(SubmissionControl, CancelWhileQueuedSkipsButStillRetires) {
+  api::Runtime rt(test_options(1));
+  Scheduler& sched = rt.scheduler();
+  std::atomic<bool> release{false};
+
+  TaggedJob blocker;
+  blocker.release = &release;
+  blocker.bind();
+  sched.submit(blocker.job);
+
+  TaggedJob victim;
+  victim.bind();
+  sched.submit(victim.job);
+  EXPECT_TRUE(victim.job.try_cancel(CancelReason::kRequested));
+  EXPECT_FALSE(victim.job.try_cancel(CancelReason::kDeadline))
+      << "first cancel reason must win";
+
+  release.store(true, std::memory_order_release);
+  sched.wait(victim.job);
+  sched.wait(blocker.job);
+  // The root still ran (uniform terminal accounting) and observed the
+  // cancel that landed while it was queued.
+  EXPECT_TRUE(victim.saw_cancel);
+  EXPECT_EQ(victim.job.cancel_reason(), CancelReason::kRequested);
+  rt.wait_idle();
+  EXPECT_EQ(sched.aggregate_counters().roots_cancelled, 1u);
+  EXPECT_EQ(sched.aggregate_counters().roots_deadline_expired, 0u);
+}
+
+TEST(SubmissionControl, PastDeadlineExpiresAtAdoption) {
+  // A root whose deadline already passed is adopted pre-cancelled: the
+  // adoption-time sweep fires before fn runs, with no waiter involved.
+  api::Runtime rt(test_options(1));
+  Scheduler& sched = rt.scheduler();
+
+  TaggedJob victim;
+  victim.job.deadline_ns = 1;  // epoch start: long past
+  victim.bind();
+  sched.submit(victim.job);
+  sched.wait(victim.job);
+  EXPECT_TRUE(victim.saw_cancel);
+  EXPECT_EQ(victim.job.cancel_reason(), CancelReason::kDeadline);
+  rt.wait_idle();
+  EXPECT_EQ(sched.aggregate_counters().roots_deadline_expired, 1u);
+}
+
+TEST(SubmissionControl, ParkedWaiterExpiresDeadlineOfRunningJob) {
+  // The pool is saturated by the job itself (it never yields the worker
+  // until released), so only the external waiter's timed sleep can expire
+  // the deadline. wait() must come back with the cancel word set.
+  api::Runtime rt(test_options(1));
+  Scheduler& sched = rt.scheduler();
+  std::atomic<bool> release{false};
+
+  TaggedJob job;
+  job.release = &release;
+  job.job.deadline_ns = now_ns() + 20'000'000;  // 20ms from now
+  job.bind();
+  sched.submit(job.job);
+
+  // Bounded timed wait well past the deadline: returns false (job still
+  // blocked) but must have expired the deadline on the way.
+  const bool done = sched.wait_until(job.job, now_ns() + 120'000'000);
+  EXPECT_FALSE(done);
+  EXPECT_TRUE(job.job.cancel_requested());
+  EXPECT_EQ(job.job.cancel_reason(), CancelReason::kDeadline);
+
+  release.store(true, std::memory_order_release);
+  sched.wait(job.job);
+}
+
+TEST(SubmissionControl, WaitUntilTimesOutWithoutCancelling) {
+  api::Runtime rt(test_options(1));
+  Scheduler& sched = rt.scheduler();
+  std::atomic<bool> release{false};
+
+  TaggedJob job;  // no deadline of its own
+  job.release = &release;
+  job.bind();
+  sched.submit(job.job);
+
+  EXPECT_FALSE(sched.wait_until(job.job, now_ns() + 5'000'000));
+  EXPECT_FALSE(job.job.cancel_requested()) << "timed wait must not cancel";
+
+  release.store(true, std::memory_order_release);
+  sched.wait(job.job);
+  EXPECT_FALSE(job.saw_cancel);
+}
+
+TEST(SubmissionControl, WorkerTimedWaitObservesDeadlineUnderSustainedProgress) {
+  // Regression: a timed wait from a worker thread helps (runs pool work),
+  // and must check its clock after every helped unit too — on a saturated
+  // pool try_progress succeeds indefinitely, and a wait_until that only
+  // looked at the clock on idle misses would blow through its deadline by
+  // the whole backlog (~50ms here) instead of returning at ~5ms.
+  api::Runtime rt(test_options(1));
+  Scheduler& sched = rt.scheduler();
+  constexpr int kJobs = 100;
+  std::atomic<int> ran{0};
+  std::vector<std::unique_ptr<Scheduler::RootJob>> jobs;
+  jobs.reserve(kJobs);
+  for (int i = 0; i < kJobs; ++i) {
+    auto j = std::make_unique<Scheduler::RootJob>();
+    j->fn = [&ran](Worker&) {
+      Timer t;
+      while (t.seconds() < 500e-6) cpu_relax();  // ~500us of real work
+      ran.fetch_add(1, std::memory_order_relaxed);
+    };
+    jobs.push_back(std::move(j));
+  }
+  bool done = true;
+  double waited_s = 0;
+  rt.run_parallel([&](Worker&) {
+    for (auto& j : jobs) sched.submit(*j);
+    Timer t;
+    done = sched.wait_until(*jobs.back(), now_ns() + 5'000'000);
+    waited_s = t.seconds();
+  });
+  EXPECT_FALSE(done) << "the backlog cannot have drained inside the timeout";
+  EXPECT_LT(waited_s, 0.040)
+      << "timed wait ignored its deadline while helping";
+  for (auto& j : jobs) sched.wait(*j);
+  EXPECT_EQ(ran.load(), kJobs);
+}
+
+TEST(SubmissionControl, WaitSpinBudgetSkippedOnSingleWorkerPool) {
+  // Regression guard for the PR 4 spin-before-park: an external waiter on a
+  // 1-worker pool must park immediately — spinning only delays the one
+  // thread that can make progress (this CI box has a single core).
+  api::Runtime one(test_options(1));
+  api::Runtime two(test_options(2));
+  EXPECT_EQ(one.scheduler().wait_spin_limit(), 0);
+  EXPECT_GT(two.scheduler().wait_spin_limit(), 0);
+  // And the park-immediately path still completes a normal round trip.
+  std::atomic<int> ran{0};
+  one.run_parallel([&](Worker&) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 1);
 }
 
 }  // namespace

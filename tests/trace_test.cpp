@@ -129,6 +129,8 @@ void expect_counters_equal(const rt::WorkerCounters& a, const rt::WorkerCounters
   EXPECT_EQ(a.first_steal_wait_ns, b.first_steal_wait_ns);
   EXPECT_EQ(a.first_steal_forced_abandoned, b.first_steal_forced_abandoned);
   EXPECT_EQ(a.idle_ns, b.idle_ns);
+  EXPECT_EQ(a.roots_cancelled, b.roots_cancelled);
+  EXPECT_EQ(a.roots_deadline_expired, b.roots_deadline_expired);
   EXPECT_EQ(a.locality.nodes, b.locality.nodes);
   EXPECT_EQ(a.locality.remote_nodes, b.locality.remote_nodes);
   EXPECT_EQ(a.locality.pred_accesses, b.locality.pred_accesses);
@@ -181,6 +183,57 @@ TEST(Collector, DerivedCountersMatchOnRealWorkload) {
   expect_counters_equal(derive_counters(r.trace), r.counters);
   // The trace must contain locality samples from the nabbit layer.
   EXPECT_GT(derive_counters(r.trace).locality.nodes, 0u);
+}
+
+TEST(Collector, CancelledRootEmitsCancelEventMatchingCounters) {
+  // Submission control in the trace: a cancelled root and a deadline-
+  // expired root each emit one kCancel event, and the derived counters
+  // agree with the scheduler's own roots_* counters.
+  api::RuntimeOptions opts;
+  opts.workers = 1;
+  opts.trace.enabled = true;
+  api::Runtime rt(opts);
+
+  struct OneNode final : api::TaskGraphNode {
+    void init(api::ExecContext&) override {}
+    void compute(api::ExecContext&) override {}
+  };
+  struct OneSpec final : api::GraphSpec {
+    api::TaskGraphNode* create(api::NodeArena& arena, api::Key) override {
+      return arena.create<OneNode>();
+    }
+  } spec;
+  auto plan = rt.compile(spec, 0);
+
+  {
+    api::Execution e = rt.submit(*plan);
+    e.cancel();
+    e.wait();
+  }
+  api::SubmitOptions so;
+  so.deadline_ns = 1;  // born expired
+  rt.run(*plan, so);
+  rt.wait_idle();
+
+  const rt::WorkerCounters counters = rt.counters();
+  // The client cancel may have raced normal completion of the tiny graph;
+  // the deadline one is deterministic (expired before adoption).
+  EXPECT_LE(counters.roots_cancelled, 1u);
+  EXPECT_EQ(counters.roots_deadline_expired, 1u);
+
+  Trace t = rt.collect_trace();
+  expect_counters_equal(derive_counters(t), counters);
+  std::size_t cancel_events = 0;
+  for (const Event& e : t.events) {
+    if (e.kind == EventKind::kCancel) ++cancel_events;
+  }
+  EXPECT_EQ(cancel_events,
+            counters.roots_cancelled + counters.roots_deadline_expired);
+
+  // And the Chrome export names the terminal states.
+  std::ostringstream os;
+  write_chrome_trace(t, os);
+  EXPECT_NE(os.str().find("deadline_exceeded"), std::string::npos);
 }
 
 TEST(Collector, ResetTraceClearsRings) {
