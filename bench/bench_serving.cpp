@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "api/nabbitc.h"
+#include "rt/status.h"
 #include "support/config.h"
 #include "support/timing.h"
 
@@ -184,6 +185,7 @@ int main(int argc, char** argv) {
   check(bg_acc.load() == bg_completed * bg_nodes, "background replays diverged");
   report("high_prio_p50_ns", percentile(loaded, 0.50), "ns");
   report("high_prio_p95_ns", percentile(loaded, 0.95), "ns");
+  report("high_prio_p99_ns", percentile(loaded, 0.99), "ns");
   report("high_prio_max_ns", loaded.back(), "ns");  // sorted by percentile()
   report("background_completed", static_cast<double>(bg_completed), "graphs");
 
@@ -191,6 +193,7 @@ int main(int argc, char** argv) {
   // the pool (submit, let it start, cancel, wait).
   std::vector<double> drain;
   std::uint64_t skipped_total = 0;
+  int outcome_count[4] = {0, 0, 0, 0};  // indexed by api::ExecStatus
   const int cancel_rounds = samples / 4 + 1;
   for (int i = 0; i < cancel_rounds; ++i) {
     api::Execution e = rt.submit(*bg_plan, lo_opts);
@@ -198,8 +201,21 @@ int main(int argc, char** argv) {
     e.cancel();
     e.wait();
     drain.push_back(static_cast<double>(now_ns() - t0));
-    skipped_total += e.status().skipped_nodes;
+    const api::Status st = e.status();
+    skipped_total += st.skipped_nodes;
+    ++outcome_count[static_cast<std::uint8_t>(st.state) & 3];
   }
+  // Cancel legitimately races completion; both terminal states are fine,
+  // but the split is worth seeing (all-completed would mean the cancel
+  // never landed before the sink and the drain numbers measure nothing).
+  std::printf("cancel outcomes:");
+  for (std::uint8_t s = 0; s < 4; ++s) {
+    if (outcome_count[s] > 0) {
+      std::printf(" %s=%d", rt::exec_status_name(static_cast<api::ExecStatus>(s)),
+                  outcome_count[s]);
+    }
+  }
+  std::printf("\n");
   report("cancel_drain_p50_ns", percentile(drain, 0.50), "ns");
   report("cancel_skipped_mean",
          static_cast<double>(skipped_total) / static_cast<double>(cancel_rounds),

@@ -32,13 +32,15 @@ case "${MODE}" in
     ;;
 esac
 
-echo "=== header self-containment: src/api + src/plan ==="
+echo "=== header self-containment: src/api + src/plan + src/net ==="
 # Every public façade header must compile standalone, warning-clean: an
 # embedder's first include may be any one of them. src/plan is part of the
-# public surface (GraphPlan is returned by Runtime::compile).
+# public surface (GraphPlan is returned by Runtime::compile), and src/net
+# is the service embedding surface (Server/Client link against the daemon
+# core from outside the engine).
 HDR_TMP="$(mktemp -d)"
 trap 'rm -rf "${HDR_TMP}"' EXIT
-for h in src/api/*.h src/plan/*.h; do
+for h in src/api/*.h src/plan/*.h src/net/*.h; do
   rel="${h#src/}"
   echo "  ${rel}"
   printf '#include "%s"\n' "${rel}" > "${HDR_TMP}/tu.cpp"
@@ -109,8 +111,9 @@ with open(sys.argv[1]) as f:
     d = json.load(f)
 expected = [
     "unloaded_p50_ns", "unloaded_p95_ns", "high_prio_p50_ns",
-    "high_prio_p95_ns", "high_prio_max_ns", "background_completed",
-    "cancel_drain_p50_ns", "cancel_skipped_mean", "arena_bytes_after",
+    "high_prio_p95_ns", "high_prio_p99_ns", "high_prio_max_ns",
+    "background_completed", "cancel_drain_p50_ns", "cancel_skipped_mean",
+    "arena_bytes_after",
 ]
 missing = [k for k in expected if k not in d["metrics"]]
 assert not missing, f"missing metrics: {missing}"
@@ -125,6 +128,60 @@ print(f"bench-serving OK: high_prio_p50 = {p50:.0f} ns")
 EOF
 else
   echo "bench-serving smoke skipped (no Release build dir)"
+fi
+
+echo "=== bench-smoke: net JSON ==="
+if [ -d "${BENCH_DIR}" ]; then
+  "${BENCH_DIR}/bench_net" preset=tiny secs=2 out="${BENCH_DIR}/BENCH_net.json"
+  python3 - "${BENCH_DIR}/BENCH_net.json" <<'EOF'
+import json, math, sys
+with open(sys.argv[1]) as f:
+    d = json.load(f)
+expected = [
+    "clients", "rps_sustained", "submit_result_p50_ns",
+    "submit_result_p95_ns", "submit_result_p99_ns", "plans_compiled",
+    "busy_rejections", "arena_bytes_after",
+]
+missing = [k for k in expected if k not in d["metrics"]]
+assert not missing, f"missing metrics: {missing}"
+m = d["metrics"]
+# The acceptance properties: >= 4 concurrent clients saw finite
+# submit->RESULT latency, and the shared graph was compiled exactly once.
+assert m["clients"]["value"] >= 4, "fewer than 4 concurrent clients"
+p99 = m["submit_result_p99_ns"]["value"]
+assert isinstance(p99, (int, float)) and math.isfinite(p99), f"bad p99: {p99}"
+assert 0 < p99 < 60e9, f"submit->RESULT p99 out of range: {p99}"
+assert m["plans_compiled"]["value"] == 1, "shared graph compiled more than once"
+assert m["rps_sustained"]["value"] > 0, "no sustained throughput"
+print(f"bench-net OK: {m['clients']['value']:.0f} clients, "
+      f"p99 = {p99:.0f} ns, rps = {m['rps_sustained']['value']:.0f}")
+EOF
+else
+  echo "bench-net smoke skipped (no Release build dir)"
+fi
+
+echo "=== serve-smoke: daemon + client over a unix socket ==="
+if [ -d "${BENCH_DIR}" ]; then
+  SERVE_SOCK="$(mktemp -u /tmp/nabbitc-ci-XXXXXX.sock)"
+  "${BENCH_DIR}/nabbitc-serve" unix="${SERVE_SOCK}" workers=2 &
+  SERVE_PID=$!
+  # Wait for the daemon to bind (it prints "listening" after, but the
+  # socket file appearing is the machine-checkable signal).
+  for _ in $(seq 1 100); do
+    [ -S "${SERVE_SOCK}" ] && break
+    sleep 0.1
+  done
+  [ -S "${SERVE_SOCK}" ] || { echo "serve-smoke: daemon never bound" >&2; kill "${SERVE_PID}"; exit 1; }
+  "${BENCH_DIR}/nabbitc-serve" connect="${SERVE_SOCK}" submits=24 side=8 \
+    || { echo "serve-smoke: client failed" >&2; kill "${SERVE_PID}"; exit 1; }
+  kill -TERM "${SERVE_PID}"
+  # The daemon must drain and exit 0 on SIGTERM; a non-zero wait status
+  # (crash, sanitizer report, hung shutdown) fails the step.
+  wait "${SERVE_PID}"
+  rm -f "${SERVE_SOCK}"
+  echo "serve-smoke OK"
+else
+  echo "serve-smoke skipped (no Release build dir)"
 fi
 
 echo "=== traced smoke run ==="
@@ -150,7 +207,9 @@ echo "=== ThreadSanitizer leg (race-prone subset) ==="
 # The CI box has 1 CPU and tsan is ~10x, so this leg builds only the test
 # binaries and runs the race-prone subset: scheduler concurrency and
 # submission control (rt), concurrent submissions (api), concurrent/
-# cancelled plan replays (plan), and two randomized-DAG fuzz seeds.
+# cancelled plan replays (plan), two randomized-DAG fuzz seeds, and the
+# graph service's cross-thread paths (sessions vs. runtime callbacks:
+# shared-plan registration, disconnect-cancel, shutdown drain).
 # Benign-by-design races (the colored-steal peek) are suppressed in
 # tsan.supp, which documents each entry.
 TSAN_DIR="build-ci-tsan"
@@ -161,10 +220,10 @@ cmake -B "${TSAN_DIR}" -S . \
   -DNABBITC_BUILD_BENCH=OFF \
   -DNABBITC_BUILD_EXAMPLES=OFF
 cmake --build "${TSAN_DIR}" -j "${JOBS}" \
-  --target rt_test api_test plan_test fuzz_graph_test
+  --target rt_test api_test plan_test fuzz_graph_test net_test
 TSAN_OPTIONS="suppressions=$(pwd)/tsan.supp halt_on_error=1" \
   ctest --test-dir "${TSAN_DIR}" --output-on-failure --timeout 600 \
-  -R 'SubmissionControl|ConcurrentStealersEachTaskOnce|ConcurrentRootJobsShareThePool|ConcurrentStress|PlanConcurrent|OverlappingSubmissions|SubmitOptionsKeepSteadyState|FuzzDag8.*/[01]$'
+  -R 'SubmissionControl|ConcurrentStealersEachTaskOnce|ConcurrentRootJobsShareThePool|ConcurrentStress|PlanConcurrent|OverlappingSubmissions|SubmitOptionsKeepSteadyState|FuzzDag8.*/[01]$|SharedPlanCompiledOnceAcrossSessions|NetDisconnect|NetShutdown'
 echo "tsan leg OK"
 
 echo "CI OK"

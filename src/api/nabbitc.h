@@ -32,6 +32,7 @@ using api::ExecStatus;
 using api::Priority;
 using api::priority_name;
 using api::Status;
+using api::status_name;
 using api::SubmitOptions;
 
 using plan::GraphPlan;

@@ -25,6 +25,7 @@
 #include <chrono>
 #include <cstdint>
 
+#include "rt/status.h"
 #include "support/timing.h"
 
 namespace nabbitc::api {
@@ -62,33 +63,13 @@ inline std::uint64_t deadline_in(std::chrono::nanoseconds d) noexcept {
   return now_ns() + static_cast<std::uint64_t>(d.count() > 0 ? d.count() : 0);
 }
 
-/// Lifecycle state of one execution. The three non-running values are
-/// terminal; exactly one of them is reported once wait() returns.
-enum class ExecStatus : std::uint8_t {
-  kRunning = 0,           // not yet done (status() before completion)
-  kCompleted = 1,         // every node computed; the sink holds its result
-  kCancelled = 2,         // cancel() landed before the sink computed
-  kDeadlineExceeded = 3,  // the deadline landed before the sink computed
-};
-
-inline const char* exec_status_name(ExecStatus s) noexcept {
-  switch (s) {
-    case ExecStatus::kRunning: return "running";
-    case ExecStatus::kCompleted: return "completed";
-    case ExecStatus::kCancelled: return "cancelled";
-    case ExecStatus::kDeadlineExceeded: return "deadline_exceeded";
-  }
-  return "?";
-}
-
-/// Terminal report of one execution (Execution::status()).
-struct Status {
-  ExecStatus state = ExecStatus::kRunning;
-  /// Nodes whose compute() was skipped by cancellation/deadline (0 for a
-  /// completed execution). Dynamic-spec submissions additionally stop
-  /// discovering nodes on cancellation; nodes never created are not
-  /// counted here.
-  std::uint64_t skipped_nodes = 0;
-};
+/// Lifecycle state / terminal report of one execution, and their canonical
+/// name strings. Defined once in rt/status.h (the trace exporter and the
+/// wire protocol render the same vocabulary); re-exported here as the
+/// public api:: spelling.
+using rt::exec_status_name;
+using rt::ExecStatus;
+using rt::Status;
+using rt::status_name;
 
 }  // namespace nabbitc::api

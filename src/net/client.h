@@ -1,0 +1,94 @@
+// In-repo client library for nabbitc-serve.
+//
+// A synchronous, single-connection client: each call sends one request
+// frame and blocks (with a timeout) until the matching reply. The one
+// asynchronous piece of the protocol is the RESULT push — the server sends
+// it whenever an execution finishes, possibly while the client is awaiting
+// some other reply — so the client stashes every RESULT it sees into a
+// pending map; wait_result() serves from that map first and only then
+// reads the socket. Not thread-safe: one Client per thread (sessions are
+// cheap; the daemon multiplexes).
+//
+// Every call reports failure by returning std::nullopt with a diagnostic
+// in last_error(). A transport failure (EOF, timeout, protocol error)
+// closes the connection; subsequent calls fail fast.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "api/submit_options.h"
+#include "net/protocol.h"
+#include "net/socket.h"
+#include "net/wire.h"
+
+namespace nabbitc::net {
+
+class Client {
+ public:
+  Client() = default;
+
+  bool connect_unix(const std::string& path);
+  bool connect_tcp(std::uint16_t port);
+  void close() noexcept { fd_.reset(); }
+  bool connected() const noexcept { return fd_.valid(); }
+  const std::string& last_error() const noexcept { return err_; }
+
+  /// REGISTER: content-addressed, idempotent; reply.shared says whether the
+  /// server already had this graph compiled.
+  std::optional<RegisteredMsg> register_graph(const WireGraph& g,
+                                              int timeout_ms = 30000);
+
+  /// SUBMIT outcome: accepted (exec_id) or a BUSY pushback.
+  struct SubmitOutcome {
+    bool accepted = false;
+    std::uint64_t exec_id = 0;
+    BusyMsg busy{};
+  };
+  std::optional<SubmitOutcome> submit(std::uint64_t handle,
+                                      std::uint64_t payload,
+                                      api::Priority priority,
+                                      std::uint64_t deadline_rel_ns = 0,
+                                      std::string_view name = {},
+                                      int timeout_ms = 30000);
+
+  /// Blocks until the RESULT push for `exec_id` arrives (or was already
+  /// stashed while awaiting other replies).
+  std::optional<ResultMsg> wait_result(std::uint64_t exec_id,
+                                       int timeout_ms = 30000);
+
+  std::optional<StatusMsg> query_status(std::uint64_t exec_id,
+                                        int timeout_ms = 30000);
+  std::optional<CancelAckMsg> cancel(std::uint64_t exec_id,
+                                     int timeout_ms = 30000);
+  std::optional<StatsMsg> stats(int timeout_ms = 30000);
+
+  std::size_t pending_results() const noexcept { return results_.size(); }
+
+  /// Test escape hatches: raw bytes onto the wire / the raw fd.
+  bool send_raw(const void* data, std::size_t n);
+  int fd() const noexcept { return fd_.get(); }
+
+ private:
+  enum class Pump : std::uint8_t { kPush, kReply, kTimeout, kClosed };
+
+  bool post_connect();
+  bool send_frame(FrameType type, const WireWriter& body);
+  /// Advances the stream until one frame is processed: RESULT pushes are
+  /// stashed (kPush), anything else is handed back (kReply).
+  Pump pump(std::uint64_t deadline_ns, FrameAssembler::Frame& reply);
+  /// Request/reply core: pumps until a frame of `want` arrives. A kError
+  /// frame or any unexpected type fails the call.
+  std::optional<FrameAssembler::Frame> await(FrameType want, int timeout_ms);
+  void fail(std::string msg) noexcept;
+
+  Fd fd_;
+  FrameAssembler assembler_;
+  std::map<std::uint64_t, ResultMsg> results_;  // stashed RESULT pushes
+  std::string err_;
+};
+
+}  // namespace nabbitc::net

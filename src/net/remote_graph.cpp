@@ -1,0 +1,33 @@
+#include "net/remote_graph.h"
+
+#include "support/timing.h"
+
+namespace nabbitc::net {
+
+void ServeNode::init(nabbit::ExecContext&) {
+  for (const std::uint32_t p :
+       spec->graph().nodes[static_cast<std::size_t>(key())].preds) {
+    add_predecessor(p);
+  }
+}
+
+void ServeNode::compute(nabbit::ExecContext& ctx) {
+  std::uint64_t h = wire_value_init(spec->graph().seed, key());
+  for (const nabbit::Key p : predecessors()) {
+    // Predecessors are computed and published before this node runs (the
+    // dependence protocol's release/acquire edge), and each instance's
+    // lookup resolves to its own node objects.
+    const auto* pred = static_cast<const ServeNode*>(ctx.find(p));
+    h = wire_value_mix(h, p, pred->value);
+  }
+  value = wire_value_fin(h);
+  const std::uint32_t spin = spec->graph().node_spin_ns;
+  if (spin > 0) {
+    const std::uint64_t until = now_ns() + spin;
+    while (now_ns() < until) {
+      // Busy-wait models compute cost; the cap in decode_register bounds it.
+    }
+  }
+}
+
+}  // namespace nabbitc::net

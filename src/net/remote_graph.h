@@ -1,0 +1,53 @@
+// Server-side execution of a registered wire graph.
+//
+// RemoteGraphSpec adapts a validated WireGraph into the runtime's
+// GraphSpec/TaskGraphNode interface so the daemon can compile it once into
+// a GraphPlan and replay it for every SUBMIT. The node function is the
+// protocol's fixed mix (net/protocol.h): each ServeNode stores its value in
+// the node object itself and reads predecessor values through
+// ExecContext::find — node objects are per-PlanInstance, so concurrent
+// replays of one shared plan never share value storage (no cross-client
+// races by construction, matching the plan layer's instance contract).
+#pragma once
+
+#include "api/graph.h"
+#include "net/protocol.h"
+
+namespace nabbitc::net {
+
+class RemoteGraphSpec;
+
+/// One wire-graph node: value storage + the protocol's mix function.
+struct ServeNode final : nabbit::TaskGraphNode {
+  const RemoteGraphSpec* spec;
+  std::uint64_t value = 0;
+
+  explicit ServeNode(const RemoteGraphSpec* s) noexcept : spec(s) {}
+  void init(nabbit::ExecContext& ctx) override;
+  void compute(nabbit::ExecContext& ctx) override;
+};
+
+class RemoteGraphSpec final : public nabbit::GraphSpec {
+ public:
+  /// `num_colors` is the serving runtime's worker count; wire colors are
+  /// folded into that range (a client need not know the server's width).
+  RemoteGraphSpec(WireGraph g, std::uint32_t num_colors) noexcept
+      : graph_(std::move(g)), num_colors_(num_colors == 0 ? 1 : num_colors) {}
+
+  nabbit::TaskGraphNode* create(nabbit::NodeArena& arena, nabbit::Key) override {
+    return arena.create<ServeNode>(this);
+  }
+  numa::Color color_of(nabbit::Key k) const override {
+    return static_cast<numa::Color>(
+        graph_.nodes[static_cast<std::size_t>(k)].color % num_colors_);
+  }
+  std::size_t expected_nodes() const override { return graph_.nodes.size(); }
+
+  const WireGraph& graph() const noexcept { return graph_; }
+
+ private:
+  WireGraph graph_;
+  std::uint32_t num_colors_;
+};
+
+}  // namespace nabbitc::net

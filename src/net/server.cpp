@@ -1,0 +1,210 @@
+#include "net/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "net/session.h"
+
+namespace nabbitc::net {
+
+Server::Server(ServerOptions opts)
+    : opts_(std::move(opts)), runtime_(opts_.runtime) {}
+
+Server::~Server() { stop(); }
+
+bool Server::start(std::string* err) {
+  if (started_) {
+    if (err != nullptr) *err = "server already started";
+    return false;
+  }
+  if (!opts_.tcp && opts_.unix_path.empty()) {
+    if (err != nullptr) *err = "no listener configured (tcp or unix_path)";
+    return false;
+  }
+  if (!wake_.open(err)) return false;
+  if (opts_.tcp) {
+    tcp_listen_ = listen_tcp_loopback(opts_.tcp_port, &bound_tcp_port_, err);
+    if (!tcp_listen_.valid()) return false;
+    if (!set_nonblocking(tcp_listen_.get(), err)) return false;
+  }
+  if (!opts_.unix_path.empty()) {
+    unix_listen_ = listen_unix(opts_.unix_path, err);
+    if (!unix_listen_.valid()) return false;
+    if (!set_nonblocking(unix_listen_.get(), err)) return false;
+  }
+  started_ = true;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void Server::stop() {
+  std::lock_guard<std::mutex> lk(stop_mu_);
+  if (stopped_) return;
+  stopped_ = true;
+  stop_.store(true, std::memory_order_release);
+  if (!started_) return;
+  wake_.notify();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  tcp_listen_.reset();
+  unix_listen_.reset();
+  {
+    // No new sessions can appear (accept thread is gone); join the rest.
+    std::lock_guard<std::mutex> slk(sessions_mu_);
+    for (auto& s : sessions_) s->join();
+    sessions_.clear();
+  }
+  if (!opts_.unix_path.empty()) ::unlink(opts_.unix_path.c_str());
+  runtime_.wait_idle();
+}
+
+void Server::accept_loop() {
+  while (!stopping()) {
+    pollfd fds[3];
+    nfds_t n = 0;
+    fds[n].fd = wake_.read.get();
+    fds[n].events = POLLIN;
+    ++n;
+    const nfds_t tcp_slot = tcp_listen_.valid() ? n : 0;
+    if (tcp_listen_.valid()) {
+      fds[n].fd = tcp_listen_.get();
+      fds[n].events = POLLIN;
+      ++n;
+    }
+    const nfds_t unix_slot = unix_listen_.valid() ? n : 0;
+    if (unix_listen_.valid()) {
+      fds[n].fd = unix_listen_.get();
+      fds[n].events = POLLIN;
+      ++n;
+    }
+    const int r = ::poll(fds, n, 200);
+    if (r < 0 && errno != EINTR) break;
+    if (stopping()) break;
+    if (r <= 0) {
+      reap_finished_sessions();
+      continue;
+    }
+    wake_.drain();
+    for (nfds_t slot = 1; slot < n; ++slot) {
+      if ((fds[slot].revents & POLLIN) == 0) continue;
+      const int lfd =
+          slot == tcp_slot ? tcp_listen_.get() : unix_listen_.get();
+      (void)unix_slot;
+      for (;;) {
+        Fd conn(::accept(lfd, nullptr, nullptr));
+        if (!conn.valid()) break;  // EAGAIN: accepted everything pending
+        reap_finished_sessions();
+        if (sessions_active_.load(std::memory_order_acquire) >=
+            opts_.max_sessions) {
+          // Admission control at the front door: refuse by closing. A
+          // client sees EOF before any reply and can retry later.
+          continue;
+        }
+        spawn_session(std::move(conn));
+      }
+    }
+  }
+}
+
+void Server::spawn_session(Fd fd) {
+  std::lock_guard<std::mutex> lk(sessions_mu_);
+  sessions_.push_back(
+      std::make_unique<Session>(*this, std::move(fd), next_session_id_++));
+  sessions_.back()->start();
+}
+
+void Server::reap_finished_sessions() {
+  std::lock_guard<std::mutex> lk(sessions_mu_);
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if ((*it)->finished()) {
+      (*it)->join();
+      it = sessions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Server::SpecEntry* Server::register_spec(const WireGraph& g,
+                                         bool* compiled_now,
+                                         std::string* err) {
+  WireWriter canon;
+  encode_register(g, canon);
+  const std::uint64_t handle = wire_graph_hash(g);
+
+  std::lock_guard<std::mutex> lk(reg_mu_);
+  const auto it = registry_.find(handle);
+  if (it != registry_.end()) {
+    SpecEntry& e = it->second;
+    if (e.canon.size() != canon.size() ||
+        std::memcmp(e.canon.data(), canon.data(), canon.size()) != 0) {
+      if (err != nullptr) *err = "spec handle collision (different graph)";
+      return nullptr;
+    }
+    *compiled_now = false;
+    return &e;
+  }
+
+  SpecEntry e;
+  e.handle = handle;
+  e.canon.assign(canon.data(), canon.data() + canon.size());
+  e.spec = std::make_unique<RemoteGraphSpec>(g, runtime_.workers());
+  // Compile under reg_mu_: registration is rare and this guarantees
+  // "compiled exactly once" even when many clients register concurrently.
+  e.plan = runtime_.compile(*e.spec, g.sink(), opts_.reserve_instances);
+  plans_compiled_.fetch_add(1, std::memory_order_relaxed);
+  *compiled_now = true;
+  // unordered_map nodes are address-stable: the returned pointer (and the
+  // plan it owns) stays valid for the Server's lifetime.
+  const auto ins = registry_.emplace(handle, std::move(e));
+  return &ins.first->second;
+}
+
+Server::SpecEntry* Server::find_spec(std::uint64_t handle) {
+  std::lock_guard<std::mutex> lk(reg_mu_);
+  const auto it = registry_.find(handle);
+  return it == registry_.end() ? nullptr : &it->second;
+}
+
+bool Server::try_admit_global() noexcept {
+  std::uint32_t cur = global_inflight_.load(std::memory_order_relaxed);
+  while (cur < opts_.max_inflight_global) {
+    if (global_inflight_.compare_exchange_weak(cur, cur + 1,
+                                               std::memory_order_acq_rel)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+StatsMsg Server::stats() const {
+  StatsMsg m;
+  {
+    std::lock_guard<std::mutex> lk(reg_mu_);
+    m.registered_specs = registry_.size();
+  }
+  m.plans_compiled = plans_compiled_.load(std::memory_order_relaxed);
+  m.submitted = submitted_.load(std::memory_order_relaxed);
+  m.completed = completed_.load(std::memory_order_relaxed);
+  m.cancelled = cancelled_.load(std::memory_order_relaxed);
+  m.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+  m.rejected_busy = rejected_busy_.load(std::memory_order_relaxed);
+  m.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  m.sessions_opened = sessions_opened_.load(std::memory_order_relaxed);
+  m.sessions_active = sessions_active_.load(std::memory_order_acquire);
+  m.in_flight = global_inflight_.load(std::memory_order_acquire);
+  m.arena_bytes = runtime_.arena_bytes();
+  return m;
+}
+
+const plan::GraphPlan* Server::debug_plan(std::uint64_t handle) const {
+  std::lock_guard<std::mutex> lk(reg_mu_);
+  const auto it = registry_.find(handle);
+  return it == registry_.end() ? nullptr : it->second.plan.get();
+}
+
+}  // namespace nabbitc::net

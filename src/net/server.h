@@ -1,0 +1,169 @@
+// nabbitc-serve daemon core: one Runtime served over sockets.
+//
+// A Server owns one api::Runtime for its whole lifetime and speaks the
+// net/protocol.h frame protocol on loopback-TCP and/or Unix-domain
+// listeners. The memory-resident-daemon shape: graph registration compiles
+// a GraphSpec into a GraphPlan ONCE — content-addressed by the graph's
+// canonical wire encoding, so every client registering the same graph
+// shares the same compiled plan — and each SUBMIT is a pooled plan replay
+// on the runtime's priority lanes.
+//
+// Per-connection Sessions (net/session.h) run on their own thread and own
+// their in-flight executions; admission control is two caps (per-session
+// and global in-flight), answered with BUSY instead of unbounded queueing.
+// A client that disappears mid-flight gets its executions cooperatively
+// cancelled (cancel-on-disconnect); other sessions are untouched. stop()
+// — also the SIGINT/SIGTERM path of the nabbitc-serve binary — stops
+// accepting, lets every session drain (or cancel) its in-flight work, joins
+// all threads, and only then lets the Runtime die.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "api/runtime.h"
+#include "net/protocol.h"
+#include "net/remote_graph.h"
+#include "net/socket.h"
+#include "plan/plan.h"
+
+namespace nabbitc::net {
+
+class Session;
+
+struct ServerOptions {
+  /// The serving runtime (workers, variant, tracing...). Must be a
+  /// task-graph variant; the daemon exists to serve that runtime.
+  api::RuntimeOptions runtime{};
+  /// Unix-domain listener path; empty = no UDS listener.
+  std::string unix_path;
+  /// Loopback-TCP listener; port 0 binds an ephemeral port (see
+  /// Server::tcp_port() after start()).
+  bool tcp = false;
+  std::uint16_t tcp_port = 0;
+  /// Admission control: connections beyond max_sessions are refused at
+  /// accept; SUBMITs beyond the in-flight caps get BUSY.
+  std::uint32_t max_sessions = 64;
+  std::uint32_t max_inflight_per_session = 16;
+  std::uint32_t max_inflight_global = 256;
+  /// PlanInstances pre-built per compiled plan (plan::CompileOptions).
+  std::size_t reserve_instances = 4;
+  /// stop(): true = in-flight executions run to completion (results still
+  /// pushed to connected clients); false = they are cancelled.
+  bool drain_on_shutdown = true;
+  /// Session poll period while idle (bounds shutdown latency) and the
+  /// write-stall budget after which a client counts as gone.
+  int idle_poll_ms = 20;
+  int io_timeout_ms = 5000;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions opts);
+  ~Server();  // stop()
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the configured listeners and starts the accept thread. False +
+  /// *err if no listener could be bound.
+  bool start(std::string* err);
+
+  /// Graceful shutdown: stop accepting, drain or cancel every session's
+  /// in-flight executions, join all threads. Idempotent; also run by the
+  /// destructor.
+  void stop();
+
+  bool stopping() const noexcept {
+    return stop_.load(std::memory_order_acquire);
+  }
+
+  /// The bound TCP port (after start(); useful with tcp_port = 0).
+  std::uint16_t tcp_port() const noexcept { return bound_tcp_port_; }
+  const std::string& unix_path() const noexcept { return opts_.unix_path; }
+  const ServerOptions& options() const noexcept { return opts_; }
+
+  api::Runtime& runtime() noexcept { return runtime_; }
+
+  /// Snapshot of the daemon counters (the STATS reply).
+  StatsMsg stats() const;
+
+  /// White-box test hook: the compiled plan behind a registered handle
+  /// (nullptr if unknown). The pointer stays valid until the Server dies.
+  const plan::GraphPlan* debug_plan(std::uint64_t handle) const;
+
+ private:
+  friend class Session;
+
+  /// One registered graph: canonical bytes (collision check), the spec the
+  /// plan replays, and the compiled plan. Lives until the Server dies.
+  struct SpecEntry {
+    std::uint64_t handle = 0;
+    std::vector<std::uint8_t> canon;
+    std::unique_ptr<RemoteGraphSpec> spec;
+    std::unique_ptr<plan::GraphPlan> plan;
+  };
+
+  /// Content-addressed registration: returns the existing entry for an
+  /// identical graph, or compiles a new one. nullptr + *err on a hash
+  /// collision with different bytes.
+  SpecEntry* register_spec(const WireGraph& g, bool* compiled_now,
+                           std::string* err);
+  SpecEntry* find_spec(std::uint64_t handle);
+
+  std::uint64_t next_exec_id() noexcept {
+    return exec_ids_.fetch_add(1, std::memory_order_relaxed);
+  }
+  bool try_admit_global() noexcept;
+  void release_global() noexcept {
+    global_inflight_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+
+  void accept_loop();
+  void spawn_session(Fd fd);
+  void reap_finished_sessions();
+
+  ServerOptions opts_;
+  /// Declared first: destroyed last, after every session thread (holding
+  /// Execution handles into it) has been joined.
+  api::Runtime runtime_;
+
+  mutable std::mutex reg_mu_;
+  std::unordered_map<std::uint64_t, SpecEntry> registry_;
+
+  // Daemon counters (the STATS frame).
+  std::atomic<std::uint64_t> plans_compiled_{0};
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> cancelled_{0};
+  std::atomic<std::uint64_t> deadline_exceeded_{0};
+  std::atomic<std::uint64_t> rejected_busy_{0};
+  std::atomic<std::uint64_t> protocol_errors_{0};
+  std::atomic<std::uint64_t> sessions_opened_{0};
+  std::atomic<std::uint32_t> sessions_active_{0};
+  std::atomic<std::uint32_t> global_inflight_{0};
+  std::atomic<std::uint64_t> exec_ids_{1};
+
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+  std::mutex stop_mu_;  // serializes stop() callers
+  bool stopped_ = false;
+
+  Fd tcp_listen_;
+  Fd unix_listen_;
+  std::uint16_t bound_tcp_port_ = 0;
+  WakePipe wake_;
+  std::thread accept_thread_;
+
+  std::mutex sessions_mu_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+  std::uint64_t next_session_id_ = 1;
+};
+
+}  // namespace nabbitc::net

@@ -1,0 +1,341 @@
+#include "net/session.h"
+
+#include <chrono>
+#include <utility>
+#include <vector>
+
+#include "net/protocol.h"
+#include "net/remote_graph.h"
+#include "support/timing.h"
+
+namespace nabbitc::net {
+
+Session::Session(Server& server, Fd fd, std::uint64_t id) noexcept
+    : server_(server), fd_(std::move(fd)), id_(id) {}
+
+Session::~Session() { join(); }
+
+void Session::start() {
+  server_.sessions_opened_.fetch_add(1, std::memory_order_relaxed);
+  server_.sessions_active_.fetch_add(1, std::memory_order_acq_rel);
+  thread_ = std::thread([this] { run(); });
+}
+
+void Session::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void Session::run() {
+  std::string err;
+  bool disconnected = false;
+  if (!set_nonblocking(fd_.get(), &err)) disconnected = true;
+
+  while (!disconnected && alive_ && !server_.stopping()) {
+    // Short poll with work in flight (the sweep is this loop's only way to
+    // notice completions); long poll when idle to keep the thread quiet.
+    const int timeout_ms =
+        inflight_.empty() ? server_.opts_.idle_poll_ms : 1;
+    const int r = poll_readable(fd_.get(), timeout_ms);
+    if (r < 0) {
+      disconnected = true;
+      break;
+    }
+    if (r > 0) {
+      if (!pump_socket()) {
+        disconnected = true;
+        break;
+      }
+      FrameAssembler::Frame f;
+      HeaderStatus hs = HeaderStatus::kOk;
+      bool done = false;
+      while (!done) {
+        switch (assembler_.next(f, &hs)) {
+          case FrameAssembler::Result::kNeedMore:
+            done = true;
+            break;
+          case FrameAssembler::Result::kError:
+            send_protocol_error(err_code_of(hs), header_status_name(hs));
+            disconnected = true;
+            done = true;
+            break;
+          case FrameAssembler::Result::kFrame:
+            if (!dispatch(f)) {
+              disconnected = true;
+              done = true;
+            }
+            break;
+        }
+      }
+      if (disconnected) break;
+    }
+    sweep_completed(/*deliver=*/true);
+  }
+
+  // Epilogue: every in-flight execution is joined before this thread exits.
+  if (disconnected || !alive_) {
+    // Cancel-on-disconnect: the client cannot receive results anymore, so
+    // shed its work. Other sessions are untouched.
+    cancel_all();
+    drain_all(/*deliver=*/false);
+  } else if (server_.opts_.drain_on_shutdown) {
+    drain_all(/*deliver=*/true);
+  } else {
+    cancel_all();
+    drain_all(/*deliver=*/true);  // push terminal (cancelled) results
+  }
+
+  fd_.reset();
+  server_.sessions_active_.fetch_sub(1, std::memory_order_acq_rel);
+  finished_.store(true, std::memory_order_release);
+}
+
+bool Session::pump_socket() {
+  std::uint8_t buf[16 * 1024];
+  for (;;) {
+    std::size_t n = 0;
+    switch (read_some(fd_.get(), buf, sizeof(buf), &n)) {
+      case ReadStatus::kData:
+        assembler_.feed(buf, n);
+        break;
+      case ReadStatus::kWouldBlock:
+        return true;
+      case ReadStatus::kEof:
+      case ReadStatus::kError:
+        return false;
+    }
+  }
+}
+
+bool Session::dispatch(const FrameAssembler::Frame& f) {
+  const std::span<const std::uint8_t> body(f.body.data(), f.body.size());
+  switch (f.type) {
+    case FrameType::kRegister:
+      return handle_register(body);
+    case FrameType::kSubmit:
+      return handle_submit(body);
+    case FrameType::kStatusReq:
+      return handle_status_req(body);
+    case FrameType::kCancel:
+      return handle_cancel(body);
+    case FrameType::kStatsReq:
+      return handle_stats();
+    default:
+      // A server->client frame type arriving here means the peer is not a
+      // client; close after answering.
+      send_protocol_error(ErrCode::kMalformedBody,
+                          std::string("unexpected frame from client: ") +
+                              frame_type_name(f.type));
+      return false;
+  }
+}
+
+bool Session::handle_register(std::span<const std::uint8_t> body) {
+  WireGraph g;
+  std::string why;
+  if (!decode_register(body, g, &why)) {
+    send_protocol_error(ErrCode::kBadRegister, why);
+    return false;
+  }
+  bool compiled_now = false;
+  Server::SpecEntry* e = server_.register_spec(g, &compiled_now, &why);
+  if (e == nullptr) {
+    send_protocol_error(ErrCode::kBadRegister, why);
+    return false;
+  }
+  RegisteredMsg m;
+  m.handle = e->handle;
+  m.plan_nodes = static_cast<std::uint32_t>(e->plan->num_nodes());
+  m.shared = compiled_now ? 0 : 1;
+  WireWriter w;
+  encode_registered(m, w);
+  return send(FrameType::kRegistered, w);
+}
+
+bool Session::handle_submit(std::span<const std::uint8_t> body) {
+  SubmitRequest req;
+  std::string why;
+  if (!decode_submit(body, req, &why)) {
+    send_protocol_error(ErrCode::kBadSubmit, why);
+    return false;
+  }
+  Server::SpecEntry* e = server_.find_spec(req.handle);
+  if (e == nullptr) {
+    // Client logic error, not stream corruption: answer and keep serving.
+    ErrorMsg em;
+    em.code = static_cast<std::uint8_t>(ErrCode::kUnknownHandle);
+    em.message = "handle not registered on this server";
+    WireWriter w;
+    encode_error(em, w);
+    return send(FrameType::kError, w);
+  }
+
+  // Admission control: per-session cap first, then the global slot.
+  const std::uint32_t session_cap = server_.opts_.max_inflight_per_session;
+  if (inflight_.size() >= session_cap) {
+    server_.rejected_busy_.fetch_add(1, std::memory_order_relaxed);
+    BusyMsg m;
+    m.scope = static_cast<std::uint8_t>(BusyScope::kSession);
+    m.in_flight = static_cast<std::uint32_t>(inflight_.size());
+    m.limit = session_cap;
+    WireWriter w;
+    encode_busy(m, w);
+    return send(FrameType::kBusy, w);
+  }
+  if (!server_.try_admit_global()) {
+    server_.rejected_busy_.fetch_add(1, std::memory_order_relaxed);
+    BusyMsg m;
+    m.scope = static_cast<std::uint8_t>(BusyScope::kGlobal);
+    m.in_flight = server_.global_inflight_.load(std::memory_order_relaxed);
+    m.limit = server_.opts_.max_inflight_global;
+    WireWriter w;
+    encode_busy(m, w);
+    return send(FrameType::kBusy, w);
+  }
+
+  const std::uint64_t exec_id = server_.next_exec_id();
+  auto [it, inserted] = inflight_.try_emplace(exec_id);
+  InFlight& rec = it->second;
+  rec.name = std::move(req.name);
+  rec.payload = req.payload;
+  rec.plan = e->plan.get();
+
+  api::SubmitOptions so;
+  so.priority = static_cast<api::Priority>(
+      req.priority <= 2 ? req.priority : 1);
+  if (req.deadline_rel_ns != 0) {
+    so.deadline_ns =
+        api::deadline_in(std::chrono::nanoseconds(req.deadline_rel_ns));
+  }
+  so.name = rec.name.empty() ? nullptr : rec.name.c_str();
+
+  rec.t_submit_ns = now_ns();
+  rec.exec = server_.runtime_.submit(*rec.plan, so);
+  server_.submitted_.fetch_add(1, std::memory_order_relaxed);
+
+  SubmittedMsg m;
+  m.exec_id = exec_id;
+  WireWriter w;
+  encode_submitted(m, w);
+  return send(FrameType::kSubmitted, w);
+}
+
+bool Session::handle_status_req(std::span<const std::uint8_t> body) {
+  std::uint64_t exec_id = 0;
+  if (!decode_status_req(body, exec_id)) {
+    send_protocol_error(ErrCode::kMalformedBody, "bad STATUS_REQ body");
+    return false;
+  }
+  StatusMsg m;
+  m.exec_id = exec_id;
+  const auto it = inflight_.find(exec_id);
+  if (it != inflight_.end()) {
+    m.known = 1;
+    const api::Status st = it->second.exec.status();
+    m.state = static_cast<std::uint8_t>(st.state);
+    m.computed = it->second.exec.nodes_computed();
+    m.skipped = st.skipped_nodes;
+  }
+  WireWriter w;
+  encode_status(m, w);
+  return send(FrameType::kStatus, w);
+}
+
+bool Session::handle_cancel(std::span<const std::uint8_t> body) {
+  CancelMsg req;
+  if (!decode_cancel(body, req)) {
+    send_protocol_error(ErrCode::kMalformedBody, "bad CANCEL body");
+    return false;
+  }
+  CancelAckMsg m;
+  m.exec_id = req.exec_id;
+  const auto it = inflight_.find(req.exec_id);
+  if (it != inflight_.end()) {
+    m.found = 1;
+    it->second.exec.cancel();  // RESULT still arrives via the sweep
+  }
+  WireWriter w;
+  encode_cancel_ack(m, w);
+  return send(FrameType::kCancelAck, w);
+}
+
+bool Session::handle_stats() {
+  WireWriter w;
+  encode_stats(server_.stats(), w);
+  return send(FrameType::kStats, w);
+}
+
+void Session::sweep_completed(bool deliver) {
+  for (auto it = inflight_.begin(); it != inflight_.end();) {
+    if (it->second.exec.done()) {
+      finish_record(it->first, it->second, deliver);
+      // Erasing destroys the Execution handle, which recycles the pooled
+      // plan instance — safe only after finish_record read the sink node.
+      it = inflight_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Session::finish_record(std::uint64_t exec_id, InFlight& rec,
+                            bool deliver) {
+  const api::Status st = rec.exec.status();
+  ResultMsg m;
+  m.exec_id = exec_id;
+  m.state = static_cast<std::uint8_t>(st.state);
+  m.computed = rec.exec.nodes_computed();
+  m.skipped = st.skipped_nodes;
+  if (st.state == api::ExecStatus::kCompleted) {
+    const auto* sink =
+        static_cast<const ServeNode*>(rec.exec.find(rec.plan->sink()));
+    m.sink_value = sink->value;
+    m.result = wire_result(m.sink_value, rec.payload);
+    server_.completed_.fetch_add(1, std::memory_order_relaxed);
+  } else if (st.state == api::ExecStatus::kDeadlineExceeded) {
+    server_.deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    server_.cancelled_.fetch_add(1, std::memory_order_relaxed);
+  }
+  m.latency_ns = now_ns() - rec.t_submit_ns;
+  server_.release_global();
+  if (deliver && alive_) {
+    WireWriter w;
+    encode_result(m, w);
+    send(FrameType::kResult, w);
+  }
+}
+
+void Session::cancel_all() noexcept {
+  for (auto& [id, rec] : inflight_) rec.exec.cancel();
+}
+
+void Session::drain_all(bool deliver) {
+  while (!inflight_.empty()) {
+    inflight_.begin()->second.exec.wait();
+    sweep_completed(deliver && alive_);
+  }
+}
+
+bool Session::send(FrameType type, const WireWriter& body) noexcept {
+  if (!alive_) return false;
+  const std::vector<std::uint8_t> frame = body.frame(type);
+  if (!write_all(fd_.get(), frame.data(), frame.size(),
+                 server_.opts_.io_timeout_ms)) {
+    alive_ = false;
+    return false;
+  }
+  return true;
+}
+
+void Session::send_protocol_error(ErrCode code,
+                                  const std::string& message) noexcept {
+  server_.protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+  ErrorMsg m;
+  m.code = static_cast<std::uint8_t>(code);
+  m.message = message;
+  WireWriter w;
+  encode_error(m, w);
+  send(FrameType::kError, w);
+}
+
+}  // namespace nabbitc::net

@@ -1,0 +1,91 @@
+// One connected client: a thread that speaks the frame protocol and owns
+// that client's in-flight executions.
+//
+// The session loop alternates between socket I/O (poll -> read -> frame
+// reassembly -> dispatch) and sweeping its in-flight table for executions
+// that reached a terminal state, pushing a RESULT frame for each. All
+// Execution handles live in this table, so the lifetime story is simple:
+// whatever ends the loop — orderly client close, abrupt disconnect,
+// protocol error, or server shutdown — the epilogue either drains (waits
+// and, when the socket still works, delivers) or cancels-then-joins every
+// in-flight execution before the thread exits. Cancel-on-disconnect falls
+// out of that epilogue: a vanished client's executions get
+// Execution::cancel() and nothing else in the server is touched.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "api/runtime.h"
+#include "net/server.h"
+#include "net/socket.h"
+#include "net/wire.h"
+
+namespace nabbitc::net {
+
+class Session {
+ public:
+  Session(Server& server, Fd fd, std::uint64_t id) noexcept;
+  ~Session();  // join()
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  void start();
+  void join();
+  bool finished() const noexcept {
+    return finished_.load(std::memory_order_acquire);
+  }
+
+ private:
+  /// One accepted SUBMIT. The name is copied here because
+  /// SubmitOptions::name is a borrowed pointer — the execution must not
+  /// outlive it, and an unordered_map's nodes give it a stable address.
+  struct InFlight {
+    api::Execution exec;
+    std::string name;
+    std::uint64_t payload = 0;
+    std::uint64_t t_submit_ns = 0;
+    const plan::GraphPlan* plan = nullptr;
+  };
+
+  void run();
+  /// Reads everything the socket has; false on EOF / hard error.
+  bool pump_socket();
+  /// Handles one frame. False = the connection is done (protocol error
+  /// already answered).
+  bool dispatch(const FrameAssembler::Frame& f);
+  bool handle_register(std::span<const std::uint8_t> body);
+  bool handle_submit(std::span<const std::uint8_t> body);
+  bool handle_status_req(std::span<const std::uint8_t> body);
+  bool handle_cancel(std::span<const std::uint8_t> body);
+  bool handle_stats();
+
+  /// Pushes RESULT for every terminal execution and retires its record.
+  void sweep_completed(bool deliver);
+  /// Builds + (optionally) sends the RESULT frame for one finished record,
+  /// updates server counters, and releases its global-admission slot.
+  void finish_record(std::uint64_t exec_id, InFlight& rec, bool deliver);
+  void cancel_all() noexcept;
+  /// Blocks until the in-flight table is empty, retiring records as their
+  /// executions finish.
+  void drain_all(bool deliver);
+
+  bool send(FrameType type, const WireWriter& body) noexcept;
+  void send_protocol_error(ErrCode code, const std::string& message) noexcept;
+
+  Server& server_;
+  Fd fd_;
+  std::uint64_t id_;
+  std::thread thread_;
+  std::atomic<bool> finished_{false};
+  FrameAssembler assembler_;
+  std::unordered_map<std::uint64_t, InFlight> inflight_;
+  /// Cleared on the first failed send: the peer is gone, stop writing.
+  bool alive_ = true;
+};
+
+}  // namespace nabbitc::net

@@ -155,6 +155,15 @@ void GraphPlan::release(PlanInstance* inst) const noexcept {
   free_head_ = inst;
 }
 
+std::size_t GraphPlan::instances_free() const noexcept {
+  std::lock_guard<SpinLock> lk(pool_mu_);
+  std::size_t n = 0;
+  for (const PlanInstance* p = free_head_; p != nullptr; p = p->pool_next_) {
+    ++n;
+  }
+  return n;
+}
+
 // ---------------------------------------------------------------------------
 // compile
 

@@ -181,6 +181,12 @@ class GraphPlan {
   std::size_t instances_built() const noexcept {
     return instances_built_.load(std::memory_order_acquire);
   }
+  /// Instances currently on the free list. The pool is quiescent —
+  /// every execution's instance recycled — exactly when this equals
+  /// instances_built(). Introspection for tests and service stats; an
+  /// Execution handle releases its instance only on destruction, which can
+  /// lag result delivery, so callers poll this rather than in-flight counts.
+  std::size_t instances_free() const noexcept;
 
   /// Pops a pooled instance (or builds one — the heap-allocating cold
   /// path), reset and ready to submit. Thread-safe.

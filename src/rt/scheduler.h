@@ -48,6 +48,7 @@
 #include "rt/arena.h"
 #include "rt/counters.h"
 #include "rt/deque.h"
+#include "rt/status.h"
 #include "rt/steal_policy.h"
 #include "rt/task.h"
 #include "support/align.h"
@@ -59,14 +60,6 @@
 namespace nabbitc::rt {
 
 class Scheduler;
-
-/// Why a root job ended early. Stored in RootJob::cancel; 0 (kNone) means
-/// the job ran (or is running) to normal completion.
-enum class CancelReason : std::uint8_t {
-  kNone = 0,
-  kRequested = 1,  // client called cancel()
-  kDeadline = 2,   // the job's absolute deadline passed
-};
 
 struct SchedulerConfig {
   /// Number of workers (== number of colors). Defaults to host concurrency.

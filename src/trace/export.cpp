@@ -4,6 +4,7 @@
 #include <ostream>
 
 #include "rt/scheduler.h"
+#include "rt/status.h"
 
 namespace nabbitc::trace {
 
@@ -62,11 +63,11 @@ void write_event(std::ostream& os, const Trace& t, const Event& e) {
          << ",\"preds\":" << e.arg_a << ",\"remote_preds\":" << e.arg_b << "}}";
       break;
     case EventKind::kCancel:
-      write_common_fields(
-          os, t, e, "i",
-          e.arg_a == static_cast<std::uint64_t>(rt::CancelReason::kDeadline)
-              ? "deadline_exceeded"
-              : "cancelled");
+      // The shared status vocabulary (rt/status.h) names the event, so the
+      // trace, the api layer, and the wire protocol agree on the spelling.
+      write_common_fields(os, t, e, "i",
+                          rt::exec_status_name(rt::exec_status_of(
+                              static_cast<rt::CancelReason>(e.arg_a))));
       os << ",\"s\":\"t\",\"args\":{\"reason\":" << e.arg_a << "}}";
       break;
   }

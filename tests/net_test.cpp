@@ -1,0 +1,853 @@
+// Tests for the graph service (src/net/): wire/protocol decoding under
+// malformed and fuzzed input, and the nabbitc-serve daemon end to end —
+// client+server in-process over Unix-domain and loopback-TCP sockets, with
+// content-addressed plan sharing, BUSY backpressure, cancel-on-disconnect,
+// and graceful shutdown under load.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "net/client.h"
+#include "net/protocol.h"
+#include "net/remote_graph.h"
+#include "net/server.h"
+#include "net/wire.h"
+#include "plan/plan.h"
+#include "support/rng.h"
+#include "support/timing.h"
+
+namespace nabbitc::net {
+namespace {
+
+// --------------------------------------------------------------- wire layer
+
+std::vector<std::uint8_t> frame_bytes(FrameType t,
+                                      const WireWriter& body) {
+  return body.frame(t);
+}
+
+TEST(WireFrame, HeaderRoundTrip) {
+  std::uint8_t hdr[kFrameHeaderBytes];
+  write_frame_header(hdr, FrameType::kSubmit, 1234);
+  FrameHeader out;
+  ASSERT_EQ(parse_frame_header(hdr, out), HeaderStatus::kOk);
+  EXPECT_EQ(out.type, FrameType::kSubmit);
+  EXPECT_EQ(out.body_len, 1234u);
+}
+
+TEST(WireFrame, HeaderRejectsMagicVersionTypeAndOversize) {
+  std::uint8_t hdr[kFrameHeaderBytes];
+  FrameHeader out;
+
+  write_frame_header(hdr, FrameType::kSubmit, 0);
+  hdr[0] = 'X';
+  EXPECT_EQ(parse_frame_header(hdr, out), HeaderStatus::kBadMagic);
+
+  write_frame_header(hdr, FrameType::kSubmit, 0);
+  hdr[2] = kWireVersion + 1;
+  EXPECT_EQ(parse_frame_header(hdr, out), HeaderStatus::kBadVersion);
+
+  write_frame_header(hdr, FrameType::kSubmit, 0);
+  hdr[3] = 42;  // not a FrameType
+  EXPECT_EQ(parse_frame_header(hdr, out), HeaderStatus::kUnknownType);
+
+  write_frame_header(hdr, FrameType::kSubmit, kMaxFrameBody + 1);
+  EXPECT_EQ(parse_frame_header(hdr, out), HeaderStatus::kOversized);
+}
+
+TEST(WireFrame, AssemblerReassemblesByteByByte) {
+  WireWriter body;
+  body.u64(0xdeadbeefcafef00dULL);
+  const std::vector<std::uint8_t> wire =
+      frame_bytes(FrameType::kSubmitted, body);
+
+  FrameAssembler a;
+  FrameAssembler::Frame f;
+  for (std::size_t i = 0; i + 1 < wire.size(); ++i) {
+    a.feed(&wire[i], 1);
+    EXPECT_EQ(a.next(f), FrameAssembler::Result::kNeedMore);
+  }
+  a.feed(&wire.back(), 1);
+  ASSERT_EQ(a.next(f), FrameAssembler::Result::kFrame);
+  EXPECT_EQ(f.type, FrameType::kSubmitted);
+  SubmittedMsg m;
+  ASSERT_TRUE(decode_submitted({f.body.data(), f.body.size()}, m));
+  EXPECT_EQ(m.exec_id, 0xdeadbeefcafef00dULL);
+  EXPECT_EQ(a.next(f), FrameAssembler::Result::kNeedMore);
+}
+
+TEST(WireFrame, AssemblerErrorIsSticky) {
+  FrameAssembler a;
+  const std::uint8_t junk[kFrameHeaderBytes] = {'X', 'Y', 0, 0, 0, 0, 0, 0};
+  a.feed(junk, sizeof(junk));
+  FrameAssembler::Frame f;
+  HeaderStatus hs = HeaderStatus::kOk;
+  EXPECT_EQ(a.next(f, &hs), FrameAssembler::Result::kError);
+  EXPECT_EQ(hs, HeaderStatus::kBadMagic);
+  // Even valid bytes afterwards cannot resynchronize the stream.
+  WireWriter body;
+  const auto good = frame_bytes(FrameType::kStatsReq, body);
+  a.feed(good.data(), good.size());
+  EXPECT_EQ(a.next(f, &hs), FrameAssembler::Result::kError);
+  EXPECT_TRUE(a.broken());
+}
+
+TEST(WireProtocol, MessageRoundTrips) {
+  {
+    RegisteredMsg in{0x1122334455667788ULL, 77, 1};
+    WireWriter w;
+    encode_registered(in, w);
+    RegisteredMsg out;
+    ASSERT_TRUE(decode_registered(w.span(), out));
+    EXPECT_EQ(out.handle, in.handle);
+    EXPECT_EQ(out.plan_nodes, in.plan_nodes);
+    EXPECT_EQ(out.shared, in.shared);
+  }
+  {
+    SubmitRequest in;
+    in.handle = 9;
+    in.payload = 0xabc;
+    in.priority = 2;
+    in.deadline_rel_ns = 5'000'000;
+    in.name = "req-a";
+    WireWriter w;
+    encode_submit(in, w);
+    SubmitRequest out;
+    ASSERT_TRUE(decode_submit(w.span(), out, nullptr));
+    EXPECT_EQ(out.handle, in.handle);
+    EXPECT_EQ(out.payload, in.payload);
+    EXPECT_EQ(out.priority, in.priority);
+    EXPECT_EQ(out.deadline_rel_ns, in.deadline_rel_ns);
+    EXPECT_EQ(out.name, in.name);
+  }
+  {
+    ResultMsg in{1, 2, 3, 4, 5, 6, 7};
+    WireWriter w;
+    encode_result(in, w);
+    ResultMsg out;
+    ASSERT_TRUE(decode_result(w.span(), out));
+    EXPECT_EQ(out.exec_id, 1u);
+    EXPECT_EQ(out.latency_ns, 7u);
+  }
+  {
+    StatsMsg in;
+    in.registered_specs = 3;
+    in.arena_bytes = 1 << 20;
+    WireWriter w;
+    encode_stats(in, w);
+    StatsMsg out;
+    ASSERT_TRUE(decode_stats(w.span(), out));
+    EXPECT_EQ(out.registered_specs, 3u);
+    EXPECT_EQ(out.arena_bytes, 1u << 20);
+  }
+  {
+    ErrorMsg in{static_cast<std::uint8_t>(ErrCode::kBadRegister),
+                "why it failed"};
+    WireWriter w;
+    encode_error(in, w);
+    ErrorMsg out;
+    ASSERT_TRUE(decode_error(w.span(), out));
+    EXPECT_EQ(out.code, in.code);
+    EXPECT_EQ(out.message, in.message);
+  }
+}
+
+TEST(WireProtocol, RegisterRoundTripsAndIsContentAddressed) {
+  const WireGraph g = make_wavefront_wire_graph(4, 7);
+  WireWriter w;
+  encode_register(g, w);
+  WireGraph out;
+  ASSERT_TRUE(decode_register(w.span(), out, nullptr));
+  ASSERT_EQ(out.nodes.size(), g.nodes.size());
+  EXPECT_EQ(out.seed, g.seed);
+  EXPECT_EQ(out.nodes[5].preds, g.nodes[5].preds);
+
+  EXPECT_EQ(wire_graph_hash(g), wire_graph_hash(out));
+  WireGraph other = g;
+  other.seed ^= 1;
+  EXPECT_NE(wire_graph_hash(g), wire_graph_hash(other));
+  EXPECT_NE(wire_graph_hash(g), 0u);
+}
+
+TEST(WireProtocol, RegisterRejectsMalformedBodies) {
+  const WireGraph g = make_wavefront_wire_graph(3, 1);
+  WireWriter w;
+  encode_register(g, w);
+  WireGraph out;
+  std::string why;
+
+  // Truncation at every byte boundary fails cleanly (never crashes).
+  for (std::size_t keep = 0; keep < w.size(); ++keep) {
+    EXPECT_FALSE(decode_register({w.data(), keep}, out, &why)) << keep;
+  }
+  // Trailing bytes are an error too.
+  std::vector<std::uint8_t> padded(w.data(), w.data() + w.size());
+  padded.push_back(0);
+  EXPECT_FALSE(decode_register({padded.data(), padded.size()}, out, &why));
+
+  {
+    WireWriter bad;  // zero nodes
+    bad.u64(1);
+    bad.u32(0);
+    bad.u32(0);
+    EXPECT_FALSE(decode_register(bad.span(), out, &why));
+  }
+  {
+    WireWriter bad;  // node count over cap
+    bad.u64(1);
+    bad.u32(0);
+    bad.u32(kMaxWireNodes + 1);
+    EXPECT_FALSE(decode_register(bad.span(), out, &why));
+  }
+  {
+    WireWriter bad;  // spin over cap
+    bad.u64(1);
+    bad.u32(kMaxNodeSpinNs + 1);
+    bad.u32(1);
+    bad.u8(0);
+    bad.u8(0);
+    EXPECT_FALSE(decode_register(bad.span(), out, &why));
+  }
+  {
+    WireWriter bad;  // forward (non-topological) predecessor
+    bad.u64(1);
+    bad.u32(0);
+    bad.u32(2);
+    bad.u8(0);
+    bad.u8(0);  // node 0: no preds
+    bad.u8(0);
+    bad.u8(1);
+    bad.u32(1);  // node 1 depends on itself
+    EXPECT_FALSE(decode_register(bad.span(), out, &why));
+    EXPECT_FALSE(why.empty());
+  }
+  {
+    WireWriter bad;  // duplicate predecessor
+    bad.u64(1);
+    bad.u32(0);
+    bad.u32(2);
+    bad.u8(0);
+    bad.u8(0);
+    bad.u8(0);
+    bad.u8(2);
+    bad.u32(0);
+    bad.u32(0);
+    EXPECT_FALSE(decode_register(bad.span(), out, &why));
+  }
+}
+
+TEST(WireProtocol, SubmitRejectsBadPriorityAndOverlongName) {
+  SubmitRequest in;
+  in.priority = 3;
+  WireWriter w;
+  encode_submit(in, w);
+  SubmitRequest out;
+  EXPECT_FALSE(decode_submit(w.span(), out, nullptr));
+
+  in.priority = 1;
+  in.name.assign(kMaxNameLen + 1, 'x');
+  WireWriter w2;
+  encode_submit(in, w2);
+  EXPECT_FALSE(decode_submit(w2.span(), out, nullptr));
+}
+
+// Fixed-seed fuzz: random bytes and corrupted valid frames must never
+// crash or hang the assembler/decoders — only produce clean errors.
+TEST(WireFuzz, RandomBytesProduceCleanErrorsNotCrashes) {
+  Pcg32 rng(0xfeedface, 0x1);
+  const WireGraph valid_graph = make_wavefront_wire_graph(4, 3);
+  WireWriter reg_body;
+  encode_register(valid_graph, reg_body);
+  const auto valid_frame = frame_bytes(FrameType::kRegister, reg_body);
+
+  for (int iter = 0; iter < 400; ++iter) {
+    std::vector<std::uint8_t> bytes;
+    if (iter % 2 == 0) {
+      // Pure noise.
+      bytes.resize(16 + rng.below(512));
+      for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.below(256));
+    } else {
+      // A valid frame with a few corrupted bytes (sometimes magic-
+      // preserving so corruption lands in the body, not the header).
+      bytes = valid_frame;
+      const int flips = 1 + static_cast<int>(rng.below(8));
+      for (int k = 0; k < flips; ++k) {
+        const std::uint32_t at =
+            (iter % 4 == 1) ? 4 + rng.below(static_cast<std::uint32_t>(
+                                      bytes.size() - 4))
+                            : rng.below(static_cast<std::uint32_t>(
+                                  bytes.size()));
+        bytes[at] ^= static_cast<std::uint8_t>(1u << rng.below(8));
+      }
+    }
+
+    FrameAssembler a;
+    std::size_t off = 0;
+    while (off < bytes.size()) {  // random chunking
+      const std::size_t n = std::min<std::size_t>(
+          1 + rng.below(64), bytes.size() - off);
+      a.feed(&bytes[off], n);
+      off += n;
+    }
+    FrameAssembler::Frame f;
+    for (int guard = 0; guard < 1000; ++guard) {
+      const auto r = a.next(f);
+      if (r != FrameAssembler::Result::kFrame) break;
+      // Whatever came out, every decoder must handle the body totally.
+      const std::span<const std::uint8_t> body(f.body.data(), f.body.size());
+      WireGraph g;
+      std::string why;
+      (void)decode_register(body, g, &why);
+      SubmitRequest sr;
+      (void)decode_submit(body, sr, &why);
+      RegisteredMsg rm;
+      (void)decode_registered(body, rm);
+      ResultMsg res;
+      (void)decode_result(body, res);
+      StatusMsg st;
+      (void)decode_status(body, st);
+      StatsMsg stats;
+      (void)decode_stats(body, stats);
+      ErrorMsg em;
+      (void)decode_error(body, em);
+      std::uint64_t id;
+      (void)decode_status_req(body, id);
+    }
+  }
+}
+
+// The wire node function executed by the runtime matches the client-side
+// reference evaluation bit for bit (no sockets involved).
+TEST(WireProtocol, RuntimeExecutionMatchesExpectedValues) {
+  const WireGraph g = make_random_wire_graph(0x5eed, 200);
+  api::RuntimeOptions ro;
+  ro.workers = 2;
+  api::Runtime rt(ro);
+  RemoteGraphSpec spec(g, rt.workers());
+  const auto plan = rt.compile(spec, g.sink(), 1);
+  api::Execution e = rt.run(*plan);
+  ASSERT_EQ(e.status().state, api::ExecStatus::kCompleted);
+  const auto* sink = static_cast<const ServeNode*>(e.find(g.sink()));
+  ASSERT_NE(sink, nullptr);
+  EXPECT_EQ(sink->value, expected_sink_value(g));
+}
+
+// ------------------------------------------------------------- end to end
+
+std::string unique_sock_path(const char* tag) {
+  static std::atomic<int> counter{0};
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "/tmp/nbt-%d-%s-%d.sock",
+                static_cast<int>(::getpid()), tag,
+                counter.fetch_add(1, std::memory_order_relaxed));
+  return buf;
+}
+
+ServerOptions test_opts(const std::string& sock_path,
+                        std::uint32_t workers = 2) {
+  ServerOptions o;
+  o.runtime.workers = workers;
+  o.unix_path = sock_path;
+  o.idle_poll_ms = 5;  // tests shut down often; keep the loop snappy
+  return o;
+}
+
+/// Serial chain: node i depends on i-1. With node_spin_ns this is a
+/// controllably-slow execution no worker count can shorten.
+WireGraph make_chain(std::uint32_t n, std::uint64_t seed,
+                     std::uint32_t spin_ns) {
+  WireGraph g;
+  g.seed = seed;
+  g.node_spin_ns = spin_ns;
+  g.nodes.resize(n);
+  for (std::uint32_t i = 1; i < n; ++i) g.nodes[i].preds.push_back(i - 1);
+  return g;
+}
+
+bool wait_for_zero_inflight(Server& server, int timeout_ms) {
+  const std::uint64_t deadline =
+      now_ns() + static_cast<std::uint64_t>(timeout_ms) * 1'000'000ull;
+  while (now_ns() < deadline) {
+    if (server.stats().in_flight == 0) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return false;
+}
+
+// Waits until every pooled instance is back on the plan's free list. A
+// session releases an instance when it erases the in-flight record, which
+// happens AFTER the RESULT frame is sent and after the global in-flight
+// counter drops — so zero-in-flight does not imply the pool is quiescent.
+// Watermark assertions must wait for free == built.
+bool wait_for_pool_quiescent(const plan::GraphPlan* plan, int timeout_ms) {
+  const std::uint64_t deadline =
+      now_ns() + static_cast<std::uint64_t>(timeout_ms) * 1'000'000ull;
+  while (now_ns() < deadline) {
+    if (plan->instances_free() == plan->instances_built()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return false;
+}
+
+TEST(NetService, RegisterSubmitResultOverUnix) {
+  const std::string path = unique_sock_path("basic");
+  Server server(test_opts(path));
+  std::string err;
+  ASSERT_TRUE(server.start(&err)) << err;
+
+  Client c;
+  ASSERT_TRUE(c.connect_unix(path)) << c.last_error();
+  const WireGraph g = make_wavefront_wire_graph(6, 11);
+  const auto reg = c.register_graph(g);
+  ASSERT_TRUE(reg) << c.last_error();
+  EXPECT_EQ(reg->handle, wire_graph_hash(g));
+  EXPECT_EQ(reg->plan_nodes, 36u);
+  EXPECT_EQ(reg->shared, 0u);
+
+  const std::uint64_t payload = 0xfeed;
+  const auto sub = c.submit(reg->handle, payload, api::Priority::kNormal,
+                            /*deadline_rel_ns=*/0, "basic-test");
+  ASSERT_TRUE(sub) << c.last_error();
+  ASSERT_TRUE(sub->accepted);
+  const auto res = c.wait_result(sub->exec_id);
+  ASSERT_TRUE(res) << c.last_error();
+  EXPECT_EQ(res->state,
+            static_cast<std::uint8_t>(api::ExecStatus::kCompleted));
+  EXPECT_EQ(res->computed, 36u);
+  EXPECT_EQ(res->skipped, 0u);
+  EXPECT_EQ(res->sink_value, expected_sink_value(g));
+  EXPECT_EQ(res->result, wire_result(expected_sink_value(g), payload));
+  EXPECT_GT(res->latency_ns, 0u);
+
+  const auto stats = c.stats();
+  ASSERT_TRUE(stats) << c.last_error();
+  EXPECT_EQ(stats->registered_specs, 1u);
+  EXPECT_EQ(stats->plans_compiled, 1u);
+  EXPECT_EQ(stats->submitted, 1u);
+  EXPECT_EQ(stats->completed, 1u);
+  server.stop();
+}
+
+TEST(NetService, RegisterSubmitResultOverTcp) {
+  ServerOptions o;
+  o.runtime.workers = 2;
+  o.tcp = true;
+  o.tcp_port = 0;  // ephemeral
+  o.idle_poll_ms = 5;
+  Server server(std::move(o));
+  std::string err;
+  ASSERT_TRUE(server.start(&err)) << err;
+  ASSERT_NE(server.tcp_port(), 0);
+
+  Client c;
+  ASSERT_TRUE(c.connect_tcp(server.tcp_port())) << c.last_error();
+  const WireGraph g = make_random_wire_graph(0xabc, 64);
+  const auto reg = c.register_graph(g);
+  ASSERT_TRUE(reg) << c.last_error();
+  const auto sub = c.submit(reg->handle, 5, api::Priority::kHigh);
+  ASSERT_TRUE(sub && sub->accepted) << c.last_error();
+  const auto res = c.wait_result(sub->exec_id);
+  ASSERT_TRUE(res) << c.last_error();
+  EXPECT_EQ(res->state,
+            static_cast<std::uint8_t>(api::ExecStatus::kCompleted));
+  EXPECT_EQ(res->sink_value, expected_sink_value(g));
+  server.stop();
+}
+
+TEST(NetService, SharedPlanCompiledOnceAcrossSessions) {
+  const std::string path = unique_sock_path("shared");
+  Server server(test_opts(path));
+  std::string err;
+  ASSERT_TRUE(server.start(&err)) << err;
+
+  const WireGraph g = make_wavefront_wire_graph(5, 99);
+  Client a, b;
+  ASSERT_TRUE(a.connect_unix(path));
+  ASSERT_TRUE(b.connect_unix(path));
+  const auto ra = a.register_graph(g);
+  ASSERT_TRUE(ra) << a.last_error();
+  EXPECT_EQ(ra->shared, 0u);
+  const auto rb = b.register_graph(g);
+  ASSERT_TRUE(rb) << b.last_error();
+  EXPECT_EQ(rb->handle, ra->handle);  // content-addressed
+  EXPECT_EQ(rb->shared, 1u);          // found, not compiled
+
+  // Both sessions replay the one shared compiled plan.
+  const plan::GraphPlan* p = server.debug_plan(ra->handle);
+  ASSERT_NE(p, nullptr);
+  for (int i = 0; i < 3; ++i) {
+    const auto sa = a.submit(ra->handle, 100 + i, api::Priority::kNormal);
+    const auto sb = b.submit(rb->handle, 200 + i, api::Priority::kLow);
+    ASSERT_TRUE(sa && sa->accepted);
+    ASSERT_TRUE(sb && sb->accepted);
+    const auto res_a = a.wait_result(sa->exec_id);
+    const auto res_b = b.wait_result(sb->exec_id);
+    ASSERT_TRUE(res_a && res_b);
+    EXPECT_EQ(res_a->sink_value, expected_sink_value(g));
+    EXPECT_EQ(res_b->sink_value, expected_sink_value(g));
+  }
+  const auto stats = a.stats();
+  ASSERT_TRUE(stats);
+  EXPECT_EQ(stats->registered_specs, 1u);
+  EXPECT_EQ(stats->plans_compiled, 1u);  // compiled exactly once
+  EXPECT_EQ(stats->sessions_opened, 2u);
+  server.stop();
+}
+
+TEST(NetService, UnknownHandleKeepsSessionAlive) {
+  const std::string path = unique_sock_path("unk");
+  Server server(test_opts(path));
+  std::string err;
+  ASSERT_TRUE(server.start(&err)) << err;
+
+  Client c;
+  ASSERT_TRUE(c.connect_unix(path));
+  const auto sub = c.submit(0x12345, 1, api::Priority::kNormal);
+  EXPECT_FALSE(sub.has_value());
+  EXPECT_NE(c.last_error().find("unknown_handle"), std::string::npos)
+      << c.last_error();
+  // The session survived the logic error; the connection still works.
+  const auto stats = c.stats();
+  ASSERT_TRUE(stats) << c.last_error();
+  EXPECT_EQ(stats->submitted, 0u);
+  server.stop();
+}
+
+TEST(NetService, BusyBackpressurePerSessionAndGlobal) {
+  const std::string path = unique_sock_path("busy");
+  ServerOptions o = test_opts(path);
+  o.max_inflight_per_session = 2;
+  o.max_inflight_global = 3;
+  Server server(std::move(o));
+  std::string err;
+  ASSERT_TRUE(server.start(&err)) << err;
+
+  // ~60 ms serial chain: submissions stay in flight while we over-submit.
+  const WireGraph slow = make_chain(30, 5, 2'000'000);
+  Client a, b;
+  ASSERT_TRUE(a.connect_unix(path));
+  ASSERT_TRUE(b.connect_unix(path));
+  const auto reg_a = a.register_graph(slow);
+  const auto reg_b = b.register_graph(slow);
+  ASSERT_TRUE(reg_a && reg_b);
+
+  std::vector<std::uint64_t> accepted;
+  // Session A fills its per-session cap (2), then gets session-scope BUSY.
+  for (int i = 0; i < 3; ++i) {
+    const auto s = a.submit(reg_a->handle, i, api::Priority::kNormal);
+    ASSERT_TRUE(s) << a.last_error();
+    if (s->accepted) {
+      accepted.push_back(s->exec_id);
+    } else {
+      EXPECT_EQ(s->busy.scope,
+                static_cast<std::uint8_t>(BusyScope::kSession));
+      EXPECT_EQ(s->busy.limit, 2u);
+    }
+  }
+  ASSERT_EQ(accepted.size(), 2u);
+
+  // Session B: one fits under the global cap (3), the next is global BUSY.
+  const auto s1 = b.submit(reg_b->handle, 10, api::Priority::kNormal);
+  ASSERT_TRUE(s1 && s1->accepted) << b.last_error();
+  const auto s2 = b.submit(reg_b->handle, 11, api::Priority::kNormal);
+  ASSERT_TRUE(s2) << b.last_error();
+  EXPECT_FALSE(s2->accepted);
+  EXPECT_EQ(s2->busy.scope, static_cast<std::uint8_t>(BusyScope::kGlobal));
+
+  for (const std::uint64_t id : accepted) {
+    const auto r = a.wait_result(id);
+    ASSERT_TRUE(r) << a.last_error();
+    EXPECT_EQ(r->state,
+              static_cast<std::uint8_t>(api::ExecStatus::kCompleted));
+  }
+  ASSERT_TRUE(b.wait_result(s1->exec_id));
+  // Slots freed: the same session can submit again.
+  const auto s3 = b.submit(reg_b->handle, 12, api::Priority::kNormal);
+  ASSERT_TRUE(s3 && s3->accepted) << b.last_error();
+  ASSERT_TRUE(b.wait_result(s3->exec_id));
+  const auto stats = a.stats();
+  ASSERT_TRUE(stats);
+  EXPECT_GE(stats->rejected_busy, 2u);
+  server.stop();
+}
+
+TEST(NetService, StatusAndCancel) {
+  const std::string path = unique_sock_path("cancel");
+  Server server(test_opts(path));
+  std::string err;
+  ASSERT_TRUE(server.start(&err)) << err;
+
+  Client c;
+  ASSERT_TRUE(c.connect_unix(path));
+  // ~500 ms serial chain: long enough to observe "running" and cancel it.
+  const WireGraph slow = make_chain(100, 9, 5'000'000);
+  const auto reg = c.register_graph(slow);
+  ASSERT_TRUE(reg);
+  const auto sub = c.submit(reg->handle, 1, api::Priority::kNormal);
+  ASSERT_TRUE(sub && sub->accepted);
+
+  const auto st = c.query_status(sub->exec_id);
+  ASSERT_TRUE(st) << c.last_error();
+  EXPECT_EQ(st->known, 1u);
+
+  const auto ack = c.cancel(sub->exec_id);
+  ASSERT_TRUE(ack) << c.last_error();
+  EXPECT_EQ(ack->found, 1u);
+
+  const auto res = c.wait_result(sub->exec_id);
+  ASSERT_TRUE(res) << c.last_error();
+  // Cancellation is cooperative: almost always kCancelled here, but a
+  // terminal state is the contract (completed if the race was lost).
+  EXPECT_NE(res->state,
+            static_cast<std::uint8_t>(api::ExecStatus::kRunning));
+  if (res->state ==
+      static_cast<std::uint8_t>(api::ExecStatus::kCancelled)) {
+    EXPECT_GT(res->skipped, 0u);
+    EXPECT_EQ(res->sink_value, 0u);  // sink untouched
+    EXPECT_EQ(res->result, 0u);
+  }
+  // Unknown ids report found=0 / known=0 (already retired or never seen).
+  const auto ack2 = c.cancel(sub->exec_id);
+  ASSERT_TRUE(ack2);
+  EXPECT_EQ(ack2->found, 0u);
+  const auto st2 = c.query_status(sub->exec_id);
+  ASSERT_TRUE(st2);
+  EXPECT_EQ(st2->known, 0u);
+  server.stop();
+}
+
+TEST(NetService, MalformedFrameGetsErrorReplyAndClose) {
+  const std::string path = unique_sock_path("mal");
+  Server server(test_opts(path));
+  std::string err;
+  ASSERT_TRUE(server.start(&err)) << err;
+
+  Client c;
+  ASSERT_TRUE(c.connect_unix(path));
+  const std::uint8_t junk[] = {'X', 'Y', 'Z', 9, 9, 9, 9, 9, 1, 2, 3};
+  ASSERT_TRUE(c.send_raw(junk, sizeof(junk)));
+  // The next call observes the pushed ERROR frame — or, if the session
+  // already closed, a transport failure. Either way the call fails.
+  const auto stats = c.stats();
+  EXPECT_FALSE(stats.has_value());
+
+  const std::uint64_t deadline = now_ns() + 5'000'000'000ull;
+  while (server.stats().protocol_errors == 0 && now_ns() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(server.stats().protocol_errors, 1u);
+  server.stop();
+}
+
+TEST(NetService, ReplyFrameTypeFromClientIsRejected) {
+  const std::string path = unique_sock_path("reply");
+  Server server(test_opts(path));
+  std::string err;
+  ASSERT_TRUE(server.start(&err)) << err;
+
+  Client c;
+  ASSERT_TRUE(c.connect_unix(path));
+  WireWriter body;  // a syntactically-valid frame of a server->client type
+  const auto frame = body.frame(FrameType::kStats);
+  ASSERT_TRUE(c.send_raw(frame.data(), frame.size()));
+  const auto stats = c.stats();
+  EXPECT_FALSE(stats.has_value());
+  const std::uint64_t deadline = now_ns() + 5'000'000'000ull;
+  while (server.stats().protocol_errors == 0 && now_ns() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(server.stats().protocol_errors, 1u);
+  server.stop();
+}
+
+// Satellite: dropping a client mid-flight — with submissions in every
+// priority lane — cancels exactly that session's work; the surviving
+// session's results stay bitwise-correct and the PR-5 fuzz-harness
+// invariants (sink untouched, arena watermark, instance pool stable) hold.
+TEST(NetDisconnect, CancelsOnlyThatSessionsExecutions) {
+  const std::string path = unique_sock_path("disc");
+  ServerOptions o = test_opts(path);
+  o.max_inflight_per_session = 16;
+  o.max_inflight_global = 64;
+  Server server(std::move(o));
+  std::string err;
+  ASSERT_TRUE(server.start(&err)) << err;
+
+  // ~80 ms serial chain — slow enough that the disconnect lands mid-flight.
+  const WireGraph g = make_chain(40, 0x11, 2'000'000);
+  const std::uint64_t expect_sink = expected_sink_value(g);
+
+  // Warm phase: reach the same peak concurrency (12) the disconnect phase
+  // will use, so arena and instance-pool watermarks are established.
+  Client warm;
+  ASSERT_TRUE(warm.connect_unix(path));
+  const auto reg = warm.register_graph(g);
+  ASSERT_TRUE(reg) << warm.last_error();
+  {
+    std::vector<std::uint64_t> ids;
+    for (int i = 0; i < 12; ++i) {
+      const auto s = warm.submit(
+          reg->handle, 1000 + i,
+          static_cast<api::Priority>(i % 3));
+      ASSERT_TRUE(s && s->accepted) << warm.last_error();
+      ids.push_back(s->exec_id);
+    }
+    for (const auto id : ids) ASSERT_TRUE(warm.wait_result(id));
+  }
+  ASSERT_TRUE(wait_for_zero_inflight(server, 10'000));
+  server.runtime().wait_idle();
+  const plan::GraphPlan* plan = server.debug_plan(reg->handle);
+  ASSERT_NE(plan, nullptr);
+  ASSERT_TRUE(wait_for_pool_quiescent(plan, 10'000));
+  const std::size_t warm_arena = server.runtime().arena_bytes();
+  const std::size_t warm_instances = plan->instances_built();
+
+  // Disconnect phase: victim and survivor each submit 6 (2 per lane).
+  Client victim, survivor;
+  ASSERT_TRUE(victim.connect_unix(path));
+  ASSERT_TRUE(survivor.connect_unix(path));
+  const auto rv = victim.register_graph(g);
+  const auto rs = survivor.register_graph(g);
+  ASSERT_TRUE(rv && rs);
+  EXPECT_EQ(rv->handle, reg->handle);
+  EXPECT_EQ(rv->shared, 1u);
+
+  for (int i = 0; i < 6; ++i) {
+    const auto s = victim.submit(rv->handle, 2000 + i,
+                                 static_cast<api::Priority>(i % 3));
+    ASSERT_TRUE(s && s->accepted) << victim.last_error();
+  }
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> surv;  // id, payload
+  for (int i = 0; i < 6; ++i) {
+    const std::uint64_t payload = 3000 + i;
+    const auto s = survivor.submit(rs->handle, payload,
+                                   static_cast<api::Priority>(i % 3));
+    ASSERT_TRUE(s && s->accepted) << survivor.last_error();
+    surv.emplace_back(s->exec_id, payload);
+  }
+
+  // Drop the victim abruptly, replies unread (simulates a killed client).
+  victim.close();
+
+  // The survivor is untouched: every execution completes, bitwise-correct.
+  for (const auto& [id, payload] : surv) {
+    const auto r = survivor.wait_result(id, /*timeout_ms=*/30'000);
+    ASSERT_TRUE(r) << survivor.last_error();
+    EXPECT_EQ(r->state,
+              static_cast<std::uint8_t>(api::ExecStatus::kCompleted));
+    EXPECT_EQ(r->sink_value, expect_sink);
+    EXPECT_EQ(r->result, wire_result(expect_sink, payload));
+  }
+
+  ASSERT_TRUE(wait_for_zero_inflight(server, 10'000));
+  server.runtime().wait_idle();
+  ASSERT_TRUE(wait_for_pool_quiescent(plan, 10'000));
+  const StatsMsg stats = server.stats();
+  EXPECT_EQ(stats.submitted, 24u);
+  // All 24 reached a terminal state; the victim's 6 are the only candidates
+  // for cancellation and the survivor's 6 (+12 warm) all completed.
+  EXPECT_EQ(stats.completed + stats.cancelled, 24u);
+  EXPECT_GE(stats.completed, 18u);
+
+  // PR-5 fuzz-harness invariants, across the disconnect: the cancelled
+  // session's executions released everything they held, so the second wave
+  // of 12 concurrent replays fit in the instances and arena the warm wave
+  // established.
+  EXPECT_LE(server.runtime().arena_bytes(), warm_arena);
+  EXPECT_LE(plan->instances_built(), warm_instances);
+
+  // Replay-after-cancel on the same shared plan is still bitwise-correct.
+  const auto s = survivor.submit(rs->handle, 4242, api::Priority::kHigh);
+  ASSERT_TRUE(s && s->accepted) << survivor.last_error();
+  const auto r = survivor.wait_result(s->exec_id);
+  ASSERT_TRUE(r) << survivor.last_error();
+  EXPECT_EQ(r->sink_value, expect_sink);
+  EXPECT_EQ(r->result, wire_result(expect_sink, 4242));
+  server.stop();
+}
+
+TEST(NetShutdown, DrainDeliversInFlightResults) {
+  const std::string path = unique_sock_path("drain");
+  ServerOptions o = test_opts(path);
+  o.drain_on_shutdown = true;
+  Server server(std::move(o));
+  std::string err;
+  ASSERT_TRUE(server.start(&err)) << err;
+
+  Client c;
+  ASSERT_TRUE(c.connect_unix(path));
+  const WireGraph g = make_chain(30, 0x22, 2'000'000);
+  const auto reg = c.register_graph(g);
+  ASSERT_TRUE(reg);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> subs;
+  for (int i = 0; i < 4; ++i) {
+    const auto s = c.submit(reg->handle, 500 + i,
+                            static_cast<api::Priority>(i % 3));
+    ASSERT_TRUE(s && s->accepted);
+    subs.emplace_back(s->exec_id, 500 + i);
+  }
+
+  server.stop();  // drains: every in-flight execution completes
+
+  // Results were pushed before the server closed the connection; they are
+  // sitting in the socket buffer.
+  for (const auto& [id, payload] : subs) {
+    const auto r = c.wait_result(id);
+    ASSERT_TRUE(r) << c.last_error();
+    EXPECT_EQ(r->state,
+              static_cast<std::uint8_t>(api::ExecStatus::kCompleted));
+    EXPECT_EQ(r->result,
+              wire_result(expected_sink_value(g), payload));
+  }
+  const StatsMsg stats = server.stats();
+  EXPECT_EQ(stats.submitted, 4u);
+  EXPECT_EQ(stats.completed, 4u);
+  EXPECT_EQ(stats.in_flight, 0u);
+  EXPECT_EQ(stats.sessions_active, 0u);
+}
+
+TEST(NetShutdown, CancelModeStopsPromptlyUnderLoad) {
+  const std::string path = unique_sock_path("cancelstop");
+  ServerOptions o = test_opts(path);
+  o.drain_on_shutdown = false;
+  Server server(std::move(o));
+  std::string err;
+  ASSERT_TRUE(server.start(&err)) << err;
+
+  Client c;
+  ASSERT_TRUE(c.connect_unix(path));
+  // 4 x ~600 ms serial chains on 2 workers: well over a second of work.
+  const WireGraph g = make_chain(120, 0x33, 5'000'000);
+  const auto reg = c.register_graph(g);
+  ASSERT_TRUE(reg);
+  for (int i = 0; i < 4; ++i) {
+    const auto s = c.submit(reg->handle, i, static_cast<api::Priority>(i % 3));
+    ASSERT_TRUE(s && s->accepted);
+  }
+
+  const std::uint64_t t0 = now_ns();
+  server.stop();  // cancel mode: sheds the queue instead of finishing it
+  const std::uint64_t stop_ns = now_ns() - t0;
+
+  const StatsMsg stats = server.stats();
+  EXPECT_EQ(stats.submitted, 4u);
+  EXPECT_EQ(stats.completed + stats.cancelled, 4u);
+  EXPECT_GE(stats.cancelled, 1u);  // >1s of queued work, stopped early
+  EXPECT_EQ(stats.in_flight, 0u);
+  // Generous bound: far below the >2.4 s the full queue would need.
+  EXPECT_LT(stop_ns, 2'000'000'000ull) << "stop() took " << stop_ns << " ns";
+}
+
+}  // namespace
+}  // namespace nabbitc::net

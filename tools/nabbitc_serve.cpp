@@ -1,0 +1,215 @@
+// nabbitc-serve: the graph-service daemon (and its own smoke client).
+//
+// Server mode (default) owns one nabbitc::Runtime and serves the
+// net/protocol.h frame protocol until SIGINT/SIGTERM, then drains (or
+// cancels) in-flight work and exits 0:
+//
+//   nabbitc-serve unix=/tmp/nabbitc.sock workers=4
+//   nabbitc-serve tcp=1 port=0 workers=8 variant=nabbitc drain=1
+//
+// Client mode (connect=...) exercises a running daemon end to end —
+// register a wavefront graph, submit across all three priority lanes, and
+// verify every RESULT against the client-side reference evaluation. Exit 0
+// only if every accepted submission completes with the exact expected
+// result; this is what ci.sh's serve-smoke runs.
+//
+//   nabbitc-serve connect=/tmp/nabbitc.sock submits=24 side=8
+//   nabbitc-serve connect_tcp=PORT submits=24 side=8
+//
+// Flags are support/config.h key=value pairs (NABBITC_* env overrides).
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "api/runtime.h"
+#include "api/variant.h"
+#include "net/client.h"
+#include "net/protocol.h"
+#include "net/server.h"
+#include "net/socket.h"
+#include "rt/status.h"
+#include "support/config.h"
+
+namespace {
+
+// SIGINT/SIGTERM -> one byte through a self-pipe; the main thread polls it.
+// Everything in the handler is async-signal-safe.
+nabbitc::net::WakePipe g_signal_pipe;
+
+void on_signal(int) { g_signal_pipe.notify(); }
+
+int run_server(const nabbitc::Config& cfg) {
+  nabbitc::net::ServerOptions opts;
+  opts.runtime.workers =
+      static_cast<std::uint32_t>(cfg.get_int("workers", 0));
+  opts.runtime.variant =
+      nabbitc::api::parse_variant(cfg.get("variant", "nabbitc"));
+  opts.unix_path = cfg.get("unix", "");
+  opts.tcp = cfg.get_bool("tcp", false) || cfg.has("port");
+  opts.tcp_port = static_cast<std::uint16_t>(cfg.get_int("port", 0));
+  opts.max_sessions =
+      static_cast<std::uint32_t>(cfg.get_int("max_sessions", 64));
+  opts.max_inflight_per_session = static_cast<std::uint32_t>(
+      cfg.get_int("max_inflight_per_session", 16));
+  opts.max_inflight_global =
+      static_cast<std::uint32_t>(cfg.get_int("max_inflight_global", 256));
+  opts.reserve_instances =
+      static_cast<std::size_t>(cfg.get_int("reserve_instances", 4));
+  opts.drain_on_shutdown = cfg.get_bool("drain", true);
+
+  std::string err;
+  if (!g_signal_pipe.open(&err)) {
+    std::fprintf(stderr, "nabbitc-serve: %s\n", err.c_str());
+    return 1;
+  }
+  nabbitc::net::Server server(std::move(opts));
+  if (!server.start(&err)) {
+    std::fprintf(stderr, "nabbitc-serve: %s\n", err.c_str());
+    return 1;
+  }
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  std::printf("nabbitc-serve: listening (%s%s%s) workers=%u variant=%s\n",
+              server.unix_path().empty() ? "" : server.unix_path().c_str(),
+              (!server.unix_path().empty() && server.options().tcp) ? ", "
+                                                                    : "",
+              server.options().tcp
+                  ? ("tcp:" + std::to_string(server.tcp_port())).c_str()
+                  : "",
+              server.runtime().workers(),
+              nabbitc::api::variant_name(server.runtime().variant()));
+  std::fflush(stdout);
+
+  // Park until a signal arrives. poll_readable(-1) blocks indefinitely and
+  // returns on the handler's self-pipe write.
+  while (nabbitc::net::poll_readable(g_signal_pipe.read.get(), -1) <= 0) {
+  }
+  g_signal_pipe.drain();
+
+  std::printf("nabbitc-serve: shutting down (%s)\n",
+              server.options().drain_on_shutdown ? "drain" : "cancel");
+  std::fflush(stdout);
+  server.stop();
+
+  const nabbitc::net::StatsMsg s = server.stats();
+  std::printf(
+      "nabbitc-serve: done. submitted=%llu completed=%llu cancelled=%llu "
+      "deadline=%llu busy=%llu proto_errors=%llu sessions=%llu\n",
+      static_cast<unsigned long long>(s.submitted),
+      static_cast<unsigned long long>(s.completed),
+      static_cast<unsigned long long>(s.cancelled),
+      static_cast<unsigned long long>(s.deadline_exceeded),
+      static_cast<unsigned long long>(s.rejected_busy),
+      static_cast<unsigned long long>(s.protocol_errors),
+      static_cast<unsigned long long>(s.sessions_opened));
+  return 0;
+}
+
+int run_client(const nabbitc::Config& cfg) {
+  const std::string unix_path = cfg.get("connect", "");
+  const auto tcp_port =
+      static_cast<std::uint16_t>(cfg.get_int("connect_tcp", 0));
+  const auto submits = static_cast<std::uint32_t>(cfg.get_int("submits", 24));
+  const auto side = static_cast<std::uint32_t>(cfg.get_int("side", 8));
+  const auto spin_ns =
+      static_cast<std::uint32_t>(cfg.get_int("spin_ns", 0));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(cfg.get_int("seed", 42));
+
+  nabbitc::net::Client client;
+  const bool ok = !unix_path.empty() ? client.connect_unix(unix_path)
+                                     : client.connect_tcp(tcp_port);
+  if (!ok) {
+    std::fprintf(stderr, "client: connect failed: %s\n",
+                 client.last_error().c_str());
+    return 1;
+  }
+
+  const nabbitc::net::WireGraph g =
+      nabbitc::net::make_wavefront_wire_graph(side, seed, spin_ns);
+  const auto reg = client.register_graph(g);
+  if (!reg) {
+    std::fprintf(stderr, "client: register failed: %s\n",
+                 client.last_error().c_str());
+    return 1;
+  }
+  const std::uint64_t expect_sink = nabbitc::net::expected_sink_value(g);
+
+  std::uint32_t completed = 0;
+  std::uint32_t busy = 0;
+  for (std::uint32_t i = 0; i < submits; ++i) {
+    const auto prio = static_cast<nabbitc::api::Priority>(i % 3);
+    const std::uint64_t payload = nabbitc::splitmix64(seed + i);
+    const auto sub =
+        client.submit(reg->handle, payload, prio, /*deadline_rel_ns=*/0,
+                      "serve-smoke");
+    if (!sub) {
+      std::fprintf(stderr, "client: submit failed: %s\n",
+                   client.last_error().c_str());
+      return 1;
+    }
+    if (!sub->accepted) {
+      // BUSY pushback is valid protocol behaviour; retry-less smoke just
+      // counts it and moves on.
+      ++busy;
+      continue;
+    }
+    const auto res = client.wait_result(sub->exec_id);
+    if (!res) {
+      std::fprintf(stderr, "client: wait_result failed: %s\n",
+                   client.last_error().c_str());
+      return 1;
+    }
+    if (res->state !=
+        static_cast<std::uint8_t>(nabbitc::api::ExecStatus::kCompleted)) {
+      std::fprintf(stderr, "client: execution %llu not completed (state %s)\n",
+                   static_cast<unsigned long long>(sub->exec_id),
+                   nabbitc::rt::exec_status_name(
+                       static_cast<nabbitc::api::ExecStatus>(res->state)));
+      return 1;
+    }
+    if (res->sink_value != expect_sink ||
+        res->result != nabbitc::net::wire_result(expect_sink, payload)) {
+      std::fprintf(stderr, "client: WRONG RESULT for execution %llu\n",
+                   static_cast<unsigned long long>(sub->exec_id));
+      return 1;
+    }
+    ++completed;
+  }
+
+  const auto stats = client.stats();
+  if (!stats) {
+    std::fprintf(stderr, "client: stats failed: %s\n",
+                 client.last_error().c_str());
+    return 1;
+  }
+  std::printf(
+      "client: ok. completed=%u busy=%u server{specs=%llu plans=%llu "
+      "submitted=%llu completed=%llu arena=%llu}\n",
+      completed, busy,
+      static_cast<unsigned long long>(stats->registered_specs),
+      static_cast<unsigned long long>(stats->plans_compiled),
+      static_cast<unsigned long long>(stats->submitted),
+      static_cast<unsigned long long>(stats->completed),
+      static_cast<unsigned long long>(stats->arena_bytes));
+  return completed > 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const nabbitc::Config cfg = nabbitc::Config::from_args(argc, argv);
+  if (cfg.has("connect") || cfg.has("connect_tcp")) return run_client(cfg);
+  if (cfg.get("unix", "").empty() && !cfg.get_bool("tcp", false) &&
+      !cfg.has("port")) {
+    std::fprintf(stderr,
+                 "usage: nabbitc-serve unix=PATH | tcp=1 [port=N] "
+                 "[workers=N] [variant=nabbitc] [drain=0|1]\n"
+                 "       nabbitc-serve connect=PATH | connect_tcp=PORT "
+                 "[submits=N] [side=N] [spin_ns=N]\n");
+    return 2;
+  }
+  return run_server(cfg);
+}
