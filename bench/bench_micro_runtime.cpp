@@ -24,6 +24,7 @@
 #include "rt/arena.h"
 #include "rt/color_mask.h"
 #include "rt/deque.h"
+#include "rt/submit_ring.h"
 #include "support/config.h"
 #include "support/small_vec.h"
 #include "support/timing.h"
@@ -340,6 +341,55 @@ void bench_plan_replay_submit(const BenchParams& p) {
          "ns/op");
 }
 
+// The same round trip, batched: 32 single-node replays enter the scheduler
+// as ONE batch (one pool checkout, one submit-ring push, one worker wake)
+// and complete against one wait_all() park. Reported per GRAPH — the
+// headline comparison is plan_batch_submit_ns vs plan_replay_submit_ns,
+// whose gap is exactly the amortized injection handshake (on this
+// 1-worker pool the singleton number includes a futex sleep/wake pair PER
+// graph; the batch pays it once per 32).
+void bench_plan_batch_submit(const BenchParams& p) {
+  constexpr std::uint64_t kBatchN = 32;
+  api::RuntimeOptions ro;
+  ro.workers = 1;
+  api::Runtime rt(ro);
+  OneSpec spec;
+  auto plan = rt.compile(spec, 0, /*reserve_instances=*/kBatchN);
+  report("plan_batch_submit_ns", best_ns_per_op(p, [&](std::uint64_t n) {
+           const std::uint64_t rounds = n / kBatchN + 1;
+           for (std::uint64_t r = 0; r < rounds; ++r) {
+             auto batch = rt.submit_batch(*plan, kBatchN);
+             batch.wait_all();
+           }
+         }, 1 << 12),
+         "ns/op");
+}
+
+// The lock-free front door in isolation: one producer pushing 32-node
+// pre-linked chains into a SubmitRing and draining them back out — the
+// per-NODE cost of the CAS+reversal pair that replaced the front-door
+// mutex acquisition.
+void bench_submit_ring_push(const BenchParams& p) {
+  struct RingNode {
+    RingNode* next = nullptr;
+  };
+  constexpr std::uint64_t kChain = 32;
+  rt::SubmitRing<RingNode> ring;
+  RingNode nodes[kChain];
+  report("submit_ring_push_ns", best_ns_per_op(p, [&](std::uint64_t n) {
+           const std::uint64_t rounds = n / kChain + 1;
+           for (std::uint64_t r = 0; r < rounds; ++r) {
+             // Pre-link newest-first, exactly as submit_batch does.
+             for (std::uint64_t i = kChain - 1; i > 0; --i) {
+               nodes[i].next = &nodes[i - 1];
+             }
+             ring.push_chain(&nodes[kChain - 1], &nodes[0]);
+             do_not_optimize(ring.drain_fifo());
+           }
+         }, 1 << 16),
+         "ns/op");
+}
+
 void write_json(const std::string& path, const std::string& preset,
                 const BenchParams& p, std::uint32_t grid_side,
                 std::uint32_t workers) {
@@ -401,6 +451,8 @@ int main(int argc, char** argv) {
       {"spawn_sync", bench_spawn_sync},
       {"runtime_submit", bench_runtime_submit},
       {"plan_replay_submit", bench_plan_replay_submit},
+      {"plan_batch_submit", bench_plan_batch_submit},
+      {"submit_ring_push", bench_submit_ring_push},
   };
   std::printf("NabbitC micro-runtime bench (preset=%s, repeats=%d)\n\n",
               preset.c_str(), p.repeats);

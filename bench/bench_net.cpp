@@ -20,8 +20,11 @@
 //
 // Usage (key=value args, NABBITC_* env overrides):
 //   bench_net [preset=tiny|default] [clients=N] [window=N] [side=N]
-//             [workers=N] [secs=N] [variant=nabbit|nabbitc]
+//             [workers=N] [secs=N] [batch=N] [variant=nabbit|nabbitc]
 //             [out=BENCH_net.json]
+//
+// batch=N (N > 1) switches clients to kSubmitBatch window refills: one
+// frame (one syscall each way) carries up to N submissions.
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
@@ -80,8 +83,8 @@ struct ClientResult {
 };
 
 void run_client(std::uint16_t port, const WireGraph& g, std::uint32_t window,
-                std::uint64_t seed, const std::atomic<bool>& stop,
-                ClientResult& out) {
+                std::uint32_t batch, std::uint64_t seed,
+                const std::atomic<bool>& stop, ClientResult& out) {
   Client c;
   if (!c.connect_tcp(port)) {
     out.error = "connect: " + c.last_error();
@@ -119,6 +122,25 @@ void run_client(std::uint16_t port, const WireGraph& g, std::uint32_t window,
     return true;
   };
 
+  // Batch mode: top the window up with ONE kSubmitBatch frame (one syscall
+  // each way for k submissions). A rejected suffix counts as busy pushback,
+  // exactly like a singleton BUSY.
+  const auto submit_many = [&](std::uint32_t k) -> bool {
+    std::vector<Client::BatchItem> items(k);
+    for (auto& it : items) it.payload = next_payload++;
+    const std::uint64_t t0 = now_ns();
+    const auto b = c.submit_batch(reg->handle, items);
+    if (!b) {
+      out.error = "submit_batch: " + c.last_error();
+      return false;
+    }
+    out.busy += b->rejected;
+    for (std::size_t i = 0; i < b->exec_ids.size(); ++i) {
+      pending.push_back({b->exec_ids[i], items[i].payload, t0});
+    }
+    return true;
+  };
+
   const auto reap_one = [&]() -> bool {
     const Pending p = pending.front();
     pending.erase(pending.begin());
@@ -140,7 +162,12 @@ void run_client(std::uint16_t port, const WireGraph& g, std::uint32_t window,
 
   while (!stop.load(std::memory_order_relaxed)) {
     while (pending.size() < window && !stop.load(std::memory_order_relaxed)) {
-      if (!submit_one()) return;
+      const auto room = static_cast<std::uint32_t>(window - pending.size());
+      if (batch > 1 && room > 1) {
+        if (!submit_many(std::min(batch, room))) return;
+      } else {
+        if (!submit_one()) return;
+      }
     }
     if (pending.empty()) continue;  // every submit hit BUSY; retry
     if (!reap_one()) return;
@@ -164,6 +191,9 @@ int main(int argc, char** argv) {
       static_cast<std::uint32_t>(cfg.get_int("window", tiny ? 2 : 4));
   const auto side = static_cast<std::uint32_t>(cfg.get_int("side", tiny ? 8 : 16));
   const auto workers = static_cast<std::uint32_t>(cfg.get_int("workers", 2));
+  // batch > 1: clients refill their window with kSubmitBatch frames instead
+  // of per-submission kSubmit frames.
+  const auto batch = static_cast<std::uint32_t>(cfg.get_int("batch", 1));
   const double secs = static_cast<double>(cfg.get_int("secs", tiny ? 2 : 5));
   api::Variant variant = api::parse_variant(cfg.get("variant", "nabbitc"));
 
@@ -184,9 +214,9 @@ int main(int argc, char** argv) {
   }
 
   std::printf("NabbitC net bench: variant=%s workers=%u clients=%u window=%u "
-              "graph=%ux%u secs=%.0f (tcp:%u)\n\n",
+              "batch=%u graph=%ux%u secs=%.0f (tcp:%u)\n\n",
               api::variant_name(variant), server.runtime().workers(), clients,
-              window, side, side, secs, server.tcp_port());
+              window, batch, side, side, secs, server.tcp_port());
   check(clients >= 4, "bench requires >= 4 concurrent clients");
 
   const WireGraph g = make_wavefront_wire_graph(side, /*seed=*/0xbe7c0de);
@@ -197,7 +227,7 @@ int main(int argc, char** argv) {
   threads.reserve(clients);
   for (std::uint32_t i = 0; i < clients; ++i) {
     threads.emplace_back(run_client, server.tcp_port(), std::cref(g), window,
-                         0x1000ull * (i + 1), std::cref(stop),
+                         batch, 0x1000ull * (i + 1), std::cref(stop),
                          std::ref(results[i]));
   }
 
@@ -252,6 +282,7 @@ int main(int argc, char** argv) {
   std::fprintf(f, "  \"variant\": \"%s\",\n", api::variant_name(variant));
   std::fprintf(f, "  \"workers\": %u,\n", workers);
   std::fprintf(f, "  \"window\": %u,\n", window);
+  std::fprintf(f, "  \"batch\": %u,\n", batch);
   std::fprintf(f, "  \"nodes_per_graph\": %llu,\n",
                static_cast<unsigned long long>(std::uint64_t{side} * side));
   std::fprintf(f, "  \"metrics\": {\n");

@@ -72,6 +72,27 @@ struct StreamSpec final : nabbit::GraphSpec {
   std::size_t expected_nodes() const override { return std::size_t{side} * side; }
 };
 
+/// Single-node graph for the batched-submission phase: submission overhead
+/// IS the workload, so the per-graph cost measured there is the front-door
+/// round trip, not compute.
+struct TickNode final : nabbit::TaskGraphNode {
+  std::atomic<std::uint64_t>* acc;
+  explicit TickNode(std::atomic<std::uint64_t>* a) : acc(a) {}
+  void init(nabbit::ExecContext&) override {}
+  void compute(nabbit::ExecContext&) override {
+    acc->fetch_add(1, std::memory_order_relaxed);
+  }
+};
+
+struct TickSpec final : nabbit::GraphSpec {
+  std::atomic<std::uint64_t>* acc;
+  explicit TickSpec(std::atomic<std::uint64_t>* a) : acc(a) {}
+  nabbit::TaskGraphNode* create(nabbit::NodeArena& arena, Key) override {
+    return arena.create<TickNode>(acc);
+  }
+  std::size_t expected_nodes() const override { return 1; }
+};
+
 struct Metric {
   std::string name;
   double value;
@@ -220,6 +241,52 @@ int main(int argc, char** argv) {
   report("cancel_skipped_mean",
          static_cast<double>(skipped_total) / static_cast<double>(cancel_rounds),
          "nodes");
+  // --- batched submission throughput: singleton submit+wait per graph vs
+  // submit_batch(32)+wait_all per 32 graphs, on a single-node plan so the
+  // front-door round trip IS the workload. The singleton loop pays the
+  // injection handshake (and, against a busy pool, a park/unpark) per
+  // graph; the batch pays one pool checkout, one ring push, and one wake
+  // per 32 — this amortization factor is the tentpole number.
+  {
+    constexpr std::uint64_t kBatchSize = 32;
+    std::atomic<std::uint64_t> tick_acc{0};
+    TickSpec tick_spec(&tick_acc);
+    auto tick_plan = rt.compile(tick_spec, 0,
+                                /*reserve_instances=*/kBatchSize + 1);
+    const std::uint64_t budget_ns = tiny ? 100'000'000ull : 400'000'000ull;
+    const auto timed_rate = [&](auto&& round, std::uint64_t graphs_per_round) {
+      round();  // warm-up
+      std::uint64_t done = 0;
+      const std::uint64_t t0 = now_ns();
+      std::uint64_t t1 = t0;
+      do {
+        round();
+        done += graphs_per_round;
+        t1 = now_ns();
+      } while (t1 - t0 < budget_ns);
+      return static_cast<double>(done) * 1e9 / static_cast<double>(t1 - t0);
+    };
+
+    std::uint64_t expected = 0;
+    const double singleton_rate = timed_rate(
+        [&] {
+          rt.run(*tick_plan);
+          ++expected;
+        },
+        1);
+    const double batch_rate = timed_rate(
+        [&] {
+          auto batch = rt.submit_batch(*tick_plan, kBatchSize);
+          batch.wait_all();
+          expected += kBatchSize;
+        },
+        kBatchSize);
+    check(tick_acc.load() == expected, "batched replays diverged");
+    report("singleton_submits_per_sec", singleton_rate, "graphs/s");
+    report("batch32_submits_per_sec", batch_rate, "graphs/s");
+    report("batch_speedup_x", batch_rate / singleton_rate, "x");
+  }
+
   rt.wait_idle();
   report("arena_bytes_after", static_cast<double>(rt.arena_bytes()), "bytes");
 

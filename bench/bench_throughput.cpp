@@ -164,6 +164,31 @@ int main(int argc, char** argv) {
          "ns/node");
   report("replay_speedup_x", fresh_s / replay_s, "x");
 
+  // --- serialized batched replay: the same plan, `batch` graphs per
+  // submit_batch+wait_all call. On compute-heavy graphs the win is modest
+  // (the front door is amortized but the nodes still run); bench_serving's
+  // single-node phase isolates the submission overhead itself.
+  const auto batch_n =
+      static_cast<std::size_t>(cfg.get_int("batch", 32));
+  acc.store(0);
+  {
+    auto warm = rt.submit_batch(*plan, batch_n);
+    warm.wait_all();
+  }
+  check(acc.load() == per_run * batch_n,
+        "batched replay diverged from fresh submission");
+  acc.store(0);
+  const int batch_rounds = rounds / 8 + 1;
+  const double batch_s = best_seconds(repeats, batch_rounds, [&] {
+    auto b = rt.submit_batch(*plan, batch_n);
+    b.wait_all();
+  });
+  check(acc.load() % per_run == 0, "batched replays diverged");
+  report("plan_batch_submit_ns",
+         batch_s * 1e9 / static_cast<double>(batch_rounds) /
+             static_cast<double>(batch_n),
+         "ns/graph");
+
   // --- N concurrent replay streams, one shared worker pool, timed window.
   acc.store(0);
   std::atomic<std::uint64_t> completed{0};

@@ -134,33 +134,43 @@ void Execution::cancel() noexcept {
   st_->job.try_cancel(rt::CancelReason::kRequested);
 }
 
-Status Execution::status() const noexcept {
+namespace {
+
+/// Shared terminal-report derivation for Execution::status() and
+/// BatchHandle::status(i) — one spelling of what "completed" means.
+Status status_of(const detail::ExecutionState& st) noexcept {
   Status s;
-  if (st_ == nullptr || !st_->job.done.load(std::memory_order_acquire)) {
+  if (!st.job.done.load(std::memory_order_acquire)) {
     return s;  // kRunning
   }
-  s.skipped_nodes = st_->pooled != nullptr ? st_->pooled->nodes_skipped()
-                                           : st_->exec->nodes_skipped();
+  s.skipped_nodes = st.pooled != nullptr ? st.pooled->nodes_skipped()
+                                         : st.exec->nodes_skipped();
   // "Completed" means the execution produced its whole result. For a plan
   // replay that is skipped == 0 (every node is retired exactly once); for a
   // spec submission, the sink computing implies every ancestor did — a
   // cancel that landed after the last compute changes nothing the client
   // can observe, so it reports kCompleted.
   bool produced;
-  if (st_->pooled != nullptr) {
+  if (st.pooled != nullptr) {
     produced = s.skipped_nodes == 0;
   } else {
-    TaskGraphNode* sink = st_->exec->find(st_->sink);
+    TaskGraphNode* sink = st.exec->find(st.sink);
     produced = sink != nullptr && sink->computed();
   }
   if (produced) {
     s.state = ExecStatus::kCompleted;
   } else {
-    s.state = st_->job.cancel_reason() == rt::CancelReason::kDeadline
+    s.state = st.job.cancel_reason() == rt::CancelReason::kDeadline
                   ? ExecStatus::kDeadlineExceeded
                   : ExecStatus::kCancelled;
   }
   return s;
+}
+
+}  // namespace
+
+Status Execution::status() const noexcept {
+  return st_ != nullptr ? status_of(*st_) : Status{};
 }
 
 const char* Execution::name() const noexcept {
@@ -392,6 +402,172 @@ Execution Runtime::run(const plan::GraphPlan& plan, const SubmitOptions& so) {
   Execution e = submit(plan, so);
   e.wait();
   return e;
+}
+
+// ---------------------------------------------------------------------------
+// Batched submission
+//
+// One checkout under one freelist lock, one submit-ring push per lane, one
+// worker wake — the per-replay overhead singleton submit() pays N times is
+// paid once per batch. Counter attribution is deliberately NOT armed for
+// batch items (a batch is by definition overlapping submissions, so no
+// item's window could ever be attributable — and arming costs a wait_idle
+// probe per item); the fields are filled so counters() still answers
+// safely, it just reports non-attributable.
+
+namespace {
+
+void fill_batch_state(detail::ExecutionState& st, rt::Scheduler& sched,
+                      const plan::GraphPlan& plan, const SubmitOptions& so,
+                      const std::atomic<std::uint64_t>& reset_gen,
+                      std::uint64_t t_submit_ns) {
+  st.sched = &sched;
+  st.sink = plan.sink();
+  st.name = so.name;
+  st.job.lane = static_cast<std::uint8_t>(so.priority);
+  st.job.deadline_ns = so.deadline_ns;
+  st.attributable = false;
+  st.finalized = false;
+  st.reset_gen = &reset_gen;
+  st.expected_reset_gen = reset_gen.load(std::memory_order_acquire);
+  st.expected_submissions = 0;  // never matches: batch windows overlap
+  st.t_submit_ns = t_submit_ns;
+}
+
+void check_plan_variant(const plan::GraphPlan& plan, Variant variant) {
+  NABBITC_CHECK_MSG(plan.colored() == (variant == Variant::kNabbitC),
+                    "GraphPlan was compiled for a different variant than "
+                    "this Runtime");
+}
+
+}  // namespace
+
+void BatchHandle::init(Runtime& rt, const plan::GraphPlan& plan,
+                       std::size_t n, const SubmitOptions* uniform,
+                       const SubmitOptions* per_item) {
+  check_plan_variant(plan, rt.variant());
+  n_ = n;
+  sched_ = rt.sched_.get();
+  if (n == 0) {
+    waited_ = true;
+    return;
+  }
+  if (n <= kInlineItems) {
+    insts_ = insts_inline_;
+    jobs_ = jobs_inline_;
+  } else {
+    spill_insts_ = std::make_unique<plan::PlanInstance*[]>(n);
+    spill_jobs_ = std::make_unique<rt::Scheduler::RootJob*[]>(n);
+    insts_ = spill_insts_.get();
+    jobs_ = spill_jobs_.get();
+  }
+  plan.acquire_batch(insts_, n);
+  const std::uint64_t t_submit = now_ns();
+  for (std::size_t i = 0; i < n; ++i) {
+    detail::ExecutionState& st = insts_[i]->exec_state();
+    fill_batch_state(st, *sched_, plan, per_item != nullptr ? per_item[i] : *uniform,
+                     rt.counter_reset_gen_, t_submit);
+    jobs_[i] = &st.job;
+  }
+  sched_->submit_batch(jobs_, n, &sync_);
+}
+
+BatchHandle::BatchHandle(Runtime& rt, const plan::GraphPlan& plan,
+                         std::size_t count, const SubmitOptions& so) {
+  init(rt, plan, count, &so, nullptr);
+}
+
+BatchHandle::BatchHandle(Runtime& rt, const plan::GraphPlan& plan,
+                         std::span<const SubmitOptions> items) {
+  init(rt, plan, items.size(), nullptr, items.data());
+}
+
+BatchHandle::~BatchHandle() {
+  wait_all();
+  for (std::size_t i = 0; i < n_; ++i) insts_[i]->recycle();
+}
+
+void BatchHandle::wait_all() {
+  if (waited_ || n_ == 0) return;  // empty/default handles have no sched_
+  sched_->wait_batch(jobs_, n_, sync_);
+  waited_ = true;
+}
+
+bool BatchHandle::all_done() const noexcept {
+  return n_ == 0 || sync_.remaining.load(std::memory_order_acquire) == 0;
+}
+
+Status BatchHandle::status(std::size_t i) const noexcept {
+  return status_of(insts_[i]->exec_state());
+}
+
+void BatchHandle::cancel(std::size_t i) noexcept {
+  jobs_[i]->try_cancel(rt::CancelReason::kRequested);
+}
+
+void BatchHandle::cancel_all() noexcept {
+  for (std::size_t i = 0; i < n_; ++i) cancel(i);
+}
+
+std::uint64_t BatchHandle::nodes_computed(std::size_t i) const noexcept {
+  return insts_[i]->nodes_computed();
+}
+
+TaskGraphNode* BatchHandle::find(std::size_t i, Key key) const noexcept {
+  return insts_[i]->find(key);
+}
+
+const char* BatchHandle::name(std::size_t i) const noexcept {
+  return insts_[i]->exec_state().name;
+}
+
+BatchHandle Runtime::submit_batch(const plan::GraphPlan& plan,
+                                  std::size_t count, const SubmitOptions& so) {
+  // Prvalue return: guaranteed copy elision constructs the (non-movable)
+  // handle directly in the caller's storage.
+  return BatchHandle(*this, plan, count, so);
+}
+
+BatchHandle Runtime::submit_batch(const plan::GraphPlan& plan,
+                                  std::size_t count) {
+  return BatchHandle(*this, plan, count, opts_.default_submit);
+}
+
+BatchHandle Runtime::submit_batch(const plan::GraphPlan& plan,
+                                  std::span<const SubmitOptions> items) {
+  return BatchHandle(*this, plan, items);
+}
+
+void Runtime::submit_batch(const plan::GraphPlan& plan,
+                           std::span<const SubmitOptions> items,
+                           Execution* out) {
+  check_plan_variant(plan, opts_.variant);
+  const std::size_t n = items.size();
+  if (n == 0) return;
+  // Chunked checkout keeps the stack arrays bounded while still amortizing
+  // the freelist lock and the scheduler round trip over each chunk.
+  constexpr std::size_t kChunk = BatchHandle::kInlineItems;
+  plan::PlanInstance* insts[kChunk];
+  rt::Scheduler::RootJob* jobs[kChunk];
+  std::size_t done = 0;
+  while (done < n) {
+    const std::size_t k = std::min(kChunk, n - done);
+    plan.acquire_batch(insts, k);
+    const std::uint64_t t_submit = now_ns();
+    for (std::size_t i = 0; i < k; ++i) {
+      detail::ExecutionState& st = insts[i]->exec_state();
+      fill_batch_state(st, *sched_, plan, items[done + i], counter_reset_gen_,
+                       t_submit);
+      jobs[i] = &st.job;
+    }
+    // No BatchSync: each Execution waits on its own job's done flag, so a
+    // handle can be waited/dropped independently of its batch siblings.
+    sched_->submit_batch(jobs, k, nullptr);
+    for (std::size_t i = 0; i < k; ++i) {
+      out[done + i] = Execution(&insts[i]->exec_state());
+    }
+    done += k;
+  }
 }
 
 void Runtime::run_parallel(std::function<void(rt::Worker&)> fn) {

@@ -225,6 +225,45 @@ std::optional<Client::SubmitOutcome> Client::submit(
   }
 }
 
+std::optional<Client::BatchOutcome> Client::submit_batch(
+    std::uint64_t handle, std::span<const BatchItem> items, int timeout_ms) {
+  if (items.empty() || items.size() > kMaxBatchItems) {
+    err_ = "submit_batch: items.size() must be 1..kMaxBatchItems";
+    return std::nullopt;
+  }
+  SubmitBatchRequest req;
+  req.handle = handle;
+  req.items.reserve(items.size());
+  for (const BatchItem& it : items) {
+    SubmitBatchItem wi;
+    wi.payload = it.payload;
+    wi.priority = static_cast<std::uint8_t>(it.priority);
+    wi.deadline_rel_ns = it.deadline_rel_ns;
+    wi.name = it.name.substr(0, kMaxNameLen);
+    req.items.push_back(std::move(wi));
+  }
+  WireWriter w;
+  encode_submit_batch(req, w);
+  if (!send_frame(FrameType::kSubmitBatch, w)) return std::nullopt;
+
+  const auto f = await(FrameType::kSubmittedBatch, timeout_ms);
+  if (!f) return std::nullopt;
+  SubmittedBatchMsg m;
+  if (!decode_submitted_batch({f->body.data(), f->body.size()}, m)) {
+    fail("malformed SUBMITTED_BATCH reply");
+    return std::nullopt;
+  }
+  if (m.exec_ids.size() + m.rejected != items.size()) {
+    fail("SUBMITTED_BATCH reply does not account for every item");
+    return std::nullopt;
+  }
+  BatchOutcome out;
+  out.exec_ids = std::move(m.exec_ids);
+  out.rejected = m.rejected;
+  out.busy_scope = m.busy_scope;
+  return out;
+}
+
 std::optional<ResultMsg> Client::wait_result(std::uint64_t exec_id,
                                              int timeout_ms) {
   const std::uint64_t deadline =

@@ -17,8 +17,10 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "api/submit_options.h"
 #include "net/protocol.h"
@@ -54,6 +56,27 @@ class Client {
                                       std::uint64_t deadline_rel_ns = 0,
                                       std::string_view name = {},
                                       int timeout_ms = 30000);
+
+  /// One kSubmitBatch item; fields mirror the singleton submit() arguments.
+  struct BatchItem {
+    std::uint64_t payload = 0;
+    api::Priority priority = api::Priority::kNormal;
+    std::uint64_t deadline_rel_ns = 0;
+    std::string name;  // <= kMaxNameLen
+  };
+  /// SUBMIT_BATCH outcome: exec ids for the admitted PREFIX (item order);
+  /// the `rejected` suffix hit the admission cap `busy_scope` names and
+  /// should be resubmitted later, exactly like a singleton BUSY.
+  struct BatchOutcome {
+    std::vector<std::uint64_t> exec_ids;
+    std::uint32_t rejected = 0;
+    std::uint8_t busy_scope = 0;  // BusyScope; 0 iff rejected == 0
+  };
+  /// N submissions against one handle in one frame (one syscall each way).
+  /// items.size() must be 1..kMaxBatchItems.
+  std::optional<BatchOutcome> submit_batch(std::uint64_t handle,
+                                           std::span<const BatchItem> items,
+                                           int timeout_ms = 30000);
 
   /// Blocks until the RESULT push for `exec_id` arrives (or was already
   /// stashed while awaiting other replies).

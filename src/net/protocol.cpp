@@ -236,6 +236,74 @@ bool decode_submit(std::span<const std::uint8_t> body, SubmitRequest& out,
   return true;
 }
 
+void encode_submit_batch(const SubmitBatchRequest& m, WireWriter& w) {
+  w.u64(m.handle);
+  w.u32(static_cast<std::uint32_t>(m.items.size()));
+  for (const SubmitBatchItem& item : m.items) {
+    w.u64(item.payload);
+    w.u8(item.priority);
+    w.u64(item.deadline_rel_ns);
+    w.str8(item.name);
+  }
+}
+
+bool decode_submit_batch(std::span<const std::uint8_t> body,
+                         SubmitBatchRequest& out, std::string* err) {
+  WireReader r(body);
+  std::uint32_t count = 0;
+  if (!r.u64(out.handle) || !r.u32(count)) {
+    set_err(err, "submit_batch: truncated header");
+    return false;
+  }
+  if (count == 0 || count > kMaxBatchItems) {
+    set_err(err, "submit_batch: item count out of range");
+    return false;
+  }
+  out.items.resize(count);
+  for (SubmitBatchItem& item : out.items) {
+    if (!r.u64(item.payload) || !r.u8(item.priority) ||
+        !r.u64(item.deadline_rel_ns) || !r.str8(item.name)) {
+      set_err(err, "submit_batch: truncated item");
+      return false;
+    }
+    if (item.priority > 2) {
+      set_err(err, "submit_batch: priority out of range");
+      return false;
+    }
+    if (item.name.size() > kMaxNameLen) {
+      set_err(err, "submit_batch: name too long");
+      return false;
+    }
+  }
+  if (!r.done()) {
+    set_err(err, "submit_batch: trailing bytes");
+    return false;
+  }
+  return true;
+}
+
+void encode_submitted_batch(const SubmittedBatchMsg& m, WireWriter& w) {
+  w.u32(static_cast<std::uint32_t>(m.exec_ids.size()));
+  w.u32(m.rejected);
+  w.u8(m.busy_scope);
+  for (const std::uint64_t id : m.exec_ids) w.u64(id);
+}
+
+bool decode_submitted_batch(std::span<const std::uint8_t> body,
+                            SubmittedBatchMsg& out) {
+  WireReader r(body);
+  std::uint32_t accepted = 0;
+  if (!r.u32(accepted) || !r.u32(out.rejected) || !r.u8(out.busy_scope)) {
+    return false;
+  }
+  if (accepted > kMaxBatchItems) return false;
+  out.exec_ids.resize(accepted);
+  for (std::uint64_t& id : out.exec_ids) {
+    if (!r.u64(id)) return false;
+  }
+  return r.done();
+}
+
 void encode_submitted(const SubmittedMsg& m, WireWriter& w) { w.u64(m.exec_id); }
 
 bool decode_submitted(std::span<const std::uint8_t> body, SubmittedMsg& out) {

@@ -134,6 +134,35 @@ struct SubmittedMsg {
   std::uint64_t exec_id = 0;
 };
 
+/// Items per kSubmitBatch frame, capped so a hostile count cannot make the
+/// server stage unbounded submissions (admission caps bound it further).
+inline constexpr std::uint32_t kMaxBatchItems = 256;
+
+/// One kSubmitBatch frame: N submissions against one registered handle in
+/// one header — the client-side syscall amortization matching
+/// Runtime::submit_batch server-side. Per-item fields mirror SubmitRequest.
+struct SubmitBatchItem {
+  std::uint64_t payload = 0;
+  std::uint8_t priority = 1;  // api::Priority value: 0 high, 1 normal, 2 low
+  std::uint64_t deadline_rel_ns = 0;
+  std::string name;  // <= kMaxNameLen; empty = unnamed
+};
+
+struct SubmitBatchRequest {
+  std::uint64_t handle = 0;
+  std::vector<SubmitBatchItem> items;  // 1..kMaxBatchItems
+};
+
+/// Reply to kSubmitBatch: the admitted PREFIX got exec ids (results are
+/// still pushed per item as kResult frames); the rejected suffix hit an
+/// admission cap (`busy_scope` says which) and was never submitted — the
+/// client resubmits it later, exactly like a singleton kBusy.
+struct SubmittedBatchMsg {
+  std::uint32_t rejected = 0;
+  std::uint8_t busy_scope = 0;  // BusyScope; 0 iff rejected == 0
+  std::vector<std::uint64_t> exec_ids;  // admitted prefix, in item order
+};
+
 /// Admission-control rejection: which cap said no.
 enum class BusyScope : std::uint8_t { kSession = 1, kGlobal = 2 };
 
@@ -217,6 +246,12 @@ bool decode_submit(std::span<const std::uint8_t> body, SubmitRequest& out,
                    std::string* err);
 void encode_submitted(const SubmittedMsg& m, WireWriter& w);
 bool decode_submitted(std::span<const std::uint8_t> body, SubmittedMsg& out);
+void encode_submit_batch(const SubmitBatchRequest& m, WireWriter& w);
+bool decode_submit_batch(std::span<const std::uint8_t> body,
+                         SubmitBatchRequest& out, std::string* err);
+void encode_submitted_batch(const SubmittedBatchMsg& m, WireWriter& w);
+bool decode_submitted_batch(std::span<const std::uint8_t> body,
+                            SubmittedBatchMsg& out);
 void encode_busy(const BusyMsg& m, WireWriter& w);
 bool decode_busy(std::span<const std::uint8_t> body, BusyMsg& out);
 void encode_result(const ResultMsg& m, WireWriter& w);

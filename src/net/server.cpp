@@ -4,6 +4,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <utility>
@@ -179,6 +180,19 @@ bool Server::try_admit_global() noexcept {
     }
   }
   return false;
+}
+
+std::uint32_t Server::try_admit_global_n(std::uint32_t want) noexcept {
+  std::uint32_t cur = global_inflight_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (cur >= opts_.max_inflight_global) return 0;
+    const std::uint32_t take =
+        std::min(want, opts_.max_inflight_global - cur);
+    if (global_inflight_.compare_exchange_weak(cur, cur + take,
+                                               std::memory_order_acq_rel)) {
+      return take;
+    }
+  }
 }
 
 StatsMsg Server::stats() const {

@@ -121,6 +121,12 @@ class Server {
     return exec_ids_.fetch_add(1, std::memory_order_relaxed);
   }
   bool try_admit_global() noexcept;
+  /// Batch admission: claims up to `want` global slots in ONE CAS loop and
+  /// returns how many it got (0..want). The caller submits exactly that
+  /// many items (the admitted prefix) and answers the rest with a
+  /// kGlobal-scope rejection; each admitted item releases its slot through
+  /// the ordinary release_global() when it finishes.
+  std::uint32_t try_admit_global_n(std::uint32_t want) noexcept;
   void release_global() noexcept {
     global_inflight_.fetch_sub(1, std::memory_order_acq_rel);
   }

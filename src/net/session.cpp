@@ -1,5 +1,6 @@
 #include "net/session.h"
 
+#include <algorithm>
 #include <chrono>
 #include <utility>
 #include <vector>
@@ -113,6 +114,8 @@ bool Session::dispatch(const FrameAssembler::Frame& f) {
       return handle_register(body);
     case FrameType::kSubmit:
       return handle_submit(body);
+    case FrameType::kSubmitBatch:
+      return handle_submit_batch(body);
     case FrameType::kStatusReq:
       return handle_status_req(body);
     case FrameType::kCancel:
@@ -217,6 +220,90 @@ bool Session::handle_submit(std::span<const std::uint8_t> body) {
   WireWriter w;
   encode_submitted(m, w);
   return send(FrameType::kSubmitted, w);
+}
+
+bool Session::handle_submit_batch(std::span<const std::uint8_t> body) {
+  SubmitBatchRequest req;
+  std::string why;
+  if (!decode_submit_batch(body, req, &why)) {
+    send_protocol_error(ErrCode::kBadSubmit, why);
+    return false;
+  }
+  Server::SpecEntry* e = server_.find_spec(req.handle);
+  if (e == nullptr) {
+    ErrorMsg em;
+    em.code = static_cast<std::uint8_t>(ErrCode::kUnknownHandle);
+    em.message = "handle not registered on this server";
+    WireWriter w;
+    encode_error(em, w);
+    return send(FrameType::kError, w);
+  }
+
+  // Prefix admission: the session cap bounds first, then ONE grab at the
+  // global counter covers the whole remainder (try_admit_global_n). The
+  // admitted prefix is submitted in a single Runtime::submit_batch call;
+  // the suffix is reported rejected with the cap that said no, and was
+  // never staged anywhere.
+  const std::uint32_t want = static_cast<std::uint32_t>(req.items.size());
+  const std::uint32_t session_cap = server_.opts_.max_inflight_per_session;
+  const std::uint32_t session_room =
+      inflight_.size() >= session_cap
+          ? 0
+          : session_cap - static_cast<std::uint32_t>(inflight_.size());
+  const std::uint32_t session_ok = std::min(want, session_room);
+  const std::uint32_t admitted = server_.try_admit_global_n(session_ok);
+
+  SubmittedBatchMsg m;
+  m.rejected = want - admitted;
+  if (admitted < session_ok) {
+    m.busy_scope = static_cast<std::uint8_t>(BusyScope::kGlobal);
+  } else if (session_ok < want) {
+    m.busy_scope = static_cast<std::uint8_t>(BusyScope::kSession);
+  }
+  if (m.rejected != 0) {
+    server_.rejected_busy_.fetch_add(m.rejected, std::memory_order_relaxed);
+  }
+
+  if (admitted != 0) {
+    // Records first: SubmitOptions::name borrows the stable string inside
+    // the InFlight node, exactly like the singleton path.
+    m.exec_ids.reserve(admitted);
+    std::vector<InFlight*> recs(admitted);
+    std::vector<api::SubmitOptions> sos(admitted);
+    for (std::uint32_t i = 0; i < admitted; ++i) {
+      SubmitBatchItem& item = req.items[i];
+      const std::uint64_t exec_id = server_.next_exec_id();
+      auto [it, inserted] = inflight_.try_emplace(exec_id);
+      InFlight& rec = it->second;
+      rec.name = std::move(item.name);
+      rec.payload = item.payload;
+      rec.plan = e->plan.get();
+      recs[i] = &rec;
+      api::SubmitOptions& so = sos[i];
+      so.priority = static_cast<api::Priority>(
+          item.priority <= 2 ? item.priority : 1);
+      if (item.deadline_rel_ns != 0) {
+        so.deadline_ns =
+            api::deadline_in(std::chrono::nanoseconds(item.deadline_rel_ns));
+      }
+      so.name = rec.name.empty() ? nullptr : rec.name.c_str();
+      m.exec_ids.push_back(exec_id);
+    }
+    const std::uint64_t t_submit = now_ns();
+    std::vector<api::Execution> execs(admitted);
+    server_.runtime_.submit_batch(
+        *e->plan, std::span<const api::SubmitOptions>(sos.data(), admitted),
+        execs.data());
+    for (std::uint32_t i = 0; i < admitted; ++i) {
+      recs[i]->t_submit_ns = t_submit;
+      recs[i]->exec = std::move(execs[i]);
+    }
+    server_.submitted_.fetch_add(admitted, std::memory_order_relaxed);
+  }
+
+  WireWriter w;
+  encode_submitted_batch(m, w);
+  return send(FrameType::kSubmittedBatch, w);
 }
 
 bool Session::handle_status_req(std::span<const std::uint8_t> body) {

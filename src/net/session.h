@@ -60,6 +60,7 @@ class Session {
   bool dispatch(const FrameAssembler::Frame& f);
   bool handle_register(std::span<const std::uint8_t> body);
   bool handle_submit(std::span<const std::uint8_t> body);
+  bool handle_submit_batch(std::span<const std::uint8_t> body);
   bool handle_status_req(std::span<const std::uint8_t> body);
   bool handle_cancel(std::span<const std::uint8_t> body);
   bool handle_stats();

@@ -48,6 +48,7 @@ enum class FrameType : std::uint8_t {
   kStatusReq = 3,  // exec id            -> kStatus
   kCancel = 4,     // exec id            -> kCancelAck
   kStatsReq = 5,   // (empty)            -> kStats
+  kSubmitBatch = 6,  // SubmitBatchRequest -> kSubmittedBatch | kError
   // server -> client
   kRegistered = 64,
   kSubmitted = 65,
@@ -57,10 +58,11 @@ enum class FrameType : std::uint8_t {
   kCancelAck = 69,
   kStats = 70,
   kError = 71,
+  kSubmittedBatch = 72,  // exec ids for the admitted prefix of a kSubmitBatch
 };
 
 inline constexpr bool frame_type_known(std::uint8_t t) noexcept {
-  return (t >= 1 && t <= 5) || (t >= 64 && t <= 71);
+  return (t >= 1 && t <= 6) || (t >= 64 && t <= 72);
 }
 
 inline constexpr const char* frame_type_name(FrameType t) noexcept {
@@ -70,6 +72,7 @@ inline constexpr const char* frame_type_name(FrameType t) noexcept {
     case FrameType::kStatusReq: return "STATUS_REQ";
     case FrameType::kCancel: return "CANCEL";
     case FrameType::kStatsReq: return "STATS_REQ";
+    case FrameType::kSubmitBatch: return "SUBMIT_BATCH";
     case FrameType::kRegistered: return "REGISTERED";
     case FrameType::kSubmitted: return "SUBMITTED";
     case FrameType::kBusy: return "BUSY";
@@ -77,6 +80,7 @@ inline constexpr const char* frame_type_name(FrameType t) noexcept {
     case FrameType::kStatus: return "STATUS";
     case FrameType::kCancelAck: return "CANCEL_ACK";
     case FrameType::kStats: return "STATS";
+    case FrameType::kSubmittedBatch: return "SUBMITTED_BATCH";
     case FrameType::kError: return "ERROR";
   }
   return "?";

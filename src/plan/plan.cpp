@@ -149,6 +149,25 @@ PlanInstance* GraphPlan::acquire() const {
   return inst;
 }
 
+void GraphPlan::acquire_batch(PlanInstance** out, std::size_t n) const {
+  std::size_t pooled = 0;
+  {
+    std::lock_guard<SpinLock> lk(pool_mu_);
+    while (pooled < n && free_head_ != nullptr) {
+      PlanInstance* inst = free_head_;
+      free_head_ = inst->pool_next_;
+      out[pooled++] = inst;
+    }
+  }
+  for (std::size_t i = 0; i < pooled; ++i) {
+    out[i]->fresh_ = false;  // pure replay: no nodes created this submission
+  }
+  for (std::size_t i = pooled; i < n; ++i) {
+    out[i] = build_instance();  // cold path; fresh_ = true from construction
+  }
+  for (std::size_t i = 0; i < n; ++i) out[i]->reset_for_replay();
+}
+
 void GraphPlan::release(PlanInstance* inst) const noexcept {
   std::lock_guard<SpinLock> lk(pool_mu_);
   inst->pool_next_ = free_head_;

@@ -191,6 +191,12 @@ class GraphPlan {
   /// Pops a pooled instance (or builds one — the heap-allocating cold
   /// path), reset and ready to submit. Thread-safe.
   PlanInstance* acquire() const;
+  /// Batch checkout: fills out[0..n) with reset instances, popping as many
+  /// as possible under ONE freelist lock acquisition (the amortization the
+  /// submit_batch path exists for); any shortfall is built cold (heap-
+  /// allocating). Thread-safe. With a pool reserved >= n deep, steady-state
+  /// cost is one lock + n resets and zero allocations.
+  void acquire_batch(PlanInstance** out, std::size_t n) const;
   /// Returns an instance whose execution has fully completed.
   void release(PlanInstance* inst) const noexcept;
 

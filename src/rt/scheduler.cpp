@@ -164,58 +164,102 @@ Scheduler::~Scheduler() {
 Worker* Scheduler::current() noexcept { return tl_worker; }
 
 void Scheduler::submit(RootJob& job) {
-  NABBITC_CHECK_MSG(job.fn != nullptr, "RootJob has no function");
-  NABBITC_CHECK_MSG(job.lane < kNumLanes, "RootJob lane out of range");
-  // Computed under mu_, used after unlock: `job` may be adopted, finished,
-  // and freed by its waiter the moment it becomes visible — nothing may
-  // touch it after the lock drops.
-  bool lowered_deadline_horizon = false;
-  job.done.store(false, std::memory_order_relaxed);
-  // A fresh submission is never born cancelled; pooled jobs (plan
-  // instances) reuse this storage across submissions, and no cancel can
-  // arrive before submit() returns (the waitable handle does not exist yet).
-  job.cancel.store(0, std::memory_order_relaxed);
-  job.next = nullptr;
-  // Order matters: a worker that adopts the job must already see the pool
-  // as active, so its service loop cannot exit under it.
-  active_jobs_.fetch_add(1, std::memory_order_acq_rel);
-  submit_epoch_.fetch_add(1, std::memory_order_relaxed);
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    Lane& lane = lanes_[job.lane];
-    if (lane.tail != nullptr) {
-      lane.tail->next = &job;
-    } else {
-      lane.head = &job;
-    }
-    lane.tail = &job;
-    inject_count_.fetch_add(1, std::memory_order_release);
+  RootJob* one = &job;
+  submit_batch(&one, 1, nullptr);
+}
+
+void Scheduler::submit_batch(RootJob* const* jobs, std::size_t n,
+                             BatchSync* sync) {
+  if (n == 0) {
+    if (sync != nullptr) sync->remaining.store(0, std::memory_order_release);
+    return;
+  }
+  // Arm the rendezvous before any job can finish: the first completion may
+  // land while we are still pushing later lanes.
+  if (sync != nullptr) {
+    sync->remaining.store(static_cast<std::uint32_t>(n),
+                          std::memory_order_relaxed);
+  }
+  // Build one chain per lane, linked NEWEST-first: the consumer's single
+  // reversal at splice (see rt/submit_ring.h) then restores array order.
+  RootJob* chain_head[kNumLanes] = {};  // newest element of each chain
+  RootJob* chain_tail[kNumLanes] = {};  // oldest element of each chain
+  std::uint32_t deadline_count = 0;
+  std::uint64_t min_deadline = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    RootJob& job = *jobs[i];
+    NABBITC_CHECK_MSG(job.fn != nullptr, "RootJob has no function");
+    NABBITC_CHECK_MSG(job.lane < kNumLanes, "RootJob lane out of range");
+    job.done.store(false, std::memory_order_relaxed);
+    // A fresh submission is never born cancelled; pooled jobs (plan
+    // instances) reuse this storage across submissions, and no cancel can
+    // arrive before submit() returns (the waitable handle does not exist
+    // yet).
+    job.cancel.store(0, std::memory_order_relaxed);
+    job.batch = sync;
     if (job.deadline_ns != 0) {
-      ++deadline_jobs_;
-      if (next_deadline_ns_ == 0 || job.deadline_ns < next_deadline_ns_) {
-        next_deadline_ns_ = job.deadline_ns;
-        lowered_deadline_horizon = true;
+      ++deadline_count;
+      if (min_deadline == 0 || job.deadline_ns < min_deadline) {
+        min_deadline = job.deadline_ns;
       }
     }
-    // Assign the job's frame epoch and append it to the epoch-ordered
-    // active list (epochs are handed out under mu_, so append keeps order).
-    job.frame_epoch = ++next_frame_epoch_;
-    job.active_prev = active_tail_;
-    job.active_next = nullptr;
-    if (active_tail_ != nullptr) {
-      active_tail_->active_next = &job;
-    } else {
-      active_head_ = &job;
-    }
-    active_tail_ = &job;
+    job.next = chain_head[job.lane];
+    chain_head[job.lane] = &job;
+    if (chain_tail[job.lane] == nullptr) chain_tail[job.lane] = &job;
   }
-  cv_start_.notify_all();
+  // Order matters: a worker that adopts a job must already see the pool as
+  // active, so its service loop cannot exit under it. seq_cst also anchors
+  // the wake-elision handshake in wake_workers().
+  active_jobs_.fetch_add(static_cast<std::uint32_t>(n),
+                         std::memory_order_seq_cst);
+  submit_epoch_.fetch_add(static_cast<std::uint32_t>(n),
+                          std::memory_order_relaxed);
+  // Publish: one CAS per distinct lane. From the first push on, `jobs` may
+  // be adopted, finished, and freed by waiters (batch jobs only after
+  // sync->remaining drains — see RootJob::batch).
+  for (std::uint32_t l = 0; l < kNumLanes; ++l) {
+    if (chain_head[l] != nullptr) {
+      lanes_[l].inbox.push_chain(chain_head[l], chain_tail[l]);
+    }
+  }
+  inject_count_.fetch_add(static_cast<std::uint32_t>(n),
+                          std::memory_order_release);
+  // Deadline arming stays a producer duty (one lock for the whole batch)
+  // so the deadline_jobs_ gate and the waiters' wake horizon never lag the
+  // submission; the consumer-side splice touches neither. The jobs are
+  // already pushed, so any sweep that runs after this sees them.
+  bool lowered_deadline_horizon = false;
+  if (deadline_count > 0) {
+    std::lock_guard<std::mutex> lk(mu_);
+    deadline_jobs_ += deadline_count;
+    if (next_deadline_ns_ == 0 || min_deadline < next_deadline_ns_) {
+      next_deadline_ns_ = min_deadline;
+      lowered_deadline_horizon = true;
+    }
+  }
+  wake_workers();
   // A deadline EARLIER than every armed one changes parked waiters' wake
   // horizon (they may be in an untimed or too-late sleep); nudge them so
   // they re-derive it. Later deadlines need no nudge — waiters already
   // wake no later than the current horizon, and every root completion
   // notifies cv_done_ anyway.
   if (lowered_deadline_horizon) cv_done_.notify_all();
+}
+
+void Scheduler::wake_workers() noexcept {
+  // Dekker-style wake elision. Producer order: active_jobs_ RMW (seq_cst),
+  // then this seq_cst load. Parker order (worker_main): parked_workers_
+  // RMW (seq_cst), then a seq_cst predicate load of active_jobs_. In the
+  // single total order on seq_cst operations one side always observes the
+  // other: if we read parked == 0 here, every worker that later commits to
+  // sleeping re-checks active_jobs_ AFTER our increment and stays awake —
+  // so skipping the notify (and its futex syscall) is safe. That skip is
+  // what makes saturated steady-state submission syscall-free.
+  if (parked_workers_.load(std::memory_order_seq_cst) == 0) return;
+  // Somebody is (or was just) parked: close the check-then-sleep window by
+  // passing through the mutex, then wake everyone.
+  { std::lock_guard<std::mutex> lk(mu_); }
+  cv_start_.notify_all();
 }
 
 void Scheduler::maybe_expire_deadlines_locked() {
@@ -230,7 +274,42 @@ void Scheduler::maybe_expire_deadlines_locked() {
   expire_deadlines_locked(now);
 }
 
+void Scheduler::splice_inboxes_locked() {
+  for (std::uint32_t l = 0; l < kNumLanes; ++l) {
+    Lane& lane = lanes_[l];
+    RootJob* chain = lane.inbox.drain_fifo();
+    if (chain == nullptr) continue;
+    // Frame epochs are assigned here, under mu_, in splice order — later
+    // than the producer's push, which is safe for arena reclamation: the
+    // watermark only ever covers epochs that have been handed out, and a
+    // job cannot be adopted before it is spliced.
+    RootJob* last = chain;
+    for (RootJob* j = chain; j != nullptr; j = j->next) {
+      j->frame_epoch = ++next_frame_epoch_;
+      j->active_prev = active_tail_;
+      j->active_next = nullptr;
+      if (active_tail_ != nullptr) {
+        active_tail_->active_next = j;
+      } else {
+        active_head_ = j;
+      }
+      active_tail_ = j;
+      last = j;
+    }
+    if (lane.tail != nullptr) {
+      lane.tail->next = chain;
+    } else {
+      lane.head = chain;
+    }
+    lane.tail = last;
+  }
+}
+
 void Scheduler::expire_deadlines_locked(std::uint64_t now) {
+  // The sweep walks the active list, so adopt everything still sitting in
+  // the submit rings first — a job whose deadline passed while queued must
+  // be policed exactly like it was when submit() filled the FIFO directly.
+  splice_inboxes_locked();
   if (deadline_jobs_ == 0) {
     next_deadline_ns_ = 0;
     return;
@@ -251,6 +330,9 @@ void Scheduler::expire_deadlines_locked(std::uint64_t now) {
 
 Scheduler::RootJob* Scheduler::pop_root() {
   std::lock_guard<std::mutex> lk(mu_);
+  // This worker is the consumer: splice everything producers pushed since
+  // the last pop into the lane FIFOs (one drain per lane, whole chains).
+  splice_inboxes_locked();
   // Adoption is a cold boundary: police deadlines here so a root whose
   // deadline passed while queued is adopted already-cancelled and drains as
   // a cheap skip cascade instead of running.
@@ -288,6 +370,10 @@ Scheduler::RootJob* Scheduler::pop_root() {
 }
 
 bool Scheduler::finish_root(RootJob& job) {
+  // Capture the rendezvous BEFORE marking done: a batch job must outlive
+  // its batch (see RootJob::batch), but `job` itself may be freed by a
+  // per-job waiter the instant `done` is visible.
+  BatchSync* const batch = job.batch;
   // Decrement before signalling: wait_idle and the destructor wait on
   // active_jobs_ under mu_ and would otherwise miss the last notification.
   const bool last = active_jobs_.fetch_sub(1, std::memory_order_acq_rel) == 1;
@@ -316,6 +402,17 @@ bool Scheduler::finish_root(RootJob& job) {
     job.done.store(true, std::memory_order_release);
   }
   cv_done_.notify_all();
+  // Batch completion coalescing: only the LAST job of a batch wakes the
+  // batch waiter, so wait_batch() costs one park + one wake per batch no
+  // matter how many roots it covers. The fetch_sub chain's release
+  // sequence makes every job's results visible to whoever observes zero.
+  // Touching `batch` here is safe: batch jobs stay alive until remaining
+  // drains, and the waiter re-acquires batch->m before tearing it down.
+  if (batch != nullptr &&
+      batch->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lk(batch->m);
+    batch->cv.notify_all();
+  }
   return last;  // `job` may be freed by its waiter from here on
 }
 
@@ -398,13 +495,88 @@ bool Scheduler::wait_impl(const RootJob& job, std::uint64_t wait_deadline_ns) {
   }
 }
 
+void Scheduler::wait_batch(RootJob* const* jobs, std::size_t n,
+                           BatchSync& sync) {
+  // Police only this batch's deadlines: the scheduler-global boundaries
+  // (adoption, completion, per-job waiters) keep covering everything else,
+  // and scanning our own n jobs is what keeps this waiter parked on the
+  // batch cv instead of the global cv_done_.
+  bool deadline_sensitive = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (jobs[i]->deadline_ns != 0) {
+      deadline_sensitive = true;
+      break;
+    }
+  }
+  // Expires every passed deadline in the batch; returns the earliest
+  // still-pending instant (0 = none left to police).
+  const auto police = [&](std::uint64_t now) -> std::uint64_t {
+    std::uint64_t next = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      RootJob& job = *jobs[i];
+      if (job.deadline_ns == 0) continue;
+      if (now >= job.deadline_ns) {
+        job.try_cancel(CancelReason::kDeadline);
+      } else if (next == 0 || job.deadline_ns < next) {
+        next = job.deadline_ns;
+      }
+    }
+    return next;
+  };
+  if (Worker* w = current()) {
+    // Workers help instead of blocking, exactly like wait() — a batch
+    // submitted from inside a task drains even on a one-worker pool.
+    Backoff backoff;
+    while (sync.remaining.load(std::memory_order_acquire) > 0) {
+      const bool progressed = try_progress(*w);
+      if (deadline_sensitive) police(now_ns());
+      if (progressed) {
+        backoff.reset();
+      } else {
+        backoff.pause();
+      }
+    }
+    // Synchronize with the last finisher's notify before the caller may
+    // recycle the jobs or destroy `sync` (see BatchSync).
+    std::lock_guard<std::mutex> lk(sync.m);
+    return;
+  }
+  // External thread: the same bounded spin as wait(), then ONE park on the
+  // batch's own condition variable. Per-root completions never wake us —
+  // only the last finisher signals — so a batch of N costs one sleep/wake
+  // pair instead of N.
+  Backoff backoff;
+  const int spin_limit = wait_spin_limit();
+  for (int spin = 0; spin < spin_limit; ++spin) {
+    if (sync.remaining.load(std::memory_order_acquire) == 0) {
+      std::lock_guard<std::mutex> lk(sync.m);
+      return;
+    }
+    backoff.pause();
+  }
+  std::unique_lock<std::mutex> lk(sync.m);
+  while (sync.remaining.load(std::memory_order_acquire) > 0) {
+    if (!deadline_sensitive) {
+      sync.cv.wait(lk);
+      continue;
+    }
+    const std::uint64_t wake = police(now_ns());
+    if (wake == 0) {
+      sync.cv.wait(lk);
+    } else {
+      sync.cv.wait_until(lk, std::chrono::steady_clock::time_point(
+                                 std::chrono::nanoseconds(wake)));
+    }
+  }
+}
+
 void Scheduler::wait_idle() {
   NABBITC_CHECK_MSG(current() == nullptr,
                     "Scheduler::wait_idle must not be called from a worker thread");
   std::unique_lock<std::mutex> lk(mu_);
   cv_done_.wait(lk, [&] {
     return active_jobs_.load(std::memory_order_acquire) == 0 &&
-           parked_workers_ == num_workers();
+           parked_workers_.load(std::memory_order_acquire) == num_workers();
   });
 }
 
@@ -426,15 +598,19 @@ void Scheduler::worker_main(std::uint32_t index) {
   for (;;) {
     {
       std::unique_lock<std::mutex> lk(mu_);
-      ++parked_workers_;
-      if (parked_workers_ == num_workers() &&
+      // seq_cst RMW before the seq_cst predicate load: the parker half of
+      // the wake-elision handshake (see wake_workers) — a submitter that
+      // misses this increment is guaranteed we see its active_jobs_ bump.
+      const std::uint32_t parked =
+          parked_workers_.fetch_add(1, std::memory_order_seq_cst) + 1;
+      if (parked == num_workers() &&
           active_jobs_.load(std::memory_order_acquire) == 0) {
         cv_done_.notify_all();  // wait_idle watches for full quiescence
       }
       cv_start_.wait(lk, [&] {
-        return shutdown_ || active_jobs_.load(std::memory_order_acquire) > 0;
+        return shutdown_ || active_jobs_.load(std::memory_order_seq_cst) > 0;
       });
-      --parked_workers_;
+      parked_workers_.fetch_sub(1, std::memory_order_seq_cst);
       if (shutdown_) return;
     }
     service_loop(w);

@@ -14,7 +14,15 @@
 // single-job callers (and the api::Runtime façade's run()) build on.
 //
 // Submission control: the injection queue is a small fixed set of priority
-// lanes. Workers adopting a root prefer the highest non-empty lane, but
+// lanes, each fronted by a lock-free MPSC submit ring (rt/submit_ring.h):
+// producers push per-batch chains with one CAS and never take mu_; whichever
+// worker pops next splices the rings into the lane FIFOs under mu_, so
+// lane ordering, starvation bounding, and deadline policing are unchanged
+// from the mutex-guarded design while submitters stay wait-free.
+// submit_batch() amortizes the remaining per-root costs (epoch bump, wake,
+// deadline arming) across N roots and supports completion coalescing: a
+// BatchSync rendezvous whose waiter parks ONCE for the whole batch.
+// Workers adopting a root prefer the highest non-empty lane, but
 // draining is starvation-bounded — a lower lane bypassed kLaneStarvationBound
 // times in a row gets the next pop regardless, so background work always
 // progresses under sustained high-priority traffic. Roots also carry a
@@ -50,6 +58,7 @@
 #include "rt/deque.h"
 #include "rt/status.h"
 #include "rt/steal_policy.h"
+#include "rt/submit_ring.h"
 #include "rt/task.h"
 #include "support/align.h"
 #include "support/rng.h"
@@ -207,6 +216,18 @@ class Scheduler {
   /// regardless of higher-lane backlog — the starvation bound.
   static constexpr std::uint32_t kLaneStarvationBound = 8;
 
+  /// Completion rendezvous for one submit_batch(). finish_root decrements
+  /// `remaining`; the LAST completion takes `m` and signals `cv`, so a
+  /// batch waiter parks once for the whole batch instead of being woken
+  /// per root. Lifetime contract: must outlive every job submitted with it
+  /// — call wait_batch() (which ends by acquiring `m`, synchronizing with
+  /// the final signaller) before destroying it or recycling its jobs.
+  struct BatchSync {
+    std::atomic<std::uint32_t> remaining{0};
+    std::mutex m;
+    std::condition_variable cv;
+  };
+
   /// One unit of submittable root work. The submitter owns the storage; it
   /// must stay alive until `done` (i.e. until wait() returns). `fn` runs on
   /// whichever worker adopts the job and must not return before all work it
@@ -216,7 +237,14 @@ class Scheduler {
   struct RootJob {
     std::function<void(Worker&)> fn;
     std::atomic<bool> done{false};
-    RootJob* next = nullptr;  // intrusive injection-queue link
+    /// Intrusive link: submit-ring chain while queued in a lane inbox, then
+    /// lane-FIFO link after the consumer splices (see rt/submit_ring.h).
+    RootJob* next = nullptr;
+    /// Batch completion rendezvous, or null for singleton submissions. Set
+    /// by submit_batch(); read by finish_root. When non-null the job must
+    /// stay alive until the batch's `remaining` hits zero, not just until
+    /// `done` — BatchSync::remaining is decremented AFTER `done` is set.
+    BatchSync* batch = nullptr;
     /// Frame epoch assigned at submit() (monotone); tags every arena block
     /// this job's frames land in (see rt/arena.h).
     std::uint64_t frame_epoch = 0;
@@ -261,8 +289,28 @@ class Scheduler {
   Scheduler& operator=(const Scheduler&) = delete;
 
   /// Enqueues `job` for execution on the pool. Thread-safe; may be called
-  /// from external threads and from workers. Non-blocking.
+  /// from external threads and from workers. Non-blocking and lock-free on
+  /// the producer side (one CAS into the lane's submit ring; the worker
+  /// wake takes mu_ only when someone is actually parked).
   void submit(RootJob& job);
+
+  /// Enqueues `n` jobs as ONE submission batch: one epoch/active-count
+  /// bump, one ring CAS per distinct lane, one deadline-horizon update,
+  /// and one worker wake for the whole batch. Jobs may target different
+  /// lanes and carry individual deadlines; per-lane FIFO order follows the
+  /// array order. When `sync` is non-null it is armed to `n` and every
+  /// job's completion decrements it — pair with wait_batch() for a
+  /// one-park wait over the whole batch. Thread-safe, non-blocking.
+  void submit_batch(RootJob* const* jobs, std::size_t n,
+                    BatchSync* sync = nullptr);
+
+  /// Returns when every job of the batch armed on `sync` has completed
+  /// (sync->remaining == 0). External threads park ONCE on the batch's own
+  /// condition variable (per-root completions do not wake them); worker
+  /// threads help instead of blocking, exactly like wait(). Waiters police
+  /// the batch's own deadlines via timed sleeps, mirroring wait(). `jobs`
+  /// must be the batch passed to submit_batch.
+  void wait_batch(RootJob* const* jobs, std::size_t n, BatchSync& sync);
 
   /// Returns when `job.fn` has returned. External threads block on a
   /// condition variable; a worker thread HELPS instead of blocking — it
@@ -357,8 +405,19 @@ class Scheduler {
   /// epoch is visible. Called before w runs any newly acquired work.
   void rearm_epoch(Worker& w);
   RootJob* pop_root();
+  /// Drains every lane's submit ring into its FIFO: assigns frame epochs,
+  /// appends to the epoch-ordered active list, and links the chain onto the
+  /// lane tail. Requires mu_. Called at the consumer boundaries (pop_root,
+  /// deadline sweeps) so everything ordering-sensitive still happens under
+  /// the one lock while producers stay lock-free.
+  void splice_inboxes_locked();
+  /// Wakes parked workers after publishing new work, eliding the mutex+
+  /// notify entirely when nobody is parked (the common saturated case).
+  void wake_workers() noexcept;
   /// Cancels every active job whose deadline has passed (first writer
   /// wins) and recomputes next_deadline_ns_. Requires mu_; O(active jobs).
+  /// Splices the submit rings first so queued-but-unspliced jobs are
+  /// policed exactly like queued jobs were under the mutex-guarded design.
   void expire_deadlines_locked(std::uint64_t now);
   /// expire_deadlines_locked, gated on next_deadline_ns_ actually having
   /// passed — the adoption/completion boundaries use this so far-future
@@ -380,17 +439,24 @@ class Scheduler {
   std::mutex mu_;
   std::condition_variable cv_start_;  // workers park here while idle
   std::condition_variable cv_done_;   // submitters wait here (and wait_idle)
-  /// One FIFO injection lane per priority, under mu_. `bypassed` counts
-  /// consecutive pops that preferred a higher lane while this one had a
-  /// waiter; at kLaneStarvationBound the lane gets the pop (see pop_root).
-  struct Lane {
+  /// One injection lane per priority. Producers touch only `inbox` (lock-
+  /// free); the spliced FIFO (`head`/`tail`) and `bypassed` live under mu_.
+  /// `bypassed` counts consecutive pops that preferred a higher lane while
+  /// this one had a waiter; at kLaneStarvationBound the lane gets the pop
+  /// (see pop_root). Cache-line aligned so producer CAS traffic on one
+  /// lane's inbox never false-shares with another lane or with mu_.
+  struct alignas(kCacheLine) Lane {
+    SubmitRing<RootJob> inbox;
     RootJob* head = nullptr;
     RootJob* tail = nullptr;
     std::uint32_t bypassed = 0;
   };
   Lane lanes_[kNumLanes];
-  std::uint32_t parked_workers_ = 0;  // under mu_
-  bool shutdown_ = false;             // under mu_
+  /// Count of workers parked on cv_start_. Modified only under mu_ (in
+  /// worker_main), but read LOCK-FREE by submitters deciding whether a
+  /// wake is needed at all — see the seq_cst handshake in wake_workers().
+  std::atomic<std::uint32_t> parked_workers_{0};
+  bool shutdown_ = false;  // under mu_
   /// Active jobs with an armed deadline; gates the expiry sweep so
   /// deadline-free workloads never read the clock for it. Under mu_.
   std::uint32_t deadline_jobs_ = 0;

@@ -1,0 +1,74 @@
+// Lock-free MPSC submission inbox: the injection lanes' front door.
+//
+// Producers (any thread calling Scheduler::submit/submit_batch) push an
+// intrusive chain of nodes with ONE compare-exchange per batch — no mutex,
+// no allocation, no per-node CAS. The single consumer (whichever worker
+// splices under the scheduler's mu_) takes the whole stack with one
+// exchange and reverses it in place to recover FIFO order.
+//
+// FIFO contract: each producer links its batch NEWEST-first before the
+// push (node[k].next = node[k-1], head = newest, tail = oldest), so the
+// inbox holds a stack of reversed batches with the most recent push on
+// top. One node-wise reversal at drain therefore restores both the
+// intra-batch submission order and the oldest-batch-first order across
+// pushes — the consumer sees exactly the order a mutex-guarded queue
+// would have produced.
+//
+// Memory ordering: the push CAS is a release and the drain exchange an
+// acquire, so everything a producer wrote into its nodes before pushing
+// (job function, lane, deadline, payload) is visible to the consumer.
+#pragma once
+
+#include <atomic>
+
+namespace nabbitc::rt {
+
+/// Intrusive MPSC inbox over any node type with a `T* next` member. The
+/// caller owns the node storage; the ring never allocates.
+template <typename T>
+class SubmitRing {
+ public:
+  SubmitRing() noexcept = default;
+  SubmitRing(const SubmitRing&) = delete;
+  SubmitRing& operator=(const SubmitRing&) = delete;
+
+  /// Pushes a pre-linked chain `head -> ... -> tail` (newest-first; see the
+  /// FIFO contract above). One CAS per call, retried only under concurrent
+  /// producer contention. `head == tail` pushes a single node.
+  void push_chain(T* head, T* tail) noexcept {
+    T* old_top = top_.load(std::memory_order_relaxed);
+    do {
+      tail->next = old_top;
+    } while (!top_.compare_exchange_weak(old_top, head,
+                                         std::memory_order_release,
+                                         std::memory_order_relaxed));
+  }
+
+  void push(T* node) noexcept { push_chain(node, node); }
+
+  /// Consumer side: detaches everything pushed so far and returns it
+  /// oldest-first, linked through `next` (last node's next is null).
+  /// Single consumer at a time (the scheduler calls this under mu_).
+  T* drain_fifo() noexcept {
+    T* top = top_.exchange(nullptr, std::memory_order_acquire);
+    T* fifo = nullptr;
+    while (top != nullptr) {
+      T* next = top->next;
+      top->next = fifo;
+      fifo = top;
+      top = next;
+    }
+    return fifo;
+  }
+
+  /// Racy peek; pairs with the inject-count hint in the scheduler (a false
+  /// negative is benign — the producer's count increment follows the push).
+  bool empty() const noexcept {
+    return top_.load(std::memory_order_acquire) == nullptr;
+  }
+
+ private:
+  std::atomic<T*> top_{nullptr};
+};
+
+}  // namespace nabbitc::rt

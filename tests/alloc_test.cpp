@@ -169,5 +169,54 @@ TEST(AllocationFreeHotPath, SteadyStateSubmissionsStayAllocationFreePerNode) {
       << ", last=" << last << ")";
 }
 
+TEST(AllocationFreeHotPath, BatchSubmissionSteadyStateIsAllocationFree) {
+  // The batched serving hot path: at batch <= BatchHandle::kInlineItems the
+  // handle embeds its instance/job arrays, acquire_batch pops pooled
+  // instances under one freelist lock, the MPSC submit ring links the jobs
+  // intrusively (no queue nodes), and wait_all parks on the rendezvous
+  // embedded in the handle — so a steady-state submit_batch + wait_all
+  // round trip performs ZERO heap allocations, stricter than the per-node
+  // bounds above.
+  auto rt = make_runtime();
+  constexpr std::uint32_t kSide = 12;
+  constexpr std::size_t kBatch = api::BatchHandle::kInlineItems;
+  std::atomic<std::uint64_t> acc{0};
+  GridSpec spec(&acc, kSide);
+  auto plan =
+      rt.compile(spec, key_pack(kSide - 1, kSide - 1),
+                 /*reserve_instances=*/kBatch);
+
+  // Warm up: pool depth, worker frame arenas, lane inboxes.
+  for (int i = 0; i < 4; ++i) {
+    auto warm = rt.submit_batch(*plan, kBatch);
+    warm.wait_all();
+  }
+  rt.wait_idle();
+
+  constexpr int kRounds = 4;
+  std::size_t completed = 0;
+  g_allocs.store(0, std::memory_order_relaxed);
+  g_counting.store(true, std::memory_order_release);
+  for (int i = 0; i < kRounds; ++i) {
+    auto batch = rt.submit_batch(*plan, kBatch);
+    batch.wait_all();
+    // No gtest assertions inside the counting window (they allocate);
+    // tally plain counters and check after.
+    for (std::size_t j = 0; j < kBatch; ++j) {
+      completed += batch.status(j).state == api::ExecStatus::kCompleted;
+    }
+  }
+  g_counting.store(false, std::memory_order_release);
+
+  EXPECT_EQ(g_allocs.load(std::memory_order_relaxed), 0u)
+      << "steady-state submit_batch heap-allocated";
+  EXPECT_EQ(completed, kRounds * kBatch);
+  std::uint64_t per_run = 0;
+  for (std::uint32_t i = 0; i < kSide; ++i) {
+    for (std::uint32_t j = 0; j < kSide; ++j) per_run += key_pack(i, j);
+  }
+  EXPECT_EQ(acc.load(), per_run * (4 + kRounds) * kBatch);
+}
+
 }  // namespace
 }  // namespace nabbitc::nabbit

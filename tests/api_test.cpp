@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <cstring>
 #include <memory>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -661,6 +662,214 @@ TEST(SubmissionControl, DeadlineInBuildsFutureDeadlines) {
   Execution e = rt.run(spec, key_pack(5, 5), so);
   EXPECT_EQ(e.status().state, ExecStatus::kCompleted);
   EXPECT_EQ(g.checksum(), WaveGrid::expected_checksum(6, 9));
+}
+
+// ----------------------------------------------------- batched submission
+//
+// BatchHandle semantics through the façade: N replays of one compiled plan
+// enter as a single scheduler batch, but every per-item knob (priority,
+// deadline, cancel, status) behaves exactly as it does for a lone submit().
+
+namespace {
+
+/// Wavefront grid whose nodes bump a shared atomic counter — the per-node
+/// side effect is identical across replays, so concurrent batch items of
+/// ONE plan are race-free and every completed item adds exactly n*n.
+struct CountGridSpec final : GraphSpec {
+  std::atomic<std::uint64_t>* acc;
+  std::uint32_t n;
+  CountGridSpec(std::atomic<std::uint64_t>* a, std::uint32_t side)
+      : acc(a), n(side) {}
+
+  struct Node final : TaskGraphNode {
+    std::atomic<std::uint64_t>* acc;
+    explicit Node(std::atomic<std::uint64_t>* a) : acc(a) {}
+    void init(ExecContext&) override {
+      const std::uint32_t i = key_major(key()), j = key_minor(key());
+      if (i > 0) add_predecessor(key_pack(i - 1, j));
+      if (j > 0) add_predecessor(key_pack(i, j - 1));
+    }
+    void compute(ExecContext&) override {
+      acc->fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+
+  TaskGraphNode* create(NodeArena& arena, Key) override {
+    return arena.create<Node>(acc);
+  }
+  std::size_t expected_nodes() const override { return std::size_t{n} * n; }
+};
+
+Runtime two_worker_runtime() {
+  RuntimeOptions opts;
+  opts.workers = 2;
+  opts.variant = Variant::kNabbitC;
+  return Runtime(opts);
+}
+
+}  // namespace
+
+TEST(BatchSubmission, WaitAllCompletesEveryItem) {
+  auto rt = two_worker_runtime();
+  constexpr std::uint32_t kSide = 6;
+  constexpr std::size_t kBatch = 8;
+  std::atomic<std::uint64_t> acc{0};
+  CountGridSpec spec(&acc, kSide);
+  auto plan = rt.compile(spec, key_pack(kSide - 1, kSide - 1),
+                         /*reserve_instances=*/kBatch);
+
+  const std::uint64_t nodes = std::uint64_t{kSide} * kSide;
+  {
+    auto batch = rt.submit_batch(*plan, kBatch);
+    EXPECT_EQ(batch.size(), kBatch);
+    batch.wait_all();
+    EXPECT_TRUE(batch.all_done());
+    for (std::size_t i = 0; i < kBatch; ++i) {
+      EXPECT_EQ(batch.status(i).state, ExecStatus::kCompleted) << "item " << i;
+      EXPECT_EQ(batch.status(i).skipped_nodes, 0u);
+      EXPECT_EQ(batch.nodes_computed(i), nodes);
+      EXPECT_NE(batch.find(i, key_pack(kSide - 1, kSide - 1)), nullptr);
+    }
+    EXPECT_EQ(acc.load(), nodes * kBatch);
+  }
+
+  // The dropped handle recycled its instances: a second batch reuses the
+  // whole pool with no new builds.
+  const std::size_t built = plan->instances_built();
+  auto again = rt.submit_batch(*plan, kBatch);
+  again.wait_all();
+  EXPECT_EQ(plan->instances_built(), built);
+  EXPECT_EQ(acc.load(), nodes * kBatch * 2);
+}
+
+TEST(BatchSubmission, PerItemOptionsControlEachItemIndependently) {
+  auto rt = two_worker_runtime();
+  constexpr std::uint32_t kSide = 5;
+  std::atomic<std::uint64_t> acc{0};
+  CountGridSpec spec(&acc, kSide);
+  auto plan = rt.compile(spec, key_pack(kSide - 1, kSide - 1),
+                         /*reserve_instances=*/4);
+
+  std::vector<SubmitOptions> items(4);
+  items[1].priority = Priority::kHigh;
+  items[1].name = "hot-item";
+  items[2].deadline_ns = 1;  // long past: expires at adoption
+  auto batch = rt.submit_batch(*plan, std::span<const SubmitOptions>(items));
+  batch.wait_all();
+
+  const std::uint64_t nodes = std::uint64_t{kSide} * kSide;
+  EXPECT_EQ(batch.status(0).state, ExecStatus::kCompleted);
+  EXPECT_EQ(batch.status(1).state, ExecStatus::kCompleted);
+  EXPECT_STREQ(batch.name(1), "hot-item");
+  EXPECT_EQ(batch.name(0), nullptr);
+  // The expired item alone pays the deadline; its batchmates are whole.
+  EXPECT_EQ(batch.status(2).state, ExecStatus::kDeadlineExceeded);
+  EXPECT_EQ(batch.nodes_computed(2), 0u);
+  EXPECT_EQ(batch.status(2).skipped_nodes, nodes);
+  EXPECT_EQ(batch.status(3).state, ExecStatus::kCompleted);
+  EXPECT_EQ(acc.load(), nodes * 3);
+  rt.wait_idle();
+  EXPECT_EQ(rt.counters().roots_deadline_expired, 1u);
+}
+
+TEST(BatchSubmission, EmptyHandleIsInertAndIdempotent) {
+  BatchHandle h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.size(), 0u);
+  EXPECT_TRUE(h.all_done());
+  h.wait_all();
+  h.wait_all();  // idempotent
+  h.cancel_all();
+}
+
+TEST(BatchSubmission, PerItemCancelOnlySkipsThatItem) {
+  // Deterministic mid-flight cancel: on a 1-worker pool a blocker pins the
+  // whole batch in the queued state, so cancel(i) lands before adoption and
+  // item i must skip everything while its batchmates complete untouched.
+  auto rt = one_worker_runtime();
+  std::atomic<bool> started{false}, release{false};
+  BlockChainSpec blocker_spec(&started, &release, 2);
+  constexpr std::uint32_t kSide = 5;
+  std::atomic<std::uint64_t> acc{0};
+  CountGridSpec spec(&acc, kSide);
+  auto plan = rt.compile(spec, key_pack(kSide - 1, kSide - 1),
+                         /*reserve_instances=*/5);
+
+  Execution b = rt.submit(blocker_spec, 1);
+  Backoff backoff;
+  while (!started.load(std::memory_order_acquire)) backoff.pause();
+
+  auto batch = rt.submit_batch(*plan, 3);
+  batch.cancel(1);
+  auto doomed = rt.submit_batch(*plan, 2);
+  doomed.cancel_all();
+
+  release.store(true, std::memory_order_release);
+  batch.wait_all();
+  doomed.wait_all();
+  b.wait();
+
+  const std::uint64_t nodes = std::uint64_t{kSide} * kSide;
+  EXPECT_EQ(batch.status(0).state, ExecStatus::kCompleted);
+  EXPECT_EQ(batch.status(1).state, ExecStatus::kCancelled);
+  EXPECT_EQ(batch.nodes_computed(1), 0u);
+  EXPECT_EQ(batch.status(1).skipped_nodes, nodes);
+  EXPECT_EQ(batch.status(2).state, ExecStatus::kCompleted);
+  EXPECT_EQ(doomed.status(0).state, ExecStatus::kCancelled);
+  EXPECT_EQ(doomed.status(1).state, ExecStatus::kCancelled);
+  EXPECT_EQ(acc.load(), nodes * 2);
+}
+
+TEST(BatchSubmission, LargerThanInlineBatchSpillsAndStillCompletes) {
+  auto rt = two_worker_runtime();
+  constexpr std::uint32_t kSide = 4;
+  constexpr std::size_t kBatch = BatchHandle::kInlineItems + 8;
+  std::atomic<std::uint64_t> acc{0};
+  CountGridSpec spec(&acc, kSide);
+  auto plan = rt.compile(spec, key_pack(kSide - 1, kSide - 1),
+                         /*reserve_instances=*/kBatch);
+
+  auto batch = rt.submit_batch(*plan, kBatch);
+  batch.wait_all();
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    EXPECT_EQ(batch.status(i).state, ExecStatus::kCompleted) << "item " << i;
+  }
+  EXPECT_EQ(acc.load(), std::uint64_t{kSide} * kSide * kBatch);
+}
+
+TEST(BatchSubmission, ArrayOverloadYieldsIndividuallyOwnedExecutions) {
+  // The net-serving shape: one amortized batch submission, N independent
+  // Execution handles — each waits and recycles on its own.
+  auto rt = two_worker_runtime();
+  constexpr std::uint32_t kSide = 5;
+  constexpr std::size_t kN = 5;
+  std::atomic<std::uint64_t> acc{0};
+  CountGridSpec spec(&acc, kSide);
+  auto plan = rt.compile(spec, key_pack(kSide - 1, kSide - 1),
+                         /*reserve_instances=*/kN);
+
+  std::vector<SubmitOptions> items(kN);
+  items[2].name = "third";
+  items[4].deadline_ns = 1;  // expired
+  std::vector<Execution> execs(kN);
+  rt.submit_batch(*plan, std::span<const SubmitOptions>(items), execs.data());
+
+  const std::uint64_t nodes = std::uint64_t{kSide} * kSide;
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_TRUE(execs[i].valid()) << "item " << i;
+    execs[i].wait();
+  }
+  for (std::size_t i = 0; i < kN; ++i) {
+    if (i == 4) {
+      EXPECT_EQ(execs[i].status().state, ExecStatus::kDeadlineExceeded);
+      EXPECT_EQ(execs[i].nodes_computed(), 0u);
+    } else {
+      EXPECT_EQ(execs[i].status().state, ExecStatus::kCompleted);
+      EXPECT_EQ(execs[i].nodes_computed(), nodes);
+    }
+  }
+  EXPECT_STREQ(execs[2].name(), "third");
+  EXPECT_EQ(acc.load(), nodes * (kN - 1));
 }
 
 }  // namespace

@@ -23,13 +23,20 @@
 // watermark, the instance goes back to the plan's freelist, and the next
 // replay of the same instance is bitwise-correct again.
 //
-// Registered as fixed-seed ctest cases (FuzzDag/0..7) so any failure
-// reproduces from the test name alone.
+// The FuzzBatch suite runs the same DAGs through Runtime::submit_batch:
+// randomized batch sizes (including the spill path past
+// BatchHandle::kInlineItems) with mixed per-item priorities, expired
+// absolute deadlines, and mid-flight per-item cancels, asserting the same
+// checksum/retirement/watermark/freelist invariants per item.
+//
+// Registered as fixed-seed ctest cases (FuzzDag/0..7, FuzzBatch/0..7) so
+// any failure reproduces from the test name alone.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -50,7 +57,12 @@ struct FuzzDag {
   std::uint64_t seed = 0;
   std::vector<std::vector<Key>> preds;  // preds[i] < i: topological order
   std::vector<Color> colors;
-  std::vector<std::uint64_t> vals;
+  /// Per-run result buffer. Atomic (relaxed) because batched submissions
+  /// replay the same plan CONCURRENTLY against this one buffer: every
+  /// writer stores the identical pure-function value for a node, so the
+  /// data is deterministic, but the overlapping same-value stores need
+  /// atomicity to be a defined program (and clean under tsan).
+  std::unique_ptr<std::atomic<std::uint64_t>[]> vals;
 
   static constexpr std::uint64_t kUnwritten = 0xfeedfacecafebeefULL;
 
@@ -89,19 +101,28 @@ struct FuzzDag {
       preds[j].push_back(i);
       has_succ[i] = 1;
     }
-    vals.assign(n, kUnwritten);
+    vals.reset(new std::atomic<std::uint64_t>[n]);
+    clear();
   }
 
   Key sink() const noexcept { return n - 1; }
 
-  void clear() { vals.assign(n, kUnwritten); }
+  void clear() {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      vals[i].store(kUnwritten, std::memory_order_relaxed);
+    }
+  }
+
+  std::uint64_t val(std::uint32_t i) const {
+    return vals[i].load(std::memory_order_relaxed);
+  }
 
   /// The node function: a pure mix of the predecessors' values, the graph
   /// seed, and the key — order-independent and collision-hostile.
   std::uint64_t node_value(Key k) const {
     std::uint64_t h = seed ^ (k * 0x9e3779b97f4a7c15ULL);
     for (const Key p : preds[static_cast<std::uint32_t>(k)]) {
-      h = splitmix64(h ^ (vals[static_cast<std::uint32_t>(p)] +
+      h = splitmix64(h ^ (val(static_cast<std::uint32_t>(p)) +
                           0x2545f4914f6cdd1dULL * (p + 1)));
     }
     return splitmix64(h);
@@ -109,7 +130,7 @@ struct FuzzDag {
 
   std::uint64_t checksum() const {
     std::uint64_t h = seed;
-    for (const std::uint64_t v : vals) h = splitmix64(h ^ v);
+    for (std::uint32_t i = 0; i < n; ++i) h = splitmix64(h ^ val(i));
     return h;
   }
 };
@@ -123,7 +144,8 @@ struct FuzzNode final : TaskGraphNode {
     }
   }
   void compute(ExecContext&) override {
-    dag->vals[static_cast<std::uint32_t>(key())] = dag->node_value(key());
+    dag->vals[static_cast<std::uint32_t>(key())].store(
+        dag->node_value(key()), std::memory_order_relaxed);
   }
 };
 
@@ -245,9 +267,9 @@ TEST_P(FuzzDag8, AllVariantsBitwiseEqualAndCancelInvariantsHold) {
         // returning means every task has synced — the slot must still hold
         // the sentinel now and forever after.
         EXPECT_GT(st.skipped_nodes, 0u);
-        EXPECT_EQ(dag.vals[dag.n - 1], FuzzDag::kUnwritten) << round;
+        EXPECT_EQ(dag.val(dag.n - 1), FuzzDag::kUnwritten) << round;
         nc.wait_idle();
-        EXPECT_EQ(dag.vals[dag.n - 1], FuzzDag::kUnwritten)
+        EXPECT_EQ(dag.val(dag.n - 1), FuzzDag::kUnwritten)
             << "sink written after cancel ack, round " << round;
       } else {
         EXPECT_EQ(st.skipped_nodes, 0u);
@@ -282,7 +304,7 @@ TEST_P(FuzzDag8, AllVariantsBitwiseEqualAndCancelInvariantsHold) {
     ASSERT_TRUE(st.state == ExecStatus::kCompleted ||
                 st.state == ExecStatus::kCancelled);
     if (st.state == ExecStatus::kCancelled) {
-      EXPECT_EQ(dag.vals[dag.n - 1], FuzzDag::kUnwritten)
+      EXPECT_EQ(dag.val(dag.n - 1), FuzzDag::kUnwritten)
           << "sink written by a cancelled spec submission";
     } else {
       EXPECT_EQ(dag.checksum(), expected);
@@ -296,6 +318,155 @@ TEST_P(FuzzDag8, AllVariantsBitwiseEqualAndCancelInvariantsHold) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDag8, ::testing::Range(0, 8));
+
+// ------------------------------------------------------------------ batches
+//
+// Randomized batched submission against the serial reference: each round
+// submits one batch with mixed per-item priorities, a sprinkle of
+// already-expired absolute deadlines (deterministically kDeadlineExceeded
+// at adoption, zero nodes computed), and mid-flight per-item cancels. All
+// items replay ONE plan concurrently against the shared value buffer;
+// every node value is a pure function of the DAG, so any interleaving of
+// any subset of items leaves each slot either untouched or holding the
+// serial value — a single completed item forces the whole buffer to the
+// serial checksum. Afterwards the instance-freelist and arena-watermark
+// invariants must hold even when a partially-cancelled batch's handle is
+// dropped without an explicit wait_all().
+
+class FuzzBatch8 : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzBatch8, BatchItemsMatchSerialAndPartialCancelInvariantsHold) {
+  const auto seed = static_cast<std::uint64_t>(GetParam()) * 0x9e3779b9u + 29;
+  FuzzDag dag(seed, /*num_colors=*/2);
+  FuzzSpec spec(&dag);
+  SCOPED_TRACE("seed=" + std::to_string(seed) +
+               " n=" + std::to_string(dag.n));
+
+  SerialExecutor serial(spec);
+  serial.run(dag.sink());
+  ASSERT_EQ(serial.nodes_computed(), dag.n);
+  const std::uint64_t expected = dag.checksum();
+
+  auto nc = make_runtime(Variant::kNabbitC);
+  // Past BatchHandle::kInlineItems, so the spill arrays get exercised too.
+  constexpr std::size_t kMaxBatch = 40;
+  auto plan = nc.compile(spec, dag.sink(), /*reserve_instances=*/kMaxBatch);
+
+  // Warm-up: one full-width batch (settles the instance pool and the arena
+  // watermark for kMaxBatch concurrent replays) plus one fully-cancelled
+  // batch (the skip cascade's own frame-allocation pattern).
+  {
+    dag.clear();
+    auto warm = nc.submit_batch(*plan, kMaxBatch);
+    warm.wait_all();
+    for (std::size_t i = 0; i < kMaxBatch; ++i) {
+      ASSERT_EQ(warm.status(i).state, ExecStatus::kCompleted) << i;
+    }
+    EXPECT_EQ(dag.checksum(), expected) << "warm batch diverged";
+  }
+  {
+    dag.clear();
+    auto warm = nc.submit_batch(*plan, 8);
+    warm.cancel_all();
+    warm.wait_all();
+  }
+  nc.wait_idle();
+  const std::size_t warm_instances = plan->instances_built();
+
+  Pcg32 rng(splitmix64(seed ^ 0xba7c4), /*stream=*/17);
+  const std::size_t sizes[3] = {4 + rng.below(8), 32, kMaxBatch};
+  for (int round = 0; round < 3; ++round) {
+    const std::size_t k = sizes[round];
+    dag.clear();
+    std::vector<SubmitOptions> items(k);
+    std::vector<std::uint8_t> expired(k, 0);
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::uint32_t p = rng.below(3);
+      items[i].priority = p == 0   ? Priority::kHigh
+                          : p == 1 ? Priority::kNormal
+                                   : Priority::kLow;
+      items[i].name = "fuzz-batch";
+      if (rng.below(5) == 0) {
+        items[i].deadline_ns = 1;  // long past: expires at adoption
+        expired[i] = 1;
+      }
+    }
+    auto batch = nc.submit_batch(*plan, std::span<const SubmitOptions>(items));
+    ASSERT_EQ(batch.size(), k);
+
+    // Mid-flight per-item cancels — never on expired items, whose terminal
+    // state must stay kDeadlineExceeded (first-writer-wins is the deadline
+    // sweep's, by construction).
+    std::vector<std::uint8_t> cancelled(k, 0);
+    for (std::size_t i = 0; i < k; ++i) {
+      if (!expired[i] && rng.below(3) == 0) {
+        batch.cancel(i);
+        cancelled[i] = 1;
+      }
+    }
+    batch.wait_all();
+    EXPECT_TRUE(batch.all_done());
+
+    bool any_completed = false;
+    for (std::size_t i = 0; i < k; ++i) {
+      const Status st = batch.status(i);
+      // Every plan node retired exactly once, whatever the outcome.
+      EXPECT_EQ(batch.nodes_computed(i) + st.skipped_nodes, dag.n)
+          << "item " << i << " round " << round;
+      if (expired[i]) {
+        EXPECT_EQ(st.state, ExecStatus::kDeadlineExceeded) << i;
+        EXPECT_EQ(batch.nodes_computed(i), 0u)
+            << "expired-at-submit item ran nodes, item " << i;
+      } else if (cancelled[i]) {
+        ASSERT_TRUE(st.state == ExecStatus::kCompleted ||
+                    st.state == ExecStatus::kCancelled)
+            << i;
+      } else {
+        EXPECT_EQ(st.state, ExecStatus::kCompleted) << i;
+        EXPECT_EQ(st.skipped_nodes, 0u) << i;
+      }
+      any_completed |= st.state == ExecStatus::kCompleted;
+    }
+    if (any_completed) {
+      EXPECT_EQ(dag.checksum(), expected)
+          << "batch diverged from serial, round " << round;
+    }
+  }
+
+  // Settle after the randomized rounds: mixed cancel/deadline batches can
+  // legitimately raise the arena's retained-capacity watermark past the
+  // warm-up's (40 concurrent skip cascades interleave differently), so the
+  // leak check below is against the settled level, not the warm one.
+  nc.wait_idle();
+  EXPECT_EQ(plan->instances_built(), warm_instances)
+      << "randomized batches leaked plan instances";
+  const std::size_t settled_bytes = nc.arena_bytes();
+
+  // Partial-batch cancellation with the handle dropped cold: the
+  // destructor must join the stragglers and recycle every instance.
+  {
+    dag.clear();
+    auto batch = nc.submit_batch(*plan, 12);
+    for (std::size_t i = 0; i < batch.size(); i += 2) batch.cancel(i);
+  }
+  nc.wait_idle();
+  EXPECT_EQ(plan->instances_built(), warm_instances)
+      << "batch items leaked plan instances";
+  EXPECT_LE(nc.arena_bytes(), settled_bytes)
+      << "partial-batch cancellation leaked frame-arena blocks";
+
+  // And the recycled pool still replays bitwise-correctly.
+  dag.clear();
+  auto final_batch = nc.submit_batch(*plan, kMaxBatch);
+  final_batch.wait_all();
+  for (std::size_t i = 0; i < kMaxBatch; ++i) {
+    EXPECT_EQ(final_batch.status(i).state, ExecStatus::kCompleted) << i;
+    EXPECT_EQ(final_batch.nodes_computed(i), dag.n) << i;
+  }
+  EXPECT_EQ(dag.checksum(), expected) << "replay after batch cancels diverged";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzBatch8, ::testing::Range(0, 8));
 
 }  // namespace
 }  // namespace nabbitc::api

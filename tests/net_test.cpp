@@ -262,6 +262,97 @@ TEST(WireProtocol, SubmitRejectsBadPriorityAndOverlongName) {
   EXPECT_FALSE(decode_submit(w2.span(), out, nullptr));
 }
 
+TEST(WireProtocol, SubmitBatchRoundTripsAndParsesStrictly) {
+  SubmitBatchRequest in;
+  in.handle = 0xdeadbeefcafe;
+  in.items.resize(3);
+  in.items[0].payload = 7;
+  in.items[1].payload = 8;
+  in.items[1].priority = 0;  // high
+  in.items[1].deadline_rel_ns = 5'000'000;
+  in.items[1].name = "item-b";
+  in.items[2].payload = 9;
+  in.items[2].priority = 2;  // low
+  WireWriter w;
+  encode_submit_batch(in, w);
+
+  SubmitBatchRequest out;
+  std::string why;
+  ASSERT_TRUE(decode_submit_batch(w.span(), out, &why)) << why;
+  EXPECT_EQ(out.handle, in.handle);
+  ASSERT_EQ(out.items.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(out.items[i].payload, in.items[i].payload);
+    EXPECT_EQ(out.items[i].priority, in.items[i].priority);
+    EXPECT_EQ(out.items[i].deadline_rel_ns, in.items[i].deadline_rel_ns);
+    EXPECT_EQ(out.items[i].name, in.items[i].name);
+  }
+
+  // Strict total parsing, like every other codec: truncation at every byte
+  // boundary fails cleanly, and so do trailing bytes.
+  for (std::size_t keep = 0; keep < w.size(); ++keep) {
+    EXPECT_FALSE(decode_submit_batch({w.data(), keep}, out, &why)) << keep;
+  }
+  std::vector<std::uint8_t> padded(w.data(), w.data() + w.size());
+  padded.push_back(0);
+  EXPECT_FALSE(decode_submit_batch({padded.data(), padded.size()}, out, &why));
+
+  {
+    WireWriter bad;  // zero items
+    bad.u64(1);
+    bad.u32(0);
+    EXPECT_FALSE(decode_submit_batch(bad.span(), out, &why));
+  }
+  {
+    WireWriter bad;  // count over cap (no item bytes needed: count first)
+    bad.u64(1);
+    bad.u32(kMaxBatchItems + 1);
+    EXPECT_FALSE(decode_submit_batch(bad.span(), out, &why));
+  }
+  {
+    SubmitBatchRequest b = in;  // per-item priority out of range
+    b.items[1].priority = 3;
+    WireWriter wb;
+    encode_submit_batch(b, wb);
+    EXPECT_FALSE(decode_submit_batch(wb.span(), out, &why));
+  }
+  {
+    SubmitBatchRequest b = in;  // per-item name over cap
+    b.items[2].name.assign(kMaxNameLen + 1, 'x');
+    WireWriter wb;
+    encode_submit_batch(b, wb);
+    EXPECT_FALSE(decode_submit_batch(wb.span(), out, &why));
+  }
+}
+
+TEST(WireProtocol, SubmittedBatchRoundTripsAndParsesStrictly) {
+  SubmittedBatchMsg in;
+  in.exec_ids = {100, 101, 102};
+  in.rejected = 2;
+  in.busy_scope = static_cast<std::uint8_t>(BusyScope::kGlobal);
+  WireWriter w;
+  encode_submitted_batch(in, w);
+
+  SubmittedBatchMsg out;
+  ASSERT_TRUE(decode_submitted_batch(w.span(), out));
+  EXPECT_EQ(out.exec_ids, in.exec_ids);
+  EXPECT_EQ(out.rejected, 2u);
+  EXPECT_EQ(out.busy_scope, in.busy_scope);
+
+  for (std::size_t keep = 0; keep < w.size(); ++keep) {
+    EXPECT_FALSE(decode_submitted_batch({w.data(), keep}, out)) << keep;
+  }
+  std::vector<std::uint8_t> padded(w.data(), w.data() + w.size());
+  padded.push_back(0);
+  EXPECT_FALSE(decode_submitted_batch({padded.data(), padded.size()}, out));
+
+  WireWriter bad;  // accepted count over cap
+  bad.u32(kMaxBatchItems + 1);
+  bad.u32(0);
+  bad.u8(0);
+  EXPECT_FALSE(decode_submitted_batch(bad.span(), out));
+}
+
 // Fixed-seed fuzz: random bytes and corrupted valid frames must never
 // crash or hang the assembler/decoders — only produce clean errors.
 TEST(WireFuzz, RandomBytesProduceCleanErrorsNotCrashes) {
@@ -579,6 +670,125 @@ TEST(NetService, BusyBackpressurePerSessionAndGlobal) {
   const auto stats = a.stats();
   ASSERT_TRUE(stats);
   EXPECT_GE(stats->rejected_busy, 2u);
+  server.stop();
+}
+
+TEST(NetService, BatchSubmitDeliversPerItemResults) {
+  const std::string path = unique_sock_path("batch");
+  Server server(test_opts(path));
+  std::string err;
+  ASSERT_TRUE(server.start(&err)) << err;
+
+  Client c;
+  ASSERT_TRUE(c.connect_unix(path));
+  const WireGraph g = make_wavefront_wire_graph(6, 21);
+  const auto reg = c.register_graph(g);
+  ASSERT_TRUE(reg) << c.last_error();
+
+  // One frame, five submissions — mixed priorities, a name, and one item
+  // whose (relative) deadline is long expired by adoption time.
+  std::vector<Client::BatchItem> items(5);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    items[i].payload = 0x100 + i;
+  }
+  items[1].priority = api::Priority::kHigh;
+  items[1].name = "batch-item-b";
+  items[3].deadline_rel_ns = 1;
+  const auto batch = c.submit_batch(reg->handle, items);
+  ASSERT_TRUE(batch) << c.last_error();
+  EXPECT_EQ(batch->rejected, 0u);
+  EXPECT_EQ(batch->busy_scope, 0u);
+  ASSERT_EQ(batch->exec_ids.size(), 5u);
+
+  // Results still arrive per item, bitwise-correct per payload.
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const auto r = c.wait_result(batch->exec_ids[i]);
+    ASSERT_TRUE(r) << c.last_error();
+    if (i == 3) {
+      EXPECT_EQ(r->state,
+                static_cast<std::uint8_t>(api::ExecStatus::kDeadlineExceeded));
+      EXPECT_EQ(r->computed, 0u);
+      EXPECT_EQ(r->skipped, 36u);
+    } else {
+      EXPECT_EQ(r->state,
+                static_cast<std::uint8_t>(api::ExecStatus::kCompleted));
+      EXPECT_EQ(r->computed, 36u);
+      EXPECT_EQ(r->sink_value, expected_sink_value(g));
+      EXPECT_EQ(r->result, wire_result(expected_sink_value(g), items[i].payload));
+    }
+  }
+  const auto stats = c.stats();
+  ASSERT_TRUE(stats);
+  EXPECT_EQ(stats->submitted, 5u);
+
+  // Client-side validation: an empty batch never hits the wire.
+  EXPECT_FALSE(c.submit_batch(reg->handle, {}));
+  // Unknown handle: error reply, but the session keeps serving.
+  EXPECT_FALSE(c.submit_batch(0xbad0, items));
+  EXPECT_NE(c.last_error().find("unknown_handle"), std::string::npos)
+      << c.last_error();
+  ASSERT_TRUE(c.stats()) << c.last_error();
+  server.stop();
+}
+
+TEST(NetService, BatchAdmissionAdmitsPrefixAndReportsScope) {
+  const std::string path = unique_sock_path("batchbusy");
+  ServerOptions o = test_opts(path);
+  o.max_inflight_per_session = 2;
+  o.max_inflight_global = 3;
+  Server server(std::move(o));
+  std::string err;
+  ASSERT_TRUE(server.start(&err)) << err;
+
+  // ~60 ms serial chain keeps the admitted prefix in flight while the caps
+  // reject the suffix.
+  const WireGraph slow = make_chain(30, 5, 2'000'000);
+  Client a, b;
+  ASSERT_TRUE(a.connect_unix(path));
+  ASSERT_TRUE(b.connect_unix(path));
+  const auto reg_a = a.register_graph(slow);
+  const auto reg_b = b.register_graph(slow);
+  ASSERT_TRUE(reg_a && reg_b);
+
+  std::vector<Client::BatchItem> four(4);
+  for (std::size_t i = 0; i < four.size(); ++i) four[i].payload = i;
+
+  // Session A: the per-session cap (2) clips the batch first.
+  const auto ba = a.submit_batch(reg_a->handle, four);
+  ASSERT_TRUE(ba) << a.last_error();
+  ASSERT_EQ(ba->exec_ids.size(), 2u);
+  EXPECT_EQ(ba->rejected, 2u);
+  EXPECT_EQ(ba->busy_scope, static_cast<std::uint8_t>(BusyScope::kSession));
+
+  // Session B: its session cap allows 2, but only 1 global slot is left —
+  // the global grab comes up short, so the scope is global.
+  const auto bb = b.submit_batch(reg_b->handle, four);
+  ASSERT_TRUE(bb) << b.last_error();
+  ASSERT_EQ(bb->exec_ids.size(), 1u);
+  EXPECT_EQ(bb->rejected, 3u);
+  EXPECT_EQ(bb->busy_scope, static_cast<std::uint8_t>(BusyScope::kGlobal));
+
+  for (const std::uint64_t id : ba->exec_ids) {
+    const auto r = a.wait_result(id);
+    ASSERT_TRUE(r) << a.last_error();
+    EXPECT_EQ(r->state,
+              static_cast<std::uint8_t>(api::ExecStatus::kCompleted));
+  }
+  ASSERT_TRUE(b.wait_result(bb->exec_ids[0]));
+
+  // Slots freed: a full batch now fits with no rejection.
+  std::vector<Client::BatchItem> two(2);
+  const auto again = b.submit_batch(reg_b->handle, two);
+  ASSERT_TRUE(again) << b.last_error();
+  EXPECT_EQ(again->exec_ids.size(), 2u);
+  EXPECT_EQ(again->rejected, 0u);
+  EXPECT_EQ(again->busy_scope, 0u);
+  for (const std::uint64_t id : again->exec_ids) {
+    ASSERT_TRUE(b.wait_result(id));
+  }
+  const auto stats = a.stats();
+  ASSERT_TRUE(stats);
+  EXPECT_GE(stats->rejected_busy, 5u);
   server.stop();
 }
 

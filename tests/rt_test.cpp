@@ -803,5 +803,172 @@ TEST(SubmissionControl, WaitSpinBudgetSkippedOnSingleWorkerPool) {
   EXPECT_EQ(ran.load(), 1);
 }
 
+// --------------------------------------------------------- batched fronts
+
+TEST(SubmitRing, DrainRestoresGlobalFifoAcrossChainsAndSingles) {
+  struct Node {
+    Node* next = nullptr;
+    int tag = 0;
+  };
+  SubmitRing<Node> ring;
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.drain_fifo(), nullptr);
+
+  Node nodes[7];
+  for (int i = 0; i < 7; ++i) nodes[i].tag = i;
+  // Batch {0,1,2}: pre-linked newest-first (head = 2, tail = 0), per the
+  // ring's FIFO contract.
+  nodes[2].next = &nodes[1];
+  nodes[1].next = &nodes[0];
+  ring.push_chain(&nodes[2], &nodes[0]);
+  ring.push(&nodes[3]);  // singleton between batches
+  nodes[6].next = &nodes[5];
+  nodes[5].next = &nodes[4];
+  ring.push_chain(&nodes[6], &nodes[4]);
+  EXPECT_FALSE(ring.empty());
+
+  // One drain must hand back 0..6 — intra-batch order AND across-push
+  // order, exactly what the old mutex-guarded queue produced.
+  int want = 0;
+  for (Node* n = ring.drain_fifo(); n != nullptr; n = n->next) {
+    EXPECT_EQ(n->tag, want++) << "drain is not globally FIFO";
+  }
+  EXPECT_EQ(want, 7);
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(SubmitRing, ConcurrentProducersLoseNothingAndKeepPerProducerOrder) {
+  struct Node {
+    Node* next = nullptr;
+    int producer = 0;
+    int seq = 0;
+  };
+  constexpr int kProducers = 4, kPerProducer = 512;
+  std::vector<std::vector<Node>> storage(kProducers,
+                                         std::vector<Node>(kPerProducer));
+  SubmitRing<Node> ring;
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        storage[p][i].producer = p;
+        storage[p][i].seq = i;
+        ring.push(&storage[p][i]);
+      }
+    });
+  }
+
+  // Single consumer drains concurrently; each producer's nodes must come
+  // out in their push order (the CAS linearizes pushes, the reversal keeps
+  // them), and all of them must arrive.
+  int seen = 0;
+  int next_seq[kProducers] = {0, 0, 0, 0};
+  while (seen < kProducers * kPerProducer) {
+    for (Node* n = ring.drain_fifo(); n != nullptr; n = n->next) {
+      EXPECT_EQ(n->seq, next_seq[n->producer]++)
+          << "producer " << n->producer << " reordered";
+      ++seen;
+    }
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(SubmissionControl, BatchSubmitRespectsLanePolicyAndFifo) {
+  // One batch with interleaved lanes, queued behind a blocker on a 1-worker
+  // pool: release order must be exactly what serial submits would give —
+  // the high lane in batch order, then the low lane in batch order.
+  api::Runtime rt(test_options(1));
+  Scheduler& sched = rt.scheduler();
+  std::atomic<bool> release{false};
+  std::vector<int> order(6, -1);
+  std::atomic<std::size_t> cursor{0};
+
+  TaggedJob blocker;
+  blocker.release = &release;
+  blocker.bind();
+  sched.submit(blocker.job);
+
+  TaggedJob items[6];
+  Scheduler::RootJob* jobs[6];
+  for (int i = 0; i < 6; ++i) {
+    items[i].tag = i;
+    items[i].order = &order;
+    items[i].cursor = &cursor;
+    items[i].job.lane = (i % 2 == 0) ? 2 : 0;  // evens low, odds high
+    items[i].bind();
+    jobs[i] = &items[i].job;
+  }
+  Scheduler::BatchSync sync;
+  sched.submit_batch(jobs, 6, &sync);
+
+  release.store(true, std::memory_order_release);
+  sched.wait_batch(jobs, 6, sync);
+  sched.wait(blocker.job);
+  EXPECT_EQ(sync.remaining.load(std::memory_order_relaxed), 0u);
+  const int expect[6] = {1, 3, 5, 0, 2, 4};
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(order[i], expect[i]) << "pop position " << i;
+  }
+}
+
+TEST(SubmissionControl, BatchArmsDeadlinesExpiredItemAdoptedCancelled) {
+  // Producer-side deadline arming: an already-expired item inside a batch
+  // must be adopted pre-cancelled (kDeadline), while its batchmates run
+  // normally — and the batch rendezvous still drains to zero.
+  api::Runtime rt(test_options(1));
+  Scheduler& sched = rt.scheduler();
+
+  TaggedJob ok, dead;
+  ok.bind();
+  dead.job.deadline_ns = 1;  // epoch start: long past
+  dead.bind();
+  Scheduler::RootJob* jobs[2] = {&ok.job, &dead.job};
+  Scheduler::BatchSync sync;
+  sched.submit_batch(jobs, 2, &sync);
+  sched.wait_batch(jobs, 2, sync);
+
+  EXPECT_FALSE(ok.saw_cancel);
+  EXPECT_TRUE(dead.saw_cancel);
+  EXPECT_EQ(dead.job.cancel_reason(), CancelReason::kDeadline);
+  rt.wait_idle();
+  EXPECT_EQ(sched.aggregate_counters().roots_deadline_expired, 1u);
+}
+
+TEST(SubmissionControl, ConcurrentBatchProducersAllComplete) {
+  // Several external threads pushing batches through the MPSC front door at
+  // once: every root runs exactly once and every rendezvous drains.
+  api::Runtime rt(test_options(2));
+  Scheduler& sched = rt.scheduler();
+  constexpr int kProducers = 4, kBatches = 8, kPer = 16;
+  std::atomic<int> ran{0};
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      for (int b = 0; b < kBatches; ++b) {
+        Scheduler::RootJob roots[kPer];
+        Scheduler::RootJob* jobs[kPer];
+        for (int i = 0; i < kPer; ++i) {
+          roots[i].fn = [&ran](Worker&) {
+            ran.fetch_add(1, std::memory_order_relaxed);
+          };
+          roots[i].lane = static_cast<std::uint8_t>(i % 3);
+          jobs[i] = &roots[i];
+        }
+        Scheduler::BatchSync sync;
+        sched.submit_batch(jobs, kPer, &sync);
+        sched.wait_batch(jobs, kPer, sync);
+        for (int i = 0; i < kPer; ++i) {
+          EXPECT_TRUE(roots[i].done.load(std::memory_order_acquire));
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(ran.load(), kProducers * kBatches * kPer);
+}
+
 }  // namespace
 }  // namespace nabbitc::rt
