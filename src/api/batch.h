@@ -77,6 +77,10 @@ class BatchHandle {
   /// True once every item is terminal (racy peek; wait_all to synchronize).
   bool all_done() const noexcept;
 
+  /// Every per-item accessor below requires i < size(); out-of-range
+  /// indices (including any index on an empty handle) die on a
+  /// NABBITC_CHECK rather than dereferencing garbage.
+
   /// Item i's terminal report ({kRunning, 0} before it completes) —
   /// identical semantics to Execution::status().
   Status status(std::size_t i) const noexcept;

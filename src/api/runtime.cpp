@@ -497,11 +497,17 @@ bool BatchHandle::all_done() const noexcept {
   return n_ == 0 || sync_.remaining.load(std::memory_order_acquire) == 0;
 }
 
+// The per-item accessors check the index against n_ (which is 0 for a
+// default-constructed handle, where insts_/jobs_ are null): a wrong index
+// dies on the NABBITC_CHECK instead of dereferencing garbage.
+
 Status BatchHandle::status(std::size_t i) const noexcept {
+  NABBITC_CHECK_MSG(i < n_, "BatchHandle::status(i): index out of range");
   return status_of(insts_[i]->exec_state());
 }
 
 void BatchHandle::cancel(std::size_t i) noexcept {
+  NABBITC_CHECK_MSG(i < n_, "BatchHandle::cancel(i): index out of range");
   jobs_[i]->try_cancel(rt::CancelReason::kRequested);
 }
 
@@ -510,14 +516,18 @@ void BatchHandle::cancel_all() noexcept {
 }
 
 std::uint64_t BatchHandle::nodes_computed(std::size_t i) const noexcept {
+  NABBITC_CHECK_MSG(i < n_,
+                    "BatchHandle::nodes_computed(i): index out of range");
   return insts_[i]->nodes_computed();
 }
 
 TaskGraphNode* BatchHandle::find(std::size_t i, Key key) const noexcept {
+  NABBITC_CHECK_MSG(i < n_, "BatchHandle::find(i): index out of range");
   return insts_[i]->find(key);
 }
 
 const char* BatchHandle::name(std::size_t i) const noexcept {
+  NABBITC_CHECK_MSG(i < n_, "BatchHandle::name(i): index out of range");
   return insts_[i]->exec_state().name;
 }
 

@@ -214,23 +214,39 @@ void Scheduler::submit_batch(RootJob* const* jobs, std::size_t n,
                          std::memory_order_seq_cst);
   submit_epoch_.fetch_add(static_cast<std::uint32_t>(n),
                           std::memory_order_relaxed);
+  // Count BEFORE publishing: pop_root's decrement fires only for jobs it
+  // actually popped, and a pop of OUR jobs happens-after the push (ring
+  // release/acquire) which happens-after this add — so the gate can read
+  // transiently high (costing at most one null pop_root) but can never
+  // wrap below zero, which would defeat the inject_count_ fast path until
+  // the producer's add landed.
+  inject_count_.fetch_add(static_cast<std::uint32_t>(n),
+                          std::memory_order_release);
   // Publish: one CAS per distinct lane. From the first push on, `jobs` may
   // be adopted, finished, and freed by waiters (batch jobs only after
   // sync->remaining drains — see RootJob::batch).
-  for (std::uint32_t l = 0; l < kNumLanes; ++l) {
-    if (chain_head[l] != nullptr) {
-      lanes_[l].inbox.push_chain(chain_head[l], chain_tail[l]);
+  const auto publish = [&] {
+    for (std::uint32_t l = 0; l < kNumLanes; ++l) {
+      if (chain_head[l] != nullptr) {
+        lanes_[l].inbox.push_chain(chain_head[l], chain_tail[l]);
+      }
     }
-  }
-  inject_count_.fetch_add(static_cast<std::uint32_t>(n),
-                          std::memory_order_release);
-  // Deadline arming stays a producer duty (one lock for the whole batch)
-  // so the deadline_jobs_ gate and the waiters' wake horizon never lag the
-  // submission; the consumer-side splice touches neither. The jobs are
-  // already pushed, so any sweep that runs after this sees them.
+  };
   bool lowered_deadline_horizon = false;
-  if (deadline_count > 0) {
+  if (deadline_count == 0) {
+    publish();
+  } else {
+    // Deadline batches publish and arm inside ONE mu_ critical section, so
+    // no consumer can observe half the story: a sweep between arming and
+    // publishing would recompute next_deadline_ns_ without these jobs and
+    // lose the horizon; a completion between publishing and arming would
+    // drive the deadline_jobs_ gate transiently below zero (adoption,
+    // sweeps, and completion all hold mu_, so neither can interleave
+    // here). Arming stays a producer duty — the gate and the waiters'
+    // wake horizon never lag the submission — and the common no-deadline
+    // serving path above stays lock-free.
     std::lock_guard<std::mutex> lk(mu_);
+    publish();
     deadline_jobs_ += deadline_count;
     if (next_deadline_ns_ == 0 || min_deadline < next_deadline_ns_) {
       next_deadline_ns_ = min_deadline;
@@ -404,14 +420,36 @@ bool Scheduler::finish_root(RootJob& job) {
   cv_done_.notify_all();
   // Batch completion coalescing: only the LAST job of a batch wakes the
   // batch waiter, so wait_batch() costs one park + one wake per batch no
-  // matter how many roots it covers. The fetch_sub chain's release
-  // sequence makes every job's results visible to whoever observes zero.
-  // Touching `batch` here is safe: batch jobs stay alive until remaining
-  // drains, and the waiter re-acquires batch->m before tearing it down.
-  if (batch != nullptr &&
-      batch->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    std::lock_guard<std::mutex> lk(batch->m);
-    batch->cv.notify_all();
+  // matter how many roots it covers. Non-final completions decrement
+  // lock-free; the FINAL decrement is published while HOLDING batch->m.
+  // That ordering is what makes teardown safe: wait_batch returns only
+  // after it observes remaining == 0 and then acquires batch->m, so any
+  // waiter that saw our zero blocks on the mutex until we have notified
+  // and released — it cannot destroy the rendezvous (or recycle the jobs)
+  // between our decrement and our notify. (Dropping the count to zero
+  // BEFORE taking the lock was a use-after-free: a spinning waiter could
+  // slip through lock/unlock and free the mutex we were about to lock.)
+  // The decrement chain's release sequence makes every job's results
+  // visible to whoever observes zero.
+  if (batch != nullptr) {
+    std::uint32_t cur = batch->remaining.load(std::memory_order_acquire);
+    for (;;) {
+      if (cur == 1) {
+        // We are the last finisher: remaining can only read 1 once the
+        // other n-1 decrements landed, and ours has not — so no other
+        // thread writes `remaining` after this, and exactly one finisher
+        // takes this branch.
+        std::lock_guard<std::mutex> lk(batch->m);
+        batch->remaining.store(0, std::memory_order_release);
+        batch->cv.notify_all();
+        break;
+      }
+      if (batch->remaining.compare_exchange_weak(cur, cur - 1,
+                                                 std::memory_order_acq_rel,
+                                                 std::memory_order_acquire)) {
+        break;
+      }
+    }
   }
   return last;  // `job` may be freed by its waiter from here on
 }

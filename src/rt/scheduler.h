@@ -217,11 +217,14 @@ class Scheduler {
   static constexpr std::uint32_t kLaneStarvationBound = 8;
 
   /// Completion rendezvous for one submit_batch(). finish_root decrements
-  /// `remaining`; the LAST completion takes `m` and signals `cv`, so a
-  /// batch waiter parks once for the whole batch instead of being woken
-  /// per root. Lifetime contract: must outlive every job submitted with it
-  /// — call wait_batch() (which ends by acquiring `m`, synchronizing with
-  /// the final signaller) before destroying it or recycling its jobs.
+  /// `remaining`; the LAST decrement (to zero) is performed while HOLDING
+  /// `m`, then `cv` is signalled — so a batch waiter parks once for the
+  /// whole batch instead of being woken per root, and any thread that
+  /// observes remaining == 0 and then acquires `m` is guaranteed the final
+  /// signaller is done touching the rendezvous. Lifetime contract: must
+  /// outlive every job submitted with it — call wait_batch() (which ends
+  /// by acquiring `m`, synchronizing with the final signaller as above)
+  /// before destroying it or recycling its jobs.
   struct BatchSync {
     std::atomic<std::uint32_t> remaining{0};
     std::mutex m;

@@ -970,5 +970,37 @@ TEST(SubmissionControl, ConcurrentBatchProducersAllComplete) {
   EXPECT_EQ(ran.load(), kProducers * kBatches * kPer);
 }
 
+TEST(SubmissionControl, BatchRendezvousTeardownStress) {
+  // Regression for a use-after-free in the batch rendezvous: the last
+  // finisher used to drop sync.remaining to zero BEFORE taking sync.m, so
+  // a waiter spinning on the lock-free count could observe zero, slip
+  // through its lock/unlock of sync.m, return, and destroy the rendezvous
+  // while the finisher was still about to lock it. The final decrement is
+  // now published under sync.m. Recreating a stack-allocated BatchSync
+  // (and the jobs) every iteration puts freshly freed memory behind the
+  // old window, making the bad interleaving a crash/tsan hit rather than
+  // silent corruption.
+  api::Runtime rt(test_options(2));
+  Scheduler& sched = rt.scheduler();
+  std::atomic<int> ran{0};
+  constexpr int kIters = 4000, kPer = 2;
+  for (int iter = 0; iter < kIters; ++iter) {
+    Scheduler::RootJob roots[kPer];
+    Scheduler::RootJob* jobs[kPer];
+    for (int i = 0; i < kPer; ++i) {
+      roots[i].fn = [&ran](Worker&) {
+        ran.fetch_add(1, std::memory_order_relaxed);
+      };
+      jobs[i] = &roots[i];
+    }
+    {
+      Scheduler::BatchSync sync;
+      sched.submit_batch(jobs, kPer, &sync);
+      sched.wait_batch(jobs, kPer, sync);
+    }  // sync (and then the jobs) destroyed immediately — the old window
+  }
+  EXPECT_EQ(ran.load(), kIters * kPer);
+}
+
 }  // namespace
 }  // namespace nabbitc::rt
