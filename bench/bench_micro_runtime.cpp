@@ -21,11 +21,15 @@
 #include "nabbit/concurrent_map.h"
 #include "nabbit/node.h"
 #include "nabbit/successor_list.h"
+#include "net/protocol.h"
+#include "net/remote_graph.h"
+#include "persist/plan_blob.h"
 #include "rt/arena.h"
 #include "rt/color_mask.h"
 #include "rt/deque.h"
 #include "rt/submit_ring.h"
 #include "support/config.h"
+#include "support/hash.h"
 #include "support/small_vec.h"
 #include "support/timing.h"
 
@@ -365,6 +369,62 @@ void bench_plan_batch_submit(const BenchParams& p) {
          "ns/op");
 }
 
+// Plan persistence (src/persist/): what a daemon pays to compile a
+// 1024-node wire graph from scratch, to serialize the compiled plan into a
+// PlanBlob, and to load one back (full parse validation + restore over the
+// blob's frozen arrays, node functions re-bound from the spec). The
+// headline is plan_blob_load_ns vs plan_compile_ns — the warm-start win a
+// plan cache buys per registered graph; save is the one-time cost of the
+// cache miss that makes every later boot warm.
+void bench_plan_persist(const BenchParams& p) {
+  api::RuntimeOptions ro;
+  ro.workers = 2;
+  ro.variant = api::Variant::kNabbitC;
+  api::Runtime rt(ro);
+  const net::WireGraph g = net::make_random_wire_graph(0x51ed, 1024);
+  net::WireWriter w;
+  net::encode_register(g, w);
+  const std::vector<std::uint8_t> canon(w.span().begin(), w.span().end());
+  const std::uint64_t h = content_hash({canon.data(), canon.size()});
+  net::RemoteGraphSpec spec(g, rt.workers());
+
+  report("plan_compile_ns", best_ns_per_op(p, [&](std::uint64_t n) {
+           for (std::uint64_t i = 0; i < n; ++i) {
+             auto plan = rt.compile(spec, g.sink());
+             do_not_optimize(plan);
+           }
+         }, 4),
+         "ns/op");
+
+  auto plan = rt.compile(spec, g.sink());
+  report("plan_blob_save_ns", best_ns_per_op(p, [&](std::uint64_t n) {
+           for (std::uint64_t i = 0; i < n; ++i) {
+             const auto blob =
+                 persist::serialize_plan(*plan, {canon.data(), canon.size()}, h);
+             do_not_optimize(blob.data());
+           }
+         }, 16),
+         "ns/op");
+
+  const auto blob = std::make_shared<const std::vector<std::uint8_t>>(
+      persist::serialize_plan(*plan, {canon.data(), canon.size()}, h));
+  report("plan_blob_load_ns", best_ns_per_op(p, [&](std::uint64_t n) {
+           for (std::uint64_t i = 0; i < n; ++i) {
+             persist::PlanBlobView view;
+             if (view.parse({blob->data(), blob->size()}) !=
+                 persist::BlobError::kOk) {
+               std::abort();
+             }
+             auto restored =
+                 rt.restore_plan(spec, g.sink(), view.frozen(blob),
+                                 view.colored(), view.count_locality());
+             if (restored == nullptr) std::abort();
+             do_not_optimize(restored);
+           }
+         }, 4),
+         "ns/op");
+}
+
 // The lock-free front door in isolation: one producer pushing 32-node
 // pre-linked chains into a SubmitRing and draining them back out — the
 // per-NODE cost of the CAS+reversal pair that replaced the front-door
@@ -452,6 +512,7 @@ int main(int argc, char** argv) {
       {"runtime_submit", bench_runtime_submit},
       {"plan_replay_submit", bench_plan_replay_submit},
       {"plan_batch_submit", bench_plan_batch_submit},
+      {"plan_persist", bench_plan_persist},
       {"submit_ring_push", bench_submit_ring_push},
   };
   std::printf("NabbitC micro-runtime bench (preset=%s, repeats=%d)\n\n",

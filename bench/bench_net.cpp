@@ -25,6 +25,8 @@
 //
 // batch=N (N > 1) switches clients to kSubmitBatch window refills: one
 // frame (one syscall each way) carries up to N submissions.
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
@@ -38,6 +40,7 @@
 #include "net/client.h"
 #include "net/protocol.h"
 #include "net/server.h"
+#include "persist/mmap_file.h"
 #include "support/config.h"
 #include "support/timing.h"
 
@@ -178,6 +181,49 @@ void run_client(std::uint16_t port, const WireGraph& g, std::uint32_t window,
   out.ok = true;
 }
 
+// ------------------------------------------------------ plan-cache phase
+//
+// Cold vs warm REGISTER latency: boot a daemon on a plan-cache directory,
+// register `regs` DISTINCT graphs over one connection, and time each
+// REGISTER round trip. The cold pass compiles (and persists) every plan;
+// the warm pass — a fresh daemon on the same directory, warm_start off so
+// the load cost lands on the REGISTER itself — restores every plan from
+// disk. The gap is the per-graph warm-start win the cache buys.
+double registration_phase(const std::string& cache_dir, std::uint32_t regs,
+                          std::uint32_t reg_nodes, std::uint32_t workers,
+                          api::Variant variant,
+                          std::uint64_t expect_compiled) {
+  ServerOptions so;
+  so.runtime.workers = workers;
+  so.runtime.variant = variant;
+  so.tcp = true;
+  so.tcp_port = 0;
+  so.plan_cache_dir = cache_dir;
+  so.warm_start = false;  // time the loads inside REGISTER, not start()
+  Server server(std::move(so));
+  std::string err;
+  if (!server.start(&err)) {
+    std::fprintf(stderr, "FAILED to start cache-phase server: %s\n",
+                 err.c_str());
+    std::exit(1);
+  }
+  Client c;
+  check(c.connect_tcp(server.tcp_port()), "cache-phase connect");
+  const std::uint64_t t0 = now_ns();
+  for (std::uint32_t i = 0; i < regs; ++i) {
+    const WireGraph g = make_random_wire_graph(0xCAFEu + i, reg_nodes);
+    const auto reg = c.register_graph(g);
+    check(reg.has_value(), "cache-phase register");
+  }
+  const double per_reg_ns =
+      static_cast<double>(now_ns() - t0) / static_cast<double>(regs);
+  const StatsMsg stats = server.stats();
+  check(stats.plans_compiled == expect_compiled,
+        "cache-phase compile count (plan cache not working?)");
+  server.stop();
+  return per_reg_ns;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -271,6 +317,27 @@ int main(int argc, char** argv) {
   report("arena_bytes_after", static_cast<double>(stats.arena_bytes), "bytes");
 
   server.stop();
+
+  // Cold-vs-warm REGISTER: same graphs, fresh daemons, shared cache dir.
+  {
+    char tmpl[] = "/tmp/nbb-cache-XXXXXX";
+    const char* cache_dir = ::mkdtemp(tmpl);
+    check(cache_dir != nullptr, "mkdtemp for plan cache");
+    const std::uint32_t regs = tiny ? 8 : 16;
+    const std::uint32_t reg_nodes = tiny ? 128 : 256;
+    const double cold_ns = registration_phase(cache_dir, regs, reg_nodes,
+                                              workers, variant,
+                                              /*expect_compiled=*/regs);
+    const double warm_ns = registration_phase(cache_dir, regs, reg_nodes,
+                                              workers, variant,
+                                              /*expect_compiled=*/0);
+    report("register_cold_ns", cold_ns, "ns");
+    report("register_warm_ns", warm_ns, "ns");
+    for (const std::string& name : persist::list_dir(cache_dir)) {
+      persist::remove_file(std::string(cache_dir) + "/" + name);
+    }
+    ::rmdir(cache_dir);
+  }
 
   std::FILE* f = std::fopen(out.c_str(), "w");
   if (f == nullptr) {

@@ -32,15 +32,16 @@ case "${MODE}" in
     ;;
 esac
 
-echo "=== header self-containment: src/api + src/plan + src/net ==="
+echo "=== header self-containment: src/api + src/plan + src/net + src/persist ==="
 # Every public façade header must compile standalone, warning-clean: an
 # embedder's first include may be any one of them. src/plan is part of the
-# public surface (GraphPlan is returned by Runtime::compile), and src/net
+# public surface (GraphPlan is returned by Runtime::compile), src/net
 # is the service embedding surface (Server/Client link against the daemon
-# core from outside the engine).
+# core from outside the engine), and src/persist is the plan-cache surface
+# (PlanBlobView/PlanCacheDir are how embedders warm-start without a daemon).
 HDR_TMP="$(mktemp -d)"
 trap 'rm -rf "${HDR_TMP}"' EXIT
-for h in src/api/*.h src/plan/*.h src/net/*.h; do
+for h in src/api/*.h src/plan/*.h src/net/*.h src/persist/*.h; do
   rel="${h#src/}"
   echo "  ${rel}"
   printf '#include "%s"\n' "${rel}" > "${HDR_TMP}/tu.cpp"
@@ -62,6 +63,7 @@ expected = [
     "map_insert_ns", "map_hit_ns", "successor_add_close_ns",
     "spawn_sync_ns_per_task", "runtime_submit_ns", "plan_replay_submit_ns",
     "plan_batch_submit_ns", "submit_ring_push_ns",
+    "plan_compile_ns", "plan_blob_save_ns", "plan_blob_load_ns",
     "dynamic_node_ns", "dynamic_nodes_per_sec",
 ]
 missing = [k for k in expected if k not in d["metrics"]]
@@ -69,7 +71,15 @@ assert not missing, f"missing metrics: {missing}"
 for k in expected:
     v = d["metrics"][k]["value"]
     assert isinstance(v, (int, float)) and v > 0, f"bad value for {k}: {v}"
-print(f"bench-smoke OK: {len(d['metrics'])} metrics")
+m = d["metrics"]
+# Persistence acceptance: loading a blob (parse + validate + restore) must
+# be decisively cheaper than recompiling, or the plan cache buys nothing.
+# The real box shows ~2x; requiring load < compile leaves noise headroom.
+load = m["plan_blob_load_ns"]["value"]
+comp = m["plan_compile_ns"]["value"]
+assert load < comp, f"blob load ({load:.0f} ns) not cheaper than compile ({comp:.0f} ns)"
+print(f"bench-smoke OK: {len(d['metrics'])} metrics, "
+      f"load/compile = {load / comp:.2f}")
 EOF
 else
   echo "bench-smoke skipped (no Release build dir)"
@@ -149,6 +159,7 @@ expected = [
     "clients", "rps_sustained", "submit_result_p50_ns",
     "submit_result_p95_ns", "submit_result_p99_ns", "plans_compiled",
     "busy_rejections", "arena_bytes_after",
+    "register_cold_ns", "register_warm_ns",
 ]
 missing = [k for k in expected if k not in d["metrics"]]
 assert not missing, f"missing metrics: {missing}"
@@ -161,8 +172,14 @@ assert isinstance(p99, (int, float)) and math.isfinite(p99), f"bad p99: {p99}"
 assert 0 < p99 < 60e9, f"submit->RESULT p99 out of range: {p99}"
 assert m["plans_compiled"]["value"] == 1, "shared graph compiled more than once"
 assert m["rps_sustained"]["value"] > 0, "no sustained throughput"
+# Plan-cache acceptance: a REGISTER served from the cache (warm daemon,
+# same cache dir) must beat one that compiles. The real box shows ~5x.
+cold = m["register_cold_ns"]["value"]
+warm = m["register_warm_ns"]["value"]
+assert 0 < warm < cold, f"warm REGISTER ({warm:.0f} ns) not cheaper than cold ({cold:.0f} ns)"
 print(f"bench-net OK: {m['clients']['value']:.0f} clients, "
-      f"p99 = {p99:.0f} ns, rps = {m['rps_sustained']['value']:.0f}")
+      f"p99 = {p99:.0f} ns, rps = {m['rps_sustained']['value']:.0f}, "
+      f"warm/cold register = {warm / cold:.2f}")
 EOF
 else
   echo "bench-net smoke skipped (no Release build dir)"
@@ -192,6 +209,52 @@ else
   echo "serve-smoke skipped (no Release build dir)"
 fi
 
+echo "=== cache-smoke: plan cache survives a daemon restart ==="
+if [ -d "${BENCH_DIR}" ]; then
+  # A typoed cache flag must refuse to start (exit 2), not silently run a
+  # daemon the operator believes is persistent.
+  set +e
+  "${BENCH_DIR}/nabbitc-serve" unix=/tmp/never-bound.sock plan_cashe=/tmp/x \
+    2>/dev/null
+  TYPO_RC=$?
+  set -e
+  [ "${TYPO_RC}" -eq 2 ] || {
+    echo "cache-smoke: typoed flag exited ${TYPO_RC}, want 2" >&2; exit 1;
+  }
+
+  CACHE_DIR="$(mktemp -d /tmp/nabbitc-ci-cache-XXXXXX)"
+  # Boot a daemon on the cache dir, register + run the smoke graph with the
+  # client asserting the server-side compile count, SIGTERM, wait.
+  boot_and_register() {
+    local expect_compiled=$1
+    local sock
+    sock="$(mktemp -u /tmp/nabbitc-ci-XXXXXX.sock)"
+    "${BENCH_DIR}/nabbitc-serve" unix="${sock}" workers=2 \
+      plan_cache="${CACHE_DIR}" &
+    local pid=$!
+    for _ in $(seq 1 100); do
+      [ -S "${sock}" ] && break
+      sleep 0.1
+    done
+    [ -S "${sock}" ] || { echo "cache-smoke: daemon never bound" >&2; kill "${pid}"; return 1; }
+    "${BENCH_DIR}/nabbitc-serve" connect="${sock}" submits=8 side=8 \
+      expect_plans_compiled="${expect_compiled}" \
+      || { echo "cache-smoke: client failed" >&2; kill "${pid}"; return 1; }
+    kill -TERM "${pid}"
+    wait "${pid}"
+    rm -f "${sock}"
+  }
+  # Cold boot: empty cache, the one graph compiles (and persists).
+  boot_and_register 1
+  # Warm restart on the same directory: the acceptance property — zero
+  # compiles; the plan comes back from disk.
+  boot_and_register 0
+  rm -rf "${CACHE_DIR}"
+  echo "cache-smoke OK"
+else
+  echo "cache-smoke skipped (no Release build dir)"
+fi
+
 echo "=== traced smoke run ==="
 SMOKE_DIR="build-ci-release"
 [ -d "${SMOKE_DIR}" ] || SMOKE_DIR="build-ci-debug"
@@ -215,9 +278,10 @@ echo "=== ThreadSanitizer leg (race-prone subset) ==="
 # The CI box has 1 CPU and tsan is ~10x, so this leg builds only the test
 # binaries and runs the race-prone subset: scheduler concurrency and
 # submission control (rt), concurrent submissions (api), concurrent/
-# cancelled plan replays (plan), two randomized-DAG fuzz seeds, and the
+# cancelled plan replays (plan), two randomized-DAG fuzz seeds, the
 # graph service's cross-thread paths (sessions vs. runtime callbacks:
-# shared-plan registration, disconnect-cancel, shutdown drain).
+# shared-plan registration, disconnect-cancel, shutdown drain), and the
+# plan cache's concurrent store/load/forget (persist).
 # Benign-by-design races (the colored-steal peek) are suppressed in
 # tsan.supp, which documents each entry.
 TSAN_DIR="build-ci-tsan"
@@ -228,10 +292,13 @@ cmake -B "${TSAN_DIR}" -S . \
   -DNABBITC_BUILD_BENCH=OFF \
   -DNABBITC_BUILD_EXAMPLES=OFF
 cmake --build "${TSAN_DIR}" -j "${JOBS}" \
-  --target rt_test api_test plan_test fuzz_graph_test net_test
-TSAN_OPTIONS="suppressions=$(pwd)/tsan.supp halt_on_error=1" \
+  --target rt_test api_test plan_test fuzz_graph_test net_test persist_test
+# history_size=7 (max) keeps long-gone access stacks restorable — a report
+# whose peer stack tsan cannot restore bypasses function-scoped
+# suppressions (see tsan.supp) and would fail the leg spuriously.
+TSAN_OPTIONS="suppressions=$(pwd)/tsan.supp halt_on_error=1 history_size=7" \
   ctest --test-dir "${TSAN_DIR}" --output-on-failure --timeout 600 \
-  -R 'SubmissionControl|ConcurrentStealersEachTaskOnce|ConcurrentRootJobsShareThePool|ConcurrentStress|PlanConcurrent|OverlappingSubmissions|SubmitOptionsKeepSteadyState|FuzzDag8.*/[01]$|FuzzBatch8.*/[01]$|SubmitRing|BatchSubmission|SharedPlanCompiledOnceAcrossSessions|BatchSubmitDeliversPerItemResults|BatchAdmissionAdmitsPrefixAndReportsScope|NetDisconnect|NetShutdown'
+  -R 'SubmissionControl|ConcurrentStealersEachTaskOnce|ConcurrentRootJobsShareThePool|ConcurrentStress|PlanConcurrent|OverlappingSubmissions|SubmitOptionsKeepSteadyState|FuzzDag8.*/[01]$|FuzzBatch8.*/[01]$|SubmitRing|BatchSubmission|SharedPlanCompiledOnceAcrossSessions|BatchSubmitDeliversPerItemResults|BatchAdmissionAdmitsPrefixAndReportsScope|NetDisconnect|NetShutdown|PersistConcurrent'
 echo "tsan leg OK"
 
 echo "CI OK"

@@ -218,7 +218,10 @@ const rt::WorkerCounters& Execution::counters() {
         return st_->delta;
       }
     }
-    st_->delta = st_->sched->aggregate_counters();
+    // The _idle snapshot re-waits for quiescence under the scheduler lock:
+    // a foreign submission racing in between wait_idle above and this read
+    // would otherwise race the merge against a worker's counter bumps.
+    st_->delta = st_->sched->aggregate_counters_idle();
     st_->delta.subtract(st_->before);
     st_->finalized = true;
   }
@@ -302,8 +305,11 @@ void arm_attribution_window(detail::ExecutionState& st, rt::Scheduler& sched,
   st.expected_reset_gen = reset_gen.load(std::memory_order_acquire);
   st.attributable = rt::Scheduler::current() == nullptr && !sched.job_active();
   if (st.attributable) {
-    sched.wait_idle();
-    st.before = sched.aggregate_counters();
+    // One atomic wait-for-quiescence + snapshot: a concurrent submitter
+    // between a separate wait_idle and the read would wake workers into
+    // the merge (the delta would be voided as polluted later, but the
+    // racy read itself must not happen).
+    st.before = sched.aggregate_counters_idle();
   }
   st.t_submit_ns = now_ns();
 }
@@ -362,6 +368,25 @@ std::unique_ptr<plan::GraphPlan> Runtime::compile(GraphSpec& spec, Key sink,
   po.count_locality = opts_.count_locality;
   po.reserve_instances = reserve_instances;
   return plan::compile(spec, sink, po);
+}
+
+std::unique_ptr<plan::GraphPlan> Runtime::restore_plan(
+    GraphSpec& spec, Key sink, plan::FrozenPlan frozen, bool artifact_colored,
+    bool artifact_count_locality, std::size_t reserve_instances) {
+  plan::CompileOptions po;
+  po.colored = opts_.variant == Variant::kNabbitC;
+  po.count_locality = opts_.count_locality;
+  po.reserve_instances = reserve_instances;
+  // The artifact must have been produced by a runtime configured like this
+  // one: a colored plan on a random-steal pool (or vice versa) is the
+  // mismatch submit() CHECKs against, and a locality-counting mismatch
+  // would silently change what the replay records. Stale != corrupt —
+  // refuse and let the caller recompile.
+  if (artifact_colored != po.colored ||
+      artifact_count_locality != po.count_locality) {
+    return nullptr;
+  }
+  return plan::restore(spec, sink, po, std::move(frozen));
 }
 
 Execution Runtime::submit(const plan::GraphPlan& plan) {
@@ -598,8 +623,7 @@ const numa::Topology& Runtime::topology() const noexcept {
 }
 
 rt::WorkerCounters Runtime::counters() const {
-  sched_->wait_idle();
-  return sched_->aggregate_counters();
+  return sched_->aggregate_counters_idle();
 }
 
 void Runtime::reset_counters() {

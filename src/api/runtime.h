@@ -44,6 +44,7 @@
 namespace nabbitc::plan {
 class GraphPlan;
 class PlanInstance;
+struct FrozenPlan;
 }  // namespace nabbitc::plan
 
 namespace nabbitc::api {
@@ -200,6 +201,21 @@ class Runtime {
   /// construction and, once the instance pool is warm, no heap allocation.
   std::unique_ptr<plan::GraphPlan> compile(GraphSpec& spec, Key sink,
                                            std::size_t reserve_instances = 1);
+
+  /// Rebuilds a plan from persisted frozen arrays (src/persist/) instead of
+  /// compiling: skips discovery/CSR/coloring/key-table work and goes
+  /// straight to re-binding the spec's node factories. `artifact_colored` /
+  /// `artifact_count_locality` are the options recorded in the artifact;
+  /// restore_plan returns nullptr when they disagree with what compile()
+  /// would derive for THIS runtime (the artifact is stale for this
+  /// configuration), when the frozen arrays fail validation, or when the
+  /// spec does not describe the frozen topology — never aborts, so callers
+  /// can always fall back to compile(). Lifetime rules match compile();
+  /// `frozen.backing` additionally keeps the mapped artifact alive.
+  std::unique_ptr<plan::GraphPlan> restore_plan(
+      GraphSpec& spec, Key sink, plan::FrozenPlan frozen,
+      bool artifact_colored, bool artifact_count_locality,
+      std::size_t reserve_instances = 1);
 
   /// Asynchronously replays a compiled plan: resets a pooled instance
   /// instead of re-creating nodes. Results are bitwise-identical to

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "support/hash.h"
+
 namespace nabbitc::net {
 
 namespace {
@@ -85,14 +87,10 @@ bool decode_register(std::span<const std::uint8_t> body, WireGraph& out,
 std::uint64_t wire_graph_hash(const WireGraph& g) {
   WireWriter w;
   encode_register(g, w);
-  // FNV-1a over the canonical encoding, folded through SplitMix64 for
-  // avalanche. 0 is reserved as "no handle".
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  for (const std::uint8_t b : w.span()) {
-    h = (h ^ b) * 0x100000001b3ULL;
-  }
-  h = splitmix64(h);
-  return h == 0 ? 1 : h;
+  // support/hash.h's content hash of the canonical encoding — the same
+  // function keys PlanBlobs on disk (persist/), so the daemon's registry
+  // and its plan cache agree on handles by construction.
+  return content_hash(w.span());
 }
 
 std::vector<std::uint64_t> expected_values(const WireGraph& g) {
@@ -373,6 +371,8 @@ bool decode_cancel_ack(std::span<const std::uint8_t> body, CancelAckMsg& out) {
 void encode_stats(const StatsMsg& m, WireWriter& w) {
   w.u64(m.registered_specs);
   w.u64(m.plans_compiled);
+  w.u64(m.plans_loaded);
+  w.u64(m.plans_persisted);
   w.u64(m.submitted);
   w.u64(m.completed);
   w.u64(m.cancelled);
@@ -388,6 +388,7 @@ void encode_stats(const StatsMsg& m, WireWriter& w) {
 bool decode_stats(std::span<const std::uint8_t> body, StatsMsg& out) {
   WireReader r(body);
   return r.u64(out.registered_specs) && r.u64(out.plans_compiled) &&
+         r.u64(out.plans_loaded) && r.u64(out.plans_persisted) &&
          r.u64(out.submitted) && r.u64(out.completed) && r.u64(out.cancelled) &&
          r.u64(out.deadline_exceeded) && r.u64(out.rejected_busy) &&
          r.u64(out.protocol_errors) && r.u64(out.sessions_opened) &&

@@ -204,6 +204,8 @@ struct CancelAckMsg {
 struct StatsMsg {
   std::uint64_t registered_specs = 0;  // distinct specs in the registry
   std::uint64_t plans_compiled = 0;    // compile() calls (<= registers received)
+  std::uint64_t plans_loaded = 0;      // plans restored from the plan cache
+  std::uint64_t plans_persisted = 0;   // plan blobs written to the plan cache
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;
   std::uint64_t cancelled = 0;

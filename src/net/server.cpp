@@ -14,7 +14,11 @@
 namespace nabbitc::net {
 
 Server::Server(ServerOptions opts)
-    : opts_(std::move(opts)), runtime_(opts_.runtime) {}
+    : opts_(std::move(opts)), runtime_(opts_.runtime) {
+  if (!opts_.plan_cache_dir.empty()) {
+    plan_cache_ = std::make_unique<persist::PlanCacheDir>(opts_.plan_cache_dir);
+  }
+}
 
 Server::~Server() { stop(); }
 
@@ -26,6 +30,16 @@ bool Server::start(std::string* err) {
   if (!opts_.tcp && opts_.unix_path.empty()) {
     if (err != nullptr) *err = "no listener configured (tcp or unix_path)";
     return false;
+  }
+  if (plan_cache_ != nullptr) {
+    // An unusable cache dir is a config error, not a degraded mode: the
+    // operator asked for persistence, so refuse loudly rather than run
+    // silently cacheless (the same reasoning that makes nabbitc-serve
+    // reject a typoed flag).
+    if (!plan_cache_->ensure_dir(err)) return false;
+    // Warm-start BEFORE the listeners exist: the first REGISTER to arrive
+    // must already find its plan restored.
+    if (opts_.warm_start) warm_start_from_cache();
   }
   if (!wake_.open(err)) return false;
   if (opts_.tcp) {
@@ -130,6 +144,57 @@ void Server::reap_finished_sessions() {
   }
 }
 
+bool Server::restore_entry_from_blob(const persist::PlanCacheDir::Loaded& loaded,
+                                     std::uint64_t handle, SpecEntry& entry) {
+  const persist::PlanBlobView& view = loaded.view;
+  const auto spec_bytes = view.spec_bytes();
+  // The daemon only persists blobs with the canonical encoding embedded —
+  // without it, node functions cannot be re-bound.
+  if (spec_bytes.empty()) return false;
+  WireGraph g;
+  std::string derr;
+  if (!decode_register(spec_bytes, g, &derr)) return false;
+
+  // Frozen keys are wire node indices into g: bound them BEFORE handing
+  // anything to the spec, whose color_of/create index by key. The blob
+  // passed its own structural validation, but that proved internal
+  // consistency — consistency with THIS spec is proved here and by
+  // try_build() inside restore.
+  plan::FrozenPlan f = view.frozen(loaded.file);
+  if (f.n > g.nodes.size()) return false;
+  for (const std::uint64_t k : f.keys) {
+    if (k >= g.nodes.size()) return false;
+  }
+  if (f.keys[0] != g.sink()) return false;
+
+  auto spec = std::make_unique<RemoteGraphSpec>(g, runtime_.workers());
+  auto plan = runtime_.restore_plan(*spec, g.sink(), std::move(f),
+                                    view.colored(), view.count_locality(),
+                                    opts_.reserve_instances);
+  if (plan == nullptr) return false;
+  entry.handle = handle;
+  entry.canon.assign(spec_bytes.begin(), spec_bytes.end());
+  entry.spec = std::move(spec);
+  entry.plan = std::move(plan);
+  return true;
+}
+
+void Server::warm_start_from_cache() {
+  for (const std::uint64_t handle : plan_cache_->scan()) {
+    // load() already refused blobs that fail parsing or whose embedded
+    // spec doesn't hash back to the filename's claim.
+    const persist::PlanCacheDir::Loaded loaded = plan_cache_->load(handle);
+    if (!loaded.hit()) continue;
+    SpecEntry e;
+    if (!restore_entry_from_blob(loaded, handle, e)) continue;
+    {
+      std::lock_guard<std::mutex> lk(reg_mu_);
+      if (!registry_.emplace(handle, std::move(e)).second) continue;
+    }
+    plans_loaded_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
 Server::SpecEntry* Server::register_spec(const WireGraph& g,
                                          bool* compiled_now,
                                          std::string* err) {
@@ -150,6 +215,31 @@ Server::SpecEntry* Server::register_spec(const WireGraph& g,
     return &e;
   }
 
+  // Registry miss: try the plan cache before paying the compile (the lazy
+  // half of persistence; warm_start covers the eager half).
+  if (plan_cache_ != nullptr) {
+    const persist::PlanCacheDir::Loaded loaded = plan_cache_->load(handle);
+    if (loaded.hit()) {
+      // Hash equality got us here; byte-equality against OUR canonical
+      // encoding is what authorizes serving the artifact (support/hash.h's
+      // collision-check idiom).
+      const auto sb = loaded.view.spec_bytes();
+      SpecEntry e;
+      if (sb.size() == canon.size() &&
+          std::memcmp(sb.data(), canon.data(), canon.size()) == 0 &&
+          restore_entry_from_blob(loaded, handle, e)) {
+        plans_loaded_.fetch_add(1, std::memory_order_relaxed);
+        *compiled_now = false;
+        const auto ins = registry_.emplace(handle, std::move(e));
+        return &ins.first->second;
+      }
+      // Present but unusable (stale options for this runtime, collision,
+      // or structurally foreign): drop it so the fresh compile below
+      // overwrites it — the upgrade path.
+      plan_cache_->forget(handle);
+    }
+  }
+
   SpecEntry e;
   e.handle = handle;
   e.canon.assign(canon.data(), canon.data() + canon.size());
@@ -162,7 +252,19 @@ Server::SpecEntry* Server::register_spec(const WireGraph& g,
   // unordered_map nodes are address-stable: the returned pointer (and the
   // plan it owns) stays valid for the Server's lifetime.
   const auto ins = registry_.emplace(handle, std::move(e));
-  return &ins.first->second;
+  SpecEntry& ent = ins.first->second;
+
+  // Persist what was just compiled. Failure is logged into *err-free
+  // oblivion on purpose: the cache is an accelerator, and this REGISTER
+  // already has its plan.
+  if (plan_cache_ != nullptr) {
+    const auto blob = persist::serialize_plan(
+        *ent.plan, {ent.canon.data(), ent.canon.size()}, handle);
+    if (plan_cache_->store(handle, blob)) {
+      plans_persisted_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return &ent;
 }
 
 Server::SpecEntry* Server::find_spec(std::uint64_t handle) {
@@ -202,6 +304,8 @@ StatsMsg Server::stats() const {
     m.registered_specs = registry_.size();
   }
   m.plans_compiled = plans_compiled_.load(std::memory_order_relaxed);
+  m.plans_loaded = plans_loaded_.load(std::memory_order_relaxed);
+  m.plans_persisted = plans_persisted_.load(std::memory_order_relaxed);
   m.submitted = submitted_.load(std::memory_order_relaxed);
   m.completed = completed_.load(std::memory_order_relaxed);
   m.cancelled = cancelled_.load(std::memory_order_relaxed);

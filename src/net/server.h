@@ -31,6 +31,7 @@
 #include "net/protocol.h"
 #include "net/remote_graph.h"
 #include "net/socket.h"
+#include "persist/plan_cache.h"
 #include "plan/plan.h"
 
 namespace nabbitc::net {
@@ -57,6 +58,15 @@ struct ServerOptions {
   /// stop(): true = in-flight executions run to completion (results still
   /// pushed to connected clients); false = they are cancelled.
   bool drain_on_shutdown = true;
+  /// Plan-cache directory (persist/plan_cache.h); empty = no persistence.
+  /// With a cache, REGISTER consults disk before compiling and persists
+  /// what it compiles, so a restarted daemon restores instead of paying
+  /// the recompiles. The directory is created on start() if missing.
+  std::string plan_cache_dir;
+  /// With a plan cache: restore EVERY cached plan at start(), before the
+  /// listeners open, so the first client's REGISTER is already warm.
+  /// False = lazily, on first REGISTER of each spec.
+  bool warm_start = true;
   /// Session poll period while idle (bounds shutdown latency) and the
   /// write-stall budget after which a client counts as gone.
   int idle_poll_ms = 20;
@@ -94,6 +104,12 @@ class Server {
   /// Snapshot of the daemon counters (the STATS reply).
   StatsMsg stats() const;
 
+  /// Plans restored from the cache so far (warm-start + lazy REGISTER
+  /// hits); 0 without a cache.
+  std::uint64_t plans_loaded() const noexcept {
+    return plans_loaded_.load(std::memory_order_relaxed);
+  }
+
   /// White-box test hook: the compiled plan behind a registered handle
   /// (nullptr if unknown). The pointer stays valid until the Server dies.
   const plan::GraphPlan* debug_plan(std::uint64_t handle) const;
@@ -116,6 +132,16 @@ class Server {
   SpecEntry* register_spec(const WireGraph& g, bool* compiled_now,
                            std::string* err);
   SpecEntry* find_spec(std::uint64_t handle);
+
+  /// Builds a SpecEntry from a cached blob: re-binds node functions from
+  /// the embedded spec bytes and restores the plan over the mapped arrays.
+  /// Returns false (entry untouched) on ANY disagreement — the caller
+  /// forgets the artifact and recompiles. `canon` must already byte-match
+  /// the blob's embedded spec.
+  bool restore_entry_from_blob(const persist::PlanCacheDir::Loaded& loaded,
+                               std::uint64_t handle, SpecEntry& entry);
+  /// start()-time sweep: restore every parseable blob in the cache dir.
+  void warm_start_from_cache();
 
   std::uint64_t next_exec_id() noexcept {
     return exec_ids_.fetch_add(1, std::memory_order_relaxed);
@@ -143,8 +169,13 @@ class Server {
   mutable std::mutex reg_mu_;
   std::unordered_map<std::uint64_t, SpecEntry> registry_;
 
+  /// Non-null iff opts_.plan_cache_dir is set.
+  std::unique_ptr<persist::PlanCacheDir> plan_cache_;
+
   // Daemon counters (the STATS frame).
   std::atomic<std::uint64_t> plans_compiled_{0};
+  std::atomic<std::uint64_t> plans_loaded_{0};
+  std::atomic<std::uint64_t> plans_persisted_{0};
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> completed_{0};
   std::atomic<std::uint64_t> cancelled_{0};

@@ -30,7 +30,8 @@ namespace nabbitc::net {
 
 inline constexpr std::uint8_t kWireMagic0 = 'N';
 inline constexpr std::uint8_t kWireMagic1 = 'B';
-inline constexpr std::uint8_t kWireVersion = 1;
+// v2: STATS gained plans_loaded/plans_persisted (plan-cache counters).
+inline constexpr std::uint8_t kWireVersion = 2;
 inline constexpr std::size_t kFrameHeaderBytes = 8;
 /// Upper bound on one frame body. Large enough for a maximal REGISTER
 /// (kMaxWireNodes nodes, protocol.h), small enough that a hostile length

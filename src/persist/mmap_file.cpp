@@ -1,0 +1,152 @@
+#include "persist/mmap_file.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace nabbitc::persist {
+
+namespace {
+
+void set_err(std::string* err, const std::string& what) {
+  if (err != nullptr) *err = what + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+bool MappedFile::open(const std::string& path, std::string* err) {
+  reset();
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    set_err(err, "open(" + path + ")");
+    return false;
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    set_err(err, "fstat(" + path + ")");
+    ::close(fd);
+    return false;
+  }
+  if (!S_ISREG(st.st_mode)) {
+    if (err != nullptr) *err = path + ": not a regular file";
+    ::close(fd);
+    return false;
+  }
+  if (st.st_size == 0) {
+    // mmap(0) is EINVAL; an empty file is a valid (empty, necessarily
+    // invalid-as-a-blob) view the parser rejects as truncated.
+    ::close(fd);
+    empty_ok_ = true;
+    return true;
+  }
+  void* p = ::mmap(nullptr, static_cast<std::size_t>(st.st_size), PROT_READ,
+                   MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (p == MAP_FAILED) {
+    set_err(err, "mmap(" + path + ")");
+    return false;
+  }
+  data_ = p;
+  size_ = static_cast<std::size_t>(st.st_size);
+  return true;
+}
+
+void MappedFile::reset() noexcept {
+  if (data_ != nullptr) ::munmap(data_, size_);
+  data_ = nullptr;
+  size_ = 0;
+  empty_ok_ = false;
+}
+
+bool write_file_atomic(const std::string& path,
+                       std::span<const std::uint8_t> bytes, std::string* err) {
+  // The temp file must live in the SAME directory: rename across
+  // filesystems is not atomic (it isn't even rename).
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  std::string tmp = dir + "/.tmp-XXXXXX";
+  const int fd = ::mkstemp(tmp.data());
+  if (fd < 0) {
+    set_err(err, "mkstemp(" + tmp + ")");
+    return false;
+  }
+  bool ok = true;
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t w = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      set_err(err, "write(" + tmp + ")");
+      ok = false;
+      break;
+    }
+    off += static_cast<std::size_t>(w);
+  }
+  // fsync BEFORE rename: the rename must never publish a name whose data
+  // blocks could still be lost to a crash.
+  if (ok && ::fsync(fd) != 0) {
+    set_err(err, "fsync(" + tmp + ")");
+    ok = false;
+  }
+  ::close(fd);
+  if (ok && ::rename(tmp.c_str(), path.c_str()) != 0) {
+    set_err(err, "rename(" + tmp + " -> " + path + ")");
+    ok = false;
+  }
+  if (!ok) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  // Best-effort directory fsync so the new name itself survives a crash;
+  // failure here doesn't un-publish anything, so it is not an error.
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+  return true;
+}
+
+bool ensure_dir(const std::string& dir, std::string* err) {
+  if (::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST) {
+    struct stat st{};
+    if (::stat(dir.c_str(), &st) == 0 && S_ISDIR(st.st_mode)) return true;
+    if (err != nullptr) *err = dir + ": exists but is not a directory";
+    return false;
+  }
+  set_err(err, "mkdir(" + dir + ")");
+  return false;
+}
+
+std::vector<std::string> list_dir(const std::string& dir) {
+  std::vector<std::string> out;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return out;
+  while (const dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name == "." || name == "..") continue;
+    struct stat st{};
+    if (::stat((dir + "/" + name).c_str(), &st) == 0 && S_ISREG(st.st_mode)) {
+      out.push_back(name);
+    }
+  }
+  ::closedir(d);
+  return out;
+}
+
+bool file_exists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+bool remove_file(const std::string& path) {
+  return ::unlink(path.c_str()) == 0;
+}
+
+}  // namespace nabbitc::persist

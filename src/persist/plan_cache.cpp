@@ -1,0 +1,109 @@
+#include "persist/plan_cache.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/hash.h"
+
+namespace nabbitc::persist {
+
+std::string PlanCacheDir::path_for(std::uint64_t spec_hash) const {
+  char name[64];
+  std::snprintf(name, sizeof(name), "plan-%016llx.nbpb",
+                static_cast<unsigned long long>(spec_hash));
+  return dir_ + "/" + name;
+}
+
+PlanCacheDir::Loaded PlanCacheDir::load_from_disk(std::uint64_t spec_hash) {
+  Loaded out;
+  const std::string path = path_for(spec_hash);
+  auto file = std::make_shared<MappedFile>();
+  if (!file->open(path)) return out;  // absent: a plain miss, error = kOk
+  out.error = out.view.parse(file->bytes());
+  if (out.error != BlobError::kOk) return out;
+  // The filename's hash is a claim; the embedded spec bytes are the truth.
+  // A mismatch means a renamed/corrupt-but-resealed file — refuse it.
+  if (content_hash(out.view.spec_bytes()) != spec_hash) {
+    out.error = BlobError::kBadStructure;
+    return out;
+  }
+  out.file = std::move(file);
+  return out;
+}
+
+PlanCacheDir::Loaded PlanCacheDir::load(std::uint64_t spec_hash) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = mem_.find(spec_hash);
+    if (it != mem_.end()) {
+      ++stats_.mem_hits;
+      return it->second;
+    }
+  }
+  // Disk I/O outside the lock: concurrent first-loads of one hash may both
+  // map the file; both mappings are identical and the extra one dies when
+  // its Loaded copy does.
+  Loaded got = load_from_disk(spec_hash);
+  std::lock_guard<std::mutex> lk(mu_);
+  if (got.hit()) {
+    ++stats_.disk_hits;
+    mem_.emplace(spec_hash, got);  // positive entries only
+  } else if (got.error == BlobError::kOk) {
+    ++stats_.misses;
+  } else {
+    ++stats_.rejected;
+  }
+  return got;
+}
+
+bool PlanCacheDir::store(std::uint64_t spec_hash,
+                         std::span<const std::uint8_t> blob, std::string* err) {
+  if (!write_file_atomic(path_for(spec_hash), blob, err)) return false;
+  // Re-map what was just published so in-process readers share the file
+  // pages rather than a private copy of the serialization buffer. If the
+  // map-back fails (e.g. a racing store republished), the entry is simply
+  // dropped and the next load() re-reads disk.
+  Loaded got = load_from_disk(spec_hash);
+  std::lock_guard<std::mutex> lk(mu_);
+  ++stats_.stored;
+  if (got.hit()) {
+    mem_[spec_hash] = std::move(got);
+  } else {
+    mem_.erase(spec_hash);
+  }
+  return true;
+}
+
+void PlanCacheDir::forget(std::uint64_t spec_hash) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    mem_.erase(spec_hash);
+  }
+  remove_file(path_for(spec_hash));
+}
+
+std::vector<std::uint64_t> PlanCacheDir::scan() const {
+  std::vector<std::uint64_t> out;
+  for (const std::string& name : list_dir(dir_)) {
+    // plan-<16 hex>.nbpb, exactly. .tmp-* siblings and foreign files are
+    // not the cache's problem.
+    constexpr std::size_t kLen = 5 + 16 + 5;  // "plan-" + hex + ".nbpb"
+    if (name.size() != kLen) continue;
+    if (name.rfind("plan-", 0) != 0) continue;
+    if (name.compare(5 + 16, 5, ".nbpb") != 0) continue;
+    char* end = nullptr;
+    const std::string hex = name.substr(5, 16);
+    const std::uint64_t h = std::strtoull(hex.c_str(), &end, 16);
+    if (end == nullptr || *end != '\0') continue;
+    if (h == 0) continue;  // content_hash never produces 0
+    out.push_back(h);
+  }
+  return out;
+}
+
+PlanCacheDir::Stats PlanCacheDir::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+}  // namespace nabbitc::persist

@@ -1,0 +1,95 @@
+// PlanCacheDir: a content-addressed directory of PlanBlobs, plus the
+// in-process layer that keeps each loaded blob mapped once.
+//
+// Layout: one file per artifact, named plan-<%016x spec_hash>.nbpb — the
+// name IS the lookup key, so a cache hit is one open+mmap+parse and a scan
+// is one readdir. Publication goes through write_file_atomic (temp +
+// rename), so concurrent servers sharing a directory race benignly: both
+// write identical bytes for the same hash, last rename wins, readers only
+// ever map complete files. Anything that fails to parse is treated as a
+// miss (and counted), never an error — the cache is an accelerator, and
+// every caller has the recompile fallback.
+//
+// Trust model: the hash in the filename is a CLAIM. load() verifies the
+// blob parses AND that content_hash(embedded spec bytes) matches the
+// claimed hash before reporting a hit, so a renamed or hash-colliding file
+// cannot serve the wrong plan (the collision-check idiom of
+// support/hash.h). Callers that registered the spec themselves additionally
+// byte-compare the embedded spec against their canonical encoding.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "persist/mmap_file.h"
+#include "persist/plan_blob.h"
+
+namespace nabbitc::persist {
+
+class PlanCacheDir {
+ public:
+  struct Stats {
+    std::uint64_t mem_hits = 0;   // served from the in-process map
+    std::uint64_t disk_hits = 0;  // mapped + parsed from disk
+    std::uint64_t misses = 0;     // no file
+    std::uint64_t rejected = 0;   // file present but refused (corrupt/stale)
+    std::uint64_t stored = 0;     // blobs published
+  };
+
+  /// One loaded artifact: the mapping (shared so FrozenPlan::backing can
+  /// outlive the cache entry) and its parsed view. hit() is false on a
+  /// miss; `error` then says why (kOk = file absent).
+  struct Loaded {
+    std::shared_ptr<const MappedFile> file;
+    PlanBlobView view;
+    BlobError error = BlobError::kOk;
+    bool hit() const noexcept { return file != nullptr; }
+  };
+
+  explicit PlanCacheDir(std::string dir) : dir_(std::move(dir)) {}
+
+  const std::string& dir() const noexcept { return dir_; }
+
+  /// Creates the directory if missing. Call once before use.
+  bool ensure_dir(std::string* err = nullptr) {
+    return persist::ensure_dir(dir_, err);
+  }
+
+  /// plan-<%016x>.nbpb under dir() — exposed for tests and tooling.
+  std::string path_for(std::uint64_t spec_hash) const;
+
+  /// Looks `spec_hash` up: in-process map first, then disk. A disk blob is
+  /// a hit only if it parses clean AND its embedded spec bytes hash back
+  /// to `spec_hash`; only hits are cached in memory. Thread-safe.
+  Loaded load(std::uint64_t spec_hash);
+
+  /// Atomically publishes `blob` for `spec_hash` and refreshes the
+  /// in-process entry by mapping the published file (so later loads share
+  /// the mapping instead of the serialization buffer). Thread-safe.
+  bool store(std::uint64_t spec_hash, std::span<const std::uint8_t> blob,
+             std::string* err = nullptr);
+
+  /// Drops the hash from both layers (used after deciding a disk artifact
+  /// is stale, so the recompile's store() publishes a fresh mapping).
+  void forget(std::uint64_t spec_hash);
+
+  /// Spec hashes of every plausibly-named blob file currently in the
+  /// directory (name pattern only — nothing is opened). Warm-start input.
+  std::vector<std::uint64_t> scan() const;
+
+  Stats stats() const;
+
+ private:
+  Loaded load_from_disk(std::uint64_t spec_hash);
+
+  const std::string dir_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, Loaded> mem_;
+  Stats stats_;
+};
+
+}  // namespace nabbitc::persist

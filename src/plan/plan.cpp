@@ -1,5 +1,5 @@
-// GraphPlan compilation and PlanInstance lifecycle (the cold paths).
-// The replay hot path lives in replay.cpp.
+// GraphPlan compilation, restore-from-frozen, and PlanInstance lifecycle
+// (the cold paths). The replay hot path lives in replay.cpp.
 #include "plan/plan.h"
 
 #include <algorithm>
@@ -20,8 +20,8 @@ PlanInstance::PlanInstance(const GraphPlan& plan)
       // The prototype (built during compile, before the layout is measured)
       // uses the default block size; every later instance gets one block
       // sized to the measured payload layout.
-      slab_(plan.instance_slab_bytes_ != 0
-                ? plan.instance_slab_bytes_ + nabbit::NodeSlab::kBlockAlign
+      slab_(plan.f_.instance_slab_bytes != 0
+                ? plan.f_.instance_slab_bytes + nabbit::NodeSlab::kBlockAlign
                 : std::size_t{1} << 16) {
   state_.pooled = this;
   // The submission frame is bound once; replays reuse it verbatim (this is
@@ -49,11 +49,12 @@ TaskGraphNode* PlanInstance::make_node(Key key) {
   return n;
 }
 
-void PlanInstance::build() {
+bool PlanInstance::try_build() {
   const GraphPlan& p = *plan_;
-  const std::uint32_t n = p.n_;
+  const FrozenPlan& f = p.f_;
+  const std::uint32_t n = f.n;
   nodes_.reserve(n);
-  for (std::uint32_t i = 0; i < n; ++i) nodes_.push_back(make_node(p.keys_[i]));
+  for (std::uint32_t i = 0; i < n; ++i) nodes_.push_back(make_node(f.keys[i]));
 
   // All slots exist, so init() may look predecessors up (unlike on-demand
   // execution, where creation order is arbitrary).
@@ -62,19 +63,19 @@ void PlanInstance::build() {
     TaskGraphNode* u = nodes_[i];
     u->init(ctx);
     // The plan replays a frozen topology; a spec that answers differently
-    // across calls would silently desynchronize the join counters.
+    // would silently desynchronize the join counters. On the compile path
+    // a mismatch means a nondeterministic spec; on the restore path it
+    // means the frozen arrays describe a different graph than the spec —
+    // either way the instance is unusable.
     const auto got = u->predecessors();
     const auto want = p.predecessors(i);
-    NABBITC_CHECK_MSG(got.size() == want.size(),
-                      "GraphSpec is not deterministic: predecessor count "
-                      "changed between compile and instance build");
+    if (got.size() != want.size()) return false;
     for (std::size_t j = 0; j < want.size(); ++j) {
-      NABBITC_CHECK_MSG(got[j] == p.keys_[want[j]],
-                        "GraphSpec is not deterministic: predecessor keys "
-                        "changed between compile and instance build");
+      if (got[j] != f.keys[want[j]]) return false;
     }
   }
   join_ = std::make_unique<std::atomic<std::int32_t>[]>(n);
+  return true;
 }
 
 void PlanInstance::reset_for_replay() noexcept {
@@ -82,10 +83,10 @@ void PlanInstance::reset_for_replay() noexcept {
   // run leaves a mix of kComputed and kVisited statuses and fully drained
   // join counters (the skip cascade retires every node), so rearming
   // joins + statuses + counts below restores the instance completely.
-  const GraphPlan& p = *plan_;
-  const std::uint32_t n = p.n_;
+  const FrozenPlan& f = plan_->f_;
+  const std::uint32_t n = f.n;
   for (std::uint32_t i = 0; i < n; ++i) {
-    join_[i].store(p.initial_join_[i], std::memory_order_relaxed);
+    join_[i].store(f.initial_join[i], std::memory_order_relaxed);
   }
   for (std::uint32_t i = 0; i < n; ++i) {
     nodes_[i]->status_.store(nabbit::NodeStatus::kVisited,
@@ -112,18 +113,20 @@ void PlanInstance::recycle() noexcept { plan_->release(this); }
 GraphPlan::~GraphPlan() = default;
 
 std::uint32_t GraphPlan::index_of(Key key) const noexcept {
-  std::uint64_t h = splitmix64(key) & slot_mask_;
+  std::uint64_t h = splitmix64(key) & f_.slot_mask;
   for (;;) {
-    const std::uint32_t idx = slot_idx_[h];
+    const std::uint32_t idx = f_.slot_idx[h];
     if (idx == kInvalidIndex) return kInvalidIndex;
-    if (slot_key_[h] == key) return idx;
-    h = (h + 1) & slot_mask_;
+    if (f_.slot_key[h] == key) return idx;
+    h = (h + 1) & f_.slot_mask;
   }
 }
 
 PlanInstance* GraphPlan::build_instance() const {
   auto inst = std::unique_ptr<PlanInstance>(new PlanInstance(*this));
-  inst->build();
+  NABBITC_CHECK_MSG(inst->try_build(),
+                    "GraphSpec is not deterministic: graph structure changed "
+                    "between compile and instance build");
   PlanInstance* raw = inst.get();
   {
     std::lock_guard<SpinLock> lk(pool_mu_);
@@ -183,6 +186,20 @@ std::size_t GraphPlan::instances_free() const noexcept {
   return n;
 }
 
+void GraphPlan::adopt_prototype(std::unique_ptr<PlanInstance> proto,
+                                std::size_t reserve_instances) {
+  {
+    std::lock_guard<SpinLock> lk(pool_mu_);
+    proto->pool_next_ = nullptr;
+    free_head_ = proto.get();
+    owned_.push_back(std::move(proto));
+  }
+  instances_built_.store(1, std::memory_order_release);
+  for (std::size_t i = 1; i < reserve_instances; ++i) {
+    release(build_instance());
+  }
+}
+
 // ---------------------------------------------------------------------------
 // compile
 
@@ -201,6 +218,24 @@ struct DiscoveryLookup final : nabbit::NodeLookup {
     auto it = index->find(key);
     return it == index->end() ? nullptr : (*nodes)[it->second];
   }
+};
+
+/// compile()'s owned backing store for the frozen views: one allocation
+/// (shared_ptr'd into FrozenPlan::backing) holding every array. The persist
+/// layer substitutes a mapped file here; neither the plan nor the replay
+/// path can tell the difference.
+struct OwnedStorage {
+  std::vector<Key> keys;
+  std::vector<numa::Color> colors;
+  std::vector<numa::Color> data_colors;
+  std::vector<std::uint32_t> pred_off;
+  std::vector<std::uint32_t> pred_idx;
+  std::vector<std::uint32_t> succ_off;
+  std::vector<std::uint32_t> succ_idx;
+  std::vector<std::int32_t> initial_join;
+  std::vector<std::uint32_t> roots;
+  std::vector<Key> slot_key;
+  std::vector<std::uint32_t> slot_idx;
 };
 
 }  // namespace
@@ -258,73 +293,202 @@ std::unique_ptr<GraphPlan> compile(GraphSpec& spec, Key sink,
 
   // --- freeze topology into CSR arrays + per-node colors.
   const auto n = static_cast<std::uint32_t>(nodes.size());
-  plan->n_ = n;
-  plan->keys_.resize(n);
-  plan->colors_.resize(n);
-  plan->data_colors_.resize(n);
-  plan->pred_off_.assign(n + 1, 0);
-  plan->initial_join_.resize(n);
+  auto st = std::make_shared<OwnedStorage>();
+  OwnedStorage& s = *st;
+  s.keys.resize(n);
+  s.colors.resize(n);
+  s.data_colors.resize(n);
+  s.pred_off.assign(n + 1, 0);
+  s.initial_join.resize(n);
   for (std::uint32_t i = 0; i < n; ++i) {
-    plan->keys_[i] = nodes[i]->key();
-    plan->colors_[i] = nodes[i]->color();
-    plan->data_colors_[i] = spec.data_color_of(nodes[i]->key());
+    s.keys[i] = nodes[i]->key();
+    s.colors[i] = nodes[i]->color();
+    s.data_colors[i] = spec.data_color_of(nodes[i]->key());
     const auto npreds = nodes[i]->predecessors().size();
-    plan->pred_off_[i + 1] = plan->pred_off_[i] + static_cast<std::uint32_t>(npreds);
-    plan->initial_join_[i] = static_cast<std::int32_t>(npreds);
-    if (npreds == 0) plan->roots_.push_back(i);
+    s.pred_off[i + 1] = s.pred_off[i] + static_cast<std::uint32_t>(npreds);
+    s.initial_join[i] = static_cast<std::int32_t>(npreds);
+    if (npreds == 0) s.roots.push_back(i);
   }
-  plan->pred_idx_.resize(plan->pred_off_[n]);
-  plan->succ_off_.assign(n + 1, 0);
+  s.pred_idx.resize(s.pred_off[n]);
+  s.succ_off.assign(n + 1, 0);
   for (std::uint32_t i = 0; i < n; ++i) {
-    std::uint32_t o = plan->pred_off_[i];
+    std::uint32_t o = s.pred_off[i];
     for (const Key pk : nodes[i]->predecessors()) {
       const std::uint32_t pi = index.at(pk);
-      plan->pred_idx_[o++] = pi;
-      ++plan->succ_off_[pi + 1];
+      s.pred_idx[o++] = pi;
+      ++s.succ_off[pi + 1];
     }
   }
   for (std::uint32_t i = 0; i < n; ++i) {
-    plan->succ_off_[i + 1] += plan->succ_off_[i];
+    s.succ_off[i + 1] += s.succ_off[i];
   }
-  plan->succ_idx_.resize(plan->succ_off_[n]);
+  s.succ_idx.resize(s.succ_off[n]);
   {
-    std::vector<std::uint32_t> cursor(plan->succ_off_.begin(),
-                                      plan->succ_off_.end() - 1);
+    std::vector<std::uint32_t> cursor(s.succ_off.begin(), s.succ_off.end() - 1);
     for (std::uint32_t i = 0; i < n; ++i) {
-      for (const std::uint32_t pi : plan->predecessors(i)) {
-        plan->succ_idx_[cursor[pi]++] = i;
+      for (std::uint32_t e = s.pred_off[i]; e < s.pred_off[i + 1]; ++e) {
+        s.succ_idx[cursor[s.pred_idx[e]]++] = i;
       }
     }
   }
 
-  // --- freeze the key lookup (open addressing, linear probing, load < 0.5).
+  // --- freeze the key lookup (open addressing, linear probing, load <= 0.5).
   std::uint64_t cap = 4;
   while (cap < std::uint64_t{n} * 2) cap <<= 1;
-  plan->slot_key_.assign(cap, 0);
-  plan->slot_idx_.assign(cap, GraphPlan::kInvalidIndex);
-  plan->slot_mask_ = cap - 1;
+  const std::uint64_t mask = cap - 1;
+  s.slot_key.assign(cap, 0);
+  s.slot_idx.assign(cap, GraphPlan::kInvalidIndex);
   for (std::uint32_t i = 0; i < n; ++i) {
-    std::uint64_t h = splitmix64(plan->keys_[i]) & plan->slot_mask_;
-    while (plan->slot_idx_[h] != GraphPlan::kInvalidIndex) {
-      h = (h + 1) & plan->slot_mask_;
+    std::uint64_t h = splitmix64(s.keys[i]) & mask;
+    while (s.slot_idx[h] != GraphPlan::kInvalidIndex) {
+      h = (h + 1) & mask;
     }
-    plan->slot_key_[h] = plan->keys_[i];
-    plan->slot_idx_[h] = i;
+    s.slot_key[h] = s.keys[i];
+    s.slot_idx[h] = i;
   }
 
-  // --- finalize the prototype as instance #0 and pre-build the rest.
-  plan->instance_slab_bytes_ = proto->slab_.bytes_allocated();
+  // --- publish the views, finalize the prototype as instance #0.
+  FrozenPlan f;
+  f.n = n;
+  f.keys = s.keys;
+  f.colors = s.colors;
+  f.data_colors = s.data_colors;
+  f.pred_off = s.pred_off;
+  f.pred_idx = s.pred_idx;
+  f.succ_off = s.succ_off;
+  f.succ_idx = s.succ_idx;
+  f.initial_join = s.initial_join;
+  f.roots = s.roots;
+  f.slot_key = s.slot_key;
+  f.slot_idx = s.slot_idx;
+  f.slot_mask = mask;
+  f.instance_slab_bytes = proto->slab_.bytes_allocated();
+  f.backing = std::move(st);
+  plan->f_ = std::move(f);
+
   proto->join_ = std::make_unique<std::atomic<std::int32_t>[]>(n);
+  plan->adopt_prototype(std::move(proto), opts.reserve_instances);
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// validate_frozen / restore
+
+bool validate_frozen(const FrozenPlan& f) {
+  const std::uint64_t n = f.n;
+  if (n == 0 || n >= GraphPlan::kInvalidIndex) return false;
+  if (f.keys.size() != n || f.colors.size() != n || f.data_colors.size() != n ||
+      f.initial_join.size() != n) {
+    return false;
+  }
+  if (f.pred_off.size() != n + 1 || f.succ_off.size() != n + 1) return false;
+  if (f.pred_off[0] != 0 || f.succ_off[0] != 0) return false;
+
+  // CSR offsets: monotone rows; join counters must equal predecessor counts
+  // (reset_for_replay rearms from initial_join, the skip/notify cascade
+  // counts down once per pred edge — any disagreement deadlocks a replay).
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (f.pred_off[i + 1] < f.pred_off[i]) return false;
+    if (f.succ_off[i + 1] < f.succ_off[i]) return false;
+    const std::uint32_t npreds = f.pred_off[i + 1] - f.pred_off[i];
+    if (f.initial_join[i] != static_cast<std::int32_t>(npreds)) return false;
+  }
+  const std::uint64_t n_edges = f.pred_off[n];
+  if (f.succ_off[n] != n_edges) return false;
+  if (f.pred_idx.size() != n_edges || f.succ_idx.size() != n_edges) {
+    return false;
+  }
+  for (const std::uint32_t v : f.pred_idx) {
+    if (v >= n) return false;
+  }
+
+  // Roots: exactly the ascending set of zero-pred indices, and the sink
+  // (index 0) is never a root unless it is the whole graph.
   {
-    std::lock_guard<SpinLock> lk(plan->pool_mu_);
-    proto->pool_next_ = nullptr;
-    plan->free_head_ = proto.get();
-    plan->owned_.push_back(std::move(proto));
+    std::size_t r = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      if (f.pred_off[i + 1] != f.pred_off[i]) continue;
+      if (r >= f.roots.size() || f.roots[r] != i) return false;
+      ++r;
+    }
+    if (r != f.roots.size()) return false;
+    if (f.roots.empty()) return false;  // a DAG always has >= 1 root
   }
-  plan->instances_built_.store(1, std::memory_order_release);
-  for (std::size_t i = 1; i < opts.reserve_instances; ++i) {
-    plan->release(plan->build_instance());
+
+  // Successor rows must be the exact transpose in compile()'s emission
+  // order (iterate nodes in index order, append to each pred's row) — the
+  // replay path walks successors() verbatim, and serialization must be
+  // bitwise reproducible.
+  {
+    std::vector<std::uint32_t> cursor(f.succ_off.begin(), f.succ_off.end() - 1);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      for (std::uint32_t e = f.pred_off[i]; e < f.pred_off[i + 1]; ++e) {
+        const std::uint32_t pi = f.pred_idx[e];
+        const std::uint32_t c = cursor[pi]++;
+        if (c >= f.succ_off[pi + 1]) return false;
+        if (f.succ_idx[c] != static_cast<std::uint32_t>(i)) return false;
+      }
+    }
+    for (std::uint64_t i = 0; i < n; ++i) {
+      if (cursor[i] != f.succ_off[i + 1]) return false;
+    }
   }
+
+  // Key table: power-of-two capacity with load <= 0.5 (compile() sizes
+  // cap >= 2n, which is what bounds linear-probe scans), a bijection onto
+  // the plan indices, and every entry reachable by its own probe sequence
+  // so index_of() terminates for every key — and for absent keys, since an
+  // empty slot is always in reach at this load factor.
+  {
+    const std::uint64_t cap = f.slot_key.size();
+    if (cap == 0 || (cap & (cap - 1)) != 0) return false;
+    if (f.slot_idx.size() != cap) return false;
+    if (f.slot_mask != cap - 1) return false;
+    if (cap < n * 2) return false;
+    std::vector<std::uint8_t> seen(n, 0);
+    for (std::uint64_t sidx = 0; sidx < cap; ++sidx) {
+      const std::uint32_t idx = f.slot_idx[sidx];
+      if (idx == GraphPlan::kInvalidIndex) continue;
+      if (idx >= n) return false;
+      if (seen[idx]) return false;
+      seen[idx] = 1;
+      if (f.slot_key[sidx] != f.keys[idx]) return false;
+      // Reachability: the probe walk from the key's home slot must hit
+      // this slot before any empty one.
+      std::uint64_t h = splitmix64(f.keys[idx]) & f.slot_mask;
+      while (h != sidx) {
+        if (f.slot_idx[h] == GraphPlan::kInvalidIndex) return false;
+        h = (h + 1) & f.slot_mask;
+      }
+    }
+    for (std::uint64_t i = 0; i < n; ++i) {
+      if (!seen[i]) return false;
+    }
+  }
+
+  // Slab sizing is a hint re-measured per instance block, but an absurd
+  // value would make the first allocation fail noisily; bound it.
+  if (f.instance_slab_bytes > (std::uint64_t{1} << 31)) return false;
+  return true;
+}
+
+std::unique_ptr<GraphPlan> restore(GraphSpec& spec, Key sink,
+                                   const CompileOptions& opts, FrozenPlan f) {
+  // Callers are expected to have run validate_frozen() (the blob parser
+  // does), but restore() is the last line of defense on an untrusted-input
+  // path — re-check rather than trust, and refuse rather than abort.
+  if (!validate_frozen(f)) return nullptr;
+  if (f.keys[0] != sink) return nullptr;
+  auto plan = std::unique_ptr<GraphPlan>(new GraphPlan(spec, sink, opts));
+  plan->f_ = std::move(f);
+
+  // No discovery, no CSR construction: go straight to binding the spec's
+  // node factories against the frozen structure. try_build() re-derives
+  // the topology from the spec and refuses any disagreement, which is what
+  // lets callers hand restore() an artifact of unknown provenance.
+  auto proto = std::unique_ptr<PlanInstance>(new PlanInstance(*plan));
+  if (!proto->try_build()) return nullptr;
+  plan->adopt_prototype(std::move(proto), opts.reserve_instances);
   return plan;
 }
 

@@ -16,6 +16,11 @@
 //   * node payload layout measured, so every instance's nodes are laid out
 //     contiguously in one exactly-sized slab block.
 //
+// The frozen form is deliberately POD: every array lives behind a
+// FrozenPlan of read-only views, so a plan can be serialized to an on-disk
+// PlanBlob and later restore()d — with the views pointing straight into an
+// mmap'd file — without copying or recompiling (see src/persist/).
+//
 // Replaying the plan acquires a pooled PlanInstance — join counters, node
 // payload slots, the reusable root-job submission frame — resets it, and
 // drives the dependence protocol over the CSR arrays: no node map, no
@@ -37,6 +42,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -70,6 +76,42 @@ struct CompileOptions {
 };
 
 class GraphPlan;
+
+/// The immutable POD guts of a compiled plan, exposed as read-only views
+/// plus the type-erased storage that keeps them alive. compile() points
+/// the views at heap vectors; the persist layer (src/persist/) points them
+/// straight into an mmap'd PlanBlob — the replay hot path reads through
+/// the same views either way, which is what makes blob loading zero-copy.
+struct FrozenPlan {
+  std::uint32_t n = 0;                        // nodes; index 0 is the sink
+  std::span<const Key> keys;                  // plan index -> key
+  std::span<const numa::Color> colors;        // scheduling colors
+  std::span<const numa::Color> data_colors;   // true data placement
+  std::span<const std::uint32_t> pred_off;    // CSR row offsets, size n+1
+  std::span<const std::uint32_t> pred_idx;
+  std::span<const std::uint32_t> succ_off;    // transpose rows, size n+1
+  std::span<const std::uint32_t> succ_idx;
+  std::span<const std::int32_t> initial_join;  // == predecessor counts
+  std::span<const std::uint32_t> roots;        // zero-pred indices, ascending
+  std::span<const Key> slot_key;               // open-addressed key table
+  std::span<const std::uint32_t> slot_idx;     //   (power-of-two, load <= .5)
+  std::uint64_t slot_mask = 0;
+  /// Payload bytes one instance's nodes need (measured on the prototype).
+  std::uint64_t instance_slab_bytes = 0;
+  /// Keeps whatever the views point into alive — owned vectors or a mapped
+  /// blob. plan/ never looks inside; only destruction order matters.
+  std::shared_ptr<const void> backing;
+};
+
+/// Structural validation of UNTRUSTED frozen arrays (the blob-load path):
+/// checks every invariant compile() guarantees by construction — consistent
+/// span sizes, monotone CSR offsets, in-range indices, join counts equal to
+/// predecessor counts, the exact ascending root set, successor rows that
+/// are the exact transpose of the predecessor rows in compile's emission
+/// order, and a bijective key table with load <= 0.5 whose every entry is
+/// reachable by its own probe sequence (lookup termination). Returns false
+/// instead of aborting; restore() requires it to have passed.
+bool validate_frozen(const FrozenPlan& f);
 
 /// Mutable per-execution state of one plan replay: the node payload slots,
 /// the join-counter array, and the embedded submission frame. Instances are
@@ -110,15 +152,22 @@ class PlanInstance final : public nabbit::NodeLookup {
   friend class GraphPlan;
   friend std::unique_ptr<GraphPlan> compile(GraphSpec& spec, Key sink,
                                             const CompileOptions& opts);
+  friend std::unique_ptr<GraphPlan> restore(GraphSpec& spec, Key sink,
+                                            const CompileOptions& opts,
+                                            FrozenPlan f);
 
   explicit PlanInstance(const GraphPlan& plan);
 
   /// Creates the payload slot for `key` through this instance's slab, with
   /// the same key/color/status setup a fresh execution performs.
   TaskGraphNode* make_node(Key key);
-  /// Constructs + init()s every node in plan index order (cold path), and
-  /// verifies the spec reproduced the compiled structure.
-  void build();
+  /// Constructs + init()s every node in plan index order (cold path) and
+  /// cross-checks the spec against the plan's frozen structure. Returns
+  /// false on mismatch: for build_instance() that is a nondeterministic
+  /// spec (a programming error, checked fatal); for restore() it means the
+  /// frozen arrays came from a different graph (a stale artifact, rejected
+  /// cleanly).
+  bool try_build();
   /// Rearms join counters, statuses, and counters for the next replay.
   void reset_for_replay() noexcept;
 
@@ -144,8 +193,9 @@ class PlanInstance final : public nabbit::NodeLookup {
 
 /// The immutable compiled form of (GraphSpec, sink): frozen topology,
 /// colors, key lookup — plus the (mutable, thread-safe) pool of reusable
-/// PlanInstances. Compile once with plan::compile or Runtime::compile, then
-/// submit any number of times, from any thread.
+/// PlanInstances. Compile once with plan::compile or Runtime::compile (or
+/// rebuild from a persisted artifact with plan::restore), then submit any
+/// number of times, from any thread.
 class GraphPlan {
  public:
   static constexpr std::uint32_t kInvalidIndex = 0xffffffffu;
@@ -154,24 +204,30 @@ class GraphPlan {
   GraphPlan(const GraphPlan&) = delete;
   GraphPlan& operator=(const GraphPlan&) = delete;
 
-  std::uint32_t num_nodes() const noexcept { return n_; }
+  std::uint32_t num_nodes() const noexcept { return f_.n; }
   Key sink() const noexcept { return sink_; }
   bool colored() const noexcept { return opts_.colored; }
   bool count_locality() const noexcept { return opts_.count_locality; }
   GraphSpec& spec() const noexcept { return *spec_; }
 
-  Key key_of(std::uint32_t i) const noexcept { return keys_[i]; }
-  numa::Color color_of(std::uint32_t i) const noexcept { return colors_[i]; }
+  /// Read-only views of the frozen arrays — the serialization input (see
+  /// persist/plan_blob.h) and the replay path's source of truth.
+  const FrozenPlan& frozen() const noexcept { return f_; }
+
+  Key key_of(std::uint32_t i) const noexcept { return f_.keys[i]; }
+  numa::Color color_of(std::uint32_t i) const noexcept { return f_.colors[i]; }
   numa::Color data_color_of(std::uint32_t i) const noexcept {
-    return data_colors_[i];
+    return f_.data_colors[i];
   }
   std::span<const std::uint32_t> predecessors(std::uint32_t i) const noexcept {
-    return {pred_idx_.data() + pred_off_[i], pred_off_[i + 1] - pred_off_[i]};
+    return {f_.pred_idx.data() + f_.pred_off[i],
+            f_.pred_off[i + 1] - f_.pred_off[i]};
   }
   std::span<const std::uint32_t> successors(std::uint32_t i) const noexcept {
-    return {succ_idx_.data() + succ_off_[i], succ_off_[i + 1] - succ_off_[i]};
+    return {f_.succ_idx.data() + f_.succ_off[i],
+            f_.succ_off[i + 1] - f_.succ_off[i]};
   }
-  std::span<const std::uint32_t> roots() const noexcept { return roots_; }
+  std::span<const std::uint32_t> roots() const noexcept { return f_.roots; }
 
   /// Frozen key -> plan-index lookup; kInvalidIndex for unknown keys.
   std::uint32_t index_of(Key key) const noexcept;
@@ -204,6 +260,9 @@ class GraphPlan {
   friend class PlanInstance;
   friend std::unique_ptr<GraphPlan> compile(GraphSpec& spec, Key sink,
                                             const CompileOptions& opts);
+  friend std::unique_ptr<GraphPlan> restore(GraphSpec& spec, Key sink,
+                                            const CompileOptions& opts,
+                                            FrozenPlan f);
 
   GraphPlan(GraphSpec& spec, Key sink, const CompileOptions& opts)
       : spec_(&spec), sink_(sink), opts_(opts) {}
@@ -211,27 +270,17 @@ class GraphPlan {
   /// Builds and registers a new instance (pool miss / pre-reserve path).
   PlanInstance* build_instance() const;
 
+  /// Adopts a built prototype as instance #0 (tail of compile/restore).
+  void adopt_prototype(std::unique_ptr<PlanInstance> proto,
+                       std::size_t reserve_instances);
+
   GraphSpec* spec_;
   Key sink_;
   CompileOptions opts_;
 
-  // Frozen topology (plan index space; index 0 is the sink).
-  std::uint32_t n_ = 0;
-  std::vector<Key> keys_;
-  std::vector<numa::Color> colors_;
-  std::vector<numa::Color> data_colors_;
-  std::vector<std::uint32_t> pred_off_, pred_idx_;
-  std::vector<std::uint32_t> succ_off_, succ_idx_;
-  std::vector<std::int32_t> initial_join_;  // == predecessor counts
-  std::vector<std::uint32_t> roots_;        // indices with zero predecessors
-
-  // Frozen open-addressed key table (power-of-two, linear probing).
-  std::vector<Key> slot_key_;
-  std::vector<std::uint32_t> slot_idx_;
-  std::uint64_t slot_mask_ = 0;
-
-  /// Payload bytes one instance's nodes need (measured on the prototype).
-  std::size_t instance_slab_bytes_ = 0;
+  /// Frozen topology, colors, and key table (plan index space; index 0 is
+  /// the sink), as views into f_.backing-owned storage.
+  FrozenPlan f_;
 
   // Instance pool (mutable: submission through a const plan is the point).
   mutable SpinLock pool_mu_;
@@ -248,5 +297,18 @@ class GraphPlan {
 /// `opts.count_locality` from the runtime's configuration.
 std::unique_ptr<GraphPlan> compile(GraphSpec& spec, Key sink,
                                    const CompileOptions& opts = {});
+
+/// Rebuilds a plan from previously frozen arrays (the persist load path):
+/// skips discovery, CSR construction, coloring, and key-table building
+/// entirely, going straight to instance building — which re-binds the
+/// spec's node factories and cross-checks the spec against the frozen
+/// topology. `f` must have passed validate_frozen(); its views may point
+/// into a mapped blob (f.backing keeps it alive). Returns nullptr — never
+/// aborts — when keys[0] != sink or the spec disagrees with the frozen
+/// structure (a stale or foreign artifact); callers fall back to compile().
+/// Prefer the api::Runtime::restore_plan wrapper, which also refuses an
+/// artifact whose recorded options disagree with the runtime's variant.
+std::unique_ptr<GraphPlan> restore(GraphSpec& spec, Key sink,
+                                   const CompileOptions& opts, FrozenPlan f);
 
 }  // namespace nabbitc::plan

@@ -39,7 +39,7 @@ void PlanInstance::spawn_indices(rt::Worker& w, rt::TaskGroup& g,
   if (n == 0) return;
   const GraphPlan& p = *plan_;
   if (p.colored()) {
-    nabbit::spawn_colored(w, g, indices, n, PlanColorOf{p.colors_.data()},
+    nabbit::spawn_colored(w, g, indices, n, PlanColorOf{p.frozen().colors.data()},
                           PlanComputeLeaf{this});
     return;
   }
@@ -96,9 +96,10 @@ void PlanInstance::compute_and_notify(rt::Worker& w, std::uint32_t index) {
       const auto preds = p.predecessors(index);
       std::uint64_t remote_preds = 0;
       for (const std::uint32_t pi : preds) {
-        if (!w.color_is_local(p.data_colors_[pi])) ++remote_preds;
+        if (!w.color_is_local(p.data_color_of(pi))) ++remote_preds;
       }
-      w.record_node_execution(p.data_colors_[index], preds.size(), remote_preds);
+      w.record_node_execution(p.data_color_of(index), preds.size(),
+                              remote_preds);
     }
 
     nabbit::ExecContext ctx(&w, *this);

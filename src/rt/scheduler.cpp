@@ -755,6 +755,22 @@ WorkerCounters Scheduler::aggregate_counters() const {
   return total;
 }
 
+WorkerCounters Scheduler::aggregate_counters_idle() {
+  NABBITC_CHECK_MSG(current() == nullptr,
+                    "Scheduler::aggregate_counters_idle must not be called "
+                    "from a worker thread");
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_done_.wait(lk, [&] {
+    return active_jobs_.load(std::memory_order_acquire) == 0 &&
+           parked_workers_.load(std::memory_order_acquire) == num_workers();
+  });
+  // All workers are inside cv_start_.wait(mu_) and we hold mu_: none can
+  // resume (let alone touch its counters) before this merge finishes.
+  WorkerCounters total;
+  for (const auto& w : workers_) total.merge(w->counters());
+  return total;
+}
+
 void Scheduler::reset_counters() {
   for (auto& w : workers_) w->counters().reset();
 }

@@ -366,9 +366,21 @@ class Scheduler {
     return frames_completed_upto_.load(std::memory_order_acquire);
   }
 
-  /// Sum of all per-worker counters (cumulative since last reset). Only
-  /// exact when the pool is idle (wait_idle).
+  /// Sum of all per-worker counters (cumulative since last reset). The
+  /// merge reads plain fields, so the CALLER must guarantee the pool stays
+  /// quiescent across the call (single-threaded test code after wait_idle);
+  /// concurrent submitters make that guarantee impossible to uphold from
+  /// outside — use aggregate_counters_idle() instead.
   WorkerCounters aggregate_counters() const;
+
+  /// Atomic quiescent snapshot: waits for full quiescence (active_jobs_ ==
+  /// 0 and every worker parked) and merges the counters while still holding
+  /// the scheduler mutex. A parked worker sits inside cv_start_.wait(mu_)
+  /// and cannot resume — or bump a counter — until it reacquires mu_, so
+  /// the merge cannot race a counter write even when another thread submits
+  /// mid-snapshot (the snapshot simply waits out the new job). Must not be
+  /// called from a worker thread.
+  WorkerCounters aggregate_counters_idle();
   void reset_counters();
 
   /// True iff this scheduler records trace events.

@@ -12,6 +12,8 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <thread>
@@ -23,6 +25,9 @@
 #include "net/remote_graph.h"
 #include "net/server.h"
 #include "net/wire.h"
+#include "persist/mmap_file.h"
+#include "persist/plan_blob.h"
+#include "persist/plan_cache.h"
 #include "plan/plan.h"
 #include "support/rng.h"
 #include "support/timing.h"
@@ -143,12 +148,16 @@ TEST(WireProtocol, MessageRoundTrips) {
   {
     StatsMsg in;
     in.registered_specs = 3;
+    in.plans_loaded = 2;     // v2 fields: plan-cache counters
+    in.plans_persisted = 5;
     in.arena_bytes = 1 << 20;
     WireWriter w;
     encode_stats(in, w);
     StatsMsg out;
     ASSERT_TRUE(decode_stats(w.span(), out));
     EXPECT_EQ(out.registered_specs, 3u);
+    EXPECT_EQ(out.plans_loaded, 2u);
+    EXPECT_EQ(out.plans_persisted, 5u);
     EXPECT_EQ(out.arena_bytes, 1u << 20);
   }
   {
@@ -1057,6 +1066,227 @@ TEST(NetShutdown, CancelModeStopsPromptlyUnderLoad) {
   EXPECT_EQ(stats.in_flight, 0u);
   // Generous bound: far below the >2.4 s the full queue would need.
   EXPECT_LT(stop_ns, 2'000'000'000ull) << "stop() took " << stop_ns << " ns";
+}
+
+// ------------------------------------------------------- plan persistence
+
+std::string make_cache_dir() {
+  char tmpl[] = "/tmp/nbt-cache-XXXXXX";
+  const char* d = ::mkdtemp(tmpl);
+  EXPECT_NE(d, nullptr);
+  return d == nullptr ? std::string{} : std::string{d};
+}
+
+void nuke_dir(const std::string& dir) {
+  for (const std::string& name : persist::list_dir(dir)) {
+    persist::remove_file(dir + "/" + name);
+  }
+  ::rmdir(dir.c_str());
+}
+
+std::vector<std::uint8_t> read_file_bytes(const std::string& path) {
+  persist::MappedFile f;
+  std::string err;
+  EXPECT_TRUE(f.open(path, &err)) << err;
+  return {f.bytes().begin(), f.bytes().end()};
+}
+
+/// Register + submit + verify one graph through a fresh client connection.
+void register_and_verify(const std::string& sock, const WireGraph& g,
+                         std::uint64_t payload) {
+  Client c;
+  ASSERT_TRUE(c.connect_unix(sock)) << c.last_error();
+  const auto reg = c.register_graph(g);
+  ASSERT_TRUE(reg) << c.last_error();
+  const auto sub = c.submit(reg->handle, payload, api::Priority::kNormal,
+                            /*deadline_rel_ns=*/0, "persist-test");
+  ASSERT_TRUE(sub) << c.last_error();
+  ASSERT_TRUE(sub->accepted);
+  const auto res = c.wait_result(sub->exec_id);
+  ASSERT_TRUE(res) << c.last_error();
+  EXPECT_EQ(res->state,
+            static_cast<std::uint8_t>(api::ExecStatus::kCompleted));
+  EXPECT_EQ(res->sink_value, expected_sink_value(g));
+  EXPECT_EQ(res->result, wire_result(expected_sink_value(g), payload));
+}
+
+TEST(NetPersist, WarmStartServesWithoutRecompile) {
+  const std::string dir = make_cache_dir();
+  const WireGraph g1 = make_wavefront_wire_graph(6, 11);
+  const WireGraph g2 = make_random_wire_graph(0x9a9a, 72);
+
+  // Cold daemon: both REGISTERs compile, both plans get persisted.
+  {
+    ServerOptions o = test_opts(unique_sock_path("persist-cold"));
+    o.plan_cache_dir = dir;
+    Server server(std::move(o));
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+    const std::string sock = server.unix_path();
+    register_and_verify(sock, g1, 0x111);
+    register_and_verify(sock, g2, 0x222);
+    const StatsMsg s = server.stats();
+    EXPECT_EQ(s.registered_specs, 2u);
+    EXPECT_EQ(s.plans_compiled, 2u);
+    EXPECT_EQ(s.plans_loaded, 0u);
+    EXPECT_EQ(s.plans_persisted, 2u);
+    server.stop();
+  }
+  // Two artifacts on disk, content-addressed by the graphs' wire hashes.
+  {
+    persist::PlanCacheDir probe(dir);
+    EXPECT_TRUE(persist::file_exists(probe.path_for(wire_graph_hash(g1))));
+    EXPECT_TRUE(persist::file_exists(probe.path_for(wire_graph_hash(g2))));
+  }
+
+  // Warm daemon on the same directory: every plan is restored before the
+  // listeners open, re-registration shares, and NOTHING is recompiled —
+  // the acceptance criterion of the whole subsystem.
+  {
+    ServerOptions o = test_opts(unique_sock_path("persist-warm"));
+    o.plan_cache_dir = dir;
+    Server server(std::move(o));
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+    {
+      const StatsMsg s = server.stats();
+      EXPECT_EQ(s.registered_specs, 2u);
+      EXPECT_EQ(s.plans_loaded, 2u);
+      EXPECT_EQ(s.plans_compiled, 0u);
+    }
+    // Restored plans serve real traffic with correct values.
+    Client c;
+    ASSERT_TRUE(c.connect_unix(server.unix_path())) << c.last_error();
+    const auto reg = c.register_graph(g1);
+    ASSERT_TRUE(reg) << c.last_error();
+    EXPECT_EQ(reg->shared, 1u) << "warm-started plan should be shared";
+    register_and_verify(server.unix_path(), g1, 0x333);
+    register_and_verify(server.unix_path(), g2, 0x444);
+    const StatsMsg s = server.stats();
+    EXPECT_EQ(s.plans_compiled, 0u) << "warm restart must compile nothing";
+    server.stop();
+  }
+
+  // Lazy mode (warm_start=false): nothing loads at boot, but the first
+  // REGISTER restores from disk instead of compiling.
+  {
+    ServerOptions o = test_opts(unique_sock_path("persist-lazy"));
+    o.plan_cache_dir = dir;
+    o.warm_start = false;
+    Server server(std::move(o));
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+    EXPECT_EQ(server.stats().registered_specs, 0u);
+    register_and_verify(server.unix_path(), g2, 0x555);
+    const StatsMsg s = server.stats();
+    EXPECT_EQ(s.plans_loaded, 1u);
+    EXPECT_EQ(s.plans_compiled, 0u);
+    server.stop();
+  }
+
+  nuke_dir(dir);
+}
+
+TEST(NetPersist, StaleArtifactRecompiledAndOverwritten) {
+  const std::string dir = make_cache_dir();
+  const WireGraph g = make_chain(40, 7, 0);
+  const std::uint64_t h = wire_graph_hash(g);
+  persist::PlanCacheDir probe(dir);
+  const std::string blob_path = probe.path_for(h);
+
+  // Seed the cache with one real artifact.
+  {
+    ServerOptions o = test_opts(unique_sock_path("persist-seed"));
+    o.plan_cache_dir = dir;
+    Server server(std::move(o));
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+    register_and_verify(server.unix_path(), g, 0x777);
+    server.stop();
+  }
+  const std::vector<std::uint8_t> pristine = read_file_bytes(blob_path);
+
+  // A version / ABI / endianness bump is exactly what a daemon upgrade
+  // leaves behind. Each doctored (and resealed, so checksums pass) blob
+  // must be refused at warm start, recompiled on REGISTER, and the fresh
+  // artifact must overwrite the stale file.
+  using Mutator = void (*)(persist::PlanBlobHeader&);
+  const Mutator mutations[] = {
+      [](persist::PlanBlobHeader& hh) { hh.version += 1; },
+      [](persist::PlanBlobHeader& hh) { hh.abi ^= 0xff; },
+      [](persist::PlanBlobHeader& hh) {
+        hh.endian = __builtin_bswap32(hh.endian);
+      },
+  };
+  for (const Mutator mutate : mutations) {
+    std::vector<std::uint8_t> stale = pristine;
+    persist::PlanBlobHeader hh;
+    std::memcpy(&hh, stale.data(), sizeof(hh));
+    mutate(hh);
+    std::memcpy(stale.data(), &hh, sizeof(hh));
+    persist::reseal_blob({stale.data(), stale.size()});
+    ASSERT_TRUE(persist::write_file_atomic(blob_path,
+                                           {stale.data(), stale.size()}));
+
+    ServerOptions o = test_opts(unique_sock_path("persist-stale"));
+    o.plan_cache_dir = dir;
+    Server server(std::move(o));
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+    EXPECT_EQ(server.stats().plans_loaded, 0u) << "stale blob was restored";
+
+    register_and_verify(server.unix_path(), g, 0x888);
+    const StatsMsg s = server.stats();
+    EXPECT_EQ(s.plans_compiled, 1u);
+    EXPECT_EQ(s.plans_persisted, 1u);
+    server.stop();
+
+    // The upgrade path republished a loadable artifact.
+    const std::vector<std::uint8_t> fresh = read_file_bytes(blob_path);
+    persist::PlanBlobView view;
+    EXPECT_EQ(view.parse({fresh.data(), fresh.size()}),
+              persist::BlobError::kOk);
+    ASSERT_EQ(fresh.size(), pristine.size());
+    EXPECT_EQ(std::memcmp(fresh.data(), pristine.data(), fresh.size()), 0)
+        << "recompile of the same graph should republish identical bytes";
+  }
+
+  nuke_dir(dir);
+}
+
+TEST(NetPersist, GarbageBlobFallsBackToCompile) {
+  const std::string dir = make_cache_dir();
+  const WireGraph g = make_wavefront_wire_graph(5, 23);
+  const std::uint64_t h = wire_graph_hash(g);
+  persist::PlanCacheDir probe(dir);
+
+  // Random bytes under the right name: warm start skips it (no crash, no
+  // hang), REGISTER compiles and replaces it.
+  std::vector<std::uint8_t> garbage(777);
+  Pcg32 rng(0x6a6a, 3);
+  for (auto& b : garbage) b = static_cast<std::uint8_t>(rng.next());
+  ASSERT_TRUE(persist::write_file_atomic(probe.path_for(h),
+                                         {garbage.data(), garbage.size()}));
+
+  ServerOptions o = test_opts(unique_sock_path("persist-garbage"));
+  o.plan_cache_dir = dir;
+  Server server(std::move(o));
+  std::string err;
+  ASSERT_TRUE(server.start(&err)) << err;
+  EXPECT_EQ(server.stats().plans_loaded, 0u);
+
+  register_and_verify(server.unix_path(), g, 0x999);
+  const StatsMsg s = server.stats();
+  EXPECT_EQ(s.plans_compiled, 1u);
+  EXPECT_EQ(s.plans_persisted, 1u);
+  server.stop();
+
+  const std::vector<std::uint8_t> fresh = read_file_bytes(probe.path_for(h));
+  persist::PlanBlobView view;
+  EXPECT_EQ(view.parse({fresh.data(), fresh.size()}), persist::BlobError::kOk);
+  EXPECT_EQ(view.spec_hash(), h);
+
+  nuke_dir(dir);
 }
 
 }  // namespace

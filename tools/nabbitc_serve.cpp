@@ -17,6 +17,9 @@
 //   nabbitc-serve connect_tcp=PORT submits=24 side=8
 //
 // Flags are support/config.h key=value pairs (NABBITC_* env overrides).
+// Unknown or malformed flags are rejected with usage + exit 2 — a daemon
+// whose operator typos --plan-cashe= must refuse to boot, not silently run
+// cacheless.
 #include <csignal>
 #include <cstdio>
 #include <string>
@@ -57,6 +60,8 @@ int run_server(const nabbitc::Config& cfg) {
   opts.reserve_instances =
       static_cast<std::size_t>(cfg.get_int("reserve_instances", 4));
   opts.drain_on_shutdown = cfg.get_bool("drain", true);
+  opts.plan_cache_dir = cfg.get("plan_cache", "");
+  opts.warm_start = cfg.get_bool("warm_start", true);
 
   std::string err;
   if (!g_signal_pipe.open(&err)) {
@@ -80,6 +85,11 @@ int run_server(const nabbitc::Config& cfg) {
                   : "",
               server.runtime().workers(),
               nabbitc::api::variant_name(server.runtime().variant()));
+  if (!server.options().plan_cache_dir.empty()) {
+    std::printf("nabbitc-serve: plan cache %s (%llu plans warm-loaded)\n",
+                server.options().plan_cache_dir.c_str(),
+                static_cast<unsigned long long>(server.plans_loaded()));
+  }
   std::fflush(stdout);
 
   // Park until a signal arrives. poll_readable(-1) blocks indefinitely and
@@ -117,6 +127,10 @@ int run_client(const nabbitc::Config& cfg) {
       static_cast<std::uint32_t>(cfg.get_int("spin_ns", 0));
   const std::uint64_t seed =
       static_cast<std::uint64_t>(cfg.get_int("seed", 42));
+  // -1 = don't check. The cache-smoke CI leg passes 0 on a warm restart
+  // (the whole point of persistence) and 1 on the cold boot.
+  const std::int64_t expect_plans_compiled =
+      cfg.get_int("expect_plans_compiled", -1);
 
   nabbitc::net::Client client;
   const bool ok = !unix_path.empty() ? client.connect_unix(unix_path)
@@ -185,12 +199,24 @@ int run_client(const nabbitc::Config& cfg) {
                  client.last_error().c_str());
     return 1;
   }
+  if (expect_plans_compiled >= 0 &&
+      stats->plans_compiled !=
+          static_cast<std::uint64_t>(expect_plans_compiled)) {
+    std::fprintf(stderr,
+                 "client: server compiled %llu plans, expected %lld "
+                 "(plan cache not working?)\n",
+                 static_cast<unsigned long long>(stats->plans_compiled),
+                 static_cast<long long>(expect_plans_compiled));
+    return 1;
+  }
   std::printf(
       "client: ok. completed=%u busy=%u server{specs=%llu plans=%llu "
-      "submitted=%llu completed=%llu arena=%llu}\n",
+      "loaded=%llu persisted=%llu submitted=%llu completed=%llu arena=%llu}\n",
       completed, busy,
       static_cast<unsigned long long>(stats->registered_specs),
       static_cast<unsigned long long>(stats->plans_compiled),
+      static_cast<unsigned long long>(stats->plans_loaded),
+      static_cast<unsigned long long>(stats->plans_persisted),
       static_cast<unsigned long long>(stats->submitted),
       static_cast<unsigned long long>(stats->completed),
       static_cast<unsigned long long>(stats->arena_bytes));
@@ -199,17 +225,69 @@ int run_client(const nabbitc::Config& cfg) {
 
 }  // namespace
 
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: nabbitc-serve unix=PATH | tcp=1 [port=N] [workers=N] "
+               "[variant=nabbitc] [drain=0|1]\n"
+               "                     [plan_cache=DIR] [warm_start=0|1] "
+               "[max_sessions=N]\n"
+               "                     [max_inflight_per_session=N] "
+               "[max_inflight_global=N] [reserve_instances=N]\n"
+               "       nabbitc-serve connect=PATH | connect_tcp=PORT "
+               "[submits=N] [side=N] [spin_ns=N] [seed=N]\n"
+               "                     [expect_plans_compiled=N]\n"
+               "flags also accept --key=value / --key-with-dashes=value "
+               "spellings\n");
+  return 2;
+}
+
+constexpr const char* kServerKeys[] = {
+    "workers",     "variant",
+    "unix",        "tcp",
+    "port",        "max_sessions",
+    "max_inflight_per_session", "max_inflight_global",
+    "reserve_instances",        "drain",
+    "plan_cache",  "warm_start"};
+constexpr const char* kClientKeys[] = {
+    "connect", "connect_tcp", "submits", "side", "spin_ns", "seed",
+    "expect_plans_compiled"};
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  const nabbitc::Config cfg = nabbitc::Config::from_args(argc, argv);
-  if (cfg.has("connect") || cfg.has("connect_tcp")) return run_client(cfg);
+  std::vector<std::string> positional;
+  const nabbitc::Config cfg = nabbitc::Config::from_args(argc, argv, &positional);
+  // Anything that isn't key=value is a malformed flag (there are no
+  // positional operands), and an unknown key is a typo: refuse both.
+  // Silently ignoring `--plan-cashe=DIR` would run a daemon the operator
+  // believes is persistent, cacheless.
+  for (const std::string& arg : positional) {
+    std::fprintf(stderr, "nabbitc-serve: malformed flag '%s' (want key=value)\n",
+                 arg.c_str());
+    return usage();
+  }
+  const bool client = cfg.has("connect") || cfg.has("connect_tcp");
+  for (const auto& [key, value] : cfg.entries()) {
+    (void)value;
+    bool known = false;
+    if (client) {
+      for (const char* k : kClientKeys) known = known || key == k;
+    } else {
+      for (const char* k : kServerKeys) known = known || key == k;
+    }
+    if (!known) {
+      std::fprintf(stderr, "nabbitc-serve: unknown %s flag '%s'\n",
+                   client ? "client" : "server", key.c_str());
+      return usage();
+    }
+  }
+  if (client) return run_client(cfg);
   if (cfg.get("unix", "").empty() && !cfg.get_bool("tcp", false) &&
       !cfg.has("port")) {
-    std::fprintf(stderr,
-                 "usage: nabbitc-serve unix=PATH | tcp=1 [port=N] "
-                 "[workers=N] [variant=nabbitc] [drain=0|1]\n"
-                 "       nabbitc-serve connect=PATH | connect_tcp=PORT "
-                 "[submits=N] [side=N] [spin_ns=N]\n");
-    return 2;
+    std::fprintf(stderr, "nabbitc-serve: no listener configured\n");
+    return usage();
   }
   return run_server(cfg);
 }
