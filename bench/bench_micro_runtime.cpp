@@ -23,6 +23,7 @@
 #include "nabbit/successor_list.h"
 #include "net/protocol.h"
 #include "net/remote_graph.h"
+#include "obs/metrics.h"
 #include "persist/plan_blob.h"
 #include "rt/arena.h"
 #include "rt/color_mask.h"
@@ -450,6 +451,45 @@ void bench_submit_ring_push(const BenchParams& p) {
          "ns/op");
 }
 
+// The always-on metrics record path (src/obs/): one Histogram::record is
+// the cost every instrumented hot path pays per event — the CI gate holds
+// it under 15 ns so "always-on" stays true. The value pattern cycles
+// through buckets to defeat a single-line cache-resident best case.
+void bench_hist_record(const BenchParams& p) {
+  obs::Histogram h;
+  report("hist_record_ns", best_ns_per_op(p, [&](std::uint64_t n) {
+           for (std::uint64_t i = 0; i < n; ++i) {
+             h.record(i & 0xffff);
+           }
+           do_not_optimize(h);
+         }, 1 << 16),
+         "ns/op");
+}
+
+// Read-side cost of one registry snapshot + text exposition over a
+// realistically-populated registry — what a 1 Hz scraper (nabbitc-top, the
+// metrics_log_interval line) costs the daemon.
+void bench_metrics_scrape(const BenchParams& p) {
+  obs::Registry reg;
+  for (int i = 0; i < 16; ++i) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "scrape_bench_h%d", i);
+    obs::Histogram& h = reg.histogram(name);
+    for (std::uint64_t v = 0; v < 4096; ++v) h.record(v * 97);
+    std::snprintf(name, sizeof(name), "scrape_bench_c%d", i);
+    reg.counter(name).add(static_cast<std::uint64_t>(i));
+  }
+  std::string text;
+  report("metrics_scrape_ns", best_ns_per_op(p, [&](std::uint64_t n) {
+           for (std::uint64_t i = 0; i < n; ++i) {
+             text.clear();  // render_text appends
+             obs::render_text(reg.snapshot(), text);
+             do_not_optimize(text);
+           }
+         }, 16),
+         "ns/op");
+}
+
 void write_json(const std::string& path, const std::string& preset,
                 const BenchParams& p, std::uint32_t grid_side,
                 std::uint32_t workers) {
@@ -514,6 +554,8 @@ int main(int argc, char** argv) {
       {"plan_batch_submit", bench_plan_batch_submit},
       {"plan_persist", bench_plan_persist},
       {"submit_ring_push", bench_submit_ring_push},
+      {"hist_record", bench_hist_record},
+      {"metrics_scrape", bench_metrics_scrape},
   };
   std::printf("NabbitC micro-runtime bench (preset=%s, repeats=%d)\n\n",
               preset.c_str(), p.repeats);

@@ -42,6 +42,7 @@
 #include "net/server.h"
 #include "persist/mmap_file.h"
 #include "support/config.h"
+#include "support/stats.h"
 #include "support/timing.h"
 
 using namespace nabbitc;
@@ -67,12 +68,6 @@ void check(bool ok, const char* what) {
     std::fprintf(stderr, "FAILED: %s\n", what);
     std::exit(1);
   }
-}
-
-double percentile(std::vector<double>& v, double p) {
-  std::sort(v.begin(), v.end());
-  const auto idx = static_cast<std::size_t>(p * static_cast<double>(v.size() - 1));
-  return v[idx];
 }
 
 /// One client's closed loop: `window` in flight, verify every RESULT.
@@ -309,9 +304,9 @@ int main(int argc, char** argv) {
   report("clients", static_cast<double>(clients), "sessions");
   report("rps_sustained", static_cast<double>(completed) / elapsed_s,
          "graphs/s");
-  report("submit_result_p50_ns", percentile(all, 0.50), "ns");
-  report("submit_result_p95_ns", percentile(all, 0.95), "ns");
-  report("submit_result_p99_ns", percentile(all, 0.99), "ns");
+  report("submit_result_p50_ns", nearest_rank_percentile(all, 0.50), "ns");
+  report("submit_result_p95_ns", nearest_rank_percentile(all, 0.95), "ns");
+  report("submit_result_p99_ns", nearest_rank_percentile(all, 0.99), "ns");
   report("plans_compiled", static_cast<double>(stats.plans_compiled), "plans");
   report("busy_rejections", static_cast<double>(busy), "rejections");
   report("arena_bytes_after", static_cast<double>(stats.arena_bytes), "bytes");

@@ -35,6 +35,7 @@
 #include "api/nabbitc.h"
 #include "rt/status.h"
 #include "support/config.h"
+#include "support/stats.h"
 #include "support/timing.h"
 
 using namespace nabbitc;
@@ -113,12 +114,6 @@ void check(bool ok, const char* what) {
   }
 }
 
-double percentile(std::vector<double>& v, double p) {
-  std::sort(v.begin(), v.end());
-  const auto idx = static_cast<std::size_t>(p * static_cast<double>(v.size() - 1));
-  return v[idx];
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -172,8 +167,8 @@ int main(int argc, char** argv) {
     unloaded.push_back(static_cast<double>(now_ns() - t0));
   }
   check(hi_acc.load() % hi_nodes == 0, "probe replays diverged");
-  report("unloaded_p50_ns", percentile(unloaded, 0.50), "ns");
-  report("unloaded_p95_ns", percentile(unloaded, 0.95), "ns");
+  report("unloaded_p50_ns", nearest_rank_percentile(unloaded, 0.50), "ns");
+  report("unloaded_p95_ns", nearest_rank_percentile(unloaded, 0.95), "ns");
 
   // --- the headline: the probe while `streams` low-priority replays are
   // kept in flight (every completed background handle is resubmitted
@@ -204,10 +199,10 @@ int main(int argc, char** argv) {
   background.clear();
   check(hi_acc.load() % hi_nodes == 0, "loaded probe replays diverged");
   check(bg_acc.load() == bg_completed * bg_nodes, "background replays diverged");
-  report("high_prio_p50_ns", percentile(loaded, 0.50), "ns");
-  report("high_prio_p95_ns", percentile(loaded, 0.95), "ns");
-  report("high_prio_p99_ns", percentile(loaded, 0.99), "ns");
-  report("high_prio_max_ns", loaded.back(), "ns");  // sorted by percentile()
+  report("high_prio_p50_ns", nearest_rank_percentile(loaded, 0.50), "ns");
+  report("high_prio_p95_ns", nearest_rank_percentile(loaded, 0.95), "ns");
+  report("high_prio_p99_ns", nearest_rank_percentile(loaded, 0.99), "ns");
+  report("high_prio_max_ns", loaded.back(), "ns");  // sorted by nearest_rank_percentile()
   report("background_completed", static_cast<double>(bg_completed), "graphs");
 
   // --- cancellation drain: how fast a cancelled background graph vacates
@@ -237,7 +232,7 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("\n");
-  report("cancel_drain_p50_ns", percentile(drain, 0.50), "ns");
+  report("cancel_drain_p50_ns", nearest_rank_percentile(drain, 0.50), "ns");
   report("cancel_skipped_mean",
          static_cast<double>(skipped_total) / static_cast<double>(cancel_rounds),
          "nodes");

@@ -1,0 +1,64 @@
+// api-layer serving metrics: end-to-end latency and queue-wait histograms
+// recorded at execution completion, plus the batch-size distribution.
+//
+// These are the request-level numbers an operator actually reasons about:
+//
+//   submit_complete_ns  submit() call -> sink computed (t_done - t_submit)
+//   queue_wait_ns       submit() call -> a worker adopted the root
+//   batch_size          items per scheduler submission batch
+//
+// Recording happens ONCE per execution, inside the root job's completion
+// lambda on the adopting worker — never in the steal loop — so the cost is
+// two sharded relaxed fetch_adds per completed request. The per-plan
+// variant (submit_complete_ns_plan_<handle>) is bound by the serving layer
+// through GraphPlan::bind_metrics and recorded alongside the global one.
+//
+// Like the scheduler metrics, everything funnels through the process-global
+// obs::registry(), and NABBITC_METRICS=0 turns the whole file into cached
+// branches.
+#pragma once
+
+#include <cstdint>
+
+#include "api/execution_state.h"
+#include "obs/metrics.h"
+
+namespace nabbitc::api {
+
+struct ApiMetrics {
+  obs::Histogram* submit_complete_ns;
+  obs::Histogram* queue_wait_ns;
+  obs::Histogram* batch_size;
+};
+
+/// Cached once per process; the registry guarantees pointer stability.
+inline ApiMetrics& api_metrics() {
+  static ApiMetrics m{
+      &obs::registry().histogram("submit_complete_ns"),
+      &obs::registry().histogram("queue_wait_ns"),
+      &obs::registry().histogram("batch_size"),
+  };
+  return m;
+}
+
+/// Records the completion of one execution. Called from the root job's
+/// completion lambda after t_done_ns is stamped (spec path: runtime.cpp;
+/// plan path: plan.cpp, which also passes the plan's bound histogram).
+/// Guards: a zero t_submit_ns means the submission predates stamping (or
+/// metrics were off at submit), and the adopt stamp is 0 when metrics were
+/// off — each record is skipped rather than computed from garbage.
+inline void record_completion(const detail::ExecutionState& st,
+                              obs::Histogram* plan_hist = nullptr) noexcept {
+  if (!obs::enabled()) return;
+  if (st.t_submit_ns == 0 || st.t_done_ns < st.t_submit_ns) return;
+  const std::uint64_t latency = st.t_done_ns - st.t_submit_ns;
+  ApiMetrics& m = api_metrics();
+  m.submit_complete_ns->record(latency);
+  if (plan_hist != nullptr) plan_hist->record(latency);
+  const std::uint64_t adopt = st.job.t_adopt_ns;
+  if (adopt >= st.t_submit_ns && adopt != 0) {
+    m.queue_wait_ns->record(adopt - st.t_submit_ns);
+  }
+}
+
+}  // namespace nabbitc::api

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "api/execution_state.h"
+#include "api/metrics.h"
 #include "nabbitc/colored_executor.h"
 #include "plan/plan.h"
 #include "support/check.h"
@@ -248,6 +249,11 @@ std::uint64_t Execution::complete_time_ns() const {
   return st_->t_done_ns;
 }
 
+std::uint64_t Execution::first_dispatch_time_ns() const {
+  NABBITC_CHECK_MSG(st_ != nullptr, "empty Execution");
+  return st_->job.t_adopt_ns;
+}
+
 trace::Trace Execution::trace_slice(const trace::Trace& full) const {
   NABBITC_CHECK_MSG(st_ != nullptr, "empty Execution");
   trace::Trace out;
@@ -342,6 +348,7 @@ Execution Runtime::submit(GraphSpec& spec, Key sink, const SubmitOptions& so) {
   st->job.fn = [raw](rt::Worker& w) {
     raw->exec->run_root(w, raw->sink);
     raw->t_done_ns = now_ns();
+    record_completion(*raw);
   };
   st->job.lane = static_cast<std::uint8_t>(so.priority);
   st->job.deadline_ns = so.deadline_ns;
@@ -495,6 +502,7 @@ void BatchHandle::init(Runtime& rt, const plan::GraphPlan& plan,
     jobs_[i] = &st.job;
   }
   sched_->submit_batch(jobs_, n, &sync_);
+  api_metrics().batch_size->record(n);
 }
 
 BatchHandle::BatchHandle(Runtime& rt, const plan::GraphPlan& plan,
@@ -598,6 +606,7 @@ void Runtime::submit_batch(const plan::GraphPlan& plan,
     // No BatchSync: each Execution waits on its own job's done flag, so a
     // handle can be waited/dropped independently of its batch siblings.
     sched_->submit_batch(jobs, k, nullptr);
+    api_metrics().batch_size->record(k);
     for (std::size_t i = 0; i < k; ++i) {
       out[done + i] = Execution(&insts[i]->exec_state());
     }

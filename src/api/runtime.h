@@ -147,6 +147,11 @@ class Execution {
   std::uint64_t submit_time_ns() const;
   std::uint64_t complete_time_ns() const;
 
+  /// When a worker adopted this execution's root (the queue-wait boundary
+  /// in the slow-request stage breakdown). 0 when metrics are disabled or
+  /// the root was never adopted (e.g. deadline-expired in the lane).
+  std::uint64_t first_dispatch_time_ns() const;
+
   /// The slice of a collected trace that overlaps this execution's
   /// [submit, complete] window — per-execution attribution of a
   /// Runtime::collect_trace() result. Exact attribution again requires

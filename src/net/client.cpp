@@ -346,4 +346,30 @@ std::optional<StatsMsg> Client::stats(int timeout_ms) {
   return m;
 }
 
+std::optional<MetricsMsg> Client::metrics(int timeout_ms) {
+  WireWriter w;  // empty body
+  if (!send_frame(FrameType::kMetricsReq, w)) return std::nullopt;
+  const auto f = await(FrameType::kMetrics, timeout_ms);
+  if (!f) return std::nullopt;
+  MetricsMsg m;
+  if (!decode_metrics({f->body.data(), f->body.size()}, m)) {
+    fail("malformed METRICS reply");
+    return std::nullopt;
+  }
+  return m;
+}
+
+std::optional<SlowMsg> Client::slow(int timeout_ms) {
+  WireWriter w;  // empty body
+  if (!send_frame(FrameType::kSlowReq, w)) return std::nullopt;
+  const auto f = await(FrameType::kSlow, timeout_ms);
+  if (!f) return std::nullopt;
+  SlowMsg m;
+  if (!decode_slow({f->body.data(), f->body.size()}, m)) {
+    fail("malformed SLOW reply");
+    return std::nullopt;
+  }
+  return m;
+}
+
 }  // namespace nabbitc::net

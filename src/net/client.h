@@ -88,6 +88,12 @@ class Client {
   std::optional<CancelAckMsg> cancel(std::uint64_t exec_id,
                                      int timeout_ms = 30000);
   std::optional<StatsMsg> stats(int timeout_ms = 30000);
+  /// METRICS: the server's full metrics-registry dump (counters, gauges,
+  /// histogram buckets) plus server-derived gauges (lane depths, pool
+  /// occupancy). See obs/metrics.h for the name vocabulary.
+  std::optional<MetricsMsg> metrics(int timeout_ms = 30000);
+  /// SLOW: the slow-request ring, slowest first (obs/slow_ring.h).
+  std::optional<SlowMsg> slow(int timeout_ms = 30000);
 
   std::size_t pending_results() const noexcept { return results_.size(); }
 

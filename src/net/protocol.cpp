@@ -396,6 +396,83 @@ bool decode_stats(std::span<const std::uint8_t> body, StatsMsg& out) {
          r.u64(out.arena_bytes) && r.done();
 }
 
+void encode_metrics(const MetricsMsg& m, WireWriter& w) {
+  const std::size_t n = std::min<std::size_t>(m.entries.size(), kMaxMetricEntries);
+  w.u32(static_cast<std::uint32_t>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    const MetricEntry& e = m.entries[i];
+    w.str8(e.name.size() > 255 ? std::string_view(e.name).substr(0, 255)
+                               : std::string_view(e.name));
+    w.u8(e.kind);
+    w.u64(e.value);
+    const std::size_t nb = std::min<std::size_t>(e.buckets.size(), kMaxMetricBuckets);
+    w.u8(static_cast<std::uint8_t>(nb));
+    for (std::size_t b = 0; b < nb; ++b) w.u64(e.buckets[b]);
+  }
+}
+
+bool decode_metrics(std::span<const std::uint8_t> body, MetricsMsg& out) {
+  WireReader r(body);
+  std::uint32_t n = 0;
+  if (!r.u32(n) || n > kMaxMetricEntries) return false;
+  out.entries.clear();
+  out.entries.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    MetricEntry e;
+    std::uint8_t nb = 0;
+    if (!r.str8(e.name) || !r.u8(e.kind) || !r.u64(e.value) || !r.u8(nb)) {
+      return false;
+    }
+    if (nb > kMaxMetricBuckets) return false;
+    e.buckets.resize(nb);
+    for (std::uint8_t b = 0; b < nb; ++b) {
+      if (!r.u64(e.buckets[b])) return false;
+    }
+    out.entries.push_back(std::move(e));
+  }
+  return r.done();
+}
+
+void encode_slow(const SlowMsg& m, WireWriter& w) {
+  const std::size_t n = std::min<std::size_t>(m.entries.size(), kMaxSlowEntries);
+  w.u32(static_cast<std::uint32_t>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    const SlowEntryMsg& e = m.entries[i];
+    w.u64(e.exec_id);
+    w.u8(e.state);
+    w.u64(e.latency_ns);
+    w.u64(e.t_decode_ns);
+    w.u64(e.t_admit_ns);
+    w.u64(e.t_submit_ns);
+    w.u64(e.t_dispatch_ns);
+    w.u64(e.t_complete_ns);
+    w.u64(e.t_reply_ns);
+    w.str8(e.name.size() > kMaxNameLen
+               ? std::string_view(e.name).substr(0, kMaxNameLen)
+               : std::string_view(e.name));
+  }
+}
+
+bool decode_slow(std::span<const std::uint8_t> body, SlowMsg& out) {
+  WireReader r(body);
+  std::uint32_t n = 0;
+  if (!r.u32(n) || n > kMaxSlowEntries) return false;
+  out.entries.clear();
+  out.entries.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    SlowEntryMsg e;
+    if (!r.u64(e.exec_id) || !r.u8(e.state) || !r.u64(e.latency_ns) ||
+        !r.u64(e.t_decode_ns) || !r.u64(e.t_admit_ns) || !r.u64(e.t_submit_ns) ||
+        !r.u64(e.t_dispatch_ns) || !r.u64(e.t_complete_ns) ||
+        !r.u64(e.t_reply_ns) || !r.str8(e.name)) {
+      return false;
+    }
+    if (e.name.size() > kMaxNameLen) return false;
+    out.entries.push_back(std::move(e));
+  }
+  return r.done();
+}
+
 void encode_error(const ErrorMsg& m, WireWriter& w) {
   w.u8(m.code);
   // u16 length: error text is diagnostic, keep it roomier than str8.

@@ -218,6 +218,50 @@ struct StatsMsg {
   std::uint64_t arena_bytes = 0;
 };
 
+/// One metric in a kMetrics reply. Counters/gauges carry `value`;
+/// histograms carry the per-bucket counts (buckets[i] = obs bucket i, the
+/// log2 layout of obs/histogram.h) and `value` = total count. Decoded
+/// histograms can be wrapped back into an obs::HistSnapshot client-side
+/// for quantile extraction — that is what nabbitc-top does.
+struct MetricEntry {
+  std::string name;       // <= kMaxMetricNameWire bytes, [a-zA-Z0-9_]
+  std::uint8_t kind = 0;  // obs::MetricKind value
+  std::uint64_t value = 0;
+  std::vector<std::uint64_t> buckets;  // empty unless kind == histogram
+};
+
+/// Caps for kMetrics, enforced by decode_metrics. The entry cap matches
+/// obs::kMaxMetrics (a registry can never exceed it); the name cap is the
+/// wire's own (str8 limits it to 255 anyway).
+inline constexpr std::uint32_t kMaxMetricEntries = 4096;
+inline constexpr std::uint32_t kMaxMetricBuckets = 128;
+
+struct MetricsMsg {
+  std::vector<MetricEntry> entries;
+};
+
+/// One slow-request record in a kSlow reply (obs/slow_ring.h on the wire).
+struct SlowEntryMsg {
+  std::uint64_t exec_id = 0;
+  std::uint8_t state = 0;  // rt::ExecStatus (terminal)
+  std::uint64_t latency_ns = 0;
+  std::uint64_t t_decode_ns = 0;
+  std::uint64_t t_admit_ns = 0;
+  std::uint64_t t_submit_ns = 0;
+  std::uint64_t t_dispatch_ns = 0;
+  std::uint64_t t_complete_ns = 0;
+  std::uint64_t t_reply_ns = 0;
+  std::string name;  // <= kMaxNameLen
+};
+
+/// kSlow entry cap: the ring is tiny by design; a reply claiming more is
+/// malformed.
+inline constexpr std::uint32_t kMaxSlowEntries = 64;
+
+struct SlowMsg {
+  std::vector<SlowEntryMsg> entries;
+};
+
 enum class ErrCode : std::uint8_t {
   kMalformedBody = 1,
   kBadMagic = 2,
@@ -266,6 +310,10 @@ void encode_cancel_ack(const CancelAckMsg& m, WireWriter& w);
 bool decode_cancel_ack(std::span<const std::uint8_t> body, CancelAckMsg& out);
 void encode_stats(const StatsMsg& m, WireWriter& w);
 bool decode_stats(std::span<const std::uint8_t> body, StatsMsg& out);
+void encode_metrics(const MetricsMsg& m, WireWriter& w);
+bool decode_metrics(std::span<const std::uint8_t> body, MetricsMsg& out);
+void encode_slow(const SlowMsg& m, WireWriter& w);
+bool decode_slow(std::span<const std::uint8_t> body, SlowMsg& out);
 void encode_error(const ErrorMsg& m, WireWriter& w);
 bool decode_error(std::span<const std::uint8_t> body, ErrorMsg& out);
 

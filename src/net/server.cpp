@@ -6,10 +6,12 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <utility>
 
 #include "net/session.h"
+#include "obs/metrics.h"
 
 namespace nabbitc::net {
 
@@ -176,7 +178,15 @@ bool Server::restore_entry_from_blob(const persist::PlanCacheDir::Loaded& loaded
   entry.canon.assign(spec_bytes.begin(), spec_bytes.end());
   entry.spec = std::move(spec);
   entry.plan = std::move(plan);
+  bind_plan_metrics(entry);
   return true;
+}
+
+void Server::bind_plan_metrics(SpecEntry& entry) {
+  char name[64];
+  std::snprintf(name, sizeof(name), "submit_complete_ns_plan_%016llx",
+                static_cast<unsigned long long>(entry.handle));
+  entry.plan->bind_metrics(&obs::registry().histogram(name));
 }
 
 void Server::warm_start_from_cache() {
@@ -247,6 +257,7 @@ Server::SpecEntry* Server::register_spec(const WireGraph& g,
   // Compile under reg_mu_: registration is rare and this guarantees
   // "compiled exactly once" even when many clients register concurrently.
   e.plan = runtime_.compile(*e.spec, g.sink(), opts_.reserve_instances);
+  bind_plan_metrics(e);
   plans_compiled_.fetch_add(1, std::memory_order_relaxed);
   *compiled_now = true;
   // unordered_map nodes are address-stable: the returned pointer (and the
@@ -316,6 +327,92 @@ StatsMsg Server::stats() const {
   m.sessions_active = sessions_active_.load(std::memory_order_acquire);
   m.in_flight = global_inflight_.load(std::memory_order_acquire);
   m.arena_bytes = runtime_.arena_bytes();
+  return m;
+}
+
+MetricsMsg Server::metrics_msg() {
+  MetricsMsg m;
+  const std::vector<obs::Sample> samples = obs::registry().snapshot();
+  m.entries.reserve(samples.size() + 16);
+  for (const obs::Sample& s : samples) {
+    MetricEntry e;
+    e.name = s.name;
+    e.kind = static_cast<std::uint8_t>(s.kind);
+    e.value = s.value;
+    if (s.kind == obs::MetricKind::kHistogram) {
+      e.buckets.assign(s.hist.buckets.begin(), s.hist.buckets.end());
+    }
+    m.entries.push_back(std::move(e));
+  }
+
+  // Scrape-time derived gauges/counters: state that lives in the server or
+  // scheduler rather than in the registry. Counters here mirror the STATS
+  // atomics so one METRICS scrape is self-sufficient for nabbitc-top.
+  const auto add = [&m](const char* name, obs::MetricKind kind,
+                        std::uint64_t v) {
+    MetricEntry e;
+    e.name = name;
+    e.kind = static_cast<std::uint8_t>(kind);
+    e.value = v;
+    m.entries.push_back(std::move(e));
+  };
+  using MK = obs::MetricKind;
+  add("net_sessions_active", MK::kGauge,
+      sessions_active_.load(std::memory_order_acquire));
+  add("net_inflight", MK::kGauge,
+      global_inflight_.load(std::memory_order_acquire));
+  add("net_submitted_total", MK::kCounter,
+      submitted_.load(std::memory_order_relaxed));
+  add("net_completed_total", MK::kCounter,
+      completed_.load(std::memory_order_relaxed));
+  add("net_busy_rejections_total", MK::kCounter,
+      rejected_busy_.load(std::memory_order_relaxed));
+  add("net_protocol_errors_total", MK::kCounter,
+      protocol_errors_.load(std::memory_order_relaxed));
+  add("rt_arena_bytes", MK::kGauge, runtime_.arena_bytes());
+
+  std::uint32_t depths[rt::Scheduler::kNumLanes];
+  runtime_.scheduler().lane_depths(depths);
+  char name[64];
+  for (std::uint32_t l = 0; l < rt::Scheduler::kNumLanes; ++l) {
+    std::snprintf(name, sizeof(name), "sched_lane_depth_%u", l);
+    add(name, MK::kGauge, depths[l]);
+  }
+
+  // Per-plan instance-pool fill: built vs free says how deep concurrent
+  // replays have grown each pool and how much of it is checked out now.
+  {
+    std::lock_guard<std::mutex> lk(reg_mu_);
+    for (const auto& [handle, entry] : registry_) {
+      std::snprintf(name, sizeof(name), "plan_instances_built_plan_%016llx",
+                    static_cast<unsigned long long>(handle));
+      add(name, MK::kGauge, entry.plan->instances_built());
+      std::snprintf(name, sizeof(name), "plan_instances_free_plan_%016llx",
+                    static_cast<unsigned long long>(handle));
+      add(name, MK::kGauge, entry.plan->instances_free());
+    }
+  }
+  return m;
+}
+
+SlowMsg Server::slow_msg() const {
+  SlowMsg m;
+  const std::vector<obs::SlowEntry> entries = slow_ring_.snapshot();
+  m.entries.reserve(entries.size());
+  for (const obs::SlowEntry& e : entries) {
+    SlowEntryMsg s;
+    s.exec_id = e.exec_id;
+    s.state = e.state;
+    s.latency_ns = e.latency_ns;
+    s.t_decode_ns = e.t_decode_ns;
+    s.t_admit_ns = e.t_admit_ns;
+    s.t_submit_ns = e.t_submit_ns;
+    s.t_dispatch_ns = e.t_dispatch_ns;
+    s.t_complete_ns = e.t_complete_ns;
+    s.t_reply_ns = e.t_reply_ns;
+    s.name = e.name;
+    m.entries.push_back(std::move(s));
+  }
   return m;
 }
 

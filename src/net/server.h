@@ -31,6 +31,7 @@
 #include "net/protocol.h"
 #include "net/remote_graph.h"
 #include "net/socket.h"
+#include "obs/slow_ring.h"
 #include "persist/plan_cache.h"
 #include "plan/plan.h"
 
@@ -104,6 +105,18 @@ class Server {
   /// Snapshot of the daemon counters (the STATS reply).
   StatsMsg stats() const;
 
+  /// The METRICS reply: the full obs::registry() dump (every counter,
+  /// gauge, and histogram any layer recorded) plus server-derived gauges
+  /// that only exist at scrape time — lane depths, arena bytes, session /
+  /// in-flight occupancy, and per-plan instance-pool fill.
+  MetricsMsg metrics_msg();
+
+  /// The SLOW reply: the slow-request ring, slowest first.
+  SlowMsg slow_msg() const;
+
+  /// The K-slowest-request capture sessions note completions into.
+  obs::SlowRing& slow_ring() noexcept { return slow_ring_; }
+
   /// Plans restored from the cache so far (warm-start + lazy REGISTER
   /// hits); 0 without a cache.
   std::uint64_t plans_loaded() const noexcept {
@@ -140,6 +153,11 @@ class Server {
   /// the blob's embedded spec.
   bool restore_entry_from_blob(const persist::PlanCacheDir::Loaded& loaded,
                                std::uint64_t handle, SpecEntry& entry);
+
+  /// Registers "submit_complete_ns_plan_<handle hex>" and binds it to the
+  /// entry's plan, so every replay of it records a per-plan latency beside
+  /// the global submit_complete_ns. Called once per SpecEntry creation.
+  void bind_plan_metrics(SpecEntry& entry);
   /// start()-time sweep: restore every parseable blob in the cache dir.
   void warm_start_from_cache();
 
@@ -186,6 +204,8 @@ class Server {
   std::atomic<std::uint32_t> sessions_active_{0};
   std::atomic<std::uint32_t> global_inflight_{0};
   std::atomic<std::uint64_t> exec_ids_{1};
+
+  obs::SlowRing slow_ring_;
 
   std::atomic<bool> stop_{false};
   bool started_ = false;

@@ -7,9 +7,34 @@
 
 #include "net/protocol.h"
 #include "net/remote_graph.h"
+#include "obs/metrics.h"
 #include "support/timing.h"
 
 namespace nabbitc::net {
+
+namespace {
+
+/// Session-layer metrics, resolved once per process. dispatch covers one
+/// full frame turnaround (decode + handler + reply write); reply is the
+/// reply write alone, so dispatch - reply isolates server-side work.
+struct NetMetrics {
+  obs::Histogram* dispatch_ns;
+  obs::Histogram* reply_ns;
+  obs::Counter* bytes_in;
+  obs::Counter* bytes_out;
+};
+
+NetMetrics& net_metrics() {
+  static NetMetrics m{
+      &obs::registry().histogram("net_dispatch_ns"),
+      &obs::registry().histogram("net_reply_ns"),
+      &obs::registry().counter("net_bytes_in_total"),
+      &obs::registry().counter("net_bytes_out_total"),
+  };
+  return m;
+}
+
+}  // namespace
 
 Session::Session(Server& server, Fd fd, std::uint64_t id) noexcept
     : server_(server), fd_(std::move(fd)), id_(id) {}
@@ -60,9 +85,13 @@ void Session::run() {
             done = true;
             break;
           case FrameAssembler::Result::kFrame:
+            frame_t0_ns_ = obs::enabled() ? now_ns() : 0;
             if (!dispatch(f)) {
               disconnected = true;
               done = true;
+            }
+            if (frame_t0_ns_ != 0) {
+              net_metrics().dispatch_ns->record(now_ns() - frame_t0_ns_);
             }
             break;
         }
@@ -96,6 +125,7 @@ bool Session::pump_socket() {
     std::size_t n = 0;
     switch (read_some(fd_.get(), buf, sizeof(buf), &n)) {
       case ReadStatus::kData:
+        net_metrics().bytes_in->add(n);
         assembler_.feed(buf, n);
         break;
       case ReadStatus::kWouldBlock:
@@ -122,6 +152,10 @@ bool Session::dispatch(const FrameAssembler::Frame& f) {
       return handle_cancel(body);
     case FrameType::kStatsReq:
       return handle_stats();
+    case FrameType::kMetricsReq:
+      return handle_metrics();
+    case FrameType::kSlowReq:
+      return handle_slow();
     default:
       // A server->client frame type arriving here means the peer is not a
       // client; close after answering.
@@ -201,6 +235,8 @@ bool Session::handle_submit(std::span<const std::uint8_t> body) {
   rec.name = std::move(req.name);
   rec.payload = req.payload;
   rec.plan = e->plan.get();
+  rec.t_decode_ns = frame_t0_ns_;
+  rec.t_admit_ns = obs::enabled() ? now_ns() : 0;
 
   api::SubmitOptions so;
   so.priority = static_cast<api::Priority>(
@@ -268,6 +304,7 @@ bool Session::handle_submit_batch(std::span<const std::uint8_t> body) {
     // Records first: SubmitOptions::name borrows the stable string inside
     // the InFlight node, exactly like the singleton path.
     m.exec_ids.reserve(admitted);
+    const std::uint64_t t_admit = obs::enabled() ? now_ns() : 0;
     std::vector<InFlight*> recs(admitted);
     std::vector<api::SubmitOptions> sos(admitted);
     for (std::uint32_t i = 0; i < admitted; ++i) {
@@ -278,6 +315,8 @@ bool Session::handle_submit_batch(std::span<const std::uint8_t> body) {
       rec.name = std::move(item.name);
       rec.payload = item.payload;
       rec.plan = e->plan.get();
+      rec.t_decode_ns = frame_t0_ns_;
+      rec.t_admit_ns = t_admit;
       recs[i] = &rec;
       api::SubmitOptions& so = sos[i];
       so.priority = static_cast<api::Priority>(
@@ -351,6 +390,18 @@ bool Session::handle_stats() {
   return send(FrameType::kStats, w);
 }
 
+bool Session::handle_metrics() {
+  WireWriter w;
+  encode_metrics(server_.metrics_msg(), w);
+  return send(FrameType::kMetrics, w);
+}
+
+bool Session::handle_slow() {
+  WireWriter w;
+  encode_slow(server_.slow_msg(), w);
+  return send(FrameType::kSlow, w);
+}
+
 void Session::sweep_completed(bool deliver) {
   for (auto it = inflight_.begin(); it != inflight_.end();) {
     if (it->second.exec.done()) {
@@ -385,11 +436,27 @@ void Session::finish_record(std::uint64_t exec_id, InFlight& rec,
   }
   m.latency_ns = now_ns() - rec.t_submit_ns;
   server_.release_global();
+  bool replied = false;
   if (deliver && alive_) {
     WireWriter w;
     encode_result(m, w);
-    send(FrameType::kResult, w);
+    replied = send(FrameType::kResult, w);
   }
+  // Slow-request capture: note every completion; the ring keeps only the K
+  // slowest. Stage stamps that never happened (metrics off, undelivered
+  // reply, never-adopted root) stay 0 — see obs/slow_ring.h.
+  obs::SlowEntry se;
+  se.exec_id = exec_id;
+  se.state = m.state;
+  se.latency_ns = m.latency_ns;
+  se.t_decode_ns = rec.t_decode_ns;
+  se.t_admit_ns = rec.t_admit_ns;
+  se.t_submit_ns = rec.t_submit_ns;
+  se.t_dispatch_ns = rec.exec.first_dispatch_time_ns();
+  se.t_complete_ns = rec.exec.complete_time_ns();
+  se.t_reply_ns = replied ? now_ns() : 0;
+  se.name = rec.name;
+  server_.slow_ring().note(se);
 }
 
 void Session::cancel_all() noexcept {
@@ -406,11 +473,14 @@ void Session::drain_all(bool deliver) {
 bool Session::send(FrameType type, const WireWriter& body) noexcept {
   if (!alive_) return false;
   const std::vector<std::uint8_t> frame = body.frame(type);
+  const std::uint64_t t0 = obs::enabled() ? now_ns() : 0;
   if (!write_all(fd_.get(), frame.data(), frame.size(),
                  server_.opts_.io_timeout_ms)) {
     alive_ = false;
     return false;
   }
+  if (t0 != 0) net_metrics().reply_ns->record(now_ns() - t0);
+  net_metrics().bytes_out->add(frame.size());
   return true;
 }
 

@@ -48,6 +48,11 @@ class Session {
     api::Execution exec;
     std::string name;
     std::uint64_t payload = 0;
+    /// Slow-request stage stamps (obs/slow_ring.h): when the SUBMIT frame
+    /// entered dispatch, when admission control let it through, and when
+    /// it was submitted to the runtime. 0 when metrics are disabled.
+    std::uint64_t t_decode_ns = 0;
+    std::uint64_t t_admit_ns = 0;
     std::uint64_t t_submit_ns = 0;
     const plan::GraphPlan* plan = nullptr;
   };
@@ -64,6 +69,8 @@ class Session {
   bool handle_status_req(std::span<const std::uint8_t> body);
   bool handle_cancel(std::span<const std::uint8_t> body);
   bool handle_stats();
+  bool handle_metrics();
+  bool handle_slow();
 
   /// Pushes RESULT for every terminal execution and retires its record.
   void sweep_completed(bool deliver);
@@ -85,6 +92,10 @@ class Session {
   std::atomic<bool> finished_{false};
   FrameAssembler assembler_;
   std::unordered_map<std::uint64_t, InFlight> inflight_;
+  /// When the frame currently being dispatched entered dispatch (the
+  /// "decode" stage stamp for any SUBMIT it carries). 0 when metrics are
+  /// disabled.
+  std::uint64_t frame_t0_ns_ = 0;
   /// Cleared on the first failed send: the peer is gone, stop writing.
   bool alive_ = true;
 };

@@ -31,7 +31,9 @@ namespace nabbitc::net {
 inline constexpr std::uint8_t kWireMagic0 = 'N';
 inline constexpr std::uint8_t kWireMagic1 = 'B';
 // v2: STATS gained plans_loaded/plans_persisted (plan-cache counters).
-inline constexpr std::uint8_t kWireVersion = 2;
+// v3: added METRICS_REQ/METRICS (full registry dump) and SLOW_REQ/SLOW
+//     (slow-request ring with per-stage timestamps). STATS is unchanged.
+inline constexpr std::uint8_t kWireVersion = 3;
 inline constexpr std::size_t kFrameHeaderBytes = 8;
 /// Upper bound on one frame body. Large enough for a maximal REGISTER
 /// (kMaxWireNodes nodes, protocol.h), small enough that a hostile length
@@ -50,6 +52,8 @@ enum class FrameType : std::uint8_t {
   kCancel = 4,     // exec id            -> kCancelAck
   kStatsReq = 5,   // (empty)            -> kStats
   kSubmitBatch = 6,  // SubmitBatchRequest -> kSubmittedBatch | kError
+  kMetricsReq = 7,   // (empty)            -> kMetrics
+  kSlowReq = 8,      // (empty)            -> kSlow
   // server -> client
   kRegistered = 64,
   kSubmitted = 65,
@@ -60,10 +64,12 @@ enum class FrameType : std::uint8_t {
   kStats = 70,
   kError = 71,
   kSubmittedBatch = 72,  // exec ids for the admitted prefix of a kSubmitBatch
+  kMetrics = 73,
+  kSlow = 74,
 };
 
 inline constexpr bool frame_type_known(std::uint8_t t) noexcept {
-  return (t >= 1 && t <= 6) || (t >= 64 && t <= 72);
+  return (t >= 1 && t <= 8) || (t >= 64 && t <= 74);
 }
 
 inline constexpr const char* frame_type_name(FrameType t) noexcept {
@@ -74,6 +80,8 @@ inline constexpr const char* frame_type_name(FrameType t) noexcept {
     case FrameType::kCancel: return "CANCEL";
     case FrameType::kStatsReq: return "STATS_REQ";
     case FrameType::kSubmitBatch: return "SUBMIT_BATCH";
+    case FrameType::kMetricsReq: return "METRICS_REQ";
+    case FrameType::kSlowReq: return "SLOW_REQ";
     case FrameType::kRegistered: return "REGISTERED";
     case FrameType::kSubmitted: return "SUBMITTED";
     case FrameType::kBusy: return "BUSY";
@@ -82,6 +90,8 @@ inline constexpr const char* frame_type_name(FrameType t) noexcept {
     case FrameType::kCancelAck: return "CANCEL_ACK";
     case FrameType::kStats: return "STATS";
     case FrameType::kSubmittedBatch: return "SUBMITTED_BATCH";
+    case FrameType::kMetrics: return "METRICS";
+    case FrameType::kSlow: return "SLOW";
     case FrameType::kError: return "ERROR";
   }
   return "?";

@@ -1,0 +1,167 @@
+// Lock-free fixed-bucket log-scale latency histogram — the recording
+// primitive of the always-on metrics layer (src/obs/).
+//
+// Design constraints (ISSUE 9 / the serving north-star):
+//   - record() is on submit/complete/dispatch paths that run millions of
+//     times per second, so it must be a handful of ns: no locks, no
+//     allocation, no clock reads, no stores that contend across threads in
+//     the common case.
+//   - read-side merges may be slow; scraping happens ~1/s.
+//
+// Shape: 65 power-of-2 buckets. Bucket 0 counts exact zeros; bucket b
+// (1..64) counts values in [2^(b-1), 2^b). Every uint64 maps to exactly
+// one bucket (bucket_of(~0) == 64), so there is no separate overflow bin
+// to lose samples in. Counts live in kHistShards cache-line-aligned shards
+// of relaxed atomics; a recording thread picks a shard once (thread-local
+// round-robin) and then always hits the same mostly-private lines, so a
+// record() is one relaxed fetch_add. Readers sum shards — counts are
+// eventually consistent but never lost (fetch_add, not store).
+//
+// The sum of recorded values is NOT tracked per record (that would double
+// the record cost); HistSnapshot::approx_sum derives a mean-grade estimate
+// from bucket midpoints. Quantiles (the numbers operators act on) are
+// exact to bucket resolution: p50/p90/p99/p999 land inside the right
+// power-of-2 bucket and are linearly interpolated within it.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+
+namespace nabbitc::obs {
+
+/// The metrics kill-switch: NABBITC_METRICS=0 disables every record path
+/// behind this one cached branch. A CI instrument (the overhead A/B gate),
+/// not an operator knob — the default is ON. One getenv at first use.
+inline bool enabled() noexcept {
+  static const bool on = [] {
+    const char* e = std::getenv("NABBITC_METRICS");
+    return e == nullptr || !(e[0] == '0' && e[1] == '\0');
+  }();
+  return on;
+}
+
+inline constexpr std::uint32_t kHistBuckets = 65;
+inline constexpr std::uint32_t kHistShards = 8;  // power of two
+
+/// Bucket index of a value: 0 for 0, else bit_width(v) in 1..64.
+inline constexpr std::uint32_t bucket_of(std::uint64_t v) noexcept {
+  return v == 0 ? 0u : static_cast<std::uint32_t>(std::bit_width(v));
+}
+
+/// Inclusive lower bound of a bucket (0 for buckets 0 and 1).
+inline constexpr std::uint64_t bucket_lo(std::uint32_t b) noexcept {
+  return b <= 1 ? 0ull : (1ull << (b - 1));
+}
+
+/// Inclusive upper bound of a bucket.
+inline constexpr std::uint64_t bucket_hi(std::uint32_t b) noexcept {
+  if (b == 0) return 0;
+  if (b >= 64) return ~0ull;
+  return (1ull << b) - 1;
+}
+
+/// Merged read-side view of a histogram (or of a bucket-count delta —
+/// nabbitc-top subtracts consecutive scrapes to get interval quantiles).
+struct HistSnapshot {
+  std::array<std::uint64_t, kHistBuckets> buckets{};
+
+  std::uint64_t count() const noexcept {
+    std::uint64_t n = 0;
+    for (const std::uint64_t c : buckets) n += c;
+    return n;
+  }
+
+  /// Mean-grade sum estimate from bucket midpoints (exact for bucket 0).
+  double approx_sum() const noexcept {
+    double s = 0;
+    for (std::uint32_t b = 1; b < kHistBuckets; ++b) {
+      if (buckets[b] == 0) continue;
+      const double mid = (static_cast<double>(bucket_lo(b)) +
+                          static_cast<double>(bucket_hi(b))) / 2.0;
+      s += mid * static_cast<double>(buckets[b]);
+    }
+    return s;
+  }
+
+  /// Quantile q in [0, 1], linearly interpolated within the bucket that
+  /// holds rank q*(count-1). Returns 0 for an empty snapshot. The result
+  /// is guaranteed to lie in [bucket_lo(b), bucket_hi(b)] of that bucket.
+  double quantile(double q) const noexcept {
+    const std::uint64_t n = count();
+    if (n == 0) return 0.0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    const double rank = q * static_cast<double>(n - 1);
+    std::uint64_t cum = 0;
+    for (std::uint32_t b = 0; b < kHistBuckets; ++b) {
+      const std::uint64_t c = buckets[b];
+      if (c == 0) continue;
+      if (rank < static_cast<double>(cum + c)) {
+        const double frac =
+            (rank - static_cast<double>(cum)) / static_cast<double>(c);
+        const double lo = static_cast<double>(bucket_lo(b));
+        const double hi = static_cast<double>(bucket_hi(b));
+        return lo + frac * (hi - lo);
+      }
+      cum += c;
+    }
+    return static_cast<double>(bucket_hi(kHistBuckets - 1));
+  }
+};
+
+namespace detail {
+/// Round-robin shard assignment: each thread picks a shard once and keeps
+/// it, so its records stay on lines no other thread is likely to touch.
+inline std::uint32_t shard_index() noexcept {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t idx =
+      next.fetch_add(1, std::memory_order_relaxed) & (kHistShards - 1);
+  return idx;
+}
+}  // namespace detail
+
+class Histogram {
+ public:
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// One relaxed fetch_add on a thread-affine shard. Safe from any thread.
+  void record(std::uint64_t value) noexcept {
+    if (!enabled()) return;
+    shards_[detail::shard_index()]
+        .buckets[bucket_of(value)]
+        .fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Merge all shards. Concurrent record()s may or may not be included
+  /// (relaxed reads), but no sample is ever lost across snapshots.
+  HistSnapshot snapshot() const noexcept {
+    HistSnapshot s;
+    for (const Shard& sh : shards_) {
+      for (std::uint32_t b = 0; b < kHistBuckets; ++b) {
+        s.buckets[b] += sh.buckets[b].load(std::memory_order_relaxed);
+      }
+    }
+    return s;
+  }
+
+  /// Tests only: zero every shard (racy vs concurrent record()).
+  void reset_for_tests() noexcept {
+    for (Shard& sh : shards_) {
+      for (auto& b : sh.buckets) b.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::array<std::atomic<std::uint64_t>, kHistBuckets> buckets{};
+  };
+  Shard shards_[kHistShards];
+};
+
+}  // namespace nabbitc::obs

@@ -1,0 +1,147 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace nabbitc::obs {
+
+const char* metric_kind_name(MetricKind k) noexcept {
+  switch (k) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+struct Registry::Impl {
+  struct Entry {
+    MetricKind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> hist;
+  };
+
+  mutable std::mutex mu;
+  // std::map: stable node addresses AND name-sorted iteration for free.
+  std::map<std::string, Entry, std::less<>> entries;
+  // Shared sinks for cap/kind-mismatch fallback — never exposed by name.
+  Counter sink_counter;
+  Gauge sink_gauge;
+  Histogram sink_hist;
+
+  Entry* get_or_create(std::string_view name, MetricKind kind) {
+    if (name.empty() || name.size() > kMaxMetricNameLen) return nullptr;
+    const auto it = entries.find(name);
+    if (it != entries.end()) {
+      return it->second.kind == kind ? &it->second : nullptr;
+    }
+    if (entries.size() >= kMaxMetrics) return nullptr;
+    Entry e;
+    e.kind = kind;
+    switch (kind) {
+      case MetricKind::kCounter: e.counter = std::make_unique<Counter>(); break;
+      case MetricKind::kGauge: e.gauge = std::make_unique<Gauge>(); break;
+      case MetricKind::kHistogram: e.hist = std::make_unique<Histogram>(); break;
+    }
+    return &entries.emplace(std::string(name), std::move(e)).first->second;
+  }
+};
+
+Registry::Registry() : impl_(new Impl) {}
+Registry::~Registry() { delete impl_; }
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  Impl::Entry* e = impl_->get_or_create(name, MetricKind::kCounter);
+  return e != nullptr ? *e->counter : impl_->sink_counter;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  Impl::Entry* e = impl_->get_or_create(name, MetricKind::kGauge);
+  return e != nullptr ? *e->gauge : impl_->sink_gauge;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  Impl::Entry* e = impl_->get_or_create(name, MetricKind::kHistogram);
+  return e != nullptr ? *e->hist : impl_->sink_hist;
+}
+
+std::vector<Sample> Registry::snapshot() const {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  std::vector<Sample> out;
+  out.reserve(impl_->entries.size());
+  for (const auto& [name, e] : impl_->entries) {
+    Sample s;
+    s.name = name;
+    s.kind = e.kind;
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        s.value = e.counter->value();
+        break;
+      case MetricKind::kGauge:
+        s.value = e.gauge->value();
+        break;
+      case MetricKind::kHistogram:
+        s.hist = e.hist->snapshot();
+        s.value = s.hist.count();
+        break;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::size_t Registry::size() const {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  return impl_->entries.size();
+}
+
+void Registry::reset_for_tests() {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  for (auto& [name, e] : impl_->entries) {
+    switch (e.kind) {
+      case MetricKind::kCounter: e.counter->reset_for_tests(); break;
+      case MetricKind::kGauge: e.gauge->set(0); break;
+      case MetricKind::kHistogram: e.hist->reset_for_tests(); break;
+    }
+  }
+}
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+void render_text(const std::vector<Sample>& samples, std::string& out) {
+  char line[256];
+  for (const Sample& s : samples) {
+    if (s.kind != MetricKind::kHistogram) {
+      std::snprintf(line, sizeof(line), "%s %llu\n", s.name.c_str(),
+                    static_cast<unsigned long long>(s.value));
+      out += line;
+      continue;
+    }
+    std::snprintf(line, sizeof(line), "%s_count %llu\n", s.name.c_str(),
+                  static_cast<unsigned long long>(s.value));
+    out += line;
+    std::snprintf(line, sizeof(line), "%s_sum %.0f\n", s.name.c_str(),
+                  s.hist.approx_sum());
+    out += line;
+    static constexpr struct { const char* label; double q; } kQs[] = {
+        {"0.5", 0.50}, {"0.9", 0.90}, {"0.99", 0.99}, {"0.999", 0.999}};
+    for (const auto& q : kQs) {
+      std::snprintf(line, sizeof(line), "%s{quantile=\"%s\"} %.0f\n",
+                    s.name.c_str(), q.label, s.hist.quantile(q.q));
+      out += line;
+    }
+  }
+}
+
+}  // namespace nabbitc::obs

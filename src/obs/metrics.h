@@ -1,0 +1,120 @@
+// Process-wide metrics registry: named monotonic counters, gauges, and
+// log-scale histograms (obs/histogram.h), cheap enough to stay always-on.
+//
+// Usage pattern: a subsystem looks its metrics up ONCE (get-or-create by
+// name takes a mutex) and caches the returned pointers — pointers are
+// stable for the registry's lifetime. The hot path then touches only the
+// metric object itself: a relaxed fetch_add (Counter), a relaxed store
+// (Gauge), or a sharded relaxed fetch_add (Histogram). Scrapes walk the
+// registry under the same mutex, which only ever races with registration,
+// never with recording.
+//
+// Names are plain [a-zA-Z0-9_] tokens, labels pre-baked into the name at
+// registration (e.g. "submit_complete_ns_plan_1a2bc3d4") — no label
+// parsing anywhere near the record path. The registry is bounded
+// (kMaxMetrics): past the cap, get-or-create hands back a shared overflow
+// sink so a hostile stream of distinct plan handles cannot grow memory
+// without bound.
+//
+// The kill-switch: NABBITC_METRICS=0 in the environment disables every
+// record path behind one cached branch. This exists for the CI overhead
+// gate (metrics-on throughput within run noise of metrics-off), not for
+// operators — the default is ON.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/histogram.h"
+
+namespace nabbitc::obs {
+
+inline constexpr std::size_t kMaxMetrics = 4096;
+inline constexpr std::size_t kMaxMetricNameLen = 128;
+
+class Counter {
+ public:
+  void add(std::uint64_t n) noexcept {
+    if (enabled()) v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void inc() noexcept { add(1); }
+  std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset_for_tests() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(std::uint64_t v) noexcept {
+    v_.store(v, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+enum class MetricKind : std::uint8_t {
+  kCounter = 0,
+  kGauge = 1,
+  kHistogram = 2,
+};
+
+const char* metric_kind_name(MetricKind k) noexcept;
+
+/// Read-side view of one metric, as captured by Registry::snapshot().
+struct Sample {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  std::uint64_t value = 0;  // counter/gauge value; histogram count
+  HistSnapshot hist;        // meaningful iff kind == kHistogram
+};
+
+class Registry {
+ public:
+  Registry();
+  ~Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Get-or-create by full name. Mutex-guarded; call once and cache the
+  /// pointer. A name registered under a different kind, or past the
+  /// kMaxMetrics cap, resolves to a shared unnamed sink of the requested
+  /// kind (records are absorbed, never crash).
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// All metrics, sorted by name. Histograms are merged across shards.
+  std::vector<Sample> snapshot() const;
+
+  std::size_t size() const;
+
+  /// Tests only: zero counters and histograms, drop nothing (pointers
+  /// handed out stay valid).
+  void reset_for_tests();
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// The process-global registry every subsystem records into.
+Registry& registry();
+
+/// Prometheus-style text exposition of a snapshot:
+///   counter/gauge:  `name value`
+///   histogram:      `name_count N`, `name_sum S` (midpoint estimate), and
+///                   `name{quantile="0.5|0.9|0.99|0.999"} v` summary lines.
+void render_text(const std::vector<Sample>& samples, std::string& out);
+
+}  // namespace nabbitc::obs

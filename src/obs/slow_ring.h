@@ -1,0 +1,85 @@
+// Always-on slow-request capture: a bounded set of the K slowest recent
+// executions with per-stage timestamps, dumpable over the wire (kSlowReq).
+//
+// When p99 spikes, the first operator question is "show me the slow ones" —
+// a histogram says *that* requests were slow, the stage stamps say *where*
+// (decode -> admit -> submit -> first-dispatch -> complete -> reply). The
+// ring is tiny (K=16 by default) and note() takes a mutex, but it is
+// called once per COMPLETED request on the session thread (never inside
+// the scheduler), so its cost is noise next to the reply syscall it sits
+// beside.
+//
+// Replacement policy: keep the K largest latencies seen since the last
+// spike aged out — a new entry evicts the current minimum iff it is
+// slower. "Recent" is approximated by the ring being small: sustained
+// traffic refreshes it quickly, and an idle daemon keeps its last
+// interesting tail for the operator to inspect.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace nabbitc::obs {
+
+inline constexpr std::size_t kSlowRingDefaultCapacity = 16;
+
+struct SlowEntry {
+  std::uint64_t exec_id = 0;
+  std::uint8_t state = 0;        // terminal rt::ExecStatus
+  std::uint64_t latency_ns = 0;  // submit -> complete (the ranking key)
+  // Per-stage wall-clock stamps (support/timing.h now_ns domain). A stage
+  // that never happened (e.g. dispatch of a cancelled-before-adoption
+  // root) is 0.
+  std::uint64_t t_decode_ns = 0;
+  std::uint64_t t_admit_ns = 0;
+  std::uint64_t t_submit_ns = 0;
+  std::uint64_t t_dispatch_ns = 0;
+  std::uint64_t t_complete_ns = 0;
+  std::uint64_t t_reply_ns = 0;
+  std::string name;  // request name from the SUBMIT, may be empty
+};
+
+class SlowRing {
+ public:
+  explicit SlowRing(std::size_t capacity = kSlowRingDefaultCapacity)
+      : cap_(capacity == 0 ? 1 : capacity) {}
+
+  void note(const SlowEntry& e) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (entries_.size() < cap_) {
+      entries_.push_back(e);
+      return;
+    }
+    std::size_t min_i = 0;
+    for (std::size_t i = 1; i < entries_.size(); ++i) {
+      if (entries_[i].latency_ns < entries_[min_i].latency_ns) min_i = i;
+    }
+    if (e.latency_ns > entries_[min_i].latency_ns) entries_[min_i] = e;
+  }
+
+  /// Entries sorted slowest-first.
+  std::vector<SlowEntry> snapshot() const {
+    std::vector<SlowEntry> out;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      out = entries_;
+    }
+    std::sort(out.begin(), out.end(),
+              [](const SlowEntry& a, const SlowEntry& b) {
+                return a.latency_ns > b.latency_ns;
+              });
+    return out;
+  }
+
+  std::size_t capacity() const noexcept { return cap_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<SlowEntry> entries_;
+  std::size_t cap_;
+};
+
+}  // namespace nabbitc::obs

@@ -3,9 +3,39 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/metrics.h"
 #include "support/hash.h"
+#include "support/timing.h"
 
 namespace nabbitc::persist {
+
+namespace {
+
+/// Cache outcome counters + load latency, mirrored into the process-global
+/// metrics registry beside the exact Stats struct (stats() stays the
+/// authoritative per-cache answer; these feed the daemon's METRICS scrape).
+struct CacheMetrics {
+  obs::Counter* mem_hits;
+  obs::Counter* disk_hits;
+  obs::Counter* misses;
+  obs::Counter* rejected;
+  obs::Counter* stored;
+  obs::Histogram* load_ns;
+};
+
+CacheMetrics& cache_metrics() {
+  static CacheMetrics m{
+      &obs::registry().counter("persist_cache_mem_hits_total"),
+      &obs::registry().counter("persist_cache_disk_hits_total"),
+      &obs::registry().counter("persist_cache_misses_total"),
+      &obs::registry().counter("persist_cache_rejected_total"),
+      &obs::registry().counter("persist_cache_stored_total"),
+      &obs::registry().histogram("persist_cache_load_ns"),
+  };
+  return m;
+}
+
+}  // namespace
 
 std::string PlanCacheDir::path_for(std::uint64_t spec_hash) const {
   char name[64];
@@ -32,11 +62,15 @@ PlanCacheDir::Loaded PlanCacheDir::load_from_disk(std::uint64_t spec_hash) {
 }
 
 PlanCacheDir::Loaded PlanCacheDir::load(std::uint64_t spec_hash) {
+  CacheMetrics& m = cache_metrics();
+  const std::uint64_t t0 = obs::enabled() ? now_ns() : 0;
   {
     std::lock_guard<std::mutex> lk(mu_);
     auto it = mem_.find(spec_hash);
     if (it != mem_.end()) {
       ++stats_.mem_hits;
+      m.mem_hits->inc();
+      if (t0 != 0) m.load_ns->record(now_ns() - t0);
       return it->second;
     }
   }
@@ -47,12 +81,16 @@ PlanCacheDir::Loaded PlanCacheDir::load(std::uint64_t spec_hash) {
   std::lock_guard<std::mutex> lk(mu_);
   if (got.hit()) {
     ++stats_.disk_hits;
+    m.disk_hits->inc();
     mem_.emplace(spec_hash, got);  // positive entries only
   } else if (got.error == BlobError::kOk) {
     ++stats_.misses;
+    m.misses->inc();
   } else {
     ++stats_.rejected;
+    m.rejected->inc();
   }
+  if (t0 != 0) m.load_ns->record(now_ns() - t0);
   return got;
 }
 
@@ -66,6 +104,7 @@ bool PlanCacheDir::store(std::uint64_t spec_hash,
   Loaded got = load_from_disk(spec_hash);
   std::lock_guard<std::mutex> lk(mu_);
   ++stats_.stored;
+  cache_metrics().stored->inc();
   if (got.hit()) {
     mem_[spec_hash] = std::move(got);
   } else {

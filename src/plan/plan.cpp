@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "api/metrics.h"
 #include "support/check.h"
 #include "support/rng.h"
 #include "support/timing.h"
@@ -29,6 +30,7 @@ PlanInstance::PlanInstance(const GraphPlan& plan)
   state_.job.fn = [this](rt::Worker& w) {
     run_root(w);
     state_.t_done_ns = now_ns();
+    api::record_completion(state_, plan_->bound_metrics());
   };
 }
 

@@ -56,6 +56,10 @@
 #include "rt/scheduler.h"
 #include "support/spin.h"
 
+namespace nabbitc::obs {
+class Histogram;
+}  // namespace nabbitc::obs
+
 namespace nabbitc::plan {
 
 using nabbit::GraphSpec;
@@ -244,6 +248,18 @@ class GraphPlan {
   /// lag result delivery, so callers poll this rather than in-flight counts.
   std::size_t instances_free() const noexcept;
 
+  /// Binds a per-plan submit-to-complete latency histogram (e.g. the
+  /// daemon's "submit_complete_ns_plan_<handle>"): every replay completion
+  /// additionally records into it. nullptr (the default) means global-only.
+  /// Thread-safe against in-flight replays; the histogram must outlive the
+  /// plan (registry metrics live for the process, so that is automatic).
+  void bind_metrics(obs::Histogram* h) const noexcept {
+    metrics_hist_.store(h, std::memory_order_release);
+  }
+  obs::Histogram* bound_metrics() const noexcept {
+    return metrics_hist_.load(std::memory_order_acquire);
+  }
+
   /// Pops a pooled instance (or builds one — the heap-allocating cold
   /// path), reset and ready to submit. Thread-safe.
   PlanInstance* acquire() const;
@@ -287,6 +303,7 @@ class GraphPlan {
   mutable PlanInstance* free_head_ = nullptr;
   mutable std::vector<std::unique_ptr<PlanInstance>> owned_;
   mutable std::atomic<std::uint64_t> instances_built_{0};
+  mutable std::atomic<obs::Histogram*> metrics_hist_{nullptr};
 };
 
 /// Lowers (spec, sink) into an immutable GraphPlan: discovers the graph by

@@ -115,6 +115,22 @@ Task* Worker::try_steal_once() {
 // Scheduler
 
 Scheduler::Scheduler(SchedulerConfig cfg) : cfg_(cfg) {
+  // Resolve metric handles before any worker thread exists: records then
+  // never touch the registry mutex. The registry is process-global, so
+  // multiple Scheduler instances (tests, embedders) aggregate into the
+  // same names — exactly what an operator scraping the process wants.
+  {
+    obs::Registry& reg = obs::registry();
+    obs_.dispatch_ns = &reg.histogram("sched_dispatch_ns");
+    obs_.park_ns = &reg.histogram("sched_park_ns");
+    obs_.deadline_sweeps = &reg.counter("sched_deadline_sweeps_total");
+    obs_.deadline_expired = &reg.counter("sched_deadline_expired_total");
+    obs_.tasks = &reg.counter("sched_tasks_total");
+    obs_.spawns = &reg.counter("sched_spawns_total");
+    obs_.steals_colored = &reg.counter("sched_steals_colored_total");
+    obs_.steals_random = &reg.counter("sched_steals_random_total");
+    obs_.steal_attempts = &reg.counter("sched_steal_attempts_total");
+  }
   std::uint32_t n = cfg_.num_workers;
   if (n == 0) n = numa::visible_cpus();
   NABBITC_CHECK_MSG(n >= 1 && n <= ColorMask::kMaxColors,
@@ -186,10 +202,16 @@ void Scheduler::submit_batch(RootJob* const* jobs, std::size_t n,
   RootJob* chain_tail[kNumLanes] = {};  // oldest element of each chain
   std::uint32_t deadline_count = 0;
   std::uint64_t min_deadline = 0;
+  // One clock read covers the whole batch's dispatch-latency stamps (and
+  // none at all with metrics disabled) — the producer path stays as
+  // clock-free as the steal loop demands.
+  const std::uint64_t t_enqueue = obs::enabled() ? now_ns() : 0;
   for (std::size_t i = 0; i < n; ++i) {
     RootJob& job = *jobs[i];
     NABBITC_CHECK_MSG(job.fn != nullptr, "RootJob has no function");
     NABBITC_CHECK_MSG(job.lane < kNumLanes, "RootJob lane out of range");
+    job.t_enqueue_ns = t_enqueue;
+    job.t_adopt_ns = 0;
     job.done.store(false, std::memory_order_relaxed);
     // A fresh submission is never born cancelled; pooled jobs (plan
     // instances) reuse this storage across submissions, and no cancel can
@@ -326,21 +348,24 @@ void Scheduler::expire_deadlines_locked(std::uint64_t now) {
   // the submit rings first — a job whose deadline passed while queued must
   // be policed exactly like it was when submit() filled the FIFO directly.
   splice_inboxes_locked();
+  obs_.deadline_sweeps->inc();
   if (deadline_jobs_ == 0) {
     next_deadline_ns_ = 0;
     return;
   }
   std::uint64_t next = 0;
+  std::uint64_t expired = 0;
   for (RootJob* j = active_head_; j != nullptr; j = j->active_next) {
     if (j->deadline_ns == 0) continue;
     if (now >= j->deadline_ns) {
       // First writer wins: a client cancel() that already landed keeps its
       // reason. The executors' dispatch checks do the actual skipping.
-      j->try_cancel(CancelReason::kDeadline);
+      if (j->try_cancel(CancelReason::kDeadline)) ++expired;
     } else if (next == 0 || j->deadline_ns < next) {
       next = j->deadline_ns;
     }
   }
+  if (expired != 0) obs_.deadline_expired->add(expired);
   next_deadline_ns_ = next;
 }
 
@@ -634,6 +659,10 @@ void Scheduler::worker_main(std::uint32_t index) {
     numa::pin_current_thread(cfg_.topology.core_of_worker(index));
   }
   for (;;) {
+    // About to park: publish this service period's counters (cold, and the
+    // last chance before the thread goes quiet for arbitrarily long).
+    flush_worker_obs(w);
+    const std::uint64_t park_t0 = now_ns();
     {
       std::unique_lock<std::mutex> lk(mu_);
       // seq_cst RMW before the seq_cst predicate load: the parker half of
@@ -651,6 +680,7 @@ void Scheduler::worker_main(std::uint32_t index) {
       parked_workers_.fetch_sub(1, std::memory_order_seq_cst);
       if (shutdown_) return;
     }
+    obs_.park_ns->record(now_ns() - park_t0);
     service_loop(w);
   }
 }
@@ -683,6 +713,15 @@ bool Scheduler::try_progress(Worker& w) {
   if (inject_count_.load(std::memory_order_acquire) > 0) {
     if (RootJob* job = pop_root()) {
       rearm_epoch(w);
+      // Adoption is a cold boundary (one root per whole graph execution):
+      // stamp it and record queue->adoption dispatch latency. The stamp
+      // also feeds the api layer's queue-wait metric and the slow-request
+      // ring's first-dispatch stage, so it is written even though the
+      // scheduler itself never reads it.
+      if (job->t_enqueue_ns != 0) {
+        job->t_adopt_ns = now_ns();
+        obs_.dispatch_ns->record(job->t_adopt_ns - job->t_enqueue_ns);
+      }
       // Frames the root allocates (and every task it spawns) carry its
       // epoch; restore afterwards — a worker can adopt a root while helping
       // mid-task inside wait().
@@ -710,6 +749,9 @@ bool Scheduler::try_progress(Worker& w) {
       // submission case then reuses its blocks every run, keeping the
       // steady state allocation-free).
       if (last) w.arena_.reset();
+      // Root completion is also where this worker's steal/task counters
+      // become scrape-visible (the steal loop itself never touches obs).
+      flush_worker_obs(w);
       w.clean_gen_ = quiescent_gen_.load(std::memory_order_acquire);
       return true;
     }
@@ -746,6 +788,36 @@ void Scheduler::service_loop(Worker& w) {
   if (g != w.clean_gen_) {
     w.arena_.reset();
     w.clean_gen_ = g;
+  }
+}
+
+void Scheduler::flush_worker_obs(Worker& w) noexcept {
+  const WorkerCounters& c = w.counters_;
+  WorkerCounters& f = w.obs_flushed_;
+  // Publish monotone deltas. reset_counters() can rewind c below the
+  // watermark (harness experiment boundaries); resync without publishing
+  // rather than fetch_add a wrapped delta.
+  const auto pub = [](obs::Counter* m, std::uint64_t cur, std::uint64_t& last) {
+    if (cur > last) m->add(cur - last);
+    last = cur;
+  };
+  pub(obs_.tasks, c.tasks_executed, f.tasks_executed);
+  pub(obs_.spawns, c.spawns, f.spawns);
+  pub(obs_.steals_colored, c.steals_colored, f.steals_colored);
+  pub(obs_.steals_random, c.steals_random, f.steals_random);
+  pub(obs_.steal_attempts, c.steal_attempts_colored, f.steal_attempts_colored);
+  pub(obs_.steal_attempts, c.steal_attempts_random, f.steal_attempts_random);
+}
+
+void Scheduler::lane_depths(std::uint32_t out[kNumLanes]) {
+  std::lock_guard<std::mutex> lk(mu_);
+  // Splice so roots still in the submit rings are counted; any thread
+  // holding mu_ may do this (the deadline sweeps already do).
+  splice_inboxes_locked();
+  for (std::uint32_t l = 0; l < kNumLanes; ++l) {
+    std::uint32_t depth = 0;
+    for (const RootJob* j = lanes_[l].head; j != nullptr; j = j->next) ++depth;
+    out[l] = depth;
   }
 }
 

@@ -53,6 +53,7 @@
 
 #include "numa/penalty.h"
 #include "numa/topology.h"
+#include "obs/metrics.h"
 #include "rt/arena.h"
 #include "rt/counters.h"
 #include "rt/deque.h"
@@ -203,6 +204,9 @@ class Worker {
   /// past this value, every frame in arena_ predates a moment with zero
   /// active jobs and is garbage — the arena can be rewound.
   std::uint64_t clean_gen_ = 0;
+  /// High-watermark of counters_ already published into the obs registry
+  /// (see Scheduler::flush_worker_obs). Owner-thread only, like counters_.
+  WorkerCounters obs_flushed_;
 };
 
 /// Owns the worker threads. One Scheduler instance == one virtual machine
@@ -255,6 +259,14 @@ class Scheduler {
     /// from which the reclamation watermark is derived.
     RootJob* active_prev = nullptr;
     RootJob* active_next = nullptr;
+
+    /// Observability stamps (obs/). t_enqueue_ns is set by submit_batch
+    /// (ONE clock read per batch, shared by its jobs; 0 when metrics are
+    /// disabled); t_adopt_ns is set by the adopting worker and feeds the
+    /// sched_dispatch_ns histogram plus the api layer's queue-wait metric.
+    /// Neither is read by the scheduler's own control flow.
+    std::uint64_t t_enqueue_ns = 0;
+    std::uint64_t t_adopt_ns = 0;
 
     /// Injection lane (0 = highest priority). Must be < kNumLanes.
     std::uint8_t lane = 1;
@@ -408,6 +420,11 @@ class Scheduler {
     return submit_epoch_.load(std::memory_order_acquire);
   }
 
+  /// Scrape-time lane depths: spliced-FIFO length per lane (takes mu_ and
+  /// splices the submit rings first, so queued-but-unspliced roots are
+  /// counted too). For monitoring only — O(queued roots), ~1/s callers.
+  void lane_depths(std::uint32_t out[kNumLanes]);
+
  private:
   friend class Worker;
   void worker_main(std::uint32_t index);
@@ -445,6 +462,27 @@ class Scheduler {
   /// last active job (the caller may then rewind its arena). `job` must not
   /// be touched after this returns — the submitter may already have freed it.
   bool finish_root(RootJob& job);
+  /// Publishes the delta of `w`'s plain counters into the obs registry.
+  /// Called only from w's own thread, at cold boundaries (root completion,
+  /// park entry) — the steal loop itself never touches obs state, and the
+  /// registry's atomics make the published totals safe to scrape live
+  /// (unlike the plain fields, which need aggregate_counters_idle).
+  void flush_worker_obs(Worker& w) noexcept;
+
+  /// Registry metric handles, resolved once at construction (the registry
+  /// lookup takes a mutex; these records must not).
+  struct ObsMetrics {
+    obs::Histogram* dispatch_ns;       // root enqueue -> adoption
+    obs::Histogram* park_ns;           // worker park duration
+    obs::Counter* deadline_sweeps;     // expire_deadlines_locked calls
+    obs::Counter* deadline_expired;    // roots cancelled by the sweep
+    obs::Counter* tasks;
+    obs::Counter* spawns;
+    obs::Counter* steals_colored;
+    obs::Counter* steals_random;
+    obs::Counter* steal_attempts;
+  };
+  ObsMetrics obs_;
 
   SchedulerConfig cfg_;
   std::vector<std::unique_ptr<Worker>> workers_;

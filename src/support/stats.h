@@ -60,4 +60,16 @@ class Samples {
 /// Geometric mean of positive values (0 if empty).
 double geomean(const std::vector<double>& xs);
 
+/// Nearest-rank percentile over raw samples, p in [0, 1]. Sorts v IN PLACE
+/// — callers may rely on v being sorted ascending afterwards (e.g. to read
+/// v.back() as the max). Returns 0 for an empty vector. This is the bench
+/// harnesses' percentile: no interpolation, the sample at rank p*(n-1).
+inline double nearest_rank_percentile(std::vector<double>& v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto idx =
+      static_cast<std::size_t>(p * static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+
 }  // namespace nabbitc

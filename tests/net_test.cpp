@@ -25,6 +25,7 @@
 #include "net/remote_graph.h"
 #include "net/server.h"
 #include "net/wire.h"
+#include "obs/metrics.h"
 #include "persist/mmap_file.h"
 #include "persist/plan_blob.h"
 #include "persist/plan_cache.h"
@@ -170,6 +171,86 @@ TEST(WireProtocol, MessageRoundTrips) {
     EXPECT_EQ(out.code, in.code);
     EXPECT_EQ(out.message, in.message);
   }
+}
+
+TEST(WireProtocol, MetricsRoundTripsAndParsesStrictly) {
+  MetricsMsg in;
+  MetricEntry c;
+  c.name = "requests_total";
+  c.kind = 0;
+  c.value = 12345;
+  in.entries.push_back(c);
+  MetricEntry h;
+  h.name = "latency_ns";
+  h.kind = 2;
+  h.value = 3;
+  h.buckets = {0, 1, 0, 2};
+  in.entries.push_back(h);
+
+  WireWriter w;
+  encode_metrics(in, w);
+  MetricsMsg out;
+  ASSERT_TRUE(decode_metrics(w.span(), out));
+  ASSERT_EQ(out.entries.size(), 2u);
+  EXPECT_EQ(out.entries[0].name, "requests_total");
+  EXPECT_EQ(out.entries[0].value, 12345u);
+  EXPECT_TRUE(out.entries[0].buckets.empty());
+  EXPECT_EQ(out.entries[1].name, "latency_ns");
+  EXPECT_EQ(out.entries[1].kind, 2u);
+  ASSERT_EQ(out.entries[1].buckets.size(), 4u);
+  EXPECT_EQ(out.entries[1].buckets[3], 2u);
+
+  // Truncation at every byte boundary fails cleanly; trailing garbage too.
+  const auto full = w.span();
+  for (std::size_t n = 0; n < full.size(); ++n) {
+    MetricsMsg m;
+    EXPECT_FALSE(decode_metrics(full.subspan(0, n), m)) << "len " << n;
+  }
+  std::vector<std::uint8_t> padded(full.begin(), full.end());
+  padded.push_back(0);
+  MetricsMsg m;
+  EXPECT_FALSE(decode_metrics({padded.data(), padded.size()}, m));
+
+  // An absurd entry count is rejected before any allocation.
+  WireWriter bomb;
+  bomb.u32(0x7fffffff);
+  EXPECT_FALSE(decode_metrics(bomb.span(), m));
+}
+
+TEST(WireProtocol, SlowRoundTripsAndParsesStrictly) {
+  SlowMsg in;
+  SlowEntryMsg e;
+  e.exec_id = 7;
+  e.state = 2;
+  e.latency_ns = 5'000'000;
+  e.t_decode_ns = 100;
+  e.t_admit_ns = 110;
+  e.t_submit_ns = 120;
+  e.t_dispatch_ns = 130;
+  e.t_complete_ns = 5'000'120;
+  e.t_reply_ns = 5'000'200;
+  e.name = "slow-one";
+  in.entries.push_back(e);
+
+  WireWriter w;
+  encode_slow(in, w);
+  SlowMsg out;
+  ASSERT_TRUE(decode_slow(w.span(), out));
+  ASSERT_EQ(out.entries.size(), 1u);
+  EXPECT_EQ(out.entries[0].exec_id, 7u);
+  EXPECT_EQ(out.entries[0].latency_ns, 5'000'000u);
+  EXPECT_EQ(out.entries[0].t_reply_ns, 5'000'200u);
+  EXPECT_EQ(out.entries[0].name, "slow-one");
+
+  const auto full = w.span();
+  for (std::size_t n = 0; n < full.size(); ++n) {
+    SlowMsg m;
+    EXPECT_FALSE(decode_slow(full.subspan(0, n), m)) << "len " << n;
+  }
+  WireWriter bomb;
+  bomb.u32(0xffffff);
+  SlowMsg m;
+  EXPECT_FALSE(decode_slow(bomb.span(), m));
 }
 
 TEST(WireProtocol, RegisterRoundTripsAndIsContentAddressed) {
@@ -536,6 +617,85 @@ TEST(NetService, RegisterSubmitResultOverUnix) {
   EXPECT_EQ(stats->plans_compiled, 1u);
   EXPECT_EQ(stats->submitted, 1u);
   EXPECT_EQ(stats->completed, 1u);
+  server.stop();
+}
+
+TEST(NetService, MetricsAndSlowCaptureOverUnix) {
+  const std::string path = unique_sock_path("metrics");
+  Server server(test_opts(path));
+  std::string err;
+  ASSERT_TRUE(server.start(&err)) << err;
+
+  Client c;
+  ASSERT_TRUE(c.connect_unix(path)) << c.last_error();
+  const WireGraph g = make_wavefront_wire_graph(5, 3);
+  const auto reg = c.register_graph(g);
+  ASSERT_TRUE(reg) << c.last_error();
+
+  constexpr std::uint32_t kSubmits = 6;
+  for (std::uint32_t i = 0; i < kSubmits; ++i) {
+    const auto sub = c.submit(reg->handle, i, api::Priority::kNormal,
+                              /*deadline_rel_ns=*/0, "metrics-test");
+    ASSERT_TRUE(sub) << c.last_error();
+    ASSERT_TRUE(sub->accepted);
+    ASSERT_TRUE(c.wait_result(sub->exec_id)) << c.last_error();
+  }
+
+  const auto m = c.metrics();
+  ASSERT_TRUE(m) << c.last_error();
+  const auto find = [&](const char* name) -> const MetricEntry* {
+    for (const MetricEntry& e : m->entries) {
+      if (e.name == name) return &e;
+    }
+    return nullptr;
+  };
+  // The registry is process-global (other tests in this binary also push
+  // submissions through sessions), so counts are >=, not ==.
+  const MetricEntry* sc = find("submit_complete_ns");
+  ASSERT_NE(sc, nullptr);
+  EXPECT_EQ(sc->kind, static_cast<std::uint8_t>(obs::MetricKind::kHistogram));
+  EXPECT_GE(sc->value, kSubmits);
+  std::uint64_t bucket_sum = 0;
+  for (const std::uint64_t b : sc->buckets) bucket_sum += b;
+  EXPECT_EQ(bucket_sum, sc->value);  // value IS the bucket-count total
+  // Server-derived scrape-time entries.
+  for (const char* name :
+       {"net_sessions_active", "net_inflight", "net_submitted_total",
+        "net_completed_total", "rt_arena_bytes", "sched_lane_depth_0"}) {
+    EXPECT_NE(find(name), nullptr) << name;
+  }
+  const MetricEntry* completed = find("net_completed_total");
+  ASSERT_NE(completed, nullptr);
+  EXPECT_GE(completed->value, kSubmits);
+
+  // Per-plan latency breakdown, bound at registration.
+  char per_plan[64];
+  std::snprintf(per_plan, sizeof(per_plan), "submit_complete_ns_plan_%016llx",
+                static_cast<unsigned long long>(reg->handle));
+  const MetricEntry* pp = find(per_plan);
+  ASSERT_NE(pp, nullptr);
+  EXPECT_EQ(pp->value, kSubmits);  // this plan is only replayed here
+
+  // Slow-request capture: every completed request was noted, so the ring
+  // holds up to K of ours with coherent stage stamps.
+  const auto slow = c.slow();
+  ASSERT_TRUE(slow) << c.last_error();
+  ASSERT_FALSE(slow->entries.empty());
+  for (const SlowEntryMsg& e : slow->entries) {
+    EXPECT_GT(e.latency_ns, 0u);
+    if (e.t_decode_ns != 0) {  // stamps present when metrics are on
+      EXPECT_GE(e.t_admit_ns, e.t_decode_ns);
+      EXPECT_GE(e.t_submit_ns, e.t_admit_ns);
+      EXPECT_GE(e.t_complete_ns, e.t_submit_ns);
+      if (e.t_reply_ns != 0) {
+        EXPECT_GE(e.t_reply_ns, e.t_complete_ns);
+      }
+    }
+  }
+  // Sorted slowest-first.
+  for (std::size_t i = 1; i < slow->entries.size(); ++i) {
+    EXPECT_LE(slow->entries[i].latency_ns, slow->entries[i - 1].latency_ns);
+  }
   server.stop();
 }
 

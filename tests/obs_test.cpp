@@ -1,0 +1,219 @@
+// src/obs/ unit tests: histogram bucket math and quantile bounds, the
+// concurrent-record/merge contract (also the TSan leg's target — sharded
+// relaxed atomics must be data-race-free), the registry's get-or-create /
+// kind-mismatch / cap behavior, slow-ring replacement, and the text
+// exposition format the metrics=1 scrape prints.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/histogram.h"
+#include "obs/metrics.h"
+#include "obs/slow_ring.h"
+#include "support/stats.h"
+
+using namespace nabbitc;
+using namespace nabbitc::obs;
+
+TEST(ObsHistogram, BucketEdges) {
+  // Bucket 0 is exactly zero; bucket b (b >= 1) is [2^(b-1), 2^b).
+  EXPECT_EQ(bucket_of(0), 0u);
+  EXPECT_EQ(bucket_of(1), 1u);
+  EXPECT_EQ(bucket_of(2), 2u);
+  EXPECT_EQ(bucket_of(3), 2u);
+  EXPECT_EQ(bucket_of(4), 3u);
+  EXPECT_EQ(bucket_of((1ull << 40) - 1), 40u);
+  EXPECT_EQ(bucket_of(1ull << 40), 41u);
+  EXPECT_EQ(bucket_of(~0ull), 64u);  // no overflow bin: the top bucket
+
+  EXPECT_EQ(bucket_lo(0), 0u);
+  EXPECT_EQ(bucket_hi(0), 0u);
+  EXPECT_EQ(bucket_lo(1), 0u);
+  EXPECT_EQ(bucket_hi(1), 1u);
+  EXPECT_EQ(bucket_hi(64), ~0ull);
+  // Every value lies inside its own bucket's [lo, hi] range.
+  for (const std::uint64_t v :
+       {0ull, 1ull, 2ull, 3ull, 100ull, 65535ull, 65536ull, ~0ull}) {
+    const std::uint32_t b = bucket_of(v);
+    ASSERT_LT(b, kHistBuckets);
+    EXPECT_GE(v, bucket_lo(b));
+    EXPECT_LE(v, bucket_hi(b));
+  }
+}
+
+TEST(ObsHistogram, SerialRecordCountsLandInTheRightBuckets) {
+  Histogram h;
+  h.record(0);
+  h.record(0);
+  h.record(1);
+  h.record(5);    // bucket 3: [4, 8)
+  h.record(7);    // bucket 3
+  h.record(300);  // bucket 9: [256, 512)
+  const HistSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count(), 6u);
+  EXPECT_EQ(s.buckets[0], 2u);
+  EXPECT_EQ(s.buckets[1], 1u);
+  EXPECT_EQ(s.buckets[3], 2u);
+  EXPECT_EQ(s.buckets[9], 1u);
+}
+
+// The TSan target: N threads hammering one histogram must (a) be free of
+// data races and (b) lose no samples — the merged snapshot equals a serial
+// reference recording of the identical value stream.
+TEST(ObsHistogram, ConcurrentRecordMergeMatchesSerial) {
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20'000;
+  Histogram concurrent;
+  Histogram serial;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&concurrent, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        concurrent.record((static_cast<std::uint64_t>(t) << 32) ^ (i * 2654435761ull));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) {
+    for (std::uint64_t i = 0; i < kPerThread; ++i) {
+      serial.record((static_cast<std::uint64_t>(t) << 32) ^ (i * 2654435761ull));
+    }
+  }
+
+  const HistSnapshot a = concurrent.snapshot();
+  const HistSnapshot b = serial.snapshot();
+  EXPECT_EQ(a.count(), kThreads * kPerThread);
+  for (std::uint32_t i = 0; i < kHistBuckets; ++i) {
+    EXPECT_EQ(a.buckets[i], b.buckets[i]) << "bucket " << i;
+  }
+}
+
+TEST(ObsHistogram, QuantileStaysWithinItsBucketAndTracksExactRanks) {
+  // A known sample set: quantiles are exact to bucket resolution, so each
+  // reported quantile must land in the bucket holding the exact rank, and
+  // the sequence must be monotone in q.
+  Histogram h;
+  std::vector<double> exact;
+  for (std::uint64_t v = 1; v <= 1000; ++v) {
+    h.record(v * 17);
+    exact.push_back(static_cast<double>(v * 17));
+  }
+  const HistSnapshot s = h.snapshot();
+  double prev = -1.0;
+  for (const double q : {0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    const double est = s.quantile(q);
+    EXPECT_GE(est, prev);  // monotone
+    prev = est;
+    // The exact rank's value and the estimate share a bucket, so the
+    // estimate is within that bucket's bounds.
+    std::vector<double> copy = exact;
+    const double truth = nearest_rank_percentile(copy, q);
+    const std::uint32_t b = bucket_of(static_cast<std::uint64_t>(truth));
+    EXPECT_GE(est, static_cast<double>(bucket_lo(b)));
+    EXPECT_LE(est, static_cast<double>(bucket_hi(b)));
+  }
+  EXPECT_EQ(HistSnapshot{}.quantile(0.5), 0.0);  // empty snapshot
+}
+
+TEST(ObsRegistry, GetOrCreateIsStableAndSnapshotSeesRecordings) {
+  Registry reg;
+  Counter& c = reg.counter("test_counter_total");
+  Gauge& g = reg.gauge("test_gauge");
+  Histogram& h = reg.histogram("test_hist_ns");
+  EXPECT_EQ(&c, &reg.counter("test_counter_total"));
+  EXPECT_EQ(&h, &reg.histogram("test_hist_ns"));
+
+  c.add(3);
+  c.inc();
+  g.set(77);
+  h.record(100);
+  h.record(200);
+
+  const std::vector<Sample> snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  // Sorted by name.
+  EXPECT_TRUE(std::is_sorted(
+      snap.begin(), snap.end(),
+      [](const Sample& a, const Sample& b) { return a.name < b.name; }));
+  for (const Sample& s : snap) {
+    if (s.name == "test_counter_total") {
+      EXPECT_EQ(s.kind, MetricKind::kCounter);
+      EXPECT_EQ(s.value, 4u);
+    } else if (s.name == "test_gauge") {
+      EXPECT_EQ(s.kind, MetricKind::kGauge);
+      EXPECT_EQ(s.value, 77u);
+    } else {
+      EXPECT_EQ(s.name, "test_hist_ns");
+      EXPECT_EQ(s.kind, MetricKind::kHistogram);
+      EXPECT_EQ(s.value, 2u);  // histogram sample count
+      EXPECT_EQ(s.hist.count(), 2u);
+    }
+  }
+}
+
+TEST(ObsRegistry, KindMismatchAndCapResolveToSinksNotCrashes) {
+  Registry reg;
+  Counter& c = reg.counter("same_name");
+  // Re-requesting the name as a different kind yields a usable sink, and
+  // recording into it must not corrupt the real metric.
+  Histogram& sink_h = reg.histogram("same_name");
+  sink_h.record(42);
+  c.inc();
+  const std::vector<Sample> snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].kind, MetricKind::kCounter);
+  EXPECT_EQ(snap[0].value, 1u);
+
+  // Past the cap: get-or-create keeps returning usable objects and the
+  // registry stops growing.
+  Registry small;
+  for (std::size_t i = 0; i < kMaxMetrics + 10; ++i) {
+    small.counter("c" + std::to_string(i)).inc();
+  }
+  EXPECT_LE(small.size(), kMaxMetrics);
+  small.counter("one_more").inc();  // sink: absorbed, no crash
+}
+
+TEST(ObsSlowRing, KeepsTheKSlowest) {
+  SlowRing ring(4);
+  for (std::uint64_t i = 1; i <= 10; ++i) {
+    SlowEntry e;
+    e.exec_id = i;
+    e.latency_ns = i * 100;
+    ring.note(e);
+  }
+  // A fast request must not evict a slower resident.
+  SlowEntry fast;
+  fast.exec_id = 99;
+  fast.latency_ns = 1;
+  ring.note(fast);
+
+  const std::vector<SlowEntry> snap = ring.snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  // Slowest-first: 1000, 900, 800, 700.
+  EXPECT_EQ(snap[0].latency_ns, 1000u);
+  EXPECT_EQ(snap[1].latency_ns, 900u);
+  EXPECT_EQ(snap[2].latency_ns, 800u);
+  EXPECT_EQ(snap[3].latency_ns, 700u);
+}
+
+TEST(ObsRenderText, ExpositionContainsCountsAndQuantiles) {
+  Registry reg;
+  reg.counter("requests_total").add(5);
+  Histogram& h = reg.histogram("latency_ns");
+  for (std::uint64_t i = 1; i <= 100; ++i) h.record(i * 1000);
+
+  std::string out;
+  render_text(reg.snapshot(), out);
+  EXPECT_NE(out.find("requests_total 5\n"), std::string::npos);
+  EXPECT_NE(out.find("latency_ns_count 100\n"), std::string::npos);
+  EXPECT_NE(out.find("latency_ns_sum "), std::string::npos);
+  EXPECT_NE(out.find("latency_ns{quantile=\"0.5\"}"), std::string::npos);
+  EXPECT_NE(out.find("latency_ns{quantile=\"0.99\"}"), std::string::npos);
+}

@@ -46,7 +46,9 @@ bool inspect(const std::string& path, persist::MappedFile& file,
              persist::PlanBlobView& view) {
   std::string err;
   if (!file.open(path, &err)) {
-    std::printf("%-16s %s\n", "unreadable", err.c_str());
+    // An unreadable file is an operational error, not a parse verdict:
+    // stderr, so `planc ls DIR | grep` pipelines see only blob verdicts.
+    std::fprintf(stderr, "%-16s %s\n", "unreadable", err.c_str());
     return false;
   }
   const persist::BlobError e = view.parse(file.bytes());

@@ -20,6 +20,7 @@
 // Unknown or malformed flags are rejected with usage + exit 2 — a daemon
 // whose operator typos --plan-cashe= must refuse to boot, not silently run
 // cacheless.
+#include <algorithm>
 #include <csignal>
 #include <cstdio>
 #include <string>
@@ -31,10 +32,31 @@
 #include "net/protocol.h"
 #include "net/server.h"
 #include "net/socket.h"
+#include "obs/metrics.h"
 #include "rt/status.h"
 #include "support/config.h"
 
 namespace {
+
+/// Rebuilds registry-shaped samples from a METRICS reply so the client can
+/// reuse obs::render_text — the daemon and the one-shot scrape print the
+/// exact same exposition format.
+std::vector<nabbitc::obs::Sample> samples_of(
+    const nabbitc::net::MetricsMsg& m) {
+  std::vector<nabbitc::obs::Sample> out;
+  out.reserve(m.entries.size());
+  for (const nabbitc::net::MetricEntry& e : m.entries) {
+    nabbitc::obs::Sample s;
+    s.name = e.name;
+    s.kind = static_cast<nabbitc::obs::MetricKind>(e.kind);
+    s.value = e.value;
+    const std::size_t n =
+        std::min(e.buckets.size(), s.hist.buckets.size());
+    for (std::size_t b = 0; b < n; ++b) s.hist.buckets[b] = e.buckets[b];
+    out.push_back(std::move(s));
+  }
+  return out;
+}
 
 // SIGINT/SIGTERM -> one byte through a self-pipe; the main thread polls it.
 // Everything in the handler is async-signal-safe.
@@ -76,35 +98,68 @@ int run_server(const nabbitc::Config& cfg) {
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
 
-  std::printf("nabbitc-serve: listening (%s%s%s) workers=%u variant=%s\n",
-              server.unix_path().empty() ? "" : server.unix_path().c_str(),
-              (!server.unix_path().empty() && server.options().tcp) ? ", "
-                                                                    : "",
-              server.options().tcp
-                  ? ("tcp:" + std::to_string(server.tcp_port())).c_str()
-                  : "",
-              server.runtime().workers(),
-              nabbitc::api::variant_name(server.runtime().variant()));
+  // Operational log lines go to stderr: stdout stays reserved for machine
+  // output (the client modes' exposition), matching nabbitc-top's parsing
+  // expectations.
+  std::fprintf(stderr,
+               "nabbitc-serve: listening (%s%s%s) workers=%u variant=%s\n",
+               server.unix_path().empty() ? "" : server.unix_path().c_str(),
+               (!server.unix_path().empty() && server.options().tcp) ? ", "
+                                                                     : "",
+               server.options().tcp
+                   ? ("tcp:" + std::to_string(server.tcp_port())).c_str()
+                   : "",
+               server.runtime().workers(),
+               nabbitc::api::variant_name(server.runtime().variant()));
   if (!server.options().plan_cache_dir.empty()) {
-    std::printf("nabbitc-serve: plan cache %s (%llu plans warm-loaded)\n",
-                server.options().plan_cache_dir.c_str(),
-                static_cast<unsigned long long>(server.plans_loaded()));
+    std::fprintf(stderr,
+                 "nabbitc-serve: plan cache %s (%llu plans warm-loaded)\n",
+                 server.options().plan_cache_dir.c_str(),
+                 static_cast<unsigned long long>(server.plans_loaded()));
   }
-  std::fflush(stdout);
+  std::fflush(stderr);
 
-  // Park until a signal arrives. poll_readable(-1) blocks indefinitely and
-  // returns on the handler's self-pipe write.
-  while (nabbitc::net::poll_readable(g_signal_pipe.read.get(), -1) <= 0) {
+  // Park until a signal arrives (poll_readable(-1) blocks indefinitely).
+  // With metrics_log_interval=SECS, wake every interval and emit one
+  // compact metrics line — the poor-operator's dashboard when nothing is
+  // scraping METRICS.
+  const long log_interval_s = cfg.get_int("metrics_log_interval", 0);
+  const int park_ms =
+      log_interval_s > 0 ? static_cast<int>(log_interval_s * 1000) : -1;
+  for (;;) {
+    const int r =
+        nabbitc::net::poll_readable(g_signal_pipe.read.get(), park_ms);
+    if (r > 0) break;  // signal
+    if (r < 0) continue;  // EINTR
+    const nabbitc::net::StatsMsg s = server.stats();
+    nabbitc::obs::HistSnapshot lat;
+    for (const nabbitc::obs::Sample& smp : nabbitc::obs::registry().snapshot()) {
+      if (smp.name == "submit_complete_ns") {
+        lat = smp.hist;
+        break;
+      }
+    }
+    std::fprintf(stderr,
+                 "nabbitc-serve: metrics submitted=%llu completed=%llu "
+                 "inflight=%llu busy=%llu p50_us=%.1f p99_us=%.1f "
+                 "arena=%llu\n",
+                 static_cast<unsigned long long>(s.submitted),
+                 static_cast<unsigned long long>(s.completed),
+                 static_cast<unsigned long long>(s.in_flight),
+                 static_cast<unsigned long long>(s.rejected_busy),
+                 lat.quantile(0.5) / 1e3, lat.quantile(0.99) / 1e3,
+                 static_cast<unsigned long long>(s.arena_bytes));
+    std::fflush(stderr);
   }
   g_signal_pipe.drain();
 
-  std::printf("nabbitc-serve: shutting down (%s)\n",
-              server.options().drain_on_shutdown ? "drain" : "cancel");
-  std::fflush(stdout);
+  std::fprintf(stderr, "nabbitc-serve: shutting down (%s)\n",
+               server.options().drain_on_shutdown ? "drain" : "cancel");
   server.stop();
 
   const nabbitc::net::StatsMsg s = server.stats();
-  std::printf(
+  std::fprintf(
+      stderr,
       "nabbitc-serve: done. submitted=%llu completed=%llu cancelled=%llu "
       "deadline=%llu busy=%llu proto_errors=%llu sessions=%llu\n",
       static_cast<unsigned long long>(s.submitted),
@@ -139,6 +194,46 @@ int run_client(const nabbitc::Config& cfg) {
     std::fprintf(stderr, "client: connect failed: %s\n",
                  client.last_error().c_str());
     return 1;
+  }
+
+  // One-shot introspection modes: scrape and print, nothing else. stdout
+  // carries only the machine-parseable payload.
+  if (cfg.get_bool("metrics", false)) {
+    const auto m = client.metrics();
+    if (!m) {
+      std::fprintf(stderr, "client: metrics failed: %s\n",
+                   client.last_error().c_str());
+      return 1;
+    }
+    std::string text;
+    nabbitc::obs::render_text(samples_of(*m), text);
+    std::fputs(text.c_str(), stdout);
+    return 0;
+  }
+  if (cfg.get_bool("slow", false)) {
+    const auto s = client.slow();
+    if (!s) {
+      std::fprintf(stderr, "client: slow failed: %s\n",
+                   client.last_error().c_str());
+      return 1;
+    }
+    for (const nabbitc::net::SlowEntryMsg& e : s->entries) {
+      // Stage offsets are relative to decode; 0 stamps (stage skipped or
+      // metrics disabled at the time) print as '-'.
+      auto off = [&](std::uint64_t t) {
+        return (t != 0 && e.t_decode_ns != 0 && t >= e.t_decode_ns)
+                   ? static_cast<long long>(t - e.t_decode_ns)
+                   : -1;
+      };
+      std::printf(
+          "slow exec=%llu state=%u latency_ns=%llu admit=%lld submit=%lld "
+          "dispatch=%lld complete=%lld reply=%lld name=%s\n",
+          static_cast<unsigned long long>(e.exec_id), e.state,
+          static_cast<unsigned long long>(e.latency_ns), off(e.t_admit_ns),
+          off(e.t_submit_ns), off(e.t_dispatch_ns), off(e.t_complete_ns),
+          off(e.t_reply_ns), e.name.c_str());
+    }
+    return 0;
   }
 
   const nabbitc::net::WireGraph g =
@@ -235,9 +330,11 @@ int usage() {
                "[max_sessions=N]\n"
                "                     [max_inflight_per_session=N] "
                "[max_inflight_global=N] [reserve_instances=N]\n"
+               "                     [metrics_log_interval=SECS]\n"
                "       nabbitc-serve connect=PATH | connect_tcp=PORT "
                "[submits=N] [side=N] [spin_ns=N] [seed=N]\n"
-               "                     [expect_plans_compiled=N]\n"
+               "                     [expect_plans_compiled=N] [metrics=1] "
+               "[slow=1]\n"
                "flags also accept --key=value / --key-with-dashes=value "
                "spellings\n");
   return 2;
@@ -249,10 +346,11 @@ constexpr const char* kServerKeys[] = {
     "port",        "max_sessions",
     "max_inflight_per_session", "max_inflight_global",
     "reserve_instances",        "drain",
-    "plan_cache",  "warm_start"};
+    "plan_cache",  "warm_start",
+    "metrics_log_interval"};
 constexpr const char* kClientKeys[] = {
     "connect", "connect_tcp", "submits", "side", "spin_ns", "seed",
-    "expect_plans_compiled"};
+    "expect_plans_compiled", "metrics", "slow"};
 
 }  // namespace
 
