@@ -241,13 +241,17 @@ int main(int argc, char** argv) {
   // front-door round trip IS the workload. The singleton loop pays the
   // injection handshake (and, against a busy pool, a park/unpark) per
   // graph; the batch pays one pool checkout, one ring push, and one wake
-  // per 32 — this amortization factor is the tentpole number.
+  // per 32 — this amortization factor is the tentpole number. Tiny-graph
+  // lowering is masked OFF for these two plans: a 1-node plan would
+  // otherwise run inline and never touch the front door being measured.
+  // The inline path is reported separately as inline_submits_per_sec.
   {
     constexpr std::uint64_t kBatchSize = 32;
     std::atomic<std::uint64_t> tick_acc{0};
     TickSpec tick_spec(&tick_acc);
     auto tick_plan = rt.compile(tick_spec, 0,
-                                /*reserve_instances=*/kBatchSize + 1);
+                                /*reserve_instances=*/kBatchSize + 1,
+                                plan::kPassAll & ~plan::kPassTinyLower);
     const std::uint64_t budget_ns = tiny ? 100'000'000ull : 400'000'000ull;
     const auto timed_rate = [&](auto&& round, std::uint64_t graphs_per_round) {
       round();  // warm-up
@@ -280,6 +284,21 @@ int main(int argc, char** argv) {
     report("singleton_submits_per_sec", singleton_rate, "graphs/s");
     report("batch32_submits_per_sec", batch_rate, "graphs/s");
     report("batch_speedup_x", batch_rate / singleton_rate, "x");
+
+    // Tiny-graph lowering: the same 1-node plan compiled with default
+    // passes replays inline on the submitting thread — no scheduler, no
+    // park/unpark. This is the fastest way to serve a tiny graph and must
+    // beat even the batched scheduler path (gated in ci.sh).
+    auto inline_plan = rt.compile(tick_spec, 0, /*reserve_instances=*/1);
+    check(inline_plan->serial_lowered(), "1-node plan was not lowered");
+    const double inline_rate = timed_rate(
+        [&] {
+          rt.run(*inline_plan);
+          ++expected;
+        },
+        1);
+    check(tick_acc.load() == expected, "inline replays diverged");
+    report("inline_submits_per_sec", inline_rate, "graphs/s");
   }
 
   rt.wait_idle();

@@ -88,6 +88,22 @@ assert rec < 15, f"hist_record_ns too slow for always-on metrics: {rec:.1f} ns"
 print(f"bench-smoke OK: {len(d['metrics'])} metrics, "
       f"load/compile = {load / comp:.2f}, hist_record = {rec:.1f} ns")
 EOF
+  # Regression gate: the single-graph replay round trip against the number
+  # committed in BENCH_micro.json. Tiny-graph lowering turned this into an
+  # inline (scheduler-free) run; the gate keeps it from quietly regressing
+  # back to a futex round trip. 4x headroom absorbs slower CI machines —
+  # the regression this guards (inline -> scheduler) is a >10x cliff.
+  python3 - "${BENCH_DIR}/BENCH_micro.json" BENCH_micro.json <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    fresh = json.load(f)["metrics"]["plan_replay_submit_ns"]["value"]
+with open(sys.argv[2]) as f:
+    committed = json.load(f)["metrics"]["plan_replay_submit_ns"]["value"]
+assert fresh < committed * 4.0, (
+    f"plan_replay_submit_ns regressed: {fresh:.0f} ns vs committed "
+    f"{committed:.0f} ns (gate: 4x)")
+print(f"plan-replay gate OK: {fresh:.0f} ns vs committed {committed:.0f} ns")
+EOF
 else
   echo "bench-smoke skipped (no Release build dir)"
 fi
@@ -103,7 +119,8 @@ expected = [
     "fresh_submit_ns", "fresh_node_ns", "plan_replay_submit_ns",
     "plan_batch_submit_ns", "replay_node_ns", "replay_speedup_x",
     "sustained_submissions_per_sec", "sustained_node_ns", "plan_instances",
-    "arena_bytes_after",
+    "arena_bytes_after", "plan_nodes", "plan_fused_nodes",
+    "pipeline_replay_submit_ns",
 ]
 missing = [k for k in expected if k not in d["metrics"]]
 assert not missing, f"missing metrics: {missing}"
@@ -115,7 +132,14 @@ m = d["metrics"]
 # The real box shows ~15%; 60% leaves room for noisy shared CI machines.
 ratio = m["plan_replay_submit_ns"]["value"] / m["fresh_submit_ns"]["value"]
 assert ratio < 0.60, f"plan replay too close to fresh submit: {ratio:.2f}"
-print(f"bench-throughput OK: {len(d['metrics'])} metrics, replay/fresh = {ratio:.2f}")
+# Chain-fusion acceptance: on the pipeline workload the compiler must have
+# collapsed chains into units — the fused count strictly under the node
+# count (a pure pipeline of C chains fuses to ~C+1 units).
+nodes = m["plan_nodes"]["value"]
+fused = m["plan_fused_nodes"]["value"]
+assert fused < nodes, f"chain fusion inert on pipeline workload: {fused} units for {nodes} nodes"
+print(f"bench-throughput OK: {len(d['metrics'])} metrics, replay/fresh = {ratio:.2f}, "
+      f"fused {nodes:.0f} nodes -> {fused:.0f} units")
 EOF
 else
   echo "bench-throughput smoke skipped (no Release build dir)"
@@ -133,7 +157,7 @@ expected = [
     "high_prio_p95_ns", "high_prio_p99_ns", "high_prio_max_ns",
     "background_completed", "cancel_drain_p50_ns", "cancel_skipped_mean",
     "singleton_submits_per_sec", "batch32_submits_per_sec",
-    "batch_speedup_x", "arena_bytes_after",
+    "batch_speedup_x", "inline_submits_per_sec", "arena_bytes_after",
 ]
 missing = [k for k in expected if k not in d["metrics"]]
 assert not missing, f"missing metrics: {missing}"
@@ -148,8 +172,17 @@ assert d["metrics"]["background_completed"]["value"] > 0, "low lane starved"
 # serialized singleton rate (the real box shows ~10x; 5x is the gate).
 speedup = d["metrics"]["batch_speedup_x"]["value"]
 assert speedup >= 5.0, f"batch-32 speedup below the 5x gate: {speedup:.2f}"
+# Tiny-graph lowering acceptance: the inline (scheduler-free) replay of a
+# 1-node plan must decisively beat the scheduler singleton path (the real
+# box shows >20x; 2x is the gate).
+inline_rate = d["metrics"]["inline_submits_per_sec"]["value"]
+singleton = d["metrics"]["singleton_submits_per_sec"]["value"]
+assert inline_rate >= 2.0 * singleton, (
+    f"inline submit rate ({inline_rate:.0f}/s) not decisively above the "
+    f"scheduler singleton rate ({singleton:.0f}/s)")
 print(f"bench-serving OK: high_prio_p50 = {p50:.0f} ns, "
-      f"batch_speedup = {speedup:.1f}x")
+      f"batch_speedup = {speedup:.1f}x, "
+      f"inline/singleton = {inline_rate / singleton:.1f}x")
 EOF
 else
   echo "bench-serving smoke skipped (no Release build dir)"
@@ -402,7 +435,7 @@ cmake --build "${TSAN_DIR}" -j "${JOBS}" \
 # suppressions (see tsan.supp) and would fail the leg spuriously.
 TSAN_OPTIONS="suppressions=$(pwd)/tsan.supp halt_on_error=1 history_size=7" \
   ctest --test-dir "${TSAN_DIR}" --output-on-failure --timeout 600 \
-  -R 'SubmissionControl|ConcurrentStealersEachTaskOnce|ConcurrentRootJobsShareThePool|ConcurrentStress|PlanConcurrent|OverlappingSubmissions|SubmitOptionsKeepSteadyState|FuzzDag8.*/[01]$|FuzzBatch8.*/[01]$|SubmitRing|BatchSubmission|SharedPlanCompiledOnceAcrossSessions|BatchSubmitDeliversPerItemResults|BatchAdmissionAdmitsPrefixAndReportsScope|NetDisconnect|NetShutdown|PersistConcurrent|ConcurrentRecordMergeMatchesSerial|MetricsAndSlowCaptureOverUnix'
+  -R 'SubmissionControl|ConcurrentStealersEachTaskOnce|ConcurrentRootJobsShareThePool|ConcurrentStress|PlanConcurrent|OverlappingSubmissions|SubmitOptionsKeepSteadyState|FuzzDag8.*/[01]$|FuzzTiny8.*/[01]$|FuzzBatch8.*/[01]$|SubmitRing|BatchSubmission|SharedPlanCompiledOnceAcrossSessions|BatchSubmitDeliversPerItemResults|BatchAdmissionAdmitsPrefixAndReportsScope|NetDisconnect|NetShutdown|PersistConcurrent|ConcurrentRecordMergeMatchesSerial|MetricsAndSlowCaptureOverUnix'
 echo "tsan leg OK"
 
 echo "CI OK"

@@ -11,6 +11,9 @@
 
 namespace nabbitc::api {
 
+static_assert(plan::kAllCompilerPasses == plan::kPassAll,
+              "runtime.h's forward-declared pass mask drifted from plan.h");
+
 // ---------------------------------------------------------------------------
 // Variant
 
@@ -367,13 +370,15 @@ Execution Runtime::run(GraphSpec& spec, Key sink, const SubmitOptions& so) {
 }
 
 std::unique_ptr<plan::GraphPlan> Runtime::compile(GraphSpec& spec, Key sink,
-                                                  std::size_t reserve_instances) {
+                                                  std::size_t reserve_instances,
+                                                  std::uint32_t passes) {
   plan::CompileOptions po;
   // Like submit(): the runtime's variant decides the replay spawn
   // semantics, so a plan cannot disagree with the steal policy.
   po.colored = opts_.variant == Variant::kNabbitC;
   po.count_locality = opts_.count_locality;
   po.reserve_instances = reserve_instances;
+  po.passes = passes;
   return plan::compile(spec, sink, po);
 }
 
@@ -421,6 +426,21 @@ Execution Runtime::submit(const plan::GraphPlan& plan, const SubmitOptions& so) 
   st.name = so.name;
   st.job.lane = static_cast<std::uint8_t>(so.priority);
   st.job.deadline_ns = so.deadline_ns;
+  if (plan.serial_lowered()) {
+    // Tiny-graph lowering: the whole replay runs right here on the
+    // submitting thread — no scheduler round-trip, no worker wake, no
+    // futex. The handle comes back already done; wait() is then a single
+    // acquire load. Worker counters never move for an inline replay, so
+    // the window is filled batch-style (never attributable).
+    st.attributable = false;
+    st.finalized = false;
+    st.reset_gen = &counter_reset_gen_;
+    st.expected_reset_gen = counter_reset_gen_.load(std::memory_order_acquire);
+    st.expected_submissions = 0;  // never matches: no scheduler submission
+    st.t_submit_ns = now_ns();
+    inst->run_inline();
+    return Execution(&st);
+  }
   arm_attribution_window(st, *sched_, counter_reset_gen_);
   sched_->submit(st.job);
   return Execution(&st);

@@ -45,6 +45,9 @@ namespace nabbitc::plan {
 class GraphPlan;
 class PlanInstance;
 struct FrozenPlan;
+/// Mirrors plan::kPassAll (plan/plan.h) without pulling the header in —
+/// static_assert'd equal in runtime.cpp.
+inline constexpr std::uint32_t kAllCompilerPasses = (1u << 3) - 1;
 }  // namespace nabbitc::plan
 
 namespace nabbitc::api {
@@ -204,8 +207,12 @@ class Runtime {
   /// Runtime's executions of it. Prefer plans over raw specs whenever the
   /// same graph is submitted repeatedly — replay submission does no graph
   /// construction and, once the instance pool is warm, no heap allocation.
-  std::unique_ptr<plan::GraphPlan> compile(GraphSpec& spec, Key sink,
-                                           std::size_t reserve_instances = 1);
+  /// `passes` selects the compiler's optimization passes (plan::kPass*);
+  /// the default runs them all. Disabling is for A/B benchmarking and the
+  /// per-pass fuzz matrix — results are bitwise identical either way.
+  std::unique_ptr<plan::GraphPlan> compile(
+      GraphSpec& spec, Key sink, std::size_t reserve_instances = 1,
+      std::uint32_t passes = plan::kAllCompilerPasses);
 
   /// Rebuilds a plan from persisted frozen arrays (src/persist/) instead of
   /// compiling: skips discovery/CSR/coloring/key-table work and goes

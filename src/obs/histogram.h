@@ -27,6 +27,7 @@
 #include <array>
 #include <atomic>
 #include <bit>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <cstdlib>
@@ -104,12 +105,19 @@ struct HistSnapshot {
         const double frac =
             (rank - static_cast<double>(cum)) / static_cast<double>(c);
         const double lo = static_cast<double>(bucket_lo(b));
-        const double hi = static_cast<double>(bucket_hi(b));
-        return lo + frac * (hi - lo);
+        // bucket_hi(64) is 2^64-1, which is NOT representable as a double:
+        // the cast rounds UP to 2^64, and interpolation could then exceed
+        // the documented [bucket_lo, bucket_hi] guarantee. Use the largest
+        // double strictly below 2^64 and clamp the interpolated value.
+        const double hi = b >= 64
+                              ? std::nextafter(std::ldexp(1.0, 64), 0.0)
+                              : static_cast<double>(bucket_hi(b));
+        const double x = lo + frac * (hi - lo);
+        return x < lo ? lo : (x > hi ? hi : x);
       }
       cum += c;
     }
-    return static_cast<double>(bucket_hi(kHistBuckets - 1));
+    return std::nextafter(std::ldexp(1.0, 64), 0.0);
   }
 };
 

@@ -1,7 +1,7 @@
 // PlanBlob: the on-disk form of a compiled GraphPlan.
 //
-// A blob is one contiguous byte buffer: a fixed 192-byte POD header
-// followed by 12 dense, 8-byte-aligned sections holding the plan's frozen
+// A blob is one contiguous byte buffer: a fixed 264-byte POD header
+// followed by 19 dense, 8-byte-aligned sections holding the plan's frozen
 // arrays verbatim (native byte order) plus the canonical WireGraph spec
 // bytes the plan was compiled from. The layout is chosen so a load is
 // zero-copy: mmap the file, run parse() (pure bounds/stamp/checksum/
@@ -44,7 +44,10 @@ namespace nabbitc::persist {
 /// Bumped on ANY change to the header or section layout. Old blobs are
 /// refused (kBadVersion) and recompiled — there is no migration, because
 /// the cache can always be rebuilt from specs.
-inline constexpr std::uint32_t kPlanBlobVersion = 1;
+/// v2: fused-unit schedule (chain fusion / level order / tiny lowering) —
+/// seven unit sections + four header counts; v1 blobs predate the
+/// optimization passes and are rejected.
+inline constexpr std::uint32_t kPlanBlobVersion = 2;
 
 /// Written as a native u32; reads back byte-swapped on a foreign-endian
 /// machine, which is the detection.
@@ -67,7 +70,15 @@ enum PlanBlobSection : std::uint32_t {
   kSecSlotKey,       // Key[slot_cap]
   kSecSlotIdx,       // u32[slot_cap]
   kSecSpec,          // u8[spec_len]   (canonical REGISTER encoding)
-  kPlanBlobSections  // = 12
+  // v2: the fused-unit schedule (see plan.h FrozenPlan).
+  kSecUnitOff,       // u32[fused_n+1]
+  kSecUnitNodes,     // u32[n]
+  kSecUnitJoin,      // i32[fused_n]
+  kSecUnitSuccOff,   // u32[fused_n+1]
+  kSecUnitSuccIdx,   // u32[unit_edges]
+  kSecUnitRoots,     // u32[n_unit_roots]
+  kSecUnitColors,    // Color[fused_n]
+  kPlanBlobSections  // = 19
 };
 
 struct PlanBlobHeader {
@@ -88,16 +99,23 @@ struct PlanBlobHeader {
   std::uint32_t n_roots;
   std::uint32_t slot_cap;
   std::uint32_t spec_len;
+  std::uint32_t fused_n;        // schedulable units after chain fusion
+  std::uint32_t unit_edges;     // cross-unit edges (with multiplicity)
+  std::uint32_t n_unit_roots;   // zero-join units
+  std::uint32_t passes;         // kPass* mask compile() applied
   std::uint64_t section_off[kPlanBlobSections];  // from blob start
 };
-static_assert(sizeof(PlanBlobHeader) == 192, "on-disk header layout");
+static_assert(sizeof(PlanBlobHeader) == 264, "on-disk header layout");
 static_assert(sizeof(PlanBlobHeader) % 8 == 0);
 static_assert(std::is_trivially_copyable_v<PlanBlobHeader>);
 
 inline constexpr std::uint32_t kPlanBlobFlagColored = 1u << 0;
 inline constexpr std::uint32_t kPlanBlobFlagCountLocality = 1u << 1;
+/// The plan replays through the tiny-graph serial micro-interpreter.
+inline constexpr std::uint32_t kPlanBlobFlagSerialLowered = 1u << 2;
 inline constexpr std::uint32_t kPlanBlobKnownFlags =
-    kPlanBlobFlagColored | kPlanBlobFlagCountLocality;
+    kPlanBlobFlagColored | kPlanBlobFlagCountLocality |
+    kPlanBlobFlagSerialLowered;
 
 /// ABI stamp: the widths whose change would silently reinterpret the
 /// section bytes. Any mismatch is kBadAbi.

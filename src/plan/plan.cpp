@@ -76,7 +76,9 @@ bool PlanInstance::try_build() {
       if (got[j] != f.keys[want[j]]) return false;
     }
   }
-  join_ = std::make_unique<std::atomic<std::int32_t>[]>(n);
+  // Join counters are per fused UNIT (the dispatch granularity), not per
+  // node — chain fusion is precisely the removal of intra-chain joins.
+  join_ = std::make_unique<std::atomic<std::int32_t>[]>(f.fused_n);
   return true;
 }
 
@@ -87,8 +89,8 @@ void PlanInstance::reset_for_replay() noexcept {
   // joins + statuses + counts below restores the instance completely.
   const FrozenPlan& f = plan_->f_;
   const std::uint32_t n = f.n;
-  for (std::uint32_t i = 0; i < n; ++i) {
-    join_[i].store(f.initial_join[i], std::memory_order_relaxed);
+  for (std::uint32_t u = 0; u < f.fused_n; ++u) {
+    join_[u].store(f.unit_join[u], std::memory_order_relaxed);
   }
   for (std::uint32_t i = 0; i < n; ++i) {
     nodes_[i]->status_.store(nabbit::NodeStatus::kVisited,
@@ -146,6 +148,7 @@ PlanInstance* GraphPlan::acquire() const {
     if (inst != nullptr) free_head_ = inst->pool_next_;
   }
   if (inst != nullptr) {
+    free_count_.fetch_sub(1, std::memory_order_relaxed);
     inst->fresh_ = false;  // pure replay: no nodes created this submission
   } else {
     inst = build_instance();  // cold path; fresh_ = true from construction
@@ -164,6 +167,7 @@ void GraphPlan::acquire_batch(PlanInstance** out, std::size_t n) const {
       out[pooled++] = inst;
     }
   }
+  if (pooled != 0) free_count_.fetch_sub(pooled, std::memory_order_relaxed);
   for (std::size_t i = 0; i < pooled; ++i) {
     out[i]->fresh_ = false;  // pure replay: no nodes created this submission
   }
@@ -174,18 +178,12 @@ void GraphPlan::acquire_batch(PlanInstance** out, std::size_t n) const {
 }
 
 void GraphPlan::release(PlanInstance* inst) const noexcept {
-  std::lock_guard<SpinLock> lk(pool_mu_);
-  inst->pool_next_ = free_head_;
-  free_head_ = inst;
-}
-
-std::size_t GraphPlan::instances_free() const noexcept {
-  std::lock_guard<SpinLock> lk(pool_mu_);
-  std::size_t n = 0;
-  for (const PlanInstance* p = free_head_; p != nullptr; p = p->pool_next_) {
-    ++n;
+  {
+    std::lock_guard<SpinLock> lk(pool_mu_);
+    inst->pool_next_ = free_head_;
+    free_head_ = inst;
   }
-  return n;
+  free_count_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void GraphPlan::adopt_prototype(std::unique_ptr<PlanInstance> proto,
@@ -196,6 +194,7 @@ void GraphPlan::adopt_prototype(std::unique_ptr<PlanInstance> proto,
     free_head_ = proto.get();
     owned_.push_back(std::move(proto));
   }
+  free_count_.fetch_add(1, std::memory_order_relaxed);
   instances_built_.store(1, std::memory_order_release);
   for (std::size_t i = 1; i < reserve_instances; ++i) {
     release(build_instance());
@@ -238,7 +237,37 @@ struct OwnedStorage {
   std::vector<std::uint32_t> roots;
   std::vector<Key> slot_key;
   std::vector<std::uint32_t> slot_idx;
+  // Fused-unit schedule (see FrozenPlan).
+  std::vector<std::uint32_t> unit_off;
+  std::vector<std::uint32_t> unit_nodes;
+  std::vector<std::int32_t> unit_join;
+  std::vector<std::uint32_t> unit_succ_off;
+  std::vector<std::uint32_t> unit_succ_idx;
+  std::vector<std::uint32_t> unit_roots;
+  std::vector<numa::Color> unit_colors;
 };
+
+/// Rebuilds succ_off/succ_idx as the exact transpose of the pred rows in
+/// the canonical emission order (iterate nodes in index order, append to
+/// each pred's row) — the order validate_frozen re-derives and demands.
+void build_successor_csr(OwnedStorage& s, std::uint32_t n) {
+  s.succ_off.assign(n + 1, 0);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t e = s.pred_off[i]; e < s.pred_off[i + 1]; ++e) {
+      ++s.succ_off[s.pred_idx[e] + 1];
+    }
+  }
+  for (std::uint32_t i = 0; i < n; ++i) {
+    s.succ_off[i + 1] += s.succ_off[i];
+  }
+  s.succ_idx.assign(s.succ_off[n], 0);
+  std::vector<std::uint32_t> cursor(s.succ_off.begin(), s.succ_off.end() - 1);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t e = s.pred_off[i]; e < s.pred_off[i + 1]; ++e) {
+      s.succ_idx[cursor[s.pred_idx[e]]++] = i;
+    }
+  }
+}
 
 }  // namespace
 
@@ -293,7 +322,8 @@ std::unique_ptr<GraphPlan> compile(GraphSpec& spec, Key sink,
     }
   }
 
-  // --- freeze topology into CSR arrays + per-node colors.
+  // --- freeze topology into CSR arrays + per-node colors (discovery index
+  // space; the optimization passes below may renumber everything).
   const auto n = static_cast<std::uint32_t>(nodes.size());
   auto st = std::make_shared<OwnedStorage>();
   OwnedStorage& s = *st;
@@ -312,26 +342,198 @@ std::unique_ptr<GraphPlan> compile(GraphSpec& spec, Key sink,
     if (npreds == 0) s.roots.push_back(i);
   }
   s.pred_idx.resize(s.pred_off[n]);
-  s.succ_off.assign(n + 1, 0);
   for (std::uint32_t i = 0; i < n; ++i) {
     std::uint32_t o = s.pred_off[i];
     for (const Key pk : nodes[i]->predecessors()) {
-      const std::uint32_t pi = index.at(pk);
-      s.pred_idx[o++] = pi;
-      ++s.succ_off[pi + 1];
+      s.pred_idx[o++] = index.at(pk);
     }
   }
-  for (std::uint32_t i = 0; i < n; ++i) {
-    s.succ_off[i + 1] += s.succ_off[i];
-  }
-  s.succ_idx.resize(s.succ_off[n]);
+  build_successor_csr(s, n);
+
+  // --- optimization passes -------------------------------------------------
+  const std::uint32_t passes = opts.passes & kPassAll;
+  const auto pred_cnt = [&s](std::uint32_t v) {
+    return s.pred_off[v + 1] - s.pred_off[v];
+  };
+  const auto succ_cnt = [&s](std::uint32_t v) {
+    return s.succ_off[v + 1] - s.succ_off[v];
+  };
+
+  // Topological levels (Kahn over the frozen CSR): level[v] = longest root
+  // path, the layout pass's primary sort key.
+  std::vector<std::uint32_t> level(n, 0);
   {
-    std::vector<std::uint32_t> cursor(s.succ_off.begin(), s.succ_off.end() - 1);
-    for (std::uint32_t i = 0; i < n; ++i) {
-      for (std::uint32_t e = s.pred_off[i]; e < s.pred_off[i + 1]; ++e) {
-        s.succ_idx[cursor[s.pred_idx[e]]++] = i;
+    std::vector<std::int32_t> pending(s.initial_join.begin(),
+                                      s.initial_join.end());
+    std::vector<std::uint32_t> queue(s.roots.begin(), s.roots.end());
+    std::size_t head = 0;
+    while (head < queue.size()) {
+      const std::uint32_t u = queue[head++];
+      for (std::uint32_t e = s.succ_off[u]; e < s.succ_off[u + 1]; ++e) {
+        const std::uint32_t v = s.succ_idx[e];
+        if (level[v] < level[u] + 1) level[v] = level[u] + 1;
+        if (--pending[v] == 0) queue.push_back(v);
       }
     }
+    NABBITC_CHECK_MSG(queue.size() == n, "cycle escaped discovery");
+  }
+
+  // Pass 1 — chain fusion. A node is chain-interior iff it has exactly one
+  // predecessor and that predecessor has exactly one successor; units are
+  // the maximal runs of such edges, executed serially by the replay path so
+  // the join/dispatch cost is paid once per run. With the pass off, every
+  // unit is a singleton.
+  std::vector<std::uint8_t> interior(n, 0);
+  if ((passes & kPassChainFusion) != 0) {
+    for (std::uint32_t v = 0; v < n; ++v) {
+      if (pred_cnt(v) == 1 && succ_cnt(s.pred_idx[s.pred_off[v]]) == 1) {
+        interior[v] = 1;
+      }
+    }
+  }
+  std::vector<std::uint32_t> heads;  // unit entry nodes, discovery order
+  heads.reserve(n);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (!interior[v]) heads.push_back(v);
+  }
+  const auto fused_n = static_cast<std::uint32_t>(heads.size());
+  const auto chain_next = [&](std::uint32_t v) -> std::uint32_t {
+    if (succ_cnt(v) == 1) {
+      const std::uint32_t w = s.succ_idx[s.succ_off[v]];
+      if (interior[w]) return w;
+    }
+    return GraphPlan::kInvalidIndex;
+  };
+
+  // Pass 2 — level-ordered layout. Order units level-major (entry node's
+  // level, then color, then discovery order) and renumber nodes by (unit
+  // rank, position in chain) so notify-time successor scans touch
+  // neighbouring cache lines. The sink keeps index 0 (persisted invariant:
+  // keys[0] == sink_key). With the pass off, discovery order stands.
+  std::vector<std::uint32_t> unit_order(fused_n);
+  for (std::uint32_t i = 0; i < fused_n; ++i) unit_order[i] = i;
+  std::vector<std::uint32_t> new_of(n);
+  for (std::uint32_t v = 0; v < n; ++v) new_of[v] = v;
+  if ((passes & kPassLevelOrder) != 0) {
+    std::stable_sort(unit_order.begin(), unit_order.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       const std::uint32_t ha = heads[a], hb = heads[b];
+                       if (level[ha] != level[hb]) return level[ha] < level[hb];
+                       if (s.colors[ha] != s.colors[hb]) {
+                         return s.colors[ha] < s.colors[hb];
+                       }
+                       return ha < hb;
+                     });
+    std::uint32_t next = 1;
+    for (std::uint32_t r = 0; r < fused_n; ++r) {
+      for (std::uint32_t v = heads[unit_order[r]];
+           v != GraphPlan::kInvalidIndex; v = chain_next(v)) {
+        new_of[v] = (v == 0) ? 0 : next++;
+      }
+    }
+  }
+
+  // Unit membership in the final index space, one CSR row per unit in final
+  // unit order (chain members stay in execution order).
+  s.unit_off.assign(fused_n + 1, 0);
+  s.unit_nodes.reserve(n);
+  for (std::uint32_t r = 0; r < fused_n; ++r) {
+    for (std::uint32_t v = heads[unit_order[r]]; v != GraphPlan::kInvalidIndex;
+         v = chain_next(v)) {
+      s.unit_nodes.push_back(new_of[v]);
+    }
+    s.unit_off[r + 1] = static_cast<std::uint32_t>(s.unit_nodes.size());
+  }
+  NABBITC_CHECK_MSG(s.unit_nodes.size() == n, "fusion lost nodes");
+
+  // Apply the permutation to every node-space array (and the prototype's
+  // payload slots); successor rows are re-derived transpose-style in the
+  // new order.
+  if ((passes & kPassLevelOrder) != 0) {
+    OwnedStorage t;
+    t.keys.resize(n);
+    t.colors.resize(n);
+    t.data_colors.resize(n);
+    t.initial_join.resize(n);
+    t.pred_off.assign(n + 1, 0);
+    std::vector<TaskGraphNode*> perm_nodes(n);
+    for (std::uint32_t v = 0; v < n; ++v) {
+      const std::uint32_t nv = new_of[v];
+      t.keys[nv] = s.keys[v];
+      t.colors[nv] = s.colors[v];
+      t.data_colors[nv] = s.data_colors[v];
+      t.initial_join[nv] = s.initial_join[v];
+      t.pred_off[nv + 1] = pred_cnt(v);
+      perm_nodes[nv] = nodes[v];
+    }
+    for (std::uint32_t i = 0; i < n; ++i) t.pred_off[i + 1] += t.pred_off[i];
+    t.pred_idx.resize(s.pred_idx.size());
+    for (std::uint32_t v = 0; v < n; ++v) {
+      std::uint32_t o = t.pred_off[new_of[v]];
+      // Predecessor declaration order is preserved (try_build compares it
+      // against the spec's answers slot by slot).
+      for (std::uint32_t e = s.pred_off[v]; e < s.pred_off[v + 1]; ++e) {
+        t.pred_idx[o++] = new_of[s.pred_idx[e]];
+      }
+    }
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (t.pred_off[i + 1] == t.pred_off[i]) t.roots.push_back(i);
+    }
+    s.keys = std::move(t.keys);
+    s.colors = std::move(t.colors);
+    s.data_colors = std::move(t.data_colors);
+    s.initial_join = std::move(t.initial_join);
+    s.pred_off = std::move(t.pred_off);
+    s.pred_idx = std::move(t.pred_idx);
+    s.roots = std::move(t.roots);
+    build_successor_csr(s, n);
+    nodes = std::move(perm_nodes);
+  }
+
+  // Cross-unit schedule: per-unit join counts (with edge multiplicity) and
+  // the unit-level successor transpose, in the canonical emission order
+  // validate_frozen re-derives (units in order, members in chain order,
+  // pred rows in declaration order).
+  std::vector<std::uint32_t> unit_of(n);
+  for (std::uint32_t u = 0; u < fused_n; ++u) {
+    for (std::uint32_t e = s.unit_off[u]; e < s.unit_off[u + 1]; ++e) {
+      unit_of[s.unit_nodes[e]] = u;
+    }
+  }
+  s.unit_join.assign(fused_n, 0);
+  s.unit_succ_off.assign(fused_n + 1, 0);
+  for (std::uint32_t u = 0; u < fused_n; ++u) {
+    for (std::uint32_t e = s.unit_off[u]; e < s.unit_off[u + 1]; ++e) {
+      const std::uint32_t v = s.unit_nodes[e];
+      for (std::uint32_t pe = s.pred_off[v]; pe < s.pred_off[v + 1]; ++pe) {
+        const std::uint32_t pu = unit_of[s.pred_idx[pe]];
+        if (pu == u) continue;
+        ++s.unit_join[u];
+        ++s.unit_succ_off[pu + 1];
+      }
+    }
+  }
+  for (std::uint32_t u = 0; u < fused_n; ++u) {
+    s.unit_succ_off[u + 1] += s.unit_succ_off[u];
+  }
+  s.unit_succ_idx.assign(s.unit_succ_off[fused_n], 0);
+  {
+    std::vector<std::uint32_t> cursor(s.unit_succ_off.begin(),
+                                      s.unit_succ_off.end() - 1);
+    for (std::uint32_t u = 0; u < fused_n; ++u) {
+      for (std::uint32_t e = s.unit_off[u]; e < s.unit_off[u + 1]; ++e) {
+        const std::uint32_t v = s.unit_nodes[e];
+        for (std::uint32_t pe = s.pred_off[v]; pe < s.pred_off[v + 1]; ++pe) {
+          const std::uint32_t pu = unit_of[s.pred_idx[pe]];
+          if (pu != u) s.unit_succ_idx[cursor[pu]++] = u;
+        }
+      }
+    }
+  }
+  s.unit_colors.resize(fused_n);
+  for (std::uint32_t u = 0; u < fused_n; ++u) {
+    if (s.unit_join[u] == 0) s.unit_roots.push_back(u);
+    s.unit_colors[u] = s.colors[s.unit_nodes[s.unit_off[u]]];
   }
 
   // --- freeze the key lookup (open addressing, linear probing, load <= 0.5).
@@ -365,10 +567,23 @@ std::unique_ptr<GraphPlan> compile(GraphSpec& spec, Key sink,
   f.slot_idx = s.slot_idx;
   f.slot_mask = mask;
   f.instance_slab_bytes = proto->slab_.bytes_allocated();
+  f.fused_n = fused_n;
+  f.passes = passes;
+  // Pass 3 — tiny-graph lowering: plans this small replay through the
+  // serial micro-interpreter on the submitting thread (see
+  // PlanInstance::run_serial), skipping TaskGroup/spawn entirely.
+  f.serial_lower = (passes & kPassTinyLower) != 0 && n < kTinyGraphMaxNodes;
+  f.unit_off = s.unit_off;
+  f.unit_nodes = s.unit_nodes;
+  f.unit_join = s.unit_join;
+  f.unit_succ_off = s.unit_succ_off;
+  f.unit_succ_idx = s.unit_succ_idx;
+  f.unit_roots = s.unit_roots;
+  f.unit_colors = s.unit_colors;
   f.backing = std::move(st);
   plan->f_ = std::move(f);
 
-  proto->join_ = std::make_unique<std::atomic<std::int32_t>[]>(n);
+  proto->join_ = std::make_unique<std::atomic<std::int32_t>[]>(fused_n);
   plan->adopt_prototype(std::move(proto), opts.reserve_instances);
   return plan;
 }
@@ -466,6 +681,79 @@ bool validate_frozen(const FrozenPlan& f) {
     for (std::uint64_t i = 0; i < n; ++i) {
       if (!seen[i]) return false;
     }
+  }
+
+  // Fused-unit schedule: unit_off must partition a permutation of the node
+  // set into chains, and every intra-unit consecutive pair must be a real
+  // fanout-1/fanin-1 edge — serial in-unit execution is only legal then.
+  // Join counts and unit successor rows must match the canonical cross-unit
+  // emission exactly (units in order, members in chain order, pred rows in
+  // declaration order); replay arms join counters straight from unit_join,
+  // so any disagreement deadlocks or double-fires a replay.
+  {
+    const std::uint64_t fn = f.fused_n;
+    if (fn == 0 || fn > n) return false;
+    if (f.unit_off.size() != fn + 1 || f.unit_nodes.size() != n) return false;
+    if (f.unit_join.size() != fn || f.unit_succ_off.size() != fn + 1) {
+      return false;
+    }
+    if (f.unit_roots.size() > fn || f.unit_colors.size() != fn) return false;
+    if (f.unit_off[0] != 0 || f.unit_off[fn] != n) return false;
+    std::vector<std::uint32_t> unit_of(n, GraphPlan::kInvalidIndex);
+    for (std::uint64_t u = 0; u < fn; ++u) {
+      if (f.unit_off[u + 1] <= f.unit_off[u]) return false;  // >= 1 node
+      for (std::uint32_t e = f.unit_off[u]; e < f.unit_off[u + 1]; ++e) {
+        const std::uint32_t v = f.unit_nodes[e];
+        if (v >= n || unit_of[v] != GraphPlan::kInvalidIndex) return false;
+        unit_of[v] = static_cast<std::uint32_t>(u);
+        if (e > f.unit_off[u]) {
+          const std::uint32_t a = f.unit_nodes[e - 1];
+          if (f.pred_off[v + 1] - f.pred_off[v] != 1) return false;
+          if (f.pred_idx[f.pred_off[v]] != a) return false;
+          if (f.succ_off[a + 1] - f.succ_off[a] != 1) return false;
+          if (f.succ_idx[f.succ_off[a]] != v) return false;
+        }
+      }
+      if (f.unit_colors[u] != f.colors[f.unit_nodes[f.unit_off[u]]]) {
+        return false;
+      }
+    }
+    // (n entries, all distinct, all < n ⇒ unit_nodes is a permutation.)
+    if (f.unit_succ_off[0] != 0) return false;
+    for (std::uint64_t u = 0; u < fn; ++u) {
+      if (f.unit_succ_off[u + 1] < f.unit_succ_off[u]) return false;
+    }
+    if (f.unit_succ_idx.size() != f.unit_succ_off[fn]) return false;
+    std::vector<std::int32_t> join(fn, 0);
+    std::vector<std::uint32_t> cursor(f.unit_succ_off.begin(),
+                                      f.unit_succ_off.end() - 1);
+    std::size_t r = 0;
+    for (std::uint64_t u = 0; u < fn; ++u) {
+      for (std::uint32_t e = f.unit_off[u]; e < f.unit_off[u + 1]; ++e) {
+        const std::uint32_t v = f.unit_nodes[e];
+        for (std::uint32_t pe = f.pred_off[v]; pe < f.pred_off[v + 1]; ++pe) {
+          const std::uint32_t pu = unit_of[f.pred_idx[pe]];
+          if (pu == u) continue;
+          ++join[u];
+          const std::uint32_t c = cursor[pu]++;
+          if (c >= f.unit_succ_off[pu + 1]) return false;
+          if (f.unit_succ_idx[c] != static_cast<std::uint32_t>(u)) return false;
+        }
+      }
+      if (f.unit_join[u] != join[u]) return false;
+      if (join[u] == 0) {
+        if (r >= f.unit_roots.size() || f.unit_roots[r] != u) return false;
+        ++r;
+      }
+    }
+    if (r != f.unit_roots.size()) return false;
+    if (f.unit_roots.empty()) return false;
+    for (std::uint64_t u = 0; u < fn; ++u) {
+      if (cursor[u] != f.unit_succ_off[u + 1]) return false;
+    }
+    // Serial lowering is only legal for tiny plans (the micro-interpreter
+    // uses a fixed-size ready stack); refuse an artifact claiming otherwise.
+    if (f.serial_lower && n >= kTinyGraphMaxNodes) return false;
   }
 
   // Slab sizing is a hint re-measured per instance block, but an absurd

@@ -66,6 +66,30 @@ using nabbit::GraphSpec;
 using nabbit::Key;
 using nabbit::TaskGraphNode;
 
+// --- optimization passes (compile() runs them between discovery and freeze;
+// each is individually disableable through CompileOptions::passes, which is
+// what the per-pass fuzz matrix exercises).
+
+/// Chain fusion: collapse fanout-1/fanin-1 runs into one schedulable unit
+/// that computes the whole run serially — the join/dispatch cost is paid
+/// once per chain instead of once per node.
+inline constexpr std::uint32_t kPassChainFusion = 1u << 0;
+/// Level-ordered layout: renumber plan indices by topological level (ties
+/// broken by color, then discovery order) so a unit's successors share
+/// cache lines at notify time. The sink stays index 0 regardless.
+inline constexpr std::uint32_t kPassLevelOrder = 1u << 1;
+/// Tiny-graph lowering: plans with fewer than kTinyGraphMaxNodes nodes
+/// replay through a serial micro-interpreter on the submitting thread,
+/// skipping TaskGroup/spawn machinery entirely.
+inline constexpr std::uint32_t kPassTinyLower = 1u << 2;
+inline constexpr std::uint32_t kPassAll =
+    kPassChainFusion | kPassLevelOrder | kPassTinyLower;
+
+/// Node-count bound under which kPassTinyLower marks a plan for serial
+/// replay. Also the hard cap validate_frozen enforces on serial-lowered
+/// artifacts (the micro-interpreter's ready stack is sized by it).
+inline constexpr std::uint32_t kTinyGraphMaxNodes = 32;
+
 struct CompileOptions {
   /// NabbitC semantics: color-grouped morphing-continuation spawns with
   /// advertised color masks. False = vanilla Nabbit list-order spawning.
@@ -77,6 +101,10 @@ struct CompileOptions {
   /// build more on demand (a heap-allocating cold path); pre-size this to
   /// the expected concurrent-replay depth for allocation-free serving.
   std::size_t reserve_instances = 1;
+  /// Bitmask of kPass* optimization passes to run. All passes preserve
+  /// bitwise result equality; disabling is for A/B benchmarking and the
+  /// per-pass fuzz matrix, not correctness.
+  std::uint32_t passes = kPassAll;
 };
 
 class GraphPlan;
@@ -102,6 +130,23 @@ struct FrozenPlan {
   std::uint64_t slot_mask = 0;
   /// Payload bytes one instance's nodes need (measured on the prototype).
   std::uint64_t instance_slab_bytes = 0;
+
+  // --- fused-unit schedule (the chain-fusion pass's output; with fusion
+  // disabled every unit is a singleton and these mirror the node arrays).
+  // The scheduler dispatches UNITS: a unit's nodes run serially in
+  // unit_nodes order, and the per-replay join counters are per unit. The
+  // per-node arrays above stay authoritative for lookups, validation, and
+  // the dependence asserts.
+  std::uint32_t fused_n = 0;                     // units; 1 <= fused_n <= n
+  std::uint32_t passes = 0;                      // kPass* mask applied
+  bool serial_lower = false;                     // tiny-graph serial replay
+  std::span<const std::uint32_t> unit_off;       // CSR rows into unit_nodes,
+  std::span<const std::uint32_t> unit_nodes;     //   size fused_n+1 / n
+  std::span<const std::int32_t> unit_join;       // cross-unit in-edge counts
+  std::span<const std::uint32_t> unit_succ_off;  // cross-unit transpose rows
+  std::span<const std::uint32_t> unit_succ_idx;
+  std::span<const std::uint32_t> unit_roots;     // zero-join units, ascending
+  std::span<const numa::Color> unit_colors;      // entry-node colors
   /// Keeps whatever the views point into alive — owned vectors or a mapped
   /// blob. plan/ never looks inside; only destruction order matters.
   std::shared_ptr<const void> backing;
@@ -152,6 +197,12 @@ class PlanInstance final : public nabbit::NodeLookup {
   /// handle once the replay has completed and the handle is released.
   void recycle() noexcept;
 
+  /// Complete inline submission of a serial-lowered plan: runs the whole
+  /// replay on the calling thread and marks the embedded job done — the
+  /// scheduler is never involved. Called by Runtime::submit after state
+  /// setup; the caller must not have published the job anywhere.
+  void run_inline();
+
  private:
   friend class GraphPlan;
   friend std::unique_ptr<GraphPlan> compile(GraphSpec& spec, Key sink,
@@ -177,9 +228,16 @@ class PlanInstance final : public nabbit::NodeLookup {
 
   // --- replay protocol (replay.cpp) ---------------------------------------
   void run_root(rt::Worker& w);
-  void compute_and_notify(rt::Worker& w, std::uint32_t index);
+  void compute_and_notify(rt::Worker& w, std::uint32_t unit);
   void spawn_indices(rt::Worker& w, rt::TaskGroup& g, std::uint32_t* indices,
                      std::size_t n);
+  /// Runs one fused unit's nodes serially (per-node cancel poll, locality
+  /// when `w` is non-null). Shared by the parallel and serial paths.
+  void execute_unit(rt::Worker* w, std::uint32_t unit);
+  /// The tiny-graph micro-interpreter: drives the whole replay on the
+  /// calling thread over the unit join counters. `w` may be null (inline
+  /// submission) — locality counting is skipped then.
+  void run_serial(rt::Worker* w);
 
   const GraphPlan* plan_;
   nabbit::NodeSlab slab_;                    // node payload storage
@@ -209,6 +267,15 @@ class GraphPlan {
   GraphPlan& operator=(const GraphPlan&) = delete;
 
   std::uint32_t num_nodes() const noexcept { return f_.n; }
+  /// Schedulable units after chain fusion (== num_nodes() when the fusion
+  /// pass was disabled or found nothing to fuse) — the per-plan
+  /// introspection surface for "nodes before/after fusion".
+  std::uint32_t num_fused_nodes() const noexcept { return f_.fused_n; }
+  /// kPass* mask the compiler actually applied to this plan.
+  std::uint32_t passes() const noexcept { return f_.passes; }
+  /// True when replays run through the tiny-graph serial micro-interpreter
+  /// (singleton submissions then complete inline on the submitting thread).
+  bool serial_lowered() const noexcept { return f_.serial_lower; }
   Key sink() const noexcept { return sink_; }
   bool colored() const noexcept { return opts_.colored; }
   bool count_locality() const noexcept { return opts_.count_locality; }
@@ -246,7 +313,12 @@ class GraphPlan {
   /// instances_built(). Introspection for tests and service stats; an
   /// Execution handle releases its instance only on destruction, which can
   /// lag result delivery, so callers poll this rather than in-flight counts.
-  std::size_t instances_free() const noexcept;
+  /// O(1): a relaxed counter maintained at freelist push/pop, so the
+  /// daemon's per-second metrics scrape never holds the pool lock against
+  /// the submit hot path.
+  std::size_t instances_free() const noexcept {
+    return free_count_.load(std::memory_order_relaxed);
+  }
 
   /// Binds a per-plan submit-to-complete latency histogram (e.g. the
   /// daemon's "submit_complete_ns_plan_<handle>"): every replay completion
@@ -301,6 +373,10 @@ class GraphPlan {
   // Instance pool (mutable: submission through a const plan is the point).
   mutable SpinLock pool_mu_;
   mutable PlanInstance* free_head_ = nullptr;
+  /// Freelist length mirror, updated at every push/pop (relaxed — an
+  /// introspection counter, not a synchronization edge). Lets
+  /// instances_free() answer without taking pool_mu_.
+  mutable std::atomic<std::size_t> free_count_{0};
   mutable std::vector<std::unique_ptr<PlanInstance>> owned_;
   mutable std::atomic<std::uint64_t> instances_built_{0};
   mutable std::atomic<obs::Histogram*> metrics_hist_{nullptr};

@@ -8,28 +8,36 @@
 // spawn_colors.h for NabbitC — so steal behaviour and locality stay
 // faithful to the paper; only the discovery machinery is gone. Every
 // allocation on this path comes from the executing worker's frame arena.
+//
+// The dispatch granularity is the fused UNIT (see plan.h): chain fusion
+// collapses fanout-1/fanin-1 runs into one unit whose member nodes execute
+// serially in execute_unit(), so the join/spawn cost is paid once per run.
+// Tiny plans (serial_lower) skip the scheduler entirely and replay through
+// run_serial()'s micro-interpreter on the submitting thread.
+#include "api/metrics.h"
 #include "nabbit/spawn_halved.h"
 #include "nabbitc/spawn_colors.h"
 #include "plan/plan.h"
 #include "support/check.h"
+#include "support/timing.h"
 
 namespace nabbitc::plan {
 
-/// Leaf action for both spawn shapes (colored and halved).
+/// Leaf action for both spawn shapes (colored and halved): one fused unit.
 struct PlanComputeLeaf {
   PlanInstance* inst;
-  void operator()(rt::Worker& w, std::uint32_t index) const {
-    inst->compute_and_notify(w, index);
+  void operator()(rt::Worker& w, std::uint32_t unit) const {
+    inst->compute_and_notify(w, unit);
   }
 };
 
 namespace {
 
 /// Item -> color projection for spawn_colored, over the plan's frozen
-/// color array.
+/// unit-color array (a unit lands where its entry node's data lives).
 struct PlanColorOf {
   const numa::Color* colors;
-  numa::Color operator()(std::uint32_t index) const { return colors[index]; }
+  numa::Color operator()(std::uint32_t unit) const { return colors[unit]; }
 };
 
 }  // namespace
@@ -39,7 +47,8 @@ void PlanInstance::spawn_indices(rt::Worker& w, rt::TaskGroup& g,
   if (n == 0) return;
   const GraphPlan& p = *plan_;
   if (p.colored()) {
-    nabbit::spawn_colored(w, g, indices, n, PlanColorOf{p.frozen().colors.data()},
+    nabbit::spawn_colored(w, g, indices, n,
+                          PlanColorOf{p.frozen().unit_colors.data()},
                           PlanComputeLeaf{this});
     return;
   }
@@ -48,14 +57,29 @@ void PlanInstance::spawn_indices(rt::Worker& w, rt::TaskGroup& g,
 
 void PlanInstance::run_root(rt::Worker& w) {
   const GraphPlan& p = *plan_;
-  const auto roots = p.roots();
-  // Roots are spawned from an arena copy: the colored path sorts its item
-  // array in place, and the plan's own arrays are frozen.
-  auto* indices = w.arena().create_array<std::uint32_t>(roots.size());
-  for (std::size_t i = 0; i < roots.size(); ++i) indices[i] = roots[i];
-  rt::TaskGroup group;
-  spawn_indices(w, group, indices, roots.size());
-  group.wait(w);
+  const FrozenPlan& f = p.frozen();
+  if (f.serial_lower) {
+    // Tiny plan adopted by a worker (batch path, or lowering forced): same
+    // serial interpreter as the inline path, on the adopting worker so
+    // compute() still sees a real ExecContext worker.
+    run_serial(&w);
+  } else {
+    const auto roots = f.unit_roots;
+    rt::TaskGroup group;
+    if (p.colored()) {
+      // The colored spawn sorts its item array in place; the plan's own
+      // arrays are frozen, so it gets an arena copy.
+      auto* indices = w.arena().create_array<std::uint32_t>(roots.size());
+      for (std::size_t i = 0; i < roots.size(); ++i) indices[i] = roots[i];
+      spawn_indices(w, group, indices, roots.size());
+    } else {
+      // spawn_halved never mutates its item array — consume the frozen
+      // roots directly, no per-replay copy.
+      nabbit::spawn_halved(w, group, roots.data(), roots.size(),
+                           PlanComputeLeaf{this});
+    }
+    group.wait(w);
+  }
   // Every node is retired exactly once per replay: computed, or skipped by
   // cooperative cancellation (the skip cascade still walks the CSR rows so
   // join counters drain and this sync returns).
@@ -67,55 +91,73 @@ void PlanInstance::run_root(rt::Worker& w) {
       "in flight, or graph mutated since compile");
 }
 
-void PlanInstance::compute_and_notify(rt::Worker& w, std::uint32_t index) {
+void PlanInstance::execute_unit(rt::Worker* w, std::uint32_t unit) {
   const GraphPlan& p = *plan_;
-  TaskGraphNode* u = nodes_[index];
-  // One cancellation check per node dispatch (the embedded RootJob's cancel
-  // word; no clock). Skipped nodes never run compute() and keep status
-  // kVisited, but still notify successors so the replay drains.
-  const bool skip = state_.job.cancel_requested();
+  const FrozenPlan& f = p.frozen();
+  nabbit::ExecContext ctx(w, *this);
+  std::uint32_t n_computed = 0;
+  std::uint32_t n_skipped = 0;
+  for (std::uint32_t e = f.unit_off[unit]; e < f.unit_off[unit + 1]; ++e) {
+    const std::uint32_t index = f.unit_nodes[e];
+    TaskGraphNode* u = nodes_[index];
+    // One cancellation check per node (the embedded RootJob's cancel word;
+    // no clock) — fused units stay as responsive as singleton dispatch.
+    // Skipped nodes never run compute() and keep status kVisited, but the
+    // unit still notifies successors so the replay drains.
+    const bool skip = state_.job.cancel_requested();
 #ifndef NDEBUG
-  // Protocol invariant: a node computes only after all predecessors have.
-  // A skipped predecessor implies cancellation was visible before our own
-  // check above, so a non-skipped node cannot observe one.
-  if (!skip) {
-    for (const std::uint32_t pi : p.predecessors(index)) {
-      NABBITC_CHECK_MSG(nodes_[pi]->computed(),
-                        "dependence violation: plan node computed before "
-                        "predecessor");
+    // Protocol invariant: a node computes only after all predecessors have.
+    // A skipped predecessor implies cancellation was visible before our own
+    // check above, so a non-skipped node cannot observe one.
+    if (!skip) {
+      for (const std::uint32_t pi : p.predecessors(index)) {
+        NABBITC_CHECK_MSG(nodes_[pi]->computed(),
+                          "dependence violation: plan node computed before "
+                          "predecessor");
+      }
     }
-  }
 #endif
-  if (skip) {
-    skipped_.fetch_add(1, std::memory_order_relaxed);
-  } else {
-    if (p.count_locality()) {
+    if (skip) {
+      ++n_skipped;
+      continue;
+    }
+    if (w != nullptr && p.count_locality()) {
       // Counted against true data placement, exactly like the dynamic path
       // (see DynamicExecutor::compute_and_notify) — but the colors come from
       // the plan's frozen arrays, not spec virtual calls.
       const auto preds = p.predecessors(index);
       std::uint64_t remote_preds = 0;
       for (const std::uint32_t pi : preds) {
-        if (!w.color_is_local(p.data_color_of(pi))) ++remote_preds;
+        if (!w->color_is_local(p.data_color_of(pi))) ++remote_preds;
       }
-      w.record_node_execution(p.data_color_of(index), preds.size(),
-                              remote_preds);
+      w->record_node_execution(p.data_color_of(index), preds.size(),
+                               remote_preds);
     }
-
-    nabbit::ExecContext ctx(&w, *this);
     u->compute(ctx);
     u->status_.store(nabbit::NodeStatus::kComputed, std::memory_order_release);
-    computed_.fetch_add(1, std::memory_order_relaxed);
+    ++n_computed;
   }
+  if (n_computed != 0) {
+    computed_.fetch_add(n_computed, std::memory_order_relaxed);
+  }
+  if (n_skipped != 0) {
+    skipped_.fetch_add(n_skipped, std::memory_order_relaxed);
+  }
+}
 
-  // Notify successors: the CSR row replaces the successor list — every
+void PlanInstance::compute_and_notify(rt::Worker& w, std::uint32_t unit) {
+  execute_unit(&w, unit);
+  // Notify successor units: the CSR row replaces the successor list — every
   // dependent is known up front, so the last-arriving predecessor (the
   // fetch_sub observing 1) spawns the successor.
-  const auto succs = p.successors(index);
-  if (succs.empty()) return;
-  auto* ready = w.arena().create_array<std::uint32_t>(succs.size());
+  const FrozenPlan& f = plan_->frozen();
+  const std::uint32_t sb = f.unit_succ_off[unit];
+  const std::uint32_t se = f.unit_succ_off[unit + 1];
+  if (sb == se) return;
+  auto* ready = w.arena().create_array<std::uint32_t>(se - sb);
   std::size_t nready = 0;
-  for (const std::uint32_t s : succs) {
+  for (std::uint32_t e = sb; e < se; ++e) {
+    const std::uint32_t s = f.unit_succ_idx[e];
     if (join_[s].fetch_sub(1, std::memory_order_acq_rel) == 1) {
       ready[nready++] = s;
     }
@@ -124,6 +166,57 @@ void PlanInstance::compute_and_notify(rt::Worker& w, std::uint32_t index) {
   rt::TaskGroup group;
   spawn_indices(w, group, ready, nready);
   group.wait(w);
+}
+
+void PlanInstance::run_serial(rt::Worker* w) {
+  // Micro-interpreter for tiny plans: a fixed ready stack, relaxed join
+  // decrements (single thread — the counters only keep the bookkeeping
+  // identical to the concurrent path), no TaskGroup, no arena traffic.
+  const FrozenPlan& f = plan_->frozen();
+  NABBITC_DCHECK(f.fused_n <= kTinyGraphMaxNodes);
+  std::uint32_t ready[kTinyGraphMaxNodes];
+  std::uint32_t top = 0;
+  for (const std::uint32_t u : f.unit_roots) ready[top++] = u;
+  while (top != 0) {
+    const std::uint32_t u = ready[--top];
+    execute_unit(w, u);
+    for (std::uint32_t e = f.unit_succ_off[u]; e < f.unit_succ_off[u + 1];
+         ++e) {
+      const std::uint32_t s = f.unit_succ_idx[e];
+      if (join_[s].fetch_sub(1, std::memory_order_relaxed) == 1) {
+        ready[top++] = s;
+      }
+    }
+  }
+}
+
+void PlanInstance::run_inline() {
+  // Serial-lowered submission on the submitting thread: mirror the fields
+  // submit_batch() would have reset, run the micro-interpreter, then
+  // complete the job. Nobody can observe the handle before the caller's
+  // submit() returns, so plain stores + one release on `done` suffice (and
+  // no waiter can be parked on the scheduler for this job).
+  rt::Scheduler::RootJob& job = state_.job;
+  job.t_enqueue_ns = 0;
+  job.t_adopt_ns = 0;
+  job.done.store(false, std::memory_order_relaxed);
+  job.cancel.store(0, std::memory_order_relaxed);
+  job.batch = nullptr;
+  if (job.deadline_ns != 0 && now_ns() >= job.deadline_ns) {
+    // Born expired: same cooperative skip cascade the scheduler applies at
+    // adoption — every node retires as skipped, status_of reports
+    // kDeadlineExceeded.
+    job.try_cancel(rt::CancelReason::kDeadline);
+  }
+  run_serial(nullptr);
+  NABBITC_CHECK_MSG(
+      computed_.load(std::memory_order_relaxed) +
+              skipped_.load(std::memory_order_relaxed) ==
+          plan_->num_nodes(),
+      "serial plan replay did not retire every node");
+  state_.t_done_ns = now_ns();
+  api::record_completion(state_, plan_->bound_metrics());
+  job.done.store(true, std::memory_order_release);
 }
 
 }  // namespace nabbitc::plan

@@ -63,12 +63,15 @@ double geomean(const std::vector<double>& xs);
 /// Nearest-rank percentile over raw samples, p in [0, 1]. Sorts v IN PLACE
 /// — callers may rely on v being sorted ascending afterwards (e.g. to read
 /// v.back() as the max). Returns 0 for an empty vector. This is the bench
-/// harnesses' percentile: no interpolation, the sample at rank p*(n-1).
+/// harnesses' percentile: no interpolation, the standard nearest-rank
+/// sample at index ceil(p*n)-1 (truncating to p*(n-1) biases p99/p999 low
+/// on small windows — e.g. p99 of 100 samples must be sample #99, not #98).
 inline double nearest_rank_percentile(std::vector<double>& v, double p) {
   if (v.empty()) return 0.0;
   std::sort(v.begin(), v.end());
-  const auto idx =
-      static_cast<std::size_t>(p * static_cast<double>(v.size() - 1));
+  const double r = std::ceil(p * static_cast<double>(v.size()));
+  std::size_t idx = r <= 1.0 ? 0 : static_cast<std::size_t>(r) - 1;
+  if (idx >= v.size()) idx = v.size() - 1;
   return v[idx];
 }
 

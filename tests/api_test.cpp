@@ -581,7 +581,10 @@ TEST(SubmissionControl, WaitForTimesOutThenCancelDrainsQueuedReplay) {
       return arena.create<Node>(acc);
     }
   } one(&acc);
-  auto plan = rt.compile(one, 0);
+  // Tiny lowering disabled: this test is about a replay QUEUED behind a
+  // blocker — an inline serial replay never enters the scheduler queue.
+  auto plan = rt.compile(one, 0, 1,
+                         plan::kPassChainFusion | plan::kPassLevelOrder);
 
   Execution b = rt.submit(blocker, 1);
   Backoff backoff;

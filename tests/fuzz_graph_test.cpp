@@ -29,8 +29,14 @@
 // absolute deadlines, and mid-flight per-item cancels, asserting the same
 // checksum/retirement/watermark/freelist invariants per item.
 //
-// Registered as fixed-seed ctest cases (FuzzDag/0..7, FuzzBatch/0..7) so
-// any failure reproduces from the test name alone.
+// The FuzzTiny suite shrinks the DAGs under the tiny-graph lowering bound
+// and checks the serial-lowered inline submit path (plus its blob
+// round-trip and deadline handling) against the same serial reference, and
+// every FuzzDag seed additionally recompiles with each optimization pass
+// individually disabled, proving checksum equality pass by pass.
+//
+// Registered as fixed-seed ctest cases (FuzzDag/0..7, FuzzTiny/0..7,
+// FuzzBatch/0..7) so any failure reproduces from the test name alone.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -67,9 +73,14 @@ struct FuzzDag {
 
   static constexpr std::uint64_t kUnwritten = 0xfeedfacecafebeefULL;
 
-  explicit FuzzDag(std::uint64_t s, std::uint32_t num_colors) : seed(s) {
+  /// [min_n, max_n] bounds the random node count: the default range
+  /// (48..95) exercises the concurrent replay protocol; the FuzzTiny suite
+  /// passes 2..31 to land under the tiny-graph lowering bound.
+  explicit FuzzDag(std::uint64_t s, std::uint32_t num_colors,
+                   std::uint32_t min_n = 48, std::uint32_t max_n = 95)
+      : seed(s) {
     Pcg32 rng(splitmix64(s), /*stream=*/7);
-    n = 48 + rng.below(48);  // 48..95 nodes
+    n = min_n + rng.below(max_n - min_n + 1);
     preds.resize(n);
     colors.resize(n);
     const std::uint32_t window = 4 + rng.below(12);  // pred locality window
@@ -245,6 +256,54 @@ TEST_P(FuzzDag8, AllVariantsBitwiseEqualAndCancelInvariantsHold) {
     }
   }
 
+  // --- per-pass matrix: every seed also runs with each optimization pass
+  // individually disabled, proving checksum equality is per-pass, not just
+  // end-to-end. (Tiny lowering is inert at 48+ nodes but included so the
+  // mask plumbing itself is covered; with fusion off every unit must be a
+  // singleton.)
+  for (api::Runtime* rt : {&nb, &nc}) {
+    for (const std::uint32_t off : {plan::kPassChainFusion,
+                                    plan::kPassLevelOrder,
+                                    plan::kPassTinyLower}) {
+      const std::uint32_t mask = plan::kPassAll & ~off;
+      SCOPED_TRACE("passes=0x" + std::to_string(mask));
+      auto plan = rt->compile(spec, dag.sink(), /*reserve_instances=*/1, mask);
+      EXPECT_EQ(plan->passes(), mask);
+      EXPECT_FALSE(plan->serial_lowered());
+      if (off == plan::kPassChainFusion) {
+        EXPECT_EQ(plan->num_fused_nodes(), dag.n)
+            << "fusion disabled but units are not singletons";
+      } else {
+        EXPECT_LE(plan->num_fused_nodes(), dag.n);
+      }
+      for (int round = 0; round < 2; ++round) {
+        dag.clear();
+        Execution e = rt->run(*plan);
+        EXPECT_EQ(e.nodes_computed(), dag.n) << round;
+        EXPECT_EQ(dag.checksum(), expected)
+            << "pass-disabled replay diverged, round " << round;
+      }
+      // Blob round-trip must preserve the pass-reduced schedule bitwise too.
+      const auto blob = persist::serialize_plan(*plan, /*spec_bytes=*/{},
+                                                /*spec_hash=*/seed | 1);
+      auto backing = std::make_shared<std::vector<std::uint8_t>>(blob);
+      persist::PlanBlobView view;
+      ASSERT_EQ(view.parse({backing->data(), backing->size()}),
+                persist::BlobError::kOk);
+      auto restored =
+          rt->restore_plan(spec, dag.sink(), view.frozen(backing),
+                           view.colored(), view.count_locality());
+      ASSERT_NE(restored, nullptr);
+      EXPECT_EQ(restored->passes(), mask);
+      EXPECT_EQ(restored->num_fused_nodes(), plan->num_fused_nodes());
+      dag.clear();
+      Execution e = rt->run(*restored);
+      EXPECT_EQ(e.nodes_computed(), dag.n);
+      EXPECT_EQ(dag.checksum(), expected)
+          << "pass-disabled restored-plan replay diverged";
+    }
+  }
+
   // --- cancellation, plan path: cancel mid-flight at a seed-derived point.
   {
     Pcg32 rng(splitmix64(seed ^ 0xc0ffee), /*stream=*/11);
@@ -341,6 +400,104 @@ TEST_P(FuzzDag8, AllVariantsBitwiseEqualAndCancelInvariantsHold) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDag8, ::testing::Range(0, 8));
+
+// --------------------------------------------------------------- tiny DAGs
+//
+// Graphs under kTinyGraphMaxNodes take the serial-lowered path:
+// Runtime::submit runs the whole replay inline on the submitting thread and
+// returns an already-terminal Execution, never touching the scheduler. Every
+// seed checks the inline path against the serial reference (fresh + replay +
+// blob round-trip), that a born-expired deadline terminates as
+// kDeadlineExceeded with nothing computed, that cancel() after the inline
+// completion is harmless, and that compiling the same spec with lowering
+// disabled still matches through the normal scheduler path.
+
+class FuzzTiny8 : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzTiny8, SerialLoweredInlineReplayMatchesSerialReference) {
+  const auto seed = static_cast<std::uint64_t>(GetParam()) * 0x7f4a7c15u + 3;
+  FuzzDag dag(seed, /*num_colors=*/2, /*min_n=*/2,
+              /*max_n=*/plan::kTinyGraphMaxNodes - 1);
+  FuzzSpec spec(&dag);
+  SCOPED_TRACE("seed=" + std::to_string(seed) +
+               " n=" + std::to_string(dag.n));
+  ASSERT_LT(dag.n, plan::kTinyGraphMaxNodes);
+
+  SerialExecutor serial(spec);
+  serial.run(dag.sink());
+  ASSERT_EQ(serial.nodes_computed(), dag.n);
+  const std::uint64_t expected = dag.checksum();
+
+  auto nb = make_runtime(Variant::kNabbit);
+  auto nc = make_runtime(Variant::kNabbitC);
+
+  for (api::Runtime* rt : {&nb, &nc}) {
+    auto plan = rt->compile(spec, dag.sink());
+    ASSERT_TRUE(plan->serial_lowered())
+        << "tiny plan (" << dag.n << " nodes) was not lowered";
+    EXPECT_LE(plan->num_fused_nodes(), plan->num_nodes());
+
+    for (int round = 0; round < 3; ++round) {
+      dag.clear();
+      Execution e = rt->submit(*plan);
+      // Inline lowering: the submission is terminal before submit returns.
+      EXPECT_TRUE(e.done()) << "inline submit returned a live execution";
+      const Status st = e.status();
+      EXPECT_EQ(st.state, ExecStatus::kCompleted) << round;
+      EXPECT_EQ(e.nodes_computed(), dag.n) << round;
+      EXPECT_EQ(st.skipped_nodes, 0u);
+      EXPECT_EQ(dag.checksum(), expected)
+          << "inline replay diverged, round " << round;
+      // cancel() after inline completion must be a harmless no-op.
+      e.cancel();
+      EXPECT_EQ(e.status().state, ExecStatus::kCompleted);
+    }
+
+    // Born-expired deadline: the inline path must honor it before computing
+    // anything — terminal kDeadlineExceeded, all nodes skipped.
+    {
+      dag.clear();
+      SubmitOptions so;
+      so.deadline_ns = 1;  // long past
+      Execution e = rt->submit(*plan, so);
+      EXPECT_TRUE(e.done());
+      EXPECT_EQ(e.status().state, ExecStatus::kDeadlineExceeded);
+      EXPECT_EQ(e.nodes_computed(), 0u);
+      EXPECT_EQ(e.status().skipped_nodes, dag.n);
+      EXPECT_EQ(dag.val(dag.n - 1), FuzzDag::kUnwritten)
+          << "expired inline submission wrote the sink";
+    }
+
+    // Blob round-trip preserves the lowering decision and replays bitwise.
+    const auto blob = persist::serialize_plan(*plan, /*spec_bytes=*/{},
+                                              /*spec_hash=*/seed | 1);
+    auto backing = std::make_shared<std::vector<std::uint8_t>>(blob);
+    persist::PlanBlobView view;
+    ASSERT_EQ(view.parse({backing->data(), backing->size()}),
+              persist::BlobError::kOk);
+    auto restored = rt->restore_plan(spec, dag.sink(), view.frozen(backing),
+                                     view.colored(), view.count_locality());
+    ASSERT_NE(restored, nullptr);
+    EXPECT_TRUE(restored->serial_lowered())
+        << "blob round-trip dropped the serial-lowered flag";
+    dag.clear();
+    Execution e = rt->run(*restored);
+    EXPECT_EQ(e.nodes_computed(), dag.n);
+    EXPECT_EQ(dag.checksum(), expected) << "restored tiny plan diverged";
+
+    // Lowering disabled: same spec through the scheduler path, same bits.
+    auto queued = rt->compile(spec, dag.sink(), /*reserve_instances=*/1,
+                              plan::kPassAll & ~plan::kPassTinyLower);
+    EXPECT_FALSE(queued->serial_lowered());
+    dag.clear();
+    Execution qe = rt->run(*queued);
+    EXPECT_EQ(qe.nodes_computed(), dag.n);
+    EXPECT_EQ(dag.checksum(), expected)
+        << "scheduler-path tiny plan diverged from inline path";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTiny8, ::testing::Range(0, 8));
 
 // ------------------------------------------------------------------ batches
 //

@@ -793,8 +793,11 @@ TEST(NetService, BusyBackpressurePerSessionAndGlobal) {
   std::string err;
   ASSERT_TRUE(server.start(&err)) << err;
 
-  // ~60 ms serial chain: submissions stay in flight while we over-submit.
-  const WireGraph slow = make_chain(30, 5, 2'000'000);
+  // ~80 ms serial chain: submissions stay in flight while we over-submit.
+  // 40 nodes, deliberately ABOVE the tiny-graph lowering bound — an inline
+  // serial replay completes before the submit reply, so it could never
+  // occupy an in-flight slot.
+  const WireGraph slow = make_chain(40, 5, 2'000'000);
   Client a, b;
   ASSERT_TRUE(a.connect_unix(path));
   ASSERT_TRUE(b.connect_unix(path));

@@ -6,7 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <string>
 #include <thread>
 #include <vector>
@@ -121,6 +123,28 @@ TEST(ObsHistogram, QuantileStaysWithinItsBucketAndTracksExactRanks) {
   EXPECT_EQ(HistSnapshot{}.quantile(0.5), 0.0);  // empty snapshot
 }
 
+TEST(ObsHistogram, Bucket64QuantileStaysBelowTwoToThe64) {
+  // bucket_hi(64) is 2^64-1, which is NOT double-representable: the cast
+  // rounds UP to 2^64, so a naive clamp breaks the documented
+  // [bucket_lo(b), bucket_hi(b)] guarantee on the last bucket AND makes
+  // casting the quantile back to uint64 undefined. The clamp must use the
+  // largest double strictly below 2^64.
+  Histogram h;
+  h.record(~0ull);  // the last bucket (b = 64)
+  h.record(~0ull - 1);
+  const HistSnapshot s = h.snapshot();
+  const double two_to_64 = std::ldexp(1.0, 64);
+  for (const double q : {0.0, 0.5, 0.99, 1.0}) {
+    const double est = s.quantile(q);
+    EXPECT_LT(est, two_to_64) << "q=" << q;
+    EXPECT_GE(est, static_cast<double>(bucket_lo(64))) << "q=" << q;
+    // Safely castable back to the integer domain (the old clamp made this
+    // UB: (uint64_t)2^64 is out of range).
+    const auto back = static_cast<std::uint64_t>(est);
+    EXPECT_GE(back, bucket_lo(64)) << "q=" << q;
+  }
+}
+
 TEST(ObsRegistry, GetOrCreateIsStableAndSnapshotSeesRecordings) {
   Registry reg;
   Counter& c = reg.counter("test_counter_total");
@@ -174,7 +198,11 @@ TEST(ObsRegistry, KindMismatchAndCapResolveToSinksNotCrashes) {
   // registry stops growing.
   Registry small;
   for (std::size_t i = 0; i < kMaxMetrics + 10; ++i) {
-    small.counter("c" + std::to_string(i)).inc();
+    // Built with snprintf, not `"c" + std::to_string(i)`: GCC 12's
+    // -Wrestrict misfires on const char* + string&& under -O2 (PR105329).
+    char name[32];
+    std::snprintf(name, sizeof(name), "c%zu", i);
+    small.counter(name).inc();
   }
   EXPECT_LE(small.size(), kMaxMetrics);
   small.counter("one_more").inc();  // sink: absorbed, no crash

@@ -435,6 +435,55 @@ TEST(PlanCache, RejectsCorruptFileAndRecovers) {
   remove_dir_recursive(dir);
 }
 
+// A pre-optimization-pass (v1) artifact must be refused with the DISTINCT
+// kBadVersion error — not a generic corruption refusal — and the cache
+// upgrade path must transparently recompile over it. v1 blobs predate the
+// fused-unit schedule sections, but the version stamp sits at the same
+// offset in both layouts and the gate fires on the stamp alone, so a
+// doctored stamp exercises exactly the path a real v1 file takes.
+TEST(PlanCache, StaleVersionBlobRejectedAndRecompiled) {
+  auto rt = make_runtime(Variant::kNabbitC);
+  CompiledBlob c = compile_blob(rt, 0x51a1e, 64);
+
+  std::vector<std::uint8_t> stale = c.blob;
+  PlanBlobHeader h;
+  std::memcpy(&h, stale.data(), sizeof(h));
+  ASSERT_EQ(h.version, kPlanBlobVersion);
+  ASSERT_GE(kPlanBlobVersion, 2u) << "optimization passes bumped the version";
+  h.version = 1;
+  std::memcpy(stale.data(), &h, sizeof(h));
+  reseal_blob({stale.data(), stale.size()});  // checksums pass; version gates
+
+  PlanBlobView view;
+  EXPECT_EQ(view.parse({stale.data(), stale.size()}), BlobError::kBadVersion);
+
+  // Through the cache: a stale on-disk artifact is a miss that reports
+  // kBadVersion, the recompiled blob overwrites it, and later loads hit.
+  const std::string dir = make_temp_dir();
+  PlanCacheDir cache(dir);
+  std::string err;
+  ASSERT_TRUE(cache.ensure_dir(&err)) << err;
+  ASSERT_TRUE(write_file_atomic(cache.path_for(c.hash),
+                                {stale.data(), stale.size()}, &err))
+      << err;
+
+  PlanCacheDir::Loaded old = cache.load(c.hash);
+  EXPECT_FALSE(old.hit());
+  EXPECT_EQ(old.error, BlobError::kBadVersion);
+  EXPECT_GE(cache.stats().rejected, 1u);
+
+  // The caller's recompile (c.blob is the fresh v2 serialization of the
+  // same spec) publishes over the stale file and is served from then on.
+  ASSERT_TRUE(cache.store(c.hash, {c.blob.data(), c.blob.size()}, &err)) << err;
+  PlanCacheDir::Loaded fresh = cache.load(c.hash);
+  ASSERT_TRUE(fresh.hit());
+  EXPECT_EQ(fresh.view.spec_hash(), c.hash);
+  EXPECT_EQ(fresh.view.num_nodes(), c.plan->num_nodes());
+  EXPECT_EQ(cache.scan().size(), 1u);
+
+  remove_dir_recursive(dir);
+}
+
 TEST(PlanCache, PersistConcurrentStoreLoad) {
   auto rt = make_runtime(Variant::kNabbitC);
   CompiledBlob a = compile_blob(rt, 0xa001, 48);

@@ -23,6 +23,7 @@
 #include "api/nabbitc.h"
 #include "support/rng.h"
 #include "support/spin.h"
+#include "support/timing.h"
 #include "workloads/workload.h"
 
 namespace {
@@ -231,6 +232,144 @@ TEST(PlanCompile, ReserveInstancesPreBuildsPool) {
   WaveSpec spec(&g);
   auto plan = rt.compile(spec, key_pack(5, 5), /*reserve_instances=*/3);
   EXPECT_EQ(plan->instances_built(), 3u);
+}
+
+// ------------------------------------------------------ optimization passes
+
+/// Pure pipeline: node k depends only on k-1 — the maximal chain-fusion
+/// workload (the whole graph is one fanout-1/fanin-1 run). Commutative
+/// accumulate, so the total is exactly checkable regardless of schedule.
+struct ChainNode final : TaskGraphNode {
+  std::atomic<std::uint64_t>* acc;
+  explicit ChainNode(std::atomic<std::uint64_t>* a) : acc(a) {}
+  void init(ExecContext&) override {
+    if (key() > 0) add_predecessor(key() - 1);
+  }
+  void compute(ExecContext&) override {
+    acc->fetch_add(splitmix64(key() + 1), std::memory_order_relaxed);
+  }
+};
+
+struct ChainSpec final : GraphSpec {
+  std::atomic<std::uint64_t>* acc;
+  std::uint32_t n;
+  ChainSpec(std::atomic<std::uint64_t>* a, std::uint32_t nodes)
+      : acc(a), n(nodes) {}
+  TaskGraphNode* create(NodeArena& arena, Key) override {
+    return arena.create<ChainNode>(acc);
+  }
+  Color color_of(Key) const override { return 0; }
+  std::size_t expected_nodes() const override { return n; }
+
+  std::uint64_t expected_total() const {
+    std::uint64_t t = 0;
+    for (std::uint32_t k = 0; k < n; ++k) t += splitmix64(k + 1);
+    return t;
+  }
+};
+
+TEST(PlanPasses, ChainFusionCollapsesPipelineIntoOneUnit) {
+  auto rt = make_runtime(Variant::kNabbitC);
+  std::atomic<std::uint64_t> acc{0};
+  ChainSpec spec(&acc, 64);  // above the tiny-lowering bound
+  const std::uint64_t want = spec.expected_total();
+
+  auto fused = rt.compile(spec, /*sink=*/63);
+  EXPECT_EQ(fused->num_nodes(), 64u);
+  EXPECT_EQ(fused->passes(), plan::kPassAll);
+  EXPECT_FALSE(fused->serial_lowered());
+  // A pure pipeline is ONE maximal chain: all 64 nodes fuse into a single
+  // scheduling unit (the per-node arrays stay authoritative for lookups).
+  EXPECT_EQ(fused->num_fused_nodes(), 1u);
+  EXPECT_EQ(fused->index_of(63), 0u) << "sink must keep plan index 0";
+
+  acc.store(0, std::memory_order_relaxed);
+  Execution e = rt.run(*fused);
+  EXPECT_EQ(e.nodes_computed(), 64u);
+  EXPECT_EQ(acc.load(std::memory_order_relaxed), want);
+
+  // Fusion disabled via the pass mask: every unit is a singleton and the
+  // replay is still exact.
+  auto unfused = rt.compile(spec, 63, /*reserve_instances=*/1,
+                            plan::kPassAll & ~plan::kPassChainFusion);
+  EXPECT_EQ(unfused->passes(), plan::kPassAll & ~plan::kPassChainFusion);
+  EXPECT_EQ(unfused->num_fused_nodes(), 64u);
+  acc.store(0, std::memory_order_relaxed);
+  Execution e2 = rt.run(*unfused);
+  EXPECT_EQ(e2.nodes_computed(), 64u);
+  EXPECT_EQ(acc.load(std::memory_order_relaxed), want);
+}
+
+TEST(PlanPasses, TinyGraphLoweringTracksSizeBoundAndMask) {
+  auto rt = make_runtime(Variant::kNabbitC);
+  std::atomic<std::uint64_t> acc{0};
+
+  ChainSpec tiny_spec(&acc, plan::kTinyGraphMaxNodes - 1);
+  auto tiny = rt.compile(tiny_spec, plan::kTinyGraphMaxNodes - 2);
+  EXPECT_TRUE(tiny->serial_lowered());
+  acc.store(0, std::memory_order_relaxed);
+  Execution e = rt.submit(*tiny);
+  EXPECT_TRUE(e.done()) << "lowered submit must complete inline";
+  EXPECT_EQ(acc.load(std::memory_order_relaxed), tiny_spec.expected_total());
+
+  // Same spec with the pass masked off: scheduler path, not lowered.
+  auto queued = rt.compile(tiny_spec, plan::kTinyGraphMaxNodes - 2,
+                           /*reserve_instances=*/1,
+                           plan::kPassAll & ~plan::kPassTinyLower);
+  EXPECT_FALSE(queued->serial_lowered());
+
+  // Exactly AT the bound: not lowered.
+  ChainSpec at_bound(&acc, plan::kTinyGraphMaxNodes);
+  auto big = rt.compile(at_bound, plan::kTinyGraphMaxNodes - 1);
+  EXPECT_FALSE(big->serial_lowered());
+}
+
+// --------------------------------------------------------------- pool scrape
+
+TEST(PlanPool, InstancesFreeIsExactAndConstantTime) {
+  auto rt = make_runtime(Variant::kNabbitC);
+  WaveGrid g(8, 11);
+  WaveSpec spec(&g);
+  auto plan = rt.compile(spec, key_pack(7, 7), /*reserve_instances=*/3);
+  EXPECT_EQ(plan->instances_built(), 3u);
+  EXPECT_EQ(plan->instances_free(), 3u);
+
+  {
+    // Each handle holds its pooled instance until it drops; the free count
+    // must track acquire/grow/release exactly.
+    Execution a = rt.run(*plan);
+    EXPECT_EQ(plan->instances_free(), 2u);
+    Execution b = rt.run(*plan);
+    EXPECT_EQ(plan->instances_free(), 1u);
+    Execution c = rt.run(*plan);
+    EXPECT_EQ(plan->instances_free(), 0u);
+    Execution d = rt.run(*plan);  // grows the pool on demand
+    EXPECT_EQ(plan->instances_built(), 4u);
+    EXPECT_EQ(plan->instances_free(), 0u);
+  }
+  EXPECT_EQ(plan->instances_free(), 4u);
+
+  // The scrape is a relaxed atomic load, NOT a freelist walk under the pool
+  // mutex: timing it on a pool with 2048 free instances against the small
+  // pool above must be flat (a walk would be hundreds of times slower).
+  auto big = rt.compile(spec, key_pack(7, 7), /*reserve_instances=*/2048);
+  ASSERT_EQ(big->instances_free(), 2048u);
+  const auto scrape_ns = [](const plan::GraphPlan& p) {
+    constexpr int kIters = 1 << 16;
+    std::size_t sink = 0;
+    const std::uint64_t t0 = now_ns();
+    for (int i = 0; i < kIters; ++i) sink += p.instances_free();
+    const std::uint64_t t1 = now_ns();
+    EXPECT_GE(sink, std::size_t{kIters});  // keeps the loop observable
+    return static_cast<double>(t1 - t0) / kIters;
+  };
+  scrape_ns(*plan);  // warm both
+  scrape_ns(*big);
+  const double t_small = scrape_ns(*plan);
+  const double t_big = scrape_ns(*big);
+  EXPECT_LT(t_big, t_small * 16.0 + 100.0)
+      << "instances_free() scales with pool size — O(n) freelist walk is back"
+      << " (small=" << t_small << "ns big=" << t_big << "ns)";
 }
 
 TEST(PlanCompileDeath, VariantMismatchedReplayAborts) {

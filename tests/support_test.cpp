@@ -186,6 +186,23 @@ TEST(Stats, SamplesSingleValue) {
   EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
 }
 
+TEST(Stats, NearestRankPercentileUsesCeilConvention) {
+  // The documented convention is the nearest-rank sample at index
+  // ceil(p*n)-1. The old truncating p*(n-1) form biased tail percentiles
+  // low: p99 of 10 samples must be the max (ceil(9.9)-1 = 9), not v[8].
+  std::vector<double> v = {10, 20, 30, 40, 50, 60, 70, 80, 90, 100};
+  EXPECT_DOUBLE_EQ(nearest_rank_percentile(v, 0.99), 100.0);
+  EXPECT_DOUBLE_EQ(nearest_rank_percentile(v, 0.91), 100.0);  // ceil(9.1)-1=9
+  EXPECT_DOUBLE_EQ(nearest_rank_percentile(v, 0.9), 90.0);    // ceil(9)-1=8
+  EXPECT_DOUBLE_EQ(nearest_rank_percentile(v, 0.5), 50.0);    // ceil(5)-1=4
+  EXPECT_DOUBLE_EQ(nearest_rank_percentile(v, 0.0), 10.0);    // clamped low
+  EXPECT_DOUBLE_EQ(nearest_rank_percentile(v, 1.0), 100.0);
+  std::vector<double> one = {7.0};
+  EXPECT_DOUBLE_EQ(nearest_rank_percentile(one, 0.99), 7.0);
+  std::vector<double> none;
+  EXPECT_DOUBLE_EQ(nearest_rank_percentile(none, 0.99), 0.0);
+}
+
 TEST(Stats, Geomean) {
   EXPECT_DOUBLE_EQ(geomean({}), 0.0);
   EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);

@@ -203,7 +203,11 @@ TEST(Collector, CancelledRootEmitsCancelEventMatchingCounters) {
       return arena.create<OneNode>();
     }
   } spec;
-  auto plan = rt.compile(spec, 0);
+  // Tiny lowering disabled: this test asserts the SCHEDULER's terminal
+  // cancel accounting (worker counters + kCancel trace events), which an
+  // inline serial replay never reaches by design.
+  auto plan = rt.compile(spec, 0, 1,
+                         plan::kPassChainFusion | plan::kPassLevelOrder);
 
   {
     api::Execution e = rt.submit(*plan);

@@ -63,15 +63,22 @@ bool inspect(const std::string& path, persist::MappedFile& file,
 
 void print_info(const persist::PlanBlobView& view) {
   const persist::PlanBlobHeader& h = view.header();
-  std::printf("  version=%u abi=0x%06x flags=%s%s\n", h.version, h.abi,
+  std::printf("  version=%u abi=0x%06x flags=%s%s%s\n", h.version, h.abi,
               view.colored() ? "colored" : "plain",
-              view.count_locality() ? "+locality" : "");
+              view.count_locality() ? "+locality" : "",
+              (h.flags & persist::kPlanBlobFlagSerialLowered) != 0
+                  ? "+serial-lowered"
+                  : "");
   std::printf("  spec_hash=%016" PRIx64 " total_bytes=%" PRIu64 "\n",
               h.spec_hash, h.total_bytes);
   std::printf("  nodes=%u edges=%u roots=%u sink_key=%" PRIu64
               " slot_cap=%u slab_bytes=%" PRIu64 "\n",
               h.n, h.n_edges, h.n_roots, h.sink_key, h.slot_cap,
               h.instance_slab_bytes);
+  std::printf("  units=%u (fused %u nodes into chains) unit_edges=%u "
+              "unit_roots=%u passes=0x%x\n",
+              h.fused_n, h.n - h.fused_n, h.unit_edges, h.n_unit_roots,
+              h.passes);
   const auto spec = view.spec_bytes();
   if (spec.empty()) {
     std::printf("  spec: (none — generic blob, functions not re-bindable)\n");
@@ -103,6 +110,20 @@ void print_dump(const persist::PlanBlobView& view) {
     std::printf("] succs=[");
     for (std::uint32_t e = f.succ_off[i]; e < f.succ_off[i + 1]; ++e) {
       std::printf("%s%u", e == f.succ_off[i] ? "" : " ", f.succ_idx[e]);
+    }
+    std::printf("]\n");
+  }
+  for (std::uint32_t u = 0; u < f.fused_n; ++u) {
+    std::printf("  unit %u: join=%d color=%d nodes=[", u, f.unit_join[u],
+                f.unit_colors[u]);
+    for (std::uint32_t e = f.unit_off[u]; e < f.unit_off[u + 1]; ++e) {
+      std::printf("%s%u", e == f.unit_off[u] ? "" : " ", f.unit_nodes[e]);
+    }
+    std::printf("] succs=[");
+    for (std::uint32_t e = f.unit_succ_off[u]; e < f.unit_succ_off[u + 1];
+         ++e) {
+      std::printf("%s%u", e == f.unit_succ_off[u] ? "" : " ",
+                  f.unit_succ_idx[e]);
     }
     std::printf("]\n");
   }
